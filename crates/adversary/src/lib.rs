@@ -1,0 +1,88 @@
+#![warn(missing_docs)]
+//! Round-wise Byzantine adversary for consensus dynamics (Section 5 of the
+//! paper, following the model of \[BCN+14, BCN+16\]).
+//!
+//! After each protocol round, an adversary may rewrite the state of up to
+//! `F` nodes. The quality question is whether the protocol still converges
+//! to an "almost-all agree" regime on a **valid** color — one supported
+//! initially by at least one non-corrupted node. The paper cites
+//! \[BCN+16\]: for `k = o(n^{1/3})`, 3-Majority tolerates
+//! `F = O(√n / (k^{5/2} log n))`.
+//!
+//! * [`Adversary`] — the corruption interface (budget `F` per round).
+//! * [`strategies`] — [`Nop`], [`RandomFlipper`], [`MinoritySupporter`]
+//!   (revives the weakest/dead colors: the symmetry-preserving worst case
+//!   for consensus), [`SplitKeeper`] (enforces a stalemate between the top
+//!   two colors).
+//! * [`validity`] — valid-color tracking for Byzantine validity.
+//! * [`runner`] — adversarial consensus runs with verdicts.
+
+pub mod runner;
+pub mod strategies;
+pub mod validity;
+
+use symbreak_core::Configuration;
+
+/// A round-wise adversary: may move the support of at most `budget()`
+/// nodes after each protocol round.
+pub trait Adversary {
+    /// Display name.
+    fn name(&self) -> &'static str;
+
+    /// Maximum number of nodes this adversary rewrites per round.
+    fn budget(&self) -> u64;
+
+    /// Corrupts `config` in place, moving at most [`Adversary::budget`]
+    /// nodes' support between colors; total mass must be preserved.
+    fn corrupt(&mut self, config: &mut Configuration, rng: &mut dyn rand::RngCore);
+}
+
+pub use runner::{run_adversarial, AdversarialOutcome, AdversarialRun};
+pub use strategies::{Eraser, MinoritySupporter, Nop, RandomFlipper, SplitKeeper};
+pub use validity::ValidityTracker;
+
+/// Checks that `after` differs from `before` by moving at most `budget`
+/// nodes (half the L1 distance of the count vectors) and preserves mass.
+pub fn corruption_within_budget(
+    before: &Configuration,
+    after: &Configuration,
+    budget: u64,
+) -> bool {
+    if before.n() != after.n() || before.num_slots() != after.num_slots() {
+        return false;
+    }
+    let moved: u64 = before
+        .counts()
+        .iter()
+        .zip(after.counts())
+        .map(|(&b, &a)| b.abs_diff(a))
+        .sum::<u64>()
+        / 2;
+    moved <= budget
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_check_counts_moved_nodes() {
+        let before = Configuration::from_counts(vec![5, 5, 0]);
+        let after = Configuration::from_counts(vec![3, 5, 2]);
+        assert!(corruption_within_budget(&before, &after, 2));
+        assert!(!corruption_within_budget(&before, &after, 1));
+    }
+
+    #[test]
+    fn budget_check_rejects_mass_change() {
+        let before = Configuration::from_counts(vec![5, 5]);
+        let after = Configuration::from_counts(vec![5, 6]);
+        assert!(!corruption_within_budget(&before, &after, 10));
+    }
+
+    #[test]
+    fn identical_configs_cost_zero() {
+        let c = Configuration::uniform(10, 2);
+        assert!(corruption_within_budget(&c, &c, 0));
+    }
+}

@@ -1,0 +1,152 @@
+//! Adversarial consensus runs: protocol round, then corruption, repeated.
+
+use rand::SeedableRng;
+
+use symbreak_core::{Configuration, VectorStep};
+use symbreak_sim::rng::Pcg64;
+
+use crate::validity::ValidityTracker;
+use crate::Adversary;
+
+/// Configuration of an adversarial run.
+#[derive(Debug, Clone)]
+pub struct AdversarialRun {
+    /// Round cap.
+    pub max_rounds: u64,
+    /// A run "stabilizes" when at least this fraction of nodes supports one
+    /// color (the paper's "almost-all" regime; plain consensus = 1.0).
+    pub quorum_fraction: f64,
+    /// RNG seed (protocol and adversary share one stream).
+    pub seed: u64,
+}
+
+impl Default for AdversarialRun {
+    fn default() -> Self {
+        Self { max_rounds: 1_000_000, quorum_fraction: 0.9, seed: 0 }
+    }
+}
+
+/// Outcome of an adversarial run.
+#[derive(Debug, Clone)]
+pub struct AdversarialOutcome {
+    /// Round at which the quorum was first met, if ever.
+    pub stabilized_round: Option<u64>,
+    /// Whether the quorum color was valid (meaningful only when
+    /// `stabilized_round.is_some()`).
+    pub valid: bool,
+    /// Final configuration.
+    pub final_config: Configuration,
+}
+
+impl AdversarialOutcome {
+    /// Whether the protocol both stabilized and did so on a valid color.
+    pub fn byzantine_success(&self) -> bool {
+        self.stabilized_round.is_some() && self.valid
+    }
+}
+
+/// Runs `process` from `start` with `adversary` corrupting after every
+/// round, until the quorum is met or the cap elapses.
+pub fn run_adversarial<P: VectorStep>(
+    process: &P,
+    adversary: &mut dyn Adversary,
+    start: Configuration,
+    opts: &AdversarialRun,
+) -> AdversarialOutcome {
+    let tracker = ValidityTracker::from_initial(&start);
+    let mut rng = Pcg64::seed_from_u64(opts.seed);
+    let mut config = start;
+    let mut round = 0u64;
+    loop {
+        if tracker.almost_all_valid(&config, opts.quorum_fraction)
+            || quorum_met(&config, opts.quorum_fraction)
+        {
+            let valid = tracker.is_valid(config.plurality());
+            return AdversarialOutcome {
+                stabilized_round: Some(round),
+                valid,
+                final_config: config,
+            };
+        }
+        if round >= opts.max_rounds {
+            let valid = tracker.is_valid(config.plurality());
+            return AdversarialOutcome { stabilized_round: None, valid, final_config: config };
+        }
+        config = process.vector_step(&config, &mut rng);
+        adversary.corrupt(&mut config, &mut rng);
+        round += 1;
+    }
+}
+
+fn quorum_met(config: &Configuration, fraction: f64) -> bool {
+    config.max_support() as f64 >= (config.n() as f64 * fraction).ceil()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategies::{MinoritySupporter, Nop, RandomFlipper, SplitKeeper};
+    use symbreak_core::rules::ThreeMajority;
+
+    #[test]
+    fn nop_adversary_lets_protocol_converge() {
+        let start = Configuration::uniform(512, 8);
+        let out = run_adversarial(
+            &ThreeMajority,
+            &mut Nop,
+            start,
+            &AdversarialRun { max_rounds: 100_000, quorum_fraction: 1.0, seed: 1 },
+        );
+        assert!(out.byzantine_success(), "unhindered run must succeed");
+    }
+
+    #[test]
+    fn small_random_corruption_is_tolerated() {
+        let start = Configuration::uniform(1024, 4);
+        let out = run_adversarial(
+            &ThreeMajority,
+            &mut RandomFlipper::new(2),
+            start,
+            &AdversarialRun { max_rounds: 100_000, quorum_fraction: 0.9, seed: 2 },
+        );
+        assert!(out.byzantine_success(), "F=2 random faults must be tolerated");
+    }
+
+    #[test]
+    fn winner_is_a_valid_color_under_small_corruption() {
+        let start = Configuration::uniform(512, 4);
+        let out = run_adversarial(
+            &ThreeMajority,
+            &mut MinoritySupporter::new(1, 4),
+            start,
+            &AdversarialRun { max_rounds: 100_000, quorum_fraction: 0.9, seed: 3 },
+        );
+        assert!(out.byzantine_success());
+    }
+
+    #[test]
+    fn massive_split_keeper_stalls_consensus() {
+        // With budget Θ(n), the SplitKeeper pins the top two colors
+        // together forever.
+        let start = Configuration::uniform(256, 2);
+        let out = run_adversarial(
+            &ThreeMajority,
+            &mut SplitKeeper::new(256),
+            start,
+            &AdversarialRun { max_rounds: 2_000, quorum_fraction: 0.9, seed: 4 },
+        );
+        assert!(out.stabilized_round.is_none(), "protocol should be stalled");
+    }
+
+    #[test]
+    fn outcome_reports_final_config_mass() {
+        let start = Configuration::uniform(128, 4);
+        let out = run_adversarial(
+            &ThreeMajority,
+            &mut Nop,
+            start,
+            &AdversarialRun { max_rounds: 10, quorum_fraction: 1.0, seed: 5 },
+        );
+        assert_eq!(out.final_config.n(), 128);
+    }
+}

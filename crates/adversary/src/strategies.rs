@@ -1,0 +1,352 @@
+//! Adversary strategies.
+//!
+//! The interesting adversaries for consensus *delay* are the
+//! symmetry-preserving ones: [`MinoritySupporter`] pulls mass back to the
+//! weakest colors (fighting the drift that kills colors), and
+//! [`SplitKeeper`] re-balances the top two colors (fighting the
+//! symmetry-breaking the protocols rely on). [`RandomFlipper`] models
+//! unstructured faults and barely matters — exactly the contrast
+//! Experiment E12 shows.
+
+use rand::{Rng, RngCore};
+
+use symbreak_core::Configuration;
+
+use crate::Adversary;
+
+/// The no-op adversary (baseline).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Nop;
+
+impl Adversary for Nop {
+    fn name(&self) -> &'static str {
+        "Nop"
+    }
+
+    fn budget(&self) -> u64 {
+        0
+    }
+
+    fn corrupt(&mut self, _config: &mut Configuration, _rng: &mut dyn RngCore) {}
+}
+
+/// Moves up to `f` uniformly random nodes to uniformly random colors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RandomFlipper {
+    f: u64,
+}
+
+impl RandomFlipper {
+    /// Creates a flipper with per-round budget `f`.
+    pub fn new(f: u64) -> Self {
+        Self { f }
+    }
+}
+
+impl Adversary for RandomFlipper {
+    fn name(&self) -> &'static str {
+        "RandomFlipper"
+    }
+
+    fn budget(&self) -> u64 {
+        self.f
+    }
+
+    fn corrupt(&mut self, config: &mut Configuration, rng: &mut dyn RngCore) {
+        let k = config.num_slots();
+        let n = config.n();
+        for _ in 0..self.f.min(n) {
+            // Pick a random *node* (weighted by support) and move it to a
+            // random slot.
+            let mut pick = rng.gen_range(0..n);
+            let counts = config.counts_mut();
+            let mut from = 0;
+            for (i, &c) in counts.iter().enumerate() {
+                if pick < c {
+                    from = i;
+                    break;
+                }
+                pick -= c;
+            }
+            let to = rng.gen_range(0..k);
+            counts[from] -= 1;
+            counts[to] += 1;
+        }
+        config.validate();
+    }
+}
+
+/// Moves nodes from the strongest color to the weakest *valid* colors
+/// (including reviving dead ones if slots allow), preserving symmetry.
+///
+/// This is the canonical delay strategy: it directly counteracts the
+/// drift both 2-Choices and 3-Majority rely on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MinoritySupporter {
+    f: u64,
+    /// Only colors `< revive_limit` are eligible to receive support,
+    /// modelling the "valid colors" restriction.
+    revive_limit: usize,
+}
+
+impl MinoritySupporter {
+    /// Creates a supporter with per-round budget `f` that may boost any of
+    /// the first `revive_limit` color slots.
+    pub fn new(f: u64, revive_limit: usize) -> Self {
+        assert!(revive_limit >= 2, "need at least two eligible colors");
+        Self { f, revive_limit }
+    }
+}
+
+impl Adversary for MinoritySupporter {
+    fn name(&self) -> &'static str {
+        "MinoritySupporter"
+    }
+
+    fn budget(&self) -> u64 {
+        self.f
+    }
+
+    fn corrupt(&mut self, config: &mut Configuration, _rng: &mut dyn RngCore) {
+        let limit = self.revive_limit.min(config.num_slots());
+        for _ in 0..self.f {
+            let counts = config.counts_mut();
+            // Strongest donor overall; weakest recipient among eligible.
+            let (from, &fmax) =
+                counts.iter().enumerate().max_by_key(|&(_, &c)| c).expect("non-empty");
+            let (to, &tmin) = counts[..limit]
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &c)| c)
+                .expect("non-empty");
+            if from == to || fmax == 0 || fmax <= tmin + 1 {
+                break; // already balanced; stop spending budget
+            }
+            counts[from] -= 1;
+            counts[to] += 1;
+        }
+        config.validate();
+    }
+}
+
+/// Keeps the two largest colors in a stalemate by restoring balance
+/// between them (up to the budget).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitKeeper {
+    f: u64,
+}
+
+impl SplitKeeper {
+    /// Creates a split-keeper with per-round budget `f`.
+    pub fn new(f: u64) -> Self {
+        Self { f }
+    }
+}
+
+impl Adversary for SplitKeeper {
+    fn name(&self) -> &'static str {
+        "SplitKeeper"
+    }
+
+    fn budget(&self) -> u64 {
+        self.f
+    }
+
+    fn corrupt(&mut self, config: &mut Configuration, _rng: &mut dyn RngCore) {
+        // Identify the top-two slots.
+        let counts = config.counts_mut();
+        if counts.len() < 2 {
+            return;
+        }
+        let mut first = 0usize;
+        let mut second = 1usize;
+        if counts[second] > counts[first] {
+            std::mem::swap(&mut first, &mut second);
+        }
+        for (i, &c) in counts.iter().enumerate().skip(2) {
+            if c > counts[first] {
+                second = first;
+                first = i;
+            } else if c > counts[second] {
+                second = i;
+            }
+        }
+        // Move up to f nodes from the leader to the runner-up, halving the
+        // gap (never overshooting).
+        let gap = counts[first] - counts[second];
+        let transfer = (gap / 2).min(self.f);
+        counts[first] -= transfer;
+        counts[second] += transfer;
+        config.validate();
+    }
+}
+
+/// Moves nodes from the weakest surviving color to the strongest —
+/// an "adversary" that *accelerates* consensus. Included as the control
+/// contrast in the fault-tolerance experiments: the corruption budget can
+/// cut both ways, and Byzantine *validity* (not speed) is what a helper
+/// cannot violate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Eraser {
+    f: u64,
+}
+
+impl Eraser {
+    /// Creates an eraser with per-round budget `f`.
+    pub fn new(f: u64) -> Self {
+        Self { f }
+    }
+}
+
+impl Adversary for Eraser {
+    fn name(&self) -> &'static str {
+        "Eraser"
+    }
+
+    fn budget(&self) -> u64 {
+        self.f
+    }
+
+    fn corrupt(&mut self, config: &mut Configuration, _rng: &mut dyn RngCore) {
+        for _ in 0..self.f {
+            let counts = config.counts_mut();
+            let Some((to, _)) = counts.iter().enumerate().max_by_key(|&(_, &c)| c) else {
+                break;
+            };
+            let Some((from, &fmin)) = counts
+                .iter()
+                .enumerate()
+                .filter(|&(i, &c)| c > 0 && i != to)
+                .min_by_key(|&(_, &c)| c)
+            else {
+                break; // already consensus
+            };
+            if fmin == 0 {
+                break;
+            }
+            counts[from] -= 1;
+            counts[to] += 1;
+        }
+        config.validate();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corruption_within_budget;
+    use rand::SeedableRng;
+    use symbreak_sim::rng::Pcg64;
+
+    #[test]
+    fn nop_changes_nothing() {
+        let mut c = Configuration::uniform(100, 4);
+        let before = c.clone();
+        let mut rng = Pcg64::seed_from_u64(1);
+        Nop.corrupt(&mut c, &mut rng);
+        assert_eq!(c, before);
+        assert_eq!(Nop.budget(), 0);
+    }
+
+    #[test]
+    fn random_flipper_respects_budget_and_mass() {
+        let mut rng = Pcg64::seed_from_u64(2);
+        for f in [0u64, 1, 5, 50] {
+            let mut c = Configuration::uniform(100, 4);
+            let before = c.clone();
+            RandomFlipper::new(f).corrupt(&mut c, &mut rng);
+            assert!(corruption_within_budget(&before, &c, f), "f={f}");
+            assert_eq!(c.n(), 100);
+        }
+    }
+
+    #[test]
+    fn minority_supporter_reduces_bias() {
+        let mut c = Configuration::from_counts(vec![80, 10, 10]);
+        let mut rng = Pcg64::seed_from_u64(3);
+        let before = c.clone();
+        MinoritySupporter::new(5, 3).corrupt(&mut c, &mut rng);
+        assert!(c.bias() < before.bias());
+        assert!(corruption_within_budget(&before, &c, 5));
+    }
+
+    #[test]
+    fn minority_supporter_revives_dead_colors() {
+        let mut c = Configuration::from_counts(vec![99, 1, 0]);
+        let mut rng = Pcg64::seed_from_u64(4);
+        MinoritySupporter::new(2, 3).corrupt(&mut c, &mut rng);
+        assert!(c.support(2) > 0, "dead color should be revived: {c:?}");
+    }
+
+    #[test]
+    fn minority_supporter_stops_when_balanced() {
+        let mut c = Configuration::from_counts(vec![5, 5, 5]);
+        let before = c.clone();
+        let mut rng = Pcg64::seed_from_u64(5);
+        MinoritySupporter::new(100, 3).corrupt(&mut c, &mut rng);
+        assert_eq!(c, before, "balanced config should not change");
+    }
+
+    #[test]
+    fn split_keeper_halves_the_gap() {
+        let mut c = Configuration::from_counts(vec![70, 20, 10]);
+        let mut rng = Pcg64::seed_from_u64(6);
+        SplitKeeper::new(100).corrupt(&mut c, &mut rng);
+        assert_eq!(c.counts(), &[45, 45, 10]);
+    }
+
+    #[test]
+    fn split_keeper_respects_budget() {
+        let mut c = Configuration::from_counts(vec![70, 20, 10]);
+        let before = c.clone();
+        let mut rng = Pcg64::seed_from_u64(7);
+        SplitKeeper::new(3).corrupt(&mut c, &mut rng);
+        assert!(corruption_within_budget(&before, &c, 3));
+        assert_eq!(c.counts(), &[67, 23, 10]);
+    }
+
+    #[test]
+    fn split_keeper_finds_top_two_beyond_first_slots() {
+        let mut c = Configuration::from_counts(vec![5, 10, 60, 30]);
+        let mut rng = Pcg64::seed_from_u64(8);
+        SplitKeeper::new(100).corrupt(&mut c, &mut rng);
+        assert_eq!(c.counts(), &[5, 10, 45, 45]);
+    }
+
+    #[test]
+    fn eraser_kills_the_weakest_color() {
+        let mut c = Configuration::from_counts(vec![80, 17, 3]);
+        let mut rng = Pcg64::seed_from_u64(9);
+        Eraser::new(3).corrupt(&mut c, &mut rng);
+        assert_eq!(c.counts(), &[83, 17, 0]);
+        assert!(corruption_within_budget(
+            &Configuration::from_counts(vec![80, 17, 3]),
+            &c,
+            3
+        ));
+    }
+
+    #[test]
+    fn eraser_is_idle_at_consensus() {
+        let mut c = Configuration::consensus(50, 3);
+        let before = c.clone();
+        let mut rng = Pcg64::seed_from_u64(10);
+        Eraser::new(10).corrupt(&mut c, &mut rng);
+        assert_eq!(c, before);
+    }
+
+    #[test]
+    fn eraser_accelerates_consensus() {
+        use symbreak_core::rules::ThreeMajority;
+        use crate::runner::{run_adversarial, AdversarialRun};
+        let start = Configuration::uniform(512, 8);
+        let opts = AdversarialRun { max_rounds: 100_000, quorum_fraction: 1.0, seed: 11 };
+        let clean = run_adversarial(&ThreeMajority, &mut Nop, start.clone(), &opts)
+            .stabilized_round
+            .expect("clean run converges");
+        let helped = run_adversarial(&ThreeMajority, &mut Eraser::new(8), start, &opts)
+            .stabilized_round
+            .expect("helped run converges");
+        assert!(helped <= clean, "eraser should not slow things down: {helped} vs {clean}");
+    }
+}

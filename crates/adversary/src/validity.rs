@@ -1,0 +1,84 @@
+//! Byzantine validity tracking.
+//!
+//! Byzantine agreement requires that the system never converges to a color
+//! that no non-corrupted node supported initially (footnote 5 of the
+//! paper). [`ValidityTracker`] records the initially supported ("valid")
+//! colors and judges final configurations against them.
+
+use symbreak_core::{Configuration, Opinion};
+
+/// Tracks the set of valid colors of a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidityTracker {
+    valid: Vec<bool>,
+}
+
+impl ValidityTracker {
+    /// Captures the valid colors from the initial (pre-corruption)
+    /// configuration: every color with non-zero support.
+    pub fn from_initial(config: &Configuration) -> Self {
+        Self { valid: config.counts().iter().map(|&c| c > 0).collect() }
+    }
+
+    /// Whether `color` is valid.
+    pub fn is_valid(&self, color: Opinion) -> bool {
+        self.valid.get(color.index()).copied().unwrap_or(false)
+    }
+
+    /// Number of valid colors.
+    pub fn num_valid(&self) -> usize {
+        self.valid.iter().filter(|&&v| v).count()
+    }
+
+    /// Whether a final configuration satisfies validity under the
+    /// "almost-all" regime: at least `quorum_fraction` of the mass sits on
+    /// a single valid color.
+    pub fn almost_all_valid(&self, config: &Configuration, quorum_fraction: f64) -> bool {
+        assert!((0.0..=1.0).contains(&quorum_fraction), "fraction in [0,1]");
+        let winner = config.plurality();
+        let quorum = (config.n() as f64 * quorum_fraction).ceil() as u64;
+        config.support(winner.index()) >= quorum && self.is_valid(winner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_colors_are_the_initially_supported_ones() {
+        let c = Configuration::from_counts(vec![5, 0, 3, 0]);
+        let t = ValidityTracker::from_initial(&c);
+        assert!(t.is_valid(Opinion::new(0)));
+        assert!(!t.is_valid(Opinion::new(1)));
+        assert!(t.is_valid(Opinion::new(2)));
+        assert_eq!(t.num_valid(), 2);
+        // Out-of-range colors are invalid.
+        assert!(!t.is_valid(Opinion::new(17)));
+    }
+
+    #[test]
+    fn almost_all_valid_accepts_valid_quorum() {
+        let start = Configuration::from_counts(vec![5, 5, 0]);
+        let t = ValidityTracker::from_initial(&start);
+        let end = Configuration::from_counts(vec![9, 1, 0]);
+        assert!(t.almost_all_valid(&end, 0.9));
+        assert!(!t.almost_all_valid(&end, 0.95));
+    }
+
+    #[test]
+    fn almost_all_valid_rejects_invalid_winner() {
+        let start = Configuration::from_counts(vec![5, 5, 0]);
+        let t = ValidityTracker::from_initial(&start);
+        // The adversary manufactured consensus on the initially-dead color.
+        let end = Configuration::from_counts(vec![0, 0, 10]);
+        assert!(!t.almost_all_valid(&end, 0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn bad_quorum_fraction_panics() {
+        let c = Configuration::uniform(4, 2);
+        ValidityTracker::from_initial(&c).almost_all_valid(&c, 1.5);
+    }
+}

@@ -1,0 +1,86 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * zero-slot compaction in the vector engine (the `O(k_remaining)` vs
+//!   `O(k_initial)` per-round cost);
+//! * the binomial sampler's regime split (forcing inversion at large
+//!   means vs letting BTRS take over);
+//! * agent-engine sampling cost as a function of the sample count h.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use symbreak_core::rules::{HMajority, ThreeMajority};
+use symbreak_core::{AgentEngine, Configuration, Engine, VectorEngine};
+use symbreak_sim::dist::Binomial;
+use symbreak_sim::rng::Pcg64;
+
+fn bench_compaction_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_compaction");
+    group.sample_size(10);
+    // Full consensus run from many colors: with compaction the total work
+    // is Σ k_t; without it, rounds × k_initial.
+    for &n in &[4_096u64, 16_384] {
+        group.bench_with_input(BenchmarkId::new("with_compaction", n), &n, |b, &n| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                let mut e =
+                    VectorEngine::new(ThreeMajority, Configuration::singletons(n), seed)
+                        .with_compaction();
+                while !e.is_consensus() {
+                    e.step();
+                }
+                e.round()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("without_compaction", n), &n, |b, &n| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                let mut e =
+                    VectorEngine::new(ThreeMajority, Configuration::singletons(n), seed);
+                while !e.is_consensus() {
+                    e.step();
+                }
+                e.round()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_binomial_regimes(c: &mut Criterion) {
+    // The BTRS/inversion split is at n·min(p,1−p) = 10; probe both sides
+    // of the boundary to justify the threshold.
+    let mut group = c.benchmark_group("ablation_binomial_boundary");
+    let mut rng = Pcg64::seed_from_u64(1);
+    for &np in &[2.0f64, 8.0, 12.0, 50.0] {
+        let n = 10_000u64;
+        let p = np / n as f64;
+        group.bench_with_input(BenchmarkId::new("np", np as u64), &np, |b, _| {
+            let d = Binomial::new(n, p);
+            b.iter(|| d.sample(&mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn bench_agent_engine_h_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_agent_h");
+    group.sample_size(20);
+    let start = Configuration::uniform(4_096, 64);
+    for h in [1usize, 3, 5, 7] {
+        group.bench_with_input(BenchmarkId::new("h", h), &h, |b, &h| {
+            let mut e = AgentEngine::new(HMajority::new(h), &start, 1);
+            b.iter(|| e.step());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_compaction_ablation,
+    bench_binomial_regimes,
+    bench_agent_engine_h_scaling
+);
+criterion_main!(benches);

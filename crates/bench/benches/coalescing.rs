@@ -1,0 +1,35 @@
+//! Coalescing-random-walk stepping and duality-coupling generation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use symbreak_graphs::{CoalescingWalks, DualityCoupling, Graph};
+use symbreak_sim::rng::Pcg64;
+
+fn bench_coalescing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coalescing");
+    group.sample_size(20);
+    let g = Graph::complete(1_024);
+    group.bench_function("full_coalescence_k1024", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = Pcg64::seed_from_u64(seed);
+            let mut w = CoalescingWalks::new(&g);
+            w.run_until(1, u64::MAX, &mut rng).expect("coalesces")
+        });
+    });
+    let small = Graph::complete(128);
+    group.bench_function("duality_coupling_k128", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = Pcg64::seed_from_u64(seed);
+            DualityCoupling::generate_until_coalesced(&small, 1, 1_000_000, &mut rng)
+                .expect("coalesces")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_coalescing);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! End-to-end consensus runs at small n — one bench per headline process,
+//! mirroring the E1/E2/E13 experiment families at benchable scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use symbreak_core::rules::{ThreeMajority, TwoChoices, Voter};
+use symbreak_core::{run_to_consensus, Configuration, RunOptions, VectorEngine, VectorStep};
+
+fn run<R: VectorStep + Clone>(rule: R, start: &Configuration, seed: u64) -> u64 {
+    let mut engine = VectorEngine::new(rule, start.clone(), seed).with_compaction();
+    run_to_consensus(&mut engine, &RunOptions { max_rounds: u64::MAX, record_trace: false })
+        .consensus_round
+        .expect("reaches consensus")
+}
+
+fn bench_consensus(c: &mut Criterion) {
+    let mut group = c.benchmark_group("consensus_from_singletons_n512");
+    group.sample_size(20);
+    let start = Configuration::singletons(512);
+    let mut seed = 0u64;
+    group.bench_function("voter", |b| {
+        b.iter(|| {
+            seed += 1;
+            run(Voter, &start, seed)
+        });
+    });
+    group.bench_function("two_choices", |b| {
+        b.iter(|| {
+            seed += 1;
+            run(TwoChoices, &start, seed)
+        });
+    });
+    group.bench_function("three_majority", |b| {
+        b.iter(|| {
+            seed += 1;
+            run(ThreeMajority, &start, seed)
+        });
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("consensus_biased_n4096");
+    group.sample_size(20);
+    let biased = Configuration::from_counts(vec![3_072, 1_024]);
+    group.bench_function("two_choices_bias", |b| {
+        b.iter(|| {
+            seed += 1;
+            run(TwoChoices, &biased, seed)
+        });
+    });
+    group.bench_function("three_majority_bias", |b| {
+        b.iter(|| {
+            seed += 1;
+            run(ThreeMajority, &biased, seed)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_consensus);
+criterion_main!(benches);

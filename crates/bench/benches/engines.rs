@@ -1,0 +1,28 @@
+//! Round throughput of the two engines: agent-level `O(n·h)` vs
+//! vectorized `O(k)`. The gap is what makes the large-n sweeps (E1–E3)
+//! feasible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use symbreak_core::rules::ThreeMajority;
+use symbreak_core::{AgentEngine, Configuration, Engine, VectorEngine};
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_round");
+    group.sample_size(20);
+    for &n in &[1_024u64, 8_192] {
+        let k = 64usize;
+        let start = Configuration::uniform(n, k);
+        group.bench_with_input(BenchmarkId::new("agent_3M", n), &n, |b, _| {
+            let mut engine = AgentEngine::new(ThreeMajority, &start, 1);
+            b.iter(|| engine.step());
+        });
+        group.bench_with_input(BenchmarkId::new("vector_3M", n), &n, |b, _| {
+            let mut engine = VectorEngine::new(ThreeMajority, start.clone(), 2);
+            b.iter(|| engine.step());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Cost of the majorization primitives used by the dominance machinery.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{Rng, SeedableRng};
+use symbreak_majorization::transfer::transfer_chain;
+use symbreak_majorization::vector::{lorenz_prefix_sums, majorizes};
+use symbreak_sim::rng::Pcg64;
+
+fn bench_majorization(c: &mut Criterion) {
+    let mut rng = Pcg64::seed_from_u64(1);
+    let d = 1_024;
+    let x: Vec<f64> = (0..d).map(|_| rng.gen::<f64>()).collect();
+    let total: f64 = x.iter().sum();
+    let uniform = vec![total / d as f64; d];
+
+    let mut group = c.benchmark_group("majorization");
+    group.bench_function("majorizes_d1024", |b| {
+        b.iter(|| majorizes(&x, &uniform));
+    });
+    group.bench_function("lorenz_prefix_sums_d1024", |b| {
+        b.iter(|| lorenz_prefix_sums(&x));
+    });
+    group.bench_function("transfer_chain_d1024", |b| {
+        b.iter(|| transfer_chain(&x, &uniform, 1e-9).expect("x majorizes uniform"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_majorization);
+criterion_main!(benches);

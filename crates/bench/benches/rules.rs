@@ -1,0 +1,27 @@
+//! Per-rule vectorized one-step cost at fixed configuration size.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use symbreak_core::rules::{ThreeMajority, TwoChoices, Voter};
+use symbreak_core::{Configuration, VectorStep};
+use symbreak_sim::rng::Pcg64;
+
+fn bench_rules(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vector_step");
+    group.sample_size(30);
+    let start = Configuration::uniform(65_536, 256);
+    let mut rng = Pcg64::seed_from_u64(1);
+    group.bench_function("voter_n65536_k256", |b| {
+        b.iter(|| Voter.vector_step(&start, &mut rng));
+    });
+    group.bench_function("two_choices_n65536_k256", |b| {
+        b.iter(|| TwoChoices.vector_step(&start, &mut rng));
+    });
+    group.bench_function("three_majority_n65536_k256", |b| {
+        b.iter(|| ThreeMajority.vector_step(&start, &mut rng));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rules);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Throughput of the from-scratch samplers: binomial (both regimes),
+//! multinomial, and the alias method.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use symbreak_sim::dist::{Binomial, Categorical, Multinomial};
+use symbreak_sim::rng::Pcg64;
+
+fn bench_samplers(c: &mut Criterion) {
+    let mut rng = Pcg64::seed_from_u64(1);
+
+    let mut group = c.benchmark_group("binomial");
+    group.bench_function("inversion_np2.5", |b| {
+        let d = Binomial::new(50, 0.05);
+        b.iter(|| d.sample(&mut rng));
+    });
+    group.bench_function("btrs_np300", |b| {
+        let d = Binomial::new(1_000, 0.3);
+        b.iter(|| d.sample(&mut rng));
+    });
+    group.bench_function("btrs_np500000", |b| {
+        let d = Binomial::new(1_000_000, 0.5);
+        b.iter(|| d.sample(&mut rng));
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("multinomial");
+    for &k in &[16usize, 256, 4_096] {
+        let theta = vec![1.0 / k as f64; k];
+        let m = Multinomial::new(1_000_000, &theta);
+        let mut out = vec![0u64; k];
+        group.bench_function(format!("n1e6_k{k}"), |b| {
+            b.iter(|| m.sample_into(&mut rng, &mut out));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("categorical");
+    let weights: Vec<f64> = (1..=1_024).map(|i| i as f64).collect();
+    let cat = Categorical::new(&weights);
+    group.bench_function("alias_build_k1024", |b| {
+        b.iter(|| Categorical::new(&weights));
+    });
+    group.bench_function("alias_draw_k1024", |b| {
+        b.iter(|| cat.sample(&mut rng));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_samplers);
+criterion_main!(benches);

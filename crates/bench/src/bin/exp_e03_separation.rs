@@ -1,0 +1,69 @@
+//! E3 — Theorem 1 (the headline): a polynomial gap between 3-Majority and
+//! 2-Choices from the n-color configuration.
+//!
+//! Both processes have identical expected one-step behaviour (footnote 2,
+//! validated by E8), yet their consensus times diverge polynomially: the
+//! ratio `T_{2C} / T_{3M}` must grow with n, and the gap in fitted
+//! exponents must be clearly positive.
+
+use symbreak_bench::{consensus_times, scaled_trials, section, verdict, HeadlineRule};
+use symbreak_core::Configuration;
+use symbreak_stats::table::fmt_f64;
+use symbreak_stats::{fit_power_law, Summary, Table};
+
+fn main() {
+    println!("# E3: the 3-Majority vs 2-Choices separation (Theorem 1)");
+    let trials = scaled_trials(15);
+    let sizes: Vec<u64> = (8..=13).map(|e| 1u64 << e).collect();
+
+    section("Head-to-head consensus times from the n-color configuration");
+    let mut table =
+        Table::new(vec!["n", "3-Majority mean", "2-Choices mean", "ratio 2C/3M"]);
+    let mut xs = Vec::new();
+    let mut y3 = Vec::new();
+    let mut y2 = Vec::new();
+    let mut ratios = Vec::new();
+    for (i, &n) in sizes.iter().enumerate() {
+        let start = Configuration::singletons(n);
+        let t3 = Summary::of_counts(&consensus_times(
+            HeadlineRule::ThreeMajority,
+            &start,
+            trials,
+            400 + i as u64,
+        ));
+        let t2 = Summary::of_counts(&consensus_times(
+            HeadlineRule::TwoChoices,
+            &start,
+            trials,
+            500 + i as u64,
+        ));
+        let ratio = t2.mean() / t3.mean();
+        ratios.push(ratio);
+        xs.push(n as f64);
+        y3.push(t3.mean());
+        y2.push(t2.mean());
+        table.row(vec![
+            n.to_string(),
+            fmt_f64(t3.mean()),
+            fmt_f64(t2.mean()),
+            fmt_f64(ratio),
+        ]);
+    }
+    println!("{table}");
+
+    let fit3 = fit_power_law(&xs, &y3);
+    let fit2 = fit_power_law(&xs, &y2);
+    println!(
+        "3-Majority exponent: {:.3} (R²={:.3});  2-Choices exponent: {:.3} (R²={:.3})",
+        fit3.exponent, fit3.r_squared, fit2.exponent, fit2.r_squared
+    );
+    println!("paper: 3-Majority O(n^{{3/4}} log^{{7/8}} n)  vs  2-Choices Ω(n/log n) — a polynomial gap");
+
+    let ratio_grows = ratios.last().expect("non-empty") > ratios.first().expect("non-empty");
+    let exponent_gap = fit2.exponent - fit3.exponent;
+    verdict(
+        "E3",
+        "the 2C/3M consensus-time ratio diverges with n (polynomial exponent gap, 3-Majority wins)",
+        ratio_grows && exponent_gap > 0.2,
+    );
+}

@@ -1,0 +1,79 @@
+//! E5 — Lemma 3: Voter reduces n colors to k w.h.p. in `O((n/k) log n)`
+//! rounds, with `E[T^k_V] = E[T^k_C] ≤ 20·n/k` (Equation (19)).
+//!
+//! Regenerates the mean hitting-time series over a k-grid and compares
+//! against both the expectation bound (with the paper's constant 20) and
+//! the w.h.p. bound; also cross-checks `T^k_V` against the coalescence
+//! time `T^k_C` measured on the same complete graph (they must agree in
+//! distribution — exact equality per realization is E6's job).
+
+use symbreak_bench::{hitting_times, scaled_trials, section, verdict, HeadlineRule};
+use symbreak_core::theory::{lemma3_expectation_bound, lemma3_whp_bound};
+use symbreak_core::Configuration;
+use symbreak_graphs::{coalescence_time, Graph};
+use symbreak_sim::rng::Pcg64;
+use symbreak_sim::run_trials;
+use symbreak_stats::table::fmt_f64;
+use symbreak_stats::{Summary, Table};
+
+fn main() {
+    println!("# E5: Voter color-reduction bound (Lemma 3)");
+    let n: u64 = 4096;
+    let trials = scaled_trials(30);
+    let start = Configuration::singletons(n);
+
+    section("Mean T^k of Voter vs the Lemma-3 bounds (n = 4096)");
+    let mut table = Table::new(vec![
+        "k",
+        "mean T^k Voter",
+        "p99 T^k",
+        "E-bound 20n/k",
+        "whp bound (n/k)ln n",
+        "within E-bound",
+    ]);
+    let mut all_within = true;
+    for (i, &k) in [2048u64, 512, 128, 32, 8, 2, 1].iter().enumerate() {
+        let tv = hitting_times(HeadlineRule::Voter, &start, k as usize, trials, 800 + i as u64);
+        let s = Summary::of_counts(&tv);
+        let ebound = lemma3_expectation_bound(n, k);
+        let whp = lemma3_whp_bound(n, k);
+        let ok = s.mean() <= ebound;
+        all_within &= ok;
+        table.row(vec![
+            k.to_string(),
+            fmt_f64(s.mean()),
+            fmt_f64(s.quantile(0.99)),
+            fmt_f64(ebound),
+            fmt_f64(whp),
+            if ok { "✓".into() } else { "exceeded".to_string() },
+        ]);
+    }
+    println!("{table}");
+
+    section("Cross-check: coalescing random walks on K_n (duality, in distribution)");
+    // The complete-graph coalescence excludes self-sampling (walks move to
+    // a uniform *neighbor*), while the paper's Voter samples uniformly
+    // among all n nodes; the (1 − 1/n) factor is absorbed by the bound.
+    let n_small = 1024usize;
+    let mut table2 = Table::new(vec!["k", "mean T^k_C (K_1024)", "E-bound 20n/k"]);
+    let mut coalescence_ok = true;
+    for (i, &k) in [64usize, 8, 1].iter().enumerate() {
+        let times = run_trials(trials, 900 + i as u64, move |_t, s| {
+            use rand::SeedableRng;
+            let g = Graph::complete(n_small);
+            let mut rng = Pcg64::seed_from_u64(s);
+            coalescence_time(&g, k, u64::MAX, &mut rng).expect("uncapped")
+        });
+        let s = Summary::of_counts(&times);
+        let ebound = lemma3_expectation_bound(n_small as u64, k as u64);
+        coalescence_ok &= s.mean() <= ebound;
+        table2.row(vec![k.to_string(), fmt_f64(s.mean()), fmt_f64(ebound)]);
+    }
+    println!("{table2}");
+
+    verdict(
+        "E5",
+        "E[T^k] of Voter and of coalescing walks stay below 20·n/k across the k-grid",
+        all_within && coalescence_ok,
+    );
+}

@@ -1,0 +1,80 @@
+//! E6 — Lemma 4 / Figure 1: the exact Voter/coalescence coupling.
+//!
+//! Materializes the arrow field `Y_t(u)`, runs coalescing walks forward
+//! and the Voter process over the *same* arrows in reverse, and checks
+//! `T^k_V = T^k_C` **exactly per realization** — for every τ, on the
+//! complete graph and on general graphs. This is the strongest possible
+//! validation: not a statistical match but a per-sample identity.
+
+use rand::SeedableRng;
+use symbreak_bench::{scaled_trials, section, verdict};
+use symbreak_graphs::{voter_time_from_coupling, DualityCoupling, Graph};
+use symbreak_sim::rng::Pcg64;
+use symbreak_stats::Table;
+
+fn main() {
+    println!("# E6: the Voter/coalescence duality, exactly (Lemma 4, Figure 1)");
+    let trials = scaled_trials(20);
+
+    section("Per-realization identity T^k_V = T^k_C across graphs and k");
+    let mut table = Table::new(vec![
+        "graph",
+        "k",
+        "trials",
+        "exact matches",
+        "per-τ identity holds",
+    ]);
+    let mut all_exact = true;
+    // Bipartite graphs (the 6-cube) can never coalesce below 2 walks under
+    // synchronous steps — walks at odd distance preserve parity — so their
+    // k-grid starts at 2.
+    let graphs: Vec<(&str, Graph, Vec<usize>)> = vec![
+        ("K_64", Graph::complete(64), vec![1, 4]),
+        ("K_256", Graph::complete(256), vec![1, 4]),
+        ("cycle_33", Graph::cycle(33), vec![1, 4]),
+        ("torus_5x5", Graph::torus(5, 5), vec![1, 4]),
+        ("hypercube_6", Graph::hypercube(6), vec![2, 8]),
+        ("random_4_regular_64", {
+            let mut rng = Pcg64::seed_from_u64(1);
+            Graph::random_regular(64, 4, &mut rng)
+        }, vec![1, 4]),
+    ];
+    for (gi, (name, g, ks)) in graphs.iter().enumerate() {
+        for (ki, &k) in ks.iter().enumerate() {
+            let mut matches = 0u64;
+            let mut tau_identity = true;
+            for t in 0..trials {
+                let mut rng = Pcg64::seed_from_u64(1000 + 97 * gi as u64 + 13 * ki as u64 + t);
+                let Some((coupling, t_c)) =
+                    DualityCoupling::generate_until_coalesced(g, k, 5_000_000, &mut rng)
+                else {
+                    continue;
+                };
+                let t_v = voter_time_from_coupling(&coupling, k);
+                if t_v == Some(t_c) {
+                    matches += 1;
+                }
+                // Full per-τ check on the first trial of each cell (it is
+                // O(T²·n)).
+                if t == 0 {
+                    tau_identity &= coupling.verify_identity();
+                }
+            }
+            all_exact &= matches == trials && tau_identity;
+            table.row(vec![
+                name.to_string(),
+                k.to_string(),
+                trials.to_string(),
+                format!("{matches}/{trials}"),
+                if tau_identity { "✓".into() } else { "VIOLATED".to_string() },
+            ]);
+        }
+    }
+    println!("{table}");
+
+    verdict(
+        "E6",
+        "T^k_V equals T^k_C exactly in every realization, on every graph tested (Lemma 4)",
+        all_exact,
+    );
+}

@@ -1,0 +1,113 @@
+//! E7 — Equation (2) / Section 2.2: the one-step law of an AC-process is
+//! `Mult(n, α(c))`.
+//!
+//! For 3-Majority and Voter, compares (a) the agent-level engine — each
+//! node literally pulls samples and applies its rule — against (b) a
+//! single multinomial draw from the analytic process function. The
+//! per-color marginal distributions must agree (two-sample KS below
+//! threshold) and the empirical means must match `n·α_i(c)`.
+
+use symbreak_bench::{scaled_trials, section, verdict};
+use symbreak_core::rules::{alpha_three_majority, ThreeMajority, ThreeMajorityAlt, Voter};
+use symbreak_core::{AgentEngine, Configuration, Engine, UpdateRule, VectorStep};
+use symbreak_sim::run_trials;
+use symbreak_stats::ecdf::ks_threshold;
+use symbreak_stats::table::fmt_f64;
+use symbreak_stats::{StochasticOrder, Summary, Table};
+
+fn one_round_supports<R>(rule: R, start: &Configuration, trials: u64, seed: u64) -> Vec<Vec<u64>>
+where
+    R: UpdateRule + Clone + Send + Sync,
+{
+    let start = start.clone();
+    run_trials(trials, seed, move |_t, s| {
+        let mut engine = AgentEngine::new(rule.clone(), &start, s);
+        engine.step();
+        engine.configuration().counts().to_vec()
+    })
+}
+
+fn one_round_vector<R>(rule: R, start: &Configuration, trials: u64, seed: u64) -> Vec<Vec<u64>>
+where
+    R: VectorStep + Clone + Send + Sync,
+{
+    let start = start.clone();
+    run_trials(trials, seed, move |_t, s| {
+        use rand::SeedableRng;
+        let mut rng = symbreak_sim::rng::Pcg64::seed_from_u64(s);
+        rule.vector_step(&start, &mut rng).counts().to_vec()
+    })
+}
+
+fn main() {
+    println!("# E7: the AC one-step law — agent simulation vs Mult(n, α(c))");
+    let trials = scaled_trials(4_000);
+    let start = Configuration::from_counts(vec![200, 150, 100, 50, 12]);
+    let n = start.n();
+
+    section("3-Majority: per-color marginals, agent engine vs multinomial law");
+    let agent = one_round_supports(ThreeMajority, &start, trials, 1100);
+    let vector = one_round_vector(ThreeMajority, &start, trials, 1200);
+    let alpha = alpha_three_majority(&start);
+    let mut table = Table::new(vec![
+        "color",
+        "n·alpha_i",
+        "agent mean",
+        "mult mean",
+        "KS(agent, mult)",
+        "KS threshold",
+    ]);
+    let mut all_ok = true;
+    let threshold = ks_threshold(trials as usize, trials as usize, 1.63);
+    for i in 0..start.num_slots() {
+        let a: Vec<u64> = agent.iter().map(|c| c[i]).collect();
+        let v: Vec<u64> = vector.iter().map(|c| c[i]).collect();
+        let ks = StochasticOrder::test_counts(&a, &v).ks;
+        let expect = n as f64 * alpha[i];
+        let ma = Summary::of_counts(&a);
+        let mv = Summary::of_counts(&v);
+        // 5-sigma check on both means against n·alpha.
+        let sd = (n as f64 * alpha[i] * (1.0 - alpha[i]) / trials as f64).sqrt();
+        let means_ok =
+            (ma.mean() - expect).abs() < 5.0 * sd + 1e-9 && (mv.mean() - expect).abs() < 5.0 * sd + 1e-9;
+        let ks_ok = ks < threshold;
+        all_ok &= means_ok && ks_ok;
+        table.row(vec![
+            i.to_string(),
+            fmt_f64(expect),
+            fmt_f64(ma.mean()),
+            fmt_f64(mv.mean()),
+            fmt_f64(ks),
+            fmt_f64(threshold),
+        ]);
+    }
+    println!("{table}");
+
+    section("Reformulated 3-Majority (2-Choices + Voter fallback) is the same process");
+    let alt = one_round_supports(ThreeMajorityAlt, &start, trials, 1300);
+    let mut alt_ok = true;
+    for i in 0..start.num_slots() {
+        let a: Vec<u64> = alt.iter().map(|c| c[i]).collect();
+        let d: Vec<u64> = agent.iter().map(|c| c[i]).collect();
+        let ks = StochasticOrder::test_counts(&a, &d).ks;
+        alt_ok &= ks < threshold;
+    }
+    println!("max per-color KS(direct, reformulated) below threshold: {alt_ok}");
+
+    section("Voter sanity: agent engine vs Mult(n, c/n)");
+    let va = one_round_supports(Voter, &start, trials, 1400);
+    let vv = one_round_vector(Voter, &start, trials, 1500);
+    let mut voter_ok = true;
+    for i in 0..start.num_slots() {
+        let a: Vec<u64> = va.iter().map(|c| c[i]).collect();
+        let v: Vec<u64> = vv.iter().map(|c| c[i]).collect();
+        voter_ok &= StochasticOrder::test_counts(&a, &v).ks < threshold;
+    }
+    println!("all Voter marginals match: {voter_ok}");
+
+    verdict(
+        "E7",
+        "agent-level rounds are distributed as Mult(n, α(c)) for the AC-processes (Eq. (1)/(2))",
+        all_ok && alt_ok && voter_ok,
+    );
+}

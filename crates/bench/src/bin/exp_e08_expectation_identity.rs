@@ -1,0 +1,78 @@
+//! E8 — Footnote 2: 2-Choices and 3-Majority have *identical* expectation
+//! `E[x_i'] = x_i² + (1 − Σ x_j²)·x_i`, even though their consensus times
+//! separate polynomially (E3).
+//!
+//! Checks the identity exactly (analytically, over random configurations)
+//! and empirically (simulated one-round means of both processes coincide).
+
+use rand::SeedableRng;
+use symbreak_bench::{scaled_trials, section, verdict};
+use symbreak_core::dominance::random_configuration;
+use symbreak_core::rules::{ThreeMajority, TwoChoices};
+use symbreak_core::{Configuration, ExpectedUpdate, VectorStep};
+use symbreak_sim::rng::Pcg64;
+use symbreak_sim::run_trials;
+use symbreak_stats::table::fmt_f64;
+use symbreak_stats::{Summary, Table};
+
+fn main() {
+    println!("# E8: 2-Choices and 3-Majority agree in expectation (footnote 2)");
+
+    section("Analytic identity over random configurations");
+    let mut rng = Pcg64::seed_from_u64(61);
+    let mut max_diff = 0.0f64;
+    let configs = 5_000;
+    for _ in 0..configs {
+        let c = random_configuration(997, 12, &mut rng);
+        let e2 = TwoChoices.expected_fractions(&c);
+        let e3 = ThreeMajority.expected_fractions(&c);
+        for (a, b) in e2.iter().zip(&e3) {
+            max_diff = max_diff.max((a - b).abs());
+        }
+    }
+    println!("max |E_2C − E_3M| over {configs} random configurations: {max_diff:.2e}");
+    let analytic_ok = max_diff < 1e-12;
+
+    section("Empirical one-round means (n = 600)");
+    let start = Configuration::from_counts(vec![300, 200, 100]);
+    let trials = scaled_trials(20_000);
+    let mean_of = |two_choices: bool, seed: u64| -> Vec<f64> {
+        let start = start.clone();
+        let sums = run_trials(trials, seed, move |_t, s| {
+            let mut rng = Pcg64::seed_from_u64(s);
+            let next = if two_choices {
+                TwoChoices.vector_step(&start, &mut rng)
+            } else {
+                ThreeMajority.vector_step(&start, &mut rng)
+            };
+            next.counts().to_vec()
+        });
+        (0..3)
+            .map(|i| {
+                Summary::of_counts(&sums.iter().map(|c| c[i]).collect::<Vec<_>>()).mean()
+            })
+            .collect()
+    };
+    let m2 = mean_of(true, 62);
+    let m3 = mean_of(false, 63);
+    let expect = TwoChoices.expected_fractions(&start);
+    let mut table = Table::new(vec!["color", "n·E[x']", "2-Choices mean", "3-Majority mean"]);
+    let mut empirical_ok = true;
+    for i in 0..3 {
+        let e = 600.0 * expect[i];
+        // Generous 5-sigma-ish window.
+        let tol = 5.0 * (600.0 * expect[i] * (1.0 - expect[i]) / trials as f64).sqrt() + 1e-9;
+        empirical_ok &= (m2[i] - e).abs() < tol && (m3[i] - e).abs() < tol;
+        table.row(vec![i.to_string(), fmt_f64(e), fmt_f64(m2[i]), fmt_f64(m3[i])]);
+    }
+    println!("{table}");
+    println!(
+        "(contrast with E3: identical expectations, polynomially separated consensus times)"
+    );
+
+    verdict(
+        "E8",
+        "E[2-Choices] == E[3-Majority] == x² + (1 − ‖x‖²)x, analytically and empirically",
+        analytic_ok && empirical_ok,
+    );
+}

@@ -1,0 +1,46 @@
+//! E9 — Appendix B: Lemma 1 cannot prove the h-Majority hierarchy
+//! (Conjecture 1), computed in exact rational arithmetic.
+//!
+//! With `x = (1/2, 1/6, 1/6, 1/6)` and `x̃ = (1/2, 1/2, 0, 0)`:
+//! `x̃ ⪰ x`, `α^{(4M)}(x̃) = x̃`, yet `α^{(3M)}(x)₁ = 7/12 > 1/2`
+//! (Equation (24)) — so `α^{(4M)}(x̃)` fails to majorize `α^{(3M)}(x)`
+//! and the coupling hypothesis collapses.
+
+use symbreak_bench::{section, verdict};
+use symbreak_core::counterexample::{appendix_b_report, Rational};
+use symbreak_stats::Table;
+
+fn main() {
+    println!("# E9: the Appendix-B counterexample, exactly");
+    let report = appendix_b_report();
+
+    section("The configurations and process functions (exact rationals)");
+    let mut table = Table::new(vec!["vector", "components"]);
+    let fmt = |v: &[Rational]| {
+        v.iter().map(|r| r.to_string()).collect::<Vec<_>>().join(", ")
+    };
+    table.row(vec!["x".into(), fmt(&report.x)]);
+    table.row(vec!["x̃".into(), fmt(&report.x_tilde)]);
+    table.row(vec!["α^(3M)(x)".into(), fmt(&report.alpha_3m)]);
+    table.row(vec!["α^(4M)(x̃)".into(), fmt(&report.alpha_4m)]);
+    println!("{table}");
+
+    section("The verdict chain");
+    println!("x̃ ⪰ x (premise of Lemma 1 with c = x̃, c̃ = x): {}", report.premise_holds);
+    println!(
+        "α^(4M)(x̃) ⪰ α^(3M)(x) (what the hierarchy proof would need): {}",
+        report.conclusion_holds
+    );
+    println!(
+        "witness: α^(3M)(x)₁ = {} = 7/12 > 1/2 = α^(4M)(x̃)₁  (Equation (24))",
+        report.alpha_3m[0]
+    );
+
+    let seven_twelfths = report.alpha_3m[0] == Rational::new(7, 12);
+    let half = report.alpha_4m[0] == Rational::new(1, 2);
+    verdict(
+        "E9",
+        "exact reproduction of Appendix B: premise holds, conclusion fails, α₁ = 7/12 exactly",
+        report.premise_holds && !report.conclusion_holds && seven_twelfths && half,
+    );
+}

@@ -1,0 +1,62 @@
+//! E10 — Conjecture 1: the h-Majority hierarchy. `(h+1)`-Majority should
+//! be stochastically faster than `h`-Majority; the paper proves it for
+//! `h ∈ {1, 2, 3}` (Voter = 1-/2-Majority ⪯ 3-Majority via Lemma 2) and
+//! conjectures the rest.
+//!
+//! Measures mean consensus times for `h ∈ {1..6}` from a uniform k-color
+//! configuration using the agent-level engine (the exact α enumeration is
+//! exponential in h). PASS = monotone non-increasing means (within noise)
+//! and a strict drop from h=2 (Voter) to h=3 (the proven part).
+
+use symbreak_bench::{scaled_trials, section, verdict};
+use symbreak_core::rules::HMajority;
+use symbreak_core::{AgentEngine, Configuration, Engine};
+use symbreak_sim::run_trials;
+use symbreak_stats::table::fmt_f64;
+use symbreak_stats::{Summary, Table};
+
+fn main() {
+    println!("# E10: the h-Majority hierarchy (Conjecture 1, empirical)");
+    let n: u64 = 2048;
+    let k = 32;
+    let trials = scaled_trials(20);
+    let start = Configuration::uniform(n, k);
+
+    section("Mean consensus time vs h (agent engine, n = 2048, k = 32 uniform)");
+    let mut table = Table::new(vec!["h", "mean rounds", "sd", "p95"]);
+    let mut means = Vec::new();
+    for h in 1..=6usize {
+        let start = start.clone();
+        let times = run_trials(trials, 1700 + h as u64, move |_t, s| {
+            let mut engine = AgentEngine::new(HMajority::new(h), &start, s);
+            let mut rounds = 0u64;
+            while !engine.is_consensus() {
+                engine.step();
+                rounds += 1;
+            }
+            rounds
+        });
+        let s = Summary::of_counts(&times);
+        means.push(s.mean());
+        table.row(vec![
+            h.to_string(),
+            fmt_f64(s.mean()),
+            fmt_f64(s.std_dev()),
+            fmt_f64(s.quantile(0.95)),
+        ]);
+    }
+    println!("{table}");
+    println!("(h = 1, 2 are both exactly Voter; the paper proves Voter ⪰st 3-Majority)");
+
+    // Monotone non-increasing within 10% noise slack; strict drop 2 -> 3.
+    let mut monotone = true;
+    for w in means.windows(2) {
+        monotone &= w[1] <= w[0] * 1.10;
+    }
+    let proven_drop = means[2] < means[1] * 0.8;
+    verdict(
+        "E10",
+        "consensus time is monotone non-increasing in h, with a strict Voter→3-Majority drop",
+        monotone && proven_drop,
+    );
+}

@@ -1,0 +1,91 @@
+//! E11 — Section 1.1 / footnote 4: in the *biased* regime the separation
+//! vanishes. With bias `Ω(√(n log n))`, both 2-Choices and 3-Majority
+//! converge to the initially-largest color in comparable (sublinear) time;
+//! the E3 gap is a many-colors/no-bias phenomenon.
+//!
+//! Sweeps the initial bias in units of `√(n ln n)` for k ∈ {2, 16} and
+//! reports, per process: win probability of the planted color and mean
+//! consensus time.
+
+use symbreak_bench::{scaled_trials, section, verdict, HeadlineRule};
+use symbreak_core::{Configuration, Opinion, RunOptions, VectorEngine};
+use symbreak_sim::run_trials;
+use symbreak_stats::table::fmt_f64;
+use symbreak_stats::{Summary, Table};
+
+fn run_cell(
+    rule: HeadlineRule,
+    start: &Configuration,
+    trials: u64,
+    seed: u64,
+) -> (f64, f64) {
+    let start = start.clone();
+    let results = run_trials(trials, seed, move |_t, s| {
+        // No compaction: color identity matters (we track color 0).
+        let mut engine = VectorEngine::new(rule, start.clone(), s);
+        let out = symbreak_core::run_to_consensus(
+            &mut engine,
+            &RunOptions { max_rounds: u64::MAX, record_trace: false },
+        );
+        let winner = out.winner.expect("consensus reached");
+        (winner == Opinion::new(0), out.consensus_round.expect("reached"))
+    });
+    let wins = results.iter().filter(|r| r.0).count() as f64 / trials as f64;
+    let mean =
+        Summary::of_counts(&results.iter().map(|r| r.1).collect::<Vec<_>>()).mean();
+    (wins, mean)
+}
+
+fn main() {
+    println!("# E11: the biased regime — the separation vanishes (Section 1.1)");
+    let n: u64 = 16384;
+    let trials = scaled_trials(25);
+    let unit = ((n as f64) * (n as f64).ln()).sqrt(); // √(n ln n) ≈ 398
+
+    section("Win probability of the planted color and mean consensus time");
+    let mut table = Table::new(vec![
+        "k",
+        "bias/√(n·ln n)",
+        "2C win prob",
+        "3M win prob",
+        "2C mean rounds",
+        "3M mean rounds",
+        "ratio 2C/3M",
+    ]);
+    let mut biased_rows: Vec<(f64, f64, f64)> = Vec::new(); // (win2, win3, ratio)
+    for (ki, &k) in [2usize, 16].iter().enumerate() {
+        for (bi, &mult) in [0.0f64, 1.0, 2.0, 4.0].iter().enumerate() {
+            let bias = (mult * unit).round() as u64;
+            let start = Configuration::biased(n, k, bias);
+            let seed = 1900 + 100 * ki as u64 + 10 * bi as u64;
+            let (w2, t2) = run_cell(HeadlineRule::TwoChoices, &start, trials, seed);
+            let (w3, t3) = run_cell(HeadlineRule::ThreeMajority, &start, trials, seed + 5);
+            if mult >= 2.0 {
+                biased_rows.push((w2, w3, t2 / t3));
+            }
+            table.row(vec![
+                k.to_string(),
+                fmt_f64(mult),
+                fmt_f64(w2),
+                fmt_f64(w3),
+                fmt_f64(t2),
+                fmt_f64(t3),
+                fmt_f64(t2 / t3),
+            ]);
+        }
+    }
+    println!("{table}");
+    println!("(k is small here, so both processes are fast even at bias 0 — the");
+    println!(" E3 separation needs *many* colors; what changes with bias is the");
+    println!(" planted color's win probability and the shrinking 2C/3M ratio.)");
+
+    // In the clearly-biased cells, both processes must elect the planted
+    // color essentially always, and their times must be comparable.
+    let all_win = biased_rows.iter().all(|r| r.0 >= 0.95 && r.1 >= 0.95);
+    let comparable = biased_rows.iter().all(|r| r.2 < 4.0);
+    verdict(
+        "E11",
+        "with bias ≥ 2√(n ln n) both processes elect the planted color and run in comparable time",
+        all_win && comparable,
+    );
+}

@@ -1,0 +1,109 @@
+//! E12 — Section 5: fault tolerance. 3-Majority tolerates a round-wise
+//! adversary corrupting `F = O(√n / (k^{5/2} log n))` nodes (\[BCN+16\]),
+//! converging to an almost-all regime on a **valid** color; far larger
+//! budgets (e.g. a Θ(n) split-keeper) stall it.
+//!
+//! Sweeps F for three adversary strategies and reports stabilization rate
+//! (quorum 0.9), mean stabilization time, and validity.
+
+use symbreak_adversary::{
+    run_adversarial, AdversarialRun, MinoritySupporter, Nop, RandomFlipper, SplitKeeper,
+};
+use symbreak_bench::{scaled_trials, section, verdict};
+use symbreak_core::rules::ThreeMajority;
+use symbreak_core::theory::three_majority_tolerated_corruptions;
+use symbreak_core::Configuration;
+use symbreak_sim::{run_trials, trial_seed};
+use symbreak_stats::table::fmt_f64;
+use symbreak_stats::Table;
+
+fn main() {
+    println!("# E12: 3-Majority under round-wise Byzantine corruption (Section 5)");
+    let n: u64 = 4096;
+    let k = 4usize;
+    let trials = scaled_trials(15);
+    let max_rounds = 30_000u64;
+    let start = Configuration::uniform(n, k);
+    println!(
+        "\ntheory scale: tolerated F ~ √n/(k^2.5 ln n) = {:.2} (constants unspecified)",
+        three_majority_tolerated_corruptions(n, k as u64)
+    );
+
+    section("Stabilization (quorum 0.9) and validity per adversary and budget F");
+    let mut table = Table::new(vec![
+        "adversary",
+        "F",
+        "stabilized",
+        "valid winner",
+        "mean rounds (stabilized runs)",
+    ]);
+    let mut tolerated_ok = true;
+    let mut stalled_ok = true;
+
+    let budgets = [0u64, 1, 4, 16, 64, 256];
+    for &f in &budgets {
+        for strat in ["RandomFlipper", "MinoritySupporter", "SplitKeeper"] {
+            let start = start.clone();
+            let results = run_trials(trials, 2100 + f, move |t, _s| {
+                let opts = AdversarialRun {
+                    max_rounds,
+                    quorum_fraction: 0.9,
+                    seed: trial_seed(3000 + f, t),
+                };
+                let out = match strat {
+                    "RandomFlipper" => run_adversarial(
+                        &ThreeMajority,
+                        &mut RandomFlipper::new(f),
+                        start.clone(),
+                        &opts,
+                    ),
+                    "MinoritySupporter" => run_adversarial(
+                        &ThreeMajority,
+                        &mut MinoritySupporter::new(f, 4),
+                        start.clone(),
+                        &opts,
+                    ),
+                    "SplitKeeper" => run_adversarial(
+                        &ThreeMajority,
+                        &mut SplitKeeper::new(f),
+                        start.clone(),
+                        &opts,
+                    ),
+                    _ => run_adversarial(&ThreeMajority, &mut Nop, start.clone(), &opts),
+                };
+                (out.stabilized_round, out.valid)
+            });
+            let stabilized = results.iter().filter(|r| r.0.is_some()).count();
+            let valid = results.iter().filter(|r| r.0.is_some() && r.1).count();
+            let mean_rounds = {
+                let v: Vec<u64> = results.iter().filter_map(|r| r.0).collect();
+                if v.is_empty() {
+                    f64::NAN
+                } else {
+                    v.iter().sum::<u64>() as f64 / v.len() as f64
+                }
+            };
+            // Tolerance claim: tiny budgets never hurt; giant SplitKeeper stalls.
+            if f <= 1 {
+                tolerated_ok &= stabilized == trials as usize && valid == stabilized;
+            }
+            if f == 256 && strat == "SplitKeeper" {
+                stalled_ok &= stabilized == 0;
+            }
+            table.row(vec![
+                strat.to_string(),
+                f.to_string(),
+                format!("{stabilized}/{trials}"),
+                format!("{valid}/{stabilized}"),
+                if mean_rounds.is_nan() { "-".into() } else { fmt_f64(mean_rounds) },
+            ]);
+        }
+    }
+    println!("{table}");
+
+    verdict(
+        "E12",
+        "small budgets are tolerated with a valid winner; a Θ(n)-budget split-keeper stalls consensus",
+        tolerated_ok && stalled_ok,
+    );
+}

@@ -1,0 +1,67 @@
+//! E14 — the scope limit of Theorem 2: it is **false** for non-AC
+//! processes. 2-Choices *dominates* Voter in expectation (Definition 2 —
+//! its expectation equals 3-Majority's), yet from many-color
+//! configurations its hitting times are far *larger* than Voter's, the
+//! opposite of what Theorem 2 would conclude. The AC hypothesis (update
+//! independent of the node's own state) is therefore essential.
+
+use rand::SeedableRng;
+use symbreak_bench::{hitting_times, scaled_trials, section, verdict, HeadlineRule};
+use symbreak_core::dominance::{expected_majorizes, random_majorizing_pair};
+use symbreak_core::rules::{TwoChoices, Voter};
+use symbreak_core::Configuration;
+use symbreak_sim::rng::Pcg64;
+use symbreak_stats::table::fmt_f64;
+use symbreak_stats::{StochasticOrder, Summary, Table};
+
+fn main() {
+    println!("# E14: Theorem 2 fails without the AC hypothesis (2-Choices vs Voter)");
+    let n: u64 = 2048;
+    let trials = scaled_trials(200);
+    let start = Configuration::singletons(n);
+
+    section("Premise: 2-Choices dominates Voter in expectation (Definition 2)");
+    let mut rng = Pcg64::seed_from_u64(71);
+    let pairs = 2_000;
+    let mut dominates = true;
+    for _ in 0..pairs {
+        let (c, ct) = random_majorizing_pair(256, 8, 4, &mut rng);
+        dominates &= expected_majorizes(&TwoChoices, &Voter, &c, &ct);
+    }
+    println!("E[2C(c)] ⪰ E[V(c̃)] on {pairs} random majorizing pairs: {dominates}");
+
+    section("…but the Theorem-2 conclusion is inverted (n = 2048, singleton start)");
+    let mut table = Table::new(vec![
+        "kappa",
+        "mean T^k 2-Choices",
+        "mean T^k Voter",
+        "2C ≤st Voter (Thm-2 prediction)",
+        "Voter ≤st 2C (actual)",
+    ]);
+    let mut inversion = true;
+    for (i, &kappa) in [512usize, 128, 32].iter().enumerate() {
+        let t2 = hitting_times(HeadlineRule::TwoChoices, &start, kappa, trials, 2600 + i as u64);
+        let tv = hitting_times(HeadlineRule::Voter, &start, kappa, trials, 2700 + i as u64);
+        let predicted = StochasticOrder::test_counts(&t2, &tv); // 2C ≤st V?
+        let actual = StochasticOrder::test_counts(&tv, &t2); // V ≤st 2C?
+        let pred_fails = predicted.max_violation > 0.5; // decisively violated
+        let actual_holds = actual.holds_within(0.05);
+        inversion &= pred_fails && actual_holds;
+        table.row(vec![
+            kappa.to_string(),
+            fmt_f64(Summary::of_counts(&t2).mean()),
+            fmt_f64(Summary::of_counts(&tv).mean()),
+            if pred_fails { "decisively violated".into() } else { "held?!".to_string() },
+            if actual_holds { "holds ✓".into() } else { "violated".to_string() },
+        ]);
+    }
+    println!("{table}");
+    println!("(2-Choices keeps its own color on mismatch — its update depends on the");
+    println!(" node's state, so it is not an AC-process and Theorem 2 does not apply.)");
+
+    verdict(
+        "E14",
+        "2-Choices dominates Voter in expectation yet is stochastically *slower* — Theorem 2 needs AC",
+        dominates && inversion,
+    );
+}

@@ -1,0 +1,61 @@
+//! E15 — the structure of Theorem 4's proof, measured: the run splits at
+//! `n^{1/4} log^{1/8} n` colors into Phase 1 (bounded via the Voter
+//! coupling, Lemmas 2+3) and Phase 2 (bounded via Theorem 8), each
+//! `O(n^{3/4} log^{7/8} n)`.
+//!
+//! Reports mean Phase-1/Phase-2 durations per n, checks both stay below
+//! the bound, and shows which phase dominates in practice.
+
+use symbreak_bench::{scaled_trials, section, verdict};
+use symbreak_core::phases::measure_phases;
+use symbreak_core::rules::ThreeMajority;
+use symbreak_core::theory::{phase_split_colors, theorem4_bound};
+use symbreak_core::{Configuration, VectorEngine};
+use symbreak_sim::run_trials;
+use symbreak_stats::table::fmt_f64;
+use symbreak_stats::{Summary, Table};
+
+fn main() {
+    println!("# E15: Theorem 4's phase decomposition, measured");
+    let trials = scaled_trials(20);
+    let sizes: Vec<u64> = (10..=16).map(|e| 1u64 << e).collect();
+
+    section("Phase durations from the n-color configuration (3-Majority)");
+    let mut table = Table::new(vec![
+        "n",
+        "split colors",
+        "mean phase 1",
+        "mean phase 2",
+        "phase1 share",
+        "bound",
+    ]);
+    let mut all_below = true;
+    for (i, &n) in sizes.iter().enumerate() {
+        let results = run_trials(trials, 2800 + i as u64, move |_t, s| {
+            let start = Configuration::singletons(n);
+            let mut e = VectorEngine::new(ThreeMajority, start, s).with_compaction();
+            measure_phases(&mut e, n, u64::MAX).expect("uncapped")
+        });
+        let p1 = Summary::of_counts(&results.iter().map(|p| p.phase1_rounds).collect::<Vec<_>>());
+        let p2 = Summary::of_counts(&results.iter().map(|p| p.phase2_rounds).collect::<Vec<_>>());
+        let bound = theorem4_bound(n);
+        all_below &= p1.max() < bound && p2.max() < bound;
+        table.row(vec![
+            n.to_string(),
+            phase_split_colors(n).to_string(),
+            fmt_f64(p1.mean()),
+            fmt_f64(p2.mean()),
+            fmt_f64(p1.mean() / (p1.mean() + p2.mean())),
+            fmt_f64(bound),
+        ]);
+    }
+    println!("{table}");
+    println!("(the proof bounds each phase by the same O(n^{{3/4}} log^{{7/8}} n) term;");
+    println!(" in practice Phase 1 — killing the first n − n^{{1/4}} colors — dominates)");
+
+    verdict(
+        "E15",
+        "both proof phases stay below the Theorem-4 bound at every n",
+        all_below,
+    );
+}

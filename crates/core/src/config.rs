@@ -1,0 +1,387 @@
+//! Configurations: the system state `c ∈ N₀^k` with `Σ cᵢ = n`.
+//!
+//! The paper describes the state of the complete graph purely by the
+//! support counts of each color (Section 2.1). [`Configuration`] maintains
+//! that vector together with the invariant `Σ cᵢ = n` and exposes the
+//! observables the analysis tracks: number of remaining colors, maximum
+//! support, bias, and the majorization preorder.
+
+use symbreak_majorization::vector as major;
+
+use crate::opinion::Opinion;
+
+/// A population configuration: `counts[i]` nodes currently support color
+/// `i`; the total is the population size `n`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Configuration {
+    counts: Vec<u64>,
+    n: u64,
+}
+
+impl Configuration {
+    /// Creates a configuration from explicit per-color counts.
+    ///
+    /// Trailing zero colors are retained (color identity is positional).
+    ///
+    /// # Panics
+    /// Panics if `counts` is empty.
+    pub fn from_counts(counts: Vec<u64>) -> Self {
+        assert!(!counts.is_empty(), "configuration needs at least one color slot");
+        let n = counts.iter().sum();
+        Self { counts, n }
+    }
+
+    /// The consensus configuration: all `n` nodes on one color (slot 0 of
+    /// `k` slots).
+    pub fn consensus(n: u64, k: usize) -> Self {
+        assert!(k >= 1, "need at least one color slot");
+        let mut counts = vec![0; k];
+        counts[0] = n;
+        Self { counts, n }
+    }
+
+    /// The balanced configuration on `k` colors: each color has `n/k`
+    /// nodes, with the remainder spread over the first `n mod k` colors.
+    pub fn uniform(n: u64, k: usize) -> Self {
+        assert!(k >= 1, "need at least one color");
+        assert!(n >= k as u64, "need at least one node per color");
+        let base = n / k as u64;
+        let extra = (n % k as u64) as usize;
+        let counts =
+            (0..k).map(|i| base + u64::from(i < extra)).collect();
+        Self { counts, n }
+    }
+
+    /// The leader-election start: `n` nodes with pairwise distinct colors.
+    pub fn singletons(n: u64) -> Self {
+        assert!(n >= 1, "need at least one node");
+        Self { counts: vec![1; n as usize], n }
+    }
+
+    /// A biased configuration: color 0 receives `bias` extra nodes, the
+    /// rest is split as evenly as possible over all `k` colors.
+    ///
+    /// # Panics
+    /// Panics if `bias > n` or `n − bias < k`.
+    pub fn biased(n: u64, k: usize, bias: u64) -> Self {
+        assert!(bias <= n, "bias cannot exceed n");
+        let rest = n - bias;
+        let mut cfg = Self::uniform(rest, k);
+        cfg.counts[0] += bias;
+        cfg.n = n;
+        cfg
+    }
+
+    /// Population size `n`.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Number of color slots `k` (including empty ones).
+    pub fn num_slots(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Number of colors with non-zero support ("remaining colors").
+    pub fn num_colors(&self) -> usize {
+        self.counts.iter().filter(|&&c| c > 0).count()
+    }
+
+    /// Support of color `i` (0 for out-of-range slots).
+    pub fn support(&self, i: usize) -> u64 {
+        self.counts.get(i).copied().unwrap_or(0)
+    }
+
+    /// The raw count vector.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Mutable access for processes that rewrite supports directly (e.g.
+    /// the adversary). The caller must restore `Σ cᵢ = n`; this is checked
+    /// in debug builds on the next [`Configuration::validate`] call.
+    pub fn counts_mut(&mut self) -> &mut Vec<u64> {
+        &mut self.counts
+    }
+
+    /// Recomputes and checks the population invariant after raw mutation.
+    ///
+    /// # Panics
+    /// Panics if the counts no longer sum to `n`.
+    pub fn validate(&self) {
+        let total: u64 = self.counts.iter().sum();
+        assert_eq!(total, self.n, "configuration mass changed: {total} != {}", self.n);
+    }
+
+    /// Re-synchronizes `n` with the counts after deliberate mass change.
+    pub fn resync_total(&mut self) {
+        self.n = self.counts.iter().sum();
+    }
+
+    /// Largest support `maxᵢ cᵢ`.
+    pub fn max_support(&self) -> u64 {
+        self.counts.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The color with the largest support (smallest index wins ties).
+    pub fn plurality(&self) -> Opinion {
+        let (i, _) = self
+            .counts
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+            .expect("non-empty configuration");
+        Opinion::new(i as u32)
+    }
+
+    /// The bias: difference between the largest and second-largest support
+    /// (footnote 3 of the paper).
+    pub fn bias(&self) -> u64 {
+        let mut first = 0u64;
+        let mut second = 0u64;
+        for &c in &self.counts {
+            if c >= first {
+                second = first;
+                first = c;
+            } else if c > second {
+                second = c;
+            }
+        }
+        first - second
+    }
+
+    /// Whether all nodes support a single color.
+    pub fn is_consensus(&self) -> bool {
+        self.num_colors() <= 1
+    }
+
+    /// Fractions `x = c / n`.
+    pub fn fractions(&self) -> Vec<f64> {
+        let n = self.n as f64;
+        self.counts.iter().map(|&c| c as f64 / n).collect()
+    }
+
+    /// `‖x‖₂² = Σ (cᵢ/n)²` — the collision probability appearing in the
+    /// 3-Majority process function (Equation (2)).
+    pub fn l2_norm_sq(&self) -> f64 {
+        let n = self.n as f64;
+        self.counts.iter().map(|&c| (c as f64 / n).powi(2)).sum()
+    }
+
+    /// Whether `self ⪰ other` in the majorization preorder (requires equal
+    /// population sizes).
+    pub fn majorizes(&self, other: &Configuration) -> bool {
+        if self.n != other.n {
+            return false;
+        }
+        let a: Vec<f64> = self.counts.iter().map(|&c| c as f64).collect();
+        let b: Vec<f64> = other.counts.iter().map(|&c| c as f64).collect();
+        major::majorizes_eps(&a, &b, 0.5) // counts are integers; 0.5 is exact
+    }
+
+    /// Returns a copy with zero-support slots removed.
+    ///
+    /// Color *identity* is positional, so compaction renumbers the
+    /// surviving colors; use it only for observables that are
+    /// permutation-invariant (consensus time, number of colors, max
+    /// support, bias, majorization) — which is everything the paper's
+    /// analysis tracks. Compaction is what keeps long vectorized runs at
+    /// `O(remaining colors)` per round instead of `O(initial colors)`.
+    pub fn compacted(&self) -> Configuration {
+        let counts: Vec<u64> = self.counts.iter().copied().filter(|&c| c > 0).collect();
+        if counts.is_empty() {
+            // Preserve a slot so the invariant "at least one slot" holds.
+            return Configuration { counts: vec![0], n: 0 };
+        }
+        Configuration { counts, n: self.n }
+    }
+
+    /// Counts sorted in non-increasing order.
+    pub fn sorted_counts(&self) -> Vec<u64> {
+        let mut v = self.counts.clone();
+        v.sort_unstable_by(|a, b| b.cmp(a));
+        v
+    }
+
+    /// Expands a per-node opinion assignment from the counts: nodes
+    /// `0..c₀` get color 0, the next `c₁` color 1, and so on.
+    pub fn to_opinions(&self) -> Vec<Opinion> {
+        let mut out = Vec::with_capacity(self.n as usize);
+        for (i, &c) in self.counts.iter().enumerate() {
+            out.extend(std::iter::repeat_n(Opinion::new(i as u32), c as usize));
+        }
+        out
+    }
+
+    /// Rebuilds a configuration from per-node opinions, ignoring undecided
+    /// nodes (their mass is dropped — callers tracking undecided counts
+    /// must do so separately).
+    pub fn from_opinions(opinions: &[Opinion], k: usize) -> Self {
+        let mut counts = vec![0u64; k];
+        for &o in opinions {
+            if !o.is_undecided() {
+                counts[o.index()] += 1;
+            }
+        }
+        let n = counts.iter().sum();
+        Self { counts, n }
+    }
+}
+
+impl std::fmt::Display for Configuration {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Configuration(n={}, colors={}, max={}, bias={})",
+            self.n,
+            self.num_colors(),
+            self.max_support(),
+            self.bias()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_have_right_mass() {
+        assert_eq!(Configuration::consensus(10, 3).n(), 10);
+        assert_eq!(Configuration::uniform(10, 3).n(), 10);
+        assert_eq!(Configuration::singletons(7).n(), 7);
+        assert_eq!(Configuration::biased(20, 4, 8).n(), 20);
+    }
+
+    #[test]
+    fn uniform_spreads_remainder() {
+        let c = Configuration::uniform(11, 4);
+        assert_eq!(c.counts(), &[3, 3, 3, 2]);
+        assert_eq!(c.num_colors(), 4);
+    }
+
+    #[test]
+    fn singletons_is_leader_election_start() {
+        let c = Configuration::singletons(5);
+        assert_eq!(c.num_colors(), 5);
+        assert_eq!(c.max_support(), 1);
+        assert_eq!(c.bias(), 0);
+    }
+
+    #[test]
+    fn biased_config_shape() {
+        let c = Configuration::biased(100, 4, 40);
+        assert_eq!(c.support(0), 55); // 15 + 40
+        assert_eq!(c.support(1), 15);
+        assert_eq!(c.bias(), 40);
+        assert_eq!(c.n(), 100);
+    }
+
+    #[test]
+    fn consensus_flags() {
+        let c = Configuration::consensus(9, 4);
+        assert!(c.is_consensus());
+        assert_eq!(c.num_colors(), 1);
+        assert_eq!(c.plurality(), Opinion::new(0));
+        assert!(!Configuration::uniform(9, 3).is_consensus());
+    }
+
+    #[test]
+    fn bias_of_tied_leaders_is_zero() {
+        let c = Configuration::from_counts(vec![5, 5, 2]);
+        assert_eq!(c.bias(), 0);
+        let d = Configuration::from_counts(vec![7, 4, 1]);
+        assert_eq!(d.bias(), 3);
+    }
+
+    #[test]
+    fn single_color_bias_is_full_support() {
+        // With one color the second-largest support is 0.
+        let c = Configuration::from_counts(vec![6]);
+        assert_eq!(c.bias(), 6);
+    }
+
+    #[test]
+    fn majorization_of_configurations() {
+        let consensus = Configuration::consensus(12, 4);
+        let uniform = Configuration::uniform(12, 4);
+        let mid = Configuration::from_counts(vec![6, 3, 2, 1]);
+        assert!(consensus.majorizes(&uniform));
+        assert!(consensus.majorizes(&mid));
+        assert!(mid.majorizes(&uniform));
+        assert!(!uniform.majorizes(&mid));
+        // Different n: incomparable.
+        assert!(!consensus.majorizes(&Configuration::consensus(13, 4)));
+    }
+
+    #[test]
+    fn l2_norm_sq_examples() {
+        let c = Configuration::uniform(4, 2); // (1/2)^2 * 2 = 1/2
+        assert!((c.l2_norm_sq() - 0.5).abs() < 1e-12);
+        let d = Configuration::consensus(4, 2);
+        assert!((d.l2_norm_sq() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn opinions_round_trip() {
+        let c = Configuration::from_counts(vec![2, 0, 3]);
+        let ops = c.to_opinions();
+        assert_eq!(ops.len(), 5);
+        let back = Configuration::from_opinions(&ops, 3);
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn from_opinions_ignores_undecided() {
+        let ops = vec![Opinion::new(0), Opinion::UNDECIDED, Opinion::new(0)];
+        let c = Configuration::from_opinions(&ops, 1);
+        assert_eq!(c.counts(), &[2]);
+        assert_eq!(c.n(), 2);
+    }
+
+    #[test]
+    fn plurality_prefers_smallest_index_on_tie() {
+        let c = Configuration::from_counts(vec![3, 5, 5]);
+        assert_eq!(c.plurality(), Opinion::new(1));
+    }
+
+    #[test]
+    fn mutation_and_validate() {
+        let mut c = Configuration::uniform(6, 3);
+        c.counts_mut()[0] += 1;
+        c.counts_mut()[1] -= 1;
+        c.validate(); // mass preserved
+        c.counts_mut()[2] += 5;
+        c.resync_total();
+        assert_eq!(c.n(), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "mass changed")]
+    fn validate_catches_mass_change() {
+        let mut c = Configuration::uniform(6, 3);
+        c.counts_mut()[0] += 1;
+        c.validate();
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let c = Configuration::from_counts(vec![1, 2, 3, 4]);
+        let s: f64 = c.fractions().iter().sum();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sorted_counts_desc() {
+        let c = Configuration::from_counts(vec![1, 5, 3]);
+        assert_eq!(c.sorted_counts(), vec![5, 3, 1]);
+    }
+
+    #[test]
+    fn display_contains_observables() {
+        let c = Configuration::uniform(10, 2);
+        let s = format!("{c}");
+        assert!(s.contains("n=10"));
+        assert!(s.contains("colors=2"));
+    }
+}

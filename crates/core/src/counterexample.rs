@@ -1,0 +1,349 @@
+//! Appendix B, in exact arithmetic: Lemma 1 is too weak for Conjecture 1.
+//!
+//! The paper exhibits fraction vectors `x = (1/2, 1/6, 1/6, 1/6)` and
+//! `x̃ = (1/2, 1/2, 0, 0)` with `x̃ ⪰ x`, and shows that
+//! `α^{(4M)}(x̃) = x̃` while the first component of `α^{(3M)}(x)` is
+//! exactly `7/12 > 1/2` (Equation (24)) — so `α^{(4M)}(x̃)` does **not**
+//! majorize `α^{(3M)}(x)` and the coupling hypothesis of Lemma 1 fails for
+//! the h-Majority hierarchy.
+//!
+//! This module reimplements that computation with exact [`Rational`]
+//! arithmetic (built in-house; no external bignum needed since the
+//! denominators stay tiny).
+
+/// An exact rational number with `i128` numerator/denominator, always kept
+/// reduced with a positive denominator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: i128,
+    den: i128,
+}
+
+fn gcd(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+impl Rational {
+    /// Zero.
+    pub const ZERO: Rational = Rational { num: 0, den: 1 };
+    /// One.
+    pub const ONE: Rational = Rational { num: 1, den: 1 };
+
+    /// Creates `num/den`, reduced.
+    ///
+    /// # Panics
+    /// Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Self {
+        assert!(den != 0, "denominator must be non-zero");
+        let sign = if den < 0 { -1 } else { 1 };
+        let g = gcd(num, den).max(1);
+        Self { num: sign * num / g, den: sign * den / g }
+    }
+
+    /// The reduced numerator.
+    pub fn numerator(self) -> i128 {
+        self.num
+    }
+
+    /// The reduced (positive) denominator.
+    pub fn denominator(self) -> i128 {
+        self.den
+    }
+
+    /// Conversion to `f64` (exact for the small fractions used here).
+    pub fn to_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Whether the value is zero.
+    pub fn is_zero(self) -> bool {
+        self.num == 0
+    }
+}
+
+impl From<i128> for Rational {
+    fn from(v: i128) -> Self {
+        Rational::new(v, 1)
+    }
+}
+
+impl std::ops::Add for Rational {
+    type Output = Rational;
+    fn add(self, rhs: Rational) -> Rational {
+        Rational::new(self.num * rhs.den + rhs.num * self.den, self.den * rhs.den)
+    }
+}
+
+impl std::ops::Sub for Rational {
+    type Output = Rational;
+    fn sub(self, rhs: Rational) -> Rational {
+        Rational::new(self.num * rhs.den - rhs.num * self.den, self.den * rhs.den)
+    }
+}
+
+impl std::ops::Mul for Rational {
+    type Output = Rational;
+    fn mul(self, rhs: Rational) -> Rational {
+        Rational::new(self.num * rhs.num, self.den * rhs.den)
+    }
+}
+
+impl std::ops::Div for Rational {
+    type Output = Rational;
+    fn div(self, rhs: Rational) -> Rational {
+        assert!(rhs.num != 0, "division by zero rational");
+        Rational::new(self.num * rhs.den, self.den * rhs.num)
+    }
+}
+
+impl std::iter::Sum for Rational {
+    fn sum<I: Iterator<Item = Rational>>(iter: I) -> Rational {
+        iter.fold(Rational::ZERO, |a, b| a + b)
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Denominators are positive, so cross-multiplication preserves order.
+        (self.num * other.den).cmp(&(other.num * self.den))
+    }
+}
+
+impl std::fmt::Display for Rational {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+/// Exact h-Majority process function over a rational fraction vector, by
+/// enumeration of all ordered sample tuples (plurality with uniform
+/// tie-break).
+///
+/// # Panics
+/// Panics if `x` does not sum to 1, or if `k^h` exceeds a sanity cap.
+pub fn alpha_h_majority_exact(x: &[Rational], h: usize) -> Vec<Rational> {
+    let total: Rational = x.iter().copied().sum();
+    assert!(total == Rational::ONE, "fractions must sum to 1, got {total}");
+    let k = x.len();
+    assert!(
+        (k as u128).pow(h as u32) <= 1_000_000,
+        "enumeration too large: {k}^{h}"
+    );
+    let support: Vec<usize> = (0..k).filter(|&i| !x[i].is_zero()).collect();
+    let mut alpha = vec![Rational::ZERO; k];
+    let mut tuple = vec![0usize; h];
+    loop {
+        let mut prob = Rational::ONE;
+        let mut counts = vec![0u32; k];
+        for &t in &tuple {
+            let color = support[t];
+            prob = prob * x[color];
+            counts[color] += 1;
+        }
+        let best = *counts.iter().max().expect("k >= 1");
+        let tied: Vec<usize> = (0..k).filter(|&i| counts[i] == best && best > 0).collect();
+        let share = prob / Rational::from(tied.len() as i128);
+        for &i in &tied {
+            alpha[i] = alpha[i] + share;
+        }
+        let mut pos = 0;
+        loop {
+            if pos == h {
+                return alpha;
+            }
+            tuple[pos] += 1;
+            if tuple[pos] < support.len() {
+                break;
+            }
+            tuple[pos] = 0;
+            pos += 1;
+        }
+    }
+}
+
+/// Exact majorization test on rational vectors with equal totals.
+pub fn rational_majorizes(a: &[Rational], b: &[Rational]) -> bool {
+    let ta: Rational = a.iter().copied().sum();
+    let tb: Rational = b.iter().copied().sum();
+    if ta != tb {
+        return false;
+    }
+    let mut sa = a.to_vec();
+    let mut sb = b.to_vec();
+    sa.sort_by(|p, q| q.cmp(p));
+    sb.sort_by(|p, q| q.cmp(p));
+    let mut pa = Rational::ZERO;
+    let mut pb = Rational::ZERO;
+    for l in 0..sa.len().max(sb.len()) {
+        pa = pa + sa.get(l).copied().unwrap_or(Rational::ZERO);
+        pb = pb + sb.get(l).copied().unwrap_or(Rational::ZERO);
+        if pa < pb {
+            return false;
+        }
+    }
+    true
+}
+
+/// The full Appendix-B verdict computed exactly.
+#[derive(Debug, Clone)]
+pub struct AppendixBReport {
+    /// `x = (1/2, 1/6, 1/6, 1/6)`.
+    pub x: Vec<Rational>,
+    /// `x̃ = (1/2, 1/2, 0, 0)`.
+    pub x_tilde: Vec<Rational>,
+    /// `α^{(3M)}(x)`, exactly.
+    pub alpha_3m: Vec<Rational>,
+    /// `α^{(4M)}(x̃)`, exactly.
+    pub alpha_4m: Vec<Rational>,
+    /// Whether `x̃ ⪰ x` (must be `true`).
+    pub premise_holds: bool,
+    /// Whether `α^{(4M)}(x̃) ⪰ α^{(3M)}(x)` (must be `false` — this is the
+    /// counterexample).
+    pub conclusion_holds: bool,
+}
+
+/// Reproduces Appendix B exactly.
+pub fn appendix_b_report() -> AppendixBReport {
+    let half = Rational::new(1, 2);
+    let sixth = Rational::new(1, 6);
+    let x = vec![half, sixth, sixth, sixth];
+    let x_tilde = vec![half, half, Rational::ZERO, Rational::ZERO];
+    let alpha_3m = alpha_h_majority_exact(&x, 3);
+    let alpha_4m = alpha_h_majority_exact(&x_tilde, 4);
+    AppendixBReport {
+        premise_holds: rational_majorizes(&x_tilde, &x),
+        conclusion_holds: rational_majorizes(&alpha_4m, &alpha_3m),
+        x,
+        x_tilde,
+        alpha_3m,
+        alpha_4m,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rational_arithmetic_basics() {
+        let a = Rational::new(1, 2);
+        let b = Rational::new(1, 3);
+        assert_eq!(a + b, Rational::new(5, 6));
+        assert_eq!(a - b, Rational::new(1, 6));
+        assert_eq!(a * b, Rational::new(1, 6));
+        assert_eq!(a / b, Rational::new(3, 2));
+        assert!(a > b);
+        assert_eq!(format!("{}", Rational::new(2, 4)), "1/2");
+        assert_eq!(format!("{}", Rational::new(6, 3)), "2");
+    }
+
+    #[test]
+    fn rational_reduction_and_sign() {
+        assert_eq!(Rational::new(-2, -4), Rational::new(1, 2));
+        assert_eq!(Rational::new(2, -4), Rational::new(-1, 2));
+        assert_eq!(Rational::new(0, 7), Rational::ZERO);
+        assert!((Rational::new(3, 4).to_f64() - 0.75).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_denominator_panics() {
+        Rational::new(1, 0);
+    }
+
+    #[test]
+    fn equation_24_seven_twelfths_exact() {
+        let x = vec![
+            Rational::new(1, 2),
+            Rational::new(1, 6),
+            Rational::new(1, 6),
+            Rational::new(1, 6),
+        ];
+        let alpha = alpha_h_majority_exact(&x, 3);
+        assert_eq!(alpha[0], Rational::new(7, 12), "Equation (24): α₁ = 7/12");
+        // The rest split the remainder symmetrically: (1 − 7/12)/3 = 5/36.
+        for a in alpha.iter().take(4).skip(1) {
+            assert_eq!(*a, Rational::new(5, 36));
+        }
+        let total: Rational = alpha.into_iter().sum();
+        assert_eq!(total, Rational::ONE);
+    }
+
+    #[test]
+    fn four_majority_on_two_color_split_is_fixed() {
+        let x = vec![
+            Rational::new(1, 2),
+            Rational::new(1, 2),
+            Rational::ZERO,
+            Rational::ZERO,
+        ];
+        let alpha = alpha_h_majority_exact(&x, 4);
+        assert_eq!(alpha[0], Rational::new(1, 2));
+        assert_eq!(alpha[1], Rational::new(1, 2));
+        assert!(alpha[2].is_zero() && alpha[3].is_zero());
+    }
+
+    #[test]
+    fn appendix_b_counterexample_verdict() {
+        let report = appendix_b_report();
+        assert!(report.premise_holds, "x̃ must majorize x");
+        assert!(
+            !report.conclusion_holds,
+            "α^{{(4M)}}(x̃) must NOT majorize α^{{(3M)}}(x): this is the counterexample"
+        );
+        // The witness: top component 7/12 > 1/2.
+        assert_eq!(report.alpha_3m[0], Rational::new(7, 12));
+        assert_eq!(report.alpha_4m[0], Rational::new(1, 2));
+    }
+
+    #[test]
+    fn exact_alpha_matches_float_enumeration() {
+        use crate::config::Configuration;
+        use crate::process::AcProcess;
+        use crate::rules::HMajority;
+        // Same computation, two code paths: rational vs f64.
+        let c = Configuration::from_counts(vec![3, 1, 1, 1]);
+        let float = HMajority::new(3).alpha(&c);
+        let x: Vec<Rational> =
+            c.counts().iter().map(|&v| Rational::new(v as i128, 6)).collect();
+        let exact = alpha_h_majority_exact(&x, 3);
+        for (f, e) in float.iter().zip(&exact) {
+            assert!((f - e.to_f64()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rational_majorization_examples() {
+        let half = Rational::new(1, 2);
+        let quarter = Rational::new(1, 4);
+        assert!(rational_majorizes(&[Rational::ONE, Rational::ZERO], &[half, half]));
+        assert!(!rational_majorizes(&[half, half], &[Rational::ONE, Rational::ZERO]));
+        assert!(rational_majorizes(
+            &[half, quarter, quarter],
+            &[half, quarter, quarter]
+        ));
+        // Unequal totals are incomparable.
+        assert!(!rational_majorizes(&[half], &[quarter]));
+    }
+
+    #[test]
+    fn voter_is_h1_exact() {
+        let x = vec![Rational::new(2, 5), Rational::new(2, 5), Rational::new(1, 5)];
+        let alpha = alpha_h_majority_exact(&x, 1);
+        assert_eq!(alpha, x);
+    }
+}

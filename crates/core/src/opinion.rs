@@ -1,0 +1,90 @@
+//! Opinion (color) identifiers.
+
+/// An opinion ("color" in the paper's terminology) held by a node.
+///
+/// Opinions are dense indices `0..k`. The distinguished value
+/// [`Opinion::UNDECIDED`] is reserved for the undecided-state dynamics of
+/// Section 1.1 and never counts as a real color.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Opinion(u32);
+
+impl Opinion {
+    /// The undecided pseudo-opinion used by `UndecidedDynamics`.
+    pub const UNDECIDED: Opinion = Opinion(u32::MAX);
+
+    /// Creates an opinion with the given color index.
+    ///
+    /// # Panics
+    /// Panics if `index` collides with the undecided sentinel.
+    pub fn new(index: u32) -> Self {
+        assert!(index != u32::MAX, "index u32::MAX is reserved for UNDECIDED");
+        Opinion(index)
+    }
+
+    /// The color index.
+    ///
+    /// # Panics
+    /// Panics when called on [`Opinion::UNDECIDED`].
+    pub fn index(self) -> usize {
+        assert!(!self.is_undecided(), "UNDECIDED has no color index");
+        self.0 as usize
+    }
+
+    /// Whether this is the undecided pseudo-opinion.
+    pub fn is_undecided(self) -> bool {
+        self.0 == u32::MAX
+    }
+}
+
+impl From<u32> for Opinion {
+    fn from(index: u32) -> Self {
+        Opinion::new(index)
+    }
+}
+
+impl std::fmt::Display for Opinion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_undecided() {
+            write!(f, "⊥")
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_index() {
+        let o = Opinion::new(17);
+        assert_eq!(o.index(), 17);
+        assert!(!o.is_undecided());
+        assert_eq!(Opinion::from(17u32), o);
+    }
+
+    #[test]
+    fn undecided_is_special() {
+        assert!(Opinion::UNDECIDED.is_undecided());
+        assert_eq!(format!("{}", Opinion::UNDECIDED), "⊥");
+        assert_eq!(format!("{}", Opinion::new(3)), "3");
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn reserved_index_panics() {
+        Opinion::new(u32::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "no color index")]
+    fn undecided_index_panics() {
+        Opinion::UNDECIDED.index();
+    }
+
+    #[test]
+    fn ordering_by_index() {
+        assert!(Opinion::new(1) < Opinion::new(2));
+    }
+}

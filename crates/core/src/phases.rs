@@ -1,0 +1,114 @@
+//! Phase decomposition of Theorem 4's proof.
+//!
+//! The paper's analysis splits the 3-Majority run in two phases:
+//!
+//! * **Phase 1** — from up to `n` colors down to `n^{1/4} log^{1/8} n`
+//!   colors, bounded via the Voter domination (Lemma 2 + Lemma 3) by
+//!   `O(n^{3/4} log^{7/8} n)` rounds;
+//! * **Phase 2** — from `n^{1/4} log^{1/8} n` colors to consensus, bounded
+//!   via \[BCN+16, Theorem 3.1\] (Theorem 8) by the same order.
+//!
+//! [`measure_phases`] instruments a run with the exact split point the
+//! proof uses, so the harness can check that *both* phases respect their
+//! bounds (and observe which one dominates in practice).
+
+use crate::engine::Engine;
+use crate::theory::phase_split_colors;
+
+/// Measured phase durations of one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseTimes {
+    /// The split point used (number of colors ending Phase 1).
+    pub split_colors: u64,
+    /// Rounds to reduce the colors to the split point.
+    pub phase1_rounds: u64,
+    /// Rounds from the split point to consensus.
+    pub phase2_rounds: u64,
+}
+
+impl PhaseTimes {
+    /// Total rounds to consensus.
+    pub fn total(&self) -> u64 {
+        self.phase1_rounds + self.phase2_rounds
+    }
+}
+
+/// Runs `engine` to consensus, measuring the Theorem-4 phase split for
+/// population size `n`. Returns `None` if `max_rounds` elapses first.
+pub fn measure_phases(engine: &mut dyn Engine, n: u64, max_rounds: u64) -> Option<PhaseTimes> {
+    let split = phase_split_colors(n);
+    let start = engine.round();
+    // Phase 1: until at most `split` colors remain.
+    while engine.configuration().num_colors() as u64 > split {
+        if engine.round() - start >= max_rounds {
+            return None;
+        }
+        engine.step();
+    }
+    let phase1_rounds = engine.round() - start;
+    // Phase 2: until consensus.
+    while !engine.is_consensus() {
+        if engine.round() - start >= max_rounds {
+            return None;
+        }
+        engine.step();
+    }
+    Some(PhaseTimes {
+        split_colors: split,
+        phase1_rounds,
+        phase2_rounds: engine.round() - start - phase1_rounds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Configuration;
+    use crate::engine::VectorEngine;
+    use crate::rules::ThreeMajority;
+    use crate::theory::theorem4_bound;
+
+    #[test]
+    fn phases_compose_to_consensus_time() {
+        let n = 4096u64;
+        let start = Configuration::singletons(n);
+        let mut e = VectorEngine::new(ThreeMajority, start, 1).with_compaction();
+        let phases = measure_phases(&mut e, n, 1_000_000).expect("consensus");
+        assert!(phases.phase1_rounds > 0);
+        assert!(phases.phase2_rounds > 0);
+        assert_eq!(phases.total(), e.round());
+        assert!(e.is_consensus());
+    }
+
+    #[test]
+    fn both_phases_below_theorem4_bound() {
+        let n = 2048u64;
+        for seed in 0..5 {
+            let start = Configuration::singletons(n);
+            let mut e = VectorEngine::new(ThreeMajority, start, seed).with_compaction();
+            let phases = measure_phases(&mut e, n, 1_000_000).expect("consensus");
+            let bound = theorem4_bound(n);
+            assert!((phases.phase1_rounds as f64) < bound, "phase 1 exceeded the bound");
+            assert!((phases.phase2_rounds as f64) < bound, "phase 2 exceeded the bound");
+        }
+    }
+
+    #[test]
+    fn starting_below_the_split_makes_phase1_zero() {
+        let n = 4096u64;
+        // split ≈ 11 colors at n = 4096; start from 4.
+        let start = Configuration::uniform(n, 4);
+        let mut e = VectorEngine::new(ThreeMajority, start, 3).with_compaction();
+        let phases = measure_phases(&mut e, n, 1_000_000).expect("consensus");
+        assert_eq!(phases.phase1_rounds, 0);
+        assert!(phases.phase2_rounds > 0);
+    }
+
+    #[test]
+    fn cap_returns_none() {
+        let n = 1u64 << 14;
+        let start = Configuration::singletons(n);
+        let mut e = VectorEngine::new(ThreeMajority, start, 4).with_compaction();
+        assert_eq!(measure_phases(&mut e, n, 1), None);
+    }
+}

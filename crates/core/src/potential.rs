@@ -1,0 +1,167 @@
+//! Potential functions and one-step drift measurement.
+//!
+//! The paper's analyses revolve around a handful of scalar observables of
+//! the configuration: the collision probability `‖x‖₂²` (which appears in
+//! the 3-Majority process function and governs how often 2-Choices
+//! samples match), the number of remaining colors, and the bias. This
+//! module computes them plus the *exact* expected one-step drift of the
+//! collision potential under any [`ExpectedUpdate`] process, and a
+//! Monte-Carlo drift estimator to validate it.
+//!
+//! The collision potential is Schur-convex, so by Lemma 2 machinery it
+//! can only grow in expectation faster under 3-Majority than under Voter
+//! — the quantitative engine behind the drift intuition of Section 1.
+
+use rand::RngCore;
+
+use crate::config::Configuration;
+use crate::process::{ExpectedUpdate, VectorStep};
+
+/// Scalar observables of a configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Observables {
+    /// Collision probability `‖x‖₂² = Σ (cᵢ/n)²` — the probability two
+    /// uniform samples share a color.
+    pub collision: f64,
+    /// Shannon entropy of the color distribution (nats).
+    pub entropy: f64,
+    /// Number of remaining colors.
+    pub num_colors: usize,
+    /// Bias (gap between the two largest supports).
+    pub bias: u64,
+}
+
+/// Computes all observables of `c`.
+pub fn observables(c: &Configuration) -> Observables {
+    let x = c.fractions();
+    let entropy = -x.iter().filter(|&&v| v > 0.0).map(|&v| v * v.ln()).sum::<f64>();
+    Observables {
+        collision: c.l2_norm_sq(),
+        entropy,
+        num_colors: c.num_colors(),
+        bias: c.bias(),
+    }
+}
+
+/// The collision probability of the *expected* next configuration,
+/// `‖E[x']‖₂²`, under process `p`.
+///
+/// Note this is a lower bound on `E[‖x'‖₂²]` (Jensen, since `‖·‖₂²` is
+/// convex); the gap is the variance contribution that actually drives
+/// symmetry breaking for 2-Choices.
+pub fn expected_collision_lower_bound(p: &dyn ExpectedUpdate, c: &Configuration) -> f64 {
+    p.expected_fractions(c).iter().map(|v| v * v).sum()
+}
+
+/// Monte-Carlo estimate of `E[‖x'‖₂²]` after one step of `p` from `c`.
+pub fn sampled_collision_mean(
+    p: &dyn VectorStep,
+    c: &Configuration,
+    trials: u64,
+    rng: &mut dyn RngCore,
+) -> f64 {
+    assert!(trials > 0, "need at least one trial");
+    let mut total = 0.0;
+    for _ in 0..trials {
+        total += p.vector_step(c, rng).l2_norm_sq();
+    }
+    total / trials as f64
+}
+
+/// The exact expected collision drift of an AC-process in one step:
+///
+/// `E[‖x'‖₂²] = Σᵢ Var[x'ᵢ] + αᵢ² = Σᵢ αᵢ(1−αᵢ)/n + αᵢ²`
+///
+/// since `c'ᵢ ∼ Bin(n, αᵢ)` marginally under `Mult(n, α)`.
+pub fn ac_expected_collision(alpha: &[f64], n: u64) -> f64 {
+    let nf = n as f64;
+    alpha.iter().map(|&a| a * (1.0 - a) / nf + a * a).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::AcProcess;
+    use crate::rules::{ThreeMajority, TwoChoices, Voter};
+    use rand::SeedableRng;
+    use symbreak_sim::rng::Pcg64;
+
+    #[test]
+    fn observables_of_extremes() {
+        let consensus = Configuration::consensus(100, 4);
+        let o = observables(&consensus);
+        assert!((o.collision - 1.0).abs() < 1e-12);
+        assert!((o.entropy - 0.0).abs() < 1e-12);
+        assert_eq!(o.num_colors, 1);
+
+        let uniform = Configuration::uniform(100, 4);
+        let u = observables(&uniform);
+        assert!((u.collision - 0.25).abs() < 1e-12);
+        assert!((u.entropy - 4.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ac_expected_collision_matches_sampling_voter() {
+        let c = Configuration::from_counts(vec![50, 30, 20]);
+        let alpha = Voter.alpha(&c);
+        let exact = ac_expected_collision(&alpha, c.n());
+        let mut rng = Pcg64::seed_from_u64(1);
+        let sampled = sampled_collision_mean(&Voter, &c, 40_000, &mut rng);
+        assert!((exact - sampled).abs() < 5e-4, "exact {exact} vs sampled {sampled}");
+    }
+
+    #[test]
+    fn ac_expected_collision_matches_sampling_three_majority() {
+        let c = Configuration::from_counts(vec![40, 30, 20, 10]);
+        let alpha = ThreeMajority.alpha(&c);
+        let exact = ac_expected_collision(&alpha, c.n());
+        let mut rng = Pcg64::seed_from_u64(2);
+        let sampled = sampled_collision_mean(&ThreeMajority, &c, 40_000, &mut rng);
+        assert!((exact - sampled).abs() < 5e-4, "exact {exact} vs sampled {sampled}");
+    }
+
+    #[test]
+    fn voter_collision_drifts_upward() {
+        // Voter has no mean drift on x but strictly positive drift on the
+        // (convex) collision potential — the engine of coalescence.
+        let c = Configuration::uniform(64, 8);
+        let alpha = Voter.alpha(&c);
+        let next = ac_expected_collision(&alpha, c.n());
+        assert!(
+            next > c.l2_norm_sq() + 1e-6,
+            "collision must grow: {next} vs {}",
+            c.l2_norm_sq()
+        );
+    }
+
+    #[test]
+    fn three_majority_drifts_at_least_as_fast_as_voter() {
+        // Quantitative form of the Lemma-2 intuition at one step.
+        for counts in [vec![16, 16, 16, 16], vec![30, 20, 10, 4], vec![50, 9, 5]] {
+            let c = Configuration::from_counts(counts);
+            let v = ac_expected_collision(&Voter.alpha(&c), c.n());
+            let m = ac_expected_collision(&ThreeMajority.alpha(&c), c.n());
+            assert!(m >= v - 1e-12, "3M drift {m} below Voter drift {v} on {c}");
+        }
+    }
+
+    #[test]
+    fn jensen_gap_is_nonnegative() {
+        let c = Configuration::from_counts(vec![40, 30, 20, 10]);
+        let mut rng = Pcg64::seed_from_u64(3);
+        {
+            let p = &TwoChoices as &dyn VectorStep;
+            let sampled = sampled_collision_mean(p, &c, 20_000, &mut rng);
+            let lower = expected_collision_lower_bound(&TwoChoices, &c);
+            assert!(sampled >= lower - 1e-3, "Jensen violated: {sampled} < {lower}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_panics() {
+        let c = Configuration::uniform(10, 2);
+        let mut rng = Pcg64::seed_from_u64(4);
+        sampled_collision_mean(&Voter, &c, 0, &mut rng);
+    }
+}

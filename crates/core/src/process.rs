@@ -1,0 +1,135 @@
+//! Process abstractions: anonymous consensus processes (Definition 1),
+//! agent-level update rules, and expected one-step behaviour.
+//!
+//! The paper's key structural observation is that for an *AC-process* the
+//! one-step law is multinomial: `P(c) ∼ Mult(n, α(c))`. Processes whose
+//! update depends on the updating node's own opinion — notably 2-Choices —
+//! are **not** AC-processes; they still implement [`UpdateRule`] (the
+//! agent-level semantics) and [`ExpectedUpdate`] (the expectation, which
+//! exists for every process), but not [`AcProcess`].
+
+use rand::RngCore;
+
+use crate::config::Configuration;
+use crate::opinion::Opinion;
+
+/// An anonymous consensus process `P_α` (Definition 1): each node
+/// independently adopts opinion `i` with probability `α_i(c)`.
+pub trait AcProcess {
+    /// The process function `α : C → [0,1]^k`, returned over the `k`
+    /// slots of `c`. Must be a probability vector.
+    fn alpha(&self, c: &Configuration) -> Vec<f64>;
+}
+
+/// Agent-level (per-node) update semantics under Uniform Pull.
+///
+/// Every process in the paper is expressible this way, including non-AC
+/// processes whose outcome depends on the node's own opinion.
+pub trait UpdateRule {
+    /// Short display name, e.g. `"3-Majority"`.
+    fn name(&self) -> &'static str;
+
+    /// Number of uniform samples each node pulls per round.
+    fn sample_count(&self) -> usize;
+
+    /// Computes the node's next opinion from its own opinion and the pulled
+    /// samples (`samples.len() == self.sample_count()`).
+    ///
+    /// The extra `rng` supports rules with internal randomness (e.g.
+    /// 3-Majority's random tie-break). Implementations must not assume
+    /// anything about node identity — only opinions are visible.
+    fn update(&self, own: Opinion, samples: &[Opinion], rng: &mut dyn RngCore) -> Opinion;
+}
+
+impl UpdateRule for Box<dyn UpdateRule> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn sample_count(&self) -> usize {
+        (**self).sample_count()
+    }
+
+    fn update(&self, own: Opinion, samples: &[Opinion], rng: &mut dyn RngCore) -> Opinion {
+        (**self).update(own, samples, rng)
+    }
+}
+
+/// The expected next configuration, as fractions.
+///
+/// For an AC-process this equals `α(c)`; for 2-Choices it is computed
+/// directly. Footnote 2 of the paper: 2-Choices and 3-Majority have the
+/// *same* expectation `x_i² + (1 − Σ x_j²)·x_i`.
+pub trait ExpectedUpdate {
+    /// Expected fractions after one round from configuration `c`.
+    fn expected_fractions(&self, c: &Configuration) -> Vec<f64>;
+}
+
+/// Blanket: every AC-process's expectation is its process function.
+impl<P: AcProcess> ExpectedUpdate for P {
+    fn expected_fractions(&self, c: &Configuration) -> Vec<f64> {
+        self.alpha(c)
+    }
+}
+
+/// A process with a vectorized `O(k)`-per-round one-step sampler.
+///
+/// For AC-processes this is `Mult(n, α(c))`; 2-Choices and the undecided
+/// dynamics have bespoke decompositions. The vector step must be
+/// distributionally identical to one synchronous agent-level round — the
+/// test-suite cross-validates this (Experiment E7).
+pub trait VectorStep {
+    /// Samples the next configuration from `c`.
+    fn vector_step(&self, c: &Configuration, rng: &mut dyn RngCore) -> Configuration;
+}
+
+/// Validates that `alpha` is a probability vector (panics otherwise).
+/// Used in debug assertions and tests.
+pub fn assert_probability_vector(alpha: &[f64]) {
+    let mut total = 0.0;
+    for (i, &a) in alpha.iter().enumerate() {
+        assert!(a.is_finite() && (-1e-12..=1.0 + 1e-9).contains(&a), "alpha[{i}] = {a} invalid");
+        total += a;
+    }
+    assert!((total - 1.0).abs() < 1e-7, "alpha sums to {total}, expected 1");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct ConstantProcess;
+
+    impl AcProcess for ConstantProcess {
+        fn alpha(&self, c: &Configuration) -> Vec<f64> {
+            let k = c.num_slots();
+            vec![1.0 / k as f64; k]
+        }
+    }
+
+    #[test]
+    fn blanket_expected_update_for_ac() {
+        let c = Configuration::uniform(10, 4);
+        let p = ConstantProcess;
+        assert_eq!(p.expected_fractions(&c), p.alpha(&c));
+    }
+
+    #[test]
+    fn probability_vector_validation_accepts_valid() {
+        assert_probability_vector(&[0.25, 0.75]);
+        assert_probability_vector(&[1.0]);
+        assert_probability_vector(&[0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sums to")]
+    fn probability_vector_validation_rejects_bad_sum() {
+        assert_probability_vector(&[0.5, 0.6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid")]
+    fn probability_vector_validation_rejects_negative() {
+        assert_probability_vector(&[-0.5, 1.5]);
+    }
+}

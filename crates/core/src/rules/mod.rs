@@ -1,0 +1,28 @@
+//! The consensus processes studied (or cited) by the paper.
+//!
+//! | Process | AC? | Samples | Reference |
+//! |---------|-----|---------|-----------|
+//! | [`Voter`] | yes | 1 | Section 1, Eq. (1) |
+//! | [`TwoChoices`] | **no** | 2 | Section 1 ("ignore") |
+//! | [`ThreeMajority`] | yes | 3 | Section 1, Eq. (2) ("comply") |
+//! | [`ThreeMajorityAlt`] | yes | 3 | Section 1's reformulation |
+//! | [`HMajority`] | yes | h | Section 5 / Conjecture 1 |
+//! | [`LazyVoter`] | **no** | 1 | \[BGKMT16\], Lemma 3 discussion |
+//! | [`TwoMedian`] | no | 2 | \[DGM+11\], related work |
+//! | [`UndecidedDynamics`] | no | 1 | \[BCN+15\], related work |
+
+mod h_majority;
+mod lazy_voter;
+mod three_majority;
+mod two_choices;
+mod two_median;
+mod undecided;
+mod voter;
+
+pub use h_majority::{plurality_with_random_ties, HMajority};
+pub use lazy_voter::LazyVoter;
+pub use three_majority::{alpha_three_majority, ThreeMajority, ThreeMajorityAlt};
+pub use two_choices::TwoChoices;
+pub use two_median::TwoMedian;
+pub use undecided::{UndecidedDynamics, UndecidedState};
+pub use voter::Voter;

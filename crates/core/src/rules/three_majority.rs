@@ -1,0 +1,234 @@
+//! The 3-Majority process ("comply"): sample three nodes; adopt the
+//! majority color among the samples, or a random sample's color if all
+//! three differ.
+//!
+//! 3-Majority is an AC-process with process function (Equation (2))
+//!
+//! ```text
+//! α_i(c) = x_i · (1 + x_i − ‖x‖₂²),   x = c/n.
+//! ```
+//!
+//! [`ThreeMajorityAlt`] implements the paper's reformulation — run
+//! 2-Choices, and on a mismatch fall back to Voter with a fresh sample —
+//! which is distributionally identical (the test-suite checks this, and
+//! Experiment E7 validates both against the multinomial law).
+
+use rand::{Rng, RngCore};
+
+use crate::config::Configuration;
+use crate::opinion::Opinion;
+use crate::process::{AcProcess, UpdateRule, VectorStep};
+use symbreak_sim::dist::sample_multinomial_into;
+
+/// The direct 3-Majority update rule.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ThreeMajority;
+
+impl ThreeMajority {
+    /// Creates the rule.
+    pub fn new() -> Self {
+        ThreeMajority
+    }
+}
+
+impl UpdateRule for ThreeMajority {
+    fn name(&self) -> &'static str {
+        "3-Majority"
+    }
+
+    fn sample_count(&self) -> usize {
+        3
+    }
+
+    fn update(&self, _own: Opinion, samples: &[Opinion], rng: &mut dyn RngCore) -> Opinion {
+        let [a, b, c] = samples else {
+            panic!("3-Majority needs exactly three samples")
+        };
+        // If any two agree, adopt that color.
+        if a == b || a == c {
+            return *a;
+        }
+        if b == c {
+            return *b;
+        }
+        // All distinct: adopt one uniformly at random (equivalently, a
+        // fixed sample — see the paper's footnote 1; we use the random
+        // variant).
+        samples[rng.gen_range(0..3)]
+    }
+}
+
+impl AcProcess for ThreeMajority {
+    fn alpha(&self, c: &Configuration) -> Vec<f64> {
+        alpha_three_majority(c)
+    }
+}
+
+impl VectorStep for ThreeMajority {
+    fn vector_step(&self, c: &Configuration, rng: &mut dyn RngCore) -> Configuration {
+        let alpha = alpha_three_majority(c);
+        let mut out = vec![0u64; alpha.len()];
+        sample_multinomial_into(c.n(), &alpha, rng, &mut out);
+        Configuration::from_counts(out)
+    }
+}
+
+/// Equation (2): `α_i = x_i (1 + x_i − ‖x‖₂²)`.
+pub fn alpha_three_majority(c: &Configuration) -> Vec<f64> {
+    let norm_sq = c.l2_norm_sq();
+    c.fractions().iter().map(|&x| x * (1.0 + x - norm_sq)).collect()
+}
+
+/// The paper's reformulated 3-Majority: 2-Choices with a Voter fallback.
+///
+/// Sample two nodes; if they agree adopt their color, otherwise sample a
+/// *third* node and adopt its color. Distributionally identical to
+/// [`ThreeMajority`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ThreeMajorityAlt;
+
+impl ThreeMajorityAlt {
+    /// Creates the rule.
+    pub fn new() -> Self {
+        ThreeMajorityAlt
+    }
+}
+
+impl UpdateRule for ThreeMajorityAlt {
+    fn name(&self) -> &'static str {
+        "3-Majority (2-Choices+Voter)"
+    }
+
+    fn sample_count(&self) -> usize {
+        3
+    }
+
+    fn update(&self, _own: Opinion, samples: &[Opinion], _rng: &mut dyn RngCore) -> Opinion {
+        let [a, b, c] = samples else {
+            panic!("3-Majority (alt) needs exactly three samples")
+        };
+        if a == b {
+            *a
+        } else {
+            // Mismatch: comply with a fresh Voter sample.
+            *c
+        }
+    }
+}
+
+impl AcProcess for ThreeMajorityAlt {
+    fn alpha(&self, c: &Configuration) -> Vec<f64> {
+        alpha_three_majority(c)
+    }
+}
+
+impl VectorStep for ThreeMajorityAlt {
+    fn vector_step(&self, c: &Configuration, rng: &mut dyn RngCore) -> Configuration {
+        ThreeMajority.vector_step(c, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::assert_probability_vector;
+    use rand::SeedableRng;
+    use symbreak_sim::rng::Pcg64;
+
+    fn op(i: u32) -> Opinion {
+        Opinion::new(i)
+    }
+
+    #[test]
+    fn alpha_is_probability_vector() {
+        for counts in [vec![5, 3, 2], vec![10, 0, 0], vec![1, 1, 1, 1, 1, 1]] {
+            let c = Configuration::from_counts(counts);
+            assert_probability_vector(&ThreeMajority.alpha(&c));
+        }
+    }
+
+    #[test]
+    fn alpha_matches_hand_computation() {
+        // x = (1/2, 1/2): norm² = 1/2, α_i = 1/2·(1 + 1/2 − 1/2) = 1/2.
+        let c = Configuration::from_counts(vec![5, 5]);
+        let a = ThreeMajority.alpha(&c);
+        assert!((a[0] - 0.5).abs() < 1e-12);
+        assert!((a[1] - 0.5).abs() < 1e-12);
+        // x = (3/4, 1/4): norm² = 10/16, α_0 = 3/4·(1 + 3/4 − 5/8) = 27/32.
+        let c = Configuration::from_counts(vec![3, 1]);
+        let a = ThreeMajority.alpha(&c);
+        assert!((a[0] - 27.0 / 32.0).abs() < 1e-12);
+        assert!((a[1] - 5.0 / 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn majority_of_samples_wins() {
+        let mut rng = Pcg64::seed_from_u64(1);
+        let r = ThreeMajority;
+        assert_eq!(r.update(op(9), &[op(1), op(1), op(2)], &mut rng), op(1));
+        assert_eq!(r.update(op(9), &[op(2), op(1), op(2)], &mut rng), op(2));
+        assert_eq!(r.update(op(9), &[op(1), op(2), op(2)], &mut rng), op(2));
+        assert_eq!(r.update(op(9), &[op(3), op(3), op(3)], &mut rng), op(3));
+    }
+
+    #[test]
+    fn distinct_samples_random_choice_is_uniform() {
+        let mut rng = Pcg64::seed_from_u64(2);
+        let r = ThreeMajority;
+        let mut counts = [0u32; 3];
+        for _ in 0..30_000 {
+            let o = r.update(op(9), &[op(0), op(1), op(2)], &mut rng);
+            counts[o.index()] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 / 30_000.0 - 1.0 / 3.0).abs() < 0.02, "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn alt_rule_agrees_on_matching_pair() {
+        let mut rng = Pcg64::seed_from_u64(3);
+        let r = ThreeMajorityAlt;
+        assert_eq!(r.update(op(9), &[op(4), op(4), op(7)], &mut rng), op(4));
+        // Mismatch: take the third sample.
+        assert_eq!(r.update(op(9), &[op(4), op(5), op(7)], &mut rng), op(7));
+    }
+
+    #[test]
+    fn own_color_is_ignored() {
+        // AC property: the result never depends on `own`.
+        let mut rng1 = Pcg64::seed_from_u64(4);
+        let mut rng2 = Pcg64::seed_from_u64(4);
+        let samples = [op(1), op(2), op(3)];
+        let a = ThreeMajority.update(op(0), &samples, &mut rng1);
+        let b = ThreeMajority.update(op(7), &samples, &mut rng2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn vector_step_preserves_mass_and_consensus() {
+        let mut rng = Pcg64::seed_from_u64(5);
+        let c = Configuration::uniform(500, 5);
+        let next = ThreeMajority.vector_step(&c, &mut rng);
+        assert_eq!(next.n(), 500);
+        let fixed = Configuration::consensus(100, 3);
+        assert_eq!(ThreeMajority.vector_step(&fixed, &mut rng), fixed);
+    }
+
+    #[test]
+    fn alpha_favours_large_colors_relative_to_voter() {
+        // Drift: for the plurality color, α_i > x_i; for the minority, <.
+        let c = Configuration::from_counts(vec![70, 30]);
+        let a = ThreeMajority.alpha(&c);
+        let x = c.fractions();
+        assert!(a[0] > x[0], "plurality should gain in expectation");
+        assert!(a[1] < x[1], "minority should shrink in expectation");
+    }
+
+    #[test]
+    fn names_and_sample_counts() {
+        assert_eq!(ThreeMajority.sample_count(), 3);
+        assert_eq!(ThreeMajorityAlt.sample_count(), 3);
+        assert!(ThreeMajority.name().contains("3-Majority"));
+    }
+}

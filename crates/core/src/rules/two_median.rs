@@ -1,0 +1,161 @@
+//! The 2-Median process \[DGM+11\]: colors are *ordered* values; each node
+//! updates to the median of its own value and two sampled values.
+//!
+//! Included as the paper's related-work comparator: 2-Median reaches
+//! consensus in `O(log k · log log n + log n)` rounds without bias, but it
+//! requires a total order on colors and is not self-stabilizing for
+//! Byzantine agreement (it can violate validity). It is not an AC-process
+//! (the update depends on the node's own value).
+
+use rand::RngCore;
+
+use crate::config::Configuration;
+use crate::opinion::Opinion;
+use crate::process::{ExpectedUpdate, UpdateRule};
+
+/// The 2-Median update rule. Opinion indices are interpreted as points on
+/// the integer line.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TwoMedian;
+
+impl TwoMedian {
+    /// Creates the rule.
+    pub fn new() -> Self {
+        TwoMedian
+    }
+}
+
+impl UpdateRule for TwoMedian {
+    fn name(&self) -> &'static str {
+        "2-Median"
+    }
+
+    fn sample_count(&self) -> usize {
+        2
+    }
+
+    fn update(&self, own: Opinion, samples: &[Opinion], _rng: &mut dyn RngCore) -> Opinion {
+        let [a, b] = samples else {
+            panic!("2-Median needs exactly two samples")
+        };
+        median3(own, *a, *b)
+    }
+}
+
+/// Median of three opinions by color index.
+fn median3(a: Opinion, b: Opinion, c: Opinion) -> Opinion {
+    let mut v = [a, b, c];
+    v.sort_unstable();
+    v[1]
+}
+
+impl ExpectedUpdate for TwoMedian {
+    /// Exact expectation via the CDF decomposition: a node with value `v`
+    /// moves to a value `≤ t` iff at least two of `{v, X, Y}` are `≤ t`,
+    /// with `X, Y` iid from the configuration distribution.
+    fn expected_fractions(&self, c: &Configuration) -> Vec<f64> {
+        let x = c.fractions();
+        let k = x.len();
+        // F[t] = Pr[sample <= t].
+        let mut cdf = vec![0.0; k];
+        let mut acc = 0.0;
+        for t in 0..k {
+            acc += x[t];
+            cdf[t] = acc;
+        }
+        // For a node with value v: Pr[new <= t] =
+        //   v <= t: 1 - (1-F)^2   (need at least one sample <= t)
+        //   v >  t: F^2           (need both samples <= t)
+        let mut expected = vec![0.0; k];
+        #[allow(clippy::needless_range_loop)] // v is a *value* on the line, not just an index
+        for v in 0..k {
+            if x[v] == 0.0 {
+                continue;
+            }
+            let weight = x[v];
+            let mut prev = 0.0;
+            for (t, &f) in cdf.iter().enumerate() {
+                let p_le = if v <= t { 1.0 - (1.0 - f) * (1.0 - f) } else { f * f };
+                expected[t] += weight * (p_le - prev);
+                prev = p_le;
+            }
+        }
+        expected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::assert_probability_vector;
+    use rand::SeedableRng;
+    use symbreak_sim::rng::Pcg64;
+
+    fn op(i: u32) -> Opinion {
+        Opinion::new(i)
+    }
+
+    #[test]
+    fn median_of_three() {
+        let mut rng = Pcg64::seed_from_u64(1);
+        assert_eq!(TwoMedian.update(op(5), &[op(1), op(9)], &mut rng), op(5));
+        assert_eq!(TwoMedian.update(op(1), &[op(5), op(9)], &mut rng), op(5));
+        assert_eq!(TwoMedian.update(op(9), &[op(1), op(5)], &mut rng), op(5));
+        assert_eq!(TwoMedian.update(op(3), &[op(3), op(7)], &mut rng), op(3));
+    }
+
+    #[test]
+    fn expected_fractions_is_probability_vector() {
+        for counts in [vec![5, 3, 2], vec![1, 1, 1, 1, 1], vec![10, 0, 5]] {
+            let c = Configuration::from_counts(counts);
+            assert_probability_vector(&TwoMedian.expected_fractions(&c));
+        }
+    }
+
+    #[test]
+    fn consensus_is_fixed_point_of_expectation() {
+        let c = Configuration::consensus(20, 4);
+        let e = TwoMedian.expected_fractions(&c);
+        assert!((e[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expectation_matches_monte_carlo() {
+        let c = Configuration::from_counts(vec![4, 2, 4]);
+        let expect = TwoMedian.expected_fractions(&c);
+        let x = c.fractions();
+        let cat = symbreak_sim::dist::Categorical::new(&x);
+        let mut rng = Pcg64::seed_from_u64(2);
+        let trials = 100_000;
+        let mut counts = [0u64; 3];
+        for _ in 0..trials {
+            // Node value drawn from the configuration, plus two samples.
+            let own = op(cat.sample(&mut rng) as u32);
+            let a = op(cat.sample(&mut rng) as u32);
+            let b = op(cat.sample(&mut rng) as u32);
+            counts[TwoMedian.update(own, &[a, b], &mut rng).index()] += 1;
+        }
+        for i in 0..3 {
+            let freq = counts[i] as f64 / trials as f64;
+            assert!(
+                (freq - expect[i]).abs() < 0.01,
+                "color {i}: freq {freq} vs expected {}",
+                expect[i]
+            );
+        }
+    }
+
+    #[test]
+    fn median_pulls_towards_the_middle() {
+        // Mass at the extremes: the middle should gain in expectation.
+        let c = Configuration::from_counts(vec![45, 10, 45]);
+        let e = TwoMedian.expected_fractions(&c);
+        assert!(e[1] > 0.1, "middle should grow, got {e:?}");
+    }
+
+    #[test]
+    fn name_and_samples() {
+        assert_eq!(TwoMedian.name(), "2-Median");
+        assert_eq!(TwoMedian.sample_count(), 2);
+    }
+}

@@ -1,0 +1,244 @@
+//! The Undecided-State dynamics \[BCN+15\]: a decided node that samples a
+//! different color becomes *undecided*; an undecided node adopts the color
+//! of the first decided node it samples.
+//!
+//! Included as the paper's related-work comparator. With a large enough
+//! bias it reaches consensus in `O(k log n)` rounds, but — as the paper
+//! notes — from the `k = n` singleton configuration a constant fraction of
+//! nodes goes undecided immediately, and the process may need to recover.
+//! Not an AC-process (the update depends on the node's own state), and its
+//! state space is richer than a [`Configuration`]: it additionally tracks
+//! the undecided count, so it has a bespoke [`UndecidedState`] with a
+//! vectorized `O(k)` step.
+
+use rand::RngCore;
+
+use crate::config::Configuration;
+use crate::opinion::Opinion;
+use crate::process::UpdateRule;
+use symbreak_sim::dist::{sample_multinomial_into, Binomial};
+
+/// The undecided-dynamics update rule (agent-level form).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UndecidedDynamics;
+
+impl UndecidedDynamics {
+    /// Creates the rule.
+    pub fn new() -> Self {
+        UndecidedDynamics
+    }
+}
+
+impl UpdateRule for UndecidedDynamics {
+    fn name(&self) -> &'static str {
+        "Undecided-State"
+    }
+
+    fn sample_count(&self) -> usize {
+        1
+    }
+
+    fn update(&self, own: Opinion, samples: &[Opinion], _rng: &mut dyn RngCore) -> Opinion {
+        let s = samples[0];
+        if own.is_undecided() {
+            // Try to find a real color.
+            s
+        } else if s.is_undecided() || s == own {
+            own
+        } else {
+            Opinion::UNDECIDED
+        }
+    }
+}
+
+/// Population state of the undecided dynamics: decided color counts plus
+/// the undecided count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UndecidedState {
+    colors: Configuration,
+    undecided: u64,
+}
+
+impl UndecidedState {
+    /// Starts with all nodes decided according to `config`.
+    pub fn new(config: Configuration) -> Self {
+        Self { colors: config, undecided: 0 }
+    }
+
+    /// The decided-color counts.
+    pub fn colors(&self) -> &Configuration {
+        &self.colors
+    }
+
+    /// Number of undecided nodes.
+    pub fn undecided(&self) -> u64 {
+        self.undecided
+    }
+
+    /// Total population (decided + undecided).
+    pub fn population(&self) -> u64 {
+        self.colors.n() + self.undecided
+    }
+
+    /// Whether all nodes are decided on a single color.
+    pub fn is_consensus(&self) -> bool {
+        self.undecided == 0 && self.colors.is_consensus()
+    }
+
+    /// One synchronous round, vectorized in `O(k)`:
+    ///
+    /// * decided on `j` → undecided with probability `(n − c_j − u)/n`
+    ///   (sampled node decided on a different color);
+    /// * undecided → color `i` with probability `c_i/n`, stays undecided
+    ///   with probability `u/n`.
+    pub fn step(&mut self, rng: &mut dyn RngCore) {
+        let n = self.population();
+        if n == 0 {
+            return;
+        }
+        let nf = n as f64;
+        let u = self.undecided;
+        let counts = self.colors.counts().to_vec();
+        let k = counts.len();
+
+        let mut next = vec![0u64; k];
+        let mut next_undecided = 0u64;
+
+        // Decided nodes: keep or go undecided.
+        for (j, &cj) in counts.iter().enumerate() {
+            if cj == 0 {
+                continue;
+            }
+            let p_leave = ((n - cj - u) as f64 / nf).clamp(0.0, 1.0);
+            let leavers = Binomial::new(cj, p_leave).sample(rng);
+            next[j] += cj - leavers;
+            next_undecided += leavers;
+        }
+
+        // Undecided nodes: adopt a decided sample's color or stay.
+        if u > 0 {
+            let mut theta: Vec<f64> = counts.iter().map(|&c| c as f64 / nf).collect();
+            theta.push(u as f64 / nf);
+            let mut out = vec![0u64; k + 1];
+            sample_multinomial_into(u, &theta, rng, &mut out);
+            for (nj, &adopted) in next.iter_mut().zip(&out[..k]) {
+                *nj += adopted;
+            }
+            next_undecided += out[k];
+        }
+
+        self.colors = Configuration::from_counts(next);
+        self.undecided = next_undecided;
+        debug_assert_eq!(self.population(), n, "population must be conserved");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use symbreak_sim::rng::Pcg64;
+
+    fn op(i: u32) -> Opinion {
+        Opinion::new(i)
+    }
+
+    #[test]
+    fn decided_node_keeps_on_same_or_undecided_sample() {
+        let mut rng = Pcg64::seed_from_u64(1);
+        let r = UndecidedDynamics;
+        assert_eq!(r.update(op(3), &[op(3)], &mut rng), op(3));
+        assert_eq!(r.update(op(3), &[Opinion::UNDECIDED], &mut rng), op(3));
+    }
+
+    #[test]
+    fn decided_node_goes_undecided_on_conflict() {
+        let mut rng = Pcg64::seed_from_u64(2);
+        let out = UndecidedDynamics.update(op(3), &[op(4)], &mut rng);
+        assert!(out.is_undecided());
+    }
+
+    #[test]
+    fn undecided_node_adopts_sample() {
+        let mut rng = Pcg64::seed_from_u64(3);
+        let r = UndecidedDynamics;
+        assert_eq!(r.update(Opinion::UNDECIDED, &[op(7)], &mut rng), op(7));
+        assert!(r.update(Opinion::UNDECIDED, &[Opinion::UNDECIDED], &mut rng).is_undecided());
+    }
+
+    #[test]
+    fn state_step_conserves_population() {
+        let mut rng = Pcg64::seed_from_u64(4);
+        let mut s = UndecidedState::new(Configuration::uniform(1000, 10));
+        for _ in 0..50 {
+            s.step(&mut rng);
+            assert_eq!(s.population(), 1000);
+        }
+    }
+
+    #[test]
+    fn consensus_is_absorbing() {
+        let mut rng = Pcg64::seed_from_u64(5);
+        let mut s = UndecidedState::new(Configuration::consensus(100, 3));
+        s.step(&mut rng);
+        assert!(s.is_consensus());
+        assert_eq!(s.undecided(), 0);
+    }
+
+    #[test]
+    fn singleton_start_goes_mostly_undecided() {
+        // The paper's remark: for k = n, a constant fraction becomes
+        // undecided in one round (each node sees a different color w.p.
+        // 1 − 1/n).
+        let mut rng = Pcg64::seed_from_u64(6);
+        let mut s = UndecidedState::new(Configuration::singletons(512));
+        s.step(&mut rng);
+        assert!(
+            s.undecided() > 400,
+            "expected most nodes undecided, got {}",
+            s.undecided()
+        );
+    }
+
+    #[test]
+    fn biased_two_color_run_reaches_consensus() {
+        let mut rng = Pcg64::seed_from_u64(7);
+        let mut s = UndecidedState::new(Configuration::from_counts(vec![700, 300]));
+        let mut rounds = 0;
+        while !s.is_consensus() && rounds < 10_000 {
+            s.step(&mut rng);
+            rounds += 1;
+        }
+        assert!(s.is_consensus(), "no consensus after {rounds} rounds");
+        assert_eq!(s.colors().plurality(), op(0), "majority color should win");
+    }
+
+    #[test]
+    fn vectorized_step_matches_agent_semantics_in_expectation() {
+        // One vector round from a known state vs many agent-level updates.
+        let config = Configuration::from_counts(vec![60, 40]);
+        let trials = 20_000;
+        let mut rng = Pcg64::seed_from_u64(8);
+        let mut sum_c0 = 0u64;
+        let mut sum_undecided = 0u64;
+        for _ in 0..trials {
+            let mut s = UndecidedState::new(config.clone());
+            s.step(&mut rng);
+            sum_c0 += s.colors().support(0);
+            sum_undecided += s.undecided();
+        }
+        // Agent semantics: decided-0 keeps w.p. (60+0)/100 -> stays 0
+        // unless sample is color 1 (p=0.4): E[c0'] = 60*0.6 = 36.
+        // E[undecided'] = 60*0.4 + 40*0.6 = 48.
+        let mean_c0 = sum_c0 as f64 / trials as f64;
+        let mean_u = sum_undecided as f64 / trials as f64;
+        assert!((mean_c0 - 36.0).abs() < 0.5, "mean c0 {mean_c0}");
+        assert!((mean_u - 48.0).abs() < 0.5, "mean undecided {mean_u}");
+    }
+
+    #[test]
+    fn name_and_samples() {
+        assert_eq!(UndecidedDynamics.name(), "Undecided-State");
+        assert_eq!(UndecidedDynamics.sample_count(), 1);
+    }
+}

@@ -1,0 +1,191 @@
+//! Consensus runners: drive an [`Engine`] to consensus (or a round cap),
+//! recording trajectories and the hitting times `T^κ` of Section 2.2.
+
+use crate::config::Configuration;
+use crate::engine::Engine;
+use crate::opinion::Opinion;
+use symbreak_sim::trace::{RoundStats, Trace};
+
+/// Options controlling a consensus run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOptions {
+    /// Hard cap on simulated rounds.
+    pub max_rounds: u64,
+    /// Record a full per-round [`Trace`] (costs `O(k)` per round).
+    pub record_trace: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        Self { max_rounds: 1_000_000, record_trace: false }
+    }
+}
+
+/// Outcome of a consensus run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Round at which consensus was first observed, if reached.
+    pub consensus_round: Option<u64>,
+    /// Number of rounds actually simulated.
+    pub rounds_run: u64,
+    /// The final configuration.
+    pub final_config: Configuration,
+    /// The winning color if consensus was reached.
+    pub winner: Option<Opinion>,
+    /// Per-round trajectory (present iff requested).
+    pub trace: Option<Trace>,
+}
+
+impl RunOutcome {
+    /// Whether the run reached consensus within the round cap.
+    pub fn reached_consensus(&self) -> bool {
+        self.consensus_round.is_some()
+    }
+}
+
+fn snapshot(engine: &dyn Engine) -> RoundStats {
+    let cfg = engine.configuration();
+    RoundStats {
+        round: engine.round(),
+        num_colors: cfg.num_colors(),
+        max_support: cfg.max_support(),
+        bias: cfg.bias(),
+    }
+}
+
+/// Runs `engine` until consensus or `opts.max_rounds`.
+pub fn run_to_consensus(engine: &mut dyn Engine, opts: &RunOptions) -> RunOutcome {
+    let mut trace = opts.record_trace.then(Trace::new);
+    if let Some(t) = trace.as_mut() {
+        t.push(snapshot(engine));
+    }
+    let start_round = engine.round();
+    let mut consensus_round = engine.is_consensus().then(|| engine.round());
+    while consensus_round.is_none() && engine.round() - start_round < opts.max_rounds {
+        engine.step();
+        if let Some(t) = trace.as_mut() {
+            t.push(snapshot(engine));
+        }
+        if engine.is_consensus() {
+            consensus_round = Some(engine.round());
+        }
+    }
+    let final_config = engine.configuration();
+    let winner = (consensus_round.is_some() && final_config.n() > 0)
+        .then(|| final_config.plurality());
+    RunOutcome {
+        consensus_round,
+        rounds_run: engine.round() - start_round,
+        final_config,
+        winner,
+        trace,
+    }
+}
+
+/// Runs `engine` until at most `kappa` colors remain, returning the hitting
+/// time `T^κ`, or `None` if the cap was reached first.
+///
+/// This is the observable Theorem 2 is about.
+pub fn hitting_time_colors(engine: &mut dyn Engine, kappa: usize, max_rounds: u64) -> Option<u64> {
+    let start = engine.round();
+    loop {
+        if engine.configuration().num_colors() <= kappa {
+            return Some(engine.round() - start);
+        }
+        if engine.round() - start >= max_rounds {
+            return None;
+        }
+        engine.step();
+    }
+}
+
+/// Runs `engine` until the maximum support exceeds `threshold`, returning
+/// that round (the observable of Theorem 5), or `None` at the cap.
+pub fn first_support_above(
+    engine: &mut dyn Engine,
+    threshold: u64,
+    max_rounds: u64,
+) -> Option<u64> {
+    let start = engine.round();
+    loop {
+        if engine.configuration().max_support() > threshold {
+            return Some(engine.round() - start);
+        }
+        if engine.round() - start >= max_rounds {
+            return None;
+        }
+        engine.step();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::VectorEngine;
+    use crate::rules::{ThreeMajority, Voter};
+
+    #[test]
+    fn voter_run_reaches_consensus_with_trace() {
+        let c = Configuration::uniform(64, 8);
+        let mut e = VectorEngine::new(Voter, c, 1);
+        let out = run_to_consensus(&mut e, &RunOptions { max_rounds: 100_000, record_trace: true });
+        assert!(out.reached_consensus());
+        let trace = out.trace.expect("requested");
+        assert_eq!(trace.rounds()[0].round, 0);
+        assert_eq!(trace.last().map(|r| r.num_colors), Some(1));
+        assert!(out.winner.is_some());
+        assert_eq!(out.final_config.n(), 64);
+    }
+
+    #[test]
+    fn round_cap_is_respected() {
+        let c = Configuration::singletons(4096);
+        let mut e = VectorEngine::new(Voter, c, 2);
+        let out = run_to_consensus(&mut e, &RunOptions { max_rounds: 3, record_trace: false });
+        assert!(!out.reached_consensus());
+        assert_eq!(out.rounds_run, 3);
+        assert!(out.winner.is_none());
+        assert!(out.trace.is_none());
+    }
+
+    #[test]
+    fn already_consensus_returns_round_zero() {
+        let c = Configuration::consensus(10, 2);
+        let mut e = VectorEngine::new(ThreeMajority, c, 3);
+        let out = run_to_consensus(&mut e, &RunOptions::default());
+        assert_eq!(out.consensus_round, Some(0));
+        assert_eq!(out.rounds_run, 0);
+        assert_eq!(out.winner, Some(Opinion::new(0)));
+    }
+
+    #[test]
+    fn hitting_time_is_monotone_in_kappa() {
+        let c = Configuration::singletons(256);
+        let mut e = VectorEngine::new(ThreeMajority, c.clone(), 4);
+        let t16 = hitting_time_colors(&mut e, 16, 1_000_000).expect("reaches 16 colors");
+        // Continue the same engine down to 4 colors: must take extra rounds.
+        let t4_extra = hitting_time_colors(&mut e, 4, 1_000_000).expect("reaches 4 colors");
+        assert!(t16 > 0);
+        // Restarting from scratch, T^4 >= T^16 in the same realization.
+        let mut e2 = VectorEngine::new(ThreeMajority, c, 4);
+        let t4 = hitting_time_colors(&mut e2, 4, 1_000_000).expect("reaches 4");
+        assert_eq!(t4, t16 + t4_extra, "same seed: nested hitting times compose");
+    }
+
+    #[test]
+    fn hitting_time_none_at_cap() {
+        let c = Configuration::singletons(1024);
+        let mut e = VectorEngine::new(Voter, c, 5);
+        assert_eq!(hitting_time_colors(&mut e, 1, 2), None);
+    }
+
+    #[test]
+    fn first_support_above_triggers() {
+        let c = Configuration::uniform(100, 2);
+        let mut e = VectorEngine::new(ThreeMajority, c, 6);
+        // Threshold 0 triggers immediately.
+        assert_eq!(first_support_above(&mut e, 0, 10), Some(0));
+        // Threshold n can never trigger.
+        assert_eq!(first_support_above(&mut e, 100, 5), None);
+    }
+}

@@ -1,0 +1,172 @@
+//! Closed-form bound curves from the paper, used by the experiment harness
+//! to plot measured times against the claimed asymptotics.
+//!
+//! All logarithms are natural; the bounds are asymptotic shapes (constants
+//! chosen as in the paper where it gives them, e.g. `20·n/k` in Lemma 3's
+//! proof), so harness comparisons are about *shape*, not absolute values.
+
+/// Theorem 4: 3-Majority consensus-time bound `n^{3/4} · log^{7/8} n`.
+pub fn theorem4_bound(n: u64) -> f64 {
+    let nf = n as f64;
+    nf.powf(0.75) * nf.ln().max(1.0).powf(7.0 / 8.0)
+}
+
+/// The Phase-1 / Phase-2 split point of Theorem 4's proof:
+/// `n^{1/4} · log^{1/8} n` colors.
+pub fn phase_split_colors(n: u64) -> u64 {
+    let nf = n as f64;
+    (nf.powf(0.25) * nf.ln().max(1.0).powf(1.0 / 8.0)).ceil() as u64
+}
+
+/// Lemma 3 (w.h.p. form): Voter reaches `k` colors within
+/// `O((n/k) · log n)` rounds.
+pub fn lemma3_whp_bound(n: u64, k: u64) -> f64 {
+    let nf = n as f64;
+    (nf / k as f64) * nf.ln().max(1.0)
+}
+
+/// Lemma 3 / Equation (19): `E[T^k_C] ≤ 20·n/k` — the expectation bound on
+/// the coalescence (equivalently Voter) time, with the paper's constant.
+pub fn lemma3_expectation_bound(n: u64, k: u64) -> f64 {
+    20.0 * n as f64 / k as f64
+}
+
+/// Theorem 5's support cap `ℓ' = max(2ℓ, γ·log n)`.
+pub fn theorem5_support_cap(ell: u64, gamma: f64, n: u64) -> u64 {
+    let log_term = (gamma * (n as f64).ln()).ceil() as u64;
+    (2 * ell).max(log_term)
+}
+
+/// Theorem 5's horizon: with high probability no color exceeds `ℓ'` for
+/// `n / (γ·ℓ')` rounds.
+pub fn theorem5_horizon(n: u64, ell_prime: u64, gamma: f64) -> f64 {
+    n as f64 / (gamma * ell_prime as f64)
+}
+
+/// Theorem 1's lower-bound shape for 2-Choices from low-support
+/// configurations: `n / log n`.
+pub fn two_choices_lower_bound(n: u64) -> f64 {
+    n as f64 / (n as f64).ln().max(1.0)
+}
+
+/// Theorem 8 (\[BCN+16, Theorem 3.1\]): 3-Majority from `k ≤ n^{1/3−ε}`
+/// colors reaches consensus w.h.p. in
+/// `O((k² log^{1/2} n + k log n) · (k + log n))` rounds.
+pub fn theorem8_bound(n: u64, k: u64) -> f64 {
+    let ln_n = (n as f64).ln().max(1.0);
+    let kf = k as f64;
+    (kf * kf * ln_n.sqrt() + kf * ln_n) * (kf + ln_n)
+}
+
+/// The biased-regime sufficient bias for 3-Majority's plurality
+/// convergence (\[BCN+14\]): `√(k) · √(n log n)` up to constants.
+pub fn three_majority_bias_threshold(n: u64, k: u64) -> f64 {
+    (k as f64).sqrt() * ((n as f64) * (n as f64).ln().max(1.0)).sqrt()
+}
+
+/// The biased-regime sufficient bias for 2-Choices (\[BGKMT16\], see
+/// footnote 4): `√(n log n)` up to constants.
+pub fn two_choices_bias_threshold(n: u64) -> f64 {
+    ((n as f64) * (n as f64).ln().max(1.0)).sqrt()
+}
+
+/// Fault tolerance (§5, citing \[BCN+16\]): 3-Majority with `k = o(n^{1/3})`
+/// tolerates `O(√n / (k^{5/2} · log n))` corruptions per round.
+pub fn three_majority_tolerated_corruptions(n: u64, k: u64) -> f64 {
+    (n as f64).sqrt() / ((k as f64).powf(2.5) * (n as f64).ln().max(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theorem4_is_sublinear() {
+        for exp in 10..24 {
+            let n = 1u64 << exp;
+            assert!(
+                theorem4_bound(n) < n as f64,
+                "bound must be sublinear at n = 2^{exp}"
+            );
+        }
+    }
+
+    #[test]
+    fn theorem4_grows_with_n() {
+        assert!(theorem4_bound(1 << 20) > theorem4_bound(1 << 10));
+    }
+
+    #[test]
+    fn phase_split_is_well_below_n() {
+        let n = 1u64 << 20;
+        let split = phase_split_colors(n);
+        assert!(split as f64 >= (n as f64).powf(0.25));
+        assert!((split as f64) < (n as f64).powf(0.34), "split must stay o(n^{{1/3}})");
+    }
+
+    #[test]
+    fn lemma3_bounds_scale_inversely_with_k() {
+        let n = 1 << 16;
+        assert!(lemma3_whp_bound(n, 2) > lemma3_whp_bound(n, 64));
+        assert!((lemma3_expectation_bound(n, 4) - 20.0 * n as f64 / 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn theorem5_cap_takes_the_max() {
+        // Small initial support: the log term dominates.
+        let n = 1 << 16;
+        let gamma = 18.0;
+        let cap = theorem5_support_cap(1, gamma, n);
+        assert_eq!(cap, (gamma * (n as f64).ln()).ceil() as u64);
+        // Large initial support: doubling dominates.
+        assert_eq!(theorem5_support_cap(10_000, gamma, n), 20_000);
+    }
+
+    #[test]
+    fn theorem5_horizon_shrinks_with_support_cap() {
+        let n = 1u64 << 20;
+        let gamma = 18.0;
+        let small_cap = theorem5_support_cap(1, gamma, n);
+        let big_cap = theorem5_support_cap(10_000, gamma, n);
+        assert!(
+            theorem5_horizon(n, small_cap, gamma) > theorem5_horizon(n, big_cap, gamma),
+            "larger caps are reached in proportionally fewer rounds"
+        );
+    }
+
+    #[test]
+    fn separation_widens_with_n() {
+        // ratio = n^{1/4} / log^{15/8} n grows without bound; the constants
+        // only push it past 1 at very large n, so test monotone growth at
+        // simulable sizes and openness asymptotically.
+        let ratio = |n: u64| two_choices_lower_bound(n) / theorem4_bound(n);
+        assert!(ratio(1 << 22) > ratio(1 << 14), "gap must widen with n");
+        assert!(ratio(1 << 62) > 1.0, "gap must be open asymptotically");
+    }
+
+    #[test]
+    fn theorem8_polynomial_in_k() {
+        let n = 1 << 20;
+        assert!(theorem8_bound(n, 64) > theorem8_bound(n, 8));
+    }
+
+    #[test]
+    fn bias_thresholds_ordering() {
+        // 3-Majority needs a √k-factor more bias than 2-Choices (footnote 4).
+        let n = 1 << 16;
+        assert!(three_majority_bias_threshold(n, 9) > two_choices_bias_threshold(n));
+        assert!(
+            (three_majority_bias_threshold(n, 9) / two_choices_bias_threshold(n) - 3.0).abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn tolerated_corruptions_shrink_with_k() {
+        let n = 1 << 20;
+        assert!(
+            three_majority_tolerated_corruptions(n, 2)
+                > three_majority_tolerated_corruptions(n, 8)
+        );
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests of the rule/engine layer.
+
+use proptest::prelude::*;
+use symbreak_core::counterexample::{alpha_h_majority_exact, rational_majorizes, Rational};
+use symbreak_core::process::{assert_probability_vector, AcProcess, ExpectedUpdate};
+use symbreak_core::rules::{
+    HMajority, LazyVoter, ThreeMajority, TwoChoices, TwoMedian, Voter,
+};
+use symbreak_core::{AgentEngine, Configuration, Engine};
+
+fn counts_strategy(k: usize, max: u64) -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..max, k)
+        .prop_filter("at least one node", |c| c.iter().sum::<u64>() > 0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn h_majority_alpha_is_probability_vector(
+        counts in counts_strategy(5, 20),
+        h in 1usize..6,
+    ) {
+        let c = Configuration::from_counts(counts);
+        assert_probability_vector(&HMajority::new(h).alpha(&c));
+    }
+
+    #[test]
+    fn expected_updates_are_probability_vectors(counts in counts_strategy(6, 30)) {
+        let c = Configuration::from_counts(counts);
+        assert_probability_vector(&Voter.expected_fractions(&c));
+        assert_probability_vector(&TwoChoices.expected_fractions(&c));
+        assert_probability_vector(&ThreeMajority.expected_fractions(&c));
+        assert_probability_vector(&TwoMedian.expected_fractions(&c));
+        assert_probability_vector(&LazyVoter::half().expected_fractions(&c));
+    }
+
+    #[test]
+    fn dead_colors_stay_dead_in_expectation(counts in counts_strategy(6, 30)) {
+        // No process can give probability to an unsupported color.
+        let c = Configuration::from_counts(counts);
+        for (i, &cnt) in c.counts().iter().enumerate() {
+            if cnt == 0 {
+                prop_assert_eq!(ThreeMajority.expected_fractions(&c)[i], 0.0);
+                prop_assert_eq!(TwoChoices.expected_fractions(&c)[i], 0.0);
+                prop_assert_eq!(Voter.expected_fractions(&c)[i], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn agent_engine_population_invariant(
+        counts in counts_strategy(4, 25),
+        seed in 0u64..5_000,
+    ) {
+        let c = Configuration::from_counts(counts);
+        let mut e = AgentEngine::new(ThreeMajority, &c, seed);
+        for _ in 0..5 {
+            e.step();
+            prop_assert_eq!(e.configuration().n() + e.undecided(), c.n());
+        }
+    }
+
+    #[test]
+    fn three_majority_alpha_majorizes_voter_alpha(counts in counts_strategy(5, 30)) {
+        // Lemma 2's c = c̃ case as a property over the whole space.
+        let c = Configuration::from_counts(counts);
+        let a3 = ThreeMajority.alpha(&c);
+        let av = Voter.alpha(&c);
+        prop_assert!(symbreak_majorization::vector::majorizes_eps(&a3, &av, 1e-9));
+    }
+
+    #[test]
+    fn rational_field_laws(
+        an in -50i128..50, ad in 1i128..20,
+        bn in -50i128..50, bd in 1i128..20,
+        cn in -50i128..50, cd in 1i128..20,
+    ) {
+        let a = Rational::new(an, ad);
+        let b = Rational::new(bn, bd);
+        let c = Rational::new(cn, cd);
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!(a * b, b * a);
+        prop_assert_eq!((a + b) + c, a + (b + c));
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+        prop_assert_eq!(a - a, Rational::ZERO);
+        if !b.is_zero() {
+            prop_assert_eq!((a / b) * b, a);
+        }
+    }
+
+    #[test]
+    fn exact_and_float_h_majority_agree(
+        counts in proptest::collection::vec(0u64..8, 4)
+            .prop_filter("non-empty", |c| c.iter().sum::<u64>() > 0),
+        h in 1usize..5,
+    ) {
+        let total: u64 = counts.iter().sum();
+        let c = Configuration::from_counts(counts.clone());
+        let float = HMajority::new(h).alpha(&c);
+        let x: Vec<Rational> =
+            counts.iter().map(|&v| Rational::new(v as i128, total as i128)).collect();
+        let exact = alpha_h_majority_exact(&x, h);
+        for (f, e) in float.iter().zip(&exact) {
+            prop_assert!((f - e.to_f64()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rational_majorization_matches_float(
+        a in proptest::collection::vec(0i128..20, 4),
+        b in proptest::collection::vec(0i128..20, 4),
+    ) {
+        // Compare raw integer vectors (denominator 1): both sides agree on
+        // the relation whether or not the totals match (unequal totals are
+        // incomparable in both implementations).
+        let ra: Vec<Rational> = a.iter().map(|&v| Rational::new(v, 1)).collect();
+        let rb: Vec<Rational> = b.iter().map(|&v| Rational::new(v, 1)).collect();
+        let fa: Vec<f64> = a.iter().map(|&v| v as f64).collect();
+        let fb: Vec<f64> = b.iter().map(|&v| v as f64).collect();
+        prop_assert_eq!(
+            rational_majorizes(&ra, &rb),
+            symbreak_majorization::vector::majorizes_eps(&fa, &fb, 1e-9)
+        );
+    }
+
+    #[test]
+    fn compaction_never_changes_consensus_status(counts in counts_strategy(6, 30)) {
+        let c = Configuration::from_counts(counts);
+        prop_assert_eq!(c.is_consensus(), c.compacted().is_consensus());
+        prop_assert_eq!(c.bias(), c.compacted().bias());
+        prop_assert_eq!(c.max_support(), c.compacted().max_support());
+    }
+}

@@ -1,0 +1,189 @@
+//! Coalescing random walks.
+//!
+//! Initially one walk sits on every node; in each synchronous step every
+//! walk moves to a uniform random neighbor, and walks that meet merge. The
+//! coalescence times `T^k_C` (first time at most `k` walks remain) are dual
+//! to the Voter hitting times `T^k_V` via time reversal (Lemma 4, see
+//! [`crate::duality`]); Lemma 3's `E[T^k_C] ≤ 20 n/k` bound is validated in
+//! Experiment E5.
+
+use rand::Rng;
+
+use crate::graph::Graph;
+
+/// State of a coalescing-random-walk simulation.
+#[derive(Debug, Clone)]
+pub struct CoalescingWalks<'g> {
+    graph: &'g Graph,
+    /// `positions[w]` = node currently hosting walk representative `w`;
+    /// coalesced walks are removed from this list.
+    positions: Vec<u32>,
+    steps: u64,
+}
+
+impl<'g> CoalescingWalks<'g> {
+    /// Starts with one walk on every node of `graph`.
+    pub fn new(graph: &'g Graph) -> Self {
+        let positions = (0..graph.num_nodes() as u32).collect();
+        Self { graph, positions, steps: 0 }
+    }
+
+    /// Starts with walks on the given (distinct) nodes only.
+    ///
+    /// # Panics
+    /// Panics if `starts` contains duplicates or out-of-range nodes.
+    pub fn with_starts(graph: &'g Graph, starts: &[u32]) -> Self {
+        let mut seen = std::collections::HashSet::with_capacity(starts.len());
+        for &s in starts {
+            assert!((s as usize) < graph.num_nodes(), "start {s} out of range");
+            assert!(seen.insert(s), "duplicate start {s}");
+        }
+        Self { graph, positions: starts.to_vec(), steps: 0 }
+    }
+
+    /// Number of walks still alive.
+    pub fn num_walks(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Current walk positions (one entry per surviving walk).
+    pub fn positions(&self) -> &[u32] {
+        &self.positions
+    }
+
+    /// One synchronous step: every walk moves to a uniform random neighbor,
+    /// then walks sharing a node coalesce.
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for pos in self.positions.iter_mut() {
+            *pos = self.graph.random_neighbor(*pos as usize, rng);
+        }
+        self.coalesce();
+        self.steps += 1;
+    }
+
+    fn coalesce(&mut self) {
+        self.positions.sort_unstable();
+        self.positions.dedup();
+    }
+
+    /// Runs until at most `k` walks remain; returns the number of steps
+    /// taken from the current state, or `None` if `max_steps` elapsed
+    /// first.
+    pub fn run_until<R: Rng + ?Sized>(
+        &mut self,
+        k: usize,
+        max_steps: u64,
+        rng: &mut R,
+    ) -> Option<u64> {
+        let start = self.steps;
+        while self.num_walks() > k {
+            if self.steps - start >= max_steps {
+                return None;
+            }
+            self.step(rng);
+        }
+        Some(self.steps - start)
+    }
+}
+
+/// Convenience: the coalescence time `T^k_C` from the all-nodes start on
+/// `graph`, or `None` at the cap.
+pub fn coalescence_time<R: Rng + ?Sized>(
+    graph: &Graph,
+    k: usize,
+    max_steps: u64,
+    rng: &mut R,
+) -> Option<u64> {
+    CoalescingWalks::new(graph).run_until(k, max_steps, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use symbreak_sim::rng::Pcg64;
+
+    #[test]
+    fn starts_with_one_walk_per_node() {
+        let g = Graph::complete(10);
+        let w = CoalescingWalks::new(&g);
+        assert_eq!(w.num_walks(), 10);
+        assert_eq!(w.steps(), 0);
+    }
+
+    #[test]
+    fn walk_count_is_non_increasing() {
+        let g = Graph::complete(64);
+        let mut w = CoalescingWalks::new(&g);
+        let mut rng = Pcg64::seed_from_u64(1);
+        let mut prev = w.num_walks();
+        for _ in 0..50 {
+            w.step(&mut rng);
+            assert!(w.num_walks() <= prev);
+            prev = w.num_walks();
+        }
+    }
+
+    #[test]
+    fn coalesces_to_one_on_complete_graph() {
+        let g = Graph::complete(32);
+        let mut rng = Pcg64::seed_from_u64(2);
+        let t = coalescence_time(&g, 1, 1_000_000, &mut rng).expect("coalesces");
+        assert!(t > 0);
+    }
+
+    #[test]
+    fn expected_coalescence_time_within_lemma3_bound() {
+        // E[T^k_C] <= 20 n/k (Equation (19)); Monte-Carlo mean must comply
+        // with slack for sampling error.
+        let n = 128;
+        let g = Graph::complete(n);
+        for k in [1usize, 4, 16] {
+            let trials = 30;
+            let mut total = 0u64;
+            for t in 0..trials {
+                let mut rng = Pcg64::seed_from_u64(100 + t);
+                total += coalescence_time(&g, k, 10_000_000, &mut rng).expect("coalesces");
+            }
+            let mean = total as f64 / trials as f64;
+            let bound = 20.0 * n as f64 / k as f64;
+            assert!(mean < bound, "k={k}: mean {mean} exceeds 20n/k = {bound}");
+        }
+    }
+
+    #[test]
+    fn custom_starts() {
+        let g = Graph::cycle(10);
+        let w = CoalescingWalks::with_starts(&g, &[0, 5]);
+        assert_eq!(w.num_walks(), 2);
+    }
+
+    #[test]
+    fn two_walks_on_cycle_meet() {
+        let g = Graph::cycle(8);
+        let mut rng = Pcg64::seed_from_u64(3);
+        let mut w = CoalescingWalks::with_starts(&g, &[0, 4]);
+        let t = w.run_until(1, 1_000_000, &mut rng).expect("meet");
+        assert!(t >= 1);
+        assert_eq!(w.num_walks(), 1);
+    }
+
+    #[test]
+    fn cap_returns_none() {
+        let g = Graph::cycle(64);
+        let mut rng = Pcg64::seed_from_u64(4);
+        assert_eq!(coalescence_time(&g, 1, 1, &mut rng), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate start")]
+    fn duplicate_starts_panic() {
+        let g = Graph::complete(4);
+        CoalescingWalks::with_starts(&g, &[1, 1]);
+    }
+}

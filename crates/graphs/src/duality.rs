@@ -1,0 +1,231 @@
+//! The exact Voter/coalescence duality coupling — Lemma 4 / Figure 1 as
+//! executable code.
+//!
+//! Materialize the arrow field `Y_t(u)` (the uniform neighbor node `u`
+//! would pull from at time `t`). Running *coalescing random walks forward*
+//! over `Y_0, Y_1, …` and the *Voter process over the same arrows in
+//! reverse order* yields, deterministically and per-realization,
+//!
+//! ```text
+//! #opinions after a τ-round Voter run  =  #walks after τ coalescence steps
+//! ```
+//!
+//! for every `τ`, hence `T^k_V = T^k_C` exactly (not merely in
+//! distribution). Experiment E6 exercises this on complete and general
+//! graphs.
+
+use rand::Rng;
+
+use crate::graph::Graph;
+
+/// A materialized arrow field: `arrows[t][u]` is the node `u` pulls from
+/// (walk on `u` moves to) at time `t`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DualityCoupling {
+    arrows: Vec<Vec<u32>>,
+    n: usize,
+}
+
+impl DualityCoupling {
+    /// Draws `steps` rounds of arrows for `graph`.
+    pub fn generate<R: Rng + ?Sized>(graph: &Graph, steps: usize, rng: &mut R) -> Self {
+        let n = graph.num_nodes();
+        let arrows = (0..steps)
+            .map(|_| (0..n).map(|u| graph.random_neighbor(u, rng)).collect())
+            .collect();
+        Self { arrows, n }
+    }
+
+    /// Draws arrows until the coalescing walks (run forward over them)
+    /// first drop to at most `k` walks; returns the coupling together with
+    /// the coalescence time `T^k_C`, or `None` if `max_steps` elapsed.
+    pub fn generate_until_coalesced<R: Rng + ?Sized>(
+        graph: &Graph,
+        k: usize,
+        max_steps: usize,
+        rng: &mut R,
+    ) -> Option<(Self, u64)> {
+        let n = graph.num_nodes();
+        let mut arrows: Vec<Vec<u32>> = Vec::new();
+        let mut walk_nodes: Vec<u32> = (0..n as u32).collect();
+        let mut t = 0u64;
+        while walk_nodes.len() > k {
+            if arrows.len() >= max_steps {
+                return None;
+            }
+            let field: Vec<u32> =
+                (0..n).map(|u| graph.random_neighbor(u, rng)).collect();
+            for w in walk_nodes.iter_mut() {
+                *w = field[*w as usize];
+            }
+            walk_nodes.sort_unstable();
+            walk_nodes.dedup();
+            arrows.push(field);
+            t += 1;
+        }
+        Some((Self { arrows, n }, t))
+    }
+
+    /// Number of materialized rounds.
+    pub fn steps(&self) -> usize {
+        self.arrows.len()
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of surviving walks after `tau` coalescence steps over
+    /// `Y_0 … Y_{τ−1}` (walks start on every node).
+    ///
+    /// # Panics
+    /// Panics if `tau > self.steps()`.
+    pub fn walks_after(&self, tau: usize) -> usize {
+        assert!(tau <= self.arrows.len(), "tau exceeds materialized steps");
+        let mut nodes: Vec<u32> = (0..self.n as u32).collect();
+        for field in &self.arrows[..tau] {
+            for w in nodes.iter_mut() {
+                *w = field[*w as usize];
+            }
+            nodes.sort_unstable();
+            nodes.dedup();
+        }
+        nodes.len()
+    }
+
+    /// Number of distinct opinions after a `tau`-round Voter run over the
+    /// *reversed* arrows (`round s` pulls along `Y_{τ−s}`), starting from
+    /// pairwise-distinct opinions.
+    ///
+    /// This simulates Voter semantics directly — node `u` adopts the
+    /// opinion of the node it pulls from — providing an independent check
+    /// of the duality rather than reusing the walk recursion.
+    ///
+    /// # Panics
+    /// Panics if `tau > self.steps()`.
+    pub fn voter_opinions_after(&self, tau: usize) -> usize {
+        assert!(tau <= self.arrows.len(), "tau exceeds materialized steps");
+        // opinions[u] = opinion of node u; start: all distinct.
+        let mut opinions: Vec<u32> = (0..self.n as u32).collect();
+        let mut next = opinions.clone();
+        for s in 1..=tau {
+            let field = &self.arrows[tau - s];
+            for u in 0..self.n {
+                next[u] = opinions[field[u] as usize];
+            }
+            std::mem::swap(&mut opinions, &mut next);
+        }
+        let mut distinct = opinions;
+        distinct.sort_unstable();
+        distinct.dedup();
+        distinct.len()
+    }
+
+    /// Checks the per-`τ` duality identity for every `τ ≤ steps`.
+    pub fn verify_identity(&self) -> bool {
+        (0..=self.arrows.len()).all(|tau| self.walks_after(tau) == self.voter_opinions_after(tau))
+    }
+}
+
+/// The Voter hitting time `T^k_V` extracted from the coupling: the first
+/// `τ` whose τ-round Voter run has at most `k` opinions.
+///
+/// By Lemma 4 this equals the coalescence time over the same arrows; the
+/// function computes it from the Voter side only.
+pub fn voter_time_from_coupling(coupling: &DualityCoupling, k: usize) -> Option<u64> {
+    (0..=coupling.steps()).find(|&tau| coupling.voter_opinions_after(tau) <= k).map(|t| t as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use symbreak_sim::rng::Pcg64;
+
+    #[test]
+    fn identity_holds_on_complete_graph() {
+        let g = Graph::complete(24);
+        let mut rng = Pcg64::seed_from_u64(1);
+        let (coupling, t) =
+            DualityCoupling::generate_until_coalesced(&g, 1, 100_000, &mut rng).expect("coalesces");
+        assert!(t > 0);
+        assert!(coupling.verify_identity(), "T^k_V = T^k_C must hold per-realization");
+    }
+
+    #[test]
+    fn identity_holds_on_cycle_and_torus() {
+        let mut rng = Pcg64::seed_from_u64(2);
+        for g in [Graph::cycle(16), Graph::torus(4, 4)] {
+            let (coupling, _) =
+                DualityCoupling::generate_until_coalesced(&g, 2, 1_000_000, &mut rng)
+                    .expect("coalesces to 2");
+            assert!(coupling.verify_identity());
+        }
+    }
+
+    #[test]
+    fn identity_holds_on_random_regular() {
+        let mut rng = Pcg64::seed_from_u64(3);
+        let g = Graph::random_regular(20, 3, &mut rng);
+        let (coupling, _) = DualityCoupling::generate_until_coalesced(&g, 1, 1_000_000, &mut rng)
+            .expect("coalesces");
+        assert!(coupling.verify_identity());
+    }
+
+    #[test]
+    fn voter_time_matches_coalescence_time() {
+        let g = Graph::complete(32);
+        for seed in 10..20 {
+            let mut rng = Pcg64::seed_from_u64(seed);
+            for k in [1usize, 3, 8] {
+                let mut rng2 = rng.clone();
+                let (coupling, t_c) =
+                    DualityCoupling::generate_until_coalesced(&g, k, 100_000, &mut rng2)
+                        .expect("coalesces");
+                let t_v = voter_time_from_coupling(&coupling, k).expect("voter reaches k");
+                assert_eq!(t_v, t_c, "seed {seed}, k={k}: T^k_V != T^k_C");
+            }
+            rng.next_f64();
+        }
+    }
+
+    #[test]
+    fn zero_rounds_have_n_of_each() {
+        let g = Graph::complete(9);
+        let mut rng = Pcg64::seed_from_u64(4);
+        let coupling = DualityCoupling::generate(&g, 5, &mut rng);
+        assert_eq!(coupling.walks_after(0), 9);
+        assert_eq!(coupling.voter_opinions_after(0), 9);
+        assert_eq!(coupling.steps(), 5);
+        assert_eq!(coupling.num_nodes(), 9);
+    }
+
+    #[test]
+    fn walk_counts_non_increasing_in_tau() {
+        let g = Graph::complete(16);
+        let mut rng = Pcg64::seed_from_u64(5);
+        let coupling = DualityCoupling::generate(&g, 30, &mut rng);
+        let mut prev = usize::MAX;
+        for tau in 0..=30 {
+            let w = coupling.walks_after(tau);
+            assert!(w <= prev);
+            prev = w;
+        }
+    }
+
+    #[test]
+    fn cap_returns_none() {
+        let g = Graph::cycle(32);
+        let mut rng = Pcg64::seed_from_u64(6);
+        assert!(DualityCoupling::generate_until_coalesced(&g, 1, 1, &mut rng).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "tau exceeds")]
+    fn tau_out_of_range_panics() {
+        let g = Graph::complete(4);
+        let mut rng = Pcg64::seed_from_u64(7);
+        DualityCoupling::generate(&g, 2, &mut rng).walks_after(3);
+    }
+}

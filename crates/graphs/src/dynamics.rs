@@ -1,0 +1,220 @@
+//! Voter and 2-Choices dynamics on arbitrary graphs.
+//!
+//! The paper's related work studies 2-Choices on `d`-regular and expander
+//! graphs (\[CER14\], \[CER+15\]) and Voter on general graphs
+//! (\[CEOR13\], \[BGKMT16\]). These runners let the experiment harness
+//! contrast the complete-graph behaviour with sparse topologies.
+
+use rand::Rng;
+
+use symbreak_core::opinion::Opinion;
+use symbreak_core::Configuration;
+
+use crate::graph::Graph;
+
+/// Per-node opinion dynamics on a graph.
+#[derive(Debug, Clone)]
+pub struct GraphDynamics<'g> {
+    graph: &'g Graph,
+    opinions: Vec<Opinion>,
+    next: Vec<Opinion>,
+    round: u64,
+}
+
+/// The update rule to run on the graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphRule {
+    /// Sample one neighbor, adopt its opinion.
+    Voter,
+    /// Sample two neighbors (with replacement); adopt on agreement, else
+    /// keep your own opinion.
+    TwoChoices,
+}
+
+impl<'g> GraphDynamics<'g> {
+    /// Starts with pairwise distinct opinions (leader election).
+    pub fn singletons(graph: &'g Graph) -> Self {
+        let opinions: Vec<Opinion> =
+            (0..graph.num_nodes() as u32).map(Opinion::new).collect();
+        let next = opinions.clone();
+        Self { graph, opinions, next, round: 0 }
+    }
+
+    /// Starts from explicit per-node opinions.
+    ///
+    /// # Panics
+    /// Panics if the assignment length differs from the node count.
+    pub fn with_opinions(graph: &'g Graph, opinions: Vec<Opinion>) -> Self {
+        assert_eq!(opinions.len(), graph.num_nodes(), "one opinion per node");
+        let next = opinions.clone();
+        Self { graph, opinions, next, round: 0 }
+    }
+
+    /// The current per-node opinions.
+    pub fn opinions(&self) -> &[Opinion] {
+        &self.opinions
+    }
+
+    /// Completed rounds.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Number of distinct opinions present.
+    pub fn num_opinions(&self) -> usize {
+        let mut v: Vec<Opinion> = self.opinions.clone();
+        v.sort_unstable();
+        v.dedup();
+        v.len()
+    }
+
+    /// Whether all nodes agree.
+    pub fn is_consensus(&self) -> bool {
+        self.opinions.windows(2).all(|w| w[0] == w[1])
+    }
+
+    /// The configuration over `k` color slots (for interop with
+    /// `symbreak-core` observables).
+    pub fn configuration(&self, k: usize) -> Configuration {
+        Configuration::from_opinions(&self.opinions, k)
+    }
+
+    /// One synchronous round of `rule`.
+    pub fn step<R: Rng + ?Sized>(&mut self, rule: GraphRule, rng: &mut R) {
+        let n = self.graph.num_nodes();
+        for u in 0..n {
+            self.next[u] = match rule {
+                GraphRule::Voter => {
+                    let v = self.graph.random_neighbor(u, rng);
+                    self.opinions[v as usize]
+                }
+                GraphRule::TwoChoices => {
+                    let a = self.opinions[self.graph.random_neighbor(u, rng) as usize];
+                    let b = self.opinions[self.graph.random_neighbor(u, rng) as usize];
+                    if a == b {
+                        a
+                    } else {
+                        self.opinions[u]
+                    }
+                }
+            };
+        }
+        std::mem::swap(&mut self.opinions, &mut self.next);
+        self.round += 1;
+    }
+
+    /// Runs until consensus, returning the round count, or `None` at the
+    /// cap.
+    pub fn run_to_consensus<R: Rng + ?Sized>(
+        &mut self,
+        rule: GraphRule,
+        max_rounds: u64,
+        rng: &mut R,
+    ) -> Option<u64> {
+        let start = self.round;
+        while !self.is_consensus() {
+            if self.round - start >= max_rounds {
+                return None;
+            }
+            self.step(rule, rng);
+        }
+        Some(self.round - start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use symbreak_sim::rng::Pcg64;
+
+    #[test]
+    fn voter_reaches_consensus_on_complete_graph() {
+        let g = Graph::complete(32);
+        let mut d = GraphDynamics::singletons(&g);
+        let mut rng = Pcg64::seed_from_u64(1);
+        let t = d.run_to_consensus(GraphRule::Voter, 1_000_000, &mut rng).expect("consensus");
+        assert!(t > 0);
+        assert!(d.is_consensus());
+        assert_eq!(d.num_opinions(), 1);
+    }
+
+    #[test]
+    fn voter_reaches_consensus_on_odd_cycle() {
+        // The cycle must be odd: on bipartite graphs the synchronous Voter
+        // process preserves the parity classes (dual walks at odd distance
+        // never meet) and full consensus is unreachable.
+        let g = Graph::cycle(15);
+        let mut d = GraphDynamics::singletons(&g);
+        let mut rng = Pcg64::seed_from_u64(2);
+        assert!(d.run_to_consensus(GraphRule::Voter, 10_000_000, &mut rng).is_some());
+    }
+
+    #[test]
+    fn voter_on_even_cycle_reaches_two_opinions_not_one() {
+        // The bipartite obstruction in action: 2 opinions are reachable
+        // (one per parity class), 1 is not in any reasonable horizon.
+        let g = Graph::cycle(8);
+        let mut d = GraphDynamics::singletons(&g);
+        let mut rng = Pcg64::seed_from_u64(7);
+        let mut rounds = 0u64;
+        while d.num_opinions() > 2 && rounds < 1_000_000 {
+            d.step(GraphRule::Voter, &mut rng);
+            rounds += 1;
+        }
+        assert_eq!(d.num_opinions(), 2, "parity classes coalesce separately");
+        assert!(d.run_to_consensus(GraphRule::Voter, 10_000, &mut rng).is_none());
+    }
+
+    #[test]
+    fn two_choices_with_heavy_majority_converges_fast() {
+        // 2-Choices with a large bias: the big color should win quickly.
+        let g = Graph::complete(100);
+        let mut opinions: Vec<Opinion> = vec![Opinion::new(0); 90];
+        opinions.extend(std::iter::repeat_n(Opinion::new(1), 10));
+        let mut d = GraphDynamics::with_opinions(&g, opinions);
+        let mut rng = Pcg64::seed_from_u64(3);
+        let t = d.run_to_consensus(GraphRule::TwoChoices, 100_000, &mut rng).expect("consensus");
+        assert!(t < 1000, "took {t} rounds");
+        assert_eq!(d.opinions()[0], Opinion::new(0), "majority color should win");
+    }
+
+    #[test]
+    fn consensus_is_absorbing_for_both_rules() {
+        let g = Graph::complete(10);
+        let mut rng = Pcg64::seed_from_u64(4);
+        for rule in [GraphRule::Voter, GraphRule::TwoChoices] {
+            let mut d = GraphDynamics::with_opinions(&g, vec![Opinion::new(5); 10]);
+            d.step(rule, &mut rng);
+            assert!(d.is_consensus());
+        }
+    }
+
+    #[test]
+    fn configuration_interop() {
+        let g = Graph::complete(6);
+        let opinions =
+            vec![Opinion::new(0), Opinion::new(0), Opinion::new(1), Opinion::new(1), Opinion::new(1), Opinion::new(2)];
+        let d = GraphDynamics::with_opinions(&g, opinions);
+        let c = d.configuration(3);
+        assert_eq!(c.counts(), &[2, 3, 1]);
+        assert_eq!(d.num_opinions(), 3);
+    }
+
+    #[test]
+    fn rounds_are_counted() {
+        let g = Graph::complete(8);
+        let mut d = GraphDynamics::singletons(&g);
+        let mut rng = Pcg64::seed_from_u64(5);
+        d.step(GraphRule::Voter, &mut rng);
+        d.step(GraphRule::TwoChoices, &mut rng);
+        assert_eq!(d.round(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "one opinion per node")]
+    fn wrong_opinion_count_panics() {
+        let g = Graph::complete(4);
+        GraphDynamics::with_opinions(&g, vec![Opinion::new(0); 3]);
+    }
+}

@@ -1,0 +1,383 @@
+//! Compressed-sparse-row graphs and standard builders.
+//!
+//! The paper's own results live on the complete graph, but Lemma 4 (the
+//! Voter/coalescence duality) is proven **for any graph**, and the related
+//! work it builds on (\[CEOR13\], \[CER14\], \[BGKMT16\]) concerns general,
+//! regular, and expander graphs — so the substrate supports them all.
+
+use rand::Rng;
+
+/// An undirected simple graph in CSR form.
+///
+/// Self-loops are not stored; parallel edges are rejected by the builders.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    offsets: Vec<usize>,
+    neighbors: Vec<u32>,
+}
+
+impl Graph {
+    /// Builds a graph from an edge list over `n` nodes.
+    ///
+    /// # Panics
+    /// Panics on out-of-range endpoints, self-loops, or duplicate edges.
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Self {
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for &(u, v) in edges {
+            assert!((u as usize) < n && (v as usize) < n, "edge ({u},{v}) out of range");
+            assert!(u != v, "self-loop at {u}");
+            adj[u as usize].push(v);
+            adj[v as usize].push(u);
+        }
+        for (u, list) in adj.iter_mut().enumerate() {
+            list.sort_unstable();
+            let before = list.len();
+            list.dedup();
+            assert!(list.len() == before, "duplicate edge at node {u}");
+        }
+        Self::from_adjacency(adj)
+    }
+
+    fn from_adjacency(adj: Vec<Vec<u32>>) -> Self {
+        let mut offsets = Vec::with_capacity(adj.len() + 1);
+        offsets.push(0);
+        let mut neighbors = Vec::new();
+        for list in adj {
+            neighbors.extend_from_slice(&list);
+            offsets.push(neighbors.len());
+        }
+        Self { offsets, neighbors }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// Neighbors of `u`, sorted ascending.
+    pub fn neighbors(&self, u: usize) -> &[u32] {
+        &self.neighbors[self.offsets[u]..self.offsets[u + 1]]
+    }
+
+    /// Degree of `u`.
+    pub fn degree(&self, u: usize) -> usize {
+        self.offsets[u + 1] - self.offsets[u]
+    }
+
+    /// A uniformly random neighbor of `u`.
+    ///
+    /// # Panics
+    /// Panics if `u` is isolated.
+    pub fn random_neighbor<R: Rng + ?Sized>(&self, u: usize, rng: &mut R) -> u32 {
+        let nb = self.neighbors(u);
+        assert!(!nb.is_empty(), "node {u} has no neighbors");
+        nb[rng.gen_range(0..nb.len())]
+    }
+
+    /// Whether every node can reach every other (BFS from node 0; the
+    /// empty and single-node graphs count as connected).
+    pub fn is_connected(&self) -> bool {
+        let n = self.num_nodes();
+        if n <= 1 {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        let mut queue = std::collections::VecDeque::from([0usize]);
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(u) = queue.pop_front() {
+            for &v in self.neighbors(u) {
+                if !seen[v as usize] {
+                    seen[v as usize] = true;
+                    count += 1;
+                    queue.push_back(v as usize);
+                }
+            }
+        }
+        count == n
+    }
+
+    // ---- Builders -------------------------------------------------------
+
+    /// The complete graph `K_n` (the paper's setting).
+    pub fn complete(n: usize) -> Self {
+        assert!(n >= 1, "need at least one node");
+        let adj: Vec<Vec<u32>> = (0..n)
+            .map(|u| (0..n as u32).filter(|&v| v != u as u32).collect())
+            .collect();
+        Self::from_adjacency(adj)
+    }
+
+    /// The cycle `C_n`.
+    pub fn cycle(n: usize) -> Self {
+        assert!(n >= 3, "a cycle needs at least 3 nodes");
+        let edges: Vec<(u32, u32)> =
+            (0..n as u32).map(|u| (u, (u + 1) % n as u32)).collect();
+        Self::from_edges(n, &edges)
+    }
+
+    /// The path `P_n`.
+    pub fn path(n: usize) -> Self {
+        assert!(n >= 2, "a path needs at least 2 nodes");
+        let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|u| (u, u + 1)).collect();
+        Self::from_edges(n, &edges)
+    }
+
+    /// The star graph: node 0 connected to all others.
+    pub fn star(n: usize) -> Self {
+        assert!(n >= 2, "a star needs at least 2 nodes");
+        let edges: Vec<(u32, u32)> = (1..n as u32).map(|v| (0, v)).collect();
+        Self::from_edges(n, &edges)
+    }
+
+    /// The 2D torus on a `rows × cols` grid (wrap-around neighbors).
+    pub fn torus(rows: usize, cols: usize) -> Self {
+        assert!(rows >= 3 && cols >= 3, "torus needs both dimensions >= 3");
+        let n = rows * cols;
+        let idx = |r: usize, c: usize| (r * cols + c) as u32;
+        let mut edges = Vec::with_capacity(2 * n);
+        for r in 0..rows {
+            for c in 0..cols {
+                edges.push((idx(r, c), idx(r, (c + 1) % cols)));
+                edges.push((idx(r, c), idx((r + 1) % rows, c)));
+            }
+        }
+        Self::from_edges(n, &edges)
+    }
+
+    /// The `d`-dimensional hypercube (`2^d` nodes).
+    pub fn hypercube(d: usize) -> Self {
+        assert!((1..=24).contains(&d), "hypercube dimension must be in 1..=24");
+        let n = 1usize << d;
+        let mut edges = Vec::with_capacity(n * d / 2);
+        for u in 0..n {
+            for b in 0..d {
+                let v = u ^ (1 << b);
+                if u < v {
+                    edges.push((u as u32, v as u32));
+                }
+            }
+        }
+        Self::from_edges(n, &edges)
+    }
+
+    /// Erdős–Rényi `G(n, p)`.
+    pub fn gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Self {
+        assert!((0.0..=1.0).contains(&p), "p must lie in [0,1]");
+        let mut edges = Vec::new();
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                if rng.gen::<f64>() < p {
+                    edges.push((u, v));
+                }
+            }
+        }
+        Self::from_edges(n, &edges)
+    }
+
+    /// A random `d`-regular simple graph: the pairing (configuration)
+    /// model followed by double-edge-swap *repair* of self-loops and
+    /// multi-edges.
+    ///
+    /// Full-restart rejection is hopeless beyond small degrees (the
+    /// pairing is simple with probability ≈ exp(−(d−1)/2 − (d−1)²/4), i.e.
+    /// ~1e-7 at d = 8), so defective pairs are repaired by degree-
+    /// preserving swaps with uniformly random partners — the standard
+    /// approximate-uniform sampler for random regular graphs.
+    ///
+    /// # Panics
+    /// Panics if `n·d` is odd, `d ≥ n`, `d == 0`, or the repair loop fails
+    /// to converge (practically impossible for `d < n/4`).
+    pub fn random_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Self {
+        assert!((n * d).is_multiple_of(2), "n*d must be even");
+        assert!(d < n, "degree must be below n");
+        assert!(d >= 1, "degree must be positive");
+        // Stubs: d copies of each node, randomly permuted, then paired.
+        let mut stubs: Vec<u32> =
+            (0..n as u32).flat_map(|u| std::iter::repeat_n(u, d)).collect();
+        for i in (1..stubs.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            stubs.swap(i, j);
+        }
+        let mut pairs: Vec<(u32, u32)> =
+            stubs.chunks_exact(2).map(|p| (p[0], p[1])).collect();
+        let norm = |u: u32, v: u32| (u.min(v), u.max(v));
+        let mut present: std::collections::HashMap<(u32, u32), u32> =
+            std::collections::HashMap::with_capacity(pairs.len() * 2);
+        for &(u, v) in &pairs {
+            *present.entry(norm(u, v)).or_insert(0) += 1;
+        }
+        let is_bad = |(u, v): (u32, u32), present: &std::collections::HashMap<(u32, u32), u32>| {
+            u == v || present[&norm(u, v)] > 1
+        };
+        let m = pairs.len();
+        // Each successful swap strictly reduces the number of defective
+        // pairs in expectation; the cap is generous.
+        for _ in 0..200 * m.max(64) {
+            let Some(i) = (0..m).find(|&i| is_bad(pairs[i], &present)) else {
+                let edges: Vec<(u32, u32)> = pairs.iter().map(|&(u, v)| norm(u, v)).collect();
+                return Self::from_edges(n, &edges);
+            };
+            let j = rng.gen_range(0..m);
+            if j == i {
+                continue;
+            }
+            let (u, v) = pairs[i];
+            let (x, y) = pairs[j];
+            // Propose rewiring (u,v),(x,y) -> (u,x),(v,y); require both
+            // new edges simple and absent.
+            if u == x || v == y || present.get(&norm(u, x)).copied().unwrap_or(0) > 0
+                || present.get(&norm(v, y)).copied().unwrap_or(0) > 0
+                || norm(u, x) == norm(v, y)
+            {
+                continue;
+            }
+            // Apply the swap.
+            for old in [(u, v), (x, y)] {
+                if old.0 != old.1 {
+                    let e = present.get_mut(&norm(old.0, old.1)).expect("tracked");
+                    *e -= 1;
+                    if *e == 0 {
+                        present.remove(&norm(old.0, old.1));
+                    }
+                } else {
+                    // Self-loops were recorded under norm(u,u) too.
+                    let e = present.get_mut(&norm(old.0, old.1)).expect("tracked");
+                    *e -= 1;
+                    if *e == 0 {
+                        present.remove(&norm(old.0, old.1));
+                    }
+                }
+            }
+            *present.entry(norm(u, x)).or_insert(0) += 1;
+            *present.entry(norm(v, y)).or_insert(0) += 1;
+            pairs[i] = (u, x);
+            pairs[j] = (v, y);
+        }
+        panic!("edge-swap repair failed to converge for a {d}-regular graph on {n} nodes");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use symbreak_sim::rng::Pcg64;
+
+    #[test]
+    fn complete_graph_shape() {
+        let g = Graph::complete(5);
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), 10);
+        for u in 0..5 {
+            assert_eq!(g.degree(u), 4);
+            assert!(!g.neighbors(u).contains(&(u as u32)));
+        }
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn cycle_and_path_degrees() {
+        let c = Graph::cycle(6);
+        assert!(c.is_connected());
+        assert!((0..6).all(|u| c.degree(u) == 2));
+        let p = Graph::path(6);
+        assert_eq!(p.degree(0), 1);
+        assert_eq!(p.degree(5), 1);
+        assert!((1..5).all(|u| p.degree(u) == 2));
+    }
+
+    #[test]
+    fn star_shape() {
+        let s = Graph::star(7);
+        assert_eq!(s.degree(0), 6);
+        assert!((1..7).all(|u| s.degree(u) == 1));
+        assert!(s.is_connected());
+    }
+
+    #[test]
+    fn torus_is_4_regular() {
+        let t = Graph::torus(4, 5);
+        assert_eq!(t.num_nodes(), 20);
+        assert!((0..20).all(|u| t.degree(u) == 4));
+        assert_eq!(t.num_edges(), 40);
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn hypercube_structure() {
+        let h = Graph::hypercube(4);
+        assert_eq!(h.num_nodes(), 16);
+        assert!((0..16).all(|u| h.degree(u) == 4));
+        assert_eq!(h.num_edges(), 32);
+        assert!(h.is_connected());
+    }
+
+    #[test]
+    fn random_regular_is_regular_and_simple() {
+        let mut rng = Pcg64::seed_from_u64(1);
+        let g = Graph::random_regular(50, 4, &mut rng);
+        assert!((0..50).all(|u| g.degree(u) == 4));
+        assert_eq!(g.num_edges(), 100);
+        // Simplicity is enforced by from_edges' duplicate check.
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        let mut rng = Pcg64::seed_from_u64(2);
+        let empty = Graph::gnp(10, 0.0, &mut rng);
+        assert_eq!(empty.num_edges(), 0);
+        assert!(!empty.is_connected());
+        let full = Graph::gnp(10, 1.0, &mut rng);
+        assert_eq!(full.num_edges(), 45);
+    }
+
+    #[test]
+    fn random_neighbor_is_a_neighbor() {
+        let g = Graph::cycle(10);
+        let mut rng = Pcg64::seed_from_u64(3);
+        for u in 0..10 {
+            for _ in 0..20 {
+                let v = g.random_neighbor(u, &mut rng);
+                assert!(g.neighbors(u).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_graph_detected() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        assert!(!g.is_connected());
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_rejected() {
+        Graph::from_edges(3, &[(1, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_edge_rejected() {
+        Graph::from_edges(3, &[(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_rejected() {
+        Graph::from_edges(2, &[(0, 5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no neighbors")]
+    fn isolated_node_random_neighbor_panics() {
+        let g = Graph::from_edges(3, &[(0, 1)]);
+        let mut rng = Pcg64::seed_from_u64(4);
+        g.random_neighbor(2, &mut rng);
+    }
+}

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+//! Graph substrate for consensus dynamics: CSR graphs, builders, spectral
+//! estimates, per-node Voter/2-Choices dynamics, coalescing random walks,
+//! and the exact Voter/coalescence duality coupling of Lemma 4.
+//!
+//! The paper's theorems live on the complete graph, but Lemma 4 is stated
+//! and proven for arbitrary graphs; [`duality`] makes that proof executable
+//! by materializing the arrow field `Y_t(u)` and running both processes
+//! over it (Figure 1 as code).
+//!
+//! # Example
+//!
+//! ```
+//! use symbreak_graphs::graph::Graph;
+//! use symbreak_graphs::duality::DualityCoupling;
+//! use symbreak_sim::rng::Pcg64;
+//! use rand::SeedableRng;
+//!
+//! let g = Graph::complete(16);
+//! let mut rng = Pcg64::seed_from_u64(7);
+//! let (coupling, t_c) =
+//!     DualityCoupling::generate_until_coalesced(&g, 1, 100_000, &mut rng).unwrap();
+//! // The Voter process over the reversed arrows hits one opinion at
+//! // exactly the same time (Lemma 4).
+//! assert_eq!(coupling.voter_opinions_after(t_c as usize), 1);
+//! ```
+
+pub mod builders_ext;
+pub mod coalescing;
+pub mod duality;
+pub mod dynamics;
+pub mod graph;
+pub mod props;
+
+pub use coalescing::{coalescence_time, CoalescingWalks};
+pub use duality::{voter_time_from_coupling, DualityCoupling};
+pub use dynamics::{GraphDynamics, GraphRule};
+pub use graph::Graph;
+pub use props::{degree_stats, spectral_gap_estimate, DegreeStats};

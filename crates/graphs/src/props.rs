@@ -1,0 +1,165 @@
+//! Structural graph properties: degree statistics and a spectral-gap
+//! estimate.
+//!
+//! The related-work bounds the paper cites are parameterized by spectral
+//! quantities — \[CEOR13\] bounds coalescing time by `O(1/μ · (log⁴n + ρ))`
+//! where `μ` is the spectral gap — so the harness reports the estimated gap
+//! alongside measured consensus times on non-complete graphs.
+
+use crate::graph::Graph;
+
+/// Degree statistics of a graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum degree.
+    pub min: usize,
+    /// Maximum degree.
+    pub max: usize,
+    /// Average degree.
+    pub avg: f64,
+}
+
+/// Computes degree statistics.
+///
+/// # Panics
+/// Panics on the empty graph.
+pub fn degree_stats(g: &Graph) -> DegreeStats {
+    let n = g.num_nodes();
+    assert!(n > 0, "empty graph has no degree statistics");
+    let mut min = usize::MAX;
+    let mut max = 0;
+    let mut total = 0usize;
+    for u in 0..n {
+        let d = g.degree(u);
+        min = min.min(d);
+        max = max.max(d);
+        total += d;
+    }
+    DegreeStats { min, max, avg: total as f64 / n as f64 }
+}
+
+/// Estimates the spectral gap `1 − λ₂` of the lazy random-walk matrix
+/// `(I + D⁻¹A)/2` by power iteration with deflation of the stationary
+/// distribution.
+///
+/// The lazy walk makes the spectrum non-negative so the power iteration
+/// converges to the second-largest eigenvalue rather than oscillating on
+/// bipartite graphs. Returns a value in `[0, 1]`; larger means better
+/// expansion. `iters` power-iteration steps are performed (200 is plenty
+/// for the sizes used in tests).
+///
+/// # Panics
+/// Panics if the graph has an isolated node (the walk is undefined).
+pub fn spectral_gap_estimate(g: &Graph, iters: usize) -> f64 {
+    let n = g.num_nodes();
+    assert!(n >= 2, "need at least two nodes");
+    let degs: Vec<f64> = (0..n)
+        .map(|u| {
+            let d = g.degree(u);
+            assert!(d > 0, "isolated node {u}");
+            d as f64
+        })
+        .collect();
+    let two_m: f64 = degs.iter().sum();
+    // Stationary distribution π_u = d_u / 2m. Deflate components along π
+    // in the d-weighted inner product: <x, 1>_π = Σ π_u x_u.
+    let mut x: Vec<f64> = (0..n).map(|u| ((u * 2654435761) % 1000) as f64 / 1000.0 - 0.5).collect();
+    let deflate = |x: &mut [f64]| {
+        let proj: f64 = x.iter().zip(&degs).map(|(xi, d)| xi * d).sum::<f64>() / two_m;
+        for xi in x.iter_mut() {
+            *xi -= proj;
+        }
+    };
+    deflate(&mut x);
+    let mut lambda = 0.0;
+    let mut y = vec![0.0; n];
+    for _ in 0..iters {
+        // y = (x + P x)/2 where (P x)_u = avg of x over neighbors of u.
+        for u in 0..n {
+            let s: f64 = g.neighbors(u).iter().map(|&v| x[v as usize]).sum();
+            y[u] = 0.5 * (x[u] + s / degs[u]);
+        }
+        deflate(&mut y);
+        // Rayleigh-style estimate in the π-weighted norm.
+        let norm: f64 = y.iter().zip(&degs).map(|(v, d)| v * v * d).sum::<f64>().sqrt();
+        if norm < 1e-300 {
+            return 1.0; // x was (numerically) entirely stationary: gap is large
+        }
+        let old_norm: f64 = x.iter().zip(&degs).map(|(v, d)| v * v * d).sum::<f64>().sqrt();
+        lambda = norm / old_norm;
+        for (xi, yi) in x.iter_mut().zip(&y) {
+            *xi = yi / norm;
+        }
+    }
+    // λ here estimates the lazy walk's λ₂ ∈ [0,1]; the non-lazy gap is
+    // 1 − λ₂(non-lazy) = 2·(1 − λ₂(lazy)).
+    (2.0 * (1.0 - lambda)).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degree_stats_complete() {
+        let s = degree_stats(&Graph::complete(8));
+        assert_eq!(s.min, 7);
+        assert_eq!(s.max, 7);
+        assert!((s.avg - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degree_stats_star() {
+        let s = degree_stats(&Graph::star(9));
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 8);
+        assert!((s.avg - 2.0 * 8.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn complete_graph_has_large_gap() {
+        // Non-lazy λ₂(K_n) = −1/(n−1); the walk gap is 1 − |small| ≈ 1.
+        let gap = spectral_gap_estimate(&Graph::complete(16), 300);
+        assert!(gap > 0.9, "complete-graph gap {gap} should be near 1");
+    }
+
+    #[test]
+    fn cycle_has_small_gap() {
+        let gap = spectral_gap_estimate(&Graph::cycle(64), 500);
+        // λ₂(C_n) = cos(2π/n): gap = 1 − cos(2π/64) ≈ 0.0048.
+        assert!(gap < 0.05, "cycle gap {gap} should be tiny");
+        assert!(gap > 0.0005, "cycle gap {gap} should be positive");
+    }
+
+    #[test]
+    fn expander_beats_cycle() {
+        use rand::SeedableRng;
+        let mut rng = symbreak_sim::rng::Pcg64::seed_from_u64(1);
+        let expander = Graph::random_regular(64, 6, &mut rng);
+        let gap_exp = spectral_gap_estimate(&expander, 500);
+        let gap_cyc = spectral_gap_estimate(&Graph::cycle(64), 500);
+        assert!(
+            gap_exp > 4.0 * gap_cyc,
+            "random 6-regular ({gap_exp}) should far out-expand the cycle ({gap_cyc})"
+        );
+    }
+
+    #[test]
+    fn hypercube_gap_matches_theory() {
+        // Non-lazy walk on the d-cube: λ₂ = 1 − 2/d, gap = 2/d.
+        let d = 6;
+        let gap = spectral_gap_estimate(&Graph::hypercube(d), 800);
+        assert!(
+            (gap - 2.0 / d as f64).abs() < 0.02,
+            "hypercube gap {gap} vs theory {}",
+            2.0 / d as f64
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "isolated")]
+    fn isolated_node_panics() {
+        let g = Graph::from_edges(3, &[(0, 1)]);
+        spectral_gap_estimate(&g, 10);
+    }
+}

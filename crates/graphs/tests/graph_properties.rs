@@ -1,0 +1,100 @@
+//! Property-based tests of the graph substrate and the duality coupling.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use symbreak_graphs::{CoalescingWalks, DualityCoupling, Graph};
+use symbreak_sim::rng::Pcg64;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn handshake_lemma(n in 2usize..40, p in 0.0f64..=1.0, seed in 0u64..1000) {
+        let mut rng = Pcg64::seed_from_u64(seed);
+        let g = Graph::gnp(n, p, &mut rng);
+        let degree_sum: usize = (0..n).map(|u| g.degree(u)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.num_edges());
+    }
+
+    #[test]
+    fn neighbors_are_symmetric(n in 2usize..30, seed in 0u64..1000) {
+        let mut rng = Pcg64::seed_from_u64(seed);
+        let g = Graph::gnp(n, 0.3, &mut rng);
+        for u in 0..n {
+            for &v in g.neighbors(u) {
+                prop_assert!(
+                    g.neighbors(v as usize).contains(&(u as u32)),
+                    "edge ({u},{v}) not symmetric"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn complete_graph_properties(n in 2usize..40) {
+        let g = Graph::complete(n);
+        prop_assert_eq!(g.num_edges(), n * (n - 1) / 2);
+        prop_assert!(g.is_connected());
+        for u in 0..n {
+            prop_assert_eq!(g.degree(u), n - 1);
+        }
+    }
+
+    #[test]
+    fn random_regular_degree_invariant(
+        half_n in 6usize..20,
+        d in 2usize..5,
+        seed in 0u64..500,
+    ) {
+        let n = 2 * half_n; // even, so n*d is always even
+        let mut rng = Pcg64::seed_from_u64(seed);
+        let g = Graph::random_regular(n, d, &mut rng);
+        for u in 0..n {
+            prop_assert_eq!(g.degree(u), d);
+        }
+    }
+
+    #[test]
+    fn coalescing_walks_monotone_nonincreasing(n in 4usize..60, seed in 0u64..1000) {
+        let g = Graph::complete(n);
+        let mut rng = Pcg64::seed_from_u64(seed);
+        let mut w = CoalescingWalks::new(&g);
+        let mut prev = w.num_walks();
+        for _ in 0..30 {
+            w.step(&mut rng);
+            prop_assert!(w.num_walks() <= prev);
+            prop_assert!(w.num_walks() >= 1);
+            prev = w.num_walks();
+        }
+    }
+
+    #[test]
+    fn duality_identity_on_random_gnp(n in 6usize..24, seed in 0u64..300) {
+        let mut rng = Pcg64::seed_from_u64(seed);
+        // Dense enough to be connected w.h.p.; skip disconnected draws.
+        let g = Graph::gnp(n, 0.6, &mut rng);
+        prop_assume!(g.is_connected());
+        // k = 2 avoids the bipartite obstruction on unlucky structures.
+        let Some((coupling, t_c)) =
+            DualityCoupling::generate_until_coalesced(&g, 2, 200_000, &mut rng)
+        else {
+            return Ok(()); // pathological mixing; nothing to check
+        };
+        prop_assert!(coupling.verify_identity());
+        prop_assert_eq!(
+            symbreak_graphs::voter_time_from_coupling(&coupling, 2),
+            Some(t_c)
+        );
+    }
+
+    #[test]
+    fn walk_positions_stay_in_range(n in 4usize..40, seed in 0u64..500) {
+        let g = Graph::cycle(n.max(3));
+        let mut rng = Pcg64::seed_from_u64(seed);
+        let mut w = CoalescingWalks::new(&g);
+        for _ in 0..10 {
+            w.step(&mut rng);
+            prop_assert!(w.positions().iter().all(|&p| (p as usize) < g.num_nodes()));
+        }
+    }
+}

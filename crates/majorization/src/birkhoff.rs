@@ -1,0 +1,237 @@
+//! Birkhoff–von Neumann decomposition: every doubly stochastic matrix is a
+//! convex combination of permutation matrices.
+//!
+//! This is the structural fact behind "x ⪯ y iff x = Dy for a doubly
+//! stochastic D" (Hardy–Littlewood–Pólya): combined with
+//! [`crate::transfer`], it certifies majorization both ways. The
+//! decomposition proceeds by repeatedly extracting a perfect matching on
+//! the positive-support bipartite graph (Kuhn's augmenting-path
+//! algorithm) and subtracting the matching scaled by its minimum entry;
+//! each step zeroes at least one entry, so at most `n² − 2n + 2` terms
+//! are produced.
+
+/// One term of the decomposition: weight times a permutation
+/// (`perm[row] = column`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PermutationTerm {
+    /// Convex weight in `(0, 1]`.
+    pub weight: f64,
+    /// The permutation, as an image array.
+    pub perm: Vec<usize>,
+}
+
+/// Error: the input was not doubly stochastic (within tolerance).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotDoublyStochasticError;
+
+impl std::fmt::Display for NotDoublyStochasticError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "matrix rows/columns do not all sum to 1")
+    }
+}
+
+impl std::error::Error for NotDoublyStochasticError {}
+
+/// Decomposes a doubly stochastic matrix (row-major) into permutation
+/// terms with weights summing to 1 (within `eps`).
+///
+/// # Errors
+/// Returns [`NotDoublyStochasticError`] if a row or column sum deviates
+/// from 1 by more than `eps`, or the matrix is not square.
+pub fn birkhoff_decompose(
+    matrix: &[Vec<f64>],
+    eps: f64,
+) -> Result<Vec<PermutationTerm>, NotDoublyStochasticError> {
+    let n = matrix.len();
+    if n == 0 || matrix.iter().any(|row| row.len() != n) {
+        return Err(NotDoublyStochasticError);
+    }
+    for i in 0..n {
+        let row: f64 = matrix[i].iter().sum();
+        let col: f64 = matrix.iter().map(|r| r[i]).sum();
+        if (row - 1.0).abs() > eps || (col - 1.0).abs() > eps {
+            return Err(NotDoublyStochasticError);
+        }
+        if matrix[i].iter().any(|&v| v < -eps) {
+            return Err(NotDoublyStochasticError);
+        }
+    }
+
+    let mut work: Vec<Vec<f64>> = matrix.to_vec();
+    let mut terms = Vec::new();
+    let mut remaining = 1.0f64;
+    // Each extraction zeroes ≥1 entry; n² + 1 iterations is a safe cap.
+    for _ in 0..n * n + 1 {
+        if remaining <= eps {
+            break;
+        }
+        let Some(perm) = perfect_matching(&work, eps) else {
+            break; // numerically exhausted
+        };
+        let weight = perm
+            .iter()
+            .enumerate()
+            .map(|(r, &c)| work[r][c])
+            .fold(f64::INFINITY, f64::min);
+        if weight <= eps {
+            break;
+        }
+        for (r, &c) in perm.iter().enumerate() {
+            work[r][c] -= weight;
+        }
+        remaining -= weight;
+        terms.push(PermutationTerm { weight, perm });
+    }
+    Ok(terms)
+}
+
+/// Kuhn's algorithm: perfect matching of rows to columns through entries
+/// `> eps`, or `None` if none exists.
+fn perfect_matching(matrix: &[Vec<f64>], eps: f64) -> Option<Vec<usize>> {
+    let n = matrix.len();
+    let mut match_col: Vec<Option<usize>> = vec![None; n]; // col -> row
+    for row in 0..n {
+        let mut visited = vec![false; n];
+        if !augment(matrix, row, eps, &mut visited, &mut match_col) {
+            return None;
+        }
+    }
+    let mut perm = vec![0usize; n];
+    for (col, row) in match_col.iter().enumerate() {
+        perm[row.expect("perfect matching assigns every column")] = col;
+    }
+    Some(perm)
+}
+
+fn augment(
+    matrix: &[Vec<f64>],
+    row: usize,
+    eps: f64,
+    visited: &mut [bool],
+    match_col: &mut [Option<usize>],
+) -> bool {
+    for col in 0..matrix.len() {
+        if matrix[row][col] > eps && !visited[col] {
+            visited[col] = true;
+            if match_col[col].is_none()
+                || augment(matrix, match_col[col].expect("checked"), eps, visited, match_col)
+            {
+                match_col[col] = Some(row);
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Reconstructs the matrix from its decomposition (for verification).
+pub fn recompose(terms: &[PermutationTerm], n: usize) -> Vec<Vec<f64>> {
+    let mut out = vec![vec![0.0; n]; n];
+    for t in terms {
+        for (r, &c) in t.perm.iter().enumerate() {
+            out[r][c] += t.weight;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_matrix_close(a: &[Vec<f64>], b: &[Vec<f64>], tol: f64) {
+        for (ra, rb) in a.iter().zip(b) {
+            for (x, y) in ra.iter().zip(rb) {
+                assert!((x - y).abs() < tol, "{a:?} != {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn identity_decomposes_to_one_term() {
+        let m = vec![
+            vec![1.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 1.0],
+        ];
+        let terms = birkhoff_decompose(&m, 1e-12).expect("DS");
+        assert_eq!(terms.len(), 1);
+        assert!((terms[0].weight - 1.0).abs() < 1e-12);
+        assert_eq!(terms[0].perm, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn uniform_matrix_decomposes_into_n_permutations() {
+        let n = 4;
+        let m = vec![vec![1.0 / n as f64; n]; n];
+        let terms = birkhoff_decompose(&m, 1e-12).expect("DS");
+        let total: f64 = terms.iter().map(|t| t.weight).sum();
+        assert!((total - 1.0).abs() < 1e-9, "weights sum to {total}");
+        assert_matrix_close(&recompose(&terms, n), &m, 1e-9);
+        assert!(terms.len() >= n, "needs at least n permutations");
+    }
+
+    #[test]
+    fn random_ds_matrix_round_trips() {
+        // Build a DS matrix as a known convex combination of permutations,
+        // decompose, recompose.
+        let n = 5;
+        let perms = [
+            vec![0usize, 1, 2, 3, 4],
+            vec![1, 2, 3, 4, 0],
+            vec![4, 3, 2, 1, 0],
+        ];
+        let weights = [0.5, 0.3, 0.2];
+        let mut m = vec![vec![0.0; n]; n];
+        for (p, w) in perms.iter().zip(weights) {
+            for (r, &c) in p.iter().enumerate() {
+                m[r][c] += w;
+            }
+        }
+        let terms = birkhoff_decompose(&m, 1e-12).expect("DS");
+        assert_matrix_close(&recompose(&terms, n), &m, 1e-9);
+        let total: f64 = terms.iter().map(|t| t.weight).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decomposition_certifies_majorization() {
+        // Dx ⪯ x for every DS matrix D: check via the decomposition, since
+        // each permutation term preserves the sorted profile.
+        use crate::vector::majorizes;
+        let m = vec![
+            vec![0.6, 0.3, 0.1],
+            vec![0.3, 0.4, 0.3],
+            vec![0.1, 0.3, 0.6],
+        ];
+        let terms = birkhoff_decompose(&m, 1e-12).expect("DS");
+        assert!(!terms.is_empty());
+        let x = [5.0, 2.0, 1.0];
+        let y: Vec<f64> = (0..3)
+            .map(|r| (0..3).map(|c| m[r][c] * x[c]).sum())
+            .collect();
+        assert!(majorizes(&x, &y));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let m = vec![vec![1.0, 0.0]];
+        assert_eq!(birkhoff_decompose(&m, 1e-12), Err(NotDoublyStochasticError));
+    }
+
+    #[test]
+    fn non_stochastic_rejected() {
+        let m = vec![vec![0.9, 0.0], vec![0.0, 1.0]];
+        assert_eq!(birkhoff_decompose(&m, 1e-9), Err(NotDoublyStochasticError));
+        let neg = vec![vec![1.5, -0.5], vec![-0.5, 1.5]];
+        assert_eq!(birkhoff_decompose(&neg, 1e-9), Err(NotDoublyStochasticError));
+    }
+
+    #[test]
+    fn swap_matrix_is_a_single_permutation() {
+        let m = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let terms = birkhoff_decompose(&m, 1e-12).expect("DS");
+        assert_eq!(terms.len(), 1);
+        assert_eq!(terms[0].perm, vec![1, 0]);
+    }
+}

@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+//! Majorization theory toolkit.
+//!
+//! This crate implements the machinery from Marshall–Olkin–Arnold,
+//! *Inequalities: Theory of Majorization and Its Applications* \[MOA11\],
+//! that the paper *"Ignore or Comply? On Breaking Symmetry in Consensus"*
+//! (Berenbrink et al., PODC 2017) uses to compare anonymous consensus
+//! processes:
+//!
+//! * [`vector`] — the majorization preorder `x ⪰ y` on real vectors
+//!   (Section 2.1 of the paper), weak majorization variants, and partial-sum
+//!   (Lorenz) utilities.
+//! * [`birkhoff`] — the Birkhoff–von Neumann decomposition of doubly
+//!   stochastic matrices into permutation mixtures.
+//! * [`transfer`] — the constructive Hardy–Littlewood–Pólya theorem: when
+//!   `x ⪯ y`, an explicit chain of Robin-Hood transfers (T-transforms)
+//!   carrying `y` to `x`, plus doubly-stochastic averaging.
+//! * [`schur`] — Schur-convex functions (Definition: `x ⪰ y ⇒ f(x) ≥ f(y)`),
+//!   a library of standard examples, and a randomized Schur–Ostrowski
+//!   checker.
+//! * [`stochastic`] — stochastic majorization `X ⪯_st Y` (Definition 3 of
+//!   the paper) estimated empirically via families of Schur-convex test
+//!   functions.
+//!
+//! # Example
+//!
+//! ```
+//! use symbreak_majorization::vector::majorizes;
+//!
+//! // Consensus majorizes every other configuration of the same total mass.
+//! let consensus = [6.0, 0.0, 0.0];
+//! let spread = [2.0, 2.0, 2.0];
+//! assert!(majorizes(&consensus, &spread));
+//! assert!(!majorizes(&spread, &consensus));
+//! ```
+
+pub mod birkhoff;
+pub mod schur;
+pub mod stochastic;
+pub mod transfer;
+pub mod vector;
+
+pub use birkhoff::{birkhoff_decompose, PermutationTerm};
+pub use schur::{is_schur_convex_on_samples, SchurFn};
+pub use transfer::{transfer_chain, TTransform};
+pub use vector::{majorizes, majorizes_eps, Majorization};
+
+/// Default absolute tolerance used by floating-point majorization checks.
+///
+/// Partial sums of probability vectors accumulate rounding error on the
+/// order of `n * machine-epsilon`; `1e-9` is far above that for the vector
+/// lengths used in this crate while far below any meaningful violation.
+pub const DEFAULT_EPS: f64 = 1e-9;

@@ -1,0 +1,205 @@
+//! Schur-convex functions and a randomized Schur–Ostrowski checker.
+//!
+//! A function `f : R^d → R` is *Schur-convex* if `x ⪰ y ⇒ f(x) ≥ f(y)`.
+//! Stochastic majorization (Definition 3 of the paper) quantifies over all
+//! Schur-convex test functions, so this module provides a representative
+//! library of them — in particular the top-`j` partial sums, which are
+//! exactly the functions that *generate* the majorization preorder (see the
+//! footnote to the proof of Theorem 3 in the paper).
+
+use rand::Rng;
+
+use crate::vector::sorted_desc;
+
+/// Shared closure type backing a [`SchurFn`].
+type SchurClosure = std::sync::Arc<dyn Fn(&[f64]) -> f64 + Send + Sync>;
+
+/// A named Schur-convex test function.
+#[derive(Clone)]
+pub struct SchurFn {
+    name: String,
+    f: SchurClosure,
+}
+
+impl std::fmt::Debug for SchurFn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SchurFn").field("name", &self.name).finish()
+    }
+}
+
+impl SchurFn {
+    /// Wraps a closure as a named Schur-convex function.
+    ///
+    /// The caller asserts Schur-convexity; use
+    /// [`is_schur_convex_on_samples`] to sanity-check a candidate.
+    pub fn new(name: impl Into<String>, f: impl Fn(&[f64]) -> f64 + Send + Sync + 'static) -> Self {
+        Self { name: name.into(), f: std::sync::Arc::new(f) }
+    }
+
+    /// The function's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Evaluates the function.
+    pub fn eval(&self, x: &[f64]) -> f64 {
+        (self.f)(x)
+    }
+}
+
+/// Sum of the `j` largest components — the generating family of the
+/// majorization preorder.
+pub fn top_j_sum(x: &[f64], j: usize) -> f64 {
+    sorted_desc(x).iter().take(j).sum()
+}
+
+/// `Σ x_i^p` for `p ≥ 1`; Schur-convex on the non-negative orthant.
+pub fn power_sum(x: &[f64], p: f64) -> f64 {
+    debug_assert!(p >= 1.0, "power sums are Schur-convex only for p >= 1");
+    x.iter().map(|v| v.abs().powf(p)).sum()
+}
+
+/// Negative Shannon entropy `Σ x_i ln x_i` (with `0 ln 0 = 0`);
+/// Schur-convex on probability vectors.
+pub fn neg_entropy(x: &[f64]) -> f64 {
+    x.iter().map(|&v| if v > 0.0 { v * v.ln() } else { 0.0 }).sum()
+}
+
+/// Maximum component; Schur-convex.
+pub fn max_component(x: &[f64]) -> f64 {
+    x.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// Number of zero components (for non-negative integer-like vectors this is
+/// `d − (remaining colors)`); Schur-convex on the non-negative orthant with
+/// fixed total, since spreading mass can only reduce the zero count.
+pub fn zero_count(x: &[f64]) -> f64 {
+    x.iter().filter(|&&v| v == 0.0).count() as f64
+}
+
+/// The standard library of Schur-convex test functions for vectors of
+/// dimension `d`: all top-`j` sums, square/cube power sums, negative
+/// entropy, and the maximum.
+pub fn standard_family(d: usize) -> Vec<SchurFn> {
+    let mut fam = Vec::with_capacity(d + 4);
+    for j in 1..=d {
+        fam.push(SchurFn::new(format!("top_{j}_sum"), move |x| top_j_sum(x, j)));
+    }
+    fam.push(SchurFn::new("power_sum_2", |x| power_sum(x, 2.0)));
+    fam.push(SchurFn::new("power_sum_3", |x| power_sum(x, 3.0)));
+    fam.push(SchurFn::new("neg_entropy", neg_entropy));
+    fam.push(SchurFn::new("max", max_component));
+    fam
+}
+
+/// Randomized check of the Schur–Ostrowski criterion:
+/// `f` symmetric and `(x_i − x_j)(∂f/∂x_i − ∂f/∂x_j) ≥ 0` everywhere.
+///
+/// Samples `trials` random non-negative points with total mass `mass` in
+/// dimension `d`, applies random Robin-Hood transfers (which produce
+/// majorized points), and checks `f` does not increase. Returns `false` on
+/// the first violation beyond `tol`.
+///
+/// This is a *falsifier*, not a prover — it can only ever reject.
+pub fn is_schur_convex_on_samples<R: Rng>(
+    f: &dyn Fn(&[f64]) -> f64,
+    d: usize,
+    mass: f64,
+    trials: usize,
+    tol: f64,
+    rng: &mut R,
+) -> bool {
+    assert!(d >= 2, "need dimension >= 2");
+    for _ in 0..trials {
+        // Random composition of `mass` into d non-negative parts.
+        let mut x: Vec<f64> = (0..d).map(|_| rng.gen::<f64>()).collect();
+        let s: f64 = x.iter().sum();
+        for v in &mut x {
+            *v *= mass / s;
+        }
+        // Random Robin-Hood transfer from a larger to a smaller coordinate.
+        let i = rng.gen_range(0..d);
+        let j = rng.gen_range(0..d);
+        if i == j {
+            continue;
+        }
+        let (hi, lo) = if x[i] >= x[j] { (i, j) } else { (j, i) };
+        let delta = rng.gen::<f64>() * (x[hi] - x[lo]) / 2.0;
+        let mut y = x.clone();
+        y[hi] -= delta;
+        y[lo] += delta;
+        // x ⪰ y by construction, so Schur-convexity demands f(x) ≥ f(y).
+        if f(&x) + tol < f(&y) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn top_j_sums_are_monotone_in_j() {
+        let x = [1.0, 5.0, 3.0];
+        assert_eq!(top_j_sum(&x, 1), 5.0);
+        assert_eq!(top_j_sum(&x, 2), 8.0);
+        assert_eq!(top_j_sum(&x, 3), 9.0);
+    }
+
+    #[test]
+    fn standard_family_members_pass_randomized_check() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for f in standard_family(5) {
+            let name = f.name().to_string();
+            let ok = is_schur_convex_on_samples(
+                &move |x: &[f64]| f.eval(x),
+                5,
+                1.0,
+                2_000,
+                1e-12,
+                &mut rng,
+            );
+            assert!(ok, "{name} failed the Schur-Ostrowski sampling check");
+        }
+    }
+
+    #[test]
+    fn non_schur_convex_function_is_rejected() {
+        // Negative of a strictly Schur-convex function is Schur-concave.
+        let mut rng = StdRng::seed_from_u64(11);
+        let ok = is_schur_convex_on_samples(
+            &|x: &[f64]| -power_sum(x, 2.0),
+            4,
+            1.0,
+            2_000,
+            1e-12,
+            &mut rng,
+        );
+        assert!(!ok, "Schur-concave function should be rejected");
+    }
+
+    #[test]
+    fn neg_entropy_handles_zeros() {
+        assert_eq!(neg_entropy(&[0.0, 0.0, 1.0]), 0.0);
+        assert!(neg_entropy(&[0.5, 0.5]) < 0.0);
+    }
+
+    #[test]
+    fn zero_count_is_schur_convex_in_spirit() {
+        // Consensus has d-1 zeros, uniform has none.
+        assert_eq!(zero_count(&[6.0, 0.0, 0.0]), 2.0);
+        assert_eq!(zero_count(&[2.0, 2.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn schur_fn_debug_and_name() {
+        let f = SchurFn::new("max", max_component);
+        assert_eq!(f.name(), "max");
+        assert!(format!("{f:?}").contains("max"));
+        assert_eq!(f.eval(&[1.0, 9.0, 2.0]), 9.0);
+    }
+}

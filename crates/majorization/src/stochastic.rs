@@ -1,0 +1,153 @@
+//! Empirical stochastic majorization (Definition 3 of the paper).
+//!
+//! `X ⪯_st Y` iff `E[φ(X)] ≤ E[φ(Y)]` for all Schur-convex `φ`. This is a
+//! distributional statement that cannot be verified exactly from samples, so
+//! this module estimates it over the [`crate::schur::standard_family`] of
+//! test functions with confidence margins, and provides the Proposition-1
+//! sanity check used in the paper's coupling argument: probability vectors
+//! that majorize produce multinomials that stochastically majorize.
+
+use crate::schur::SchurFn;
+
+/// Result of an empirical stochastic-majorization comparison for one test
+/// function.
+#[derive(Debug, Clone)]
+pub struct SchurComparison {
+    /// Name of the Schur-convex test function.
+    pub name: String,
+    /// Sample mean of `φ(X)`.
+    pub mean_x: f64,
+    /// Sample mean of `φ(Y)`.
+    pub mean_y: f64,
+    /// Pooled standard error of the difference `mean_y − mean_x`.
+    pub std_err: f64,
+}
+
+impl SchurComparison {
+    /// `mean_y − mean_x`; positive values support `X ⪯_st Y`.
+    pub fn gap(&self) -> f64 {
+        self.mean_y - self.mean_x
+    }
+
+    /// Whether the comparison supports `X ⪯_st Y` at `z` standard errors:
+    /// the gap must exceed `−z·SE` (i.e. no significant violation).
+    pub fn supports_dominance(&self, z: f64) -> bool {
+        self.gap() >= -z * self.std_err
+    }
+}
+
+/// Verdict of [`check_stochastic_majorization`].
+#[derive(Debug, Clone)]
+pub struct StochasticMajorizationReport {
+    /// Per-test-function comparisons.
+    pub comparisons: Vec<SchurComparison>,
+    /// Number of samples of each variable.
+    pub samples: usize,
+}
+
+impl StochasticMajorizationReport {
+    /// True when no test function shows a significant violation at `z`
+    /// standard errors.
+    pub fn holds(&self, z: f64) -> bool {
+        self.comparisons.iter().all(|c| c.supports_dominance(z))
+    }
+
+    /// The most-violating comparison (smallest normalized gap), if any.
+    pub fn worst(&self) -> Option<&SchurComparison> {
+        self.comparisons.iter().min_by(|a, b| {
+            let na = if a.std_err > 0.0 { a.gap() / a.std_err } else { a.gap() };
+            let nb = if b.std_err > 0.0 { b.gap() / b.std_err } else { b.gap() };
+            na.partial_cmp(&nb).expect("no NaN in comparison gaps")
+        })
+    }
+}
+
+/// Estimates whether `X ⪯_st Y` from paired sample sets, using the supplied
+/// family of Schur-convex test functions.
+///
+/// `xs` and `ys` are independent sample collections (not necessarily equal
+/// length). The standard error is the usual two-sample pooled SE of the
+/// difference of means.
+///
+/// # Panics
+/// Panics if either sample set is empty or the family is empty.
+pub fn check_stochastic_majorization(
+    xs: &[Vec<f64>],
+    ys: &[Vec<f64>],
+    family: &[SchurFn],
+) -> StochasticMajorizationReport {
+    assert!(!xs.is_empty() && !ys.is_empty(), "need samples on both sides");
+    assert!(!family.is_empty(), "need at least one test function");
+    let comparisons = family
+        .iter()
+        .map(|f| {
+            let vx: Vec<f64> = xs.iter().map(|x| f.eval(x)).collect();
+            let vy: Vec<f64> = ys.iter().map(|y| f.eval(y)).collect();
+            let (mx, sx) = mean_var(&vx);
+            let (my, sy) = mean_var(&vy);
+            let std_err = (sx / vx.len() as f64 + sy / vy.len() as f64).sqrt();
+            SchurComparison { name: f.name().to_string(), mean_x: mx, mean_y: my, std_err }
+        })
+        .collect();
+    StochasticMajorizationReport { comparisons, samples: xs.len().min(ys.len()) }
+}
+
+fn mean_var(v: &[f64]) -> (f64, f64) {
+    let n = v.len() as f64;
+    let mean = v.iter().sum::<f64>() / n;
+    if v.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var = v.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+    (mean, var)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schur::standard_family;
+
+    #[test]
+    fn degenerate_distributions_compare_exactly() {
+        // X always uniform, Y always consensus: Y stochastically majorizes X.
+        let xs = vec![vec![2.0, 2.0, 2.0]; 50];
+        let ys = vec![vec![6.0, 0.0, 0.0]; 50];
+        let report = check_stochastic_majorization(&xs, &ys, &standard_family(3));
+        assert!(report.holds(3.0));
+        // And the reverse direction must fail decisively.
+        let rev = check_stochastic_majorization(&ys, &xs, &standard_family(3));
+        assert!(!rev.holds(3.0));
+    }
+
+    #[test]
+    fn identical_distributions_are_mutually_dominant() {
+        let xs = vec![vec![3.0, 2.0, 1.0]; 30];
+        let report = check_stochastic_majorization(&xs, &xs, &standard_family(3));
+        assert!(report.holds(1.0));
+        for c in &report.comparisons {
+            assert!(c.gap().abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn worst_comparison_identifies_violation() {
+        let xs = vec![vec![6.0, 0.0, 0.0]; 20];
+        let ys = vec![vec![2.0, 2.0, 2.0]; 20];
+        let report = check_stochastic_majorization(&xs, &ys, &standard_family(3));
+        let worst = report.worst().expect("non-empty family");
+        assert!(worst.gap() < 0.0, "consensus vs uniform must violate");
+    }
+
+    #[test]
+    #[should_panic(expected = "need samples")]
+    fn empty_samples_panic() {
+        check_stochastic_majorization(&[], &[vec![1.0]], &standard_family(2));
+    }
+
+    #[test]
+    fn mean_var_single_sample() {
+        let (m, v) = mean_var(&[4.0]);
+        assert_eq!(m, 4.0);
+        assert_eq!(v, 0.0);
+    }
+}

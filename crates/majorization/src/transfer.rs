@@ -1,0 +1,229 @@
+//! Constructive Hardy–Littlewood–Pólya: Robin-Hood transfers.
+//!
+//! A *T-transform* (Robin-Hood transfer) moves mass `δ` from a larger
+//! component to a smaller one without crossing them. The classical theorem
+//! states `x ⪯ y` if and only if `x` can be obtained from `y` by a finite
+//! chain of T-transforms. [`transfer_chain`] constructs such a chain
+//! explicitly, which gives an independent *certificate* for majorization
+//! that the test-suite checks against the prefix-sum definition.
+
+use crate::vector::{majorizes_eps, sorted_desc};
+
+/// A single Robin-Hood transfer: move `amount` from the component currently
+/// holding `from_value` to the one holding `to_value` (values refer to the
+/// sorted-descending working vector at the time of application).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TTransform {
+    /// Index (in the sorted working vector) mass is taken from.
+    pub donor: usize,
+    /// Index (in the sorted working vector) mass is given to.
+    pub recipient: usize,
+    /// Amount of mass moved; non-negative and at most half the gap.
+    pub amount: f64,
+}
+
+/// Error returned when no transfer chain exists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotMajorizedError;
+
+impl std::fmt::Display for NotMajorizedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "target is not majorized by the source vector")
+    }
+}
+
+impl std::error::Error for NotMajorizedError {}
+
+/// Constructs a chain of T-transforms carrying `y` (sorted desc) to `x`
+/// (sorted desc), assuming `y ⪰ x`.
+///
+/// Returns the list of transfers and the final vector reached (which matches
+/// `x↓` up to `eps`). The algorithm is the classical one: repeatedly find
+/// the first index `i` where the working vector exceeds `x↓` and the next
+/// index `j > i` where it falls short, then transfer
+/// `min(w_i − x_i, x_j − w_j)`. Each step fixes at least one coordinate, so
+/// at most `d − 1` transfers are produced.
+///
+/// # Errors
+/// Returns [`NotMajorizedError`] if `y` does not majorize `x` (including
+/// unequal totals) at tolerance `eps`.
+pub fn transfer_chain(
+    y: &[f64],
+    x: &[f64],
+    eps: f64,
+) -> Result<(Vec<TTransform>, Vec<f64>), NotMajorizedError> {
+    if !majorizes_eps(y, x, eps) {
+        return Err(NotMajorizedError);
+    }
+    let d = y.len().max(x.len());
+    let mut w = sorted_desc(y);
+    w.resize(d, 0.0);
+    let mut target = sorted_desc(x);
+    target.resize(d, 0.0);
+
+    let mut chain = Vec::new();
+    // Each iteration zeroes at least one surplus/deficit coordinate.
+    for _ in 0..2 * d {
+        // First surplus.
+        let Some(i) = (0..d).find(|&i| w[i] > target[i] + eps) else {
+            break;
+        };
+        // Deepest deficit after it. One must exist (up to rounding) because
+        // totals are equal and prefix sums of w dominate those of target;
+        // taking the argmin instead of the first-below-eps index keeps the
+        // loop robust when deficits are spread thinner than eps.
+        let Some(j) = (i + 1..d).min_by(|&a, &b| {
+            (w[a] - target[a]).partial_cmp(&(w[b] - target[b])).expect("no NaN")
+        }) else {
+            break;
+        };
+        let amount = (w[i] - target[i]).min(target[j] - w[j]);
+        if amount <= 0.0 {
+            break; // residual violations are below tolerance
+        }
+        w[i] -= amount;
+        w[j] += amount;
+        chain.push(TTransform { donor: i, recipient: j, amount });
+        // `amount` is an exact min, so each step pins w[i] to target[i] or
+        // w[j] to target[j] exactly; at most 2d steps are ever needed.
+    }
+    Ok((chain, w))
+}
+
+/// Applies a doubly-stochastic averaging step
+/// `x' = λ·x + (1−λ)·(x with coordinates i,j swapped)` for `λ ∈ [0, 1]`.
+///
+/// Averaging with a permutation matrix is exactly a T-transform, so the
+/// result is always majorized by the input.
+///
+/// # Panics
+/// Panics if `lambda ∉ [0,1]` or an index is out of bounds.
+pub fn t_transform_apply(x: &[f64], i: usize, j: usize, lambda: f64) -> Vec<f64> {
+    assert!((0.0..=1.0).contains(&lambda), "lambda must lie in [0,1]");
+    let mut out = x.to_vec();
+    let xi = x[i];
+    let xj = x[j];
+    out[i] = lambda * xi + (1.0 - lambda) * xj;
+    out[j] = lambda * xj + (1.0 - lambda) * xi;
+    out
+}
+
+/// Applies a full doubly-stochastic matrix `D` (row-major, rows sum to 1,
+/// columns sum to 1) to `x`, yielding `Dx ⪯ x`.
+///
+/// # Panics
+/// Panics if `d` is not square of the right dimension or rows/columns do not
+/// sum to 1 within `1e-9`.
+pub fn doubly_stochastic_apply(d: &[Vec<f64>], x: &[f64]) -> Vec<f64> {
+    let n = x.len();
+    assert_eq!(d.len(), n, "matrix must be n x n");
+    for row in d {
+        assert_eq!(row.len(), n, "matrix must be n x n");
+        let s: f64 = row.iter().sum();
+        assert!((s - 1.0).abs() < 1e-9, "rows must sum to 1");
+    }
+    for j in 0..n {
+        let s: f64 = d.iter().map(|row| row[j]).sum();
+        assert!((s - 1.0).abs() < 1e-9, "columns must sum to 1");
+    }
+    (0..n)
+        .map(|i| (0..n).map(|j| d[i][j] * x[j]).sum())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::majorizes;
+
+    fn assert_close(a: &[f64], b: &[f64]) {
+        assert_eq!(a.len(), b.len());
+        for (u, v) in a.iter().zip(b) {
+            assert!((u - v).abs() < 1e-9, "{a:?} != {b:?}");
+        }
+    }
+
+    #[test]
+    fn chain_reaches_target() {
+        let y = [6.0, 0.0, 0.0];
+        let x = [2.0, 2.0, 2.0];
+        let (chain, reached) = transfer_chain(&y, &x, 1e-12).expect("majorized");
+        assert!(!chain.is_empty());
+        assert_close(&reached, &x);
+    }
+
+    #[test]
+    fn chain_for_equivalent_vectors_is_empty() {
+        let y = [3.0, 2.0, 1.0];
+        let x = [1.0, 2.0, 3.0];
+        let (chain, reached) = transfer_chain(&y, &x, 1e-12).expect("equivalent");
+        assert!(chain.is_empty());
+        assert_close(&reached, &[3.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn chain_fails_when_not_majorized() {
+        assert_eq!(
+            transfer_chain(&[2.0, 2.0, 2.0], &[6.0, 0.0, 0.0], 1e-12),
+            Err(NotMajorizedError)
+        );
+    }
+
+    #[test]
+    fn chain_length_is_bounded() {
+        let y = [10.0, 0.0, 0.0, 0.0, 0.0];
+        let x = [2.0, 2.0, 2.0, 2.0, 2.0];
+        let (chain, _) = transfer_chain(&y, &x, 1e-12).expect("majorized");
+        assert!(chain.len() <= 4, "at most d-1 transfers, got {}", chain.len());
+    }
+
+    #[test]
+    fn each_prefix_of_chain_is_sandwiched() {
+        // Replay the chain and check y ⪰ intermediate ⪰ x throughout.
+        let y = [8.0, 4.0, 2.0, 1.0, 1.0];
+        let x = [4.0, 4.0, 3.0, 3.0, 2.0];
+        let (chain, _) = transfer_chain(&y, &x, 1e-12).expect("majorized");
+        let mut w = sorted_desc(&y);
+        for t in &chain {
+            w[t.donor] -= t.amount;
+            w[t.recipient] += t.amount;
+            assert!(majorizes(&y, &w), "y should majorize intermediate {w:?}");
+            assert!(majorizes(&w, &x), "intermediate {w:?} should majorize x");
+        }
+    }
+
+    #[test]
+    fn t_transform_is_majorized_by_input() {
+        let x = [5.0, 3.0, 1.0];
+        for lambda in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let y = t_transform_apply(&x, 0, 2, lambda);
+            assert!(majorizes(&x, &y), "lambda={lambda}");
+        }
+    }
+
+    #[test]
+    fn doubly_stochastic_contracts() {
+        let x = [4.0, 2.0, 0.0];
+        // Uniform averaging matrix: everything becomes the mean.
+        let d = vec![vec![1.0 / 3.0; 3]; 3];
+        let y = doubly_stochastic_apply(&d, &x);
+        assert_close(&y, &[2.0, 2.0, 2.0]);
+        assert!(majorizes(&x, &y));
+    }
+
+    #[test]
+    fn identity_matrix_is_noop() {
+        let x = [4.0, 2.0, 0.5];
+        let mut d = vec![vec![0.0; 3]; 3];
+        for (i, row) in d.iter_mut().enumerate() {
+            row[i] = 1.0;
+        }
+        assert_close(&doubly_stochastic_apply(&d, &x), &x);
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda")]
+    fn bad_lambda_panics() {
+        t_transform_apply(&[1.0, 2.0], 0, 1, 1.5);
+    }
+}

@@ -1,0 +1,237 @@
+//! Vector majorization: the preorder the paper uses to measure closeness to
+//! consensus.
+//!
+//! For `x, y ∈ R^d` with equal totals, `x` *majorizes* `y` (written `x ⪰ y`)
+//! if for every prefix length `l` the sum of the `l` largest components of
+//! `x` is at least the sum of the `l` largest components of `y`. The
+//! single-color (consensus) configuration is maximal and the uniform
+//! configuration is minimal with respect to `⪰`.
+
+use crate::DEFAULT_EPS;
+
+/// Three-way outcome of comparing two vectors under majorization.
+///
+/// Majorization is only a *pre*order: two vectors can be equivalent (equal
+/// sorted profiles) or incomparable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Majorization {
+    /// `x ⪰ y` and `y ⪰ x`: identical sorted profiles.
+    Equivalent,
+    /// `x ⪰ y` strictly (some prefix sum is strictly larger).
+    Majorizes,
+    /// `y ⪰ x` strictly.
+    MajorizedBy,
+    /// Neither relation holds, or totals differ.
+    Incomparable,
+}
+
+/// Returns the components of `x` sorted in non-increasing order (`x↓`).
+///
+/// # Example
+/// ```
+/// let d = symbreak_majorization::vector::sorted_desc(&[1.0, 3.0, 2.0]);
+/// assert_eq!(d, vec![3.0, 2.0, 1.0]);
+/// ```
+pub fn sorted_desc(x: &[f64]) -> Vec<f64> {
+    let mut v = x.to_vec();
+    v.sort_by(|a, b| b.partial_cmp(a).expect("NaN in majorization input"));
+    v
+}
+
+/// Prefix sums of the sorted-descending view: `P_l = Σ_{i≤l} x↓_i`.
+///
+/// `P_0 = 0` is included, so the result has `x.len() + 1` entries and the
+/// last entry is the total mass `‖x‖₁`.
+pub fn lorenz_prefix_sums(x: &[f64]) -> Vec<f64> {
+    let d = sorted_desc(x);
+    let mut out = Vec::with_capacity(d.len() + 1);
+    let mut acc = 0.0;
+    out.push(0.0);
+    for v in d {
+        acc += v;
+        out.push(acc);
+    }
+    out
+}
+
+/// Tests `x ⪰ y` with tolerance `eps` on each prefix-sum comparison and on
+/// the equal-total requirement.
+///
+/// Vectors of different lengths are compared by implicitly padding the
+/// shorter one with zeros (the paper embeds configurations in `N^n` with
+/// trailing zeros, so this matches its convention).
+pub fn majorizes_eps(x: &[f64], y: &[f64], eps: f64) -> bool {
+    let xs = lorenz_prefix_sums(x);
+    let ys = lorenz_prefix_sums(y);
+    let total_x = *xs.last().expect("non-empty prefix sums");
+    let total_y = *ys.last().expect("non-empty prefix sums");
+    if (total_x - total_y).abs() > eps {
+        return false;
+    }
+    let len = xs.len().max(ys.len());
+    for l in 1..len {
+        let px = if l < xs.len() { xs[l] } else { total_x };
+        let py = if l < ys.len() { ys[l] } else { total_y };
+        if px + eps < py {
+            return false;
+        }
+    }
+    true
+}
+
+/// Tests `x ⪰ y` with the crate-default tolerance [`DEFAULT_EPS`].
+///
+/// # Example
+/// ```
+/// use symbreak_majorization::vector::majorizes;
+/// assert!(majorizes(&[4.0, 1.0, 1.0], &[2.0, 2.0, 2.0]));
+/// ```
+pub fn majorizes(x: &[f64], y: &[f64]) -> bool {
+    majorizes_eps(x, y, DEFAULT_EPS)
+}
+
+/// Full three-way comparison of `x` and `y` under majorization.
+pub fn compare(x: &[f64], y: &[f64]) -> Majorization {
+    compare_eps(x, y, DEFAULT_EPS)
+}
+
+/// Three-way comparison with explicit tolerance.
+pub fn compare_eps(x: &[f64], y: &[f64], eps: f64) -> Majorization {
+    let xy = majorizes_eps(x, y, eps);
+    let yx = majorizes_eps(y, x, eps);
+    match (xy, yx) {
+        (true, true) => Majorization::Equivalent,
+        (true, false) => Majorization::Majorizes,
+        (false, true) => Majorization::MajorizedBy,
+        (false, false) => Majorization::Incomparable,
+    }
+}
+
+/// Weak sub-majorization `x ⪰_w y`: prefix sums of `x↓` dominate those of
+/// `y↓` but totals need not match.
+pub fn weakly_submajorizes(x: &[f64], y: &[f64], eps: f64) -> bool {
+    let xs = lorenz_prefix_sums(x);
+    let ys = lorenz_prefix_sums(y);
+    let total_x = *xs.last().expect("non-empty");
+    let total_y = *ys.last().expect("non-empty");
+    let len = xs.len().max(ys.len());
+    for l in 1..len {
+        let px = if l < xs.len() { xs[l] } else { total_x };
+        let py = if l < ys.len() { ys[l] } else { total_y };
+        if px + eps < py {
+            return false;
+        }
+    }
+    let _ = total_y;
+    true
+}
+
+/// The maximal element for mass `m` in dimension `d`: `(m, 0, …, 0)`.
+pub fn top_element(m: f64, d: usize) -> Vec<f64> {
+    assert!(d >= 1, "dimension must be positive");
+    let mut v = vec![0.0; d];
+    v[0] = m;
+    v
+}
+
+/// The minimal element for mass `m` in dimension `d`: the uniform vector.
+pub fn bottom_element(m: f64, d: usize) -> Vec<f64> {
+    assert!(d >= 1, "dimension must be positive");
+    vec![m / d as f64; d]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consensus_majorizes_everything() {
+        let top = top_element(10.0, 5);
+        for other in [
+            vec![2.0, 2.0, 2.0, 2.0, 2.0],
+            vec![5.0, 5.0, 0.0, 0.0, 0.0],
+            vec![9.0, 1.0, 0.0, 0.0, 0.0],
+        ] {
+            assert!(majorizes(&top, &other), "top should majorize {other:?}");
+        }
+    }
+
+    #[test]
+    fn uniform_is_minimal() {
+        let bot = bottom_element(10.0, 5);
+        for other in [
+            vec![2.0, 2.0, 2.0, 2.0, 2.0],
+            vec![5.0, 5.0, 0.0, 0.0, 0.0],
+            vec![3.0, 3.0, 2.0, 1.0, 1.0],
+        ] {
+            assert!(majorizes(&other, &bot), "{other:?} should majorize bottom");
+        }
+    }
+
+    #[test]
+    fn order_of_components_is_irrelevant() {
+        assert!(majorizes(&[1.0, 4.0, 1.0], &[2.0, 2.0, 2.0]));
+        assert_eq!(compare(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]), Majorization::Equivalent);
+    }
+
+    #[test]
+    fn different_totals_are_incomparable() {
+        assert!(!majorizes(&[4.0, 1.0], &[2.0, 2.0]));
+        assert_eq!(compare(&[4.0, 1.0], &[2.0, 2.0]), Majorization::Incomparable);
+    }
+
+    #[test]
+    fn incomparable_pair() {
+        // Classic: (3,3,0) vs (4,1,1): prefix sums 3,6,6 vs 4,5,6.
+        let a = [3.0, 3.0, 0.0];
+        let b = [4.0, 1.0, 1.0];
+        assert_eq!(compare(&a, &b), Majorization::Incomparable);
+    }
+
+    #[test]
+    fn strict_majorization_detected() {
+        assert_eq!(compare(&[4.0, 2.0, 0.0], &[3.0, 2.0, 1.0]), Majorization::Majorizes);
+        assert_eq!(compare(&[3.0, 2.0, 1.0], &[4.0, 2.0, 0.0]), Majorization::MajorizedBy);
+    }
+
+    #[test]
+    fn padding_with_zeros() {
+        // (3,1) vs (2,1,1): same total, prefix sums 3,4,4 vs 2,3,4.
+        assert!(majorizes(&[3.0, 1.0], &[2.0, 1.0, 1.0]));
+        assert!(!majorizes(&[2.0, 1.0, 1.0], &[3.0, 1.0]));
+    }
+
+    #[test]
+    fn lorenz_prefix_sums_basic() {
+        let p = lorenz_prefix_sums(&[1.0, 3.0, 2.0]);
+        assert_eq!(p, vec![0.0, 3.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn weak_submajorization_allows_smaller_total() {
+        assert!(weakly_submajorizes(&[4.0, 1.0], &[2.0, 2.0], 1e-12));
+        // x's prefixes dominate even though totals differ (5 vs 4).
+        assert!(weakly_submajorizes(&[4.0, 1.0], &[2.0, 2.0, 0.0], 1e-12));
+        assert!(!weakly_submajorizes(&[1.0, 1.0], &[3.0, 0.0], 1e-12));
+    }
+
+    #[test]
+    fn tolerance_is_respected() {
+        let x = [2.0, 2.0];
+        let y = [2.0 + 1e-12, 2.0 - 1e-12];
+        assert!(majorizes(&x, &y));
+        assert!(majorizes(&y, &x));
+    }
+
+    #[test]
+    fn reflexive() {
+        let x = [3.0, 1.0, 0.5];
+        assert_eq!(compare(&x, &x), Majorization::Equivalent);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_input_panics() {
+        majorizes(&[f64::NAN, 1.0], &[1.0, 1.0]);
+    }
+}

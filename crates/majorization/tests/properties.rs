@@ -1,0 +1,137 @@
+//! Property-based tests of the majorization laws.
+
+use proptest::prelude::*;
+use symbreak_majorization::birkhoff::{birkhoff_decompose, recompose};
+use symbreak_majorization::schur::{neg_entropy, power_sum, top_j_sum};
+use symbreak_majorization::transfer::{t_transform_apply, transfer_chain};
+use symbreak_majorization::vector::{
+    compare, lorenz_prefix_sums, majorizes, sorted_desc, Majorization,
+};
+
+fn vec_strategy(d: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..10.0, d)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn majorization_is_reflexive(x in vec_strategy(6)) {
+        prop_assert!(majorizes(&x, &x));
+    }
+
+    #[test]
+    fn majorization_is_antisymmetric_up_to_sorting(x in vec_strategy(5), y in vec_strategy(5)) {
+        if majorizes(&x, &y) && majorizes(&y, &x) {
+            let sx = sorted_desc(&x);
+            let sy = sorted_desc(&y);
+            for (a, b) in sx.iter().zip(&sy) {
+                prop_assert!((a - b).abs() < 1e-6, "equivalent vectors must share sorted profile");
+            }
+        }
+    }
+
+    #[test]
+    fn majorization_is_transitive(x in vec_strategy(5), seed in 0u64..1000) {
+        // Build y ⪯ x and z ⪯ y by Robin-Hood transfers; check z ⪯ x.
+        let mut rng = seed;
+        let mut next = move || { rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1); (rng >> 33) as usize };
+        let transfer = |v: &[f64], i: usize, j: usize| -> Vec<f64> {
+            let (hi, lo) = if v[i] >= v[j] { (i, j) } else { (j, i) };
+            let mut out = v.to_vec();
+            let delta = (v[hi] - v[lo]) / 4.0;
+            out[hi] -= delta;
+            out[lo] += delta;
+            out
+        };
+        let y = transfer(&x, next() % 5, next() % 5);
+        let z = transfer(&y, next() % 5, next() % 5);
+        prop_assert!(majorizes(&x, &y));
+        prop_assert!(majorizes(&y, &z));
+        prop_assert!(majorizes(&x, &z), "transitivity violated");
+    }
+
+    #[test]
+    fn transfer_chain_reaches_any_majorized_target(x in vec_strategy(6)) {
+        // The uniform vector with the same total is always majorized.
+        let total: f64 = x.iter().sum();
+        let uniform = vec![total / 6.0; 6];
+        let (chain, reached) = transfer_chain(&x, &uniform, 1e-9).expect("x majorizes uniform");
+        prop_assert!(chain.len() <= 12);
+        for (a, b) in reached.iter().zip(&uniform) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn t_transform_never_increases(x in vec_strategy(6), i in 0usize..6, j in 0usize..6, lambda in 0.0f64..=1.0) {
+        if i != j {
+            let y = t_transform_apply(&x, i, j, lambda);
+            prop_assert!(majorizes(&x, &y));
+            let sx: f64 = x.iter().sum();
+            let sy: f64 = y.iter().sum();
+            prop_assert!((sx - sy).abs() < 1e-9, "mass preserved");
+        }
+    }
+
+    #[test]
+    fn schur_functions_respect_constructed_pairs(x in vec_strategy(6), lambda in 0.0f64..=1.0) {
+        let y = t_transform_apply(&x, 0, 5, lambda);
+        // x ⪰ y, so every Schur-convex value must not increase.
+        for j in 1..=6 {
+            prop_assert!(top_j_sum(&x, j) + 1e-9 >= top_j_sum(&y, j));
+        }
+        prop_assert!(power_sum(&x, 2.0) + 1e-9 >= power_sum(&y, 2.0));
+        prop_assert!(power_sum(&x, 3.0) + 1e-9 >= power_sum(&y, 3.0));
+    }
+
+    #[test]
+    fn neg_entropy_schur_convex_on_probability_vectors(x in vec_strategy(5), lambda in 0.0f64..=1.0) {
+        let total: f64 = x.iter().sum();
+        prop_assume!(total > 1e-6);
+        let p: Vec<f64> = x.iter().map(|v| v / total).collect();
+        let q = t_transform_apply(&p, 1, 3, lambda);
+        prop_assert!(neg_entropy(&p) + 1e-9 >= neg_entropy(&q));
+    }
+
+    #[test]
+    fn lorenz_prefix_sums_are_concave_increments(x in vec_strategy(8)) {
+        // Sorted-descending prefix sums have non-increasing increments.
+        let p = lorenz_prefix_sums(&x);
+        for w in p.windows(3) {
+            let d1 = w[1] - w[0];
+            let d2 = w[2] - w[1];
+            prop_assert!(d2 <= d1 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn compare_agrees_with_majorizes(x in vec_strategy(5), y in vec_strategy(5)) {
+        let c = compare(&x, &y);
+        match c {
+            Majorization::Majorizes => prop_assert!(majorizes(&x, &y) && !majorizes(&y, &x)),
+            Majorization::MajorizedBy => prop_assert!(!majorizes(&x, &y) && majorizes(&y, &x)),
+            Majorization::Equivalent => prop_assert!(majorizes(&x, &y) && majorizes(&y, &x)),
+            Majorization::Incomparable => prop_assert!(!majorizes(&x, &y) && !majorizes(&y, &x)),
+        }
+    }
+
+    #[test]
+    fn birkhoff_round_trip_on_transfer_matrices(lambda in 0.0f64..=1.0) {
+        // The T-transform matrix on coordinates (0,1) in R^3.
+        let m = vec![
+            vec![lambda, 1.0 - lambda, 0.0],
+            vec![1.0 - lambda, lambda, 0.0],
+            vec![0.0, 0.0, 1.0],
+        ];
+        let terms = birkhoff_decompose(&m, 1e-9).expect("DS");
+        let back = recompose(&terms, 3);
+        for (ra, rb) in m.iter().zip(&back) {
+            for (a, b) in ra.iter().zip(rb) {
+                prop_assert!((a - b).abs() < 1e-6);
+            }
+        }
+        let total: f64 = terms.iter().map(|t| t.weight).sum();
+        prop_assert!((total - 1.0).abs() < 1e-6);
+    }
+}

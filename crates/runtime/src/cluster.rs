@@ -1,0 +1,251 @@
+//! The cluster coordinator: spawns shard threads, drives synchronous
+//! rounds, aggregates per-round observables, and detects consensus.
+
+use std::sync::mpsc;
+
+use symbreak_core::{Configuration, UpdateRule};
+use symbreak_sim::trace::{RoundStats, Trace};
+
+use crate::message::{Control, ShardReport};
+use crate::shard::{run_shard, Partition, ShardEndpoints};
+
+/// Cluster construction parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterConfig {
+    /// Number of shard threads (each owns a contiguous node range).
+    pub shards: usize,
+    /// Master seed; shard streams are derived deterministically from it.
+    pub seed: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self { shards: 4, seed: 0 }
+    }
+}
+
+/// Outcome of a cluster run.
+#[derive(Debug, Clone)]
+pub struct ClusterOutcome {
+    /// Round at which consensus was observed.
+    pub consensus_round: u64,
+    /// The final aggregated configuration.
+    pub final_config: Configuration,
+    /// Round-by-round observables.
+    pub trace: Trace,
+    /// Total point-to-point messages exchanged over the whole run
+    /// (requests + replies). The Uniform Pull cost model: `2·n·h` per
+    /// round up to coalesced local deliveries.
+    pub total_messages: u64,
+}
+
+/// A distributed execution of one update rule over sharded node actors.
+#[derive(Debug, Clone)]
+pub struct Cluster<R> {
+    rule: R,
+    start: Configuration,
+    config: ClusterConfig,
+}
+
+impl<R: UpdateRule + Clone + Send> Cluster<R> {
+    /// Prepares a cluster over the nodes described by `start`.
+    ///
+    /// # Panics
+    /// Panics if there are fewer nodes than shards, or zero shards.
+    pub fn new(rule: R, start: &Configuration, config: ClusterConfig) -> Self {
+        assert!(config.shards >= 1, "need at least one shard");
+        assert!(
+            start.n() >= config.shards as u64,
+            "need at least one node per shard"
+        );
+        Self { rule, start: start.clone(), config }
+    }
+
+    /// Runs synchronous rounds until consensus, or `max_rounds`.
+    ///
+    /// Returns `None` if the cap elapsed first. Consumes the cluster (the
+    /// shard threads are joined either way).
+    pub fn run_to_consensus(self, max_rounds: u64) -> Option<ClusterOutcome> {
+        let n = self.start.n() as u32;
+        let k_slots = self.start.num_slots();
+        let shards = self.config.shards;
+        let partition = Partition::new(n, shards);
+
+        // Wire the topology: one inbox per shard, everyone holds senders
+        // to everyone; a control channel per shard; one report channel.
+        let mut inboxes = Vec::with_capacity(shards);
+        let mut peer_senders = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (tx, rx) = mpsc::channel();
+            peer_senders.push(tx);
+            inboxes.push(rx);
+        }
+        let mut control_txs = Vec::with_capacity(shards);
+        let mut control_rxs = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (tx, rx) = mpsc::channel();
+            control_txs.push(tx);
+            control_rxs.push(rx);
+        }
+        let (report_tx, report_rx) = mpsc::channel::<ShardReport>();
+
+        let all_opinions = self.start.to_opinions();
+        let rule = self.rule;
+        let seed = self.config.seed;
+
+        let result = crossbeam::thread::scope(|scope| {
+            for (shard_id, (inbox, control)) in
+                inboxes.into_iter().zip(control_rxs).enumerate()
+            {
+                let range = partition.range(shard_id);
+                let opinions =
+                    all_opinions[range.start as usize..range.end as usize].to_vec();
+                let endpoints = ShardEndpoints {
+                    inbox,
+                    peers: peer_senders.clone(),
+                    control,
+                    report: report_tx.clone(),
+                };
+                let rule = rule.clone();
+                scope.spawn(move |_| {
+                    run_shard(shard_id, partition, rule, opinions, k_slots, seed, endpoints);
+                });
+            }
+            // The coordinator's copies are no longer needed; dropping them
+            // lets shards observe closed channels at shutdown.
+            drop(peer_senders);
+            drop(report_tx);
+
+            let mut trace = Trace::new();
+            let mut outcome = None;
+            let mut total_messages = 0u64;
+            for round in 1..=max_rounds {
+                for tx in &control_txs {
+                    tx.send(Control::Round).expect("shard alive");
+                }
+                let mut counts = vec![0u64; k_slots];
+                let mut undecided = 0u64;
+                for _ in 0..shards {
+                    let report = report_rx.recv().expect("shard reports");
+                    for (total, c) in counts.iter_mut().zip(&report.counts) {
+                        *total += c;
+                    }
+                    undecided += report.undecided;
+                    total_messages += report.messages_sent;
+                }
+                let config = Configuration::from_counts(counts);
+                trace.push(RoundStats {
+                    round,
+                    num_colors: config.num_colors(),
+                    max_support: config.max_support(),
+                    bias: config.bias(),
+                });
+                if undecided == 0 && config.is_consensus() {
+                    outcome = Some(ClusterOutcome {
+                        consensus_round: round,
+                        final_config: config,
+                        trace: trace.clone(),
+                        total_messages,
+                    });
+                    break;
+                }
+            }
+            // Shut the shards down.
+            for tx in &control_txs {
+                let _ = tx.send(Control::Stop);
+            }
+            drop(control_txs);
+            outcome
+        })
+        .expect("shard thread panicked");
+
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symbreak_core::rules::{ThreeMajority, TwoChoices, UndecidedDynamics, Voter};
+
+    #[test]
+    fn cluster_reaches_consensus_three_majority() {
+        let start = Configuration::uniform(200, 8);
+        let cluster = Cluster::new(ThreeMajority, &start, ClusterConfig { shards: 4, seed: 1 });
+        let out = cluster.run_to_consensus(100_000).expect("consensus");
+        assert!(out.consensus_round > 0);
+        assert_eq!(out.final_config.n(), 200);
+        assert!(out.final_config.is_consensus());
+        assert_eq!(out.trace.len() as u64, out.consensus_round);
+    }
+
+    #[test]
+    fn cluster_works_single_shard() {
+        let start = Configuration::uniform(64, 4);
+        let cluster = Cluster::new(Voter, &start, ClusterConfig { shards: 1, seed: 2 });
+        assert!(cluster.run_to_consensus(1_000_000).is_some());
+    }
+
+    #[test]
+    fn cluster_works_with_many_shards_and_uneven_ranges() {
+        let start = Configuration::uniform(50, 5);
+        let cluster = Cluster::new(ThreeMajority, &start, ClusterConfig { shards: 7, seed: 3 });
+        let out = cluster.run_to_consensus(100_000).expect("consensus");
+        assert_eq!(out.final_config.n(), 50);
+    }
+
+    #[test]
+    fn cluster_respects_round_cap() {
+        let start = Configuration::singletons(512);
+        let cluster = Cluster::new(TwoChoices, &start, ClusterConfig { shards: 4, seed: 4 });
+        assert!(cluster.run_to_consensus(2).is_none(), "2 rounds cannot suffice");
+    }
+
+    #[test]
+    fn cluster_is_deterministic_per_seed() {
+        let start = Configuration::uniform(120, 6);
+        let run = |seed| {
+            let cluster =
+                Cluster::new(ThreeMajority, &start, ClusterConfig { shards: 3, seed });
+            cluster.run_to_consensus(100_000).expect("consensus").consensus_round
+        };
+        assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn cluster_handles_undecided_dynamics() {
+        let start = Configuration::from_counts(vec![80, 20]);
+        let cluster =
+            Cluster::new(UndecidedDynamics, &start, ClusterConfig { shards: 4, seed: 5 });
+        let out = cluster.run_to_consensus(1_000_000).expect("consensus");
+        assert!(out.final_config.is_consensus());
+    }
+
+    #[test]
+    fn population_is_conserved_every_round() {
+        let start = Configuration::uniform(90, 3);
+        let cluster = Cluster::new(Voter, &start, ClusterConfig { shards: 3, seed: 6 });
+        let out = cluster.run_to_consensus(1_000_000).expect("consensus");
+        // Trace max_support never exceeds n; final mass intact.
+        assert!(out.trace.rounds().iter().all(|r| r.max_support <= 90));
+        assert_eq!(out.final_config.n(), 90);
+    }
+
+    #[test]
+    fn message_accounting_matches_protocol_cost() {
+        // Each round: every node sends h requests and receives h replies,
+        // so total messages = rounds * 2 * n * h exactly.
+        let n = 120u64;
+        let start = Configuration::uniform(n, 4);
+        let cluster = Cluster::new(ThreeMajority, &start, ClusterConfig { shards: 3, seed: 8 });
+        let out = cluster.run_to_consensus(100_000).expect("consensus");
+        assert_eq!(out.total_messages, out.consensus_round * 2 * n * 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "one node per shard")]
+    fn more_shards_than_nodes_panics() {
+        let start = Configuration::uniform(3, 3);
+        Cluster::new(Voter, &start, ClusterConfig { shards: 8, seed: 0 });
+    }
+}

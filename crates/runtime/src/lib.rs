@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+//! Message-passing distributed runtime for the paper's protocols.
+//!
+//! The engines in `symbreak-core` sample the process *law*; this crate
+//! executes the protocol the way the paper's system model describes it —
+//! anonymous nodes that, each synchronous round, **pull** the opinions of
+//! uniformly random peers via request/reply messages and apply their
+//! update rule locally. Nodes are partitioned into shard threads that
+//! exchange batched [`message`]s over channels; a coordinator drives the
+//! synchronous rounds (the barrier) and collects per-round observables.
+//!
+//! The runtime makes three properties of the model concrete:
+//!
+//! * **Anonymity** — requests carry no requester identity beyond an opaque
+//!   reply route; update rules see only opinions.
+//! * **Uniform Pull** — each node addresses `h` uniform random node ids
+//!   per round; the owning shard answers with the opinion *frozen at the
+//!   round start* (synchrony).
+//! * **O(log k) state** — a node's state is its opinion; shards hold no
+//!   global view.
+//!
+//! The test-suite cross-validates the runtime against the single-threaded
+//! engines: same process law, same consensus behaviour.
+//!
+//! # Example
+//!
+//! ```
+//! use symbreak_runtime::{Cluster, ClusterConfig};
+//! use symbreak_core::rules::ThreeMajority;
+//! use symbreak_core::Configuration;
+//!
+//! let start = Configuration::uniform(256, 8);
+//! let cluster = Cluster::new(ThreeMajority, &start, ClusterConfig { shards: 4, seed: 7 });
+//! let outcome = cluster.run_to_consensus(10_000).expect("consensus");
+//! assert_eq!(outcome.final_config.num_colors(), 1);
+//! ```
+
+pub mod cluster;
+pub mod message;
+pub mod shard;
+
+pub use cluster::{Cluster, ClusterConfig, ClusterOutcome};
+pub use message::{Request, ShardMessage};

@@ -1,0 +1,89 @@
+//! Wire messages exchanged between shards.
+//!
+//! All inter-shard traffic is batched per (sender-shard, receiver-shard)
+//! pair per phase, so a shard knows it has seen everything for a phase
+//! once it has received exactly one batch from every shard (empty batches
+//! are sent explicitly). This gives a deterministic, deadlock-free
+//! synchronous round without a global barrier primitive.
+
+use symbreak_core::Opinion;
+
+/// A pull request: node `requester` (global id) asks for the opinion of
+/// node `target` (global id, owned by the receiving shard).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Global id of the node whose opinion is requested.
+    pub target: u32,
+    /// Global id of the requesting node (used only to route the reply and
+    /// slot it into the right sample position).
+    pub requester: u32,
+    /// Which of the requester's `h` sample slots this request fills.
+    pub slot: u8,
+}
+
+/// A pull reply carrying the opinion of the target at the round start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reply {
+    /// Global id of the requesting node.
+    pub requester: u32,
+    /// Sample slot being filled.
+    pub slot: u8,
+    /// The pulled opinion.
+    pub opinion: Opinion,
+}
+
+/// Batched shard-to-shard traffic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardMessage {
+    /// All requests a shard addresses to the receiving shard this round.
+    Requests(Vec<Request>),
+    /// All replies a shard returns to the receiving shard this round.
+    Replies(Vec<Reply>),
+}
+
+/// Coordinator-to-shard control traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Control {
+    /// Run one more synchronous round.
+    Round,
+    /// Terminate and report.
+    Stop,
+}
+
+/// Shard-to-coordinator per-round report: this shard's opinion counts
+/// (over `k` slots) plus its undecided count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardReport {
+    /// Shard index.
+    pub shard: usize,
+    /// Per-color support among this shard's nodes.
+    pub counts: Vec<u64>,
+    /// Undecided nodes in this shard.
+    pub undecided: u64,
+    /// Point-to-point messages (request or reply batches' individual
+    /// entries) this shard sent during the round.
+    pub messages_sent: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_shapes() {
+        let r = Request { target: 1, requester: 2, slot: 0 };
+        assert_eq!(r.target, 1);
+        let msg = ShardMessage::Requests(vec![r]);
+        match msg {
+            ShardMessage::Requests(v) => assert_eq!(v.len(), 1),
+            ShardMessage::Replies(_) => panic!("wrong variant"),
+        }
+    }
+
+    #[test]
+    fn reply_carries_opinion() {
+        let rep = Reply { requester: 3, slot: 1, opinion: Opinion::new(9) };
+        assert_eq!(rep.opinion, Opinion::new(9));
+        assert_eq!(rep.slot, 1);
+    }
+}

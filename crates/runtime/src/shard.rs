@@ -1,0 +1,192 @@
+//! Shard workers: each thread owns a contiguous range of nodes and speaks
+//! the batched request/reply protocol of [`crate::message`].
+
+use std::sync::mpsc::{Receiver, Sender};
+
+use rand::{Rng, SeedableRng};
+
+use symbreak_core::{Opinion, UpdateRule};
+use symbreak_sim::rng::{trial_seed, Pcg64};
+
+use crate::message::{Control, Reply, Request, ShardMessage, ShardReport};
+
+/// Node-ownership partition: shard `i` owns global ids
+/// `[i·chunk, min((i+1)·chunk, n))`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Partition {
+    pub n: u32,
+    pub chunk: u32,
+    pub shards: usize,
+}
+
+impl Partition {
+    pub fn new(n: u32, shards: usize) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        assert!(n as usize >= shards, "need at least one node per shard");
+        let chunk = n.div_ceil(shards as u32);
+        Self { n, chunk, shards }
+    }
+
+    pub fn owner(&self, gid: u32) -> usize {
+        debug_assert!(gid < self.n);
+        ((gid / self.chunk) as usize).min(self.shards - 1)
+    }
+
+    pub fn range(&self, shard: usize) -> std::ops::Range<u32> {
+        // Both ends clamp to n: with chunk = ceil(n/shards), trailing
+        // shards can be empty (e.g. n = 10, shards = 8).
+        let lo = ((shard as u32) * self.chunk).min(self.n);
+        let hi = ((shard as u32 + 1) * self.chunk).min(self.n);
+        lo..hi
+    }
+}
+
+/// Channel endpoints handed to a shard thread.
+pub(crate) struct ShardEndpoints {
+    pub inbox: Receiver<ShardMessage>,
+    pub peers: Vec<Sender<ShardMessage>>,
+    pub control: Receiver<Control>,
+    pub report: Sender<ShardReport>,
+}
+
+/// Runs one shard to completion.
+///
+/// `k_slots` is the number of color slots reported back to the
+/// coordinator (opinion indices must stay below it).
+pub(crate) fn run_shard<R: UpdateRule>(
+    shard_id: usize,
+    partition: Partition,
+    rule: R,
+    mut opinions: Vec<Opinion>,
+    k_slots: usize,
+    master_seed: u64,
+    endpoints: ShardEndpoints,
+) {
+    let mut rng = Pcg64::seed_from_u64(trial_seed(master_seed, shard_id as u64 + 1));
+    let h = rule.sample_count();
+    let local_n = opinions.len();
+    let lo = partition.range(shard_id).start;
+    let mut samples: Vec<Opinion> = vec![Opinion::new(0); local_n * h];
+    let mut snapshot: Vec<Opinion> = opinions.clone();
+
+    while let Ok(Control::Round) = endpoints.control.recv() {
+        // Freeze the round-start snapshot (synchrony: replies quote it).
+        snapshot.clone_from(&opinions);
+
+        // Issue h uniform pull requests per local node, batched per
+        // destination shard.
+        let mut messages_sent = 0u64;
+        let mut outgoing: Vec<Vec<Request>> = vec![Vec::new(); partition.shards];
+        for local in 0..local_n {
+            let requester = lo + local as u32;
+            for slot in 0..h {
+                let target = rng.gen_range(0..partition.n);
+                outgoing[partition.owner(target)].push(Request {
+                    target,
+                    requester,
+                    slot: slot as u8,
+                });
+            }
+        }
+        for (dest, batch) in outgoing.into_iter().enumerate() {
+            messages_sent += batch.len() as u64;
+            endpoints.peers[dest]
+                .send(ShardMessage::Requests(batch))
+                .expect("peer shard alive");
+        }
+
+        // Serve requests as they arrive and absorb replies until both
+        // sides of the round are complete.
+        let mut request_batches = 0usize;
+        let expected_replies = local_n * h;
+        let mut replies_received = 0usize;
+        while request_batches < partition.shards || replies_received < expected_replies {
+            match endpoints.inbox.recv().expect("cluster channels alive") {
+                ShardMessage::Requests(batch) => {
+                    request_batches += 1;
+                    let mut replies: Vec<Vec<Reply>> = vec![Vec::new(); partition.shards];
+                    for req in batch {
+                        let opinion = snapshot[(req.target - lo) as usize];
+                        replies[partition.owner(req.requester)].push(Reply {
+                            requester: req.requester,
+                            slot: req.slot,
+                            opinion,
+                        });
+                    }
+                    for (dest, batch) in replies.into_iter().enumerate() {
+                        if !batch.is_empty() {
+                            messages_sent += batch.len() as u64;
+                            endpoints.peers[dest]
+                                .send(ShardMessage::Replies(batch))
+                                .expect("peer shard alive");
+                        }
+                    }
+                }
+                ShardMessage::Replies(batch) => {
+                    replies_received += batch.len();
+                    for rep in batch {
+                        let local = (rep.requester - lo) as usize;
+                        samples[local * h + rep.slot as usize] = rep.opinion;
+                    }
+                }
+            }
+        }
+
+        // Apply the update rule locally, in deterministic node order.
+        for local in 0..local_n {
+            let own = opinions[local];
+            let window = &samples[local * h..(local + 1) * h];
+            opinions[local] = rule.update(own, window, &mut rng);
+        }
+
+        // Report this shard's observable state.
+        let mut counts = vec![0u64; k_slots];
+        let mut undecided = 0u64;
+        for &o in &opinions {
+            if o.is_undecided() {
+                undecided += 1;
+            } else {
+                counts[o.index()] += 1;
+            }
+        }
+        endpoints
+            .report
+            .send(ShardReport { shard: shard_id, counts, undecided, messages_sent })
+            .expect("coordinator alive");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_covers_all_nodes_disjointly() {
+        for (n, shards) in [(10u32, 3usize), (16, 4), (7, 7), (100, 8), (5, 1)] {
+            let p = Partition::new(n, shards);
+            let mut seen = vec![false; n as usize];
+            for s in 0..shards {
+                for gid in p.range(s) {
+                    assert!(!seen[gid as usize], "node {gid} owned twice");
+                    seen[gid as usize] = true;
+                    assert_eq!(p.owner(gid), s, "owner mismatch for {gid}");
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "n={n} shards={shards}: not all owned");
+        }
+    }
+
+    #[test]
+    fn partition_owner_matches_range_for_uneven_split() {
+        let p = Partition::new(10, 4); // chunk = 3: ranges 0..3,3..6,6..9,9..10
+        assert_eq!(p.range(0), 0..3);
+        assert_eq!(p.range(3), 9..10);
+        assert_eq!(p.owner(9), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "one node per shard")]
+    fn too_many_shards_panics() {
+        Partition::new(3, 4);
+    }
+}

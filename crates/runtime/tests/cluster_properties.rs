@@ -1,0 +1,63 @@
+//! Property-based tests of the message-passing cluster.
+
+use proptest::prelude::*;
+use symbreak_core::rules::{ThreeMajority, Voter};
+use symbreak_core::Configuration;
+use symbreak_runtime::{Cluster, ClusterConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn consensus_from_any_start(
+        counts in proptest::collection::vec(1u64..20, 2..5),
+        shards in 1usize..5,
+        seed in 0u64..500,
+    ) {
+        let start = Configuration::from_counts(counts);
+        prop_assume!(start.n() >= shards as u64);
+        let cluster = Cluster::new(ThreeMajority, &start, ClusterConfig { shards, seed });
+        let out = cluster.run_to_consensus(1_000_000).expect("consensus");
+        prop_assert!(out.final_config.is_consensus());
+        prop_assert_eq!(out.final_config.n(), start.n());
+    }
+
+    #[test]
+    fn winner_is_initially_supported(
+        counts in proptest::collection::vec(0u64..15, 3..6),
+        seed in 0u64..500,
+    ) {
+        let start = Configuration::from_counts(counts);
+        prop_assume!(start.n() >= 4);
+        let cluster = Cluster::new(Voter, &start, ClusterConfig { shards: 2, seed });
+        let out = cluster.run_to_consensus(2_000_000).expect("consensus");
+        let winner = out.final_config.plurality();
+        prop_assert!(
+            start.support(winner.index()) > 0,
+            "winner {winner} had no initial support in {start}"
+        );
+    }
+
+    #[test]
+    fn trace_round_indices_are_sequential(seed in 0u64..200) {
+        let start = Configuration::uniform(40, 4);
+        let cluster = Cluster::new(ThreeMajority, &start, ClusterConfig { shards: 3, seed });
+        let out = cluster.run_to_consensus(1_000_000).expect("consensus");
+        for (i, r) in out.trace.rounds().iter().enumerate() {
+            prop_assert_eq!(r.round, i as u64 + 1);
+            prop_assert!(r.max_support <= 40);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed(seed in 0u64..100) {
+        let start = Configuration::uniform(30, 3);
+        let run = |s| {
+            Cluster::new(ThreeMajority, &start, ClusterConfig { shards: 2, seed: s })
+                .run_to_consensus(1_000_000)
+                .expect("consensus")
+                .consensus_round
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+}

@@ -1,0 +1,210 @@
+//! Aggregation of many [`Trace`]s into per-round summary curves.
+//!
+//! The experiment harness runs dozens of trials per parameter point; a
+//! [`TraceBundle`] turns the resulting traces into mean/quantile curves
+//! of each observable over rounds (padding short trajectories with their
+//! final value, since consensus is absorbing).
+
+use crate::trace::Trace;
+
+/// A per-round aggregate across traces.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundAggregate {
+    /// Round index.
+    pub round: u64,
+    /// Mean number of remaining colors.
+    pub mean_colors: f64,
+    /// Mean maximum support.
+    pub mean_max_support: f64,
+    /// Median number of remaining colors.
+    pub median_colors: f64,
+    /// Number of traces still "alive" (not yet past their last round).
+    pub alive: usize,
+}
+
+/// A collection of traces from repeated trials of one experiment cell.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceBundle {
+    traces: Vec<Trace>,
+}
+
+impl TraceBundle {
+    /// Creates an empty bundle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one trial's trace.
+    ///
+    /// # Panics
+    /// Panics if the trace is empty.
+    pub fn push(&mut self, trace: Trace) {
+        assert!(!trace.is_empty(), "cannot aggregate an empty trace");
+        self.traces.push(trace);
+    }
+
+    /// Number of traces.
+    pub fn len(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Whether the bundle is empty.
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+
+    /// The longest recorded round index.
+    pub fn max_round(&self) -> u64 {
+        self.traces
+            .iter()
+            .filter_map(|t| t.last().map(|r| r.round))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Aggregates at the given round: traces shorter than `round` hold
+    /// their final value (consensus is absorbing), so every trace always
+    /// contributes.
+    ///
+    /// # Panics
+    /// Panics if the bundle is empty.
+    pub fn at_round(&self, round: u64) -> RoundAggregate {
+        assert!(!self.is_empty(), "empty bundle");
+        let mut colors = Vec::with_capacity(self.traces.len());
+        let mut max_support = Vec::with_capacity(self.traces.len());
+        let mut alive = 0usize;
+        for t in &self.traces {
+            // Last snapshot at or before `round`, else the first one.
+            let snap = t
+                .rounds()
+                .iter()
+                .take_while(|r| r.round <= round)
+                .last()
+                .unwrap_or(&t.rounds()[0]);
+            if t.last().map(|r| r.round).unwrap_or(0) >= round {
+                alive += 1;
+            }
+            colors.push(snap.num_colors as f64);
+            max_support.push(snap.max_support as f64);
+        }
+        colors.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let n = colors.len();
+        let median_colors = if n % 2 == 1 {
+            colors[n / 2]
+        } else {
+            (colors[n / 2 - 1] + colors[n / 2]) / 2.0
+        };
+        RoundAggregate {
+            round,
+            mean_colors: colors.iter().sum::<f64>() / n as f64,
+            mean_max_support: max_support.iter().sum::<f64>() / n as f64,
+            median_colors,
+            alive,
+        }
+    }
+
+    /// Aggregates on a geometric grid of rounds `1, 2, 4, …` up to the
+    /// longest trace, plus round 0.
+    pub fn geometric_series(&self) -> Vec<RoundAggregate> {
+        let mut out = vec![self.at_round(0)];
+        let mut r = 1u64;
+        let max = self.max_round();
+        while r <= max {
+            out.push(self.at_round(r));
+            r *= 2;
+        }
+        if out.last().map(|a| a.round) != Some(max) && max > 0 {
+            out.push(self.at_round(max));
+        }
+        out
+    }
+
+    /// CSV of the geometric series.
+    pub fn to_csv(&self) -> String {
+        let mut out =
+            String::from("round,mean_colors,median_colors,mean_max_support,alive\n");
+        for a in self.geometric_series() {
+            out.push_str(&format!(
+                "{},{},{},{},{}\n",
+                a.round, a.mean_colors, a.median_colors, a.mean_max_support, a.alive
+            ));
+        }
+        out
+    }
+}
+
+impl Extend<Trace> for TraceBundle {
+    fn extend<T: IntoIterator<Item = Trace>>(&mut self, iter: T) {
+        for t in iter {
+            self.push(t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::RoundStats;
+
+    fn trace(pairs: &[(u64, usize)]) -> Trace {
+        let mut t = Trace::new();
+        for &(round, num_colors) in pairs {
+            t.push(RoundStats { round, num_colors, max_support: 10, bias: 0 });
+        }
+        t
+    }
+
+    #[test]
+    fn aggregates_mean_and_median() {
+        let mut b = TraceBundle::new();
+        b.push(trace(&[(0, 10), (1, 4)]));
+        b.push(trace(&[(0, 10), (1, 8)]));
+        let a = b.at_round(1);
+        assert_eq!(a.mean_colors, 6.0);
+        assert_eq!(a.median_colors, 6.0);
+        assert_eq!(a.alive, 2);
+    }
+
+    #[test]
+    fn short_traces_hold_their_final_value() {
+        let mut b = TraceBundle::new();
+        b.push(trace(&[(0, 10), (1, 1)])); // done at round 1
+        b.push(trace(&[(0, 10), (1, 5), (2, 3)]));
+        let a = b.at_round(2);
+        assert_eq!(a.mean_colors, 2.0); // (1 + 3)/2
+        assert_eq!(a.alive, 1);
+    }
+
+    #[test]
+    fn geometric_series_covers_the_range() {
+        let mut b = TraceBundle::new();
+        b.push(trace(&[(0, 16), (1, 8), (2, 4), (3, 3), (4, 2), (5, 1)]));
+        let series = b.geometric_series();
+        let rounds: Vec<u64> = series.iter().map(|a| a.round).collect();
+        assert_eq!(rounds, vec![0, 1, 2, 4, 5]);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut b = TraceBundle::new();
+        b.push(trace(&[(0, 3), (1, 1)]));
+        let csv = b.to_csv();
+        assert!(csv.starts_with("round,"));
+        assert!(csv.lines().count() >= 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty bundle")]
+    fn empty_bundle_panics() {
+        TraceBundle::new().at_round(0);
+    }
+
+    #[test]
+    fn extend_collects_traces() {
+        let mut b = TraceBundle::new();
+        b.extend([trace(&[(0, 2)]), trace(&[(0, 4)])]);
+        assert_eq!(b.len(), 2);
+        assert!(!b.is_empty());
+        assert_eq!(b.max_round(), 0);
+    }
+}

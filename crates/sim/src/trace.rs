@@ -1,0 +1,148 @@
+//! Round-by-round trajectory recording.
+//!
+//! The experiments track three observables per round — the number of
+//! remaining colors (the paper's progress measure), the maximum support
+//! (Theorem 5's observable), and the bias (the gap between the two largest
+//! supports) — and export them as CSV for plotting.
+
+/// Observables of one configuration snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundStats {
+    /// Round index (0 = initial configuration).
+    pub round: u64,
+    /// Number of colors with non-zero support.
+    pub num_colors: usize,
+    /// Largest support.
+    pub max_support: u64,
+    /// Difference between the largest and second-largest support.
+    pub bias: u64,
+}
+
+/// A recorded trajectory of [`RoundStats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    rounds: Vec<RoundStats>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one snapshot.
+    pub fn push(&mut self, stats: RoundStats) {
+        if let Some(last) = self.rounds.last() {
+            debug_assert!(stats.round > last.round, "rounds must be recorded in order");
+        }
+        self.rounds.push(stats);
+    }
+
+    /// All recorded snapshots in round order.
+    pub fn rounds(&self) -> &[RoundStats] {
+        &self.rounds
+    }
+
+    /// Number of recorded snapshots.
+    pub fn len(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rounds.is_empty()
+    }
+
+    /// The last snapshot, if any.
+    pub fn last(&self) -> Option<&RoundStats> {
+        self.rounds.last()
+    }
+
+    /// First round at which the number of colors was ≤ `k`, if reached.
+    ///
+    /// This is the hitting time `T^k` of the paper (Section 2.2).
+    pub fn hitting_time_colors(&self, k: usize) -> Option<u64> {
+        self.rounds.iter().find(|r| r.num_colors <= k).map(|r| r.round)
+    }
+
+    /// First round at which the maximum support exceeded `threshold`, if
+    /// ever (the observable of Theorem 5).
+    pub fn first_support_above(&self, threshold: u64) -> Option<u64> {
+        self.rounds.iter().find(|r| r.max_support > threshold).map(|r| r.round)
+    }
+
+    /// Renders the trace as CSV with a header row.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("round,num_colors,max_support,bias\n");
+        for r in &self.rounds {
+            out.push_str(&format!(
+                "{},{},{},{}\n",
+                r.round, r.num_colors, r.max_support, r.bias
+            ));
+        }
+        out
+    }
+}
+
+impl Extend<RoundStats> for Trace {
+    fn extend<T: IntoIterator<Item = RoundStats>>(&mut self, iter: T) {
+        for s in iter {
+            self.push(s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(round: u64, num_colors: usize, max_support: u64, bias: u64) -> RoundStats {
+        RoundStats { round, num_colors, max_support, bias }
+    }
+
+    #[test]
+    fn hitting_time_finds_first_round() {
+        let mut t = Trace::new();
+        t.extend([stats(0, 10, 1, 0), stats(1, 7, 3, 1), stats(2, 3, 6, 2), stats(3, 1, 10, 10)]);
+        assert_eq!(t.hitting_time_colors(10), Some(0));
+        assert_eq!(t.hitting_time_colors(5), Some(2));
+        assert_eq!(t.hitting_time_colors(1), Some(3));
+        assert_eq!(t.hitting_time_colors(0), None);
+    }
+
+    #[test]
+    fn first_support_above_threshold() {
+        let mut t = Trace::new();
+        t.extend([stats(0, 10, 1, 0), stats(1, 7, 3, 1), stats(2, 3, 6, 2)]);
+        assert_eq!(t.first_support_above(0), Some(0));
+        assert_eq!(t.first_support_above(2), Some(1));
+        assert_eq!(t.first_support_above(6), None);
+    }
+
+    #[test]
+    fn csv_round_trips_fields() {
+        let mut t = Trace::new();
+        t.push(stats(0, 4, 2, 1));
+        let csv = t.to_csv();
+        assert!(csv.starts_with("round,"));
+        assert!(csv.contains("0,4,2,1"));
+    }
+
+    #[test]
+    fn empty_trace_behaviour() {
+        let t = Trace::new();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.last(), None);
+        assert_eq!(t.hitting_time_colors(1), None);
+    }
+
+    #[test]
+    fn last_returns_latest() {
+        let mut t = Trace::new();
+        t.push(stats(0, 2, 5, 1));
+        t.push(stats(5, 1, 10, 10));
+        assert_eq!(t.last().map(|r| r.round), Some(5));
+        assert_eq!(t.len(), 2);
+    }
+}

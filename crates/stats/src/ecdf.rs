@@ -1,0 +1,226 @@
+//! Empirical CDFs and stochastic-order tests.
+//!
+//! Lemma 2 of the paper asserts `T^κ_{3M}(c) ≤_st T^κ_V(c)`: for every
+//! threshold `t`, `Pr[T_{3M} > t] ≤ Pr[T_V > t]`. Empirically this means
+//! the ECDF of the 3-Majority hitting times lies (weakly) *above* the ECDF
+//! of the Voter hitting times everywhere. [`StochasticOrder`] quantifies
+//! how badly that relation is violated by two samples.
+
+/// An empirical cumulative distribution function over `f64` samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds an ECDF from a sample.
+    ///
+    /// # Panics
+    /// Panics if `data` is empty or contains NaN.
+    pub fn new(data: &[f64]) -> Self {
+        assert!(!data.is_empty(), "cannot build an ECDF from an empty sample");
+        let mut sorted = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in ECDF sample"));
+        Self { sorted }
+    }
+
+    /// Builds an ECDF from integer counts (e.g. hitting times in rounds).
+    pub fn of_counts(data: &[u64]) -> Self {
+        let v: Vec<f64> = data.iter().map(|&x| x as f64).collect();
+        Self::new(&v)
+    }
+
+    /// `F(x) = (#samples ≤ x) / n`.
+    pub fn eval(&self, x: f64) -> f64 {
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// Number of underlying samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Always false: construction rejects empty samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The underlying sorted sample.
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// All distinct jump points of either this ECDF or `other`.
+    fn joint_support(&self, other: &Ecdf) -> Vec<f64> {
+        let mut pts: Vec<f64> =
+            self.sorted.iter().chain(other.sorted.iter()).copied().collect();
+        pts.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        pts.dedup();
+        pts
+    }
+
+    /// Two-sample Kolmogorov–Smirnov statistic `sup_x |F(x) − G(x)|`.
+    pub fn ks_statistic(&self, other: &Ecdf) -> f64 {
+        self.joint_support(other)
+            .iter()
+            .map(|&x| (self.eval(x) - other.eval(x)).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Result of testing first-order stochastic dominance between two samples.
+///
+/// "X is stochastically dominated by Y" (`X ≤_st Y`) means
+/// `F_X(t) ≥ F_Y(t)` for all `t`: X's CDF sits above Y's.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StochasticOrder {
+    /// Largest violation of `F_X(t) ≥ F_Y(t)` (how far X's CDF dips below
+    /// Y's anywhere); `0` when dominance holds exactly in the samples.
+    pub max_violation: f64,
+    /// Largest margin `F_X(t) − F_Y(t)` in favour of dominance.
+    pub max_margin: f64,
+    /// Two-sample KS statistic between the samples.
+    pub ks: f64,
+}
+
+impl StochasticOrder {
+    /// Tests whether sample `xs` is stochastically dominated by sample `ys`
+    /// (`X ≤_st Y`, i.e. X tends to be smaller).
+    pub fn test(xs: &[f64], ys: &[f64]) -> Self {
+        let fx = Ecdf::new(xs);
+        let fy = Ecdf::new(ys);
+        let mut max_violation: f64 = 0.0;
+        let mut max_margin: f64 = 0.0;
+        for &t in fx.joint_support(&fy).iter() {
+            let diff = fx.eval(t) - fy.eval(t); // want >= 0 everywhere
+            if diff < 0.0 {
+                max_violation = max_violation.max(-diff);
+            } else {
+                max_margin = max_margin.max(diff);
+            }
+        }
+        let ks = fx.ks_statistic(&fy);
+        Self { max_violation, max_margin, ks }
+    }
+
+    /// Integer-sample convenience wrapper for [`StochasticOrder::test`].
+    pub fn test_counts(xs: &[u64], ys: &[u64]) -> Self {
+        let vx: Vec<f64> = xs.iter().map(|&x| x as f64).collect();
+        let vy: Vec<f64> = ys.iter().map(|&y| y as f64).collect();
+        Self::test(&vx, &vy)
+    }
+
+    /// Whether dominance holds up to sampling noise: violations must not
+    /// exceed `tol` (e.g. a KS-style `c·sqrt((n+m)/(n·m))` threshold).
+    pub fn holds_within(&self, tol: f64) -> bool {
+        self.max_violation <= tol
+    }
+}
+
+/// Two-sided KS rejection threshold at confidence parameter `c_alpha`
+/// (1.36 for α=0.05, 1.63 for α=0.01) for sample sizes `n` and `m`.
+pub fn ks_threshold(n: usize, m: usize, c_alpha: f64) -> f64 {
+    c_alpha * (((n + m) as f64) / ((n * m) as f64)).sqrt()
+}
+
+/// Mann–Whitney U statistic of `xs` against `ys`: the number of pairs
+/// `(x, y)` with `x < y`, counting ties as ½.
+///
+/// Large values (relative to `n·m/2`) indicate `xs` tends to be smaller.
+pub fn mann_whitney_u(xs: &[f64], ys: &[f64]) -> f64 {
+    let mut u = 0.0;
+    for &x in xs {
+        for &y in ys {
+            if x < y {
+                u += 1.0;
+            } else if x == y {
+                u += 0.5;
+            }
+        }
+    }
+    u
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ecdf_step_values() {
+        let f = Ecdf::new(&[1.0, 2.0, 2.0, 4.0]);
+        assert_eq!(f.eval(0.5), 0.0);
+        assert_eq!(f.eval(1.0), 0.25);
+        assert_eq!(f.eval(2.0), 0.75);
+        assert_eq!(f.eval(3.0), 0.75);
+        assert_eq!(f.eval(4.0), 1.0);
+        assert_eq!(f.eval(100.0), 1.0);
+        assert_eq!(f.len(), 4);
+    }
+
+    #[test]
+    fn ks_of_identical_samples_is_zero() {
+        let a = [1.0, 2.0, 3.0];
+        assert_eq!(Ecdf::new(&a).ks_statistic(&Ecdf::new(&a)), 0.0);
+    }
+
+    #[test]
+    fn ks_of_disjoint_samples_is_one() {
+        let a = Ecdf::new(&[1.0, 2.0]);
+        let b = Ecdf::new(&[10.0, 20.0]);
+        assert_eq!(a.ks_statistic(&b), 1.0);
+    }
+
+    #[test]
+    fn dominance_of_shifted_samples() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [3.0, 4.0, 5.0, 6.0];
+        let ord = StochasticOrder::test(&xs, &ys);
+        assert_eq!(ord.max_violation, 0.0);
+        assert!(ord.max_margin > 0.0);
+        assert!(ord.holds_within(0.0));
+        // The reverse direction is clearly violated.
+        let rev = StochasticOrder::test(&ys, &xs);
+        assert!(rev.max_violation > 0.0);
+        assert!(!rev.holds_within(0.1));
+    }
+
+    #[test]
+    fn dominance_is_reflexive() {
+        let xs = [5.0, 7.0, 9.0];
+        let ord = StochasticOrder::test(&xs, &xs);
+        assert_eq!(ord.max_violation, 0.0);
+        assert_eq!(ord.ks, 0.0);
+    }
+
+    #[test]
+    fn test_counts_matches_test() {
+        let a = [1u64, 2, 3];
+        let b = [2u64, 3, 4];
+        let c1 = StochasticOrder::test_counts(&a, &b);
+        let c2 = StochasticOrder::test(&[1.0, 2.0, 3.0], &[2.0, 3.0, 4.0]);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn ks_threshold_shrinks_with_samples() {
+        assert!(ks_threshold(100, 100, 1.36) < ks_threshold(10, 10, 1.36));
+    }
+
+    #[test]
+    fn mann_whitney_balanced() {
+        // Identical samples: every pair ties at u = n*m/2.
+        let a = [1.0, 2.0];
+        assert_eq!(mann_whitney_u(&a, &a), 2.0);
+        // xs strictly smaller: u = n*m.
+        assert_eq!(mann_whitney_u(&[0.0, 0.0], &[1.0, 1.0]), 4.0);
+        // xs strictly larger: u = 0.
+        assert_eq!(mann_whitney_u(&[2.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_ecdf_panics() {
+        Ecdf::new(&[]);
+    }
+}

@@ -1,0 +1,140 @@
+//! Fixed-width histograms with text rendering, for quick distribution
+//! inspection in the experiment harness.
+
+/// A histogram over `[lo, hi)` with equal-width bins (values outside the
+//  range are clamped into the edge bins).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram with `bins` equal-width bins over
+    /// `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins >= 1, "need at least one bin");
+        assert!(lo < hi, "need lo < hi");
+        Self { lo, hi, counts: vec![0; bins], total: 0 }
+    }
+
+    /// Builds a histogram spanning the sample's min..max.
+    ///
+    /// # Panics
+    /// Panics on an empty sample or NaN.
+    pub fn of(data: &[f64], bins: usize) -> Self {
+        assert!(!data.is_empty(), "cannot build a histogram of nothing");
+        let lo = data.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(lo.is_finite() && hi.is_finite(), "NaN/inf in sample");
+        let mut h = Self::new(lo, if hi > lo { hi } else { lo + 1.0 }, bins);
+        for &x in data {
+            h.add(x);
+        }
+        h
+    }
+
+    /// Adds one observation (clamped into the edge bins).
+    pub fn add(&mut self, x: f64) {
+        let bins = self.counts.len();
+        let idx = if x < self.lo {
+            0
+        } else if x >= self.hi {
+            bins - 1
+        } else {
+            (((x - self.lo) / (self.hi - self.lo)) * bins as f64) as usize
+        };
+        self.counts[idx.min(bins - 1)] += 1;
+        self.total += 1;
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// The `[lo, hi)` bounds of bin `i`.
+    pub fn bin_bounds(&self, i: usize) -> (f64, f64) {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        (self.lo + i as f64 * w, self.lo + (i + 1) as f64 * w)
+    }
+
+    /// ASCII bar rendering, one line per bin, bars scaled to `width`
+    /// characters at the modal bin.
+    pub fn render(&self, width: usize) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let (lo, hi) = self.bin_bounds(i);
+            let bar = "#".repeat((c as usize * width) / max as usize);
+            out.push_str(&format!("[{lo:>10.2}, {hi:>10.2}) | {c:>7} | {bar}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observations_land_in_the_right_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.add(0.5); // bin 0
+        h.add(3.9); // bin 1
+        h.add(9.9); // bin 4
+        assert_eq!(h.counts(), &[1, 1, 0, 0, 1]);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn out_of_range_values_clamp() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.add(-5.0);
+        h.add(42.0);
+        assert_eq!(h.counts(), &[1, 1]);
+    }
+
+    #[test]
+    fn of_spans_the_sample() {
+        let h = Histogram::of(&[1.0, 2.0, 3.0, 4.0], 2);
+        assert_eq!(h.total(), 4);
+        let (lo, _) = h.bin_bounds(0);
+        assert_eq!(lo, 1.0);
+    }
+
+    #[test]
+    fn constant_sample_handled() {
+        let h = Histogram::of(&[2.0, 2.0, 2.0], 3);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.counts().iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn render_contains_bars() {
+        let mut h = Histogram::new(0.0, 2.0, 2);
+        for _ in 0..8 {
+            h.add(0.5);
+        }
+        h.add(1.5);
+        let s = h.render(8);
+        assert!(s.contains("########"), "modal bin gets full width:\n{s}");
+        assert_eq!(s.lines().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo < hi")]
+    fn inverted_bounds_panic() {
+        Histogram::new(2.0, 1.0, 3);
+    }
+}

@@ -1,0 +1,213 @@
+//! Additional inference helpers: chi-square goodness of fit, bootstrap
+//! confidence intervals, and Wilson score intervals for proportions.
+//!
+//! The sampler validation (chi-square against exact pmfs) and the
+//! experiment harness (win-probability intervals, heavy-tailed
+//! hitting-time CIs) use these.
+
+/// Result of a chi-square goodness-of-fit computation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChiSquare {
+    /// The statistic `Σ (O − E)² / E` over the pooled bins.
+    pub statistic: f64,
+    /// Degrees of freedom (pooled bins − 1).
+    pub dof: usize,
+}
+
+impl ChiSquare {
+    /// Conservative acceptance check: a chi-square variable with `d`
+    /// degrees of freedom has mean `d` and standard deviation `√(2d)`;
+    /// accept when the statistic is within `z` standard deviations above
+    /// the mean. (Avoids shipping a chi-square CDF; `z = 5` gives a
+    /// false-rejection rate far below 1e-5.)
+    pub fn within_sigma(&self, z: f64) -> bool {
+        let d = self.dof as f64;
+        self.statistic <= d + z * (2.0 * d).sqrt()
+    }
+}
+
+/// Computes the chi-square statistic of observed counts against expected
+/// counts, pooling adjacent bins until each pooled expected count is at
+/// least `min_expected` (5 is customary).
+///
+/// # Panics
+/// Panics if lengths differ, total expected mass is zero, or fewer than
+/// two pooled bins remain.
+pub fn chi_square_gof(observed: &[u64], expected: &[f64], min_expected: f64) -> ChiSquare {
+    assert_eq!(observed.len(), expected.len(), "length mismatch");
+    assert!(expected.iter().sum::<f64>() > 0.0, "expected mass must be positive");
+    let mut statistic = 0.0;
+    let mut bins = 0usize;
+    let mut pooled_obs = 0.0;
+    let mut pooled_exp = 0.0;
+    for (&o, &e) in observed.iter().zip(expected) {
+        pooled_obs += o as f64;
+        pooled_exp += e;
+        if pooled_exp >= min_expected {
+            statistic += (pooled_obs - pooled_exp).powi(2) / pooled_exp;
+            bins += 1;
+            pooled_obs = 0.0;
+            pooled_exp = 0.0;
+        }
+    }
+    if pooled_exp > 0.0 {
+        statistic += (pooled_obs - pooled_exp).powi(2) / pooled_exp;
+        bins += 1;
+    }
+    assert!(bins >= 2, "need at least two pooled bins");
+    ChiSquare { statistic, dof: bins - 1 }
+}
+
+/// Percentile-bootstrap confidence interval for a statistic of a sample.
+///
+/// Resamples `data` with replacement `resamples` times (deterministically,
+/// from `seed`), applies `stat`, and returns the `(α/2, 1 − α/2)`
+/// percentile interval.
+///
+/// # Panics
+/// Panics if `data` is empty, `resamples == 0`, or `alpha ∉ (0, 1)`.
+pub fn bootstrap_ci<F>(
+    data: &[f64],
+    stat: F,
+    resamples: usize,
+    alpha: f64,
+    seed: u64,
+) -> (f64, f64)
+where
+    F: Fn(&[f64]) -> f64,
+{
+    assert!(!data.is_empty(), "cannot bootstrap an empty sample");
+    assert!(resamples > 0, "need at least one resample");
+    assert!(alpha > 0.0 && alpha < 1.0, "alpha must lie in (0,1)");
+    // Minimal in-house SplitMix64 so this crate stays dependency-free.
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let n = data.len();
+    let mut stats: Vec<f64> = (0..resamples)
+        .map(|_| {
+            let resample: Vec<f64> =
+                (0..n).map(|_| data[(next() % n as u64) as usize]).collect();
+            stat(&resample)
+        })
+        .collect();
+    stats.sort_by(|a, b| a.partial_cmp(b).expect("no NaN from stat"));
+    let lo_idx = ((alpha / 2.0) * (resamples - 1) as f64).round() as usize;
+    let hi_idx = (((1.0 - alpha / 2.0) * (resamples - 1) as f64).round() as usize)
+        .min(resamples - 1);
+    (stats[lo_idx], stats[hi_idx])
+}
+
+/// Wilson score interval for a binomial proportion at `z` standard
+/// deviations (`z = 1.96` for ~95%).
+///
+/// Well-behaved at the boundaries (0 or n successes), unlike the normal
+/// approximation.
+///
+/// # Panics
+/// Panics if `successes > trials` or `trials == 0`.
+pub fn wilson_interval(successes: u64, trials: u64, z: f64) -> (f64, f64) {
+    assert!(trials > 0, "need at least one trial");
+    assert!(successes <= trials, "successes cannot exceed trials");
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt() / denom;
+    ((center - half).max(0.0), (center + half).min(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chi_square_of_perfect_fit_is_zero() {
+        let observed = [10u64, 20, 30, 40];
+        let expected = [10.0, 20.0, 30.0, 40.0];
+        let c = chi_square_gof(&observed, &expected, 5.0);
+        assert_eq!(c.statistic, 0.0);
+        assert_eq!(c.dof, 3);
+        assert!(c.within_sigma(1.0));
+    }
+
+    #[test]
+    fn chi_square_detects_gross_mismatch() {
+        let observed = [100u64, 0, 0, 0];
+        let expected = [25.0, 25.0, 25.0, 25.0];
+        let c = chi_square_gof(&observed, &expected, 5.0);
+        assert!(c.statistic > 100.0);
+        assert!(!c.within_sigma(5.0));
+    }
+
+    #[test]
+    fn chi_square_pools_small_bins() {
+        // Tail bins with tiny expectations get pooled together.
+        let observed = [50u64, 45, 3, 1, 1];
+        let expected = [50.0, 45.0, 2.0, 2.0, 1.0];
+        let c = chi_square_gof(&observed, &expected, 5.0);
+        assert_eq!(c.dof, 2, "three tail bins pool into one");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn chi_square_length_mismatch_panics() {
+        chi_square_gof(&[1], &[1.0, 2.0], 5.0);
+    }
+
+    #[test]
+    fn bootstrap_ci_brackets_the_mean() {
+        let data: Vec<f64> = (0..200).map(|i| (i % 10) as f64).collect();
+        let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+        let (lo, hi) = bootstrap_ci(&data, mean, 500, 0.05, 7);
+        let true_mean = 4.5;
+        assert!(lo <= true_mean && true_mean <= hi, "[{lo}, {hi}] misses {true_mean}");
+        assert!(hi - lo < 1.5, "interval [{lo}, {hi}] too wide");
+    }
+
+    #[test]
+    fn bootstrap_is_deterministic_per_seed() {
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+        assert_eq!(
+            bootstrap_ci(&data, mean, 100, 0.1, 3),
+            bootstrap_ci(&data, mean, 100, 0.1, 3)
+        );
+    }
+
+    #[test]
+    fn wilson_interval_basic_properties() {
+        let (lo, hi) = wilson_interval(50, 100, 1.96);
+        assert!(lo < 0.5 && 0.5 < hi);
+        assert!(hi - lo < 0.25);
+        // Boundary cases stay in [0,1] and exclude the impossible.
+        let (lo0, hi0) = wilson_interval(0, 20, 1.96);
+        assert_eq!(lo0, 0.0);
+        assert!(hi0 > 0.0 && hi0 < 0.4);
+        let (lo1, hi1) = wilson_interval(20, 20, 1.96);
+        assert_eq!(hi1, 1.0);
+        assert!(lo1 > 0.6);
+    }
+
+    #[test]
+    fn wilson_narrows_with_more_trials() {
+        let w = |n: u64| {
+            let (lo, hi) = wilson_interval(n / 2, n, 1.96);
+            hi - lo
+        };
+        assert!(w(1000) < w(100));
+        assert!(w(100) < w(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "successes cannot exceed")]
+    fn wilson_rejects_impossible_counts() {
+        wilson_interval(5, 4, 1.96);
+    }
+}

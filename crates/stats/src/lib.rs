@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+//! Statistics for simulation studies.
+//!
+//! The paper's claims are "with high probability" statements about hitting
+//! times and stochastic-dominance statements about their distributions.
+//! This crate provides the estimation machinery the experiment harness uses
+//! to validate those claims from Monte-Carlo samples:
+//!
+//! * [`summary`] — means, variances, quantiles, confidence intervals, and a
+//!   streaming (Welford) accumulator.
+//! * [`regression`] — ordinary least squares and log–log power-law exponent
+//!   fits (used to confirm e.g. the `n^{3/4}` scaling of Theorem 4).
+//! * [`ecdf`] — empirical CDFs, two-sample Kolmogorov–Smirnov statistics,
+//!   first-order stochastic dominance tests, and the Mann–Whitney U
+//!   statistic (used for the `T^κ_{3M} ≤_st T^κ_V` claim of Lemma 2).
+//! * [`infer`] — chi-square goodness of fit, bootstrap CIs, Wilson
+//!   intervals.
+//! * [`histogram`] — fixed-width histograms with ASCII rendering.
+//! * [`table`] — fixed-width and Markdown table rendering for harness
+//!   output.
+
+pub mod ecdf;
+pub mod histogram;
+pub mod infer;
+pub mod regression;
+pub mod summary;
+pub mod table;
+
+pub use ecdf::{Ecdf, StochasticOrder};
+pub use histogram::Histogram;
+pub use infer::{bootstrap_ci, chi_square_gof, wilson_interval, ChiSquare};
+pub use regression::{fit_power_law, linear_fit, LinearFit, PowerLawFit};
+pub use summary::{Summary, Welford};
+pub use table::Table;

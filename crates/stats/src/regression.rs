@@ -1,0 +1,143 @@
+//! Least-squares fits, including the log–log power-law fit used to measure
+//! scaling exponents (e.g. the `n^{3/4}` consensus-time growth of
+//! Theorem 4).
+
+/// Result of a simple linear regression `y ≈ slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination R².
+    pub r_squared: f64,
+}
+
+impl LinearFit {
+    /// Predicted value at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+/// Ordinary least-squares fit of `y` on `x`.
+///
+/// # Panics
+/// Panics if fewer than two points are given, lengths differ, or all `x`
+/// are identical.
+pub fn linear_fit(x: &[f64], y: &[f64]) -> LinearFit {
+    assert_eq!(x.len(), y.len(), "x and y must have equal length");
+    assert!(x.len() >= 2, "need at least two points");
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let sxx: f64 = x.iter().map(|v| (v - mx).powi(2)).sum();
+    assert!(sxx > 0.0, "x values must not all be identical");
+    let sxy: f64 = x.iter().zip(y).map(|(u, v)| (u - mx) * (v - my)).sum();
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let ss_tot: f64 = y.iter().map(|v| (v - my).powi(2)).sum();
+    let ss_res: f64 = x
+        .iter()
+        .zip(y)
+        .map(|(u, v)| (v - (slope * u + intercept)).powi(2))
+        .sum();
+    let r_squared = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+    LinearFit { slope, intercept, r_squared }
+}
+
+/// Result of fitting `y ≈ c · x^exponent` by OLS in log–log space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerLawFit {
+    /// Fitted exponent.
+    pub exponent: f64,
+    /// Fitted multiplicative constant `c`.
+    pub constant: f64,
+    /// R² of the underlying log–log linear fit.
+    pub r_squared: f64,
+}
+
+impl PowerLawFit {
+    /// Predicted value at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.constant * x.powf(self.exponent)
+    }
+}
+
+/// Fits a power law `y = c·x^a` through positive data by linear regression
+/// on `(ln x, ln y)`.
+///
+/// # Panics
+/// Panics if any coordinate is non-positive, lengths differ, or fewer than
+/// two points are given.
+pub fn fit_power_law(x: &[f64], y: &[f64]) -> PowerLawFit {
+    assert_eq!(x.len(), y.len(), "x and y must have equal length");
+    assert!(
+        x.iter().chain(y.iter()).all(|&v| v > 0.0),
+        "power-law fit requires strictly positive data"
+    );
+    let lx: Vec<f64> = x.iter().map(|v| v.ln()).collect();
+    let ly: Vec<f64> = y.iter().map(|v| v.ln()).collect();
+    let fit = linear_fit(&lx, &ly);
+    PowerLawFit { exponent: fit.slope, constant: fit.intercept.exp(), r_squared: fit.r_squared }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_is_recovered() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y: Vec<f64> = x.iter().map(|v| 2.5 * v - 1.0).collect();
+        let fit = linear_fit(&x, &y);
+        assert!((fit.slope - 2.5).abs() < 1e-12);
+        assert!((fit.intercept + 1.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+        assert!((fit.predict(10.0) - 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_has_reasonable_r2() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let y = [1.1, 1.9, 3.2, 3.8, 5.1, 5.9];
+        let fit = linear_fit(&x, &y);
+        assert!((fit.slope - 1.0).abs() < 0.1);
+        assert!(fit.r_squared > 0.98);
+    }
+
+    #[test]
+    fn power_law_exact_recovery() {
+        let x = [2.0f64, 4.0, 8.0, 16.0, 32.0];
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v.powf(0.75)).collect();
+        let fit = fit_power_law(&x, &y);
+        assert!((fit.exponent - 0.75).abs() < 1e-10);
+        assert!((fit.constant - 3.0).abs() < 1e-9);
+        assert!((fit.predict(64.0) - 3.0 * 64.0_f64.powf(0.75)).abs() < 1e-7);
+    }
+
+    #[test]
+    fn flat_data_r2_is_one_by_convention() {
+        let fit = linear_fit(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]);
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn power_law_rejects_nonpositive() {
+        fit_power_law(&[1.0, 0.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical")]
+    fn degenerate_x_panics() {
+        linear_fit(&[2.0, 2.0], &[1.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lengths_panic() {
+        linear_fit(&[1.0], &[1.0, 2.0]);
+    }
+}

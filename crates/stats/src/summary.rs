@@ -1,0 +1,297 @@
+//! Sample summaries and streaming moments.
+
+/// Summary statistics of a finite sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    n: usize,
+    mean: f64,
+    var: f64,
+    min: f64,
+    max: f64,
+    sorted: Vec<f64>,
+}
+
+impl Summary {
+    /// Computes a summary of `data`.
+    ///
+    /// # Panics
+    /// Panics if `data` is empty or contains NaN.
+    pub fn of(data: &[f64]) -> Self {
+        assert!(!data.is_empty(), "cannot summarize an empty sample");
+        let mut sorted = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+        let n = data.len();
+        let mean = data.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0)
+        } else {
+            0.0
+        };
+        Self { n, mean, var, min: sorted[0], max: sorted[n - 1], sorted }
+    }
+
+    /// Convenience constructor from integer-valued samples (e.g. round
+    /// counts).
+    pub fn of_counts(data: &[u64]) -> Self {
+        let v: Vec<f64> = data.iter().map(|&x| x as f64).collect();
+        Self::of(&v)
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the sample is empty (never true for a constructed summary).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance.
+    pub fn variance(&self) -> f64 {
+        self.var
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.var.sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_err(&self) -> f64 {
+        self.std_dev() / (self.n as f64).sqrt()
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Quantile by linear interpolation of the order statistics,
+    /// `q ∈ [0, 1]`.
+    ///
+    /// # Panics
+    /// Panics if `q ∉ [0,1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must lie in [0,1]");
+        if self.n == 1 {
+            return self.sorted[0];
+        }
+        let pos = q * (self.n - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        self.sorted[lo] * (1.0 - frac) + self.sorted[hi] * frac
+    }
+
+    /// Median (the 0.5 quantile).
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Normal-approximation confidence interval for the mean at `z` standard
+    /// errors (z = 1.96 for ~95%).
+    pub fn mean_ci(&self, z: f64) -> (f64, f64) {
+        let half = z * self.std_err();
+        (self.mean - half, self.mean + half)
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} sd={:.4} min={:.4} med={:.4} max={:.4}",
+            self.n,
+            self.mean,
+            self.std_dev(),
+            self.min,
+            self.median(),
+            self.max
+        )
+    }
+}
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+///
+/// Numerically stable one-pass computation; useful when trajectories are too
+/// long to store.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pushes one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Running mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased running variance (0 until two observations arrive).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Running standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+    }
+}
+
+impl Extend<f64> for Welford {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert_eq!(s.len(), 8);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((s.median() - 2.5).abs() < 1e-12);
+        assert_eq!(s.quantile(0.0), 1.0);
+        assert_eq!(s.quantile(1.0), 4.0);
+        assert!((s.quantile(1.0 / 3.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_sample_summary() {
+        let s = Summary::of(&[42.0]);
+        assert_eq!(s.mean(), 42.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.median(), 42.0);
+        assert_eq!(s.quantile(0.3), 42.0);
+    }
+
+    #[test]
+    fn ci_is_symmetric_around_mean() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let (lo, hi) = s.mean_ci(1.96);
+        assert!((((lo + hi) / 2.0) - s.mean()).abs() < 1e-12);
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn of_counts_converts() {
+        let s = Summary::of_counts(&[1, 2, 3]);
+        assert!((s.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_sample_panics() {
+        Summary::of(&[]);
+    }
+
+    #[test]
+    fn welford_matches_batch() {
+        let data = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let mut w = Welford::new();
+        w.extend(data.iter().copied());
+        let s = Summary::of(&data);
+        assert!((w.mean() - s.mean()).abs() < 1e-12);
+        assert!((w.variance() - s.variance()).abs() < 1e-12);
+        assert_eq!(w.count(), 8);
+    }
+
+    #[test]
+    fn welford_merge_matches_sequential() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [10.0, 20.0, 30.0, 40.0];
+        let mut wa = Welford::new();
+        wa.extend(a.iter().copied());
+        let mut wb = Welford::new();
+        wb.extend(b.iter().copied());
+        wa.merge(&wb);
+        let all: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
+        let s = Summary::of(&all);
+        assert!((wa.mean() - s.mean()).abs() < 1e-12);
+        assert!((wa.variance() - s.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn welford_merge_with_empty() {
+        let mut w = Welford::new();
+        w.push(5.0);
+        let empty = Welford::new();
+        let mut w2 = w;
+        w2.merge(&empty);
+        assert_eq!(w2, w);
+        let mut e = Welford::new();
+        e.merge(&w);
+        assert_eq!(e.mean(), 5.0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = Summary::of(&[1.0, 2.0]);
+        assert!(!format!("{s}").is_empty());
+    }
+}

@@ -1,0 +1,202 @@
+//! Table rendering for experiment-harness output.
+//!
+//! Each experiment binary prints the series/table it regenerates in both a
+//! human-readable Markdown form and machine-readable CSV. Rendering is
+//! hand-rolled to avoid pulling in formatting dependencies.
+
+/// A simple column-oriented table builder.
+///
+/// # Example
+/// ```
+/// use symbreak_stats::Table;
+/// let mut t = Table::new(vec!["n", "rounds"]);
+/// t.row(vec!["1024".into(), "388".into()]);
+/// let md = t.to_markdown();
+/// assert!(md.contains("| n"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    /// Panics if `headers` is empty.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        assert!(!headers.is_empty(), "table needs at least one column");
+        Self { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width must match header width");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Appends a row of displayable values.
+    pub fn row_display<D: std::fmt::Display>(&mut self, cells: Vec<D>) -> &mut Self {
+        self.row(cells.iter().map(|c| c.to_string()).collect())
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// Renders as a GitHub-flavoured Markdown table with aligned columns.
+    pub fn to_markdown(&self) -> String {
+        let widths = self.column_widths();
+        let mut out = String::new();
+        out.push('|');
+        for (h, w) in self.headers.iter().zip(&widths) {
+            out.push_str(&format!(" {h:<w$} |"));
+        }
+        out.push('\n');
+        out.push('|');
+        for w in &widths {
+            out.push_str(&format!("{:-<1$}|", "", w + 2));
+        }
+        out.push('\n');
+        for r in &self.rows {
+            out.push('|');
+            for (c, w) in r.iter().zip(&widths) {
+                out.push_str(&format!(" {c:<w$} |"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as CSV (RFC-4180-style quoting for cells containing commas,
+    /// quotes, or newlines).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        Self::push_csv_row(&mut out, &self.headers);
+        for r in &self.rows {
+            Self::push_csv_row(&mut out, r);
+        }
+        out
+    }
+
+    fn push_csv_row(out: &mut String, cells: &[String]) {
+        for (i, c) in cells.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            if c.contains(',') || c.contains('"') || c.contains('\n') {
+                out.push('"');
+                out.push_str(&c.replace('"', "\"\""));
+                out.push('"');
+            } else {
+                out.push_str(c);
+            }
+        }
+        out.push('\n');
+    }
+
+    fn column_widths(&self) -> Vec<usize> {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        widths
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_markdown())
+    }
+}
+
+/// Formats a float compactly for table cells (4 significant-ish digits).
+pub fn fmt_f64(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1e5 || v.abs() < 1e-3 {
+        format!("{v:.3e}")
+    } else if v.fract() == 0.0 && v.abs() < 1e9 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_shape() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["30".into(), "40".into()]);
+        let md = t.to_markdown();
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("| a"));
+        assert!(lines[1].starts_with("|--"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_quoting() {
+        let mut t = Table::new(vec!["x"]);
+        t.row(vec!["plain".into()]);
+        t.row(vec!["with,comma".into()]);
+        t.row(vec!["with\"quote".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("plain\n"));
+        assert!(csv.contains("\"with,comma\""));
+        assert!(csv.contains("\"with\"\"quote\""));
+    }
+
+    #[test]
+    fn row_display_formats() {
+        let mut t = Table::new(vec!["n"]);
+        t.row_display(vec![42]);
+        assert_eq!(t.to_csv(), "n\n42\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        Table::new(vec!["a", "b"]).row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn fmt_f64_regimes() {
+        assert_eq!(fmt_f64(0.0), "0");
+        assert_eq!(fmt_f64(3.0), "3");
+        assert_eq!(fmt_f64(3.5), "3.5000");
+        assert!(fmt_f64(1.0e6).contains('e'));
+        assert!(fmt_f64(1.0e-5).contains('e'));
+    }
+
+    #[test]
+    fn display_matches_markdown() {
+        let mut t = Table::new(vec!["h"]);
+        t.row(vec!["v".into()]);
+        assert_eq!(format!("{t}"), t.to_markdown());
+    }
+}

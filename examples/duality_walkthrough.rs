@@ -1,0 +1,40 @@
+//! Figure 1, step by step: the Voter process and coalescing random walks
+//! are the same randomness read in opposite directions (Lemma 4).
+//!
+//! We materialize the arrow field Y_t(u), run coalescing walks forward,
+//! run Voter over the reversed arrows, and print both trajectories —
+//! they match column for column, exactly.
+//!
+//! ```sh
+//! cargo run --release --example duality_walkthrough
+//! ```
+
+use symbreak::prelude::*;
+
+fn main() {
+    let g = Graph::complete(48);
+    let mut rng = {
+        use rand::SeedableRng;
+        Pcg64::seed_from_u64(1234)
+    };
+
+    let (coupling, t_c) = DualityCoupling::generate_until_coalesced(&g, 1, 100_000, &mut rng)
+        .expect("complete graphs coalesce");
+    println!("complete graph K_48, one seeded arrow field, T^1_C = {t_c}\n");
+
+    println!("{:>4} | {:>16} | {:>18} | match", "tau", "coalescing walks", "voter opinions");
+    println!("{:->4}-+-{:->16}-+-{:->18}-+------", "", "", "");
+    let mut all = true;
+    for tau in 0..=t_c as usize {
+        let walks = coupling.walks_after(tau);
+        let opinions = coupling.voter_opinions_after(tau);
+        let ok = walks == opinions;
+        all &= ok;
+        println!("{tau:>4} | {walks:>16} | {opinions:>18} | {}", if ok { "=" } else { "MISMATCH" });
+    }
+    println!(
+        "\nEvery row matches: {all}. The Voter run of length τ over the reversed arrows has \
+         exactly as many opinions as there are surviving walks after τ steps — so T^k_V = T^k_C \
+         per realization, which is Lemma 4."
+    );
+}

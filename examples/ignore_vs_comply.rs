@@ -1,0 +1,50 @@
+//! The paper's headline, live: "ignore" (2-Choices) vs "comply"
+//! (3-Majority) from the n-color configuration.
+//!
+//! Both rules have identical expected behaviour, yet complying with a
+//! third sample breaks symmetry polynomially faster when there are many
+//! colors and no bias.
+//!
+//! ```sh
+//! cargo run --release --example ignore_vs_comply
+//! ```
+
+use symbreak::prelude::*;
+
+fn race(n: u64, trials: u64) -> (f64, f64) {
+    let start = Configuration::singletons(n);
+    let s3 = {
+        let start = start.clone();
+        run_trials(trials, 7, move |_t, seed| {
+            let mut e = VectorEngine::new(ThreeMajority, start.clone(), seed).with_compaction();
+            run_to_consensus(&mut e, &RunOptions { max_rounds: u64::MAX, record_trace: false })
+                .consensus_round
+                .expect("consensus")
+        })
+    };
+    let s2 = run_trials(trials, 8, move |_t, seed| {
+        let mut e = VectorEngine::new(TwoChoices, start.clone(), seed).with_compaction();
+        run_to_consensus(&mut e, &RunOptions { max_rounds: u64::MAX, record_trace: false })
+            .consensus_round
+            .expect("consensus")
+    });
+    (
+        Summary::of_counts(&s3).mean(),
+        Summary::of_counts(&s2).mean(),
+    )
+}
+
+fn main() {
+    println!("mean consensus time from n distinct colors (10 trials each)\n");
+    println!("{:>8} | {:>12} | {:>12} | {:>7}", "n", "3-Majority", "2-Choices", "ratio");
+    println!("{:->8}-+-{:->12}-+-{:->12}-+-{:->7}", "", "", "", "");
+    for exp in 8..=13 {
+        let n = 1u64 << exp;
+        let (comply, ignore) = race(n, 10);
+        println!(
+            "{n:>8} | {comply:>12.1} | {ignore:>12.1} | {:>7.2}",
+            ignore / comply
+        );
+    }
+    println!("\nThe ratio grows with n: complying beats ignoring, polynomially (Theorem 1).");
+}

@@ -1,0 +1,40 @@
+//! Quickstart: run 3-Majority to consensus and watch the observables.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use symbreak::prelude::*;
+
+fn main() {
+    // 10,000 nodes, each initially supporting its own color — the hardest
+    // symmetric start (and simultaneously a leader election).
+    let n = 10_000;
+    let start = Configuration::singletons(n);
+    println!("start: {start}");
+
+    let mut engine = VectorEngine::new(ThreeMajority, start, /* seed */ 42);
+    let outcome = run_to_consensus(
+        &mut engine,
+        &RunOptions { max_rounds: 1_000_000, record_trace: true },
+    );
+
+    let trace = outcome.trace.as_ref().expect("trace requested");
+    println!("\nround | colors remaining | max support | bias");
+    // Print a geometric sample of the trajectory.
+    let mut next_print = 1u64;
+    for r in trace.rounds() {
+        if r.round == 0 || r.round >= next_print || r.num_colors == 1 {
+            println!("{:5} | {:16} | {:11} | {}", r.round, r.num_colors, r.max_support, r.bias);
+            next_print = (r.round.max(1)) * 2;
+        }
+        if r.num_colors == 1 {
+            break;
+        }
+    }
+
+    let round = outcome.consensus_round.expect("reached consensus");
+    let bound = symbreak::core::theory::theorem4_bound(n);
+    println!("\nconsensus on color {:?} after {round} rounds", outcome.winner.expect("winner"));
+    println!("Theorem 4 bound n^(3/4)·log^(7/8) n = {bound:.0} rounds — comfortably above");
+}

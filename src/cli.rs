@@ -1,0 +1,330 @@
+//! Command-line interface (argument model + execution).
+//!
+//! Hand-rolled parsing (no external CLI dependency): see `symbreak --help`
+//! for the grammar. The parsing layer is pure and unit-tested; `main`
+//! merely forwards `std::env::args`.
+
+use crate::prelude::*;
+
+/// Which update rule to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuleChoice {
+    /// Voter (Polling).
+    Voter,
+    /// 2-Choices ("ignore").
+    TwoChoices,
+    /// 3-Majority ("comply").
+    ThreeMajority,
+}
+
+impl RuleChoice {
+    fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "voter" => Ok(Self::Voter),
+            "2c" | "two-choices" => Ok(Self::TwoChoices),
+            "3m" | "three-majority" => Ok(Self::ThreeMajority),
+            other => Err(format!("unknown rule '{other}' (expected voter | 2c | 3m)")),
+        }
+    }
+
+    fn display(&self) -> &'static str {
+        match self {
+            Self::Voter => "Voter",
+            Self::TwoChoices => "2-Choices",
+            Self::ThreeMajority => "3-Majority",
+        }
+    }
+}
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Run one rule to consensus and report statistics over trials.
+    Run {
+        /// The update rule.
+        rule: RuleChoice,
+        /// Population size.
+        n: u64,
+        /// Initial colors (n-color start when `k == n`).
+        k: u64,
+        /// Extra support planted on color 0.
+        bias: u64,
+        /// Number of independent trials.
+        trials: u64,
+        /// Master seed.
+        seed: u64,
+    },
+    /// Head-to-head 2-Choices vs 3-Majority from the n-color start.
+    Race {
+        /// Population size.
+        n: u64,
+        /// Number of independent trials.
+        trials: u64,
+        /// Master seed.
+        seed: u64,
+    },
+    /// Demonstrate the exact Voter/coalescence duality on K_n.
+    Duality {
+        /// Number of nodes.
+        n: usize,
+        /// Seed.
+        seed: u64,
+    },
+    /// Print the Appendix-B counterexample in exact rationals.
+    AppendixB,
+    /// Print usage.
+    Help,
+}
+
+const USAGE: &str = "symbreak — 'Ignore or Comply? On Breaking Symmetry in Consensus' (PODC 2017)
+
+USAGE:
+    symbreak run --rule <voter|2c|3m> [--n N] [--k K] [--bias B] [--trials T] [--seed S]
+    symbreak race [--n N] [--trials T] [--seed S]
+    symbreak duality [--n N] [--seed S]
+    symbreak appendix-b
+    symbreak help
+
+DEFAULTS:
+    run:     n=4096  k=n  bias=0  trials=10  seed=42
+    race:    n=4096  trials=10  seed=42
+    duality: n=64    seed=42";
+
+/// Parses a full argument list (excluding the program name).
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter();
+    let sub = it.next().map(String::as_str).unwrap_or("help");
+    let mut flags = std::collections::HashMap::new();
+    let rest: Vec<&String> = it.collect();
+    let mut i = 0;
+    while i < rest.len() {
+        let key = rest[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got '{}'", rest[i]))?;
+        let value = rest
+            .get(i + 1)
+            .ok_or_else(|| format!("flag --{key} needs a value"))?;
+        flags.insert(key.to_string(), (*value).clone());
+        i += 2;
+    }
+    let get_u64 = |flags: &std::collections::HashMap<String, String>,
+                   key: &str,
+                   default: u64|
+     -> Result<u64, String> {
+        match flags.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key}: '{v}' is not a number")),
+        }
+    };
+    match sub {
+        "run" => {
+            let rule = RuleChoice::parse(
+                flags.get("rule").ok_or("run requires --rule <voter|2c|3m>")?,
+            )?;
+            let n = get_u64(&flags, "n", 4096)?;
+            let k = get_u64(&flags, "k", n)?;
+            let bias = get_u64(&flags, "bias", 0)?;
+            let trials = get_u64(&flags, "trials", 10)?;
+            let seed = get_u64(&flags, "seed", 42)?;
+            if k == 0 || k > n {
+                return Err(format!("--k must lie in 1..=n, got {k}"));
+            }
+            if bias > n {
+                return Err(format!("--bias must not exceed n, got {bias}"));
+            }
+            Ok(Command::Run { rule, n, k, bias, trials, seed })
+        }
+        "race" => Ok(Command::Race {
+            n: get_u64(&flags, "n", 4096)?,
+            trials: get_u64(&flags, "trials", 10)?,
+            seed: get_u64(&flags, "seed", 42)?,
+        }),
+        "duality" => Ok(Command::Duality {
+            n: get_u64(&flags, "n", 64)? as usize,
+            seed: get_u64(&flags, "seed", 42)?,
+        }),
+        "appendix-b" => Ok(Command::AppendixB),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(format!("unknown command '{other}'\n\n{USAGE}")),
+    }
+}
+
+/// Executes a parsed command, writing human-readable output to stdout.
+pub fn execute(cmd: Command) {
+    match cmd {
+        Command::Help => println!("{USAGE}"),
+        Command::AppendixB => {
+            let report = crate::core::counterexample::appendix_b_report();
+            println!("x        = {}", join(&report.x));
+            println!("x~       = {}", join(&report.x_tilde));
+            println!("α3M(x)   = {}", join(&report.alpha_3m));
+            println!("α4M(x~)  = {}", join(&report.alpha_4m));
+            println!("x~ majorizes x:              {}", report.premise_holds);
+            println!("α4M(x~) majorizes α3M(x):    {}  (the counterexample)", report.conclusion_holds);
+        }
+        Command::Duality { n, seed } => {
+            use rand::SeedableRng;
+            let g = Graph::complete(n);
+            let mut rng = Pcg64::seed_from_u64(seed);
+            let (coupling, t_c) =
+                DualityCoupling::generate_until_coalesced(&g, 1, 10_000_000, &mut rng)
+                    .expect("complete graphs coalesce");
+            println!("K_{n}: coalescence time T^1_C = {t_c}");
+            println!("Voter over reversed arrows reaches 1 opinion at round {:?}",
+                symbreak_graphs::voter_time_from_coupling(&coupling, 1));
+            println!("per-τ identity holds: {}", coupling.verify_identity());
+        }
+        Command::Race { n, trials, seed } => {
+            let start = Configuration::singletons(n);
+            let mut means = Vec::new();
+            for (name, rule) in [("3-Majority", RuleChoice::ThreeMajority), ("2-Choices", RuleChoice::TwoChoices)] {
+                let times = consensus_times(rule, &start, trials, seed);
+                let s = Summary::of_counts(&times);
+                println!("{name:<12} mean {:.1} rounds (sd {:.1})", s.mean(), s.std_dev());
+                means.push(s.mean());
+            }
+            println!("ratio 2C/3M: {:.2}", means[1] / means[0]);
+        }
+        Command::Run { rule, n, k, bias, trials, seed } => {
+            let start = if bias > 0 {
+                Configuration::biased(n, k as usize, bias)
+            } else if k == n {
+                Configuration::singletons(n)
+            } else {
+                Configuration::uniform(n, k as usize)
+            };
+            println!(
+                "{} on n={n}, k={k}, bias={bias}: {trials} trials, seed {seed}",
+                rule.display()
+            );
+            let times = consensus_times(rule, &start, trials, seed);
+            let s = Summary::of_counts(&times);
+            println!(
+                "consensus rounds: mean {:.1}  sd {:.1}  min {}  median {:.0}  max {}",
+                s.mean(),
+                s.std_dev(),
+                s.min(),
+                s.median(),
+                s.max()
+            );
+        }
+    }
+}
+
+fn join(v: &[crate::core::counterexample::Rational]) -> String {
+    v.iter().map(|r| r.to_string()).collect::<Vec<_>>().join(", ")
+}
+
+fn consensus_times(
+    rule: RuleChoice,
+    start: &Configuration,
+    trials: u64,
+    seed: u64,
+) -> Vec<u64> {
+    let start = start.clone();
+    run_trials(trials, seed, move |_t, s| {
+        let run = |engine: &mut dyn Engine| {
+            run_to_consensus(
+                engine,
+                &RunOptions { max_rounds: u64::MAX, record_trace: false },
+            )
+            .consensus_round
+            .expect("uncapped run reaches consensus")
+        };
+        match rule {
+            RuleChoice::Voter => {
+                run(&mut VectorEngine::new(Voter, start.clone(), s).with_compaction())
+            }
+            RuleChoice::TwoChoices => {
+                run(&mut VectorEngine::new(TwoChoices, start.clone(), s).with_compaction())
+            }
+            RuleChoice::ThreeMajority => {
+                run(&mut VectorEngine::new(ThreeMajority, start.clone(), s).with_compaction())
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parse_run_with_defaults() {
+        let cmd = parse(&args("run --rule 3m")).expect("parses");
+        assert_eq!(
+            cmd,
+            Command::Run {
+                rule: RuleChoice::ThreeMajority,
+                n: 4096,
+                k: 4096,
+                bias: 0,
+                trials: 10,
+                seed: 42
+            }
+        );
+    }
+
+    #[test]
+    fn parse_run_with_flags() {
+        let cmd = parse(&args("run --rule 2c --n 100 --k 10 --bias 5 --trials 3 --seed 7"))
+            .expect("parses");
+        assert_eq!(
+            cmd,
+            Command::Run {
+                rule: RuleChoice::TwoChoices,
+                n: 100,
+                k: 10,
+                bias: 5,
+                trials: 3,
+                seed: 7
+            }
+        );
+    }
+
+    #[test]
+    fn parse_rejects_bad_rule_and_ranges() {
+        assert!(parse(&args("run --rule nope")).is_err());
+        assert!(parse(&args("run --rule 3m --k 0")).is_err());
+        assert!(parse(&args("run --rule 3m --n 10 --k 20")).is_err());
+        assert!(parse(&args("run --rule 3m --n 10 --bias 20")).is_err());
+        assert!(parse(&args("run")).is_err());
+    }
+
+    #[test]
+    fn parse_other_commands() {
+        assert_eq!(parse(&args("race")).expect("ok"), Command::Race { n: 4096, trials: 10, seed: 42 });
+        assert_eq!(parse(&args("duality --n 32")).expect("ok"), Command::Duality { n: 32, seed: 42 });
+        assert_eq!(parse(&args("appendix-b")).expect("ok"), Command::AppendixB);
+        assert_eq!(parse(&args("help")).expect("ok"), Command::Help);
+        assert_eq!(parse(&[]).expect("ok"), Command::Help);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_flags() {
+        assert!(parse(&args("race --n")).is_err());
+        assert!(parse(&args("race n 5")).is_err());
+        assert!(parse(&args("race --n five")).is_err());
+        assert!(parse(&args("frobnicate")).is_err());
+    }
+
+    #[test]
+    fn execute_small_commands_do_not_panic() {
+        execute(Command::Help);
+        execute(Command::AppendixB);
+        execute(Command::Duality { n: 16, seed: 1 });
+        execute(Command::Run {
+            rule: RuleChoice::ThreeMajority,
+            n: 64,
+            k: 64,
+            bias: 0,
+            trials: 3,
+            seed: 1,
+        });
+        execute(Command::Race { n: 64, trials: 3, seed: 1 });
+    }
+}

@@ -1,0 +1,79 @@
+#![warn(missing_docs)]
+//! # symbreak — *Ignore or Comply? On Breaking Symmetry in Consensus*
+//!
+//! A from-scratch Rust reproduction of Berenbrink, Clementi, Elsässer,
+//! Kling, Mallmann-Trenn and Natale, *"Ignore or Comply? On Breaking
+//! Symmetry in Consensus"* (PODC 2017, arXiv:1702.04921).
+//!
+//! The paper compares two pull-based consensus rules on the complete graph
+//! of `n` anonymous nodes, each initially holding one of up to `n` colors:
+//!
+//! * **2-Choices** ("ignore"): sample two nodes; adopt their color if they
+//!   agree, otherwise keep your own.
+//! * **3-Majority** ("comply"): sample three nodes; adopt the majority
+//!   sample color, or a random sample's color if all differ.
+//!
+//! Both have *identical* expected behaviour, yet the paper proves a
+//! polynomial separation from many-color configurations: 3-Majority
+//! reaches consensus w.h.p. in `O(n^{3/4} log^{7/8} n)` rounds
+//! (unconditionally — Theorem 4), while 2-Choices needs `Ω(n / log n)`
+//! rounds from low-support starts (Theorem 5).
+//!
+//! This umbrella crate re-exports the whole workspace:
+//!
+//! | Crate | Contents |
+//! |-------|----------|
+//! | [`core`] | configurations, the AC-process framework, all update rules, engines, runners, dominance, theory bounds, Appendix-B counterexample |
+//! | [`sim`] | deterministic RNG, exact binomial/multinomial/alias samplers, traces, a parallel Monte-Carlo driver |
+//! | [`majorization`] | vector majorization, T-transforms, Schur-convexity, stochastic majorization |
+//! | [`graphs`] | CSR graphs, coalescing random walks, the exact Lemma 4 duality coupling |
+//! | [`adversary`] | round-wise Byzantine corruption, validity, adversarial runners |
+//! | [`stats`] | summaries, power-law fits, ECDFs, stochastic-dominance tests |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use symbreak::prelude::*;
+//!
+//! // Leader election: 4096 nodes, each with its own color.
+//! let start = Configuration::singletons(4096);
+//! let mut engine = VectorEngine::new(ThreeMajority, start, 42);
+//! let outcome = run_to_consensus(&mut engine, &RunOptions::default());
+//! assert!(outcome.reached_consensus());
+//! println!("consensus after {:?} rounds", outcome.consensus_round);
+//! ```
+//!
+//! See `examples/` for runnable scenarios (quickstart, the
+//! separation experiment, Byzantine agreement, the duality coupling) and
+//! `crates/bench/src/bin/` for the experiment harness regenerating every
+//! quantitative claim of the paper (EXPERIMENTS.md records the results).
+
+pub mod cli;
+
+pub use symbreak_adversary as adversary;
+pub use symbreak_core as core;
+pub use symbreak_graphs as graphs;
+pub use symbreak_majorization as majorization;
+pub use symbreak_runtime as runtime;
+pub use symbreak_sim as sim;
+pub use symbreak_stats as stats;
+
+/// Convenience re-exports for the common workflow.
+pub mod prelude {
+    pub use symbreak_adversary::{
+        run_adversarial, Adversary, AdversarialRun, MinoritySupporter, Nop, RandomFlipper,
+        SplitKeeper, ValidityTracker,
+    };
+    pub use symbreak_core::rules::{
+        HMajority, ThreeMajority, ThreeMajorityAlt, TwoChoices, TwoMedian, UndecidedDynamics,
+        Voter,
+    };
+    pub use symbreak_core::{
+        hitting_time_colors, run_to_consensus, AcProcess, AgentEngine, Configuration, Engine,
+        ExpectedUpdate, Opinion, RunOptions, RunOutcome, UpdateRule, VectorEngine, VectorStep,
+    };
+    pub use symbreak_graphs::{DualityCoupling, Graph};
+    pub use symbreak_runtime::{Cluster, ClusterConfig};
+    pub use symbreak_sim::{run_trials, trial_seed, Pcg64};
+    pub use symbreak_stats::{Ecdf, StochasticOrder, Summary, Table};
+}

@@ -1,0 +1,12 @@
+//! `symbreak` CLI entry point. All logic lives in [`symbreak::cli`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match symbreak::cli::parse(&args) {
+        Ok(cmd) => symbreak::cli::execute(cmd),
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Section-5 fault-tolerance integration: adversaries composed with the
+//! core processes, validity end-to-end.
+
+use symbreak::adversary::corruption_within_budget;
+use symbreak::prelude::*;
+
+#[test]
+fn tolerated_budget_converges_valid_for_all_strategies() {
+    let start = Configuration::uniform(1024, 4);
+    let opts = AdversarialRun { max_rounds: 50_000, quorum_fraction: 0.9, seed: 1 };
+    let mut strategies: Vec<Box<dyn Adversary>> = vec![
+        Box::new(Nop),
+        Box::new(RandomFlipper::new(1)),
+        Box::new(MinoritySupporter::new(1, 4)),
+        Box::new(SplitKeeper::new(1)),
+    ];
+    for strat in strategies.iter_mut() {
+        let name = strat.name();
+        let out = run_adversarial(&ThreeMajority, strat.as_mut(), start.clone(), &opts);
+        assert!(out.byzantine_success(), "{name} with F=1 must be tolerated");
+    }
+}
+
+#[test]
+fn two_choices_also_tolerates_small_random_faults() {
+    let start = Configuration::uniform(1024, 2);
+    let opts = AdversarialRun { max_rounds: 100_000, quorum_fraction: 0.9, seed: 2 };
+    let out = run_adversarial(&TwoChoices, &mut RandomFlipper::new(1), start, &opts);
+    assert!(out.byzantine_success());
+}
+
+#[test]
+fn overwhelming_minority_supporter_delays_beyond_clean_time() {
+    // Measure the clean stabilization time, then show a large budget at
+    // least quadruples it (or stalls entirely).
+    let start = Configuration::uniform(1024, 4);
+    let clean = run_adversarial(
+        &ThreeMajority,
+        &mut Nop,
+        start.clone(),
+        &AdversarialRun { max_rounds: 100_000, quorum_fraction: 0.9, seed: 3 },
+    )
+    .stabilized_round
+    .expect("clean run stabilizes");
+    let attacked = run_adversarial(
+        &ThreeMajority,
+        &mut MinoritySupporter::new(64, 4),
+        start,
+        &AdversarialRun { max_rounds: clean * 4, quorum_fraction: 0.9, seed: 3 },
+    );
+    assert!(
+        attacked.stabilized_round.is_none(),
+        "F=64 supporter should delay beyond 4x the clean time ({clean} rounds)"
+    );
+}
+
+#[test]
+fn corruption_budgets_hold_along_a_run() {
+    use rand::SeedableRng;
+    let mut rng = Pcg64::seed_from_u64(4);
+    let mut config = Configuration::uniform(512, 8);
+    let mut adv = RandomFlipper::new(7);
+    for _ in 0..100 {
+        let before = config.clone();
+        adv.corrupt(&mut config, &mut rng);
+        assert!(corruption_within_budget(&before, &config, 7));
+        config = ThreeMajority.vector_step(&config, &mut rng);
+    }
+}
+
+#[test]
+fn validity_tracker_flags_manufactured_colors() {
+    // An adversary that funnels mass into an initially-dead color must be
+    // caught by the validity check.
+    let start = Configuration::from_counts(vec![500, 500, 0]);
+    let tracker = ValidityTracker::from_initial(&start);
+    let forged = Configuration::from_counts(vec![10, 10, 980]);
+    assert!(!tracker.almost_all_valid(&forged, 0.9));
+    assert!(tracker.is_valid(Opinion::new(0)));
+    assert!(!tracker.is_valid(Opinion::new(2)));
+}

@@ -1,0 +1,128 @@
+//! Cross-crate integration: engines × rules × runners.
+
+use symbreak::prelude::*;
+
+fn vector_consensus<R: VectorStep + Clone>(rule: R, start: Configuration, seed: u64) -> u64 {
+    let mut e = VectorEngine::new(rule, start, seed).with_compaction();
+    run_to_consensus(&mut e, &RunOptions { max_rounds: 2_000_000, record_trace: false })
+        .consensus_round
+        .expect("consensus within cap")
+}
+
+#[test]
+fn all_vector_rules_reach_consensus_from_singletons() {
+    let start = Configuration::singletons(256);
+    assert!(vector_consensus(Voter, start.clone(), 1) > 0);
+    assert!(vector_consensus(TwoChoices, start.clone(), 2) > 0);
+    assert!(vector_consensus(ThreeMajority, start.clone(), 3) > 0);
+    assert!(vector_consensus(ThreeMajorityAlt, start, 4) > 0);
+}
+
+#[test]
+fn all_agent_rules_reach_consensus_from_uniform() {
+    let start = Configuration::uniform(128, 8);
+    let rules: Vec<Box<dyn UpdateRule>> = vec![
+        Box::new(Voter),
+        Box::new(TwoChoices),
+        Box::new(ThreeMajority),
+        Box::new(ThreeMajorityAlt),
+        Box::new(HMajority::new(5)),
+        Box::new(TwoMedian),
+        Box::new(UndecidedDynamics),
+    ];
+    for (i, rule) in rules.into_iter().enumerate() {
+        let name = rule.name();
+        let mut engine = AgentEngineDyn::new(rule, &start, 10 + i as u64);
+        let mut rounds = 0u64;
+        while !engine.is_consensus() && rounds < 1_000_000 {
+            engine.step();
+            rounds += 1;
+        }
+        assert!(engine.is_consensus(), "{name} failed to reach consensus");
+    }
+}
+
+/// AgentEngine over a boxed rule (object-safe UpdateRule usage).
+struct AgentEngineDyn {
+    inner: AgentEngine<Box<dyn UpdateRule>>,
+}
+
+impl AgentEngineDyn {
+    fn new(rule: Box<dyn UpdateRule>, start: &Configuration, seed: u64) -> Self {
+        Self { inner: AgentEngine::new(rule, start, seed) }
+    }
+
+    fn step(&mut self) {
+        self.inner.step();
+    }
+
+    fn is_consensus(&self) -> bool {
+        self.inner.is_consensus()
+    }
+}
+
+#[test]
+fn trajectories_are_deterministic_per_seed() {
+    let start = Configuration::singletons(512);
+    let run = |seed| {
+        let mut e = VectorEngine::new(ThreeMajority, start.clone(), seed);
+        let mut profile = Vec::new();
+        for _ in 0..20 {
+            e.step();
+            profile.push(e.configuration().sorted_counts());
+        }
+        profile
+    };
+    assert_eq!(run(99), run(99));
+    assert_ne!(run(99), run(100));
+}
+
+#[test]
+fn monte_carlo_driver_composes_with_engines() {
+    let start = Configuration::uniform(128, 4);
+    let times = run_trials(16, 5, move |_t, seed| {
+        let mut e = VectorEngine::new(ThreeMajority, start.clone(), seed);
+        run_to_consensus(&mut e, &RunOptions::default()).consensus_round.expect("consensus")
+    });
+    assert_eq!(times.len(), 16);
+    assert!(times.iter().all(|&t| t > 0));
+    let s = Summary::of_counts(&times);
+    assert!(s.mean() > 1.0 && s.mean() < 10_000.0);
+}
+
+#[test]
+fn winner_is_always_one_of_the_initial_colors() {
+    // Without an adversary, the winning color must have existed initially
+    // (validity for free).
+    for seed in 0..10 {
+        let start = Configuration::from_counts(vec![40, 30, 20, 10, 0, 0]);
+        let mut e = VectorEngine::new(ThreeMajority, start, seed);
+        let out = run_to_consensus(&mut e, &RunOptions::default());
+        let winner = out.winner.expect("consensus");
+        assert!(winner.index() < 4, "winner {winner} was not initially supported");
+    }
+}
+
+#[test]
+fn biased_start_elects_the_heavy_color_overwhelmingly() {
+    let mut wins = 0;
+    let trials = 20;
+    for seed in 0..trials {
+        let start = Configuration::biased(4096, 4, 1024);
+        let mut e = VectorEngine::new(ThreeMajority, start, 1000 + seed);
+        let out = run_to_consensus(&mut e, &RunOptions::default());
+        if out.winner == Some(Opinion::new(0)) {
+            wins += 1;
+        }
+    }
+    assert!(wins >= trials - 1, "heavy color won only {wins}/{trials}");
+}
+
+#[test]
+fn hitting_times_are_monotone_in_kappa_across_crates() {
+    let start = Configuration::singletons(1024);
+    let mut e = VectorEngine::new(Voter, start, 77).with_compaction();
+    let t64 = hitting_time_colors(&mut e, 64, u64::MAX).expect("reaches 64");
+    let t8_more = hitting_time_colors(&mut e, 8, u64::MAX).expect("reaches 8");
+    assert!(t64 + t8_more >= t64);
+}

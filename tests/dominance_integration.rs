@@ -1,0 +1,95 @@
+//! Lemma 2 / Theorem 2 end-to-end: analytic dominance plus measured
+//! stochastic dominance of hitting times, and the non-AC counterexample.
+
+use rand::SeedableRng;
+use symbreak::core::dominance::{
+    expected_majorizes, lemma2_inequality, random_majorizing_pair,
+};
+use symbreak::prelude::*;
+use symbreak::stats::ecdf::ks_threshold;
+
+fn hitting_samples<R: VectorStep + Clone + Send + Sync>(
+    rule: R,
+    n: u64,
+    kappa: usize,
+    trials: u64,
+    seed: u64,
+) -> Vec<u64> {
+    let start = Configuration::singletons(n);
+    run_trials(trials, seed, move |_t, s| {
+        let mut e = VectorEngine::new(rule.clone(), start.clone(), s).with_compaction();
+        hitting_time_colors(&mut e, kappa, u64::MAX).expect("uncapped")
+    })
+}
+
+#[test]
+fn lemma2_analytic_inequality_on_many_pairs() {
+    let mut rng = Pcg64::seed_from_u64(3);
+    for _ in 0..300 {
+        let (c, ct) = random_majorizing_pair(128, 6, 4, &mut rng);
+        assert!(lemma2_inequality(&c, &ct));
+        assert!(expected_majorizes(&ThreeMajority, &Voter, &c, &ct));
+    }
+}
+
+#[test]
+fn three_majority_hitting_times_stochastically_below_voter() {
+    let trials = 120;
+    for kappa in [64usize, 8, 1] {
+        let t3 = hitting_samples(ThreeMajority, 1024, kappa, trials, 40 + kappa as u64);
+        let tv = hitting_samples(Voter, 1024, kappa, trials, 80 + kappa as u64);
+        let order = StochasticOrder::test_counts(&t3, &tv);
+        let threshold = ks_threshold(trials as usize, trials as usize, 1.63);
+        assert!(
+            order.holds_within(threshold),
+            "kappa={kappa}: violation {} > threshold {threshold}",
+            order.max_violation
+        );
+    }
+}
+
+#[test]
+fn two_choices_violates_theorem2_conclusion() {
+    // 2-Choices dominates Voter in expectation but its hitting times are
+    // far larger — the Theorem-2 conclusion fails for non-AC processes.
+    let trials = 60;
+    let t2 = hitting_samples(TwoChoices, 512, 64, trials, 7);
+    let tv = hitting_samples(Voter, 512, 64, trials, 8);
+    let order = StochasticOrder::test_counts(&t2, &tv); // claims 2C <=st V
+    assert!(
+        order.max_violation > 0.5,
+        "expected a decisive violation, got {}",
+        order.max_violation
+    );
+}
+
+#[test]
+fn stochastic_majorization_of_one_step_configs() {
+    // Proposition 1 downstream: one 3-Majority step from a more-majorized
+    // config stochastically majorizes one Voter step from a less-majorized
+    // one (sampled via Schur-convex test family).
+    use symbreak::majorization::schur::standard_family;
+    use symbreak::majorization::stochastic::check_stochastic_majorization;
+
+    let c_big = Configuration::from_counts(vec![60, 30, 8, 2]);
+    let c_small = Configuration::from_counts(vec![30, 30, 20, 20]);
+    assert!(c_big.majorizes(&c_small));
+
+    let sample = |three_majority: bool, seed: u64| -> Vec<Vec<f64>> {
+        let c_big = c_big.clone();
+        let c_small = c_small.clone();
+        run_trials(400, seed, move |_t, s| {
+            let mut rng = Pcg64::seed_from_u64(s);
+            let next = if three_majority {
+                ThreeMajority.vector_step(&c_big, &mut rng)
+            } else {
+                Voter.vector_step(&c_small, &mut rng)
+            };
+            next.counts().iter().map(|&v| v as f64).collect()
+        })
+    };
+    let ys = sample(true, 100); // the dominating side
+    let xs = sample(false, 200);
+    let report = check_stochastic_majorization(&xs, &ys, &standard_family(4));
+    assert!(report.holds(4.0), "worst: {:?}", report.worst());
+}

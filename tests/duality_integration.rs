@@ -1,0 +1,81 @@
+//! Lemma 4 end-to-end: the exact duality on assorted graphs, plus
+//! distributional agreement between the two independent coalescence
+//! implementations.
+
+use rand::SeedableRng;
+use symbreak::graphs::{coalescence_time, voter_time_from_coupling, DualityCoupling, Graph};
+use symbreak::prelude::*;
+use symbreak::stats::ecdf::ks_threshold;
+
+#[test]
+fn duality_identity_exact_on_assorted_graphs() {
+    let mut rng = Pcg64::seed_from_u64(11);
+    let graphs = vec![
+        Graph::complete(40),
+        Graph::cycle(21),
+        Graph::torus(5, 7),
+        Graph::star(30),
+        Graph::random_regular(36, 4, &mut rng),
+    ];
+    for (i, g) in graphs.into_iter().enumerate() {
+        let mut grng = Pcg64::seed_from_u64(100 + i as u64);
+        let (coupling, t_c) =
+            DualityCoupling::generate_until_coalesced(&g, 2, 2_000_000, &mut grng)
+                .expect("coalesces to 2");
+        assert!(coupling.verify_identity(), "graph #{i}");
+        assert_eq!(voter_time_from_coupling(&coupling, 2), Some(t_c), "graph #{i}");
+    }
+}
+
+#[test]
+fn coupling_walks_match_standalone_coalescing_distribution() {
+    // Two independent implementations of coalescing walks (the standalone
+    // simulator and the coupling's forward pass) must agree in
+    // distribution on T^1_C.
+    let n = 64usize;
+    let trials = 200u64;
+    let standalone = run_trials(trials, 31, move |_t, s| {
+        let g = Graph::complete(n);
+        let mut rng = Pcg64::seed_from_u64(s);
+        coalescence_time(&g, 1, u64::MAX, &mut rng).expect("coalesces")
+    });
+    let via_coupling = run_trials(trials, 32, move |_t, s| {
+        let g = Graph::complete(n);
+        let mut rng = Pcg64::seed_from_u64(s);
+        let (_, t) = DualityCoupling::generate_until_coalesced(&g, 1, 10_000_000, &mut rng)
+            .expect("coalesces");
+        t
+    });
+    let ks = StochasticOrder::test_counts(&standalone, &via_coupling).ks;
+    let threshold = ks_threshold(trials as usize, trials as usize, 1.63);
+    assert!(ks < threshold, "KS {ks} exceeds threshold {threshold}");
+}
+
+#[test]
+fn voter_on_complete_graph_close_to_neighbor_sampling_variant() {
+    // The core Voter samples uniformly over all n nodes (self included);
+    // the graph Voter samples a uniform *neighbor*. On K_n these differ by
+    // a (1 − 1/n) time rescale, so mean consensus times must be close.
+    let n = 128u64;
+    let trials = 150u64;
+    let core_times = {
+        let start = Configuration::singletons(n);
+        run_trials(trials, 41, move |_t, s| {
+            let mut e = VectorEngine::new(Voter, start.clone(), s).with_compaction();
+            run_to_consensus(&mut e, &RunOptions::default()).consensus_round.expect("consensus")
+        })
+    };
+    let graph_times = run_trials(trials, 42, move |_t, s| {
+        let g = Graph::complete(n as usize);
+        let mut d = symbreak::graphs::GraphDynamics::singletons(&g);
+        let mut rng = Pcg64::seed_from_u64(s);
+        d.run_to_consensus(symbreak::graphs::GraphRule::Voter, 10_000_000, &mut rng)
+            .expect("consensus")
+    });
+    let mc = Summary::of_counts(&core_times).mean();
+    let mg = Summary::of_counts(&graph_times).mean();
+    assert!(
+        (mc - mg).abs() < 0.25 * mc.max(mg),
+        "complete-graph voter variants too far apart: {mc} vs {mg}"
+    );
+}

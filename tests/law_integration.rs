@@ -1,0 +1,84 @@
+//! One-step-law integration (Equation (2) / footnote 2): agent engines,
+//! vector engines, analytic process functions and expectations all agree.
+
+use rand::SeedableRng;
+use symbreak::core::dominance::random_configuration;
+use symbreak::core::rules::alpha_three_majority;
+use symbreak::prelude::*;
+use symbreak::stats::ecdf::ks_threshold;
+
+#[test]
+fn agent_and_vector_engines_share_the_one_step_law() {
+    let start = Configuration::from_counts(vec![100, 60, 30, 10]);
+    let trials = 1_500u64;
+    let agent: Vec<u64> = run_trials(trials, 1, {
+        let start = start.clone();
+        move |_t, s| {
+            let mut e = AgentEngine::new(ThreeMajority, &start, s);
+            e.step();
+            e.configuration().support(0)
+        }
+    });
+    let vector: Vec<u64> = run_trials(trials, 2, {
+        let start = start.clone();
+        move |_t, s| {
+            let mut e = VectorEngine::new(ThreeMajority, start.clone(), s);
+            e.step();
+            e.configuration().support(0)
+        }
+    });
+    let ks = StochasticOrder::test_counts(&agent, &vector).ks;
+    let threshold = ks_threshold(trials as usize, trials as usize, 1.63);
+    assert!(ks < threshold, "KS {ks} >= {threshold}");
+}
+
+#[test]
+fn h3_majority_exact_alpha_equals_formula_on_random_configs() {
+    let mut rng = Pcg64::seed_from_u64(5);
+    for _ in 0..50 {
+        let c = random_configuration(60, 6, &mut rng);
+        let enumerated = HMajority::new(3).alpha(&c);
+        let formula = alpha_three_majority(&c);
+        for (a, b) in enumerated.iter().zip(&formula) {
+            assert!((a - b).abs() < 1e-10, "{enumerated:?} vs {formula:?}");
+        }
+    }
+}
+
+#[test]
+fn expectation_identity_2c_3m_on_random_configs() {
+    let mut rng = Pcg64::seed_from_u64(6);
+    for _ in 0..200 {
+        let c = random_configuration(200, 10, &mut rng);
+        let e2 = TwoChoices.expected_fractions(&c);
+        let e3 = ThreeMajority.expected_fractions(&c);
+        for (a, b) in e2.iter().zip(&e3) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+}
+
+#[test]
+fn voter_expectation_is_the_identity_map() {
+    let mut rng = Pcg64::seed_from_u64(7);
+    for _ in 0..100 {
+        let c = random_configuration(150, 8, &mut rng);
+        let e = Voter.expected_fractions(&c);
+        let x = c.fractions();
+        for (a, b) in e.iter().zip(&x) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+}
+
+#[test]
+fn rational_and_float_alpha_agree_for_h4() {
+    use symbreak::core::counterexample::{alpha_h_majority_exact, Rational};
+    let c = Configuration::from_counts(vec![4, 3, 2, 1]);
+    let float = HMajority::new(4).alpha(&c);
+    let x: Vec<Rational> = c.counts().iter().map(|&v| Rational::new(v as i128, 10)).collect();
+    let exact = alpha_h_majority_exact(&x, 4);
+    for (f, e) in float.iter().zip(&exact) {
+        assert!((f - e.to_f64()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,85 @@
+//! Integration of the Theorem-4 phase instrumentation with tracing,
+//! aggregation, and the theory bound curves.
+
+use symbreak::core::phases::measure_phases;
+use symbreak::core::theory::{phase_split_colors, theorem4_bound, theorem8_bound};
+use symbreak::prelude::*;
+use symbreak::sim::TraceBundle;
+
+#[test]
+fn phase_measurements_respect_theorem4_across_seeds() {
+    let n = 4096u64;
+    let bound = theorem4_bound(n);
+    for seed in 0..8 {
+        let mut e =
+            VectorEngine::new(ThreeMajority, Configuration::singletons(n), seed).with_compaction();
+        let phases = measure_phases(&mut e, n, 1_000_000).expect("consensus");
+        assert!((phases.phase1_rounds as f64) < bound);
+        assert!((phases.phase2_rounds as f64) < bound);
+        // Phase 2 starts from k <= split = o(n^{1/3}) colors, so Theorem 8
+        // applies to it too.
+        let t8 = theorem8_bound(n, phase_split_colors(n));
+        assert!((phases.phase2_rounds as f64) < t8, "phase 2 exceeded the Theorem-8 bound");
+    }
+}
+
+#[test]
+fn trace_bundle_aggregates_consensus_runs() {
+    let n = 512u64;
+    let mut bundle = TraceBundle::new();
+    for seed in 0..10 {
+        let mut e =
+            VectorEngine::new(ThreeMajority, Configuration::singletons(n), 100 + seed)
+                .with_compaction();
+        let out = run_to_consensus(
+            &mut e,
+            &RunOptions { max_rounds: 1_000_000, record_trace: true },
+        );
+        assert!(out.reached_consensus());
+        bundle.push(out.trace.expect("trace requested"));
+    }
+    assert_eq!(bundle.len(), 10);
+    // Colors decline monotonically in the mean over the geometric grid.
+    let series = bundle.geometric_series();
+    assert!(series.len() >= 4);
+    for w in series.windows(2) {
+        assert!(
+            w[1].mean_colors <= w[0].mean_colors + 1e-9,
+            "mean colors must not increase: {:?} -> {:?}",
+            w[0],
+            w[1]
+        );
+    }
+    // The final aggregate is consensus.
+    let last = series.last().expect("non-empty");
+    assert_eq!(last.mean_colors, 1.0);
+    assert_eq!(last.mean_max_support, n as f64);
+    // CSV export carries all rows.
+    assert_eq!(bundle.to_csv().lines().count(), series.len() + 1);
+}
+
+#[test]
+fn potential_observables_track_a_run() {
+    use symbreak::core::potential::observables;
+    let mut e = VectorEngine::new(ThreeMajority, Configuration::singletons(1024), 7)
+        .with_compaction();
+    let mut last_collision = observables(&e.configuration()).collision;
+    let mut increases = 0u32;
+    let mut rounds = 0u32;
+    while !e.is_consensus() {
+        e.step();
+        rounds += 1;
+        let o = observables(&e.configuration());
+        if o.collision >= last_collision {
+            increases += 1;
+        }
+        last_collision = o.collision;
+    }
+    assert!((last_collision - 1.0).abs() < 1e-12, "consensus has collision 1");
+    // Collision probability is a submartingale in practice: the vast
+    // majority of rounds increase it.
+    assert!(
+        increases as f64 > 0.8 * rounds as f64,
+        "collision decreased too often ({increases}/{rounds})"
+    );
+}

@@ -1,0 +1,106 @@
+//! Cross-crate property-based tests (proptest).
+
+use proptest::prelude::*;
+use symbreak::core::dominance::random_majorizing_pair;
+use symbreak::core::rules::alpha_three_majority;
+use symbreak::majorization::vector::majorizes;
+use symbreak::prelude::*;
+
+fn config_strategy(max_n: u64, k: usize) -> impl Strategy<Value = Configuration> {
+    proptest::collection::vec(0u64..max_n, k).prop_filter_map(
+        "at least one node",
+        |counts| {
+            if counts.iter().sum::<u64>() == 0 {
+                None
+            } else {
+                Some(Configuration::from_counts(counts))
+            }
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn alpha_3m_is_probability_vector(c in config_strategy(50, 6)) {
+        let alpha = alpha_three_majority(&c);
+        let total: f64 = alpha.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!(alpha.iter().all(|&a| (-1e-12..=1.0 + 1e-9).contains(&a)));
+    }
+
+    #[test]
+    fn alpha_3m_majorizes_fractions(c in config_strategy(50, 6)) {
+        // The drift property (Lemma 2 with c = c̃): α^(3M)(c) ⪰ c/n.
+        let alpha = alpha_three_majority(&c);
+        prop_assert!(majorizes(&alpha, &c.fractions()));
+    }
+
+    #[test]
+    fn one_step_preserves_population(c in config_strategy(50, 6), seed in 0u64..1000) {
+        use rand::SeedableRng;
+        let mut rng = Pcg64::seed_from_u64(seed);
+        for rule in [
+            &ThreeMajority as &dyn VectorStep,
+            &Voter as &dyn VectorStep,
+            &TwoChoices as &dyn VectorStep,
+        ] {
+            let next = rule.vector_step(&c, &mut rng);
+            prop_assert_eq!(next.n(), c.n());
+            prop_assert_eq!(next.num_slots(), c.num_slots());
+        }
+    }
+
+    #[test]
+    fn consensus_is_absorbing_for_every_rule(n in 1u64..200, seed in 0u64..1000) {
+        use rand::SeedableRng;
+        let mut rng = Pcg64::seed_from_u64(seed);
+        let c = Configuration::consensus(n, 3);
+        for rule in [
+            &ThreeMajority as &dyn VectorStep,
+            &Voter as &dyn VectorStep,
+            &TwoChoices as &dyn VectorStep,
+        ] {
+            prop_assert_eq!(rule.vector_step(&c, &mut rng), c.clone());
+        }
+    }
+
+    #[test]
+    fn majorizing_pairs_transfer_to_alphas(seed in 0u64..2000) {
+        use rand::SeedableRng;
+        // Lemma 2's inequality over the generated pair distribution.
+        let mut rng = Pcg64::seed_from_u64(seed);
+        let (c, ct) = random_majorizing_pair(64, 5, 3, &mut rng);
+        let a3 = alpha_three_majority(&c);
+        let av = ct.fractions();
+        prop_assert!(majorizes(&a3, &av));
+    }
+
+    #[test]
+    fn compaction_preserves_sorted_profile(c in config_strategy(50, 8)) {
+        let compacted = c.compacted();
+        prop_assert_eq!(compacted.n(), c.n());
+        prop_assert_eq!(compacted.num_colors(), c.num_colors());
+        let a: Vec<u64> = c.sorted_counts().into_iter().filter(|&v| v > 0).collect();
+        let b: Vec<u64> = compacted.sorted_counts().into_iter().filter(|&v| v > 0).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn undecided_state_conserves_population(
+        counts in proptest::collection::vec(1u64..40, 2..6),
+        seed in 0u64..500,
+    ) {
+        use rand::SeedableRng;
+        let mut rng = Pcg64::seed_from_u64(seed);
+        let mut state = symbreak::core::rules::UndecidedState::new(
+            Configuration::from_counts(counts),
+        );
+        let population = state.population();
+        for _ in 0..20 {
+            state.step(&mut rng);
+            prop_assert_eq!(state.population(), population);
+        }
+    }
+}
