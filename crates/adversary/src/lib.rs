@@ -51,13 +51,8 @@ pub fn corruption_within_budget(
     if before.n() != after.n() || before.num_slots() != after.num_slots() {
         return false;
     }
-    let moved: u64 = before
-        .counts()
-        .iter()
-        .zip(after.counts())
-        .map(|(&b, &a)| b.abs_diff(a))
-        .sum::<u64>()
-        / 2;
+    let moved: u64 =
+        before.counts().iter().zip(after.counts()).map(|(&b, &a)| b.abs_diff(a)).sum::<u64>() / 2;
     moved <= budget
 }
 

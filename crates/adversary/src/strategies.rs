@@ -114,11 +114,8 @@ impl Adversary for MinoritySupporter {
             // Strongest donor overall; weakest recipient among eligible.
             let (from, &fmax) =
                 counts.iter().enumerate().max_by_key(|&(_, &c)| c).expect("non-empty");
-            let (to, &tmin) = counts[..limit]
-                .iter()
-                .enumerate()
-                .min_by_key(|&(_, &c)| c)
-                .expect("non-empty");
+            let (to, &tmin) =
+                counts[..limit].iter().enumerate().min_by_key(|&(_, &c)| c).expect("non-empty");
             if from == to || fmax == 0 || fmax <= tmin + 1 {
                 break; // already balanced; stop spending budget
             }
@@ -319,11 +316,7 @@ mod tests {
         let mut rng = Pcg64::seed_from_u64(9);
         Eraser::new(3).corrupt(&mut c, &mut rng);
         assert_eq!(c.counts(), &[83, 17, 0]);
-        assert!(corruption_within_budget(
-            &Configuration::from_counts(vec![80, 17, 3]),
-            &c,
-            3
-        ));
+        assert!(corruption_within_budget(&Configuration::from_counts(vec![80, 17, 3]), &c, 3));
     }
 
     #[test]
@@ -337,8 +330,8 @@ mod tests {
 
     #[test]
     fn eraser_accelerates_consensus() {
-        use symbreak_core::rules::ThreeMajority;
         use crate::runner::{run_adversarial, AdversarialRun};
+        use symbreak_core::rules::ThreeMajority;
         let start = Configuration::uniform(512, 8);
         let opts = AdversarialRun { max_rounds: 100_000, quorum_fraction: 1.0, seed: 11 };
         let clean = run_adversarial(&ThreeMajority, &mut Nop, start.clone(), &opts)

@@ -23,9 +23,8 @@ fn bench_compaction_ablation(c: &mut Criterion) {
             let mut seed = 0;
             b.iter(|| {
                 seed += 1;
-                let mut e =
-                    VectorEngine::new(ThreeMajority, Configuration::singletons(n), seed)
-                        .with_compaction();
+                let mut e = VectorEngine::new(ThreeMajority, Configuration::singletons(n), seed)
+                    .with_compaction();
                 while !e.is_consensus() {
                     e.step();
                 }
@@ -36,8 +35,7 @@ fn bench_compaction_ablation(c: &mut Criterion) {
             let mut seed = 0;
             b.iter(|| {
                 seed += 1;
-                let mut e =
-                    VectorEngine::new(ThreeMajority, Configuration::singletons(n), seed);
+                let mut e = VectorEngine::new(ThreeMajority, Configuration::singletons(n), seed);
                 while !e.is_consensus() {
                     e.step();
                 }

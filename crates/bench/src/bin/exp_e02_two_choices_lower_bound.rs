@@ -65,11 +65,7 @@ fn main() {
         let s = Summary::of_counts(&times);
         xs.push(n as f64);
         ys.push(s.mean());
-        time_table.row(vec![
-            n.to_string(),
-            fmt_f64(s.mean()),
-            fmt_f64(n as f64 / (n as f64).ln()),
-        ]);
+        time_table.row(vec![n.to_string(), fmt_f64(s.mean()), fmt_f64(n as f64 / (n as f64).ln())]);
     }
     println!("{time_table}");
     let fit = fit_power_law(&xs, &ys);

@@ -17,8 +17,7 @@ fn main() {
     let sizes: Vec<u64> = (8..=13).map(|e| 1u64 << e).collect();
 
     section("Head-to-head consensus times from the n-color configuration");
-    let mut table =
-        Table::new(vec!["n", "3-Majority mean", "2-Choices mean", "ratio 2C/3M"]);
+    let mut table = Table::new(vec!["n", "3-Majority mean", "2-Choices mean", "ratio 2C/3M"]);
     let mut xs = Vec::new();
     let mut y3 = Vec::new();
     let mut y2 = Vec::new();
@@ -42,12 +41,7 @@ fn main() {
         xs.push(n as f64);
         y3.push(t3.mean());
         y2.push(t2.mean());
-        table.row(vec![
-            n.to_string(),
-            fmt_f64(t3.mean()),
-            fmt_f64(t2.mean()),
-            fmt_f64(ratio),
-        ]);
+        table.row(vec![n.to_string(), fmt_f64(t3.mean()), fmt_f64(t2.mean()), fmt_f64(ratio)]);
     }
     println!("{table}");
 
@@ -57,7 +51,9 @@ fn main() {
         "3-Majority exponent: {:.3} (R²={:.3});  2-Choices exponent: {:.3} (R²={:.3})",
         fit3.exponent, fit3.r_squared, fit2.exponent, fit2.r_squared
     );
-    println!("paper: 3-Majority O(n^{{3/4}} log^{{7/8}} n)  vs  2-Choices Ω(n/log n) — a polynomial gap");
+    println!(
+        "paper: 3-Majority O(n^{{3/4}} log^{{7/8}} n)  vs  2-Choices Ω(n/log n) — a polynomial gap"
+    );
 
     let ratio_grows = ratios.last().expect("non-empty") > ratios.first().expect("non-empty");
     let exponent_gap = fit2.exponent - fit3.exponent;

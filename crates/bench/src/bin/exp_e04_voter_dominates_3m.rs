@@ -29,7 +29,10 @@ fn main() {
         let (c, ct) = random_majorizing_pair(256, 8, 4, &mut rng);
         premise_ok &= lemma2_inequality(&c, &ct);
     }
-    println!("checked {pairs} random majorizing pairs: {}", if premise_ok { "all hold" } else { "VIOLATED" });
+    println!(
+        "checked {pairs} random majorizing pairs: {}",
+        if premise_ok { "all hold" } else { "VIOLATED" }
+    );
 
     section("Hitting-time dominance per κ (n = 4096, singleton start)");
     let mut table = Table::new(vec![

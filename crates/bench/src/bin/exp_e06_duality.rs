@@ -17,13 +17,8 @@ fn main() {
     let trials = scaled_trials(20);
 
     section("Per-realization identity T^k_V = T^k_C across graphs and k");
-    let mut table = Table::new(vec![
-        "graph",
-        "k",
-        "trials",
-        "exact matches",
-        "per-τ identity holds",
-    ]);
+    let mut table =
+        Table::new(vec!["graph", "k", "trials", "exact matches", "per-τ identity holds"]);
     let mut all_exact = true;
     // Bipartite graphs (the 6-cube) can never coalesce below 2 walks under
     // synchronous steps — walks at odd distance preserve parity — so their
@@ -34,10 +29,14 @@ fn main() {
         ("cycle_33", Graph::cycle(33), vec![1, 4]),
         ("torus_5x5", Graph::torus(5, 5), vec![1, 4]),
         ("hypercube_6", Graph::hypercube(6), vec![2, 8]),
-        ("random_4_regular_64", {
-            let mut rng = Pcg64::seed_from_u64(1);
-            Graph::random_regular(64, 4, &mut rng)
-        }, vec![1, 4]),
+        (
+            "random_4_regular_64",
+            {
+                let mut rng = Pcg64::seed_from_u64(1);
+                Graph::random_regular(64, 4, &mut rng)
+            },
+            vec![1, 4],
+        ),
     ];
     for (gi, (name, g, ks)) in graphs.iter().enumerate() {
         for (ki, &k) in ks.iter().enumerate() {

@@ -68,8 +68,8 @@ fn main() {
         let mv = Summary::of_counts(&v);
         // 5-sigma check on both means against n·alpha.
         let sd = (n as f64 * alpha[i] * (1.0 - alpha[i]) / trials as f64).sqrt();
-        let means_ok =
-            (ma.mean() - expect).abs() < 5.0 * sd + 1e-9 && (mv.mean() - expect).abs() < 5.0 * sd + 1e-9;
+        let means_ok = (ma.mean() - expect).abs() < 5.0 * sd + 1e-9
+            && (mv.mean() - expect).abs() < 5.0 * sd + 1e-9;
         let ks_ok = ks < threshold;
         all_ok &= means_ok && ks_ok;
         table.row(vec![

@@ -48,9 +48,7 @@ fn main() {
             next.counts().to_vec()
         });
         (0..3)
-            .map(|i| {
-                Summary::of_counts(&sums.iter().map(|c| c[i]).collect::<Vec<_>>()).mean()
-            })
+            .map(|i| Summary::of_counts(&sums.iter().map(|c| c[i]).collect::<Vec<_>>()).mean())
             .collect()
     };
     let m2 = mean_of(true, 62);
@@ -66,9 +64,7 @@ fn main() {
         table.row(vec![i.to_string(), fmt_f64(e), fmt_f64(m2[i]), fmt_f64(m3[i])]);
     }
     println!("{table}");
-    println!(
-        "(contrast with E3: identical expectations, polynomially separated consensus times)"
-    );
+    println!("(contrast with E3: identical expectations, polynomially separated consensus times)");
 
     verdict(
         "E8",

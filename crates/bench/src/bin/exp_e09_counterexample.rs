@@ -16,9 +16,7 @@ fn main() {
 
     section("The configurations and process functions (exact rationals)");
     let mut table = Table::new(vec!["vector", "components"]);
-    let fmt = |v: &[Rational]| {
-        v.iter().map(|r| r.to_string()).collect::<Vec<_>>().join(", ")
-    };
+    let fmt = |v: &[Rational]| v.iter().map(|r| r.to_string()).collect::<Vec<_>>().join(", ");
     table.row(vec!["x".into(), fmt(&report.x)]);
     table.row(vec!["x̃".into(), fmt(&report.x_tilde)]);
     table.row(vec!["α^(3M)(x)".into(), fmt(&report.alpha_3m)]);

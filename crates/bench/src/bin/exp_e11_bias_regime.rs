@@ -13,12 +13,7 @@ use symbreak_sim::run_trials;
 use symbreak_stats::table::fmt_f64;
 use symbreak_stats::{Summary, Table};
 
-fn run_cell(
-    rule: HeadlineRule,
-    start: &Configuration,
-    trials: u64,
-    seed: u64,
-) -> (f64, f64) {
+fn run_cell(rule: HeadlineRule, start: &Configuration, trials: u64, seed: u64) -> (f64, f64) {
     let start = start.clone();
     let results = run_trials(trials, seed, move |_t, s| {
         // No compaction: color identity matters (we track color 0).
@@ -31,8 +26,7 @@ fn run_cell(
         (winner == Opinion::new(0), out.consensus_round.expect("reached"))
     });
     let wins = results.iter().filter(|r| r.0).count() as f64 / trials as f64;
-    let mean =
-        Summary::of_counts(&results.iter().map(|r| r.1).collect::<Vec<_>>()).mean();
+    let mean = Summary::of_counts(&results.iter().map(|r| r.1).collect::<Vec<_>>()).mean();
     (wins, mean)
 }
 

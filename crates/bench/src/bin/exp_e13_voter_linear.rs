@@ -14,31 +14,36 @@ fn main() {
     let sizes: Vec<u64> = (8..=13).map(|e| 1u64 << e).collect();
 
     section("Consensus time from a 2-color configuration with bias n/2 (75/25 split)");
-    let mut table = Table::new(vec![
-        "n",
-        "Voter mean",
-        "2-Choices mean",
-        "3-Majority mean",
-    ]);
+    let mut table = Table::new(vec!["n", "Voter mean", "2-Choices mean", "3-Majority mean"]);
     let mut xs = Vec::new();
     let mut yv = Vec::new();
     let mut y2 = Vec::new();
     let mut y3 = Vec::new();
     for (i, &n) in sizes.iter().enumerate() {
         let start = Configuration::from_counts(vec![3 * n / 4, n / 4]);
-        let tv = Summary::of_counts(&consensus_times(HeadlineRule::Voter, &start, trials, 2300 + i as u64));
-        let t2 = Summary::of_counts(&consensus_times(HeadlineRule::TwoChoices, &start, trials, 2400 + i as u64));
-        let t3 = Summary::of_counts(&consensus_times(HeadlineRule::ThreeMajority, &start, trials, 2500 + i as u64));
+        let tv = Summary::of_counts(&consensus_times(
+            HeadlineRule::Voter,
+            &start,
+            trials,
+            2300 + i as u64,
+        ));
+        let t2 = Summary::of_counts(&consensus_times(
+            HeadlineRule::TwoChoices,
+            &start,
+            trials,
+            2400 + i as u64,
+        ));
+        let t3 = Summary::of_counts(&consensus_times(
+            HeadlineRule::ThreeMajority,
+            &start,
+            trials,
+            2500 + i as u64,
+        ));
         xs.push(n as f64);
         yv.push(tv.mean());
         y2.push(t2.mean());
         y3.push(t3.mean());
-        table.row(vec![
-            n.to_string(),
-            fmt_f64(tv.mean()),
-            fmt_f64(t2.mean()),
-            fmt_f64(t3.mean()),
-        ]);
+        table.row(vec![n.to_string(), fmt_f64(tv.mean()), fmt_f64(t2.mean()), fmt_f64(t3.mean())]);
     }
     println!("{table}");
 

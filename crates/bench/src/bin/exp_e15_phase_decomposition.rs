@@ -53,9 +53,5 @@ fn main() {
     println!("(the proof bounds each phase by the same O(n^{{3/4}} log^{{7/8}} n) term;");
     println!(" in practice Phase 1 — killing the first n − n^{{1/4}} colors — dominates)");
 
-    verdict(
-        "E15",
-        "both proof phases stay below the Theorem-4 bound at every n",
-        all_below,
-    );
+    verdict("E15", "both proof phases stay below the Theorem-4 bound at every n", all_below);
 }

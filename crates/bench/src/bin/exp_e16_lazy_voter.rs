@@ -28,15 +28,13 @@ fn mean_consensus(p: f64, n: u64, trials: u64, seed: u64) -> f64 {
 fn main() {
     println!("# E16: the cost of laziness in Voter (Lemma 3 discussion)");
     let n = 1024u64;
-    let trials = scaled_trials(40);
+    // Shape test against a ±25% band: below ~30 trials the mean of the
+    // heavy-tailed consensus time is too noisy, so floor the count even
+    // at smoke scales.
+    let trials = scaled_trials(40).max(32);
 
     section("Mean consensus time vs activity p (n = 1024, singleton start)");
-    let mut table = Table::new(vec![
-        "p",
-        "mean rounds",
-        "slowdown vs p=1",
-        "predicted 1/(2p−p²)",
-    ]);
+    let mut table = Table::new(vec!["p", "mean rounds", "slowdown vs p=1", "predicted 1/(2p−p²)"]);
     let base = mean_consensus(1.0, n, trials, 3000);
     let mut shape_ok = true;
     for (i, &p) in [1.0f64, 0.75, 0.5, 0.25].iter().enumerate() {
@@ -45,12 +43,7 @@ fn main() {
         // Pair-meeting rate for activity p: (p² + 2p(1−p))/n = (2p − p²)/n.
         let predicted = 1.0 / (2.0 * p - p * p);
         shape_ok &= (slowdown - predicted).abs() < 0.25 * predicted;
-        table.row(vec![
-            fmt_f64(p),
-            fmt_f64(mean),
-            fmt_f64(slowdown),
-            fmt_f64(predicted),
-        ]);
+        table.row(vec![fmt_f64(p), fmt_f64(mean), fmt_f64(slowdown), fmt_f64(predicted)]);
     }
     println!("{table}");
     println!("(the naive 1/p rescaling would predict 2x at p = 1/2; the dual");

@@ -8,14 +8,22 @@
 
 use symbreak_bench::{scaled_trials, section, verdict};
 use symbreak_core::rules::{ThreeMajority, TwoChoices};
-use symbreak_core::{run_to_consensus, Configuration, RunOptions, UpdateRule, VectorEngine, VectorStep};
+use symbreak_core::{
+    run_to_consensus, Configuration, RunOptions, UpdateRule, VectorEngine, VectorStep,
+};
 use symbreak_runtime::{Cluster, ClusterConfig};
 use symbreak_sim::run_trials;
 use symbreak_stats::ecdf::ks_threshold;
 use symbreak_stats::table::fmt_f64;
 use symbreak_stats::{StochasticOrder, Summary, Table};
 
-fn cluster_times<R>(rule: R, start: &Configuration, shards: usize, trials: u64, seed: u64) -> Vec<u64>
+fn cluster_times<R>(
+    rule: R,
+    start: &Configuration,
+    shards: usize,
+    trials: u64,
+    seed: u64,
+) -> Vec<u64>
 where
     R: UpdateRule + Clone + Send + Sync,
 {
@@ -47,13 +55,8 @@ fn main() {
     let start = Configuration::uniform(n, k);
 
     section("Consensus-time distributions: cluster (4 shards) vs vector engine");
-    let mut table = Table::new(vec![
-        "rule",
-        "cluster mean",
-        "engine mean",
-        "KS",
-        "threshold (α=0.01)",
-    ]);
+    let mut table =
+        Table::new(vec!["rule", "cluster mean", "engine mean", "KS", "threshold (α=0.01)"]);
     let threshold = ks_threshold(trials as usize, trials as usize, 1.63);
     let mut all_match = true;
 

@@ -46,12 +46,7 @@ fn main() {
         });
         let mean = Summary::of_counts(&times).mean();
         rows.push((name.to_string(), gap, mean, bipartite));
-        table.row(vec![
-            name.to_string(),
-            fmt_f64(gap),
-            fmt_f64(mean),
-            fmt_f64(gap * mean),
-        ]);
+        table.row(vec![name.to_string(), fmt_f64(gap), fmt_f64(mean), fmt_f64(gap * mean)]);
     }
     println!("{table}");
     println!("(bipartite graphs — hypercube, even torus, tree — are measured to k = 2");

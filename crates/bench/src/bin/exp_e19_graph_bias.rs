@@ -37,13 +37,8 @@ fn main() {
         ("complete".into(), Graph::complete(n), (1.0 / n as f64).sqrt()),
     ];
 
-    let mut table = Table::new(vec![
-        "graph",
-        "threshold scale √(1/d+d/n)",
-        "b/n",
-        "win prob",
-        "Wilson 95% CI",
-    ]);
+    let mut table =
+        Table::new(vec!["graph", "threshold scale √(1/d+d/n)", "b/n", "win prob", "Wilson 95% CI"]);
     let mut high_bias_ok = true;
     let mut zero_bias_balanced = true;
     for (gi, (name, graph, scale)) in graphs.iter().enumerate() {
@@ -57,8 +52,7 @@ fn main() {
                     .map(|i| if i < big { Opinion::new(0) } else { Opinion::new(1) })
                     .collect();
                 let mut d = GraphDynamics::with_opinions(&graph, opinions);
-                d.run_to_consensus(GraphRule::TwoChoices, 10_000_000, &mut rng)
-                    .expect("consensus");
+                d.run_to_consensus(GraphRule::TwoChoices, 10_000_000, &mut rng).expect("consensus");
                 u64::from(d.opinions()[0] == Opinion::new(0))
             });
             let wins: u64 = results.iter().sum();

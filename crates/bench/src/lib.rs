@@ -57,7 +57,10 @@ where
     let start = start.clone();
     run_trials(trials, seed, move |_t, s| {
         let mut engine = VectorEngine::new(rule.clone(), start.clone(), s).with_compaction();
-        let out = run_to_consensus(&mut engine, &RunOptions { max_rounds: u64::MAX, record_trace: false });
+        let out = run_to_consensus(
+            &mut engine,
+            &RunOptions { max_rounds: u64::MAX, record_trace: false },
+        );
         out.consensus_round.expect("uncapped run reaches consensus")
     })
 }
@@ -103,11 +106,7 @@ pub enum HeadlineRule {
 }
 
 impl VectorStep for HeadlineRule {
-    fn vector_step(
-        &self,
-        c: &Configuration,
-        rng: &mut dyn rand::RngCore,
-    ) -> Configuration {
+    fn vector_step(&self, c: &Configuration, rng: &mut dyn rand::RngCore) -> Configuration {
         match self {
             HeadlineRule::Voter => Voter.vector_step(c, rng),
             HeadlineRule::TwoChoices => TwoChoices.vector_step(c, rng),

@@ -47,8 +47,7 @@ impl Configuration {
         assert!(n >= k as u64, "need at least one node per color");
         let base = n / k as u64;
         let extra = (n % k as u64) as usize;
-        let counts =
-            (0..k).map(|i| base + u64::from(i < extra)).collect();
+        let counts = (0..k).map(|i| base + u64::from(i < extra)).collect();
         Self { counts, n }
     }
 

@@ -139,10 +139,7 @@ pub fn alpha_h_majority_exact(x: &[Rational], h: usize) -> Vec<Rational> {
     let total: Rational = x.iter().copied().sum();
     assert!(total == Rational::ONE, "fractions must sum to 1, got {total}");
     let k = x.len();
-    assert!(
-        (k as u128).pow(h as u32) <= 1_000_000,
-        "enumeration too large: {k}^{h}"
-    );
+    assert!((k as u128).pow(h as u32) <= 1_000_000, "enumeration too large: {k}^{h}");
     let support: Vec<usize> = (0..k).filter(|&i| !x[i].is_zero()).collect();
     let mut alpha = vec![Rational::ZERO; k];
     let mut tuple = vec![0usize; h];
@@ -285,12 +282,7 @@ mod tests {
 
     #[test]
     fn four_majority_on_two_color_split_is_fixed() {
-        let x = vec![
-            Rational::new(1, 2),
-            Rational::new(1, 2),
-            Rational::ZERO,
-            Rational::ZERO,
-        ];
+        let x = vec![Rational::new(1, 2), Rational::new(1, 2), Rational::ZERO, Rational::ZERO];
         let alpha = alpha_h_majority_exact(&x, 4);
         assert_eq!(alpha[0], Rational::new(1, 2));
         assert_eq!(alpha[1], Rational::new(1, 2));
@@ -318,8 +310,7 @@ mod tests {
         // Same computation, two code paths: rational vs f64.
         let c = Configuration::from_counts(vec![3, 1, 1, 1]);
         let float = HMajority::new(3).alpha(&c);
-        let x: Vec<Rational> =
-            c.counts().iter().map(|&v| Rational::new(v as i128, 6)).collect();
+        let x: Vec<Rational> = c.counts().iter().map(|&v| Rational::new(v as i128, 6)).collect();
         let exact = alpha_h_majority_exact(&x, 3);
         for (f, e) in float.iter().zip(&exact) {
             assert!((f - e.to_f64()).abs() < 1e-12);
@@ -332,10 +323,7 @@ mod tests {
         let quarter = Rational::new(1, 4);
         assert!(rational_majorizes(&[Rational::ONE, Rational::ZERO], &[half, half]));
         assert!(!rational_majorizes(&[half, half], &[Rational::ONE, Rational::ZERO]));
-        assert!(rational_majorizes(
-            &[half, quarter, quarter],
-            &[half, quarter, quarter]
-        ));
+        assert!(rational_majorizes(&[half, quarter, quarter], &[half, quarter, quarter]));
         // Unequal totals are incomparable.
         assert!(!rational_majorizes(&[half], &[quarter]));
     }

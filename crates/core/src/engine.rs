@@ -18,7 +18,8 @@ use rand::{Rng, SeedableRng};
 use crate::config::Configuration;
 use crate::opinion::Opinion;
 use crate::process::{UpdateRule, VectorStep};
-use symbreak_sim::rng::Pcg64;
+use symbreak_sim::dist::{Categorical, Geometric};
+use symbreak_sim::rng::{Pcg64, SplitMix64};
 
 /// A synchronous consensus-process engine.
 pub trait Engine {
@@ -44,6 +45,26 @@ pub trait Engine {
     }
 }
 
+/// How [`AgentEngine`] draws the Uniform-Pull samples of a round.
+///
+/// Both modes realize the same law: a pulled sample is the opinion of a
+/// uniformly random node, i.i.d. with replacement. Since only opinions
+/// are observable, drawing `opinions[uniform node]` is distributionally
+/// identical to drawing the opinion *category* from the current count
+/// distribution (undecided included) — which one alias table per round
+/// answers in `O(1)` per sample, cache-resident, instead of `n·h`
+/// random-access reads of `opinions[]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SamplingMode {
+    /// One alias table per round over the opinion counts; `O(k)` build,
+    /// `O(1)` per draw. The default.
+    #[default]
+    AliasTable,
+    /// The literal model: `gen_range(0..n)` plus a random-access read per
+    /// sample. Kept for cross-validation (E7) and as the bench baseline.
+    PerNode,
+}
+
 /// Agent-level engine: simulates each node explicitly.
 #[derive(Debug, Clone)]
 pub struct AgentEngine<R> {
@@ -54,11 +75,26 @@ pub struct AgentEngine<R> {
     undecided: u64,
     round: u64,
     rng: Pcg64,
+    /// Fast stream for the alias-table path. SplitMix64's state update is
+    /// a single add, so its serial dependency chain is one cycle per
+    /// draw — unlike Pcg64's 128-bit multiply, which dominates the
+    /// per-node path's round time.
+    fast_rng: SplitMix64,
+    mode: SamplingMode,
+    /// Scratch for the per-round alias-table weights (`k + 1` slots, the
+    /// last one for the undecided pseudo-opinion).
+    weights: Vec<f64>,
 }
 
 impl<R: UpdateRule> AgentEngine<R> {
-    /// Creates an engine with all nodes decided per `config`.
+    /// Creates an engine with all nodes decided per `config`, using the
+    /// default alias-table sampling.
     pub fn new(rule: R, config: &Configuration, seed: u64) -> Self {
+        Self::with_sampling(rule, config, seed, SamplingMode::default())
+    }
+
+    /// Creates an engine with an explicit [`SamplingMode`].
+    pub fn with_sampling(rule: R, config: &Configuration, seed: u64, mode: SamplingMode) -> Self {
         let opinions = config.to_opinions();
         let next_opinions = opinions.clone();
         Self {
@@ -69,6 +105,9 @@ impl<R: UpdateRule> AgentEngine<R> {
             undecided: 0,
             round: 0,
             rng: Pcg64::seed_from_u64(seed),
+            fast_rng: SplitMix64::seed_from_u64(seed ^ 0x6A09_E667_F3BC_C909),
+            mode,
+            weights: Vec::new(),
         }
     }
 
@@ -80,6 +119,101 @@ impl<R: UpdateRule> AgentEngine<R> {
     /// The rule driving this engine.
     pub fn rule(&self) -> &R {
         &self.rule
+    }
+
+    /// The sampling mode in use.
+    pub fn sampling_mode(&self) -> SamplingMode {
+        self.mode
+    }
+
+    /// Records node `u`'s transition `own → new`, maintaining the
+    /// incremental count/undecided bookkeeping.
+    #[inline]
+    fn record(&mut self, u: usize, own: Opinion, new: Opinion) {
+        self.next_opinions[u] = new;
+        if new != own {
+            match (own.is_undecided(), new.is_undecided()) {
+                (false, false) => {
+                    self.counts[own.index()] -= 1;
+                    self.counts[new.index()] += 1;
+                }
+                (false, true) => {
+                    self.counts[own.index()] -= 1;
+                    self.undecided += 1;
+                }
+                (true, false) => {
+                    self.undecided -= 1;
+                    self.counts[new.index()] += 1;
+                }
+                (true, true) => unreachable!("new == own was excluded"),
+            }
+        }
+    }
+
+    /// The literal sampling path: `n·h` uniform node draws with
+    /// random-access opinion reads.
+    fn step_per_node(&mut self) {
+        let n = self.opinions.len();
+        let h = self.rule.sample_count();
+        let mut samples = vec![Opinion::new(0); h];
+        for u in 0..n {
+            for s in samples.iter_mut() {
+                // Uniform Pull: sample a uniformly random node (with
+                // replacement, possibly u itself) and read its opinion.
+                *s = self.opinions[self.rng.gen_range(0..n)];
+            }
+            let own = self.opinions[u];
+            let new = self.rule.update(own, &samples, &mut self.rng);
+            self.record(u, own, new);
+        }
+    }
+
+    /// The alias-table path: one `O(k)` sampler build per round, then
+    /// each of the `n·h` samples is an `O(1)` draw from the opinion
+    /// distribution — no random-access reads of `opinions[]`.
+    ///
+    /// When one opinion holds at least half the population — true for
+    /// the vast majority of any consensus trajectory — the sampler
+    /// switches to run-length form: the i.i.d. stream is generated as
+    /// geometric runs of the plurality opinion punctuated by draws from
+    /// the conditional distribution, which is distributionally identical
+    /// and makes concentrated rounds nearly free.
+    fn step_alias(&mut self) {
+        let n = self.opinions.len();
+        let h = self.rule.sample_count();
+        let k = self.counts.len();
+        // Snapshot the round-start distribution (counts mutate as nodes
+        // update, but synchronous semantics sample the old round).
+        self.weights.clear();
+        self.weights.extend(self.counts.iter().map(|&c| c as f64));
+        self.weights.push(self.undecided as f64);
+        let mut sampler = RoundSampler::build(&self.weights, n as u64, &mut self.fast_rng);
+        let decode =
+            |idx: usize| if idx == k { Opinion::UNDECIDED } else { Opinion::new(idx as u32) };
+        if let RoundSampler::Constant(top) = sampler {
+            // Absorbed (or all-undecided) rounds: every pull returns the
+            // same opinion, so the sample vector is hoisted out of the
+            // node loop entirely — the round is pure rule evaluation.
+            let samples = vec![decode(top); h];
+            for u in 0..n {
+                let own = self.opinions[u];
+                let new = self.rule.update(own, &samples, &mut self.fast_rng);
+                self.record(u, own, new);
+            }
+            return;
+        }
+        let mut samples = vec![Opinion::new(0); h];
+        for u in 0..n {
+            for s in samples.iter_mut() {
+                *s = decode(sampler.draw(&mut self.fast_rng));
+            }
+            let own = self.opinions[u];
+            // The rule's internal randomness rides the same fast stream:
+            // a Pcg64 draw per tie-break would put the 128-bit multiply
+            // latency right back on the critical path.
+            let new = self.rule.update(own, &samples, &mut self.fast_rng);
+            self.record(u, own, new);
+        }
     }
 }
 
@@ -97,38 +231,121 @@ impl<R: UpdateRule> Engine for AgentEngine<R> {
     }
 
     fn step(&mut self) {
-        let n = self.opinions.len();
-        let h = self.rule.sample_count();
-        let mut samples = vec![Opinion::new(0); h];
-        for u in 0..n {
-            for s in samples.iter_mut() {
-                // Uniform Pull: sample a uniformly random node (with
-                // replacement, possibly u itself) and read its opinion.
-                *s = self.opinions[self.rng.gen_range(0..n)];
+        if !self.opinions.is_empty() {
+            match self.mode {
+                SamplingMode::AliasTable => self.step_alias(),
+                SamplingMode::PerNode => self.step_per_node(),
             }
-            let own = self.opinions[u];
-            let new = self.rule.update(own, &samples, &mut self.rng);
-            self.next_opinions[u] = new;
-            if new != own {
-                match (own.is_undecided(), new.is_undecided()) {
-                    (false, false) => {
-                        self.counts[own.index()] -= 1;
-                        self.counts[new.index()] += 1;
-                    }
-                    (false, true) => {
-                        self.counts[own.index()] -= 1;
-                        self.undecided += 1;
-                    }
-                    (true, false) => {
-                        self.undecided -= 1;
-                        self.counts[new.index()] += 1;
-                    }
-                    (true, true) => unreachable!("new == own was excluded"),
-                }
+            std::mem::swap(&mut self.opinions, &mut self.next_opinions);
+        }
+        self.round += 1;
+    }
+}
+
+/// Plurality mass above which [`RoundSampler`] uses run-length form.
+const RUN_LENGTH_THRESHOLD: f64 = 0.5;
+
+/// Truncation point of the run-length alias table: run lengths `0..L`
+/// draw in `O(1)`; the `≥ L` tail (probability `p_top^L`) falls back to
+/// the logarithm-based geometric sampler, shifted by `L`.
+const RUN_TABLE_LEN: usize = 64;
+
+/// Per-round sampler over the opinion distribution (categories `0..k`
+/// are decided colors, category `k` is undecided).
+///
+/// All three forms realize the same i.i.d. law; the form is chosen from
+/// the round-start counts:
+///
+/// * `Constant` — one opinion holds everything (absorbed state): no
+///   randomness needed at all.
+/// * `RunLength` — an opinion holds ≥ half the mass: emit geometric
+///   runs of it, punctuated by conditional draws. A run of length `G ∼
+///   Geom(1−p)` followed by one conditional draw is exactly the
+///   run-length encoding of i.i.d. categorical draws with an atom `p`.
+///   Run lengths come from an alias table over the truncated geometric
+///   pmf (`O(1)` per run) — the logarithm-based [`Geometric`] inversion
+///   costs tens of nanoseconds and would otherwise run once per
+///   non-plurality sample; it serves only the `≥ RUN_TABLE_LEN` tail,
+///   which is exact by memorylessness.
+/// * `Alias` — the general case: Vose alias table, `O(1)` per draw.
+enum RoundSampler {
+    Constant(usize),
+    RunLength {
+        top: usize,
+        run: u64,
+        run_table: Categorical,
+        tail: Geometric,
+        conditional: Categorical,
+    },
+    Alias(Categorical),
+}
+
+impl RoundSampler {
+    fn build(weights: &[f64], total: u64, rng: &mut SplitMix64) -> Self {
+        let mut top = 0usize;
+        for (i, &w) in weights.iter().enumerate() {
+            if w > weights[top] {
+                top = i;
             }
         }
-        std::mem::swap(&mut self.opinions, &mut self.next_opinions);
-        self.round += 1;
+        let p_top = weights[top] / total as f64;
+        if p_top >= 1.0 {
+            return RoundSampler::Constant(top);
+        }
+        if p_top >= RUN_LENGTH_THRESHOLD {
+            let mut conditional_weights = weights.to_vec();
+            conditional_weights[top] = 0.0;
+            let q = 1.0 - p_top;
+            // P(run = g) = q·p^g for g < L, P(run ≥ L) = p^L.
+            let mut run_weights = Vec::with_capacity(RUN_TABLE_LEN + 1);
+            let mut pg = 1.0f64;
+            for _ in 0..RUN_TABLE_LEN {
+                run_weights.push(q * pg);
+                pg *= p_top;
+            }
+            run_weights.push(pg);
+            let run_table = Categorical::new(&run_weights);
+            let tail = Geometric::new(q);
+            let run = Self::draw_run(&run_table, &tail, rng);
+            return RoundSampler::RunLength {
+                top,
+                run,
+                run_table,
+                tail,
+                conditional: Categorical::new(&conditional_weights),
+            };
+        }
+        RoundSampler::Alias(Categorical::new(weights))
+    }
+
+    /// Draws one run length: `O(1)` from the truncated table, with the
+    /// geometric tail handled exactly via memorylessness.
+    #[inline]
+    fn draw_run(run_table: &Categorical, tail: &Geometric, rng: &mut SplitMix64) -> u64 {
+        let g = run_table.sample(rng);
+        if g < RUN_TABLE_LEN {
+            g as u64
+        } else {
+            RUN_TABLE_LEN as u64 + tail.sample(rng)
+        }
+    }
+
+    #[inline]
+    fn draw(&mut self, rng: &mut SplitMix64) -> usize {
+        match self {
+            RoundSampler::Constant(top) => *top,
+            RoundSampler::RunLength { top, run, run_table, tail, conditional } => {
+                if *run > 0 {
+                    *run -= 1;
+                    *top
+                } else {
+                    let s = conditional.sample(rng);
+                    *run = Self::draw_run(run_table, tail, rng);
+                    s
+                }
+            }
+            RoundSampler::Alias(table) => table.sample(rng),
+        }
     }
 }
 

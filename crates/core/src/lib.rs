@@ -55,7 +55,7 @@ pub mod run;
 pub mod theory;
 
 pub use config::Configuration;
-pub use engine::{AgentEngine, Engine, VectorEngine};
+pub use engine::{AgentEngine, Engine, SamplingMode, VectorEngine};
 pub use opinion::Opinion;
 pub use process::{AcProcess, ExpectedUpdate, UpdateRule, VectorStep};
 pub use run::{hitting_time_colors, run_to_consensus, RunOptions, RunOutcome};

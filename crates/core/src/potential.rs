@@ -35,12 +35,7 @@ pub struct Observables {
 pub fn observables(c: &Configuration) -> Observables {
     let x = c.fractions();
     let entropy = -x.iter().filter(|&&v| v > 0.0).map(|&v| v * v.ln()).sum::<f64>();
-    Observables {
-        collision: c.l2_norm_sq(),
-        entropy,
-        num_colors: c.num_colors(),
-        bias: c.bias(),
-    }
+    Observables { collision: c.l2_norm_sq(), entropy, num_colors: c.num_colors(), bias: c.bias() }
 }
 
 /// The collision probability of the *expected* next configuration,
@@ -127,11 +122,7 @@ mod tests {
         let c = Configuration::uniform(64, 8);
         let alpha = Voter.alpha(&c);
         let next = ac_expected_collision(&alpha, c.n());
-        assert!(
-            next > c.l2_norm_sq() + 1e-6,
-            "collision must grow: {next} vs {}",
-            c.l2_norm_sq()
-        );
+        assert!(next > c.l2_norm_sq() + 1e-6, "collision must grow: {next} vs {}", c.l2_norm_sq());
     }
 
     #[test]

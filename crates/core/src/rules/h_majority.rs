@@ -114,8 +114,7 @@ impl AcProcess for HMajority {
                 counts[color] += 1;
             }
             let best = counts.iter().copied().max().expect("k >= 1");
-            let tied: Vec<usize> =
-                (0..k).filter(|&i| counts[i] == best && best > 0).collect();
+            let tied: Vec<usize> = (0..k).filter(|&i| counts[i] == best && best > 0).collect();
             let share = prob / tied.len() as f64;
             for &i in &tied {
                 alpha[i] += share;
@@ -255,17 +254,12 @@ mod tests {
         let trials = 60_000;
         let mut counts = [0u64; 3];
         for _ in 0..trials {
-            let samples: Vec<Opinion> =
-                (0..4).map(|_| op(cat.sample(&mut rng) as u32)).collect();
+            let samples: Vec<Opinion> = (0..4).map(|_| op(cat.sample(&mut rng) as u32)).collect();
             counts[r.update(op(9), &samples, &mut rng).index()] += 1;
         }
         for i in 0..3 {
             let freq = counts[i] as f64 / trials as f64;
-            assert!(
-                (freq - a[i]).abs() < 0.01,
-                "color {i}: freq {freq} vs alpha {}",
-                a[i]
-            );
+            assert!((freq - a[i]).abs() < 0.01, "color {i}: freq {freq} vs alpha {}", a[i]);
         }
     }
 

@@ -164,8 +164,7 @@ mod tests {
             let trials = 200;
             let total: u64 = (0..trials)
                 .map(|t| {
-                    let mut e =
-                        VectorEngine::new(LazyVoter::new(p), start.clone(), base_seed + t);
+                    let mut e = VectorEngine::new(LazyVoter::new(p), start.clone(), base_seed + t);
                     let mut rounds = 0;
                     while !e.is_consensus() {
                         e.step();

@@ -41,9 +41,7 @@ impl UpdateRule for ThreeMajority {
     }
 
     fn update(&self, _own: Opinion, samples: &[Opinion], rng: &mut dyn RngCore) -> Opinion {
-        let [a, b, c] = samples else {
-            panic!("3-Majority needs exactly three samples")
-        };
+        let [a, b, c] = samples else { panic!("3-Majority needs exactly three samples") };
         // If any two agree, adopt that color.
         if a == b || a == c {
             return *a;
@@ -54,7 +52,7 @@ impl UpdateRule for ThreeMajority {
         // All distinct: adopt one uniformly at random (equivalently, a
         // fixed sample — see the paper's footnote 1; we use the random
         // variant).
-        samples[rng.gen_range(0..3)]
+        samples[rng.gen_range(0..3usize)]
     }
 }
 
@@ -104,9 +102,7 @@ impl UpdateRule for ThreeMajorityAlt {
     }
 
     fn update(&self, _own: Opinion, samples: &[Opinion], _rng: &mut dyn RngCore) -> Opinion {
-        let [a, b, c] = samples else {
-            panic!("3-Majority (alt) needs exactly three samples")
-        };
+        let [a, b, c] = samples else { panic!("3-Majority (alt) needs exactly three samples") };
         if a == b {
             *a
         } else {

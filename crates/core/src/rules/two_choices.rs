@@ -35,9 +35,7 @@ impl UpdateRule for TwoChoices {
     }
 
     fn update(&self, own: Opinion, samples: &[Opinion], _rng: &mut dyn RngCore) -> Opinion {
-        let [a, b] = samples else {
-            panic!("2-Choices needs exactly two samples")
-        };
+        let [a, b] = samples else { panic!("2-Choices needs exactly two samples") };
         if a == b {
             *a
         } else {

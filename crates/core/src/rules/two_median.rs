@@ -35,9 +35,7 @@ impl UpdateRule for TwoMedian {
     }
 
     fn update(&self, own: Opinion, samples: &[Opinion], _rng: &mut dyn RngCore) -> Opinion {
-        let [a, b] = samples else {
-            panic!("2-Median needs exactly two samples")
-        };
+        let [a, b] = samples else { panic!("2-Median needs exactly two samples") };
         median3(own, *a, *b)
     }
 }

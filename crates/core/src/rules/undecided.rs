@@ -193,11 +193,7 @@ mod tests {
         let mut rng = Pcg64::seed_from_u64(6);
         let mut s = UndecidedState::new(Configuration::singletons(512));
         s.step(&mut rng);
-        assert!(
-            s.undecided() > 400,
-            "expected most nodes undecided, got {}",
-            s.undecided()
-        );
+        assert!(s.undecided() > 400, "expected most nodes undecided, got {}", s.undecided());
     }
 
     #[test]

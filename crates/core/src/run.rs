@@ -71,8 +71,8 @@ pub fn run_to_consensus(engine: &mut dyn Engine, opts: &RunOptions) -> RunOutcom
         }
     }
     let final_config = engine.configuration();
-    let winner = (consensus_round.is_some() && final_config.n() > 0)
-        .then(|| final_config.plurality());
+    let winner =
+        (consensus_round.is_some() && final_config.n() > 0).then(|| final_config.plurality());
     RunOutcome {
         consensus_round,
         rounds_run: engine.round() - start_round,

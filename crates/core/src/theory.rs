@@ -84,10 +84,7 @@ mod tests {
     fn theorem4_is_sublinear() {
         for exp in 10..24 {
             let n = 1u64 << exp;
-            assert!(
-                theorem4_bound(n) < n as f64,
-                "bound must be sublinear at n = 2^{exp}"
-            );
+            assert!(theorem4_bound(n) < n as f64, "bound must be sublinear at n = 2^{exp}");
         }
     }
 
@@ -165,8 +162,7 @@ mod tests {
     fn tolerated_corruptions_shrink_with_k() {
         let n = 1 << 20;
         assert!(
-            three_majority_tolerated_corruptions(n, 2)
-                > three_majority_tolerated_corruptions(n, 8)
+            three_majority_tolerated_corruptions(n, 2) > three_majority_tolerated_corruptions(n, 8)
         );
     }
 }

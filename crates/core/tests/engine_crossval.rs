@@ -1,0 +1,155 @@
+//! E7-style cross-validation of the agent engine's sampling modes.
+//!
+//! The alias-table path (with its run-length fast form) must be
+//! distributionally identical to the seed's per-node path — and both, for
+//! processes with a vector step, to the exact one-step law. The checks
+//! compare one-round means over many trials for 3-Majority, Voter, and
+//! 2-Choices, from starts chosen to exercise all three `RoundSampler`
+//! forms (alias, run-length, constant).
+
+use symbreak_core::rules::{ThreeMajority, TwoChoices, Voter};
+use symbreak_core::{
+    AgentEngine, Configuration, Engine, SamplingMode, UpdateRule, VectorEngine, VectorStep,
+};
+
+/// Mean per-color supports (plus undecided mean) after one agent-engine
+/// round over `trials` trials.
+fn one_step_agent_means<R: UpdateRule + Clone>(
+    rule: R,
+    start: &Configuration,
+    mode: SamplingMode,
+    trials: u64,
+    seed: u64,
+) -> (Vec<f64>, f64) {
+    let k = start.num_slots();
+    let mut sums = vec![0u64; k];
+    let mut undecided = 0u64;
+    for t in 0..trials {
+        let mut e = AgentEngine::with_sampling(rule.clone(), start, seed + t, mode);
+        e.step();
+        for (s, &c) in sums.iter_mut().zip(e.configuration().counts()) {
+            *s += c;
+        }
+        undecided += e.undecided();
+    }
+    (sums.iter().map(|&s| s as f64 / trials as f64).collect(), undecided as f64 / trials as f64)
+}
+
+/// Mean per-color supports after one exact vector-step round.
+fn one_step_vector_means<R: VectorStep + Clone>(
+    rule: R,
+    start: &Configuration,
+    trials: u64,
+    seed: u64,
+) -> Vec<f64> {
+    let k = start.num_slots();
+    let mut sums = vec![0u64; k];
+    for t in 0..trials {
+        let mut e = VectorEngine::new(rule.clone(), start.clone(), seed + t);
+        e.step();
+        for (s, &c) in sums.iter_mut().zip(e.configuration().counts()) {
+            *s += c;
+        }
+    }
+    sums.iter().map(|&s| s as f64 / trials as f64).collect()
+}
+
+/// Binomial 5-sigma tolerance on a mean of `trials` supports.
+fn tol(n: u64, mean: f64, trials: u64) -> f64 {
+    let p = (mean / n as f64).clamp(0.0, 1.0);
+    5.0 * (n as f64 * p * (1.0 - p) / trials as f64).sqrt() + 0.5
+}
+
+fn crossval<R>(rule: R, start: Configuration, trials: u64, seed: u64)
+where
+    R: UpdateRule + VectorStep + Clone,
+{
+    let n = start.n();
+    let (alias, alias_undecided) =
+        one_step_agent_means(rule.clone(), &start, SamplingMode::AliasTable, trials, seed);
+    let (per_node, per_node_undecided) =
+        one_step_agent_means(rule.clone(), &start, SamplingMode::PerNode, trials, seed + trials);
+    let vector = one_step_vector_means(rule, &start, trials, seed + 2 * trials);
+    for i in 0..start.num_slots() {
+        let t = tol(n, per_node[i], trials);
+        assert!(
+            (alias[i] - per_node[i]).abs() < t,
+            "color {i}: alias mean {} vs per-node mean {} (tol {t})",
+            alias[i],
+            per_node[i]
+        );
+        assert!(
+            (alias[i] - vector[i]).abs() < t,
+            "color {i}: alias mean {} vs vector mean {} (tol {t})",
+            alias[i],
+            vector[i]
+        );
+    }
+    assert!(
+        (alias_undecided - per_node_undecided).abs() < tol(n, per_node_undecided.max(1.0), trials),
+        "undecided: alias {alias_undecided} vs per-node {per_node_undecided}"
+    );
+}
+
+#[test]
+fn three_majority_alias_matches_per_node_and_vector() {
+    // p_top = 0.5: the run-length sampler form.
+    crossval(ThreeMajority, Configuration::from_counts(vec![30, 20, 10]), 4_000, 100);
+    // Near-uniform: the alias form.
+    crossval(ThreeMajority, Configuration::from_counts(vec![22, 18, 20, 21, 19]), 4_000, 10_000);
+}
+
+#[test]
+fn voter_alias_matches_per_node_and_vector() {
+    crossval(Voter, Configuration::from_counts(vec![60, 25, 15]), 4_000, 200);
+    crossval(Voter, Configuration::from_counts(vec![10, 12, 9, 11, 8, 10]), 4_000, 20_000);
+}
+
+#[test]
+fn two_choices_alias_matches_per_node_and_vector() {
+    crossval(TwoChoices, Configuration::from_counts(vec![70, 20, 10]), 4_000, 300);
+    crossval(TwoChoices, Configuration::from_counts(vec![15, 14, 16, 15]), 4_000, 30_000);
+}
+
+#[test]
+fn absorbed_round_is_a_fixed_point_in_both_modes() {
+    // Consensus uses the constant sampler form; it must stay absorbed.
+    let start = Configuration::consensus(500, 4);
+    for mode in [SamplingMode::AliasTable, SamplingMode::PerNode] {
+        let mut e = AgentEngine::with_sampling(ThreeMajority, &start, 9, mode);
+        for _ in 0..5 {
+            e.step();
+        }
+        assert!(e.is_consensus());
+        assert_eq!(e.configuration().support(0), 500);
+    }
+}
+
+#[test]
+fn consensus_time_law_agrees_between_modes() {
+    // Beyond one-step means: full consensus-time means over trials must
+    // agree between the two sampling modes (Voter, small instance).
+    let start = Configuration::uniform(48, 6);
+    let mean_time = |mode: SamplingMode, base: u64| {
+        let trials = 300u64;
+        let total: u64 = (0..trials)
+            .map(|t| {
+                let mut e = AgentEngine::with_sampling(Voter, &start, base + t, mode);
+                let mut rounds = 0u64;
+                while !e.is_consensus() && rounds < 1_000_000 {
+                    e.step();
+                    rounds += 1;
+                }
+                assert!(e.is_consensus());
+                rounds
+            })
+            .sum();
+        total as f64 / trials as f64
+    };
+    let alias = mean_time(SamplingMode::AliasTable, 40_000);
+    let per_node = mean_time(SamplingMode::PerNode, 80_000);
+    assert!(
+        (alias - per_node).abs() < 0.2 * per_node,
+        "consensus-time law diverged: alias {alias} vs per-node {per_node}"
+    );
+}

@@ -3,9 +3,7 @@
 use proptest::prelude::*;
 use symbreak_core::counterexample::{alpha_h_majority_exact, rational_majorizes, Rational};
 use symbreak_core::process::{assert_probability_vector, AcProcess, ExpectedUpdate};
-use symbreak_core::rules::{
-    HMajority, LazyVoter, ThreeMajority, TwoChoices, TwoMedian, Voter,
-};
+use symbreak_core::rules::{HMajority, LazyVoter, ThreeMajority, TwoChoices, TwoMedian, Voter};
 use symbreak_core::{AgentEngine, Configuration, Engine};
 
 fn counts_strategy(k: usize, max: u64) -> impl Strategy<Value = Vec<u64>> {

@@ -93,10 +93,7 @@ mod tests {
         // Min degree is m; hubs are much larger.
         let degrees: Vec<usize> = (0..100).map(|u| g.degree(u)).collect();
         assert!(degrees.iter().all(|&d| d >= 3));
-        assert!(
-            *degrees.iter().max().expect("nodes") >= 10,
-            "a scale-free hub should emerge"
-        );
+        assert!(*degrees.iter().max().expect("nodes") >= 10, "a scale-free hub should emerge");
     }
 
     #[test]

@@ -30,9 +30,8 @@ impl DualityCoupling {
     /// Draws `steps` rounds of arrows for `graph`.
     pub fn generate<R: Rng + ?Sized>(graph: &Graph, steps: usize, rng: &mut R) -> Self {
         let n = graph.num_nodes();
-        let arrows = (0..steps)
-            .map(|_| (0..n).map(|u| graph.random_neighbor(u, rng)).collect())
-            .collect();
+        let arrows =
+            (0..steps).map(|_| (0..n).map(|u| graph.random_neighbor(u, rng)).collect()).collect();
         Self { arrows, n }
     }
 
@@ -53,8 +52,7 @@ impl DualityCoupling {
             if arrows.len() >= max_steps {
                 return None;
             }
-            let field: Vec<u32> =
-                (0..n).map(|u| graph.random_neighbor(u, rng)).collect();
+            let field: Vec<u32> = (0..n).map(|u| graph.random_neighbor(u, rng)).collect();
             for w in walk_nodes.iter_mut() {
                 *w = field[*w as usize];
             }

@@ -34,8 +34,7 @@ pub enum GraphRule {
 impl<'g> GraphDynamics<'g> {
     /// Starts with pairwise distinct opinions (leader election).
     pub fn singletons(graph: &'g Graph) -> Self {
-        let opinions: Vec<Opinion> =
-            (0..graph.num_nodes() as u32).map(Opinion::new).collect();
+        let opinions: Vec<Opinion> = (0..graph.num_nodes() as u32).map(Opinion::new).collect();
         let next = opinions.clone();
         Self { graph, opinions, next, round: 0 }
     }
@@ -193,8 +192,14 @@ mod tests {
     #[test]
     fn configuration_interop() {
         let g = Graph::complete(6);
-        let opinions =
-            vec![Opinion::new(0), Opinion::new(0), Opinion::new(1), Opinion::new(1), Opinion::new(1), Opinion::new(2)];
+        let opinions = vec![
+            Opinion::new(0),
+            Opinion::new(0),
+            Opinion::new(1),
+            Opinion::new(1),
+            Opinion::new(1),
+            Opinion::new(2),
+        ];
         let d = GraphDynamics::with_opinions(&g, opinions);
         let c = d.configuration(3);
         assert_eq!(c.counts(), &[2, 3, 1]);

@@ -107,17 +107,15 @@ impl Graph {
     /// The complete graph `K_n` (the paper's setting).
     pub fn complete(n: usize) -> Self {
         assert!(n >= 1, "need at least one node");
-        let adj: Vec<Vec<u32>> = (0..n)
-            .map(|u| (0..n as u32).filter(|&v| v != u as u32).collect())
-            .collect();
+        let adj: Vec<Vec<u32>> =
+            (0..n).map(|u| (0..n as u32).filter(|&v| v != u as u32).collect()).collect();
         Self::from_adjacency(adj)
     }
 
     /// The cycle `C_n`.
     pub fn cycle(n: usize) -> Self {
         assert!(n >= 3, "a cycle needs at least 3 nodes");
-        let edges: Vec<(u32, u32)> =
-            (0..n as u32).map(|u| (u, (u + 1) % n as u32)).collect();
+        let edges: Vec<(u32, u32)> = (0..n as u32).map(|u| (u, (u + 1) % n as u32)).collect();
         Self::from_edges(n, &edges)
     }
 
@@ -198,14 +196,12 @@ impl Graph {
         assert!(d < n, "degree must be below n");
         assert!(d >= 1, "degree must be positive");
         // Stubs: d copies of each node, randomly permuted, then paired.
-        let mut stubs: Vec<u32> =
-            (0..n as u32).flat_map(|u| std::iter::repeat_n(u, d)).collect();
+        let mut stubs: Vec<u32> = (0..n as u32).flat_map(|u| std::iter::repeat_n(u, d)).collect();
         for i in (1..stubs.len()).rev() {
             let j = rng.gen_range(0..=i);
             stubs.swap(i, j);
         }
-        let mut pairs: Vec<(u32, u32)> =
-            stubs.chunks_exact(2).map(|p| (p[0], p[1])).collect();
+        let mut pairs: Vec<(u32, u32)> = stubs.chunks_exact(2).map(|p| (p[0], p[1])).collect();
         let norm = |u: u32, v: u32| (u.min(v), u.max(v));
         let mut present: std::collections::HashMap<(u32, u32), u32> =
             std::collections::HashMap::with_capacity(pairs.len() * 2);
@@ -231,7 +227,9 @@ impl Graph {
             let (x, y) = pairs[j];
             // Propose rewiring (u,v),(x,y) -> (u,x),(v,y); require both
             // new edges simple and absent.
-            if u == x || v == y || present.get(&norm(u, x)).copied().unwrap_or(0) > 0
+            if u == x
+                || v == y
+                || present.get(&norm(u, x)).copied().unwrap_or(0) > 0
                 || present.get(&norm(v, y)).copied().unwrap_or(0) > 0
                 || norm(u, x) == norm(v, y)
             {

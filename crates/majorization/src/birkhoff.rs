@@ -68,11 +68,8 @@ pub fn birkhoff_decompose(
         let Some(perm) = perfect_matching(&work, eps) else {
             break; // numerically exhausted
         };
-        let weight = perm
-            .iter()
-            .enumerate()
-            .map(|(r, &c)| work[r][c])
-            .fold(f64::INFINITY, f64::min);
+        let weight =
+            perm.iter().enumerate().map(|(r, &c)| work[r][c]).fold(f64::INFINITY, f64::min);
         if weight <= eps {
             break;
         }
@@ -149,11 +146,7 @@ mod tests {
 
     #[test]
     fn identity_decomposes_to_one_term() {
-        let m = vec![
-            vec![1.0, 0.0, 0.0],
-            vec![0.0, 1.0, 0.0],
-            vec![0.0, 0.0, 1.0],
-        ];
+        let m = vec![vec![1.0, 0.0, 0.0], vec![0.0, 1.0, 0.0], vec![0.0, 0.0, 1.0]];
         let terms = birkhoff_decompose(&m, 1e-12).expect("DS");
         assert_eq!(terms.len(), 1);
         assert!((terms[0].weight - 1.0).abs() < 1e-12);
@@ -176,11 +169,7 @@ mod tests {
         // Build a DS matrix as a known convex combination of permutations,
         // decompose, recompose.
         let n = 5;
-        let perms = [
-            vec![0usize, 1, 2, 3, 4],
-            vec![1, 2, 3, 4, 0],
-            vec![4, 3, 2, 1, 0],
-        ];
+        let perms = [vec![0usize, 1, 2, 3, 4], vec![1, 2, 3, 4, 0], vec![4, 3, 2, 1, 0]];
         let weights = [0.5, 0.3, 0.2];
         let mut m = vec![vec![0.0; n]; n];
         for (p, w) in perms.iter().zip(weights) {
@@ -199,17 +188,11 @@ mod tests {
         // Dx ⪯ x for every DS matrix D: check via the decomposition, since
         // each permutation term preserves the sorted profile.
         use crate::vector::majorizes;
-        let m = vec![
-            vec![0.6, 0.3, 0.1],
-            vec![0.3, 0.4, 0.3],
-            vec![0.1, 0.3, 0.6],
-        ];
+        let m = vec![vec![0.6, 0.3, 0.1], vec![0.3, 0.4, 0.3], vec![0.1, 0.3, 0.6]];
         let terms = birkhoff_decompose(&m, 1e-12).expect("DS");
         assert!(!terms.is_empty());
         let x = [5.0, 2.0, 1.0];
-        let y: Vec<f64> = (0..3)
-            .map(|r| (0..3).map(|c| m[r][c] * x[c]).sum())
-            .collect();
+        let y: Vec<f64> = (0..3).map(|r| (0..3).map(|c| m[r][c] * x[c]).sum()).collect();
         assert!(majorizes(&x, &y));
     }
 

@@ -72,9 +72,9 @@ pub fn transfer_chain(
         // totals are equal and prefix sums of w dominate those of target;
         // taking the argmin instead of the first-below-eps index keeps the
         // loop robust when deficits are spread thinner than eps.
-        let Some(j) = (i + 1..d).min_by(|&a, &b| {
-            (w[a] - target[a]).partial_cmp(&(w[b] - target[b])).expect("no NaN")
-        }) else {
+        let Some(j) = (i + 1..d)
+            .min_by(|&a, &b| (w[a] - target[a]).partial_cmp(&(w[b] - target[b])).expect("no NaN"))
+        else {
             break;
         };
         let amount = (w[i] - target[i]).min(target[j] - w[j]);
@@ -126,9 +126,7 @@ pub fn doubly_stochastic_apply(d: &[Vec<f64>], x: &[f64]) -> Vec<f64> {
         let s: f64 = d.iter().map(|row| row[j]).sum();
         assert!((s - 1.0).abs() < 1e-9, "columns must sum to 1");
     }
-    (0..n)
-        .map(|i| (0..n).map(|j| d[i][j] * x[j]).sum())
-        .collect()
+    (0..n).map(|i| (0..n).map(|j| d[i][j] * x[j]).sum()).collect()
 }
 
 #[cfg(test)]

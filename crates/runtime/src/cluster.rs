@@ -54,10 +54,7 @@ impl<R: UpdateRule + Clone + Send> Cluster<R> {
     /// Panics if there are fewer nodes than shards, or zero shards.
     pub fn new(rule: R, start: &Configuration, config: ClusterConfig) -> Self {
         assert!(config.shards >= 1, "need at least one shard");
-        assert!(
-            start.n() >= config.shards as u64,
-            "need at least one node per shard"
-        );
+        assert!(start.n() >= config.shards as u64, "need at least one node per shard");
         Self { rule, start: start.clone(), config }
     }
 
@@ -94,12 +91,9 @@ impl<R: UpdateRule + Clone + Send> Cluster<R> {
         let seed = self.config.seed;
 
         let result = crossbeam::thread::scope(|scope| {
-            for (shard_id, (inbox, control)) in
-                inboxes.into_iter().zip(control_rxs).enumerate()
-            {
+            for (shard_id, (inbox, control)) in inboxes.into_iter().zip(control_rxs).enumerate() {
                 let range = partition.range(shard_id);
-                let opinions =
-                    all_opinions[range.start as usize..range.end as usize].to_vec();
+                let opinions = all_opinions[range.start as usize..range.end as usize].to_vec();
                 let endpoints = ShardEndpoints {
                     inbox,
                     peers: peer_senders.clone(),
@@ -205,8 +199,7 @@ mod tests {
     fn cluster_is_deterministic_per_seed() {
         let start = Configuration::uniform(120, 6);
         let run = |seed| {
-            let cluster =
-                Cluster::new(ThreeMajority, &start, ClusterConfig { shards: 3, seed });
+            let cluster = Cluster::new(ThreeMajority, &start, ClusterConfig { shards: 3, seed });
             cluster.run_to_consensus(100_000).expect("consensus").consensus_round
         };
         assert_eq!(run(42), run(42));
@@ -215,8 +208,7 @@ mod tests {
     #[test]
     fn cluster_handles_undecided_dynamics() {
         let start = Configuration::from_counts(vec![80, 20]);
-        let cluster =
-            Cluster::new(UndecidedDynamics, &start, ClusterConfig { shards: 4, seed: 5 });
+        let cluster = Cluster::new(UndecidedDynamics, &start, ClusterConfig { shards: 4, seed: 5 });
         let out = cluster.run_to_consensus(1_000_000).expect("consensus");
         assert!(out.final_config.is_consensus());
     }

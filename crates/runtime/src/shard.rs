@@ -90,9 +90,7 @@ pub(crate) fn run_shard<R: UpdateRule>(
         }
         for (dest, batch) in outgoing.into_iter().enumerate() {
             messages_sent += batch.len() as u64;
-            endpoints.peers[dest]
-                .send(ShardMessage::Requests(batch))
-                .expect("peer shard alive");
+            endpoints.peers[dest].send(ShardMessage::Requests(batch)).expect("peer shard alive");
         }
 
         // Serve requests as they arrive and absorb replies until both

@@ -55,11 +55,7 @@ impl TraceBundle {
 
     /// The longest recorded round index.
     pub fn max_round(&self) -> u64 {
-        self.traces
-            .iter()
-            .filter_map(|t| t.last().map(|r| r.round))
-            .max()
-            .unwrap_or(0)
+        self.traces.iter().filter_map(|t| t.last().map(|r| r.round)).max().unwrap_or(0)
     }
 
     /// Aggregates at the given round: traces shorter than `round` hold
@@ -75,12 +71,8 @@ impl TraceBundle {
         let mut alive = 0usize;
         for t in &self.traces {
             // Last snapshot at or before `round`, else the first one.
-            let snap = t
-                .rounds()
-                .iter()
-                .take_while(|r| r.round <= round)
-                .last()
-                .unwrap_or(&t.rounds()[0]);
+            let snap =
+                t.rounds().iter().take_while(|r| r.round <= round).last().unwrap_or(&t.rounds()[0]);
             if t.last().map(|r| r.round).unwrap_or(0) >= round {
                 alive += 1;
             }
@@ -89,11 +81,8 @@ impl TraceBundle {
         }
         colors.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
         let n = colors.len();
-        let median_colors = if n % 2 == 1 {
-            colors[n / 2]
-        } else {
-            (colors[n / 2 - 1] + colors[n / 2]) / 2.0
-        };
+        let median_colors =
+            if n % 2 == 1 { colors[n / 2] } else { (colors[n / 2 - 1] + colors[n / 2]) / 2.0 };
         RoundAggregate {
             round,
             mean_colors: colors.iter().sum::<f64>() / n as f64,
@@ -121,8 +110,7 @@ impl TraceBundle {
 
     /// CSV of the geometric series.
     pub fn to_csv(&self) -> String {
-        let mut out =
-            String::from("round,mean_colors,median_colors,mean_max_support,alive\n");
+        let mut out = String::from("round,mean_colors,median_colors,mean_max_support,alive\n");
         for a in self.geometric_series() {
             out.push_str(&format!(
                 "{},{},{},{},{}\n",

@@ -1,0 +1,717 @@
+//! Exact discrete samplers, implemented from scratch.
+//!
+//! Everything the engines draw per round bottoms out here:
+//!
+//! * [`Binomial`] — inversion (BINV) when `n·min(p,q) < 10`, Hörmann's
+//!   BTRS transformed rejection above it; both exact.
+//! * [`Multinomial`] / [`sample_multinomial_into`] — `O(k)`
+//!   conditional-binomial decomposition; the `_into` form is
+//!   allocation-free for hot loops.
+//! * [`Categorical`] — Vose's alias method: `O(k)` build, `O(1)` draw.
+//!   This is what the agent engine rebuilds once per round to sample
+//!   opinions instead of nodes.
+//! * [`Geometric`] — inversion.
+//! * [`sample_distinct`] — Floyd's algorithm for `m` distinct indices.
+//!
+//! All samplers take any [`rand::RngCore`] (including `&mut dyn RngCore`)
+//! and are deterministic given the generator state, which keeps whole
+//! trajectories bit-reproducible.
+
+use rand::RngCore;
+
+/// `n·min(p, 1−p)` boundary between the inversion and BTRS regimes.
+/// `benches/ablation.rs` probes both sides of this threshold.
+const BTRS_THRESHOLD: f64 = 10.0;
+
+#[inline]
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Uniform draw in `[0, span)` without modulo bias (Lemire rejection).
+#[inline]
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    if span.is_power_of_two() {
+        return rng.next_u64() & (span - 1);
+    }
+    loop {
+        let m = (rng.next_u64() as u128).wrapping_mul(span as u128);
+        let low = m as u64;
+        // `2^64 mod span < span`, so `low ≥ span` always accepts; the
+        // division only runs on the ~`span/2^64` sliver of draws.
+        if low >= span || low >= span.wrapping_neg() % span {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+/// `ln(k!)`: exact table for small `k`, Stirling's series beyond it.
+///
+/// The series error at `k ≥ 16` is below 1e-13 relative, far inside the
+/// tolerance the BTRS acceptance test needs.
+fn ln_factorial(k: u64) -> f64 {
+    const TABLE: [f64; 17] = [
+        0.0,
+        0.0,
+        0.693_147_180_559_945_3,
+        1.791_759_469_228_055,
+        3.178_053_830_347_946,
+        4.787_491_742_782_046,
+        6.579_251_212_010_101,
+        8.525_161_361_065_415,
+        10.604_602_902_745_251,
+        12.801_827_480_081_469,
+        15.104_412_573_075_516,
+        17.502_307_845_873_887,
+        19.987_214_495_661_885,
+        22.552_163_853_123_42,
+        25.191_221_182_738_68,
+        27.899_271_383_840_89,
+        30.671_860_106_080_672,
+    ];
+    if k < TABLE.len() as u64 {
+        return TABLE[k as usize];
+    }
+    let x = k as f64;
+    let inv = 1.0 / x;
+    let inv2 = inv * inv;
+    (x + 0.5) * x.ln() - x
+        + 0.918_938_533_204_672_7 // ln(2π)/2
+        + inv * (1.0 / 12.0 - inv2 * (1.0 / 360.0 - inv2 / 1260.0))
+}
+
+/// Sampling regime chosen at construction time.
+#[derive(Debug, Clone, Copy)]
+enum BinomialMethod {
+    /// `p ∈ {0, 1}` or `n = 0`: the result is constant.
+    Degenerate(u64),
+    /// BINV sequential inversion (small `n·p'`).
+    Inversion {
+        /// `q^n`, the pmf at zero.
+        r0: f64,
+        /// `p/q`.
+        s: f64,
+        /// `(n+1)·s`.
+        a: f64,
+    },
+    /// Hörmann's BTRS transformed rejection (large `n·p'`).
+    Btrs {
+        b: f64,
+        a: f64,
+        c: f64,
+        v_r: f64,
+        alpha: f64,
+        /// `ln(p/q)`.
+        lpq: f64,
+        /// Mode `⌊(n+1)p⌋`.
+        m: u64,
+        /// `ln(m!) + ln((n−m)!)`.
+        h: f64,
+    },
+}
+
+/// The binomial distribution `Bin(n, p)`.
+///
+/// Construction precomputes the regime constants, so repeated `sample`
+/// calls on one instance are cheap in both regimes.
+///
+/// # Example
+/// ```
+/// use rand::SeedableRng;
+/// use symbreak_sim::dist::Binomial;
+/// use symbreak_sim::rng::Pcg64;
+///
+/// let mut rng = Pcg64::seed_from_u64(1);
+/// let x = Binomial::new(1_000_000, 0.5).sample(&mut rng);
+/// assert!((x as f64 - 500_000.0).abs() < 5_000.0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Binomial {
+    n: u64,
+    /// Effective success probability `p' = min(p, 1−p)`.
+    p_eff: f64,
+    /// Whether the result must be mirrored (`p > 1/2`).
+    flipped: bool,
+    method: BinomialMethod,
+}
+
+impl Binomial {
+    /// Creates a sampler for `Bin(n, p)`.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ p ≤ 1` and `p` is finite.
+    pub fn new(n: u64, p: f64) -> Self {
+        assert!(p.is_finite() && (0.0..=1.0).contains(&p), "binomial p = {p} out of [0, 1]");
+        let flipped = p > 0.5;
+        let p_eff = if flipped { 1.0 - p } else { p };
+        let method = if n == 0 || p_eff == 0.0 {
+            BinomialMethod::Degenerate(0)
+        } else if n as f64 * p_eff < BTRS_THRESHOLD {
+            let q = 1.0 - p_eff;
+            let s = p_eff / q;
+            BinomialMethod::Inversion {
+                // q^n via exp(n ln q): no underflow in this regime since
+                // n·p' < 10 implies n·ln(1/q) ≲ 10·(1 + p').
+                r0: (n as f64 * q.ln()).exp(),
+                s,
+                a: (n as f64 + 1.0) * s,
+            }
+        } else {
+            let nf = n as f64;
+            let q = 1.0 - p_eff;
+            let spq = (nf * p_eff * q).sqrt();
+            let b = 1.15 + 2.53 * spq;
+            let a = -0.0873 + 0.0248 * b + 0.01 * p_eff;
+            let c = nf * p_eff + 0.5;
+            let v_r = 0.92 - 4.2 / b;
+            let alpha = (2.83 + 5.1 / b) * spq;
+            let lpq = (p_eff / q).ln();
+            let m = ((nf + 1.0) * p_eff).floor() as u64;
+            BinomialMethod::Btrs {
+                b,
+                a,
+                c,
+                v_r,
+                alpha,
+                lpq,
+                m,
+                h: ln_factorial(m) + ln_factorial(n - m),
+            }
+        };
+        Self { n, p_eff, flipped, method }
+    }
+
+    /// Number of trials `n`.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Success probability `p`.
+    pub fn p(&self) -> f64 {
+        if self.flipped {
+            1.0 - self.p_eff
+        } else {
+            self.p_eff
+        }
+    }
+
+    /// Draws one value in `0..=n`.
+    pub fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        let x = match self.method {
+            BinomialMethod::Degenerate(v) => v,
+            BinomialMethod::Inversion { r0, s, a } => self.sample_inversion(rng, r0, s, a),
+            BinomialMethod::Btrs { b, a, c, v_r, alpha, lpq, m, h } => {
+                self.sample_btrs(rng, b, a, c, v_r, alpha, lpq, m, h)
+            }
+        };
+        if self.flipped {
+            self.n - x
+        } else {
+            x
+        }
+    }
+
+    /// BINV: walk the cdf from zero using the pmf recurrence
+    /// `pmf(x+1) = pmf(x) · (n−x)/(x+1) · p/q`.
+    fn sample_inversion<R: RngCore + ?Sized>(&self, rng: &mut R, r0: f64, s: f64, a: f64) -> u64 {
+        // With n·p' < 10, P(X > 110) < 1e-50; restarting past the bound
+        // keeps the walk finite without measurable distortion.
+        let bound = self.n.min(110);
+        loop {
+            let mut r = r0;
+            let mut u = unit_f64(rng);
+            let mut x = 0u64;
+            loop {
+                if u <= r {
+                    return x;
+                }
+                u -= r;
+                x += 1;
+                if x > bound {
+                    break; // numerical tail; redraw
+                }
+                r *= a / x as f64 - s;
+            }
+        }
+    }
+
+    /// BTRS (Hörmann 1993): transformed rejection with a squeeze that
+    /// accepts ~96% of candidates without evaluating the pmf.
+    #[allow(clippy::too_many_arguments)]
+    fn sample_btrs<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        b: f64,
+        a: f64,
+        c: f64,
+        v_r: f64,
+        alpha: f64,
+        lpq: f64,
+        m: u64,
+        h: f64,
+    ) -> u64 {
+        loop {
+            let u = unit_f64(rng) - 0.5;
+            let mut v = unit_f64(rng);
+            let us = 0.5 - u.abs();
+            let kf = (2.0 * a / us + b) * u + c;
+            if kf < 0.0 || kf > self.n as f64 {
+                continue;
+            }
+            let k = kf as u64;
+            if us >= 0.07 && v <= v_r {
+                return k; // inside the squeeze: accept without pmf work
+            }
+            v = (v * alpha / (a / (us * us) + b)).ln();
+            let accept =
+                h - ln_factorial(k) - ln_factorial(self.n - k) + (k as f64 - m as f64) * lpq;
+            if v <= accept {
+                return k;
+            }
+        }
+    }
+}
+
+/// The multinomial distribution `Mult(n, θ)` via the conditional-binomial
+/// decomposition: `X_1 ∼ Bin(n, θ_1/Σθ)`, then recursively on the rest.
+///
+/// `O(k)` per draw with `k` binomial draws, each `O(1)` amortized.
+#[derive(Debug, Clone)]
+pub struct Multinomial {
+    n: u64,
+    theta: Vec<f64>,
+    /// Index of the last strictly positive weight (all remaining mass is
+    /// assigned there, so floating-point dust never lands on a
+    /// zero-probability category).
+    last_pos: usize,
+}
+
+impl Multinomial {
+    /// Creates a sampler for `Mult(n, θ)`. Weights need not be normalized
+    /// but must be finite, non-negative, and not all zero (unless `n = 0`).
+    ///
+    /// # Panics
+    /// Panics on empty, negative, or non-finite weights, or all-zero
+    /// weights with `n > 0`.
+    pub fn new(n: u64, theta: &[f64]) -> Self {
+        assert!(!theta.is_empty(), "multinomial needs at least one category");
+        for (i, &t) in theta.iter().enumerate() {
+            assert!(t.is_finite() && t >= 0.0, "theta[{i}] = {t} invalid");
+        }
+        let last_pos = match theta.iter().rposition(|&t| t > 0.0) {
+            Some(i) => i,
+            None => {
+                assert!(n == 0, "all-zero weights cannot place {n} trials");
+                0
+            }
+        };
+        Self { n, theta: theta.to_vec(), last_pos }
+    }
+
+    /// Number of trials.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Number of categories.
+    pub fn k(&self) -> usize {
+        self.theta.len()
+    }
+
+    /// Draws one count vector (allocates; see [`Multinomial::sample_into`]).
+    pub fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> Vec<u64> {
+        let mut out = vec![0u64; self.theta.len()];
+        self.sample_into(rng, &mut out);
+        out
+    }
+
+    /// Draws one count vector into `out` without allocating.
+    ///
+    /// # Panics
+    /// Panics unless `out.len() == k`.
+    pub fn sample_into<R: RngCore + ?Sized>(&self, rng: &mut R, out: &mut [u64]) {
+        conditional_binomial_into(self.n, &self.theta, self.last_pos, rng, out);
+    }
+}
+
+/// Allocation-free multinomial draw: fills `out[i] ∼ Mult(n, θ)`.
+///
+/// Free-function form used by every rule's vector step; `θ` need not be
+/// normalized. For repeated draws from fixed `θ` prefer [`Multinomial`],
+/// which hoists validation out of the loop.
+///
+/// # Panics
+/// Panics if `out.len() != theta.len()`, on invalid weights, or if all
+/// weights are zero while `n > 0`.
+pub fn sample_multinomial_into<R: RngCore + ?Sized>(
+    n: u64,
+    theta: &[f64],
+    rng: &mut R,
+    out: &mut [u64],
+) {
+    let last_pos = match theta.iter().rposition(|&t| t > 0.0) {
+        Some(i) => i,
+        None => {
+            assert!(n == 0, "all-zero weights cannot place {n} trials");
+            out.fill(0);
+            return;
+        }
+    };
+    conditional_binomial_into(n, theta, last_pos, rng, out);
+}
+
+fn conditional_binomial_into<R: RngCore + ?Sized>(
+    n: u64,
+    theta: &[f64],
+    last_pos: usize,
+    rng: &mut R,
+    out: &mut [u64],
+) {
+    assert_eq!(out.len(), theta.len(), "output length must equal category count");
+    let mut remaining = n;
+    let mut mass: f64 = theta.iter().sum();
+    for (i, (&t, o)) in theta.iter().zip(out.iter_mut()).enumerate() {
+        if remaining == 0 {
+            *o = 0;
+            continue;
+        }
+        if i == last_pos {
+            // All residual mass belongs here; assigning directly keeps
+            // floating-point dust off zero-weight categories.
+            *o = remaining;
+            remaining = 0;
+            continue;
+        }
+        let p = (t / mass).clamp(0.0, 1.0);
+        let x = Binomial::new(remaining, p).sample(rng);
+        *o = x;
+        remaining -= x;
+        mass -= t;
+    }
+    debug_assert_eq!(remaining, 0, "all trials must be placed");
+}
+
+/// A categorical distribution over `0..k` by Vose's alias method:
+/// `O(k)` construction, `O(1)` per draw.
+///
+/// Zero-weight categories are never sampled — the paper's processes rely
+/// on dead colors staying dead.
+#[derive(Debug, Clone)]
+pub struct Categorical {
+    /// Acceptance probability per column.
+    prob: Vec<f64>,
+    /// Fallback category per column.
+    alias: Vec<u32>,
+    /// Lemire rejection threshold `2^64 mod k`, precomputed so the hot
+    /// draw never executes an integer division.
+    reject_below: u64,
+}
+
+impl Categorical {
+    /// Builds the alias table from (unnormalized) non-negative weights.
+    ///
+    /// # Panics
+    /// Panics on empty input, negative/non-finite weights, or an all-zero
+    /// weight vector.
+    pub fn new(weights: &[f64]) -> Self {
+        let k = weights.len();
+        assert!(k > 0, "categorical needs at least one category");
+        assert!(k <= u32::MAX as usize, "too many categories for the alias table");
+        let mut total = 0.0;
+        let mut argmax = 0usize;
+        for (i, &w) in weights.iter().enumerate() {
+            assert!(w.is_finite() && w >= 0.0, "weight[{i}] = {w} invalid");
+            if w > weights[argmax] {
+                argmax = i;
+            }
+            total += w;
+        }
+        assert!(total > 0.0, "categorical weights must not all be zero");
+
+        // Scaled weights: mean 1. Columns < 1 need an alias partner.
+        let scale = k as f64 / total;
+        let mut prob: Vec<f64> = weights.iter().map(|&w| w * scale).collect();
+        // Zero-weight columns must alias somewhere harmless; the argmax
+        // is always a valid positive category.
+        let mut alias: Vec<u32> = vec![argmax as u32; k];
+
+        let mut small: Vec<u32> = Vec::with_capacity(k);
+        let mut large: Vec<u32> = Vec::with_capacity(k);
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            // Column s keeps its own mass; the rest of the column is
+            // donated by l.
+            alias[s as usize] = l;
+            let donated = 1.0 - prob[s as usize];
+            prob[l as usize] -= donated;
+            if prob[l as usize] < 1.0 {
+                large.pop();
+                // Only genuinely positive categories may become direct
+                // hits; floating-point residue on a zero weight must not.
+                if weights[l as usize] > 0.0 {
+                    small.push(l);
+                }
+            }
+        }
+        // Leftovers (all ≈ 1 up to rounding) accept directly.
+        for &i in small.iter().chain(large.iter()) {
+            if weights[i as usize] > 0.0 {
+                prob[i as usize] = 1.0;
+            } else {
+                prob[i as usize] = 0.0;
+            }
+        }
+        Self { prob, alias, reject_below: (k as u64).wrapping_neg() % k as u64 }
+    }
+
+    /// Number of categories.
+    pub fn k(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Draws one category index in `O(1)` — a single 64-bit draw.
+    ///
+    /// The column is chosen by Lemire multiply-shift with rejection
+    /// (exactly uniform); the low 64 bits of the same widening product,
+    /// which conditioned on the column are uniform on a grid finer than
+    /// f64 resolution, drive the accept/alias threshold. One RNG call
+    /// per draw keeps the serial generator dependency off the hot path —
+    /// this is what the agent engine leans on for `n·h` draws per round.
+    #[inline]
+    pub fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+        let k = self.prob.len() as u64;
+        loop {
+            let m = (rng.next_u64() as u128).wrapping_mul(k as u128);
+            let low = m as u64;
+            if low < self.reject_below {
+                continue; // biased zone: probability < k/2^64
+            }
+            let i = (m >> 64) as usize;
+            let frac = (low >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            // The accept/alias decision is data-dependent coin-flip noise
+            // (on near-uniform tables the Vose construction cascades
+            // donations, leaving accept probabilities spread over (0, 1)),
+            // so a branch here mispredicts ~50% and dominates the draw.
+            // Select with mask arithmetic instead — guaranteed branch-free.
+            let p = self.prob[i];
+            let a = self.alias[i] as usize;
+            let mask = ((frac < p) as usize).wrapping_neg();
+            return (i & mask) | (a & !mask);
+        }
+    }
+}
+
+/// The geometric distribution: number of failures before the first
+/// success with per-trial success probability `p`.
+#[derive(Debug, Clone, Copy)]
+pub struct Geometric {
+    /// `ln(1 − p)` (`-inf` when `p = 1`).
+    ln_q: f64,
+}
+
+impl Geometric {
+    /// Creates a sampler with success probability `p ∈ (0, 1]`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < p ≤ 1`.
+    pub fn new(p: f64) -> Self {
+        assert!(p.is_finite() && p > 0.0 && p <= 1.0, "geometric p = {p} out of (0, 1]");
+        Self { ln_q: (-p).ln_1p() }
+    }
+
+    /// Draws one value (0 when `p = 1`).
+    pub fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.ln_q == f64::NEG_INFINITY {
+            return 0;
+        }
+        // Inversion: ⌊ln(1−U)/ln(1−p)⌋ with 1−U ∈ (0, 1].
+        let u = unit_f64(rng);
+        let x = (-u).ln_1p() / self.ln_q;
+        if x >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            x as u64
+        }
+    }
+}
+
+/// Floyd's algorithm: `m` distinct indices drawn uniformly from `0..n`,
+/// in `O(m)` expected time and `O(m)` space.
+///
+/// # Panics
+/// Panics if `m > n`.
+pub fn sample_distinct<R: RngCore + ?Sized>(n: usize, m: usize, rng: &mut R) -> Vec<usize> {
+    assert!(m <= n, "cannot draw {m} distinct indices from 0..{n}");
+    let mut chosen = std::collections::HashSet::with_capacity(m);
+    let mut out = Vec::with_capacity(m);
+    for j in n - m..n {
+        let t = uniform_below(rng, j as u64 + 1) as usize;
+        // If `t` is taken, use `j` itself — `j` cannot have been chosen
+        // earlier (it was out of range in all previous iterations).
+        let pick = if chosen.insert(t) { t } else { j };
+        if pick == j {
+            chosen.insert(j);
+        }
+        out.push(pick);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Pcg64;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ln_factorial_matches_direct_product() {
+        for k in 0..40u64 {
+            let direct: f64 = (1..=k).map(|i| (i as f64).ln()).sum();
+            assert!(
+                (ln_factorial(k) - direct).abs() < 1e-9,
+                "ln({k}!) = {} vs {direct}",
+                ln_factorial(k)
+            );
+        }
+        // Spot-check deep into the Stirling regime.
+        let direct: f64 = (1..=5000u64).map(|i| (i as f64).ln()).sum();
+        assert!((ln_factorial(5000) - direct).abs() < 1e-7);
+    }
+
+    #[test]
+    fn binomial_mean_and_variance_both_regimes() {
+        let mut rng = Pcg64::seed_from_u64(11);
+        for &(n, p) in &[(50u64, 0.05f64), (1_000, 0.3), (10_000, 0.0007), (1_000_000, 0.5)] {
+            let d = Binomial::new(n, p);
+            let trials = 30_000;
+            let mut sum = 0.0;
+            let mut sumsq = 0.0;
+            for _ in 0..trials {
+                let x = d.sample(&mut rng) as f64;
+                sum += x;
+                sumsq += x * x;
+            }
+            let mean = sum / trials as f64;
+            let var = sumsq / trials as f64 - mean * mean;
+            let (em, ev) = (n as f64 * p, n as f64 * p * (1.0 - p));
+            let tol = 6.0 * (ev / trials as f64).sqrt() + 1e-9;
+            assert!((mean - em).abs() < tol, "Bin({n},{p}): mean {mean} vs {em}");
+            assert!((var - ev).abs() < 0.1 * ev + 1.0, "Bin({n},{p}): var {var} vs {ev}");
+        }
+    }
+
+    #[test]
+    fn binomial_flip_symmetry_exact_edges() {
+        let mut rng = Pcg64::seed_from_u64(2);
+        assert_eq!(Binomial::new(100, 0.0).sample(&mut rng), 0);
+        assert_eq!(Binomial::new(100, 1.0).sample(&mut rng), 100);
+        assert_eq!(Binomial::new(0, 0.7).sample(&mut rng), 0);
+    }
+
+    #[test]
+    fn multinomial_conserves_and_respects_support() {
+        let mut rng = Pcg64::seed_from_u64(3);
+        let theta = [0.2, 0.0, 0.5, 0.3, 0.0];
+        let m = Multinomial::new(10_000, &theta);
+        for _ in 0..100 {
+            let x = m.sample(&mut rng);
+            assert_eq!(x.iter().sum::<u64>(), 10_000);
+            assert_eq!(x[1], 0, "zero-weight category must stay empty");
+            assert_eq!(x[4], 0, "trailing zero-weight category must stay empty");
+        }
+    }
+
+    #[test]
+    fn multinomial_marginal_mean() {
+        let mut rng = Pcg64::seed_from_u64(4);
+        let theta = [0.1, 0.6, 0.3];
+        let m = Multinomial::new(1_000, &theta);
+        let trials = 20_000u64;
+        let mut sums = [0u64; 3];
+        for _ in 0..trials {
+            for (s, x) in sums.iter_mut().zip(m.sample(&mut rng)) {
+                *s += x;
+            }
+        }
+        for i in 0..3 {
+            let mean = sums[i] as f64 / trials as f64;
+            let expect = 1_000.0 * theta[i];
+            assert!((mean - expect).abs() < 1.5, "cat {i}: {mean} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn categorical_point_mass_is_deterministic() {
+        let mut rng = Pcg64::seed_from_u64(5);
+        let cat = Categorical::new(&[0.0, 0.0, 7.0, 0.0]);
+        for _ in 0..200 {
+            assert_eq!(cat.sample(&mut rng), 2);
+        }
+    }
+
+    #[test]
+    fn categorical_frequencies_match_weights() {
+        let mut rng = Pcg64::seed_from_u64(6);
+        let weights = [1.0, 2.0, 3.0, 4.0];
+        let cat = Categorical::new(&weights);
+        let trials = 100_000;
+        let mut counts = [0u64; 4];
+        for _ in 0..trials {
+            counts[cat.sample(&mut rng)] += 1;
+        }
+        for i in 0..4 {
+            let freq = counts[i] as f64 / trials as f64;
+            let expect = weights[i] / 10.0;
+            assert!((freq - expect).abs() < 0.01, "cat {i}: {freq} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn geometric_mean_matches_q_over_p() {
+        let mut rng = Pcg64::seed_from_u64(7);
+        for &p in &[0.05f64, 0.3, 0.9, 1.0] {
+            let g = Geometric::new(p);
+            let trials = 50_000;
+            let sum: u64 = (0..trials).map(|_| g.sample(&mut rng)).sum();
+            let mean = sum as f64 / trials as f64;
+            let expect = (1.0 - p) / p;
+            let sd = ((1.0 - p) / (p * p) / trials as f64).sqrt();
+            assert!((mean - expect).abs() < 6.0 * sd + 1e-3, "p={p}: {mean} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn sample_distinct_full_range_is_permutation_support() {
+        let mut rng = Pcg64::seed_from_u64(8);
+        let mut v = sample_distinct(10, 10, &mut rng);
+        v.sort_unstable();
+        assert_eq!(v, (0..10).collect::<Vec<_>>());
+        assert!(sample_distinct(5, 0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn sample_distinct_is_uniform_over_pairs() {
+        // All C(4,2)=6 pairs from 0..4 should appear equally often.
+        let mut rng = Pcg64::seed_from_u64(9);
+        let mut counts = std::collections::HashMap::new();
+        let trials = 60_000;
+        for _ in 0..trials {
+            let mut v = sample_distinct(4, 2, &mut rng);
+            v.sort_unstable();
+            *counts.entry((v[0], v[1])).or_insert(0u64) += 1;
+        }
+        assert_eq!(counts.len(), 6);
+        for (&pair, &c) in &counts {
+            let freq = c as f64 / trials as f64;
+            assert!((freq - 1.0 / 6.0).abs() < 0.01, "pair {pair:?}: {freq}");
+        }
+    }
+}

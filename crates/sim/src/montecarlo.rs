@@ -29,14 +29,16 @@ where
     if trials == 0 {
         return Vec::new();
     }
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(trials as usize);
+    let workers =
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(trials as usize);
     if workers <= 1 {
         return (0..trials).map(|t| f(t, trial_seed(master_seed, t))).collect();
     }
 
+    // Workers claim trials in chunks rather than one-at-a-time: short
+    // trials otherwise serialize on the shared counter's cache line. The
+    // chunk size keeps ~8 claims per worker for tail load-balancing.
+    let chunk = (trials / (8 * workers as u64)).max(1);
     let next = std::sync::atomic::AtomicU64::new(0);
     let mut slots: Vec<Option<T>> = (0..trials).map(|_| None).collect();
     let slot_ptr = SlotsPtr(slots.as_mut_ptr());
@@ -47,15 +49,18 @@ where
             let f = &f;
             let slot_ptr = &slot_ptr;
             scope.spawn(move |_| loop {
-                let t = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if t >= trials {
+                let start = next.fetch_add(chunk, std::sync::atomic::Ordering::Relaxed);
+                if start >= trials {
                     break;
                 }
-                let result = f(t, trial_seed(master_seed, t));
-                // SAFETY: each index t is claimed by exactly one worker via
-                // the atomic counter, and `slots` outlives the scope.
-                unsafe {
-                    *slot_ptr.0.add(t as usize) = Some(result);
+                let end = start.saturating_add(chunk).min(trials);
+                for t in start..end {
+                    let result = f(t, trial_seed(master_seed, t));
+                    // SAFETY: each index t lies in exactly one claimed
+                    // chunk, and `slots` outlives the scope.
+                    unsafe {
+                        *slot_ptr.0.add(t as usize) = Some(result);
+                    }
                 }
             });
         }

@@ -35,10 +35,12 @@ impl SplitMix64 {
 }
 
 impl RngCore for SplitMix64 {
+    #[inline]
     fn next_u32(&mut self) -> u32 {
         (SplitMix64::next(self) >> 32) as u32
     }
 
+    #[inline]
     fn next_u64(&mut self) -> u64 {
         SplitMix64::next(self)
     }

@@ -75,10 +75,7 @@ impl Trace {
     pub fn to_csv(&self) -> String {
         let mut out = String::from("round,num_colors,max_support,bias\n");
         for r in &self.rounds {
-            out.push_str(&format!(
-                "{},{},{},{}\n",
-                r.round, r.num_colors, r.max_support, r.bias
-            ));
+            out.push_str(&format!("{},{},{},{}\n", r.round, r.num_colors, r.max_support, r.bias));
         }
         out
     }

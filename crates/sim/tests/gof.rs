@@ -1,0 +1,113 @@
+//! Chi-square goodness-of-fit of the exact samplers against their exact
+//! pmfs — stronger than the range/mean invariants in `properties.rs`.
+
+use rand::SeedableRng;
+use symbreak_sim::dist::{Binomial, Categorical, Geometric};
+use symbreak_sim::rng::Pcg64;
+use symbreak_stats::infer::chi_square_gof;
+
+/// Exact `Bin(n, p)` pmf over `0..=n` via the stable recurrence
+/// `pmf(x+1) = pmf(x)·(n−x)/(x+1)·p/q`, started from the mode outward to
+/// avoid underflow at large `n`.
+fn binomial_pmf(n: u64, p: f64) -> Vec<f64> {
+    let q = 1.0 - p;
+    let mode = ((n + 1) as f64 * p).floor().min(n as f64) as usize;
+    let mut pmf = vec![0.0f64; n as usize + 1];
+    // Unnormalized start; renormalize at the end (exact up to f64).
+    pmf[mode] = 1.0;
+    for x in mode..n as usize {
+        pmf[x + 1] = pmf[x] * ((n - x as u64) as f64 / (x as f64 + 1.0)) * (p / q);
+    }
+    for x in (0..mode).rev() {
+        pmf[x] = pmf[x + 1] * ((x as f64 + 1.0) / (n - x as u64) as f64) * (q / p);
+    }
+    let total: f64 = pmf.iter().sum();
+    for v in pmf.iter_mut() {
+        *v /= total;
+    }
+    pmf
+}
+
+fn binomial_chi_square(n: u64, p: f64, draws: u64, seed: u64) -> bool {
+    let d = Binomial::new(n, p);
+    let mut rng = Pcg64::seed_from_u64(seed);
+    let mut observed = vec![0u64; n as usize + 1];
+    for _ in 0..draws {
+        observed[d.sample(&mut rng) as usize] += 1;
+    }
+    let expected: Vec<f64> = binomial_pmf(n, p).iter().map(|&q| q * draws as f64).collect();
+    chi_square_gof(&observed, &expected, 5.0).within_sigma(5.0)
+}
+
+#[test]
+fn binomial_inversion_regime_matches_exact_pmf() {
+    // n·p = 2.5: the BINV path.
+    assert!(binomial_chi_square(50, 0.05, 200_000, 1));
+}
+
+#[test]
+fn binomial_btrs_regime_matches_exact_pmf() {
+    // n·p = 300: the BTRS path.
+    assert!(binomial_chi_square(1_000, 0.3, 200_000, 2));
+}
+
+#[test]
+fn binomial_btrs_boundary_matches_exact_pmf() {
+    // n·p' just above the regime split at 10, and a flipped p > 1/2.
+    assert!(binomial_chi_square(10_000, 0.0012, 150_000, 3));
+    assert!(binomial_chi_square(200, 0.85, 150_000, 4));
+}
+
+#[test]
+fn categorical_matches_weights_chi_square() {
+    let weights = [5.0, 0.0, 1.0, 17.0, 3.0, 0.5, 8.0, 2.5];
+    let total: f64 = weights.iter().sum();
+    let cat = Categorical::new(&weights);
+    let mut rng = Pcg64::seed_from_u64(5);
+    let draws = 400_000u64;
+    let mut observed = vec![0u64; weights.len()];
+    for _ in 0..draws {
+        observed[cat.sample(&mut rng)] += 1;
+    }
+    assert_eq!(observed[1], 0, "zero-weight category must never be drawn");
+    // Drop the structural zero from the test (its expected count is 0).
+    let obs: Vec<u64> =
+        observed.iter().zip(&weights).filter(|(_, &w)| w > 0.0).map(|(&o, _)| o).collect();
+    let expected: Vec<f64> =
+        weights.iter().filter(|&&w| w > 0.0).map(|&w| w / total * draws as f64).collect();
+    assert!(chi_square_gof(&obs, &expected, 5.0).within_sigma(5.0));
+}
+
+#[test]
+fn categorical_near_uniform_table_chi_square() {
+    // Exactly equal weights exercise the alias construction's donation
+    // cascade (every column ends up with a fractional accept probability).
+    let k = 101usize;
+    let weights = vec![990.0; k];
+    let cat = Categorical::new(&weights);
+    let mut rng = Pcg64::seed_from_u64(6);
+    let draws = 500_000u64;
+    let mut observed = vec![0u64; k];
+    for _ in 0..draws {
+        observed[cat.sample(&mut rng)] += 1;
+    }
+    let expected = vec![draws as f64 / k as f64; k];
+    assert!(chi_square_gof(&observed, &expected, 5.0).within_sigma(5.0));
+}
+
+#[test]
+fn geometric_matches_exact_pmf_chi_square() {
+    let p = 0.23f64;
+    let g = Geometric::new(p);
+    let mut rng = Pcg64::seed_from_u64(7);
+    let draws = 300_000u64;
+    let cap = 80usize; // P(G ≥ 80) < 1e-9; lump the tail into the last bin
+    let mut observed = vec![0u64; cap + 1];
+    for _ in 0..draws {
+        observed[(g.sample(&mut rng) as usize).min(cap)] += 1;
+    }
+    let mut expected: Vec<f64> =
+        (0..cap).map(|x| p * (1.0 - p).powi(x as i32) * draws as f64).collect();
+    expected.push((1.0 - p).powi(cap as i32) * draws as f64);
+    assert!(chi_square_gof(&observed, &expected, 5.0).within_sigma(5.0));
+}

@@ -53,8 +53,7 @@ impl Ecdf {
 
     /// All distinct jump points of either this ECDF or `other`.
     fn joint_support(&self, other: &Ecdf) -> Vec<f64> {
-        let mut pts: Vec<f64> =
-            self.sorted.iter().chain(other.sorted.iter()).copied().collect();
+        let mut pts: Vec<f64> = self.sorted.iter().chain(other.sorted.iter()).copied().collect();
         pts.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
         pts.dedup();
         pts

@@ -66,13 +66,7 @@ pub fn chi_square_gof(observed: &[u64], expected: &[f64], min_expected: f64) -> 
 ///
 /// # Panics
 /// Panics if `data` is empty, `resamples == 0`, or `alpha ∉ (0, 1)`.
-pub fn bootstrap_ci<F>(
-    data: &[f64],
-    stat: F,
-    resamples: usize,
-    alpha: f64,
-    seed: u64,
-) -> (f64, f64)
+pub fn bootstrap_ci<F>(data: &[f64], stat: F, resamples: usize, alpha: f64, seed: u64) -> (f64, f64)
 where
     F: Fn(&[f64]) -> f64,
 {
@@ -91,15 +85,14 @@ where
     let n = data.len();
     let mut stats: Vec<f64> = (0..resamples)
         .map(|_| {
-            let resample: Vec<f64> =
-                (0..n).map(|_| data[(next() % n as u64) as usize]).collect();
+            let resample: Vec<f64> = (0..n).map(|_| data[(next() % n as u64) as usize]).collect();
             stat(&resample)
         })
         .collect();
     stats.sort_by(|a, b| a.partial_cmp(b).expect("no NaN from stat"));
     let lo_idx = ((alpha / 2.0) * (resamples - 1) as f64).round() as usize;
-    let hi_idx = (((1.0 - alpha / 2.0) * (resamples - 1) as f64).round() as usize)
-        .min(resamples - 1);
+    let hi_idx =
+        (((1.0 - alpha / 2.0) * (resamples - 1) as f64).round() as usize).min(resamples - 1);
     (stats[lo_idx], stats[hi_idx])
 }
 
@@ -175,10 +168,7 @@ mod tests {
     fn bootstrap_is_deterministic_per_seed() {
         let data = [1.0, 2.0, 3.0, 4.0, 5.0];
         let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
-        assert_eq!(
-            bootstrap_ci(&data, mean, 100, 0.1, 3),
-            bootstrap_ci(&data, mean, 100, 0.1, 3)
-        );
+        assert_eq!(bootstrap_ci(&data, mean, 100, 0.1, 3), bootstrap_ci(&data, mean, 100, 0.1, 3));
     }
 
     #[test]

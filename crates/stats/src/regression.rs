@@ -37,11 +37,7 @@ pub fn linear_fit(x: &[f64], y: &[f64]) -> LinearFit {
     let slope = sxy / sxx;
     let intercept = my - slope * mx;
     let ss_tot: f64 = y.iter().map(|v| (v - my).powi(2)).sum();
-    let ss_res: f64 = x
-        .iter()
-        .zip(y)
-        .map(|(u, v)| (v - (slope * u + intercept)).powi(2))
-        .sum();
+    let ss_res: f64 = x.iter().zip(y).map(|(u, v)| (v - (slope * u + intercept)).powi(2)).sum();
     let r_squared = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
     LinearFit { slope, intercept, r_squared }
 }

@@ -29,8 +29,5 @@ fn main() {
         outcome.consensus_round,
         outcome.final_config.plurality()
     );
-    println!(
-        "each round exchanged {} pull requests + replies across shards",
-        n * 3 * 2
-    );
+    println!("each round exchanged {} pull requests + replies across shards", n * 3 * 2);
 }

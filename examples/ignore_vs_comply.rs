@@ -28,10 +28,7 @@ fn race(n: u64, trials: u64) -> (f64, f64) {
             .consensus_round
             .expect("consensus")
     });
-    (
-        Summary::of_counts(&s3).mean(),
-        Summary::of_counts(&s2).mean(),
-    )
+    (Summary::of_counts(&s3).mean(), Summary::of_counts(&s2).mean())
 }
 
 fn main() {
@@ -41,10 +38,7 @@ fn main() {
     for exp in 8..=13 {
         let n = 1u64 << exp;
         let (comply, ignore) = race(n, 10);
-        println!(
-            "{n:>8} | {comply:>12.1} | {ignore:>12.1} | {:>7.2}",
-            ignore / comply
-        );
+        println!("{n:>8} | {comply:>12.1} | {ignore:>12.1} | {:>7.2}", ignore / comply);
     }
     println!("\nThe ratio grows with n: complying beats ignoring, polynomially (Theorem 1).");
 }

@@ -14,10 +14,8 @@ fn main() {
     println!("start: {start}");
 
     let mut engine = VectorEngine::new(ThreeMajority, start, /* seed */ 42);
-    let outcome = run_to_consensus(
-        &mut engine,
-        &RunOptions { max_rounds: 1_000_000, record_trace: true },
-    );
+    let outcome =
+        run_to_consensus(&mut engine, &RunOptions { max_rounds: 1_000_000, record_trace: true });
 
     let trace = outcome.trace.as_ref().expect("trace requested");
     println!("\nround | colors remaining | max support | bias");

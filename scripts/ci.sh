@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# CI pipeline: tier-1 verify, experiment smoke, bench baseline dump.
+#
+# Usage: scripts/ci.sh [output.json]
+#   BENCH_OUT   — bench summary path (default: arg1 or BENCH_ci.json)
+#   SYMBREAK_SCALE       — experiment scale for the smoke run (default 0.25)
+#   SYMBREAK_BENCH_MS    — per-benchmark measurement budget (default 2500)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH_OUT="${BENCH_OUT:-${1:-BENCH_ci.json}}"
+
+echo "==> tier-1: cargo build --release && cargo test -q"
+cargo build --release --workspace
+cargo test -q --workspace
+
+echo "==> experiment smoke (SYMBREAK_SCALE=${SYMBREAK_SCALE:-0.25})"
+SYMBREAK_SCALE="${SYMBREAK_SCALE:-0.25}" \
+    cargo run --release -p symbreak-bench --bin run_all
+
+echo "==> benches: samplers + engines -> ${BENCH_OUT}"
+JSONL="$(mktemp)"
+trap 'rm -f "$JSONL"' EXIT
+SYMBREAK_BENCH_JSON="$JSONL" cargo bench -p symbreak-bench -- samplers engines
+{
+    echo '['
+    sed 's/$/,/' "$JSONL" | sed '$ s/,$//'
+    echo ']'
+} > "$BENCH_OUT"
+echo "wrote $(grep -c ns_per_iter "$BENCH_OUT") results to ${BENCH_OUT}"

@@ -101,9 +101,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         let key = rest[i]
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --flag, got '{}'", rest[i]))?;
-        let value = rest
-            .get(i + 1)
-            .ok_or_else(|| format!("flag --{key} needs a value"))?;
+        let value = rest.get(i + 1).ok_or_else(|| format!("flag --{key} needs a value"))?;
         flags.insert(key.to_string(), (*value).clone());
         i += 2;
     }
@@ -118,9 +116,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     };
     match sub {
         "run" => {
-            let rule = RuleChoice::parse(
-                flags.get("rule").ok_or("run requires --rule <voter|2c|3m>")?,
-            )?;
+            let rule =
+                RuleChoice::parse(flags.get("rule").ok_or("run requires --rule <voter|2c|3m>")?)?;
             let n = get_u64(&flags, "n", 4096)?;
             let k = get_u64(&flags, "k", n)?;
             let bias = get_u64(&flags, "bias", 0)?;
@@ -160,7 +157,10 @@ pub fn execute(cmd: Command) {
             println!("α3M(x)   = {}", join(&report.alpha_3m));
             println!("α4M(x~)  = {}", join(&report.alpha_4m));
             println!("x~ majorizes x:              {}", report.premise_holds);
-            println!("α4M(x~) majorizes α3M(x):    {}  (the counterexample)", report.conclusion_holds);
+            println!(
+                "α4M(x~) majorizes α3M(x):    {}  (the counterexample)",
+                report.conclusion_holds
+            );
         }
         Command::Duality { n, seed } => {
             use rand::SeedableRng;
@@ -170,14 +170,18 @@ pub fn execute(cmd: Command) {
                 DualityCoupling::generate_until_coalesced(&g, 1, 10_000_000, &mut rng)
                     .expect("complete graphs coalesce");
             println!("K_{n}: coalescence time T^1_C = {t_c}");
-            println!("Voter over reversed arrows reaches 1 opinion at round {:?}",
-                symbreak_graphs::voter_time_from_coupling(&coupling, 1));
+            println!(
+                "Voter over reversed arrows reaches 1 opinion at round {:?}",
+                symbreak_graphs::voter_time_from_coupling(&coupling, 1)
+            );
             println!("per-τ identity holds: {}", coupling.verify_identity());
         }
         Command::Race { n, trials, seed } => {
             let start = Configuration::singletons(n);
             let mut means = Vec::new();
-            for (name, rule) in [("3-Majority", RuleChoice::ThreeMajority), ("2-Choices", RuleChoice::TwoChoices)] {
+            for (name, rule) in
+                [("3-Majority", RuleChoice::ThreeMajority), ("2-Choices", RuleChoice::TwoChoices)]
+            {
                 let times = consensus_times(rule, &start, trials, seed);
                 let s = Summary::of_counts(&times);
                 println!("{name:<12} mean {:.1} rounds (sd {:.1})", s.mean(), s.std_dev());
@@ -215,21 +219,13 @@ fn join(v: &[crate::core::counterexample::Rational]) -> String {
     v.iter().map(|r| r.to_string()).collect::<Vec<_>>().join(", ")
 }
 
-fn consensus_times(
-    rule: RuleChoice,
-    start: &Configuration,
-    trials: u64,
-    seed: u64,
-) -> Vec<u64> {
+fn consensus_times(rule: RuleChoice, start: &Configuration, trials: u64, seed: u64) -> Vec<u64> {
     let start = start.clone();
     run_trials(trials, seed, move |_t, s| {
         let run = |engine: &mut dyn Engine| {
-            run_to_consensus(
-                engine,
-                &RunOptions { max_rounds: u64::MAX, record_trace: false },
-            )
-            .consensus_round
-            .expect("uncapped run reaches consensus")
+            run_to_consensus(engine, &RunOptions { max_rounds: u64::MAX, record_trace: false })
+                .consensus_round
+                .expect("uncapped run reaches consensus")
         };
         match rule {
             RuleChoice::Voter => {
@@ -297,8 +293,14 @@ mod tests {
 
     #[test]
     fn parse_other_commands() {
-        assert_eq!(parse(&args("race")).expect("ok"), Command::Race { n: 4096, trials: 10, seed: 42 });
-        assert_eq!(parse(&args("duality --n 32")).expect("ok"), Command::Duality { n: 32, seed: 42 });
+        assert_eq!(
+            parse(&args("race")).expect("ok"),
+            Command::Race { n: 4096, trials: 10, seed: 42 }
+        );
+        assert_eq!(
+            parse(&args("duality --n 32")).expect("ok"),
+            Command::Duality { n: 32, seed: 42 }
+        );
         assert_eq!(parse(&args("appendix-b")).expect("ok"), Command::AppendixB);
         assert_eq!(parse(&args("help")).expect("ok"), Command::Help);
         assert_eq!(parse(&[]).expect("ok"), Command::Help);

@@ -61,12 +61,11 @@ pub use symbreak_stats as stats;
 /// Convenience re-exports for the common workflow.
 pub mod prelude {
     pub use symbreak_adversary::{
-        run_adversarial, Adversary, AdversarialRun, MinoritySupporter, Nop, RandomFlipper,
+        run_adversarial, AdversarialRun, Adversary, MinoritySupporter, Nop, RandomFlipper,
         SplitKeeper, ValidityTracker,
     };
     pub use symbreak_core::rules::{
-        HMajority, ThreeMajority, ThreeMajorityAlt, TwoChoices, TwoMedian, UndecidedDynamics,
-        Voter,
+        HMajority, ThreeMajority, ThreeMajorityAlt, TwoChoices, TwoMedian, UndecidedDynamics, Voter,
     };
     pub use symbreak_core::{
         hitting_time_colors, run_to_consensus, AcProcess, AgentEngine, Configuration, Engine,

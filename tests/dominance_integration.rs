@@ -2,9 +2,7 @@
 //! stochastic dominance of hitting times, and the non-AC counterexample.
 
 use rand::SeedableRng;
-use symbreak::core::dominance::{
-    expected_majorizes, lemma2_inequality, random_majorizing_pair,
-};
+use symbreak::core::dominance::{expected_majorizes, lemma2_inequality, random_majorizing_pair};
 use symbreak::prelude::*;
 use symbreak::stats::ecdf::ks_threshold;
 

@@ -28,13 +28,10 @@ fn trace_bundle_aggregates_consensus_runs() {
     let n = 512u64;
     let mut bundle = TraceBundle::new();
     for seed in 0..10 {
-        let mut e =
-            VectorEngine::new(ThreeMajority, Configuration::singletons(n), 100 + seed)
-                .with_compaction();
-        let out = run_to_consensus(
-            &mut e,
-            &RunOptions { max_rounds: 1_000_000, record_trace: true },
-        );
+        let mut e = VectorEngine::new(ThreeMajority, Configuration::singletons(n), 100 + seed)
+            .with_compaction();
+        let out =
+            run_to_consensus(&mut e, &RunOptions { max_rounds: 1_000_000, record_trace: true });
         assert!(out.reached_consensus());
         bundle.push(out.trace.expect("trace requested"));
     }
@@ -61,8 +58,8 @@ fn trace_bundle_aggregates_consensus_runs() {
 #[test]
 fn potential_observables_track_a_run() {
     use symbreak::core::potential::observables;
-    let mut e = VectorEngine::new(ThreeMajority, Configuration::singletons(1024), 7)
-        .with_compaction();
+    let mut e =
+        VectorEngine::new(ThreeMajority, Configuration::singletons(1024), 7).with_compaction();
     let mut last_collision = observables(&e.configuration()).collision;
     let mut increases = 0u32;
     let mut rounds = 0u32;

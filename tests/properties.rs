@@ -7,16 +7,13 @@ use symbreak::majorization::vector::majorizes;
 use symbreak::prelude::*;
 
 fn config_strategy(max_n: u64, k: usize) -> impl Strategy<Value = Configuration> {
-    proptest::collection::vec(0u64..max_n, k).prop_filter_map(
-        "at least one node",
-        |counts| {
-            if counts.iter().sum::<u64>() == 0 {
-                None
-            } else {
-                Some(Configuration::from_counts(counts))
-            }
-        },
-    )
+    proptest::collection::vec(0u64..max_n, k).prop_filter_map("at least one node", |counts| {
+        if counts.iter().sum::<u64>() == 0 {
+            None
+        } else {
+            Some(Configuration::from_counts(counts))
+        }
+    })
 }
 
 proptest! {

@@ -1,0 +1,310 @@
+//! Vendored, API-compatible subset of `criterion` 0.5.
+//!
+//! A real wall-clock micro-benchmark harness covering the criterion API
+//! used in `crates/bench/benches/`: groups, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `sample_size`, `Throughput`, and
+//! the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Differences from upstream, chosen for an offline environment:
+//!
+//! * CLI filters: every non-flag argument is a substring filter matched
+//!   against the bench *target* name and the benchmark id, and multiple
+//!   filters are OR-ed — so `cargo bench -p symbreak-bench -- samplers
+//!   engines` runs exactly the `samplers` and `engines` targets.
+//! * Results can be appended as JSON lines to the file named by
+//!   `SYMBREAK_BENCH_JSON`, which `scripts/ci.sh` assembles into the
+//!   repo-level `BENCH_*.json` baselines.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`].
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier of a parameterized benchmark, rendered `function/param`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> Self {
+        Self { id: format!("{function_name}/{parameter}") }
+    }
+
+    /// Creates an id from a parameter value only.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+/// Conversion into a benchmark id string (upstream `IntoBenchmarkId`).
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Throughput annotation (recorded but not rated in this shim).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// One measured benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// `group/function[/param]` id.
+    pub id: String,
+    /// Mean nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Total iterations measured.
+    pub iterations: u64,
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    result_ns: f64,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Measures `f`, adapting the iteration count to its speed.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup + calibration: one timed call.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+
+        // Aim for a few seconds of total measurement (upstream criterion
+        // defaults to 3s warmup + 5s measurement), but never fewer than
+        // `samples` iterations, and bail out early for very slow bodies.
+        // `SYMBREAK_BENCH_MS` overrides, e.g. for CI smoke runs.
+        let budget = Duration::from_millis(
+            std::env::var("SYMBREAK_BENCH_MS").ok().and_then(|v| v.parse().ok()).unwrap_or(2_500),
+        );
+        let per_sample_iters = if once > budget {
+            1
+        } else {
+            let total_iters = (budget.as_nanos() / once.as_nanos()).max(1) as u64;
+            (total_iters / self.samples as u64).max(1)
+        };
+        let samples = if once > budget { 1 } else { self.samples };
+
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..per_sample_iters {
+                black_box(f());
+            }
+            total += start.elapsed();
+            iters += per_sample_iters;
+        }
+        self.result_ns = total.as_nanos() as f64 / iters as f64;
+        self.iterations = iters;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Annotates throughput (recorded as a no-op in this shim).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Reduces measurement time (accepted for API compatibility).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<I: IntoBenchmarkId, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full_id = format!("{}/{}", self.name, id.into_id());
+        if !self.criterion.matches(&full_id) {
+            return self;
+        }
+        let mut b = Bencher { samples: self.samples, result_ns: 0.0, iterations: 0 };
+        f(&mut b);
+        self.criterion.record(full_id, b.result_ns, b.iterations);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full_id = format!("{}/{}", self.name, id.id);
+        if !self.criterion.matches(&full_id) {
+            return self;
+        }
+        let mut b = Bencher { samples: self.samples, result_ns: 0.0, iterations: 0 };
+        f(&mut b, input);
+        self.criterion.record(full_id, b.result_ns, b.iterations);
+        self
+    }
+
+    /// Ends the group (results are flushed by `criterion_main!`).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness.
+pub struct Criterion {
+    filters: Vec<String>,
+    target: String,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut args = std::env::args();
+        let target = args
+            .next()
+            .map(|p| {
+                let base = p.rsplit('/').next().unwrap_or(&p).to_string();
+                // Cargo bench binaries are named `<target>-<hash>`.
+                match base.rsplit_once('-') {
+                    Some((name, hash))
+                        if hash.len() == 16 && hash.bytes().all(|b| b.is_ascii_hexdigit()) =>
+                    {
+                        name.to_string()
+                    }
+                    _ => base,
+                }
+            })
+            .unwrap_or_default();
+        let filters = args.filter(|a| !a.starts_with('-')).collect();
+        Self { filters, target, results: Vec::new() }
+    }
+}
+
+impl Criterion {
+    /// Starts a benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), samples: 10 }
+    }
+
+    /// Runs a stand-alone benchmark (no group).
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id.to_string(), f);
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filters.is_empty()
+            || self
+                .filters
+                .iter()
+                .any(|f| id.contains(f.as_str()) || self.target.contains(f.as_str()))
+    }
+
+    fn record(&mut self, id: String, ns: f64, iterations: u64) {
+        println!("{:<56} time: {:>12} ({} iters)", id, format_ns(ns), iterations);
+        self.results.push(BenchResult { id, ns_per_iter: ns, iterations });
+    }
+
+    /// Flushes results; called by `criterion_main!` after all groups ran.
+    pub fn final_summary(&self) {
+        if self.results.is_empty() {
+            return;
+        }
+        if let Ok(path) = std::env::var("SYMBREAK_BENCH_JSON") {
+            use std::io::Write as _;
+            let mut file = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .unwrap_or_else(|e| panic!("SYMBREAK_BENCH_JSON={path}: {e}"));
+            for r in &self.results {
+                writeln!(
+                    file,
+                    "{{\"target\":\"{}\",\"id\":\"{}\",\"ns_per_iter\":{:.2},\"iterations\":{}}}",
+                    self.target, r.id, r.ns_per_iter, r.iterations,
+                )
+                .expect("write bench json");
+            }
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}

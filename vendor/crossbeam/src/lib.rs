@@ -1,0 +1,54 @@
+//! Vendored, API-compatible subset of `crossbeam` 0.8.
+//!
+//! Only `crossbeam::thread::scope` is used in this workspace; since Rust
+//! 1.63 the standard library provides scoped threads, so the shim is a
+//! thin adapter over [`std::thread::scope`]. Behavioural difference kept
+//! deliberately: a panicking child propagates at scope exit (std
+//! semantics) rather than surfacing through the returned `Result`, which
+//! every caller here treats as fatal anyway (`.expect(..)`).
+
+pub mod thread {
+    //! Scoped threads.
+
+    use std::any::Any;
+
+    /// A scope handle for spawning borrowing threads.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. As in crossbeam, the closure receives
+        /// the scope itself so children can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle { inner: inner.spawn(move || f(&Scope { inner })) }
+        }
+    }
+
+    /// Creates a scope in which threads may borrow from the enclosing
+    /// stack frame. Returns `Ok` with the closure's result; panics from
+    /// children propagate as panics at scope exit.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}

@@ -1,0 +1,210 @@
+//! Value-generation strategies.
+
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// `generate` returns `None` when the candidate is filtered out (the
+/// driver retries with fresh randomness); there is no shrinking.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one candidate value.
+    fn generate(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    /// Keeps only values satisfying `pred`.
+    fn prop_filter<P>(self, reason: &'static str, pred: P) -> Filter<Self, P>
+    where
+        Self: Sized,
+        P: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, reason, pred }
+    }
+
+    /// Maps values through `f`, keeping only `Some` results.
+    fn prop_filter_map<F, T>(self, reason: &'static str, f: F) -> FilterMap<Self, F, T>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> Option<T>,
+    {
+        FilterMap { inner: self, reason, f, _marker: PhantomData }
+    }
+
+    /// Maps values through `f`.
+    fn prop_map<F, T>(self, f: F) -> Map<Self, F, T>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f, _marker: PhantomData }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy yielding a single constant value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, P> {
+    inner: S,
+    #[allow(dead_code)]
+    reason: &'static str,
+    pred: P,
+}
+
+impl<S: Strategy, P: Fn(&S::Value) -> bool> Strategy for Filter<S, P> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+        self.inner.generate(rng).filter(|v| (self.pred)(v))
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+pub struct FilterMap<S, F, T> {
+    inner: S,
+    #[allow(dead_code)]
+    reason: &'static str,
+    f: F,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<S: Strategy, F: Fn(S::Value) -> Option<T>, T> Strategy for FilterMap<S, F, T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<T> {
+        self.inner.generate(rng).and_then(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F, T> {
+    inner: S,
+    f: F,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<S: Strategy, F: Fn(S::Value) -> T, T> Strategy for Map<S, F, T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<T> {
+        self.inner.generate(rng).map(&self.f)
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),+ $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                if self.start >= self.end {
+                    return None;
+                }
+                let span = (self.end as i128 - self.start as i128) as u64;
+                Some((self.start as i128 + rng.below(span) as i128) as $t)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                let (start, end) = (*self.start(), *self.end());
+                if start > end {
+                    return None;
+                }
+                let span = (end as i128 - start as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    return Some(rng.next_u64() as $t);
+                }
+                Some((start as i128 + rng.below(span as u64) as i128) as $t)
+            }
+        }
+    )+};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<i128> {
+    type Value = i128;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<i128> {
+        if self.start >= self.end {
+            return None;
+        }
+        let span = (self.end - self.start) as u128;
+        let draw = if span <= u64::MAX as u128 {
+            rng.below(span as u64) as u128
+        } else {
+            (((rng.next_u64() as u128) << 64) | rng.next_u64() as u128) % span
+        };
+        Some(self.start + draw as i128)
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<f64> {
+        if !(self.start < self.end) {
+            return None;
+        }
+        Some(self.start + (self.end - self.start) * rng.unit_f64())
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<f64> {
+        let (start, end) = (*self.start(), *self.end());
+        if !(start <= end) {
+            return None;
+        }
+        // Occasionally emit the exact endpoints: properties at the
+        // boundary (p = 0, p = 1) matter for the samplers under test.
+        match rng.below(64) {
+            0 => Some(start),
+            1 => Some(end),
+            _ => Some((start + (end - start) * rng.unit_f64()).min(end)),
+        }
+    }
+}
+
+impl Strategy for Range<char> {
+    type Value = char;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<char> {
+        if self.start >= self.end {
+            return None;
+        }
+        let (lo, hi) = (self.start as u32, self.end as u32);
+        for _ in 0..64 {
+            let c = lo + rng.below((hi - lo) as u64) as u32;
+            if let Some(ch) = char::from_u32(c) {
+                return Some(ch);
+            }
+        }
+        Some(self.start)
+    }
+}

@@ -1,0 +1,184 @@
+//! The `Standard` distribution and uniform range sampling.
+
+use crate::{Rng, RngCore};
+
+/// Types that can produce values of `T` given a source of randomness.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution of a type: uniform over all values for
+/// integers and `bool`, uniform on `[0, 1)` for floats.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<u8> for Standard {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u8 {
+        (rng.next_u32() >> 24) as u8
+    }
+}
+
+impl Distribution<u16> for Standard {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u16 {
+        (rng.next_u32() >> 16) as u16
+    }
+}
+
+impl Distribution<u32> for Standard {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Distribution<u64> for Standard {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Distribution<u128> for Standard {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u128 {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Distribution<usize> for Standard {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+impl Distribution<i32> for Standard {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> i32 {
+        rng.next_u32() as i32
+    }
+}
+
+impl Distribution<i64> for Standard {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> i64 {
+        rng.next_u64() as i64
+    }
+}
+
+impl Distribution<bool> for Standard {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Distribution<f64> for Standard {
+    /// Uniform on `[0, 1)` with 53 random bits (upstream convention).
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    /// Uniform on `[0, 1)` with 24 random bits.
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+pub mod uniform {
+    //! Uniform sampling over ranges (the machinery behind
+    //! `Rng::gen_range`).
+
+    use super::*;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A range that `Rng::gen_range` can sample from.
+    pub trait SampleRange<T> {
+        /// Draws one value uniformly from the range.
+        ///
+        /// # Panics
+        /// Panics if the range is empty.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    /// Draws a uniform value in `[0, span)` without modulo bias
+    /// (Lemire's multiply-shift with rejection).
+    #[inline]
+    pub(crate) fn uniform_u64_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        // Fast path for powers of two.
+        if span.is_power_of_two() {
+            return rng.next_u64() & (span - 1);
+        }
+        loop {
+            let x = rng.next_u64();
+            let m = (x as u128).wrapping_mul(span as u128);
+            let low = m as u64;
+            // Accept unless `low` falls in the biased zone; `2^64 mod
+            // span < span`, so the division only runs on the rare
+            // `low < span` sliver.
+            if low >= span || low >= span.wrapping_neg() % span {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    macro_rules! impl_int_range {
+        ($($t:ty => $wide:ty),+ $(,)?) => {$(
+            impl SampleRange<$t> for Range<$t> {
+                #[inline]
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "gen_range: empty range");
+                    let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                    self.start.wrapping_add(uniform_u64_below(rng, span) as $t)
+                }
+            }
+
+            impl SampleRange<$t> for RangeInclusive<$t> {
+                #[inline]
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "gen_range: empty range");
+                    let span = (end as $wide).wrapping_sub(start as $wide) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    start.wrapping_add(uniform_u64_below(rng, span + 1) as $t)
+                }
+            }
+        )+};
+    }
+
+    impl_int_range!(
+        u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+        i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+    );
+
+    impl SampleRange<f64> for Range<f64> {
+        #[inline]
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+            assert!(self.start < self.end, "gen_range: empty range");
+            let u: f64 = Standard.sample(rng);
+            self.start + (self.end - self.start) * u
+        }
+    }
+
+    impl SampleRange<f64> for RangeInclusive<f64> {
+        #[inline]
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+            let (start, end) = (*self.start(), *self.end());
+            assert!(start <= end, "gen_range: empty range");
+            // Upstream samples [start, end] by scaling a [0, 1) draw onto a
+            // slightly widened interval and clamping.
+            let u: f64 = Standard.sample(rng);
+            (start + (end - start) * u).min(end)
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Vendored, API-compatible subset of `rand` 0.8.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the slice of the `rand` API it actually uses: [`RngCore`],
+//! [`SeedableRng`], the [`Rng`] extension trait (`gen`, `gen_range`,
+//! `gen_bool`), [`rngs::StdRng`], and the [`distributions::Standard`]
+//! plumbing behind `gen`. Semantics match upstream where the workspace
+//! depends on them: `gen_range` is exactly uniform (Lemire rejection),
+//! `gen::<f64>()` is uniform on `[0, 1)` with 53 bits, and trait objects
+//! (`&mut dyn RngCore`) compose with the `Rng` methods exactly as in
+//! upstream `rand`.
+
+pub mod distributions;
+pub mod rngs;
+
+use distributions::uniform::SampleRange;
+use distributions::{Distribution, Standard};
+
+/// Error type for fallible RNG operations (never produced by the
+/// deterministic generators in this workspace).
+#[derive(Debug)]
+pub struct Error {
+    msg: &'static str,
+}
+
+impl Error {
+    /// Creates an error with a static message.
+    pub fn new(msg: &'static str) -> Self {
+        Self { msg }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rng error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core of a random number generator.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+
+    /// Fills `dest` with random bytes, reporting failure (infallible for
+    /// all generators in this workspace).
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error>;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    #[inline]
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+
+    #[inline]
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        (**self).try_fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    #[inline]
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+
+    #[inline]
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        (**self).try_fill_bytes(dest)
+    }
+}
+
+/// A random number generator that can be explicitly seeded.
+pub trait SeedableRng: Sized {
+    /// Seed type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates a generator from a seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64` seed, expanding it through
+    /// SplitMix64 (the upstream recipe).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let len = chunk.len();
+            chunk.copy_from_slice(&bytes[..len]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Extension methods on [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from the [`Standard`] distribution.
+    #[inline]
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Samples a value uniformly from the given range. Exactly uniform
+    /// for integer ranges (multiply-shift with rejection).
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    #[inline]
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ p ≤ 1`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} out of range");
+        self.gen::<f64>() < p
+    }
+
+    /// Samples from an explicit distribution.
+    #[inline]
+    fn sample<T, D: Distribution<T>>(&mut self, distr: D) -> T {
+        distr.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
