@@ -55,11 +55,13 @@ impl Adversary for RandomFlipper {
     fn corrupt(&mut self, config: &mut Configuration, rng: &mut dyn RngCore) {
         let k = config.num_slots();
         let n = config.n();
+        // One guard for the whole budget: its cache refresh on drop is
+        // O(k), so it must not sit inside the per-unit loop.
+        let mut counts = config.counts_mut();
         for _ in 0..self.f.min(n) {
             // Pick a random *node* (weighted by support) and move it to a
             // random slot.
             let mut pick = rng.gen_range(0..n);
-            let counts = config.counts_mut();
             let mut from = 0;
             for (i, &c) in counts.iter().enumerate() {
                 if pick < c {
@@ -72,6 +74,7 @@ impl Adversary for RandomFlipper {
             counts[from] -= 1;
             counts[to] += 1;
         }
+        drop(counts);
         config.validate();
     }
 }
@@ -109,8 +112,10 @@ impl Adversary for MinoritySupporter {
 
     fn corrupt(&mut self, config: &mut Configuration, _rng: &mut dyn RngCore) {
         let limit = self.revive_limit.min(config.num_slots());
+        // One guard for the whole budget: its cache refresh on drop is
+        // O(k), so it must not sit inside the per-unit loop.
+        let mut counts = config.counts_mut();
         for _ in 0..self.f {
-            let counts = config.counts_mut();
             // Strongest donor overall; weakest recipient among eligible.
             let (from, &fmax) =
                 counts.iter().enumerate().max_by_key(|&(_, &c)| c).expect("non-empty");
@@ -122,6 +127,7 @@ impl Adversary for MinoritySupporter {
             counts[from] -= 1;
             counts[to] += 1;
         }
+        drop(counts);
         config.validate();
     }
 }
@@ -151,7 +157,7 @@ impl Adversary for SplitKeeper {
 
     fn corrupt(&mut self, config: &mut Configuration, _rng: &mut dyn RngCore) {
         // Identify the top-two slots.
-        let counts = config.counts_mut();
+        let mut counts = config.counts_mut();
         if counts.len() < 2 {
             return;
         }
@@ -174,6 +180,7 @@ impl Adversary for SplitKeeper {
         let transfer = (gap / 2).min(self.f);
         counts[first] -= transfer;
         counts[second] += transfer;
+        drop(counts); // release the guard so the caches refresh
         config.validate();
     }
 }
@@ -205,8 +212,10 @@ impl Adversary for Eraser {
     }
 
     fn corrupt(&mut self, config: &mut Configuration, _rng: &mut dyn RngCore) {
+        // One guard for the whole budget: its cache refresh on drop is
+        // O(k), so it must not sit inside the per-unit loop.
+        let mut counts = config.counts_mut();
         for _ in 0..self.f {
-            let counts = config.counts_mut();
             let Some((to, _)) = counts.iter().enumerate().max_by_key(|&(_, &c)| c) else {
                 break;
             };
@@ -224,6 +233,7 @@ impl Adversary for Eraser {
             counts[from] -= 1;
             counts[to] += 1;
         }
+        drop(counts);
         config.validate();
     }
 }

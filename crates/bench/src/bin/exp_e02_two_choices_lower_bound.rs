@@ -39,7 +39,7 @@ fn main() {
             for _ in 0..horizon {
                 engine.step();
             }
-            engine.configuration().max_support()
+            engine.max_support()
         });
         let violations = results.iter().filter(|&&m| m > ell_prime).count();
         cap_ok &= violations == 0;

@@ -113,6 +113,14 @@ impl VectorStep for HeadlineRule {
             HeadlineRule::ThreeMajority => ThreeMajority.vector_step(c, rng),
         }
     }
+
+    fn vector_step_into(&self, c: &mut Configuration, rng: &mut dyn rand::RngCore) {
+        match self {
+            HeadlineRule::Voter => Voter.vector_step_into(c, rng),
+            HeadlineRule::TwoChoices => TwoChoices.vector_step_into(c, rng),
+            HeadlineRule::ThreeMajority => ThreeMajority.vector_step_into(c, rng),
+        }
+    }
 }
 
 /// Runs a boxed engine until consensus and returns the round.

@@ -5,6 +5,30 @@
 //! that vector together with the invariant `Σ cᵢ = n` and exposes the
 //! observables the analysis tracks: number of remaining colors, maximum
 //! support, bias, and the majorization preorder.
+//!
+//! # Occupancy-aware representation
+//!
+//! The many-color regime the paper's separation lives in (`k = n`
+//! singleton starts, Theorem 5) makes the dense vector the wrong unit of
+//! work: within a few rounds almost every slot is empty, yet a dense scan
+//! still pays `O(k)`. The configuration therefore carries, alongside the
+//! positional `counts` vector (color identity stays positional):
+//!
+//! * an **occupied-slot list** — the ascending indices with non-zero
+//!   support, so iteration is `O(#occupied)`;
+//! * **cached observables** — `n`, the number of colors, the two largest
+//!   supports, and `Σ cᵢ²` — refreshed in the same `O(#occupied)` pass
+//!   that rewrites a round, so [`Configuration::num_colors`],
+//!   [`Configuration::max_support`], [`Configuration::bias`], and
+//!   [`Configuration::l2_norm_sq`] are `O(1)`.
+//!
+//! Every process in this crate has `αᵢ(c) = 0` whenever `cᵢ = 0` (dead
+//! colors stay dead), so the occupied list only ever shrinks along a
+//! trajectory — which is exactly why sparse stepping via
+//! [`Configuration::rewrite_occupied`] makes singleton-start rounds
+//! `O(#surviving colors)` instead of `O(k)`.
+
+use std::hash::{Hash, Hasher};
 
 use symbreak_majorization::vector as major;
 
@@ -12,10 +36,37 @@ use crate::opinion::Opinion;
 
 /// A population configuration: `counts[i]` nodes currently support color
 /// `i`; the total is the population size `n`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+///
+/// Equality and hashing consider only the counts and the population size;
+/// the occupancy list and cached observables are derived data.
+#[derive(Debug, Clone)]
 pub struct Configuration {
     counts: Vec<u64>,
     n: u64,
+    /// Ascending slot indices with `counts[i] > 0`.
+    occupied: Vec<u32>,
+    /// `Σ cᵢ²` — exact, so `‖x‖₂²` is one division.
+    sum_sq: u128,
+    /// Largest support.
+    max_support: u64,
+    /// Second-largest support (as a multiset: equals `max_support` when
+    /// two slots tie for the lead; 0 when fewer than two colors remain).
+    second_support: u64,
+}
+
+impl PartialEq for Configuration {
+    fn eq(&self, other: &Self) -> bool {
+        self.n == other.n && self.counts == other.counts
+    }
+}
+
+impl Eq for Configuration {}
+
+impl Hash for Configuration {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.counts.hash(state);
+        self.n.hash(state);
+    }
 }
 
 impl Configuration {
@@ -24,11 +75,14 @@ impl Configuration {
     /// Trailing zero colors are retained (color identity is positional).
     ///
     /// # Panics
-    /// Panics if `counts` is empty.
+    /// Panics if `counts` is empty or has more than `u32::MAX` slots.
     pub fn from_counts(counts: Vec<u64>) -> Self {
         assert!(!counts.is_empty(), "configuration needs at least one color slot");
         let n = counts.iter().sum();
-        Self { counts, n }
+        let mut cfg =
+            Self { counts, n, occupied: Vec::new(), sum_sq: 0, max_support: 0, second_support: 0 };
+        cfg.rebuild_caches();
+        cfg
     }
 
     /// The consensus configuration: all `n` nodes on one color (slot 0 of
@@ -37,7 +91,7 @@ impl Configuration {
         assert!(k >= 1, "need at least one color slot");
         let mut counts = vec![0; k];
         counts[0] = n;
-        Self { counts, n }
+        Self::from_counts(counts)
     }
 
     /// The balanced configuration on `k` colors: each color has `n/k`
@@ -48,13 +102,13 @@ impl Configuration {
         let base = n / k as u64;
         let extra = (n % k as u64) as usize;
         let counts = (0..k).map(|i| base + u64::from(i < extra)).collect();
-        Self { counts, n }
+        Self::from_counts(counts)
     }
 
     /// The leader-election start: `n` nodes with pairwise distinct colors.
     pub fn singletons(n: u64) -> Self {
         assert!(n >= 1, "need at least one node");
-        Self { counts: vec![1; n as usize], n }
+        Self::from_counts(vec![1; n as usize])
     }
 
     /// A biased configuration: color 0 receives `bias` extra nodes, the
@@ -68,7 +122,35 @@ impl Configuration {
         let mut cfg = Self::uniform(rest, k);
         cfg.counts[0] += bias;
         cfg.n = n;
+        cfg.rebuild_caches();
         cfg
+    }
+
+    /// Recomputes the occupancy list and cached observables from the
+    /// counts in `O(k)`. `n` is left untouched (it is the authoritative
+    /// mass target that [`Configuration::validate`] checks against).
+    pub(crate) fn rebuild_caches(&mut self) {
+        assert!(self.counts.len() <= u32::MAX as usize, "too many color slots");
+        self.occupied.clear();
+        let mut sum_sq = 0u128;
+        let mut first = 0u64;
+        let mut second = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            self.occupied.push(i as u32);
+            sum_sq += (c as u128) * (c as u128);
+            if c >= first {
+                second = first;
+                first = c;
+            } else if c > second {
+                second = c;
+            }
+        }
+        self.sum_sq = sum_sq;
+        self.max_support = first;
+        self.second_support = second;
     }
 
     /// Population size `n`.
@@ -81,9 +163,9 @@ impl Configuration {
         self.counts.len()
     }
 
-    /// Number of colors with non-zero support ("remaining colors").
+    /// Number of colors with non-zero support ("remaining colors"). `O(1)`.
     pub fn num_colors(&self) -> usize {
-        self.counts.iter().filter(|&&c| c > 0).count()
+        self.occupied.len()
     }
 
     /// Support of color `i` (0 for out-of-range slots).
@@ -96,11 +178,99 @@ impl Configuration {
         &self.counts
     }
 
+    /// The ascending slot indices with non-zero support.
+    pub fn occupied(&self) -> &[u32] {
+        &self.occupied
+    }
+
+    /// The supports of the occupied slots, in ascending slot order.
+    pub fn occupied_counts(&self) -> impl Iterator<Item = u64> + '_ {
+        self.occupied.iter().map(move |&i| self.counts[i as usize])
+    }
+
     /// Mutable access for processes that rewrite supports directly (e.g.
     /// the adversary). The caller must restore `Σ cᵢ = n`; this is checked
-    /// in debug builds on the next [`Configuration::validate`] call.
-    pub fn counts_mut(&mut self) -> &mut Vec<u64> {
-        &mut self.counts
+    /// in debug builds on the next [`Configuration::validate`] call. The
+    /// occupancy list and cached observables are refreshed (`O(k)`) when
+    /// the returned guard drops.
+    pub fn counts_mut(&mut self) -> CountsMut<'_> {
+        CountsMut { cfg: self }
+    }
+
+    /// Rewrites the supports of the occupied slots in one pass, then
+    /// refreshes the occupancy list and cached observables in
+    /// `O(#occupied)`.
+    ///
+    /// `f` receives the occupied-slot list and the dense counts buffer;
+    /// it may write any values at the occupied slots (slots dropping to
+    /// zero leave the occupancy list) but must leave every other slot at
+    /// zero — this is the "dead colors stay dead" invariant every process
+    /// in this crate satisfies. The population size is re-derived from
+    /// the written counts, so mass-changing rewrites (e.g. the undecided
+    /// dynamics trading decided mass against undecided nodes) are
+    /// supported.
+    pub fn rewrite_occupied<F>(&mut self, f: F)
+    where
+        F: FnOnce(&[u32], &mut [u64]),
+    {
+        let occ = std::mem::take(&mut self.occupied);
+        f(&occ, &mut self.counts);
+        self.occupied = occ;
+        self.refresh_after_rewrite();
+    }
+
+    /// Recomputes `n`, `Σ cᵢ²`, the top-two supports, and compacts the
+    /// occupancy list, in one `O(#occupied)` pass. Assumes every slot
+    /// outside the occupancy list is zero.
+    fn refresh_after_rewrite(&mut self) {
+        let counts = &self.counts;
+        let mut n = 0u64;
+        let mut sum_sq = 0u128;
+        let mut first = 0u64;
+        let mut second = 0u64;
+        self.occupied.retain(|&i| {
+            let c = counts[i as usize];
+            if c == 0 {
+                return false;
+            }
+            n += c;
+            sum_sq += (c as u128) * (c as u128);
+            if c >= first {
+                second = first;
+                first = c;
+            } else if c > second {
+                second = c;
+            }
+            true
+        });
+        self.n = n;
+        self.sum_sq = sum_sq;
+        self.max_support = first;
+        self.second_support = second;
+    }
+
+    /// Moves one unit of support `from → to` (`None` meaning outside the
+    /// configuration, e.g. the undecided pool), keeping counts and `n`
+    /// exact.
+    ///
+    /// Every derived cache (occupancy list, `Σ cᵢ²`, top-two supports) is
+    /// left **stale**: keeping the sorted occupancy list exact per unit
+    /// shift would cost an `O(#occupied)` `Vec` remove whenever a slot
+    /// empties, turning many-color agent rounds quadratic. Callers
+    /// batching unit shifts (the agent engine's `record`) instead call
+    /// [`Configuration::rebuild_caches`] once per round — `O(k)`, which
+    /// an `O(n·h)` agent round dominates — before observables are read.
+    #[inline]
+    pub(crate) fn shift_unit(&mut self, from: Option<usize>, to: Option<usize>) {
+        if let Some(i) = from {
+            debug_assert!(self.counts[i] > 0, "cannot remove support from empty slot {i}");
+            self.counts[i] -= 1;
+            self.n -= 1;
+        }
+        if let Some(i) = to {
+            self.counts[i] += 1;
+            self.n += 1;
+        }
     }
 
     /// Recomputes and checks the population invariant after raw mutation.
@@ -117,41 +287,31 @@ impl Configuration {
         self.n = self.counts.iter().sum();
     }
 
-    /// Largest support `maxᵢ cᵢ`.
+    /// Largest support `maxᵢ cᵢ`. `O(1)`.
     pub fn max_support(&self) -> u64 {
-        self.counts.iter().copied().max().unwrap_or(0)
+        self.max_support
     }
 
     /// The color with the largest support (smallest index wins ties).
     pub fn plurality(&self) -> Opinion {
-        let (i, _) = self
-            .counts
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
-            .expect("non-empty configuration");
-        Opinion::new(i as u32)
+        for &i in &self.occupied {
+            if self.counts[i as usize] == self.max_support {
+                return Opinion::new(i);
+            }
+        }
+        // All-zero configuration: keep the historical "slot 0" answer.
+        Opinion::new(0)
     }
 
     /// The bias: difference between the largest and second-largest support
-    /// (footnote 3 of the paper).
+    /// (footnote 3 of the paper). `O(1)`.
     pub fn bias(&self) -> u64 {
-        let mut first = 0u64;
-        let mut second = 0u64;
-        for &c in &self.counts {
-            if c >= first {
-                second = first;
-                first = c;
-            } else if c > second {
-                second = c;
-            }
-        }
-        first - second
+        self.max_support - self.second_support
     }
 
-    /// Whether all nodes support a single color.
+    /// Whether all nodes support a single color. `O(1)`.
     pub fn is_consensus(&self) -> bool {
-        self.num_colors() <= 1
+        self.occupied.len() <= 1
     }
 
     /// Fractions `x = c / n`.
@@ -161,10 +321,10 @@ impl Configuration {
     }
 
     /// `‖x‖₂² = Σ (cᵢ/n)²` — the collision probability appearing in the
-    /// 3-Majority process function (Equation (2)).
+    /// 3-Majority process function (Equation (2)). `O(1)` from the cached
+    /// integer sum of squares.
     pub fn l2_norm_sq(&self) -> f64 {
-        let n = self.n as f64;
-        self.counts.iter().map(|&c| (c as f64 / n).powi(2)).sum()
+        self.sum_sq as f64 / (self.n as f64 * self.n as f64)
     }
 
     /// Whether `self ⪰ other` in the majorization preorder (requires equal
@@ -184,15 +344,37 @@ impl Configuration {
     /// surviving colors; use it only for observables that are
     /// permutation-invariant (consensus time, number of colors, max
     /// support, bias, majorization) — which is everything the paper's
-    /// analysis tracks. Compaction is what keeps long vectorized runs at
-    /// `O(remaining colors)` per round instead of `O(initial colors)`.
+    /// analysis tracks.
     pub fn compacted(&self) -> Configuration {
-        let counts: Vec<u64> = self.counts.iter().copied().filter(|&c| c > 0).collect();
-        if counts.is_empty() {
+        if self.occupied.is_empty() {
             // Preserve a slot so the invariant "at least one slot" holds.
-            return Configuration { counts: vec![0], n: 0 };
+            return Configuration::from_counts(vec![0]);
         }
-        Configuration { counts, n: self.n }
+        let counts: Vec<u64> = self.occupied_counts().collect();
+        Configuration::from_counts(counts)
+    }
+
+    /// Removes zero-support slots in place (no allocation), renumbering
+    /// the surviving colors to `0..num_colors`. Same caveats as
+    /// [`Configuration::compacted`]; `O(#occupied)`.
+    pub fn compact_in_place(&mut self) {
+        let m = self.occupied.len();
+        if m == 0 {
+            self.counts.clear();
+            self.counts.push(0);
+            return;
+        }
+        if self.occupied[m - 1] as usize != m - 1 {
+            // occupied[j] >= j always (ascending, distinct), so the
+            // left-compaction below never overwrites an unread slot.
+            for j in 0..m {
+                self.counts[j] = self.counts[self.occupied[j] as usize];
+            }
+            for (j, o) in self.occupied.iter_mut().enumerate() {
+                *o = j as u32;
+            }
+        }
+        self.counts.truncate(m);
     }
 
     /// Counts sorted in non-increasing order.
@@ -222,8 +404,34 @@ impl Configuration {
                 counts[o.index()] += 1;
             }
         }
-        let n = counts.iter().sum();
-        Self { counts, n }
+        Self::from_counts(counts)
+    }
+}
+
+/// Guard for raw count mutation: dereferences to the count vector and
+/// refreshes the configuration's occupancy list and cached observables
+/// when dropped. Obtained from [`Configuration::counts_mut`].
+pub struct CountsMut<'a> {
+    cfg: &'a mut Configuration,
+}
+
+impl std::ops::Deref for CountsMut<'_> {
+    type Target = Vec<u64>;
+
+    fn deref(&self) -> &Vec<u64> {
+        &self.cfg.counts
+    }
+}
+
+impl std::ops::DerefMut for CountsMut<'_> {
+    fn deref_mut(&mut self) -> &mut Vec<u64> {
+        &mut self.cfg.counts
+    }
+}
+
+impl Drop for CountsMut<'_> {
+    fn drop(&mut self) {
+        self.cfg.rebuild_caches();
     }
 }
 
@@ -243,6 +451,20 @@ impl std::fmt::Display for Configuration {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// From-scratch recount of every cached observable.
+    fn assert_caches_match_recount(c: &Configuration) {
+        let fresh = Configuration::from_counts(c.counts().to_vec());
+        assert_eq!(c.num_colors(), fresh.counts().iter().filter(|&&v| v > 0).count());
+        assert_eq!(c.max_support(), fresh.counts().iter().copied().max().unwrap_or(0));
+        assert_eq!(c.bias(), fresh.bias());
+        assert_eq!(c.occupied(), fresh.occupied());
+        let l2: f64 = {
+            let n = fresh.n() as f64;
+            fresh.counts().iter().map(|&v| (v as f64 / n).powi(2)).sum()
+        };
+        assert!((c.l2_norm_sq() - l2).abs() < 1e-12);
+    }
 
     #[test]
     fn constructors_have_right_mass() {
@@ -382,5 +604,92 @@ mod tests {
         let s = format!("{c}");
         assert!(s.contains("n=10"));
         assert!(s.contains("colors=2"));
+    }
+
+    #[test]
+    fn occupied_list_tracks_support() {
+        let c = Configuration::from_counts(vec![0, 4, 0, 2, 0]);
+        assert_eq!(c.occupied(), &[1, 3]);
+        assert_eq!(c.occupied_counts().collect::<Vec<_>>(), vec![4, 2]);
+        assert_eq!(c.num_colors(), 2);
+        assert_caches_match_recount(&c);
+    }
+
+    #[test]
+    fn counts_mut_guard_refreshes_caches() {
+        let mut c = Configuration::from_counts(vec![3, 3, 0]);
+        {
+            let mut counts = c.counts_mut();
+            counts[0] -= 3;
+            counts[2] += 3;
+        }
+        assert_eq!(c.occupied(), &[1, 2]);
+        assert_eq!(c.max_support(), 3);
+        assert_eq!(c.bias(), 0);
+        assert_caches_match_recount(&c);
+    }
+
+    #[test]
+    fn rewrite_occupied_drops_emptied_slots() {
+        let mut c = Configuration::from_counts(vec![5, 0, 3, 2]);
+        c.rewrite_occupied(|occ, counts| {
+            assert_eq!(occ, &[0, 2, 3]);
+            counts[0] = 8;
+            counts[2] = 0;
+            counts[3] = 2;
+        });
+        assert_eq!(c.occupied(), &[0, 3]);
+        assert_eq!(c.n(), 10);
+        assert_eq!(c.max_support(), 8);
+        assert_eq!(c.bias(), 6);
+        assert_caches_match_recount(&c);
+    }
+
+    #[test]
+    fn rewrite_occupied_rederives_population() {
+        // Mass-changing rewrites (the undecided dynamics) are supported.
+        let mut c = Configuration::from_counts(vec![6, 4]);
+        c.rewrite_occupied(|_, counts| {
+            counts[0] = 3;
+            counts[1] = 2;
+        });
+        assert_eq!(c.n(), 5);
+        assert_caches_match_recount(&c);
+    }
+
+    #[test]
+    fn shift_unit_plus_rebuild_keeps_caches_exact() {
+        let mut c = Configuration::from_counts(vec![2, 1, 0]);
+        c.shift_unit(Some(1), Some(2)); // last unit of color 1 moves to 2
+        c.shift_unit(Some(0), None); // one unit leaves (goes undecided)
+        c.shift_unit(None, Some(1)); // and one returns on a dead color
+        c.rebuild_caches(); // batch of shifts, one refresh — the record pattern
+        assert_eq!(c.counts(), &[1, 1, 1]);
+        assert_eq!(c.occupied(), &[0, 1, 2]);
+        assert_eq!(c.n(), 3);
+        assert_caches_match_recount(&c);
+    }
+
+    #[test]
+    fn compact_in_place_matches_compacted() {
+        let mut c = Configuration::from_counts(vec![0, 4, 0, 2, 0, 1]);
+        let expect = c.compacted();
+        c.compact_in_place();
+        assert_eq!(c, expect);
+        assert_eq!(c.num_slots(), 3);
+        assert_eq!(c.occupied(), &[0, 1, 2]);
+        assert_caches_match_recount(&c);
+        // Idempotent on already-compact configurations.
+        c.compact_in_place();
+        assert_eq!(c, expect);
+    }
+
+    #[test]
+    fn compact_in_place_on_empty_keeps_one_slot() {
+        let mut c = Configuration::from_counts(vec![0, 0, 0]);
+        c.compact_in_place();
+        assert_eq!(c.counts(), &[0]);
+        assert_eq!(c.num_colors(), 0);
+        assert_eq!(c.n(), 0);
     }
 }

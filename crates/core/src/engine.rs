@@ -6,8 +6,10 @@
 //!   and applies its [`UpdateRule`]. `O(n·h)` per round; works for *every*
 //!   rule, including non-AC processes.
 //! * [`VectorEngine`] — the distributional shortcut: one draw from the
-//!   exact one-step law via [`VectorStep`]. `O(k)` per round; this is what
-//!   makes the large-`n` sweeps of the experiment harness feasible.
+//!   exact one-step law, taken in place via
+//!   [`VectorStep::vector_step_into`]. `O(#occupied colors)` per round and
+//!   allocation-free; this is what makes the large-`n` sweeps — including
+//!   the `k = n` singleton starts of Theorem 5 — feasible.
 //!
 //! Experiment E7 (and the cross-validation tests below) confirm the two
 //! agree distributionally, which is exactly the paper's observation that an
@@ -23,8 +25,17 @@ use symbreak_sim::rng::{Pcg64, SplitMix64};
 
 /// A synchronous consensus-process engine.
 pub trait Engine {
-    /// The current configuration (decided colors only).
-    fn configuration(&self) -> Configuration;
+    /// Borrowed view of the current configuration (decided colors only).
+    ///
+    /// This is the cheap accessor the runners poll every round; cloning
+    /// via [`Engine::configuration`] is only needed when the snapshot
+    /// must outlive the engine.
+    fn config_ref(&self) -> &Configuration;
+
+    /// The current configuration (decided colors only), cloned.
+    fn configuration(&self) -> Configuration {
+        self.config_ref().clone()
+    }
 
     /// Number of completed rounds.
     fn round(&self) -> u64;
@@ -38,10 +49,26 @@ pub trait Engine {
         0
     }
 
+    /// Number of remaining colors — `O(1)` from the configuration cache.
+    fn num_colors(&self) -> usize {
+        self.config_ref().num_colors()
+    }
+
+    /// Largest support — `O(1)` from the configuration cache.
+    fn max_support(&self) -> u64 {
+        self.config_ref().max_support()
+    }
+
+    /// Bias (gap between the two largest supports) — `O(1)` from the
+    /// configuration cache.
+    fn bias(&self) -> u64 {
+        self.config_ref().bias()
+    }
+
     /// Whether the system has reached consensus: all nodes decided on one
     /// color.
     fn is_consensus(&self) -> bool {
-        self.undecided() == 0 && self.configuration().is_consensus()
+        self.undecided() == 0 && self.config_ref().is_consensus()
     }
 }
 
@@ -71,7 +98,10 @@ pub struct AgentEngine<R> {
     rule: R,
     opinions: Vec<Opinion>,
     next_opinions: Vec<Opinion>,
-    counts: Vec<u64>,
+    /// Decided-color counts as a full [`Configuration`], kept in sync
+    /// incrementally by [`AgentEngine::record`] so the [`Engine`]
+    /// observables need no per-round recount or clone.
+    config: Configuration,
     undecided: u64,
     round: u64,
     rng: Pcg64,
@@ -101,7 +131,7 @@ impl<R: UpdateRule> AgentEngine<R> {
             rule,
             opinions,
             next_opinions,
-            counts: config.counts().to_vec(),
+            config: config.clone(),
             undecided: 0,
             round: 0,
             rng: Pcg64::seed_from_u64(seed),
@@ -127,23 +157,23 @@ impl<R: UpdateRule> AgentEngine<R> {
     }
 
     /// Records node `u`'s transition `own → new`, maintaining the
-    /// incremental count/undecided bookkeeping.
+    /// incremental count/undecided bookkeeping (the configuration's
+    /// derived caches are refreshed once per round in [`Engine::step`]).
     #[inline]
     fn record(&mut self, u: usize, own: Opinion, new: Opinion) {
         self.next_opinions[u] = new;
         if new != own {
             match (own.is_undecided(), new.is_undecided()) {
                 (false, false) => {
-                    self.counts[own.index()] -= 1;
-                    self.counts[new.index()] += 1;
+                    self.config.shift_unit(Some(own.index()), Some(new.index()));
                 }
                 (false, true) => {
-                    self.counts[own.index()] -= 1;
+                    self.config.shift_unit(Some(own.index()), None);
                     self.undecided += 1;
                 }
                 (true, false) => {
                     self.undecided -= 1;
-                    self.counts[new.index()] += 1;
+                    self.config.shift_unit(None, Some(new.index()));
                 }
                 (true, true) => unreachable!("new == own was excluded"),
             }
@@ -181,11 +211,11 @@ impl<R: UpdateRule> AgentEngine<R> {
     fn step_alias(&mut self) {
         let n = self.opinions.len();
         let h = self.rule.sample_count();
-        let k = self.counts.len();
+        let k = self.config.num_slots();
         // Snapshot the round-start distribution (counts mutate as nodes
         // update, but synchronous semantics sample the old round).
         self.weights.clear();
-        self.weights.extend(self.counts.iter().map(|&c| c as f64));
+        self.weights.extend(self.config.counts().iter().map(|&c| c as f64));
         self.weights.push(self.undecided as f64);
         let mut sampler = RoundSampler::build(&self.weights, n as u64, &mut self.fast_rng);
         let decode =
@@ -218,8 +248,8 @@ impl<R: UpdateRule> AgentEngine<R> {
 }
 
 impl<R: UpdateRule> Engine for AgentEngine<R> {
-    fn configuration(&self) -> Configuration {
-        Configuration::from_counts(self.counts.clone())
+    fn config_ref(&self) -> &Configuration {
+        &self.config
     }
 
     fn round(&self) -> u64 {
@@ -237,6 +267,11 @@ impl<R: UpdateRule> Engine for AgentEngine<R> {
                 SamplingMode::PerNode => self.step_per_node(),
             }
             std::mem::swap(&mut self.opinions, &mut self.next_opinions);
+            // `record` defers every derived cache (an exact per-shift
+            // occupancy list would make many-color rounds quadratic);
+            // one O(k) rebuild per round keeps the observables exact
+            // and is dominated by the O(n·h) round itself.
+            self.config.rebuild_caches();
         }
         self.round += 1;
     }
@@ -349,7 +384,9 @@ impl RoundSampler {
     }
 }
 
-/// Vectorized engine: one exact draw from the one-step law per round.
+/// Vectorized engine: one exact draw from the one-step law per round,
+/// taken in place via [`VectorStep::vector_step_into`] — allocation-free
+/// and `O(#occupied)` for the rules in this crate.
 #[derive(Debug, Clone)]
 pub struct VectorEngine<R> {
     rule: R,
@@ -365,13 +402,18 @@ impl<R: VectorStep> VectorEngine<R> {
         Self { rule, config, round: 0, rng: Pcg64::seed_from_u64(seed), compact: false }
     }
 
-    /// Enables zero-slot compaction after every round, keeping the
-    /// per-round cost at `O(remaining colors)`. Renumbers colors, so use
-    /// only with permutation-invariant observables (see
-    /// [`Configuration::compacted`]).
+    /// Enables zero-slot compaction after every round.
+    ///
+    /// Historically this was what kept long runs at `O(remaining colors)`
+    /// per round; the occupancy-aware configuration now does that by
+    /// itself, so this is a thin wrapper around the `O(#occupied)`
+    /// [`Configuration::compact_in_place`] — kept because it also trims
+    /// the dense buffer (memory) and renumbers colors exactly as before.
+    /// Renumbering means: use only with permutation-invariant observables
+    /// (see [`Configuration::compacted`]).
     pub fn with_compaction(mut self) -> Self {
         self.compact = true;
-        self.config = self.config.compacted();
+        self.config.compact_in_place();
         self
     }
 
@@ -382,8 +424,8 @@ impl<R: VectorStep> VectorEngine<R> {
 }
 
 impl<R: VectorStep> Engine for VectorEngine<R> {
-    fn configuration(&self) -> Configuration {
-        self.config.clone()
+    fn config_ref(&self) -> &Configuration {
+        &self.config
     }
 
     fn round(&self) -> u64 {
@@ -391,9 +433,9 @@ impl<R: VectorStep> Engine for VectorEngine<R> {
     }
 
     fn step(&mut self) {
-        self.config = self.rule.vector_step(&self.config, &mut self.rng);
+        self.rule.vector_step_into(&mut self.config, &mut self.rng);
         if self.compact {
-            self.config = self.config.compacted();
+            self.config.compact_in_place();
         }
         self.round += 1;
     }

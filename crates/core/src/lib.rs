@@ -10,8 +10,9 @@
 //! configurations. This crate implements:
 //!
 //! * [`config::Configuration`] — the state vector `c ∈ N₀^k`, `Σcᵢ = n`,
-//!   with the observables the analysis tracks (remaining colors, max
-//!   support, bias, majorization).
+//!   occupancy-aware (occupied-slot list + cached observables), with the
+//!   observables the analysis tracks (remaining colors, max support,
+//!   bias, majorization) in `O(1)`.
 //! * [`process`] — the AC-process abstraction of Definition 1
 //!   ([`process::AcProcess`]) together with agent-level
 //!   ([`process::UpdateRule`]) and expectation-level
@@ -20,7 +21,8 @@
 //!   2-Choices+Voter reformulation), h-Majority, 2-Median, and the
 //!   undecided-state dynamics.
 //! * [`engine`] — agent-level (`O(nh)`/round) and vectorized
-//!   (`O(k)`/round) engines with identical distributions.
+//!   (allocation-free, `O(#occupied)`/round) engines with identical
+//!   distributions.
 //! * [`run`] — consensus runners and the hitting times `T^κ`.
 //! * [`dominance`] — Definition 2 and the Lemma 2 inequality
 //!   `α^{(3M)}(c) ⪰ α^{(V)}(c̃)`.

@@ -39,7 +39,7 @@ pub fn measure_phases(engine: &mut dyn Engine, n: u64, max_rounds: u64) -> Optio
     let split = phase_split_colors(n);
     let start = engine.round();
     // Phase 1: until at most `split` colors remain.
-    while engine.configuration().num_colors() as u64 > split {
+    while engine.num_colors() as u64 > split {
         if engine.round() - start >= max_rounds {
             return None;
         }

@@ -19,6 +19,19 @@ pub trait AcProcess {
     /// The process function `α : C → [0,1]^k`, returned over the `k`
     /// slots of `c`. Must be a probability vector.
     fn alpha(&self, c: &Configuration) -> Vec<f64>;
+
+    /// Writes `α` restricted to the occupied slots of `c` into `out`
+    /// (cleared first), aligned with [`Configuration::occupied`].
+    ///
+    /// Every process in the paper has `α_i(c) = 0` whenever `c_i = 0`
+    /// (dead colors stay dead), so the restriction loses nothing.
+    /// Processes whose `α` has a per-slot closed form override this to be
+    /// allocation-free; the default gathers from [`AcProcess::alpha`].
+    fn alpha_into(&self, c: &Configuration, out: &mut Vec<f64>) {
+        let dense = self.alpha(c);
+        out.clear();
+        out.extend(c.occupied().iter().map(|&i| dense[i as usize]));
+    }
 }
 
 /// Agent-level (per-node) update semantics under Uniform Pull.
@@ -72,15 +85,82 @@ impl<P: AcProcess> ExpectedUpdate for P {
     }
 }
 
-/// A process with a vectorized `O(k)`-per-round one-step sampler.
+/// A process with a vectorized one-step sampler.
 ///
 /// For AC-processes this is `Mult(n, α(c))`; 2-Choices and the undecided
 /// dynamics have bespoke decompositions. The vector step must be
 /// distributionally identical to one synchronous agent-level round — the
 /// test-suite cross-validates this (Experiment E7).
+///
+/// [`VectorStep::vector_step`] allocates a fresh configuration per round
+/// (`O(k)` over all slots); [`VectorStep::vector_step_into`] advances a
+/// configuration in place, and the rules in this crate override it with
+/// allocation-free `O(#occupied)` samplers — with identical draws for the
+/// same RNG state, which the sparse-equivalence tests pin down.
 pub trait VectorStep {
     /// Samples the next configuration from `c`.
     fn vector_step(&self, c: &Configuration, rng: &mut dyn RngCore) -> Configuration;
+
+    /// Advances `c` to the next configuration in place.
+    ///
+    /// The default shim routes through the allocating
+    /// [`VectorStep::vector_step`]; implementations override it to step
+    /// without touching empty slots or the allocator.
+    fn vector_step_into(&self, c: &mut Configuration, rng: &mut dyn RngCore) {
+        *c = self.vector_step(c, rng);
+    }
+}
+
+/// Reusable per-thread buffers for allocation-free sparse steps.
+///
+/// A rule's `vector_step_into` takes `&self` and `&mut Configuration`,
+/// so per-step working memory cannot live in either; it lives here,
+/// borrowed for the duration of one step via [`with_step_scratch`].
+#[derive(Debug, Default)]
+pub(crate) struct StepScratch {
+    /// Old per-occupied-slot counts (snapshot taken before rewriting).
+    pub counts: Vec<u64>,
+    /// Secondary count buffer (e.g. the undecided dynamics' adoption
+    /// draw).
+    pub aux_counts: Vec<u64>,
+    /// Per-occupied-slot weights for the one-step sampler.
+    pub weights: Vec<f64>,
+    /// Secondary float buffer (e.g. 2-Median's CDF over occupied values).
+    pub aux: Vec<f64>,
+}
+
+/// Runs `f` with this thread's step scratch. Re-entrant calls (a rule
+/// stepping inside another rule's scratch closure) fall back to fresh
+/// buffers rather than panicking.
+pub(crate) fn with_step_scratch<T>(f: impl FnOnce(&mut StepScratch) -> T) -> T {
+    thread_local! {
+        static SCRATCH: std::cell::RefCell<StepScratch> =
+            std::cell::RefCell::new(StepScratch::default());
+    }
+    SCRATCH.with(|s| match s.try_borrow_mut() {
+        Ok(mut scratch) => f(&mut scratch),
+        Err(_) => f(&mut StepScratch::default()),
+    })
+}
+
+/// The shared sparse one-step sampler for AC-processes: draws
+/// `P(c) ∼ Mult(n, α(c))` over the occupied slots only, in place.
+pub(crate) fn ac_vector_step_into<P: AcProcess + ?Sized>(
+    process: &P,
+    c: &mut Configuration,
+    rng: &mut dyn RngCore,
+) {
+    let n = c.n();
+    with_step_scratch(|s| {
+        process.alpha_into(c, &mut s.weights);
+        c.rewrite_occupied(|occ, counts| {
+            for &i in occ {
+                counts[i as usize] = 0;
+            }
+            symbreak_sim::dist::sample_multinomial_sparse_into(n, &s.weights, occ, rng, counts);
+        });
+    });
+    debug_assert_eq!(c.n(), n, "AC step must preserve the population");
 }
 
 /// Validates that `alpha` is a probability vector (panics otherwise).

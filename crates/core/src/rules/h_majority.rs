@@ -16,7 +16,7 @@ use rand::{Rng, RngCore};
 
 use crate::config::Configuration;
 use crate::opinion::Opinion;
-use crate::process::{AcProcess, UpdateRule, VectorStep};
+use crate::process::{ac_vector_step_into, AcProcess, UpdateRule, VectorStep};
 use symbreak_sim::dist::sample_multinomial_into;
 
 /// Practical cap on `k^h` enumeration work for the exact process function.
@@ -142,6 +142,14 @@ impl VectorStep for HMajority {
         let mut out = vec![0u64; alpha.len()];
         sample_multinomial_into(c.n(), &alpha, rng, &mut out);
         Configuration::from_counts(out)
+    }
+
+    /// Sparse step via the shared AC sampler. The `α` enumeration itself
+    /// still allocates one dense vector (its cost is `k^h`, so it is only
+    /// run at small `k` anyway); the multinomial draw walks the occupied
+    /// slots only.
+    fn vector_step_into(&self, c: &mut Configuration, rng: &mut dyn RngCore) {
+        ac_vector_step_into(self, c, rng);
     }
 }
 

@@ -19,8 +19,8 @@ use rand::{Rng, RngCore};
 
 use crate::config::Configuration;
 use crate::opinion::Opinion;
-use crate::process::{ExpectedUpdate, UpdateRule, VectorStep};
-use symbreak_sim::dist::{sample_multinomial_into, Binomial};
+use crate::process::{with_step_scratch, ExpectedUpdate, UpdateRule, VectorStep};
+use symbreak_sim::dist::{sample_multinomial_into, sample_multinomial_sparse_into, Binomial};
 
 /// Lazy Voter with per-round activation probability `p`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -95,6 +95,36 @@ impl VectorStep for LazyVoter {
             }
         }
         Configuration::from_counts(next)
+    }
+
+    /// Allocation-free sparse step: wake-up binomials and the Voter
+    /// redistribution walked over the occupied slots only.
+    fn vector_step_into(&self, c: &mut Configuration, rng: &mut dyn RngCore) {
+        let n = c.n();
+        if n == 0 {
+            return;
+        }
+        let nf = n as f64;
+        let p = self.p;
+        with_step_scratch(|s| {
+            s.counts.clear();
+            s.counts.extend(c.occupied_counts());
+            c.rewrite_occupied(|occ, counts| {
+                let mut awake = 0u64;
+                for (j, &i) in occ.iter().enumerate() {
+                    let cj = s.counts[j];
+                    let w = Binomial::new(cj, p).sample(rng);
+                    awake += w;
+                    counts[i as usize] = cj - w;
+                }
+                if awake > 0 {
+                    s.weights.clear();
+                    s.weights.extend(s.counts.iter().map(|&cj| cj as f64 / nf));
+                    sample_multinomial_sparse_into(awake, &s.weights, occ, rng, counts);
+                }
+            });
+        });
+        debug_assert_eq!(c.n(), n, "lazy Voter step must preserve the population");
     }
 }
 

@@ -17,7 +17,7 @@ use rand::{Rng, RngCore};
 
 use crate::config::Configuration;
 use crate::opinion::Opinion;
-use crate::process::{AcProcess, UpdateRule, VectorStep};
+use crate::process::{ac_vector_step_into, AcProcess, UpdateRule, VectorStep};
 use symbreak_sim::dist::sample_multinomial_into;
 
 /// The direct 3-Majority update rule.
@@ -60,6 +60,16 @@ impl AcProcess for ThreeMajority {
     fn alpha(&self, c: &Configuration) -> Vec<f64> {
         alpha_three_majority(c)
     }
+
+    fn alpha_into(&self, c: &Configuration, out: &mut Vec<f64>) {
+        let n = c.n() as f64;
+        let norm_sq = c.l2_norm_sq();
+        out.clear();
+        out.extend(c.occupied_counts().map(|cnt| {
+            let x = cnt as f64 / n;
+            x * (1.0 + x - norm_sq)
+        }));
+    }
 }
 
 impl VectorStep for ThreeMajority {
@@ -68,6 +78,13 @@ impl VectorStep for ThreeMajority {
         let mut out = vec![0u64; alpha.len()];
         sample_multinomial_into(c.n(), &alpha, rng, &mut out);
         Configuration::from_counts(out)
+    }
+
+    /// Allocation-free sparse step: Equation (2)'s `α` evaluated per
+    /// occupied slot (`‖x‖₂²` is `O(1)` from the configuration cache),
+    /// then `Mult(n, α)` over the occupied slots.
+    fn vector_step_into(&self, c: &mut Configuration, rng: &mut dyn RngCore) {
+        ac_vector_step_into(self, c, rng);
     }
 }
 
@@ -116,11 +133,19 @@ impl AcProcess for ThreeMajorityAlt {
     fn alpha(&self, c: &Configuration) -> Vec<f64> {
         alpha_three_majority(c)
     }
+
+    fn alpha_into(&self, c: &Configuration, out: &mut Vec<f64>) {
+        ThreeMajority.alpha_into(c, out);
+    }
 }
 
 impl VectorStep for ThreeMajorityAlt {
     fn vector_step(&self, c: &Configuration, rng: &mut dyn RngCore) -> Configuration {
         ThreeMajority.vector_step(c, rng)
+    }
+
+    fn vector_step_into(&self, c: &mut Configuration, rng: &mut dyn RngCore) {
+        ThreeMajority.vector_step_into(c, rng);
     }
 }
 

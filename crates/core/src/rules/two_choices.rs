@@ -11,8 +11,8 @@ use rand::RngCore;
 
 use crate::config::Configuration;
 use crate::opinion::Opinion;
-use crate::process::{ExpectedUpdate, UpdateRule, VectorStep};
-use symbreak_sim::dist::{sample_multinomial_into, Binomial};
+use crate::process::{with_step_scratch, ExpectedUpdate, UpdateRule, VectorStep};
+use symbreak_sim::dist::{sample_multinomial_into, sample_multinomial_sparse_into, Binomial};
 
 /// The 2-Choices update rule.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -63,7 +63,7 @@ impl VectorStep for TwoChoices {
     /// multinomially over the match distribution.
     fn vector_step(&self, c: &Configuration, rng: &mut dyn RngCore) -> Configuration {
         let x = c.fractions();
-        let s2: f64 = x.iter().map(|v| v * v).sum();
+        let s2 = c.l2_norm_sq();
         let k = x.len();
         let mut next: Vec<u64> = Vec::with_capacity(k);
         let mut movers_total = 0u64;
@@ -82,6 +82,41 @@ impl VectorStep for TwoChoices {
             }
         }
         Configuration::from_counts(next)
+    }
+
+    /// Allocation-free sparse step: the same decomposition walked over
+    /// the occupied slots only (`S₂` is `O(1)` from the configuration
+    /// cache), `O(#occupied)` per round.
+    fn vector_step_into(&self, c: &mut Configuration, rng: &mut dyn RngCore) {
+        let n = c.n();
+        if n == 0 {
+            return;
+        }
+        let nf = n as f64;
+        let s2 = c.l2_norm_sq();
+        let p_match = s2.clamp(0.0, 1.0);
+        with_step_scratch(|s| {
+            s.counts.clear();
+            s.counts.extend(c.occupied_counts());
+            c.rewrite_occupied(|occ, counts| {
+                let mut movers_total = 0u64;
+                for (j, &i) in occ.iter().enumerate() {
+                    let cj = s.counts[j];
+                    let m = Binomial::new(cj, p_match).sample(rng);
+                    movers_total += m;
+                    counts[i as usize] = cj - m;
+                }
+                if movers_total > 0 {
+                    s.weights.clear();
+                    s.weights.extend(s.counts.iter().map(|&cj| {
+                        let x = cj as f64 / nf;
+                        x * x / s2
+                    }));
+                    sample_multinomial_sparse_into(movers_total, &s.weights, occ, rng, counts);
+                }
+            });
+        });
+        debug_assert_eq!(c.n(), n, "2-Choices step must preserve the population");
     }
 }
 

@@ -5,13 +5,20 @@
 //! consensus in `O(log k · log log n + log n)` rounds without bias, but it
 //! requires a total order on colors and is not self-stabilizing for
 //! Byzantine agreement (it can violate validity). It is not an AC-process
-//! (the update depends on the node's own value).
+//! (the update depends on the node's own value) — but like 2-Choices it
+//! has an exact vectorized decomposition: nodes sharing a value are
+//! exchangeable, so the nodes at value `v` scatter as an independent
+//! `Mult(c_v, q_v)` with `q_v` read off the median CDF. The sparse step
+//! walks occupied values only (`O(#occupied²)` per round — the per-value
+//! target distributions genuinely differ), which finally lets 2-Median
+//! run on the `VectorEngine` instead of the `O(n·h)` agent engine.
 
 use rand::RngCore;
 
 use crate::config::Configuration;
 use crate::opinion::Opinion;
-use crate::process::{ExpectedUpdate, UpdateRule};
+use crate::process::{with_step_scratch, ExpectedUpdate, UpdateRule, VectorStep};
+use symbreak_sim::dist::sample_multinomial_sparse_into;
 
 /// The 2-Median update rule. Opinion indices are interpreted as points on
 /// the integer line.
@@ -79,6 +86,58 @@ impl ExpectedUpdate for TwoMedian {
             }
         }
         expected
+    }
+}
+
+impl VectorStep for TwoMedian {
+    fn vector_step(&self, c: &Configuration, rng: &mut dyn RngCore) -> Configuration {
+        let mut next = c.clone();
+        self.vector_step_into(&mut next, rng);
+        next
+    }
+
+    /// Exact sparse one-step sampler.
+    ///
+    /// For a node with value `v` and two iid samples `X, Y` from the
+    /// configuration distribution, `P(median ≤ t)` is `1 − (1 − F(t))²`
+    /// for `v ≤ t` and `F(t)²` otherwise (at least one, resp. both,
+    /// samples must be `≤ t`) — the same CDF decomposition as
+    /// [`TwoMedian`]'s expectation. The median always lands on an
+    /// occupied value, so each occupied `v` scatters as
+    /// `Mult(c_v, q_v)` over occupied slots, independently across `v`.
+    fn vector_step_into(&self, c: &mut Configuration, rng: &mut dyn RngCore) {
+        let n = c.n();
+        if n == 0 {
+            return;
+        }
+        let nf = n as f64;
+        with_step_scratch(|s| {
+            s.counts.clear();
+            s.counts.extend(c.occupied_counts());
+            // F over occupied values (ascending slot order = value order).
+            s.aux.clear();
+            let mut acc = 0.0;
+            for &cv in &s.counts {
+                acc += cv as f64 / nf;
+                s.aux.push(acc);
+            }
+            c.rewrite_occupied(|occ, counts| {
+                for &i in occ {
+                    counts[i as usize] = 0;
+                }
+                for (a, &cv) in s.counts.iter().enumerate() {
+                    s.weights.clear();
+                    let mut prev = 0.0;
+                    for (b, &f) in s.aux.iter().enumerate() {
+                        let p_le = if a <= b { 1.0 - (1.0 - f) * (1.0 - f) } else { f * f };
+                        s.weights.push((p_le - prev).max(0.0));
+                        prev = p_le;
+                    }
+                    sample_multinomial_sparse_into(cv, &s.weights, occ, rng, counts);
+                }
+            });
+        });
+        debug_assert_eq!(c.n(), n, "2-Median step must preserve the population");
     }
 }
 

@@ -9,13 +9,13 @@
 //! Not an AC-process (the update depends on the node's own state), and its
 //! state space is richer than a [`Configuration`]: it additionally tracks
 //! the undecided count, so it has a bespoke [`UndecidedState`] with a
-//! vectorized `O(k)` step.
+//! vectorized, allocation-free `O(#occupied)` step.
 
 use rand::RngCore;
 
 use crate::config::Configuration;
 use crate::opinion::Opinion;
-use crate::process::UpdateRule;
+use crate::process::{with_step_scratch, UpdateRule};
 use symbreak_sim::dist::{sample_multinomial_into, Binomial};
 
 /// The undecided-dynamics update rule (agent-level form).
@@ -85,12 +85,17 @@ impl UndecidedState {
         self.undecided == 0 && self.colors.is_consensus()
     }
 
-    /// One synchronous round, vectorized in `O(k)`:
+    /// One synchronous round, vectorized and allocation-free in
+    /// `O(#occupied colors)`:
     ///
     /// * decided on `j` → undecided with probability `(n − c_j − u)/n`
     ///   (sampled node decided on a different color);
     /// * undecided → color `i` with probability `c_i/n`, stays undecided
     ///   with probability `u/n`.
+    ///
+    /// Only occupied colors draw (an empty color has no nodes to lose and
+    /// zero adoption probability), so the singleton-start recovery runs
+    /// the paper remarks on scale with the surviving support, not `k`.
     pub fn step(&mut self, rng: &mut dyn RngCore) {
         let n = self.population();
         if n == 0 {
@@ -98,36 +103,36 @@ impl UndecidedState {
         }
         let nf = n as f64;
         let u = self.undecided;
-        let counts = self.colors.counts().to_vec();
-        let k = counts.len();
-
-        let mut next = vec![0u64; k];
         let mut next_undecided = 0u64;
+        with_step_scratch(|s| {
+            s.counts.clear();
+            s.counts.extend(self.colors.occupied_counts());
+            self.colors.rewrite_occupied(|occ, counts| {
+                // Decided nodes: keep or go undecided.
+                for (j, &i) in occ.iter().enumerate() {
+                    let cj = s.counts[j];
+                    let p_leave = ((n - cj - u) as f64 / nf).clamp(0.0, 1.0);
+                    let leavers = Binomial::new(cj, p_leave).sample(rng);
+                    counts[i as usize] = cj - leavers;
+                    next_undecided += leavers;
+                }
 
-        // Decided nodes: keep or go undecided.
-        for (j, &cj) in counts.iter().enumerate() {
-            if cj == 0 {
-                continue;
-            }
-            let p_leave = ((n - cj - u) as f64 / nf).clamp(0.0, 1.0);
-            let leavers = Binomial::new(cj, p_leave).sample(rng);
-            next[j] += cj - leavers;
-            next_undecided += leavers;
-        }
-
-        // Undecided nodes: adopt a decided sample's color or stay.
-        if u > 0 {
-            let mut theta: Vec<f64> = counts.iter().map(|&c| c as f64 / nf).collect();
-            theta.push(u as f64 / nf);
-            let mut out = vec![0u64; k + 1];
-            sample_multinomial_into(u, &theta, rng, &mut out);
-            for (nj, &adopted) in next.iter_mut().zip(&out[..k]) {
-                *nj += adopted;
-            }
-            next_undecided += out[k];
-        }
-
-        self.colors = Configuration::from_counts(next);
+                // Undecided nodes: adopt a decided sample's color or stay
+                // (weights: occupied colors + the stay-undecided slot).
+                if u > 0 {
+                    s.weights.clear();
+                    s.weights.extend(s.counts.iter().map(|&c| c as f64 / nf));
+                    s.weights.push(u as f64 / nf);
+                    s.aux_counts.clear();
+                    s.aux_counts.resize(s.weights.len(), 0);
+                    sample_multinomial_into(u, &s.weights, rng, &mut s.aux_counts);
+                    for (j, &i) in occ.iter().enumerate() {
+                        counts[i as usize] += s.aux_counts[j];
+                    }
+                    next_undecided += s.aux_counts[occ.len()];
+                }
+            });
+        });
         self.undecided = next_undecided;
         debug_assert_eq!(self.population(), n, "population must be conserved");
     }

@@ -9,7 +9,7 @@ use rand::RngCore;
 
 use crate::config::Configuration;
 use crate::opinion::Opinion;
-use crate::process::{AcProcess, UpdateRule, VectorStep};
+use crate::process::{ac_vector_step_into, AcProcess, UpdateRule, VectorStep};
 use symbreak_sim::dist::sample_multinomial_into;
 
 /// The Voter update rule.
@@ -41,6 +41,12 @@ impl AcProcess for Voter {
     fn alpha(&self, c: &Configuration) -> Vec<f64> {
         c.fractions()
     }
+
+    fn alpha_into(&self, c: &Configuration, out: &mut Vec<f64>) {
+        let n = c.n() as f64;
+        out.clear();
+        out.extend(c.occupied_counts().map(|cnt| cnt as f64 / n));
+    }
 }
 
 impl VectorStep for Voter {
@@ -49,6 +55,12 @@ impl VectorStep for Voter {
         let mut out = vec![0u64; alpha.len()];
         sample_multinomial_into(c.n(), &alpha, rng, &mut out);
         Configuration::from_counts(out)
+    }
+
+    /// Allocation-free sparse step: `Mult(n, c/n)` over the occupied
+    /// slots, `O(#occupied)` per round.
+    fn vector_step_into(&self, c: &mut Configuration, rng: &mut dyn RngCore) {
+        ac_vector_step_into(self, c, rng);
     }
 }
 

@@ -11,7 +11,8 @@ use symbreak_sim::trace::{RoundStats, Trace};
 pub struct RunOptions {
     /// Hard cap on simulated rounds.
     pub max_rounds: u64,
-    /// Record a full per-round [`Trace`] (costs `O(k)` per round).
+    /// Record a full per-round [`Trace`] (`O(1)` per round: the
+    /// observables are cached on the configuration).
     pub record_trace: bool,
 }
 
@@ -44,12 +45,13 @@ impl RunOutcome {
 }
 
 fn snapshot(engine: &dyn Engine) -> RoundStats {
-    let cfg = engine.configuration();
+    // The engine observables are O(1) reads off the configuration cache —
+    // no per-round clone even when a trace is recorded.
     RoundStats {
         round: engine.round(),
-        num_colors: cfg.num_colors(),
-        max_support: cfg.max_support(),
-        bias: cfg.bias(),
+        num_colors: engine.num_colors(),
+        max_support: engine.max_support(),
+        bias: engine.bias(),
     }
 }
 
@@ -89,7 +91,7 @@ pub fn run_to_consensus(engine: &mut dyn Engine, opts: &RunOptions) -> RunOutcom
 pub fn hitting_time_colors(engine: &mut dyn Engine, kappa: usize, max_rounds: u64) -> Option<u64> {
     let start = engine.round();
     loop {
-        if engine.configuration().num_colors() <= kappa {
+        if engine.num_colors() <= kappa {
             return Some(engine.round() - start);
         }
         if engine.round() - start >= max_rounds {
@@ -108,7 +110,7 @@ pub fn first_support_above(
 ) -> Option<u64> {
     let start = engine.round();
     loop {
-        if engine.configuration().max_support() > threshold {
+        if engine.max_support() > threshold {
             return Some(engine.round() - start);
         }
         if engine.round() - start >= max_rounds {

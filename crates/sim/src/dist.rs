@@ -6,7 +6,9 @@
 //!   BTRS transformed rejection above it; both exact.
 //! * [`Multinomial`] / [`sample_multinomial_into`] — `O(k)`
 //!   conditional-binomial decomposition; the `_into` form is
-//!   allocation-free for hot loops.
+//!   allocation-free for hot loops. [`sample_multinomial_sparse_into`]
+//!   walks an occupied-slot list instead of the dense vector, which is
+//!   what keeps singleton-start vector rounds at `O(#surviving colors)`.
 //! * [`Categorical`] — Vose's alias method: `O(k)` build, `O(1)` draw.
 //!   This is what the agent engine rebuilds once per round to sample
 //!   opinions instead of nodes.
@@ -50,6 +52,9 @@ fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
 ///
 /// The series error at `k ≥ 16` is below 1e-13 relative, far inside the
 /// tolerance the BTRS acceptance test needs.
+// The table entries are ln(k!) to full f64 precision; ln(2!) genuinely
+// equals the LN_2 constant clippy spots, it is not a rounded stand-in.
+#[allow(clippy::approx_constant, clippy::excessive_precision)]
 fn ln_factorial(k: u64) -> f64 {
     const TABLE: [f64; 17] = [
         0.0,
@@ -361,6 +366,41 @@ pub fn sample_multinomial_into<R: RngCore + ?Sized>(
     conditional_binomial_into(n, theta, last_pos, rng, out);
 }
 
+/// Sparse multinomial draw over occupied slots only: `theta[j]` is the
+/// weight of dense slot `idx[j]`, and the count drawn for it is **added**
+/// to `out[idx[j]]`. Slots outside `idx` are untouched, and the
+/// conditional-binomial walk visits only the `idx` list, so a draw costs
+/// `O(idx.len())` regardless of `out.len()`.
+///
+/// With ascending `idx` listing exactly the positive entries of a dense
+/// weight vector (and `out` zeroed at those slots), the RNG consumption —
+/// and hence the drawn configuration — is identical to
+/// [`sample_multinomial_into`] over the dense vector: a zero-weight slot
+/// there draws from a degenerate binomial, which consumes no randomness.
+/// This is what the occupancy-aware engine stack leans on for its
+/// `O(#occupied)`-per-round steps.
+///
+/// # Panics
+/// Panics if `theta.len() != idx.len()`, on invalid weights, or if all
+/// weights are zero while `n > 0`.
+pub fn sample_multinomial_sparse_into<R: RngCore + ?Sized>(
+    n: u64,
+    theta: &[f64],
+    idx: &[u32],
+    rng: &mut R,
+    out: &mut [u64],
+) {
+    assert_eq!(theta.len(), idx.len(), "one weight per occupied slot");
+    let last_pos = match theta.iter().rposition(|&t| t > 0.0) {
+        Some(i) => i,
+        None => {
+            assert!(n == 0, "all-zero weights cannot place {n} trials");
+            return;
+        }
+    };
+    conditional_binomial_walk(n, theta, last_pos, rng, |j, x| out[idx[j] as usize] += x);
+}
+
 fn conditional_binomial_into<R: RngCore + ?Sized>(
     n: u64,
     theta: &[f64],
@@ -369,24 +409,47 @@ fn conditional_binomial_into<R: RngCore + ?Sized>(
     out: &mut [u64],
 ) {
     assert_eq!(out.len(), theta.len(), "output length must equal category count");
+    out.fill(0);
+    conditional_binomial_walk(n, theta, last_pos, rng, |j, x| out[j] += x);
+}
+
+/// The shared conditional-binomial walk behind both the dense and the
+/// sparse multinomial draws: `deposit(j, x)` receives the count for
+/// category `j` (only called with `x > 0`).
+///
+/// Keeping this walk in one place is load-bearing: the engine stack's
+/// seed-exactness guarantee requires the dense and sparse paths to
+/// consume the RNG identically, so any change to the mass normalization,
+/// the clamp, or the residual handling must apply to both at once.
+fn conditional_binomial_walk<R, F>(
+    n: u64,
+    theta: &[f64],
+    last_pos: usize,
+    rng: &mut R,
+    mut deposit: F,
+) where
+    R: RngCore + ?Sized,
+    F: FnMut(usize, u64),
+{
     let mut remaining = n;
     let mut mass: f64 = theta.iter().sum();
-    for (i, (&t, o)) in theta.iter().zip(out.iter_mut()).enumerate() {
+    for (j, &t) in theta.iter().enumerate() {
         if remaining == 0 {
-            *o = 0;
-            continue;
+            break;
         }
-        if i == last_pos {
+        if j == last_pos {
             // All residual mass belongs here; assigning directly keeps
             // floating-point dust off zero-weight categories.
-            *o = remaining;
+            deposit(j, remaining);
             remaining = 0;
-            continue;
+            break;
         }
         let p = (t / mass).clamp(0.0, 1.0);
         let x = Binomial::new(remaining, p).sample(rng);
-        *o = x;
-        remaining -= x;
+        if x > 0 {
+            deposit(j, x);
+            remaining -= x;
+        }
         mass -= t;
     }
     debug_assert_eq!(remaining, 0, "all trials must be placed");
@@ -646,6 +709,52 @@ mod tests {
             let expect = 1_000.0 * theta[i];
             assert!((mean - expect).abs() < 1.5, "cat {i}: {mean} vs {expect}");
         }
+    }
+
+    #[test]
+    fn sparse_multinomial_matches_dense_bit_for_bit() {
+        // Same seed, dense weights with zeros vs the sparse (theta, idx)
+        // restriction: the draws must be identical, not just in law.
+        let dense_theta = [0.0, 0.2, 0.0, 0.5, 0.3, 0.0];
+        let sparse_theta = [0.2, 0.5, 0.3];
+        let idx = [1u32, 3, 4];
+        for trial in 0..50u64 {
+            let mut rng_dense = Pcg64::seed_from_u64(900 + trial);
+            let mut rng_sparse = Pcg64::seed_from_u64(900 + trial);
+            let mut dense = [0u64; 6];
+            sample_multinomial_into(10_000, &dense_theta, &mut rng_dense, &mut dense);
+            let mut sparse = [0u64; 6];
+            sample_multinomial_sparse_into(
+                10_000,
+                &sparse_theta,
+                &idx,
+                &mut rng_sparse,
+                &mut sparse,
+            );
+            assert_eq!(dense, sparse);
+            assert_eq!(rng_dense.next_u64(), rng_sparse.next_u64(), "RNG streams diverged");
+        }
+    }
+
+    #[test]
+    fn sparse_multinomial_adds_into_existing_counts() {
+        let mut rng = Pcg64::seed_from_u64(10);
+        let mut out = [7u64, 0, 3];
+        sample_multinomial_sparse_into(100, &[0.5, 0.5], &[0, 2], &mut rng, &mut out);
+        assert_eq!(out[0] + out[2], 110, "draw adds to prior values");
+        assert_eq!(out[1], 0, "untouched slot stays untouched");
+    }
+
+    #[test]
+    fn sparse_multinomial_zero_trials_and_zero_weights() {
+        let mut rng = Pcg64::seed_from_u64(11);
+        let mut out = [0u64; 4];
+        sample_multinomial_sparse_into(0, &[0.0, 0.0], &[0, 1], &mut rng, &mut out);
+        assert_eq!(out, [0; 4]);
+        // Interior zero weight is skipped without consuming randomness.
+        sample_multinomial_sparse_into(50, &[0.5, 0.0, 0.5], &[0, 1, 3], &mut rng, &mut out);
+        assert_eq!(out.iter().sum::<u64>(), 50);
+        assert_eq!(out[1], 0);
     }
 
     #[test]

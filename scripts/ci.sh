@@ -10,6 +10,12 @@ cd "$(dirname "$0")/.."
 
 BENCH_OUT="${BENCH_OUT:-${1:-BENCH_ci.json}}"
 
+echo "==> lint: cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> lint: cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
 echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release --workspace
 cargo test -q --workspace

@@ -166,7 +166,8 @@ impl Strategy for Range<f64> {
     type Value = f64;
 
     fn generate(&self, rng: &mut TestRng) -> Option<f64> {
-        if !(self.start < self.end) {
+        // Rejects empty ranges and NaN endpoints alike.
+        if !matches!(self.start.partial_cmp(&self.end), Some(std::cmp::Ordering::Less)) {
             return None;
         }
         Some(self.start + (self.end - self.start) * rng.unit_f64())
@@ -178,7 +179,11 @@ impl Strategy for RangeInclusive<f64> {
 
     fn generate(&self, rng: &mut TestRng) -> Option<f64> {
         let (start, end) = (*self.start(), *self.end());
-        if !(start <= end) {
+        // Rejects empty ranges and NaN endpoints alike.
+        if !matches!(
+            start.partial_cmp(&end),
+            Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+        ) {
             return None;
         }
         // Occasionally emit the exact endpoints: properties at the
