@@ -79,7 +79,11 @@ pub fn run_adversarial<P: VectorStep>(
 }
 
 fn quorum_met(config: &Configuration, fraction: f64) -> bool {
-    config.max_support() as f64 >= (config.n() as f64 * fraction).ceil()
+    // Integer-exact: the float product `n·fraction` is snapped to the
+    // nearest integer (relative tolerance) before the ceiling, so
+    // non-representable fractions (0.55 = 55.000000000000007/100) don't
+    // shift the threshold by one node.
+    config.max_support() >= crate::validity::quorum_threshold(config.n(), fraction)
 }
 
 #[cfg(test)]
@@ -87,6 +91,21 @@ mod tests {
     use super::*;
     use crate::strategies::{MinoritySupporter, Nop, RandomFlipper, SplitKeeper};
     use symbreak_core::rules::ThreeMajority;
+
+    #[test]
+    fn quorum_threshold_is_not_shifted_by_float_error() {
+        // Regression: `(100.0 * 0.55).ceil() = 56` because the product is
+        // 55.000000000000007 in f64 — the old implementation demanded
+        // 56/100 nodes for a 0.55 quorum. The threshold must be 55.
+        let at_quorum = Configuration::from_counts(vec![55, 45]);
+        assert!(quorum_met(&at_quorum, 0.55), "55/100 meets a 0.55 quorum");
+        let below = Configuration::from_counts(vec![54, 46]);
+        assert!(!quorum_met(&below, 0.55), "54/100 misses a 0.55 quorum");
+        // Exact-product fractions keep their usual ceiling behaviour.
+        assert!(quorum_met(&Configuration::from_counts(vec![9, 1]), 0.9));
+        assert!(!quorum_met(&Configuration::from_counts(vec![8, 2]), 0.9));
+        assert!(quorum_met(&Configuration::from_counts(vec![10]), 1.0));
+    }
 
     #[test]
     fn nop_adversary_lets_protocol_converge() {

@@ -7,6 +7,35 @@
 
 use symbreak_core::{Configuration, Opinion};
 
+/// The exact quorum threshold: the smallest integer count `q` with
+/// `q ≥ n·fraction`, where `fraction` is read as the decimal the caller
+/// wrote, not its floating-point representative.
+///
+/// Computing `(n as f64 * fraction).ceil()` directly is wrong for
+/// non-representable fractions: `100.0 * 0.55 = 55.000000000000007`, so
+/// `.ceil()` demands 56/100 nodes instead of 55 — an off-by-one that
+/// silently shifts every stabilization observable. The product carries
+/// only relative rounding error (a few ulps), so snapping it to the
+/// nearest integer when within a `10⁻⁹` *relative* band recovers the
+/// intended value at every population size before the ceiling is
+/// taken. The snap deliberately treats any fraction within the band as
+/// the exact ratio it sits next to: a fraction written with `d`
+/// decimal digits keeps a genuinely fractional product at least
+/// `10⁻ᵈ` from the integers, so short decimals (the intended use) are
+/// never mis-snapped while `n·fraction < 10⁹⁻ᵈ`; fractions engineered
+/// to within `10⁻⁹` (relative) of a boundary — e.g. `0.5500000001` at
+/// `n = 10⁵` — are outside this helper's contract and resolve to the
+/// nearby ratio.
+pub(crate) fn quorum_threshold(n: u64, fraction: f64) -> u64 {
+    let product = n as f64 * fraction;
+    let nearest = product.round();
+    if (product - nearest).abs() <= nearest.abs().max(1.0) * 1e-9 {
+        nearest as u64
+    } else {
+        product.ceil() as u64
+    }
+}
+
 /// Tracks the set of valid colors of a run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ValidityTracker {
@@ -36,7 +65,7 @@ impl ValidityTracker {
     pub fn almost_all_valid(&self, config: &Configuration, quorum_fraction: f64) -> bool {
         assert!((0.0..=1.0).contains(&quorum_fraction), "fraction in [0,1]");
         let winner = config.plurality();
-        let quorum = (config.n() as f64 * quorum_fraction).ceil() as u64;
+        let quorum = quorum_threshold(config.n(), quorum_fraction);
         config.support(winner.index()) >= quorum && self.is_valid(winner)
     }
 }
@@ -73,6 +102,35 @@ mod tests {
         // The adversary manufactured consensus on the initially-dead color.
         let end = Configuration::from_counts(vec![0, 0, 10]);
         assert!(!t.almost_all_valid(&end, 0.5));
+    }
+
+    #[test]
+    fn quorum_threshold_is_integer_exact() {
+        // 100 · 0.55 = 55.000000000000007 in f64; ceiling that demands 56.
+        assert_eq!(quorum_threshold(100, 0.55), 55);
+        assert_eq!(quorum_threshold(100, 0.551), 56);
+        assert_eq!(quorum_threshold(10, 0.9), 9);
+        assert_eq!(quorum_threshold(1000, 1.0), 1000);
+        assert_eq!(quorum_threshold(7, 0.0), 0);
+        // Truly fractional products still round up.
+        assert_eq!(quorum_threshold(10, 0.55), 6);
+        assert_eq!(quorum_threshold(3, 1.0 / 3.0), 1);
+        // Large n: the absolute float error grows past any fixed-point
+        // slack, but the relative snap still recovers the exact value
+        // (1e8 · 0.55 = 55000000.00000001 in f64).
+        assert_eq!(quorum_threshold(100_000_000, 0.55), 55_000_000);
+        assert_eq!(quorum_threshold(100_000_000, 1.0), 100_000_000);
+    }
+
+    #[test]
+    fn almost_all_valid_uses_the_exact_threshold() {
+        let start = Configuration::from_counts(vec![60, 40]);
+        let t = ValidityTracker::from_initial(&start);
+        // 55/100 meets a 0.55 quorum exactly; the float `.ceil()` path
+        // required 56.
+        let end = Configuration::from_counts(vec![55, 45]);
+        assert!(t.almost_all_valid(&end, 0.55));
+        assert!(!t.almost_all_valid(&Configuration::from_counts(vec![54, 46]), 0.55));
     }
 
     #[test]

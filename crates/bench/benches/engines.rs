@@ -25,6 +25,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::RngCore;
 use symbreak_core::rules::{ThreeMajority, Voter};
 use symbreak_core::{AgentEngine, Configuration, Engine, SamplingMode, VectorEngine, VectorStep};
+use symbreak_runtime::{Cluster, ClusterConfig, ReportMode};
 
 /// The PR-1 per-round path, preserved for comparison: only `vector_step`
 /// is implemented, so the engine steps through the default shim — a fresh
@@ -157,6 +158,56 @@ fn bench_engines(c: &mut Criterion) {
                     e.step();
                 }
                 e.round()
+            });
+        });
+    }
+    group.finish();
+
+    // Sparse vs dense control plane of the sharded runtime on the same
+    // k = n = 1e5 singleton start. Both modes run the *identical*
+    // realized trajectory for a given seed (the report wire format never
+    // touches the protocol RNG streams; pinned by
+    // `dense_and_sparse_modes_run_the_same_trajectory`), so each pair
+    // times the same process and the ratio isolates the per-round
+    // report/merge overhead: dense pays a fresh `vec![0; k]` per shard
+    // plus an O(k·shards) aggregate and O(k) `from_counts` rebuild at
+    // the coordinator every round — forever — while sparse pays
+    // O(local_n) per shard and O(#occupied) at the coordinator, which
+    // collapses with the surviving-color count. The win therefore grows
+    // with the collapsed fraction of the horizon (Voter occupancy decays
+    // like ~2n/t) and with the shard count (the dense `vec![0; k]` is
+    // per shard per round); the O(n·h) request/reply data plane —
+    // identical in both modes — is the common floor, so Voter (h = 1)
+    // keeps it minimal.
+    let mut group = c.benchmark_group("cluster_singleton_run");
+    group.sample_size(10);
+    let modes = [("sparse", ReportMode::Sparse), ("dense", ReportMode::Dense)];
+    let n = 100_000u64;
+    for shards in [4usize, 16] {
+        for (name, mode) in modes {
+            let id = BenchmarkId::new(&format!("{name}_voter/rounds_2000/shards_{shards}"), n);
+            group.bench_with_input(id, &n, |b, &n| {
+                b.iter(|| {
+                    let cluster = Cluster::new(
+                        Voter,
+                        &Configuration::singletons(n),
+                        ClusterConfig::new(shards, 23).with_report_mode(mode),
+                    );
+                    cluster.run_horizon(2_000).rounds_run
+                });
+            });
+        }
+    }
+    for (name, mode) in modes {
+        let id = BenchmarkId::new(&format!("{name}_3M/full_consensus/shards_16"), n);
+        group.bench_with_input(id, &n, |b, &n| {
+            b.iter(|| {
+                let cluster = Cluster::new(
+                    ThreeMajority,
+                    &Configuration::singletons(n),
+                    ClusterConfig::new(16, 29).with_report_mode(mode),
+                );
+                cluster.run_to_consensus(10_000_000).expect("consensus").consensus_round
             });
         });
     }

@@ -29,7 +29,7 @@ where
 {
     let start = start.clone();
     run_trials(trials, seed, move |_t, s| {
-        let cluster = Cluster::new(rule.clone(), &start, ClusterConfig { shards, seed: s });
+        let cluster = Cluster::new(rule.clone(), &start, ClusterConfig::new(shards, s));
         cluster.run_to_consensus(10_000_000).expect("consensus").consensus_round
     })
 }

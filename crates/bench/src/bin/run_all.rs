@@ -25,6 +25,7 @@ const EXPERIMENTS: &[&str] = &[
     "exp_e17_distributed_runtime",
     "exp_e18_topologies",
     "exp_e19_graph_bias",
+    "exp_e20_cluster_theorem5",
 ];
 
 fn main() {

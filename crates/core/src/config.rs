@@ -219,6 +219,54 @@ impl Configuration {
         self.refresh_after_rewrite();
     }
 
+    /// Replaces the supports of the occupied slots with the element-wise
+    /// sum of the given sparse `(slot, count)` parts (e.g. per-shard
+    /// reports of a distributed run), in `O(#occupied + Σ|partᵢ|)` with
+    /// no allocation.
+    ///
+    /// Built on [`Configuration::rewrite_occupied`]: every part may only
+    /// name slots that are currently occupied — the "dead colors stay
+    /// dead" invariant every process in this crate satisfies (an opinion
+    /// with zero global support cannot be sampled, so it cannot
+    /// reappear). Pairs within a part may come in any order. Slots named
+    /// by no part drop out of the occupancy list. The population size is
+    /// re-derived from the merged counts, so parts whose total mass
+    /// differs from `n` (e.g. undecided-dynamics shards holding back
+    /// undecided nodes) are supported.
+    ///
+    /// # Panics
+    /// Panics if a part names a slot with no current support: debug
+    /// builds pinpoint the slot per entry; release builds catch any
+    /// violation through an `O(1)`-per-entry mass check (mass written to
+    /// a dead slot is invisible to the occupancy rescan, so the folded
+    /// total and the re-derived `n` can only disagree — and always do —
+    /// when the invariant was broken).
+    pub fn merge_sparse<'a, I>(&mut self, parts: I)
+    where
+        I: IntoIterator<Item = &'a [(u32, u64)]>,
+    {
+        let mut folded = 0u64;
+        self.rewrite_occupied(|occ, counts| {
+            for &i in occ {
+                counts[i as usize] = 0;
+            }
+            for part in parts {
+                for &(slot, count) in part {
+                    debug_assert!(
+                        occ.binary_search(&slot).is_ok(),
+                        "merge_sparse: slot {slot} has no support (dead colors stay dead)"
+                    );
+                    counts[slot as usize] += count;
+                    folded += count;
+                }
+            }
+        });
+        assert_eq!(
+            self.n, folded,
+            "merge_sparse: a part named a slot with no support (dead colors stay dead)"
+        );
+    }
+
     /// Recomputes `n`, `Σ cᵢ²`, the top-two supports, and compacts the
     /// occupancy list, in one `O(#occupied)` pass. Assumes every slot
     /// outside the occupancy list is zero.
@@ -655,6 +703,44 @@ mod tests {
         });
         assert_eq!(c.n(), 5);
         assert_caches_match_recount(&c);
+    }
+
+    #[test]
+    fn merge_sparse_folds_parts_and_drops_dead_slots() {
+        let mut c = Configuration::from_counts(vec![4, 0, 3, 3]);
+        // Two "shards" report their local occupied counts; slot 2 dies.
+        c.merge_sparse([&[(0u32, 2u64), (3, 1)][..], &[(0, 3), (3, 1)][..]]);
+        assert_eq!(c.counts(), &[5, 0, 0, 2]);
+        assert_eq!(c.occupied(), &[0, 3]);
+        assert_eq!(c.n(), 7);
+        assert_eq!(c.max_support(), 5);
+        assert_eq!(c.bias(), 3);
+        assert_caches_match_recount(&c);
+    }
+
+    #[test]
+    fn merge_sparse_rederives_population() {
+        // Undecided-dynamics shards report less mass than n.
+        let mut c = Configuration::from_counts(vec![6, 4]);
+        c.merge_sparse([&[(0u32, 2u64)][..], &[(1, 3)][..]]);
+        assert_eq!(c.counts(), &[2, 3]);
+        assert_eq!(c.n(), 5);
+        assert_caches_match_recount(&c);
+    }
+
+    #[test]
+    fn merge_sparse_with_no_parts_empties_the_configuration() {
+        let mut c = Configuration::from_counts(vec![2, 1]);
+        c.merge_sparse(std::iter::empty::<&[(u32, u64)]>());
+        assert_eq!(c.num_colors(), 0);
+        assert_eq!(c.n(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dead colors stay dead")]
+    fn merge_sparse_rejects_resurrected_slots() {
+        let mut c = Configuration::from_counts(vec![2, 0, 1]);
+        c.merge_sparse([&[(1u32, 1u64)][..]]);
     }
 
     #[test]

@@ -1,13 +1,40 @@
 //! The cluster coordinator: spawns shard threads, drives synchronous
 //! rounds, aggregates per-round observables, and detects consensus.
+//!
+//! The coordinator is occupancy-aware: with the default
+//! [`ReportMode::Sparse`] wire format it keeps **one** persistent merged
+//! [`Configuration`] across the whole run and folds the shards' sparse
+//! `(slot, count)` reports into it via
+//! [`Configuration::merge_sparse`] — `O(#occupied)` per round, with no
+//! allocation in the merge itself (the only per-round allocations are
+//! the shards' `O(#locally occupied)` report buffers) — reading the
+//! [`Trace`] off the configuration's `O(1)` cached observables. [`ReportMode::Dense`] preserves the
+//! pre-sparse path (fresh dense vectors and a `from_counts` rebuild
+//! every round) as the paired-benchmark baseline.
 
 use std::sync::mpsc;
 
 use symbreak_core::{Configuration, UpdateRule};
 use symbreak_sim::trace::{RoundStats, Trace};
 
-use crate::message::{Control, ShardReport};
-use crate::shard::{run_shard, Partition, ShardEndpoints};
+use crate::message::{Control, ReportBody, ShardReport};
+use crate::shard::{run_shard, Partition, ShardEndpoints, ShardSpec};
+
+/// Per-round report wire format exchanged between shards and the
+/// coordinator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReportMode {
+    /// `(slot, count)` pairs over each shard's locally occupied slots,
+    /// folded into a persistent merged configuration. Per-round cost
+    /// `O(local_n)` on the shard and `O(#occupied)` at the coordinator.
+    #[default]
+    Sparse,
+    /// Dense `k`-slot count vectors rebuilt from scratch every round (the
+    /// pre-sparse protocol), kept as the paired-benchmark baseline. Same
+    /// seed ⇒ same trajectory as [`ReportMode::Sparse`]: the report
+    /// format never touches the protocol's RNG streams.
+    Dense,
+}
 
 /// Cluster construction parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -16,15 +43,30 @@ pub struct ClusterConfig {
     pub shards: usize,
     /// Master seed; shard streams are derived deterministically from it.
     pub seed: u64,
+    /// Report wire format (defaults to [`ReportMode::Sparse`]).
+    pub report_mode: ReportMode,
+}
+
+impl ClusterConfig {
+    /// Shorthand for the default (sparse) wire format.
+    pub fn new(shards: usize, seed: u64) -> Self {
+        Self { shards, seed, report_mode: ReportMode::default() }
+    }
+
+    /// Selects the report wire format.
+    pub fn with_report_mode(mut self, report_mode: ReportMode) -> Self {
+        self.report_mode = report_mode;
+        self
+    }
 }
 
 impl Default for ClusterConfig {
     fn default() -> Self {
-        Self { shards: 4, seed: 0 }
+        Self::new(4, 0)
     }
 }
 
-/// Outcome of a cluster run.
+/// Outcome of a cluster run that reached consensus.
 #[derive(Debug, Clone)]
 pub struct ClusterOutcome {
     /// Round at which consensus was observed.
@@ -33,9 +75,27 @@ pub struct ClusterOutcome {
     pub final_config: Configuration,
     /// Round-by-round observables.
     pub trace: Trace,
-    /// Total point-to-point messages exchanged over the whole run
-    /// (requests + replies). The Uniform Pull cost model: `2·n·h` per
-    /// round up to coalesced local deliveries.
+    /// Total point-to-point messages exchanged over the whole run:
+    /// exactly `2·n·h` per round (every request and its reply is counted
+    /// individually, intra-shard deliveries included — there is no
+    /// coalescing of local traffic).
+    pub total_messages: u64,
+}
+
+/// Outcome of a fixed-horizon cluster run (consensus not required).
+#[derive(Debug, Clone)]
+pub struct HorizonOutcome {
+    /// Round at which consensus was observed, if within the horizon.
+    pub consensus_round: Option<u64>,
+    /// Rounds actually executed (the horizon, or less on early consensus).
+    pub rounds_run: u64,
+    /// The final aggregated configuration.
+    pub final_config: Configuration,
+    /// Round-by-round observables (e.g. the Theorem-5 support-cap
+    /// series).
+    pub trace: Trace,
+    /// Total point-to-point messages, counted as in
+    /// [`ClusterOutcome::total_messages`].
     pub total_messages: u64,
 }
 
@@ -63,9 +123,25 @@ impl<R: UpdateRule + Clone + Send> Cluster<R> {
     /// Returns `None` if the cap elapsed first. Consumes the cluster (the
     /// shard threads are joined either way).
     pub fn run_to_consensus(self, max_rounds: u64) -> Option<ClusterOutcome> {
+        let out = self.run_horizon(max_rounds);
+        out.consensus_round.map(|consensus_round| ClusterOutcome {
+            consensus_round,
+            final_config: out.final_config,
+            trace: out.trace,
+            total_messages: out.total_messages,
+        })
+    }
+
+    /// Runs exactly `rounds` synchronous rounds, stopping early only at
+    /// consensus, and reports the trajectory either way. This is the
+    /// Theorem-5 entry point: the lower-bound experiments care about the
+    /// support-cap series over an `Ω(n / log n)` horizon, not about
+    /// reaching consensus.
+    pub fn run_horizon(self, rounds: u64) -> HorizonOutcome {
         let n = self.start.n() as u32;
         let k_slots = self.start.num_slots();
         let shards = self.config.shards;
+        let report_mode = self.config.report_mode;
         let partition = Partition::new(n, shards);
 
         // Wire the topology: one inbox per shard, everyone holds senders
@@ -89,8 +165,11 @@ impl<R: UpdateRule + Clone + Send> Cluster<R> {
         let all_opinions = self.start.to_opinions();
         let rule = self.rule;
         let seed = self.config.seed;
+        // The persistent merged configuration the sparse reports fold
+        // into; occupancy only ever shrinks (dead colors stay dead).
+        let mut merged = self.start;
 
-        let result = crossbeam::thread::scope(|scope| {
+        crossbeam::thread::scope(|scope| {
             for (shard_id, (inbox, control)) in inboxes.into_iter().zip(control_rxs).enumerate() {
                 let range = partition.range(shard_id);
                 let opinions = all_opinions[range.start as usize..range.end as usize].to_vec();
@@ -101,8 +180,9 @@ impl<R: UpdateRule + Clone + Send> Cluster<R> {
                     report: report_tx.clone(),
                 };
                 let rule = rule.clone();
+                let spec = ShardSpec { partition, k_slots, report_mode, master_seed: seed };
                 scope.spawn(move |_| {
-                    run_shard(shard_id, partition, rule, opinions, k_slots, seed, endpoints);
+                    run_shard(shard_id, spec, rule, opinions, endpoints);
                 });
             }
             // The coordinator's copies are no longer needed; dropping them
@@ -111,49 +191,71 @@ impl<R: UpdateRule + Clone + Send> Cluster<R> {
             drop(report_tx);
 
             let mut trace = Trace::new();
-            let mut outcome = None;
+            let mut consensus_round = None;
+            let mut rounds_run = 0u64;
             let mut total_messages = 0u64;
-            for round in 1..=max_rounds {
+            let mut reports: Vec<ShardReport> = Vec::with_capacity(shards);
+            for round in 1..=rounds {
                 for tx in &control_txs {
                     tx.send(Control::Round).expect("shard alive");
                 }
-                let mut counts = vec![0u64; k_slots];
+                reports.clear();
                 let mut undecided = 0u64;
                 for _ in 0..shards {
                     let report = report_rx.recv().expect("shard reports");
-                    for (total, c) in counts.iter_mut().zip(&report.counts) {
-                        *total += c;
-                    }
                     undecided += report.undecided;
                     total_messages += report.messages_sent;
+                    reports.push(report);
                 }
-                let config = Configuration::from_counts(counts);
+                rounds_run = round;
+                match report_mode {
+                    ReportMode::Sparse => {
+                        merged.merge_sparse(reports.iter().map(|r| match &r.body {
+                            ReportBody::Sparse(pairs) => pairs.as_slice(),
+                            ReportBody::Dense(_) => unreachable!("sparse cluster, dense report"),
+                        }));
+                    }
+                    ReportMode::Dense => {
+                        // The preserved pre-sparse path: a fresh dense
+                        // aggregate and configuration rebuild per round.
+                        let mut counts = vec![0u64; k_slots];
+                        for r in &reports {
+                            let ReportBody::Dense(shard_counts) = &r.body else {
+                                unreachable!("dense cluster, sparse report")
+                            };
+                            for (total, c) in counts.iter_mut().zip(shard_counts) {
+                                *total += c;
+                            }
+                        }
+                        merged = Configuration::from_counts(counts);
+                    }
+                }
                 trace.push(RoundStats {
                     round,
-                    num_colors: config.num_colors(),
-                    max_support: config.max_support(),
-                    bias: config.bias(),
+                    num_colors: merged.num_colors(),
+                    max_support: merged.max_support(),
+                    bias: merged.bias(),
                 });
-                if undecided == 0 && config.is_consensus() {
-                    outcome = Some(ClusterOutcome {
-                        consensus_round: round,
-                        final_config: config,
-                        trace: trace.clone(),
-                        total_messages,
-                    });
+                if undecided == 0 && merged.is_consensus() {
+                    consensus_round = Some(round);
                     break;
                 }
             }
-            // Shut the shards down.
+            // Shut the shards down; the outcome then takes ownership of
+            // the trace and merged configuration (no clones).
             for tx in &control_txs {
                 let _ = tx.send(Control::Stop);
             }
             drop(control_txs);
-            outcome
+            HorizonOutcome {
+                consensus_round,
+                rounds_run,
+                final_config: merged,
+                trace,
+                total_messages,
+            }
         })
-        .expect("shard thread panicked");
-
-        result
+        .expect("shard thread panicked")
     }
 }
 
@@ -165,7 +267,7 @@ mod tests {
     #[test]
     fn cluster_reaches_consensus_three_majority() {
         let start = Configuration::uniform(200, 8);
-        let cluster = Cluster::new(ThreeMajority, &start, ClusterConfig { shards: 4, seed: 1 });
+        let cluster = Cluster::new(ThreeMajority, &start, ClusterConfig::new(4, 1));
         let out = cluster.run_to_consensus(100_000).expect("consensus");
         assert!(out.consensus_round > 0);
         assert_eq!(out.final_config.n(), 200);
@@ -176,14 +278,14 @@ mod tests {
     #[test]
     fn cluster_works_single_shard() {
         let start = Configuration::uniform(64, 4);
-        let cluster = Cluster::new(Voter, &start, ClusterConfig { shards: 1, seed: 2 });
+        let cluster = Cluster::new(Voter, &start, ClusterConfig::new(1, 2));
         assert!(cluster.run_to_consensus(1_000_000).is_some());
     }
 
     #[test]
     fn cluster_works_with_many_shards_and_uneven_ranges() {
         let start = Configuration::uniform(50, 5);
-        let cluster = Cluster::new(ThreeMajority, &start, ClusterConfig { shards: 7, seed: 3 });
+        let cluster = Cluster::new(ThreeMajority, &start, ClusterConfig::new(7, 3));
         let out = cluster.run_to_consensus(100_000).expect("consensus");
         assert_eq!(out.final_config.n(), 50);
     }
@@ -191,7 +293,7 @@ mod tests {
     #[test]
     fn cluster_respects_round_cap() {
         let start = Configuration::singletons(512);
-        let cluster = Cluster::new(TwoChoices, &start, ClusterConfig { shards: 4, seed: 4 });
+        let cluster = Cluster::new(TwoChoices, &start, ClusterConfig::new(4, 4));
         assert!(cluster.run_to_consensus(2).is_none(), "2 rounds cannot suffice");
     }
 
@@ -199,7 +301,7 @@ mod tests {
     fn cluster_is_deterministic_per_seed() {
         let start = Configuration::uniform(120, 6);
         let run = |seed| {
-            let cluster = Cluster::new(ThreeMajority, &start, ClusterConfig { shards: 3, seed });
+            let cluster = Cluster::new(ThreeMajority, &start, ClusterConfig::new(3, seed));
             cluster.run_to_consensus(100_000).expect("consensus").consensus_round
         };
         assert_eq!(run(42), run(42));
@@ -208,7 +310,7 @@ mod tests {
     #[test]
     fn cluster_handles_undecided_dynamics() {
         let start = Configuration::from_counts(vec![80, 20]);
-        let cluster = Cluster::new(UndecidedDynamics, &start, ClusterConfig { shards: 4, seed: 5 });
+        let cluster = Cluster::new(UndecidedDynamics, &start, ClusterConfig::new(4, 5));
         let out = cluster.run_to_consensus(1_000_000).expect("consensus");
         assert!(out.final_config.is_consensus());
     }
@@ -216,7 +318,7 @@ mod tests {
     #[test]
     fn population_is_conserved_every_round() {
         let start = Configuration::uniform(90, 3);
-        let cluster = Cluster::new(Voter, &start, ClusterConfig { shards: 3, seed: 6 });
+        let cluster = Cluster::new(Voter, &start, ClusterConfig::new(3, 6));
         let out = cluster.run_to_consensus(1_000_000).expect("consensus");
         // Trace max_support never exceeds n; final mass intact.
         assert!(out.trace.rounds().iter().all(|r| r.max_support <= 90));
@@ -226,18 +328,109 @@ mod tests {
     #[test]
     fn message_accounting_matches_protocol_cost() {
         // Each round: every node sends h requests and receives h replies,
-        // so total messages = rounds * 2 * n * h exactly.
+        // so total messages = rounds * 2 * n * h exactly — intra-shard
+        // deliveries included, no coalescing.
         let n = 120u64;
         let start = Configuration::uniform(n, 4);
-        let cluster = Cluster::new(ThreeMajority, &start, ClusterConfig { shards: 3, seed: 8 });
+        let cluster = Cluster::new(ThreeMajority, &start, ClusterConfig::new(3, 8));
         let out = cluster.run_to_consensus(100_000).expect("consensus");
         assert_eq!(out.total_messages, out.consensus_round * 2 * n * 3);
+    }
+
+    #[test]
+    fn dense_and_sparse_modes_run_the_same_trajectory() {
+        // The report wire format never touches the protocol RNG streams,
+        // so same seed ⇒ identical realized process, round for round.
+        for (counts, shards, seed) in [
+            (Configuration::uniform(200, 8).counts().to_vec(), 3usize, 11u64),
+            (vec![1; 64], 4, 12), // k = n singleton start
+        ] {
+            let start = Configuration::from_counts(counts);
+            let run = |mode| {
+                Cluster::new(
+                    ThreeMajority,
+                    &start,
+                    ClusterConfig::new(shards, seed).with_report_mode(mode),
+                )
+                .run_to_consensus(1_000_000)
+                .expect("consensus")
+            };
+            let sparse = run(ReportMode::Sparse);
+            let dense = run(ReportMode::Dense);
+            assert_eq!(sparse.consensus_round, dense.consensus_round);
+            assert_eq!(sparse.trace, dense.trace);
+            assert_eq!(sparse.final_config, dense.final_config);
+            assert_eq!(sparse.total_messages, dense.total_messages);
+        }
+    }
+
+    #[test]
+    fn dense_and_sparse_agree_under_undecided_dynamics() {
+        // Mass-changing reports (shards holding back undecided nodes)
+        // exercise merge_sparse's population re-derivation.
+        let start = Configuration::from_counts(vec![60, 40]);
+        let run = |mode| {
+            Cluster::new(
+                UndecidedDynamics,
+                &start,
+                ClusterConfig::new(4, 13).with_report_mode(mode),
+            )
+            .run_to_consensus(1_000_000)
+            .expect("consensus")
+        };
+        let sparse = run(ReportMode::Sparse);
+        let dense = run(ReportMode::Dense);
+        assert_eq!(sparse.consensus_round, dense.consensus_round);
+        assert_eq!(sparse.trace, dense.trace);
+        assert_eq!(sparse.final_config, dense.final_config);
+    }
+
+    #[test]
+    fn run_horizon_reports_capped_trajectories() {
+        let start = Configuration::singletons(128);
+        let cluster = Cluster::new(Voter, &start, ClusterConfig::new(4, 9));
+        let out = cluster.run_horizon(5);
+        assert_eq!(out.rounds_run, 5);
+        assert_eq!(out.consensus_round, None, "128 singletons cannot converge in 5 rounds");
+        assert_eq!(out.trace.len(), 5);
+        assert_eq!(out.final_config.n(), 128);
+        assert_eq!(out.total_messages, 5 * 2 * 128);
+        // Occupancy only shrinks along the trajectory.
+        let colors: Vec<usize> = out.trace.rounds().iter().map(|r| r.num_colors).collect();
+        assert!(colors.windows(2).all(|w| w[1] <= w[0]));
+    }
+
+    #[test]
+    fn run_horizon_stops_early_at_consensus() {
+        let start = Configuration::uniform(60, 3);
+        let out =
+            Cluster::new(ThreeMajority, &start, ClusterConfig::new(3, 10)).run_horizon(100_000);
+        let round = out.consensus_round.expect("consensus well before the cap");
+        assert_eq!(out.rounds_run, round);
+        assert_eq!(out.trace.len() as u64, round);
+        assert!(out.final_config.is_consensus());
+    }
+
+    #[test]
+    fn rounds_without_cross_shard_replies_terminate() {
+        // With n = 2 nodes on 2 shards and h = 1, both nodes sample their
+        // own shard with probability 1/4 per round, so runs repeatedly
+        // hit rounds where *zero* reply batches cross shard boundaries —
+        // exactly the case the protocol must survive without the
+        // (skipped) empty reply batches. Replies are counted by entry,
+        // not by batch, so every one of these runs must still terminate.
+        for seed in 0..40 {
+            let start = Configuration::uniform(2, 2);
+            let cluster = Cluster::new(Voter, &start, ClusterConfig::new(2, seed));
+            let out = cluster.run_to_consensus(100_000).expect("consensus despite empty replies");
+            assert!(out.final_config.is_consensus());
+        }
     }
 
     #[test]
     #[should_panic(expected = "one node per shard")]
     fn more_shards_than_nodes_panics() {
         let start = Configuration::uniform(3, 3);
-        Cluster::new(Voter, &start, ClusterConfig { shards: 8, seed: 0 });
+        Cluster::new(Voter, &start, ClusterConfig::new(8, 0));
     }
 }

@@ -19,6 +19,18 @@
 //! * **O(log k) state** — a node's state is its opinion; shards hold no
 //!   global view.
 //!
+//! The control plane is occupancy-aware end-to-end: shards report sparse
+//! `(slot, count)` pairs over their locally occupied colors (built in
+//! `O(local_n)` from a reusable touched-slot scratch), and the
+//! coordinator folds them into one persistent merged [`Configuration`]
+//! via `Configuration::merge_sparse` — so a `k = n` singleton start
+//! costs `O(#surviving colors)` per round on the control plane instead
+//! of `O(k)`. The pre-sparse dense wire format survives as
+//! [`ReportMode::Dense`] for paired benchmarking, and both formats run
+//! the *identical* trajectory for a given seed.
+//!
+//! [`Configuration`]: symbreak_core::Configuration
+//!
 //! The test-suite cross-validates the runtime against the single-threaded
 //! engines: same process law, same consensus behaviour.
 //!
@@ -30,7 +42,7 @@
 //! use symbreak_core::Configuration;
 //!
 //! let start = Configuration::uniform(256, 8);
-//! let cluster = Cluster::new(ThreeMajority, &start, ClusterConfig { shards: 4, seed: 7 });
+//! let cluster = Cluster::new(ThreeMajority, &start, ClusterConfig::new(4, 7));
 //! let outcome = cluster.run_to_consensus(10_000).expect("consensus");
 //! assert_eq!(outcome.final_config.num_colors(), 1);
 //! ```
@@ -39,5 +51,5 @@ pub mod cluster;
 pub mod message;
 pub mod shard;
 
-pub use cluster::{Cluster, ClusterConfig, ClusterOutcome};
-pub use message::{Request, ShardMessage};
+pub use cluster::{Cluster, ClusterConfig, ClusterOutcome, HorizonOutcome, ReportMode};
+pub use message::{ReportBody, Request, ShardMessage};

@@ -1,10 +1,28 @@
 //! Wire messages exchanged between shards.
 //!
 //! All inter-shard traffic is batched per (sender-shard, receiver-shard)
-//! pair per phase, so a shard knows it has seen everything for a phase
-//! once it has received exactly one batch from every shard (empty batches
-//! are sent explicitly). This gives a deterministic, deadlock-free
-//! synchronous round without a global barrier primitive.
+//! pair per phase. The two phases close differently:
+//!
+//! * **Requests** are counted by *batches*: every shard sends exactly one
+//!   request batch to every shard each round, empty or not, so a shard
+//!   knows the request phase is over once it has received one batch per
+//!   shard.
+//! * **Replies** are counted by *entries*: a shard expects exactly
+//!   `local_n · h` reply entries per round, so empty reply batches carry
+//!   no information and are **not** sent.
+//!
+//! Together this gives a deterministic, deadlock-free synchronous round
+//! without a global barrier primitive.
+//!
+//! # Sparse report format
+//!
+//! Per-round shard reports default to the occupancy-aware wire format:
+//! `(slot, count)` pairs over the shard's *locally occupied* color
+//! slots ([`ReportBody::Sparse`]), built in `O(local_n)` and sized
+//! `O(#locally occupied)` — on a `k = n` singleton start this collapses
+//! with the surviving-color count instead of staying `O(k)` forever. The
+//! dense `k`-slot vector ([`ReportBody::Dense`]) is retained as the
+//! benchmark baseline (`crate::ReportMode::Dense`).
 
 use symbreak_core::Opinion;
 
@@ -50,14 +68,28 @@ pub enum Control {
     Stop,
 }
 
+/// A shard's per-round opinion counts, in the wire format selected by
+/// [`crate::ReportMode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReportBody {
+    /// `(slot, count)` pairs over the locally occupied slots, in
+    /// first-touch order (the merge is additive, so order is
+    /// irrelevant); every `count` is non-zero. `O(#locally occupied)`
+    /// on the wire.
+    Sparse(Vec<(u32, u64)>),
+    /// Per-color support over all `k` slots (the pre-sparse format, kept
+    /// as the paired-benchmark baseline).
+    Dense(Vec<u64>),
+}
+
 /// Shard-to-coordinator per-round report: this shard's opinion counts
-/// (over `k` slots) plus its undecided count.
+/// plus its undecided count.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardReport {
     /// Shard index.
     pub shard: usize,
-    /// Per-color support among this shard's nodes.
-    pub counts: Vec<u64>,
+    /// Support among this shard's nodes, in the configured wire format.
+    pub body: ReportBody,
     /// Undecided nodes in this shard.
     pub undecided: u64,
     /// Point-to-point messages (request or reply batches' individual
@@ -85,5 +117,12 @@ mod tests {
         let rep = Reply { requester: 3, slot: 1, opinion: Opinion::new(9) };
         assert_eq!(rep.opinion, Opinion::new(9));
         assert_eq!(rep.slot, 1);
+    }
+
+    #[test]
+    fn report_bodies_compare_structurally() {
+        let sparse = ReportBody::Sparse(vec![(0, 2), (3, 1)]);
+        assert_eq!(sparse, ReportBody::Sparse(vec![(0, 2), (3, 1)]));
+        assert_ne!(sparse, ReportBody::Dense(vec![2, 0, 0, 1]));
     }
 }

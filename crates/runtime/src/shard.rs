@@ -1,5 +1,16 @@
 //! Shard workers: each thread owns a contiguous range of nodes and speaks
 //! the batched request/reply protocol of [`crate::message`].
+//!
+//! The round loop recycles its batch buffers: outgoing request and
+//! reply batches are drawn from per-type buffer pools that are
+//! replenished by the batches *received* from peers (each round a shard
+//! sends and receives the same number of batches of each type, so the
+//! pools reach equilibrium after the first round), and the sparse
+//! report is counted through a reusable touched-slot scratch in
+//! `O(local_n)` instead of a fresh dense `vec![0; k]`. The one
+//! remaining per-round allocation is the report's `(slot, count)` pair
+//! buffer itself — `O(#locally occupied)`, and it changes hands to the
+//! coordinator, so it cannot be pooled shard-side.
 
 use std::sync::mpsc::{Receiver, Sender};
 
@@ -8,7 +19,8 @@ use rand::{Rng, SeedableRng};
 use symbreak_core::{Opinion, UpdateRule};
 use symbreak_sim::rng::{trial_seed, Pcg64};
 
-use crate::message::{Control, Reply, Request, ShardMessage, ShardReport};
+use crate::cluster::ReportMode;
+use crate::message::{Control, Reply, ReportBody, Request, ShardMessage, ShardReport};
 
 /// Node-ownership partition: shard `i` owns global ids
 /// `[i·chunk, min((i+1)·chunk, n))`.
@@ -49,34 +61,54 @@ pub(crate) struct ShardEndpoints {
     pub report: Sender<ShardReport>,
 }
 
-/// Runs one shard to completion.
+/// Static per-run parameters shared by every shard.
 ///
 /// `k_slots` is the number of color slots reported back to the
 /// coordinator (opinion indices must stay below it).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ShardSpec {
+    pub partition: Partition,
+    pub k_slots: usize,
+    pub report_mode: ReportMode,
+    pub master_seed: u64,
+}
+
+/// Runs one shard to completion.
 pub(crate) fn run_shard<R: UpdateRule>(
     shard_id: usize,
-    partition: Partition,
+    spec: ShardSpec,
     rule: R,
     mut opinions: Vec<Opinion>,
-    k_slots: usize,
-    master_seed: u64,
     endpoints: ShardEndpoints,
 ) {
+    let ShardSpec { partition, k_slots, report_mode, master_seed } = spec;
     let mut rng = Pcg64::seed_from_u64(trial_seed(master_seed, shard_id as u64 + 1));
     let h = rule.sample_count();
     let local_n = opinions.len();
     let lo = partition.range(shard_id).start;
+    let shards = partition.shards;
     let mut samples: Vec<Opinion> = vec![Opinion::new(0); local_n * h];
     let mut snapshot: Vec<Opinion> = opinions.clone();
+
+    // Reusable round state: per-destination batch buffers, the pools that
+    // recycle received batches into next round's outgoing ones, and the
+    // sparse-report scratch (dense but zero outside `touched`, so a round
+    // touches only the locally occupied slots).
+    let mut outgoing: Vec<Vec<Request>> = (0..shards).map(|_| Vec::new()).collect();
+    let mut reply_out: Vec<Vec<Reply>> = (0..shards).map(|_| Vec::new()).collect();
+    let mut request_pool: Vec<Vec<Request>> = Vec::new();
+    let mut reply_pool: Vec<Vec<Reply>> = Vec::new();
+    let mut count_scratch: Vec<u64> = vec![0; k_slots];
+    let mut touched: Vec<u32> = Vec::new();
 
     while let Ok(Control::Round) = endpoints.control.recv() {
         // Freeze the round-start snapshot (synchrony: replies quote it).
         snapshot.clone_from(&opinions);
 
         // Issue h uniform pull requests per local node, batched per
-        // destination shard.
+        // destination shard. Every destination gets exactly one request
+        // batch, empty or not — batches close the request phase.
         let mut messages_sent = 0u64;
-        let mut outgoing: Vec<Vec<Request>> = vec![Vec::new(); partition.shards];
         for local in 0..local_n {
             let requester = lo + local as u32;
             for slot in 0..h {
@@ -88,44 +120,49 @@ pub(crate) fn run_shard<R: UpdateRule>(
                 });
             }
         }
-        for (dest, batch) in outgoing.into_iter().enumerate() {
+        for (dest, out) in outgoing.iter_mut().enumerate() {
+            let batch = std::mem::replace(out, request_pool.pop().unwrap_or_default());
             messages_sent += batch.len() as u64;
             endpoints.peers[dest].send(ShardMessage::Requests(batch)).expect("peer shard alive");
         }
 
         // Serve requests as they arrive and absorb replies until both
-        // sides of the round are complete.
+        // sides of the round are complete. Replies are counted by entry
+        // (`local_n · h` expected), so empty reply batches are skipped.
         let mut request_batches = 0usize;
         let expected_replies = local_n * h;
         let mut replies_received = 0usize;
-        while request_batches < partition.shards || replies_received < expected_replies {
+        while request_batches < shards || replies_received < expected_replies {
             match endpoints.inbox.recv().expect("cluster channels alive") {
-                ShardMessage::Requests(batch) => {
+                ShardMessage::Requests(mut batch) => {
                     request_batches += 1;
-                    let mut replies: Vec<Vec<Reply>> = vec![Vec::new(); partition.shards];
-                    for req in batch {
+                    for req in batch.drain(..) {
                         let opinion = snapshot[(req.target - lo) as usize];
-                        replies[partition.owner(req.requester)].push(Reply {
+                        reply_out[partition.owner(req.requester)].push(Reply {
                             requester: req.requester,
                             slot: req.slot,
                             opinion,
                         });
                     }
-                    for (dest, batch) in replies.into_iter().enumerate() {
-                        if !batch.is_empty() {
-                            messages_sent += batch.len() as u64;
-                            endpoints.peers[dest]
-                                .send(ShardMessage::Replies(batch))
-                                .expect("peer shard alive");
+                    request_pool.push(batch);
+                    for (dest, out) in reply_out.iter_mut().enumerate() {
+                        if out.is_empty() {
+                            continue;
                         }
+                        let replies = std::mem::replace(out, reply_pool.pop().unwrap_or_default());
+                        messages_sent += replies.len() as u64;
+                        endpoints.peers[dest]
+                            .send(ShardMessage::Replies(replies))
+                            .expect("peer shard alive");
                     }
                 }
-                ShardMessage::Replies(batch) => {
+                ShardMessage::Replies(mut batch) => {
                     replies_received += batch.len();
-                    for rep in batch {
+                    for rep in batch.drain(..) {
                         let local = (rep.requester - lo) as usize;
                         samples[local * h + rep.slot as usize] = rep.opinion;
                     }
+                    reply_pool.push(batch);
                 }
             }
         }
@@ -138,18 +175,43 @@ pub(crate) fn run_shard<R: UpdateRule>(
         }
 
         // Report this shard's observable state.
-        let mut counts = vec![0u64; k_slots];
         let mut undecided = 0u64;
-        for &o in &opinions {
-            if o.is_undecided() {
-                undecided += 1;
-            } else {
-                counts[o.index()] += 1;
+        let body = match report_mode {
+            ReportMode::Sparse => {
+                touched.clear();
+                for &o in &opinions {
+                    if o.is_undecided() {
+                        undecided += 1;
+                        continue;
+                    }
+                    let i = o.index();
+                    if count_scratch[i] == 0 {
+                        touched.push(i as u32);
+                    }
+                    count_scratch[i] += 1;
+                }
+                let mut pairs = Vec::with_capacity(touched.len());
+                for &i in &touched {
+                    pairs.push((i, count_scratch[i as usize]));
+                    count_scratch[i as usize] = 0;
+                }
+                ReportBody::Sparse(pairs)
             }
-        }
+            ReportMode::Dense => {
+                let mut counts = vec![0u64; k_slots];
+                for &o in &opinions {
+                    if o.is_undecided() {
+                        undecided += 1;
+                    } else {
+                        counts[o.index()] += 1;
+                    }
+                }
+                ReportBody::Dense(counts)
+            }
+        };
         endpoints
             .report
-            .send(ShardReport { shard: shard_id, counts, undecided, messages_sent })
+            .send(ShardReport { shard: shard_id, body, undecided, messages_sent })
             .expect("coordinator alive");
     }
 }

@@ -1,0 +1,83 @@
+//! E7-style cross-validation of the sharded runtime against the engines:
+//! the message-passing cluster must realize the same stochastic process
+//! as the single-machine `VectorEngine` (the exact one-step law), so the
+//! occupancy-aware wire format cannot silently change the process.
+//!
+//! Compares mean consensus times over paired independent trials for
+//! Voter and 3-Majority, with a Welch-style tolerance on the difference
+//! of means. Seeds are fixed, so the check is deterministic.
+
+use symbreak_core::rules::{ThreeMajority, Voter};
+use symbreak_core::{
+    run_to_consensus, Configuration, RunOptions, UpdateRule, VectorEngine, VectorStep,
+};
+use symbreak_runtime::{Cluster, ClusterConfig};
+use symbreak_sim::run_trials;
+use symbreak_stats::Summary;
+
+fn cluster_times<R>(rule: R, start: &Configuration, trials: u64, seed: u64) -> Vec<u64>
+where
+    R: UpdateRule + Clone + Send + Sync,
+{
+    let start = start.clone();
+    run_trials(trials, seed, move |_t, s| {
+        let cluster = Cluster::new(rule.clone(), &start, ClusterConfig::new(3, s));
+        cluster.run_to_consensus(10_000_000).expect("consensus").consensus_round
+    })
+}
+
+fn engine_times<R>(rule: R, start: &Configuration, trials: u64, seed: u64) -> Vec<u64>
+where
+    R: VectorStep + Clone + Send + Sync,
+{
+    let start = start.clone();
+    run_trials(trials, seed, move |_t, s| {
+        let mut e = VectorEngine::new(rule.clone(), start.clone(), s);
+        run_to_consensus(&mut e, &RunOptions { max_rounds: u64::MAX, record_trace: false })
+            .consensus_round
+            .expect("consensus")
+    })
+}
+
+/// Asserts the two mean consensus times agree within a Welch-style
+/// 5-sigma band on the difference of means.
+fn assert_means_agree(name: &str, cluster: &[u64], engine: &[u64]) {
+    let c = Summary::of_counts(cluster);
+    let e = Summary::of_counts(engine);
+    let tol = 5.0 * (c.std_err().powi(2) + e.std_err().powi(2)).sqrt() + 0.5;
+    assert!(
+        (c.mean() - e.mean()).abs() < tol,
+        "{name}: cluster mean {} vs engine mean {} (tol {tol})",
+        c.mean(),
+        e.mean()
+    );
+}
+
+#[test]
+fn cluster_matches_vector_engine_three_majority() {
+    let start = Configuration::uniform(256, 8);
+    let trials = 48;
+    let cluster = cluster_times(ThreeMajority, &start, trials, 7100);
+    let engine = engine_times(ThreeMajority, &start, trials, 7200);
+    assert_means_agree("3-Majority", &cluster, &engine);
+}
+
+#[test]
+fn cluster_matches_vector_engine_voter() {
+    let start = Configuration::uniform(128, 8);
+    let trials = 48;
+    let cluster = cluster_times(Voter, &start, trials, 7300);
+    let engine = engine_times(Voter, &start, trials, 7400);
+    assert_means_agree("Voter", &cluster, &engine);
+}
+
+#[test]
+fn cluster_matches_vector_engine_from_singleton_start() {
+    // The k = n start is the regime the sparse wire format exists for;
+    // pin the law there too.
+    let start = Configuration::singletons(96);
+    let trials = 48;
+    let cluster = cluster_times(ThreeMajority, &start, trials, 7500);
+    let engine = engine_times(ThreeMajority, &start, trials, 7600);
+    assert_means_agree("3-Majority singletons", &cluster, &engine);
+}

@@ -16,7 +16,7 @@ proptest! {
     ) {
         let start = Configuration::from_counts(counts);
         prop_assume!(start.n() >= shards as u64);
-        let cluster = Cluster::new(ThreeMajority, &start, ClusterConfig { shards, seed });
+        let cluster = Cluster::new(ThreeMajority, &start, ClusterConfig::new(shards, seed));
         let out = cluster.run_to_consensus(1_000_000).expect("consensus");
         prop_assert!(out.final_config.is_consensus());
         prop_assert_eq!(out.final_config.n(), start.n());
@@ -29,7 +29,7 @@ proptest! {
     ) {
         let start = Configuration::from_counts(counts);
         prop_assume!(start.n() >= 4);
-        let cluster = Cluster::new(Voter, &start, ClusterConfig { shards: 2, seed });
+        let cluster = Cluster::new(Voter, &start, ClusterConfig::new(2, seed));
         let out = cluster.run_to_consensus(2_000_000).expect("consensus");
         let winner = out.final_config.plurality();
         prop_assert!(
@@ -41,7 +41,7 @@ proptest! {
     #[test]
     fn trace_round_indices_are_sequential(seed in 0u64..200) {
         let start = Configuration::uniform(40, 4);
-        let cluster = Cluster::new(ThreeMajority, &start, ClusterConfig { shards: 3, seed });
+        let cluster = Cluster::new(ThreeMajority, &start, ClusterConfig::new(3, seed));
         let out = cluster.run_to_consensus(1_000_000).expect("consensus");
         for (i, r) in out.trace.rounds().iter().enumerate() {
             prop_assert_eq!(r.round, i as u64 + 1);
@@ -53,7 +53,7 @@ proptest! {
     fn deterministic_per_seed(seed in 0u64..100) {
         let start = Configuration::uniform(30, 3);
         let run = |s| {
-            Cluster::new(ThreeMajority, &start, ClusterConfig { shards: 2, seed: s })
+            Cluster::new(ThreeMajority, &start, ClusterConfig::new(2, s))
                 .run_to_consensus(1_000_000)
                 .expect("consensus")
                 .consensus_round

@@ -14,7 +14,7 @@ fn main() {
     let start = Configuration::uniform(n, k);
     println!("cluster: {n} nodes over 8 shard threads, k = {k} colors, 3-Majority\n");
 
-    let cluster = Cluster::new(ThreeMajority, &start, ClusterConfig { shards: 8, seed: 7 });
+    let cluster = Cluster::new(ThreeMajority, &start, ClusterConfig::new(8, 7));
     let outcome = cluster.run_to_consensus(100_000).expect("consensus");
 
     println!("round | colors | max support | bias");

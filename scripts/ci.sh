@@ -20,11 +20,14 @@ echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release --workspace
 cargo test -q --workspace
 
+echo "==> runtime smoke: sparse cluster, singleton start k = n = 4096, ~50 rounds"
+SYMBREAK_SCALE=0.004096 cargo run --release -p symbreak-bench --bin exp_e20_cluster_theorem5
+
 echo "==> experiment smoke (SYMBREAK_SCALE=${SYMBREAK_SCALE:-0.25})"
 SYMBREAK_SCALE="${SYMBREAK_SCALE:-0.25}" \
     cargo run --release -p symbreak-bench --bin run_all
 
-echo "==> benches: samplers + engines -> ${BENCH_OUT}"
+echo "==> benches: samplers + engines (incl. cluster_singleton_run) -> ${BENCH_OUT}"
 JSONL="$(mktemp)"
 trap 'rm -f "$JSONL"' EXIT
 SYMBREAK_BENCH_JSON="$JSONL" cargo bench -p symbreak-bench -- samplers engines

@@ -72,7 +72,7 @@ pub mod prelude {
         ExpectedUpdate, Opinion, RunOptions, RunOutcome, UpdateRule, VectorEngine, VectorStep,
     };
     pub use symbreak_graphs::{DualityCoupling, Graph};
-    pub use symbreak_runtime::{Cluster, ClusterConfig};
+    pub use symbreak_runtime::{Cluster, ClusterConfig, HorizonOutcome, ReportMode};
     pub use symbreak_sim::{run_trials, trial_seed, Pcg64};
     pub use symbreak_stats::{Ecdf, StochasticOrder, Summary, Table};
 }
