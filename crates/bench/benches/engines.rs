@@ -25,7 +25,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::RngCore;
 use symbreak_core::rules::{ThreeMajority, Voter};
 use symbreak_core::{AgentEngine, Configuration, Engine, SamplingMode, VectorEngine, VectorStep};
-use symbreak_runtime::{Cluster, ClusterConfig, ReportMode};
+use symbreak_runtime::{Cluster, ClusterConfig, ReportMode, WireMode};
 
 /// The PR-1 per-round path, preserved for comparison: only `vector_step`
 /// is implemented, so the engine steps through the default shim — a fresh
@@ -163,51 +163,102 @@ fn bench_engines(c: &mut Criterion) {
     }
     group.finish();
 
-    // Sparse vs dense control plane of the sharded runtime on the same
-    // k = n = 1e5 singleton start. Both modes run the *identical*
-    // realized trajectory for a given seed (the report wire format never
-    // touches the protocol RNG streams; pinned by
-    // `dense_and_sparse_modes_run_the_same_trajectory`), so each pair
-    // times the same process and the ratio isolates the per-round
-    // report/merge overhead: dense pays a fresh `vec![0; k]` per shard
-    // plus an O(k·shards) aggregate and O(k) `from_counts` rebuild at
-    // the coordinator every round — forever — while sparse pays
-    // O(local_n) per shard and O(#occupied) at the coordinator, which
-    // collapses with the surviving-color count. The win therefore grows
-    // with the collapsed fraction of the horizon (Voter occupancy decays
-    // like ~2n/t) and with the shard count (the dense `vec![0; k]` is
-    // per shard per round); the O(n·h) request/reply data plane —
-    // identical in both modes — is the common floor, so Voter (h = 1)
-    // keeps it minimal.
+    // The sharded runtime on the k = n = 1e5 singleton start, paired
+    // across wire and report modes from the same seed.
+    //
+    // * Wire-mode pairs (`per_entry_*` vs `batched_*`) isolate the data
+    //   plane: per-entry mode moves `2·n·h` request/reply entries
+    //   through the channels every round (~7 ns/entry dominates cluster
+    //   wall-clock), batched mode moves one pull batch + one opinion
+    //   palette per shard pair (`O(#pairs · #distinct)` entries) and
+    //   reconstitutes samples locally (expand + Fisher–Yates). The two
+    //   modes consume randomness differently, so they realize different
+    //   (equally lawful — pinned by `batched_wire_matches_per_entry_
+    //   wire`) trajectories; the Voter workload therefore runs a FIXED
+    //   2000-round horizon so both time an identical amount of work.
+    // * Report-mode pairs within a wire mode (`*_sparse` vs `*_dense`
+    //   vs `*_delta`) run the *identical* realized trajectory for a
+    //   given seed (the report format never touches the protocol RNG
+    //   streams; pinned by `report_modes_run_the_same_trajectory_*`)
+    //   and isolate the control plane: dense pays a fresh `vec![0; k]`
+    //   per shard plus an O(k) rebuild at the coordinator every round,
+    //   sparse pays O(#occupied), delta pays O(#changed) once the
+    //   changed-slot set collapses.
     let mut group = c.benchmark_group("cluster_singleton_run");
     group.sample_size(10);
-    let modes = [("sparse", ReportMode::Sparse), ("dense", ReportMode::Dense)];
     let n = 100_000u64;
+    let wire_modes = [("per_entry", WireMode::PerEntry), ("batched", WireMode::Batched)];
     for shards in [4usize, 16] {
-        for (name, mode) in modes {
-            let id = BenchmarkId::new(&format!("{name}_voter/rounds_2000/shards_{shards}"), n);
+        for (wire_name, wire) in wire_modes {
+            let id = BenchmarkId::new(
+                &format!("{wire_name}_sparse_voter/rounds_2000/shards_{shards}"),
+                n,
+            );
             group.bench_with_input(id, &n, |b, &n| {
                 b.iter(|| {
                     let cluster = Cluster::new(
                         Voter,
                         &Configuration::singletons(n),
-                        ClusterConfig::new(shards, 23).with_report_mode(mode),
+                        ClusterConfig::new(shards, 23).with_wire_mode(wire),
                     );
                     cluster.run_horizon(2_000).rounds_run
                 });
             });
         }
     }
-    for (name, mode) in modes {
-        let id = BenchmarkId::new(&format!("{name}_3M/full_consensus/shards_16"), n);
+    // Control-plane pairs on the batched data plane: dense vs sparse vs
+    // delta, identical trajectory per pair.
+    for (report_name, report) in
+        [("dense", ReportMode::Dense), ("sparse", ReportMode::Sparse), ("delta", ReportMode::Delta)]
+    {
+        let id = BenchmarkId::new(
+            &format!("batched_voter_report_{report_name}/rounds_2000/shards_16"),
+            n,
+        );
+        group.bench_with_input(id, &n, |b, &n| {
+            b.iter(|| {
+                let cluster = Cluster::new(
+                    Voter,
+                    &Configuration::singletons(n),
+                    ClusterConfig::new(16, 31).with_report_mode(report),
+                );
+                cluster.run_horizon(2_000).rounds_run
+            });
+        });
+    }
+    // Voter's concentrated tail: by round ~500 the occupancy is under
+    // n·h/shards² and the batched wire's push gear takes over (no
+    // pulls, alias sampling, per-round traffic independent of n), so a
+    // longer fixed horizon isolates the concentrated-regime win that
+    // the 2000-round horizon (3/4 diverse) dilutes.
+    for (wire_name, wire) in wire_modes {
+        let id = BenchmarkId::new(&format!("{wire_name}_sparse_voter/rounds_6000/shards_16"), n);
+        group.bench_with_input(id, &n, |b, &n| {
+            b.iter(|| {
+                let cluster = Cluster::new(
+                    Voter,
+                    &Configuration::singletons(n),
+                    ClusterConfig::new(16, 23).with_wire_mode(wire),
+                );
+                cluster.run_horizon(6_000).rounds_run
+            });
+        });
+    }
+    // 3-Majority's concentrated regime (h = 3, opinions collapse within
+    // ~50 rounds of the singleton start): a FIXED 300-round horizon —
+    // just under the ~310-round consensus time — so the wire modes time
+    // identical work here too, rather than their (seed-dependent,
+    // per-mode) consensus round.
+    for (wire_name, wire) in wire_modes {
+        let id = BenchmarkId::new(&format!("{wire_name}_sparse_3M/rounds_300/shards_16"), n);
         group.bench_with_input(id, &n, |b, &n| {
             b.iter(|| {
                 let cluster = Cluster::new(
                     ThreeMajority,
                     &Configuration::singletons(n),
-                    ClusterConfig::new(16, 29).with_report_mode(mode),
+                    ClusterConfig::new(16, 29).with_wire_mode(wire),
                 );
-                cluster.run_to_consensus(10_000_000).expect("consensus").consensus_round
+                cluster.run_horizon(300).rounds_run
             });
         });
     }

@@ -3,14 +3,17 @@
 //! cluster* (not the single-machine engines) from the `k = n` singleton
 //! start, at `n = 10⁶` at full scale.
 //!
-//! This is the workload the occupancy-aware wire format exists for: the
-//! pre-sparse runtime exchanged dense `k`-slot count vectors every round
-//! (`O(k)` per shard per round in report traffic alone), which at
-//! `k = n = 10⁶` swamps the actual protocol messages. With sparse
-//! `(slot, count)` reports the control plane is `O(#locally occupied)`
-//! and the coordinator folds reports into one persistent configuration,
-//! so the sweep records the support-cap series straight off the `O(1)`
-//! cached observables.
+//! This is the workload the aggregate wire formats exist for. The
+//! control plane runs `ReportMode::Delta`: 2-Choices from singletons
+//! keeps `Θ(n)` colors alive for the whole horizon (absolute sparse
+//! reports would stay `O(local_n)` forever) while only `O(1)` nodes
+//! switch opinion per round, so the coordinator flips the fleet to
+//! signed-delta reports and the per-round report size collapses to
+//! `O(#changed)`. The data plane defaults to `WireMode::Batched`: one
+//! pull batch + one opinion palette per shard pair per round
+//! (`O(#pairs · #distinct)` channel entries) instead of the per-entry
+//! `2·n·h`; set `SYMBREAK_WIRE=per-entry` for the PR 3 baseline, whose
+//! message count the Uniform Pull cost model pins exactly.
 //!
 //! Regenerates the Theorem-5 claim at scale: from maximal support 1, no
 //! color exceeds `ℓ' = max(2, γ·ln n)` within the `n / (γ·ℓ')` horizon
@@ -24,12 +27,16 @@ use symbreak_bench::{scale, section, verdict};
 use symbreak_core::rules::TwoChoices;
 use symbreak_core::theory::{theorem5_horizon, theorem5_support_cap};
 use symbreak_core::Configuration;
-use symbreak_runtime::{Cluster, ClusterConfig};
+use symbreak_runtime::{Cluster, ClusterConfig, ReportMode, WireMode};
 use symbreak_stats::table::fmt_f64;
 use symbreak_stats::Table;
 
 fn main() {
-    println!("# E20: Theorem-5 horizon sweep on the sparse message-passing cluster");
+    let wire = match std::env::var("SYMBREAK_WIRE").as_deref() {
+        Ok("per-entry") => WireMode::PerEntry,
+        _ => WireMode::Batched,
+    };
+    println!("# E20: Theorem-5 horizon sweep on the cluster (wire: {wire:?}, reports: Delta)");
     let gamma = 3.0;
     let shards = 8;
     let n_max = ((1_000_000.0 * scale()).round() as u64).max(4096);
@@ -45,11 +52,15 @@ fn main() {
         ));
 
         let start = Configuration::singletons(n);
-        let cluster = Cluster::new(TwoChoices, &start, ClusterConfig::new(shards, 2017 + i as u64));
+        let config = ClusterConfig::new(shards, 2017 + i as u64)
+            .with_report_mode(ReportMode::Delta)
+            .with_wire_mode(wire);
+        let cluster = Cluster::new(TwoChoices, &start, config);
         let out = cluster.run_horizon(horizon);
 
         // The support-cap series, at geometrically spaced checkpoints.
-        let mut table = Table::new(vec!["round", "max support", "colors alive", "alive / n"]);
+        let mut table =
+            Table::new(vec!["round", "max support", "colors alive", "alive / n", "report entries"]);
         let rounds = out.trace.rounds();
         let mut checkpoints: Vec<u64> = Vec::new();
         let mut c = 1u64;
@@ -65,6 +76,7 @@ fn main() {
                     r.max_support.to_string(),
                     r.num_colors.to_string(),
                     fmt_f64(r.num_colors as f64 / n as f64),
+                    out.report_entries[cp as usize - 1].to_string(),
                 ]);
             }
         }
@@ -79,14 +91,53 @@ fn main() {
             rounds.len(),
             out.consensus_round
         );
-        assert_eq!(
-            out.total_messages,
-            out.rounds_run * 2 * n * 2,
-            "Uniform Pull cost model: 2·n·h messages per round"
-        );
+
+        // Message accounting, parameterized by wire mode: per-entry mode
+        // pays exactly the Uniform Pull cost model; batched mode must
+        // come in under it (each pair's palette carries at most as many
+        // entries as the pulls it answers).
+        let per_entry_total = out.rounds_run * 2 * n * 2;
+        match wire {
+            WireMode::PerEntry => {
+                assert_eq!(
+                    out.total_messages, per_entry_total,
+                    "Uniform Pull cost model: 2·n·h messages per round"
+                );
+                println!(
+                    "messages: {} total = {} rounds x 2·n·h (h = 2)",
+                    out.total_messages, out.rounds_run
+                );
+            }
+            WireMode::Batched => {
+                assert!(
+                    out.total_messages < per_entry_total,
+                    "batched wire must move fewer entries than the per-entry 2·n·h model \
+                     ({} vs {per_entry_total})",
+                    out.total_messages
+                );
+                println!(
+                    "messages: {} total vs {} per-entry model = {:.1}x compression",
+                    out.total_messages,
+                    per_entry_total,
+                    per_entry_total as f64 / out.total_messages as f64
+                );
+            }
+        }
+
+        // The delta control plane: once the process stalls, per-round
+        // report entries collapse from O(local_n) to O(#changed).
+        let tail = &out.report_entries[out.report_entries.len() / 2..];
+        let tail_mean = tail.iter().sum::<u64>() as f64 / tail.len() as f64;
         println!(
-            "messages: {} total = {} rounds x 2·n·h (h = 2)",
-            out.total_messages, out.rounds_run
+            "report entries: {} round-1 (absolute) -> {:.1}/round over the stalled tail \
+             (O(#changed), colors alive ~{})",
+            out.report_entries[0],
+            tail_mean,
+            rounds.last().map(|r| r.num_colors).unwrap_or(0)
+        );
+        assert!(
+            tail_mean < n as f64 / 10.0,
+            "delta reports should collapse well below O(n) in the stalled regime"
         );
     }
 

@@ -267,6 +267,68 @@ impl Configuration {
         );
     }
 
+    /// Applies sparse signed per-slot deltas (e.g. per-shard *delta*
+    /// reports of a distributed run) to the occupied slots, in
+    /// `O(#occupied + Σ|partᵢ|)` with no allocation.
+    ///
+    /// This is the delta-control-plane sibling of
+    /// [`Configuration::merge_sparse`]: where `merge_sparse` replaces the
+    /// occupied supports with a sum of absolute parts, `apply_deltas`
+    /// shifts them by `Σ parts` — so a round in which almost nothing
+    /// changed costs `O(#changed)` on the wire *and* here, instead of
+    /// `O(#occupied)`. Built on [`Configuration::rewrite_occupied`]:
+    /// every part may only name slots that are currently occupied (dead
+    /// colors stay dead — an opinion with zero global support cannot be
+    /// sampled, so no delta can land on it), deltas for the same slot
+    /// accumulate, and slots whose support reaches zero drop out of the
+    /// occupancy list. The population size is re-derived, so
+    /// mass-changing delta streams (undecided-dynamics shards trading
+    /// decided mass against undecided nodes) are supported.
+    ///
+    /// ```
+    /// use symbreak_core::Configuration;
+    ///
+    /// let mut c = Configuration::from_counts(vec![4, 0, 3, 3]);
+    /// // Two shards report what changed: one unit moves slot 2 -> slot 0.
+    /// c.apply_deltas([&[(2u32, -1i64)][..], &[(0, 1)][..]]);
+    /// assert_eq!(c.counts(), &[5, 0, 2, 3]);
+    /// assert_eq!(c.n(), 10);
+    /// ```
+    ///
+    /// # Panics
+    /// Panics if a delta drives a slot's support negative, or if a part
+    /// names a slot with no current support: debug builds pinpoint the
+    /// slot per entry; release builds catch any net resurrection through
+    /// an `O(1)`-per-entry mass identity (`new n = old n + Σ deltas`
+    /// holds exactly iff every delta landed on a live slot, because mass
+    /// written to a dead slot is invisible to the occupancy rescan).
+    pub fn apply_deltas<'a, I>(&mut self, parts: I)
+    where
+        I: IntoIterator<Item = &'a [(u32, i64)]>,
+    {
+        let old_n = self.n as i128;
+        let mut shift = 0i128;
+        self.rewrite_occupied(|occ, counts| {
+            for part in parts {
+                for &(slot, delta) in part {
+                    debug_assert!(
+                        occ.binary_search(&slot).is_ok(),
+                        "apply_deltas: slot {slot} has no support (dead colors stay dead)"
+                    );
+                    let c = counts[slot as usize] as i128 + i128::from(delta);
+                    assert!(c >= 0, "apply_deltas: slot {slot} support went negative ({c})");
+                    counts[slot as usize] = c as u64;
+                    shift += i128::from(delta);
+                }
+            }
+        });
+        assert_eq!(
+            self.n as i128,
+            old_n + shift,
+            "apply_deltas: a part named a slot with no support (dead colors stay dead)"
+        );
+    }
+
     /// Recomputes `n`, `Σ cᵢ²`, the top-two supports, and compacts the
     /// occupancy list, in one `O(#occupied)` pass. Assumes every slot
     /// outside the occupancy list is zero.
@@ -726,6 +788,61 @@ mod tests {
         assert_eq!(c.counts(), &[2, 3]);
         assert_eq!(c.n(), 5);
         assert_caches_match_recount(&c);
+    }
+
+    #[test]
+    fn apply_deltas_shifts_occupied_slots() {
+        let mut c = Configuration::from_counts(vec![4, 0, 3, 3]);
+        // Shard A: one unit 2 -> 0; shard B: two units 3 -> 0.
+        c.apply_deltas([&[(2u32, -1i64), (0, 1)][..], &[(3, -2), (0, 2)][..]]);
+        assert_eq!(c.counts(), &[7, 0, 2, 1]);
+        assert_eq!(c.n(), 10);
+        assert_eq!(c.max_support(), 7);
+        assert_eq!(c.bias(), 5);
+        assert_caches_match_recount(&c);
+    }
+
+    #[test]
+    fn apply_deltas_drops_emptied_slots_and_rederives_mass() {
+        let mut c = Configuration::from_counts(vec![4, 0, 3]);
+        // Slot 2 dies; one unit of slot 0 leaves the decided pool
+        // entirely (undecided dynamics), so n shrinks.
+        c.apply_deltas([&[(2u32, -3i64)][..], &[(0, -1)][..]]);
+        assert_eq!(c.counts(), &[3, 0, 0]);
+        assert_eq!(c.occupied(), &[0]);
+        assert_eq!(c.n(), 3);
+        assert_caches_match_recount(&c);
+    }
+
+    #[test]
+    fn apply_deltas_accumulates_same_slot_across_parts() {
+        let mut c = Configuration::from_counts(vec![2, 5]);
+        c.apply_deltas([&[(1u32, -2i64)][..], &[(1, -1), (0, 3)][..]]);
+        assert_eq!(c.counts(), &[5, 2]);
+        assert_eq!(c.n(), 7);
+        assert_caches_match_recount(&c);
+    }
+
+    #[test]
+    fn apply_deltas_with_no_parts_is_identity() {
+        let mut c = Configuration::from_counts(vec![2, 1]);
+        c.apply_deltas(std::iter::empty::<&[(u32, i64)]>());
+        assert_eq!(c.counts(), &[2, 1]);
+        assert_eq!(c.n(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "dead colors stay dead")]
+    fn apply_deltas_rejects_resurrected_slots() {
+        let mut c = Configuration::from_counts(vec![2, 0, 1]);
+        c.apply_deltas([&[(1u32, 1i64), (0, -1)][..]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "went negative")]
+    fn apply_deltas_rejects_negative_support() {
+        let mut c = Configuration::from_counts(vec![2, 3]);
+        c.apply_deltas([&[(0u32, -3i64)][..]]);
     }
 
     #[test]

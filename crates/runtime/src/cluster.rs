@@ -1,23 +1,43 @@
 //! The cluster coordinator: spawns shard threads, drives synchronous
 //! rounds, aggregates per-round observables, and detects consensus.
 //!
-//! The coordinator is occupancy-aware: with the default
-//! [`ReportMode::Sparse`] wire format it keeps **one** persistent merged
-//! [`Configuration`] across the whole run and folds the shards' sparse
-//! `(slot, count)` reports into it via
-//! [`Configuration::merge_sparse`] — `O(#occupied)` per round, with no
-//! allocation in the merge itself (the only per-round allocations are
-//! the shards' `O(#locally occupied)` report buffers) — reading the
-//! [`Trace`] off the configuration's `O(1)` cached observables. [`ReportMode::Dense`] preserves the
-//! pre-sparse path (fresh dense vectors and a `from_counts` rebuild
-//! every round) as the paired-benchmark baseline.
+//! Two orthogonal knobs shape the per-round traffic (see
+//! [`crate::message`] for the wire protocol itself):
+//!
+//! * **[`WireMode`]** selects the data plane: the default
+//!   [`WireMode::Batched`] aggregates each shard pair's pulls into one
+//!   [`crate::message::PullBatch`] answered by one
+//!   [`crate::message::OpinionPalette`], and — once occupancy
+//!   concentrates (`occ · shards² ≤ n·h`) — flips the fleet to
+//!   histogram *push* ([`crate::message::DataFormat::Push`]): every
+//!   shard broadcasts its opinion histogram and samples its own pulls
+//!   from the union, `O(#shards² · #distinct)` entries per round
+//!   regardless of `n`. [`WireMode::PerEntry`] keeps the PR 3
+//!   request/reply format (`2·n·h` entries per round) as the paired
+//!   baseline.
+//! * **[`ReportMode`]** selects the control plane: sparse absolute
+//!   reports folded into **one** persistent merged [`Configuration`]
+//!   via [`Configuration::merge_sparse`] (`O(#occupied)` per round), or
+//!   — under [`ReportMode::Delta`] — signed per-round deltas merged via
+//!   [`Configuration::apply_deltas`] (`O(#changed)` per round) once the
+//!   coordinator observes the changed-slot set collapsing. The
+//!   coordinator arbitrates the sparse↔delta switch round-by-round
+//!   through [`crate::message::Control::Round`], keeping the format
+//!   uniform across shards within a round (absolute and delta reports
+//!   cannot be mixed against a single merged configuration).
+//!   [`ReportMode::Dense`] preserves the pre-sparse path (fresh dense
+//!   vectors and a `from_counts` rebuild every round) as the
+//!   paired-benchmark baseline.
+//!
+//! Per-round observables ([`Trace`]) read off the merged
+//! configuration's `O(1)` cached observables in every mode.
 
 use std::sync::mpsc;
 
 use symbreak_core::{Configuration, UpdateRule};
 use symbreak_sim::trace::{RoundStats, Trace};
 
-use crate::message::{Control, ReportBody, ShardReport};
+use crate::message::{Control, DataFormat, ReportBody, ReportFormat, ShardReport};
 use crate::shard::{run_shard, Partition, ShardEndpoints, ShardSpec};
 
 /// Per-round report wire format exchanged between shards and the
@@ -29,11 +49,39 @@ pub enum ReportMode {
     /// `O(local_n)` on the shard and `O(#occupied)` at the coordinator.
     #[default]
     Sparse,
+    /// Adaptive signed-delta control plane: absolute sparse reports
+    /// until the per-round changed-slot set is small relative to the
+    /// occupancy, then `(slot, Δcount)` deltas — `O(#changed)` on the
+    /// wire and at the coordinator, which is where the high-occupancy
+    /// Theorem-5 regime lives (`Θ(n)` colors alive, `O(1)` switches per
+    /// round). The coordinator commands the format per round and may
+    /// switch back if churn returns.
+    Delta,
     /// Dense `k`-slot count vectors rebuilt from scratch every round (the
-    /// pre-sparse protocol), kept as the paired-benchmark baseline. Same
-    /// seed ⇒ same trajectory as [`ReportMode::Sparse`]: the report
-    /// format never touches the protocol's RNG streams.
+    /// pre-sparse protocol), kept as the paired-benchmark baseline.
     Dense,
+}
+
+/// Data-plane wire format exchanged between shards.
+///
+/// The report format never touches the protocol's RNG streams, so for a
+/// fixed wire mode every [`ReportMode`] realizes the identical
+/// trajectory per seed. The two *wire* modes realize the same process
+/// law — batched mode is an exact aggregation of Uniform Pull, not an
+/// approximation — but consume randomness differently, so their
+/// trajectories are compared distributionally, not pathwise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WireMode {
+    /// Aggregate traffic: one `PullBatch` + one `OpinionPalette` per
+    /// shard pair per round in the diverse regime, and coordinator-
+    /// arbitrated histogram push (no pulls at all, `O(#shards² ·
+    /// #distinct)` entries) once opinions concentrate.
+    #[default]
+    Batched,
+    /// One `Request` and one `Reply` entry per pull: exactly `2·n·h`
+    /// channel entries per round (the PR 3 data plane, kept as the
+    /// paired-benchmark baseline).
+    PerEntry,
 }
 
 /// Cluster construction parameters.
@@ -45,17 +93,26 @@ pub struct ClusterConfig {
     pub seed: u64,
     /// Report wire format (defaults to [`ReportMode::Sparse`]).
     pub report_mode: ReportMode,
+    /// Data-plane wire format (defaults to [`WireMode::Batched`]).
+    pub wire_mode: WireMode,
 }
 
 impl ClusterConfig {
-    /// Shorthand for the default (sparse) wire format.
+    /// Shorthand for the default formats (batched data plane, sparse
+    /// reports).
     pub fn new(shards: usize, seed: u64) -> Self {
-        Self { shards, seed, report_mode: ReportMode::default() }
+        Self { shards, seed, report_mode: ReportMode::default(), wire_mode: WireMode::default() }
     }
 
     /// Selects the report wire format.
     pub fn with_report_mode(mut self, report_mode: ReportMode) -> Self {
         self.report_mode = report_mode;
+        self
+    }
+
+    /// Selects the data-plane wire format.
+    pub fn with_wire_mode(mut self, wire_mode: WireMode) -> Self {
+        self.wire_mode = wire_mode;
         self
     }
 }
@@ -75,10 +132,13 @@ pub struct ClusterOutcome {
     pub final_config: Configuration,
     /// Round-by-round observables.
     pub trace: Trace,
-    /// Total point-to-point messages exchanged over the whole run:
-    /// exactly `2·n·h` per round (every request and its reply is counted
-    /// individually, intra-shard deliveries included — there is no
-    /// coalescing of local traffic).
+    /// Total point-to-point wire entries exchanged over the whole run.
+    /// Under [`WireMode::PerEntry`] this is exactly `2·n·h` per round
+    /// (every request and its reply counted individually, intra-shard
+    /// deliveries included — there is no coalescing); under
+    /// [`WireMode::Batched`] it is the target-run, palette, and
+    /// palette-run entries — `O(#shard-pairs · #distinct opinions)` per
+    /// round.
     pub total_messages: u64,
 }
 
@@ -94,9 +154,14 @@ pub struct HorizonOutcome {
     /// Round-by-round observables (e.g. the Theorem-5 support-cap
     /// series).
     pub trace: Trace,
-    /// Total point-to-point messages, counted as in
+    /// Total point-to-point wire entries, counted as in
     /// [`ClusterOutcome::total_messages`].
     pub total_messages: u64,
+    /// Per-round control-plane size: the summed report-body entry
+    /// counts across shards (`Σ |report|` — pairs for sparse, changed
+    /// slots for delta, `k · shards` for dense). This is the series the
+    /// delta control plane collapses in the stalled regime.
+    pub report_entries: Vec<u64>,
 }
 
 /// A distributed execution of one update rule over sharded node actors.
@@ -142,6 +207,7 @@ impl<R: UpdateRule + Clone + Send> Cluster<R> {
         let k_slots = self.start.num_slots();
         let shards = self.config.shards;
         let report_mode = self.config.report_mode;
+        let wire_mode = self.config.wire_mode;
         let partition = Partition::new(n, shards);
 
         // Wire the topology: one inbox per shard, everyone holds senders
@@ -163,10 +229,12 @@ impl<R: UpdateRule + Clone + Send> Cluster<R> {
         let (report_tx, report_rx) = mpsc::channel::<ShardReport>();
 
         let all_opinions = self.start.to_opinions();
+        let h = self.rule.sample_count() as u64;
         let rule = self.rule;
         let seed = self.config.seed;
-        // The persistent merged configuration the sparse reports fold
-        // into; occupancy only ever shrinks (dead colors stay dead).
+        // The persistent merged configuration the sparse and delta
+        // reports fold into; occupancy only ever shrinks (dead colors
+        // stay dead).
         let mut merged = self.start;
 
         crossbeam::thread::scope(|scope| {
@@ -180,7 +248,8 @@ impl<R: UpdateRule + Clone + Send> Cluster<R> {
                     report: report_tx.clone(),
                 };
                 let rule = rule.clone();
-                let spec = ShardSpec { partition, k_slots, report_mode, master_seed: seed };
+                let spec =
+                    ShardSpec { partition, k_slots, report_mode, wire_mode, master_seed: seed };
                 scope.spawn(move |_| {
                     run_shard(shard_id, spec, rule, opinions, endpoints);
                 });
@@ -194,34 +263,59 @@ impl<R: UpdateRule + Clone + Send> Cluster<R> {
             let mut consensus_round = None;
             let mut rounds_run = 0u64;
             let mut total_messages = 0u64;
+            let mut report_entries = Vec::new();
             let mut reports: Vec<ShardReport> = Vec::with_capacity(shards);
+            // The per-round report format: fixed in Sparse/Dense modes,
+            // arbitrated on the reported changed-slot counts in Delta
+            // mode (start absolute; switch once the changed set is
+            // small, switch back if churn returns).
+            let mut format = match report_mode {
+                ReportMode::Sparse | ReportMode::Delta => ReportFormat::Sparse,
+                ReportMode::Dense => ReportFormat::Dense,
+            };
+            // The data-plane format (batched wire only): pull/reply
+            // until the occupancy concentrates enough that pushing
+            // whole histograms is cheaper than answering pulls
+            // (`occ · shards² ≤ n·h`), then histogram push — and back,
+            // should occupancy ever rise (it cannot for the paper's
+            // processes, but the protocol does not rely on that).
+            let mut data = DataFormat::Pull;
             for round in 1..=rounds {
                 for tx in &control_txs {
-                    tx.send(Control::Round).expect("shard alive");
+                    tx.send(Control::Round(format, data)).expect("shard alive");
                 }
                 reports.clear();
                 let mut undecided = 0u64;
+                let mut entries = 0u64;
                 for _ in 0..shards {
                     let report = report_rx.recv().expect("shard reports");
                     undecided += report.undecided;
                     total_messages += report.messages_sent;
+                    entries += report.body.entries();
                     reports.push(report);
                 }
                 rounds_run = round;
-                match report_mode {
-                    ReportMode::Sparse => {
+                report_entries.push(entries);
+                match format {
+                    ReportFormat::Sparse => {
                         merged.merge_sparse(reports.iter().map(|r| match &r.body {
                             ReportBody::Sparse(pairs) => pairs.as_slice(),
-                            ReportBody::Dense(_) => unreachable!("sparse cluster, dense report"),
+                            _ => unreachable!("sparse round, non-sparse report"),
                         }));
                     }
-                    ReportMode::Dense => {
+                    ReportFormat::Delta => {
+                        merged.apply_deltas(reports.iter().map(|r| match &r.body {
+                            ReportBody::Delta(pairs) => pairs.as_slice(),
+                            _ => unreachable!("delta round, non-delta report"),
+                        }));
+                    }
+                    ReportFormat::Dense => {
                         // The preserved pre-sparse path: a fresh dense
                         // aggregate and configuration rebuild per round.
                         let mut counts = vec![0u64; k_slots];
                         for r in &reports {
                             let ReportBody::Dense(shard_counts) = &r.body else {
-                                unreachable!("dense cluster, sparse report")
+                                unreachable!("dense round, non-dense report")
                             };
                             for (total, c) in counts.iter_mut().zip(shard_counts) {
                                 *total += c;
@@ -229,6 +323,28 @@ impl<R: UpdateRule + Clone + Send> Cluster<R> {
                         }
                         merged = Configuration::from_counts(counts);
                     }
+                }
+                if report_mode == ReportMode::Delta {
+                    let changed: u64 = reports.iter().map(|r| r.changed_slots.unwrap_or(0)).sum();
+                    format = if changed * 2 <= merged.num_colors() as u64 {
+                        ReportFormat::Delta
+                    } else {
+                        ReportFormat::Sparse
+                    };
+                }
+                if wire_mode == WireMode::Batched {
+                    // Push once broadcasting every shard's histogram
+                    // (and alias-sampling their union) is clearly
+                    // cheaper than answering pulls: the union carries
+                    // ~occ entries per server, so S² · occ must sit
+                    // well under the n·h draws it replaces.
+                    let occ = merged.num_colors() as u64 + 1;
+                    let pairs = (shards * shards) as u64;
+                    data = if occ * pairs <= u64::from(n) * h {
+                        DataFormat::Push
+                    } else {
+                        DataFormat::Pull
+                    };
                 }
                 trace.push(RoundStats {
                     round,
@@ -253,6 +369,7 @@ impl<R: UpdateRule + Clone + Send> Cluster<R> {
                 final_config: merged,
                 trace,
                 total_messages,
+                report_entries,
             }
         })
         .expect("shard thread panicked")
@@ -298,13 +415,16 @@ mod tests {
     }
 
     #[test]
-    fn cluster_is_deterministic_per_seed() {
+    fn cluster_is_deterministic_per_seed_in_both_wire_modes() {
         let start = Configuration::uniform(120, 6);
-        let run = |seed| {
-            let cluster = Cluster::new(ThreeMajority, &start, ClusterConfig::new(3, seed));
-            cluster.run_to_consensus(100_000).expect("consensus").consensus_round
-        };
-        assert_eq!(run(42), run(42));
+        for wire in [WireMode::Batched, WireMode::PerEntry] {
+            let run = |seed| {
+                let cfg = ClusterConfig::new(3, seed).with_wire_mode(wire);
+                let cluster = Cluster::new(ThreeMajority, &start, cfg);
+                cluster.run_to_consensus(100_000).expect("consensus").consensus_round
+            };
+            assert_eq!(run(42), run(42), "{wire:?} must be deterministic per seed");
+        }
     }
 
     #[test]
@@ -313,6 +433,19 @@ mod tests {
         let cluster = Cluster::new(UndecidedDynamics, &start, ClusterConfig::new(4, 5));
         let out = cluster.run_to_consensus(1_000_000).expect("consensus");
         assert!(out.final_config.is_consensus());
+    }
+
+    #[test]
+    fn cluster_handles_undecided_dynamics_per_entry_and_delta() {
+        let start = Configuration::from_counts(vec![80, 20]);
+        for (wire, report) in
+            [(WireMode::PerEntry, ReportMode::Sparse), (WireMode::Batched, ReportMode::Delta)]
+        {
+            let cfg = ClusterConfig::new(4, 5).with_wire_mode(wire).with_report_mode(report);
+            let cluster = Cluster::new(UndecidedDynamics, &start, cfg);
+            let out = cluster.run_to_consensus(1_000_000).expect("consensus");
+            assert!(out.final_config.is_consensus(), "{wire:?}/{report:?}");
+        }
     }
 
     #[test]
@@ -326,21 +459,47 @@ mod tests {
     }
 
     #[test]
-    fn message_accounting_matches_protocol_cost() {
+    fn per_entry_message_accounting_matches_protocol_cost() {
         // Each round: every node sends h requests and receives h replies,
         // so total messages = rounds * 2 * n * h exactly — intra-shard
         // deliveries included, no coalescing.
         let n = 120u64;
         let start = Configuration::uniform(n, 4);
-        let cluster = Cluster::new(ThreeMajority, &start, ClusterConfig::new(3, 8));
+        let cfg = ClusterConfig::new(3, 8).with_wire_mode(WireMode::PerEntry);
+        let cluster = Cluster::new(ThreeMajority, &start, cfg);
         let out = cluster.run_to_consensus(100_000).expect("consensus");
         assert_eq!(out.total_messages, out.consensus_round * 2 * n * 3);
     }
 
     #[test]
-    fn dense_and_sparse_modes_run_the_same_trajectory() {
+    fn batched_wire_moves_fewer_entries_than_per_entry() {
+        // The aggregate data plane is bounded by the per-entry cost
+        // model (a palette never carries more entries than the pulls it
+        // answers) and collapses far below it once the per-pair draw
+        // count dwarfs the distinct-opinion count, where the serving
+        // side switches from raw palettes to run-length histograms.
+        let n = 4096u64;
+        let start = Configuration::uniform(n, 8);
+        let run = |wire| {
+            let cfg = ClusterConfig::new(4, 9).with_wire_mode(wire);
+            Cluster::new(ThreeMajority, &start, cfg).run_horizon(40)
+        };
+        let batched = run(WireMode::Batched);
+        let per_entry = run(WireMode::PerEntry);
+        assert_eq!(per_entry.total_messages, per_entry.rounds_run * 2 * n * 3);
+        let batched_per_round = batched.total_messages / batched.rounds_run;
+        assert!(
+            batched_per_round < per_entry.total_messages / per_entry.rounds_run / 4,
+            "batched wire should collapse the per-round entry count \
+             (batched {batched_per_round}/round vs per-entry {}/round)",
+            2 * n * 3
+        );
+    }
+
+    #[test]
+    fn report_modes_run_the_same_trajectory_batched() {
         // The report wire format never touches the protocol RNG streams,
-        // so same seed ⇒ identical realized process, round for round.
+        // so same seed + same wire mode ⇒ identical realized process.
         for (counts, shards, seed) in [
             (Configuration::uniform(200, 8).counts().to_vec(), 3usize, 11u64),
             (vec![1; 64], 4, 12), // k = n singleton start
@@ -357,17 +516,42 @@ mod tests {
             };
             let sparse = run(ReportMode::Sparse);
             let dense = run(ReportMode::Dense);
+            let delta = run(ReportMode::Delta);
             assert_eq!(sparse.consensus_round, dense.consensus_round);
             assert_eq!(sparse.trace, dense.trace);
             assert_eq!(sparse.final_config, dense.final_config);
             assert_eq!(sparse.total_messages, dense.total_messages);
+            assert_eq!(sparse.consensus_round, delta.consensus_round);
+            assert_eq!(sparse.trace, delta.trace);
+            assert_eq!(sparse.final_config, delta.final_config);
+            assert_eq!(sparse.total_messages, delta.total_messages);
         }
+    }
+
+    #[test]
+    fn report_modes_run_the_same_trajectory_per_entry() {
+        let start = Configuration::from_counts(vec![1; 64]);
+        let run = |mode| {
+            let cfg =
+                ClusterConfig::new(4, 12).with_report_mode(mode).with_wire_mode(WireMode::PerEntry);
+            Cluster::new(ThreeMajority, &start, cfg).run_to_consensus(1_000_000).expect("consensus")
+        };
+        let sparse = run(ReportMode::Sparse);
+        let dense = run(ReportMode::Dense);
+        let delta = run(ReportMode::Delta);
+        assert_eq!(sparse.consensus_round, dense.consensus_round);
+        assert_eq!(sparse.trace, dense.trace);
+        assert_eq!(sparse.final_config, dense.final_config);
+        assert_eq!(sparse.consensus_round, delta.consensus_round);
+        assert_eq!(sparse.trace, delta.trace);
+        assert_eq!(sparse.final_config, delta.final_config);
     }
 
     #[test]
     fn dense_and_sparse_agree_under_undecided_dynamics() {
         // Mass-changing reports (shards holding back undecided nodes)
-        // exercise merge_sparse's population re-derivation.
+        // exercise merge_sparse's and apply_deltas' population
+        // re-derivation.
         let start = Configuration::from_counts(vec![60, 40]);
         let run = |mode| {
             Cluster::new(
@@ -380,21 +564,65 @@ mod tests {
         };
         let sparse = run(ReportMode::Sparse);
         let dense = run(ReportMode::Dense);
+        let delta = run(ReportMode::Delta);
         assert_eq!(sparse.consensus_round, dense.consensus_round);
         assert_eq!(sparse.trace, dense.trace);
         assert_eq!(sparse.final_config, dense.final_config);
+        assert_eq!(sparse.trace, delta.trace);
+        assert_eq!(sparse.final_config, delta.final_config);
+    }
+
+    #[test]
+    fn delta_reports_collapse_to_changed_set_in_stalled_regime() {
+        // 2-Choices from the k = n singleton start is the Theorem-5
+        // stalled regime: Θ(n) colors stay alive (absolute sparse
+        // reports stay O(local_n)) while only O(1) nodes switch opinion
+        // per round (P[both samples agree] ≈ Σ xⱼ² ≈ 1/n per node). The
+        // delta control plane must collapse per-round report entries to
+        // O(#changed) there, on the *identical* realized trajectory.
+        let n = 4096u64;
+        let start = Configuration::singletons(n);
+        let run = |mode| {
+            let cfg = ClusterConfig::new(8, 2024).with_report_mode(mode);
+            Cluster::new(TwoChoices, &start, cfg).run_horizon(40)
+        };
+        let sparse = run(ReportMode::Sparse);
+        let delta = run(ReportMode::Delta);
+        assert_eq!(sparse.trace, delta.trace, "report format must not change the process");
+        assert_eq!(sparse.final_config, delta.final_config);
+
+        // Skip the first rounds (the arbitrator starts absolute); after
+        // that, delta rounds carry O(#changed) entries while sparse
+        // rounds stay O(#occupied) ≈ n.
+        let tail_mean = |v: &[u64]| {
+            let tail = &v[5..];
+            tail.iter().sum::<u64>() as f64 / tail.len() as f64
+        };
+        let sparse_mean = tail_mean(&sparse.report_entries);
+        let delta_mean = tail_mean(&delta.report_entries);
+        assert!(
+            sparse_mean > n as f64 / 2.0,
+            "sparse reports should stay O(#occupied) ≈ n (got {sparse_mean}/round)"
+        );
+        assert!(
+            delta_mean * 10.0 < sparse_mean,
+            "delta reports should collapse to O(#changed): \
+             {delta_mean}/round vs sparse {sparse_mean}/round"
+        );
     }
 
     #[test]
     fn run_horizon_reports_capped_trajectories() {
         let start = Configuration::singletons(128);
-        let cluster = Cluster::new(Voter, &start, ClusterConfig::new(4, 9));
+        let cfg = ClusterConfig::new(4, 9).with_wire_mode(WireMode::PerEntry);
+        let cluster = Cluster::new(Voter, &start, cfg);
         let out = cluster.run_horizon(5);
         assert_eq!(out.rounds_run, 5);
         assert_eq!(out.consensus_round, None, "128 singletons cannot converge in 5 rounds");
         assert_eq!(out.trace.len(), 5);
         assert_eq!(out.final_config.n(), 128);
         assert_eq!(out.total_messages, 5 * 2 * 128);
+        assert_eq!(out.report_entries.len(), 5);
         // Occupancy only shrinks along the trajectory.
         let colors: Vec<usize> = out.trace.rounds().iter().map(|r| r.num_colors).collect();
         assert!(colors.windows(2).all(|w| w[1] <= w[0]));
@@ -416,13 +644,29 @@ mod tests {
         // With n = 2 nodes on 2 shards and h = 1, both nodes sample their
         // own shard with probability 1/4 per round, so runs repeatedly
         // hit rounds where *zero* reply batches cross shard boundaries —
-        // exactly the case the protocol must survive without the
-        // (skipped) empty reply batches. Replies are counted by entry,
-        // not by batch, so every one of these runs must still terminate.
+        // exactly the case the per-entry protocol must survive without
+        // the (skipped) empty reply batches. Replies are counted by
+        // entry, not by batch, so every one of these runs must still
+        // terminate.
+        for seed in 0..40 {
+            let start = Configuration::uniform(2, 2);
+            let cfg = ClusterConfig::new(2, seed).with_wire_mode(WireMode::PerEntry);
+            let cluster = Cluster::new(Voter, &start, cfg);
+            let out = cluster.run_to_consensus(100_000).expect("consensus despite empty replies");
+            assert!(out.final_config.is_consensus());
+        }
+    }
+
+    #[test]
+    fn batched_tiny_clusters_terminate() {
+        // The batched analogue: n = 2 on 2 shards hits rounds where a
+        // peer's pull batch is empty (zero draws land on it) — survived
+        // via the always-sent (possibly empty) batches that close both
+        // phases by count.
         for seed in 0..40 {
             let start = Configuration::uniform(2, 2);
             let cluster = Cluster::new(Voter, &start, ClusterConfig::new(2, seed));
-            let out = cluster.run_to_consensus(100_000).expect("consensus despite empty replies");
+            let out = cluster.run_to_consensus(100_000).expect("consensus");
             assert!(out.final_config.is_consensus());
         }
     }

@@ -4,37 +4,51 @@
 //! The engines in `symbreak-core` sample the process *law*; this crate
 //! executes the protocol the way the paper's system model describes it —
 //! anonymous nodes that, each synchronous round, **pull** the opinions of
-//! uniformly random peers via request/reply messages and apply their
-//! update rule locally. Nodes are partitioned into shard threads that
-//! exchange batched [`message`]s over channels; a coordinator drives the
+//! uniformly random peers via messages and apply their update rule
+//! locally. Nodes are partitioned into shard threads that exchange
+//! batched [`message`]s over channels; a coordinator drives the
 //! synchronous rounds (the barrier) and collects per-round observables.
 //!
 //! The runtime makes three properties of the model concrete:
 //!
-//! * **Anonymity** — requests carry no requester identity beyond an opaque
+//! * **Anonymity** — pulls carry no requester identity beyond an opaque
 //!   reply route; update rules see only opinions.
-//! * **Uniform Pull** — each node addresses `h` uniform random node ids
-//!   per round; the owning shard answers with the opinion *frozen at the
-//!   round start* (synchrony).
+//! * **Uniform Pull** — each node draws `h` uniform random node ids per
+//!   round; the owning shard answers with opinions *frozen at the round
+//!   start* (synchrony).
 //! * **O(log k) state** — a node's state is its opinion; shards hold no
 //!   global view.
 //!
-//! The control plane is occupancy-aware end-to-end: shards report sparse
-//! `(slot, count)` pairs over their locally occupied colors (built in
-//! `O(local_n)` from a reusable touched-slot scratch), and the
-//! coordinator folds them into one persistent merged [`Configuration`]
-//! via `Configuration::merge_sparse` — so a `k = n` singleton start
-//! costs `O(#surviving colors)` per round on the control plane instead
-//! of `O(k)`. The pre-sparse dense wire format survives as
-//! [`ReportMode::Dense`] for paired benchmarking, and both formats run
-//! the *identical* trajectory for a given seed.
+//! Traffic is aggregate end-to-end (see [`message`] for the wire
+//! protocol, and `docs/ARCHITECTURE.md` for the message-cost model):
+//!
+//! * **Data plane** ([`WireMode`]) — by default each shard pair
+//!   exchanges one `PullBatch` of target runs and one `OpinionPalette`
+//!   sampled shard-side per round, and once occupancy concentrates the
+//!   coordinator flips the fleet to histogram *push*
+//!   ([`DataFormat::Push`]): every shard broadcasts its opinion
+//!   histogram and draws its own pulls from the union via one alias
+//!   table — `O(#shards² · #distinct)` channel entries per round
+//!   instead of the per-entry `2·n·h`. The per-entry request/reply
+//!   format survives as [`WireMode::PerEntry`] for paired
+//!   benchmarking; every format realizes exactly the Uniform Pull law.
+//! * **Control plane** ([`ReportMode`]) — shards report sparse
+//!   `(slot, count)` pairs over their locally occupied colors, folded
+//!   into one persistent merged [`Configuration`] via
+//!   `Configuration::merge_sparse`; under [`ReportMode::Delta`] the
+//!   coordinator switches the fleet to signed `(slot, Δcount)` reports
+//!   (merged via `Configuration::apply_deltas`) once the per-round
+//!   changed-slot set collapses — `O(#changed)` per round exactly where
+//!   the high-occupancy Theorem-5 regime lives.
 //!
 //! [`Configuration`]: symbreak_core::Configuration
 //!
 //! The test-suite cross-validates the runtime against the single-threaded
 //! engines: same process law, same consensus behaviour.
 //!
-//! # Example
+//! # Examples
+//!
+//! Run to consensus on the default (batched, sparse-report) formats:
 //!
 //! ```
 //! use symbreak_runtime::{Cluster, ClusterConfig};
@@ -46,10 +60,31 @@
 //! let outcome = cluster.run_to_consensus(10_000).expect("consensus");
 //! assert_eq!(outcome.final_config.num_colors(), 1);
 //! ```
+//!
+//! Fixed-horizon runs (the Theorem-5 entry point) report the trajectory
+//! whether or not consensus is reached, plus the per-round control-plane
+//! size the delta reports collapse:
+//!
+//! ```
+//! use symbreak_runtime::{Cluster, ClusterConfig, ReportMode};
+//! use symbreak_core::rules::TwoChoices;
+//! use symbreak_core::Configuration;
+//!
+//! let start = Configuration::singletons(256);
+//! let config = ClusterConfig::new(4, 7).with_report_mode(ReportMode::Delta);
+//! let out = Cluster::new(TwoChoices, &start, config).run_horizon(10);
+//! assert_eq!(out.rounds_run, 10);
+//! assert_eq!(out.consensus_round, None); // 2-Choices stalls from singletons
+//! assert_eq!(out.report_entries.len(), 10);
+//! assert!(out.trace.rounds().iter().all(|r| r.max_support < 256));
+//! ```
 
 pub mod cluster;
 pub mod message;
 pub mod shard;
 
-pub use cluster::{Cluster, ClusterConfig, ClusterOutcome, HorizonOutcome, ReportMode};
-pub use message::{ReportBody, Request, ShardMessage};
+pub use cluster::{Cluster, ClusterConfig, ClusterOutcome, HorizonOutcome, ReportMode, WireMode};
+pub use message::{
+    DataFormat, OpinionPalette, PullBatch, ReportBody, ReportFormat, Request, ShardMessage,
+    TargetRun,
+};

@@ -1,26 +1,53 @@
 //! Shard workers: each thread owns a contiguous range of nodes and speaks
-//! the batched request/reply protocol of [`crate::message`].
+//! the wire protocol of [`crate::message`] in the configured
+//! [`WireMode`].
 //!
-//! The round loop recycles its batch buffers: outgoing request and
+//! **Per-entry mode** recycles its batch buffers: outgoing request and
 //! reply batches are drawn from per-type buffer pools that are
 //! replenished by the batches *received* from peers (each round a shard
 //! sends and receives the same number of batches of each type, so the
-//! pools reach equilibrium after the first round), and the sparse
-//! report is counted through a reusable touched-slot scratch in
-//! `O(local_n)` instead of a fresh dense `vec![0; k]`. The one
-//! remaining per-round allocation is the report's `(slot, count)` pair
-//! buffer itself — `O(#locally occupied)`, and it changes hands to the
-//! coordinator, so it cannot be pooled shard-side.
+//! pools reach equilibrium after the first round).
+//!
+//! **Batched mode** aggregates, in two coordinator-arbitrated gears.
+//! In the *pull* gear each peer gets one [`PullBatch`] (a single
+//! [`TargetRun`] covering the peer's whole range), answered by one
+//! [`OpinionPalette`] sampled shard-side from the server's round-start
+//! opinions; the requester deals the received palettes into its sample
+//! buffer in origin order through an inside-out Fisher–Yates — an iid
+//! sequence conditioned on its multiset is a uniform arrangement, so
+//! per-node samples are exactly Uniform Pull. Pull batches are served
+//! the moment they arrive (pipelined, no intra-round barrier); each
+//! (server, origin) pair draws from its own dedicated RNG stream, so
+//! the realized trajectory is deterministic per seed even though
+//! channel arrival order is not. In the *push* gear (concentrated
+//! regime) there are no pulls: every shard broadcasts its opinion
+//! histogram and samples its own pulls from the union of the received
+//! histograms via one alias table — see [`DataFormat::Push`]. The
+//! coordinator's report barrier keeps the fleet in round lockstep, so
+//! every message a shard receives belongs to its current round
+//! (asserted, not assumed).
+//!
+//! Reports are counted through a reusable touched-slot scratch in
+//! `O(local_n)` instead of a fresh dense `vec![0; k]`; under
+//! [`ReportMode::Delta`] the shard additionally keeps the previous
+//! round's counts so it can emit signed `(slot, Δcount)` bodies of size
+//! `O(#changed)` when the coordinator commands [`ReportFormat::Delta`].
 
 use std::sync::mpsc::{Receiver, Sender};
 
 use rand::{Rng, SeedableRng};
 
 use symbreak_core::{Opinion, UpdateRule};
+use symbreak_sim::dist::{
+    sample_multinomial_into, sample_multinomial_sparse_into, Binomial, Categorical,
+};
 use symbreak_sim::rng::{trial_seed, Pcg64};
 
-use crate::cluster::ReportMode;
-use crate::message::{Control, Reply, ReportBody, Request, ShardMessage, ShardReport};
+use crate::cluster::{ReportMode, WireMode};
+use crate::message::{
+    Control, DataFormat, OpinionPalette, PullBatch, Reply, ReportBody, ReportFormat, Request,
+    ShardMessage, ShardReport, TargetRun,
+};
 
 /// Node-ownership partition: shard `i` owns global ids
 /// `[i·chunk, min((i+1)·chunk, n))`.
@@ -70,6 +97,7 @@ pub(crate) struct ShardSpec {
     pub partition: Partition,
     pub k_slots: usize,
     pub report_mode: ReportMode,
+    pub wire_mode: WireMode,
     pub master_seed: u64,
 }
 
@@ -78,80 +106,269 @@ pub(crate) fn run_shard<R: UpdateRule>(
     shard_id: usize,
     spec: ShardSpec,
     rule: R,
-    mut opinions: Vec<Opinion>,
+    opinions: Vec<Opinion>,
     endpoints: ShardEndpoints,
 ) {
-    let ShardSpec { partition, k_slots, report_mode, master_seed } = spec;
-    let mut rng = Pcg64::seed_from_u64(trial_seed(master_seed, shard_id as u64 + 1));
-    let h = rule.sample_count();
-    let local_n = opinions.len();
-    let lo = partition.range(shard_id).start;
-    let shards = partition.shards;
-    let mut samples: Vec<Opinion> = vec![Opinion::new(0); local_n * h];
-    let mut snapshot: Vec<Opinion> = opinions.clone();
+    let mut worker = Worker::new(shard_id, spec, rule, opinions, endpoints);
+    while let Ok(Control::Round(report, data)) = worker.endpoints.control.recv() {
+        worker.round(report, data);
+    }
+}
 
-    // Reusable round state: per-destination batch buffers, the pools that
-    // recycle received batches into next round's outgoing ones, and the
-    // sparse-report scratch (dense but zero outside `touched`, so a round
-    // touches only the locally occupied slots).
-    let mut outgoing: Vec<Vec<Request>> = (0..shards).map(|_| Vec::new()).collect();
-    let mut reply_out: Vec<Vec<Reply>> = (0..shards).map(|_| Vec::new()).collect();
-    let mut request_pool: Vec<Vec<Request>> = Vec::new();
-    let mut reply_pool: Vec<Vec<Reply>> = Vec::new();
-    let mut count_scratch: Vec<u64> = vec![0; k_slots];
-    let mut touched: Vec<u32> = Vec::new();
+/// A pooled palette allocation: the distinct-opinion list plus its
+/// `(palette_idx, count)` runs.
+type PaletteBuffers = (Vec<Opinion>, Vec<(u32, u64)>);
 
-    while let Ok(Control::Round) = endpoints.control.recv() {
+/// Tallies `opinions` into the dense `counts` scratch (assumed zero
+/// outside `touched`), recording first-touched slots, and returns the
+/// undecided count. The one histogram loop behind the delta baseline,
+/// both batched data planes, and the report builder.
+fn count_opinions(opinions: &[Opinion], counts: &mut [u64], touched: &mut Vec<u32>) -> u64 {
+    let mut undecided = 0u64;
+    for &o in opinions {
+        if o.is_undecided() {
+            undecided += 1;
+            continue;
+        }
+        let i = o.index();
+        if counts[i] == 0 {
+            touched.push(i as u32);
+        }
+        counts[i] += 1;
+    }
+    undecided
+}
+
+/// One shard's mutable round state: the owned opinions plus every
+/// reusable buffer of both wire modes and the report formats.
+struct Worker<R> {
+    shard_id: usize,
+    partition: Partition,
+    k_slots: usize,
+    report_mode: ReportMode,
+    wire_mode: WireMode,
+    rule: R,
+    opinions: Vec<Opinion>,
+    endpoints: ShardEndpoints,
+    rng: Pcg64,
+    h: usize,
+    lo: u32,
+    /// One sample slot per (local node, pull): `samples[local·h + s]`.
+    samples: Vec<Opinion>,
+
+    // Per-entry wire state.
+    snapshot: Vec<Opinion>,
+    outgoing: Vec<Vec<Request>>,
+    reply_out: Vec<Vec<Reply>>,
+    request_pool: Vec<Vec<Request>>,
+    reply_pool: Vec<Vec<Reply>>,
+
+    // Batched wire state.
+    dest_theta: Vec<f64>,
+    dest_counts: Vec<u64>,
+    /// One serving RNG stream per requesting shard: palettes for origin
+    /// `o` always draw from `serve_rngs[o]`, so batches can be served
+    /// the moment they arrive (pipelined, like per-entry mode) while
+    /// keeping the realized trajectory independent of channel arrival
+    /// order.
+    serve_rngs: Vec<Pcg64>,
+    run_pool: Vec<Vec<TargetRun>>,
+    palette_pool: Vec<PaletteBuffers>,
+    /// Round-start local opinion histogram (dense, zero outside
+    /// `snap_touched`) the palettes are sampled from.
+    snap_counts: Vec<u64>,
+    snap_touched: Vec<u32>,
+    snap_undecided: u64,
+    /// Per-origin draw aggregation buffer (zero between serves).
+    serve_counts: Vec<u64>,
+    theta_scratch: Vec<f64>,
+    /// This round's received palettes, slotted by server shard so the
+    /// sample expansion order is arrival-order independent.
+    recv_palettes: Vec<Option<PaletteBuffers>>,
+    /// Union-histogram scratch for push rounds: parallel alias-table
+    /// weights and the opinions they stand for.
+    alias_weights: Vec<f64>,
+    alias_values: Vec<Opinion>,
+
+    // Report state.
+    count_scratch: Vec<u64>,
+    touched: Vec<u32>,
+    /// Previous round's counts, kept only under [`ReportMode::Delta`].
+    prev_counts: Vec<u64>,
+    prev_touched: Vec<u32>,
+}
+
+impl<R: UpdateRule> Worker<R> {
+    fn new(
+        shard_id: usize,
+        spec: ShardSpec,
+        rule: R,
+        opinions: Vec<Opinion>,
+        endpoints: ShardEndpoints,
+    ) -> Self {
+        let ShardSpec { partition, k_slots, report_mode, wire_mode, master_seed } = spec;
+        let rng = Pcg64::seed_from_u64(trial_seed(master_seed, shard_id as u64 + 1));
+        let h = rule.sample_count();
+        let local_n = opinions.len();
+        let shards = partition.shards;
+        let per_entry = wire_mode == WireMode::PerEntry;
+        let batched = !per_entry;
+        let tracking = report_mode == ReportMode::Delta;
+
+        let mut worker = Self {
+            shard_id,
+            partition,
+            k_slots,
+            report_mode,
+            wire_mode,
+            rule,
+            rng,
+            h,
+            lo: partition.range(shard_id).start,
+            samples: vec![Opinion::new(0); local_n * h],
+            snapshot: if per_entry { opinions.clone() } else { Vec::new() },
+            outgoing: if per_entry {
+                (0..shards).map(|_| Vec::new()).collect()
+            } else {
+                Vec::new()
+            },
+            reply_out: if per_entry {
+                (0..shards).map(|_| Vec::new()).collect()
+            } else {
+                Vec::new()
+            },
+            request_pool: Vec::new(),
+            reply_pool: Vec::new(),
+            dest_theta: if batched {
+                (0..shards).map(|d| partition.range(d).len() as f64).collect()
+            } else {
+                Vec::new()
+            },
+            dest_counts: if batched { vec![0; shards] } else { Vec::new() },
+            serve_rngs: if batched {
+                // A distinct stream per (server, origin) pair, salted so
+                // it never collides with the shard round streams.
+                (0..shards)
+                    .map(|origin| {
+                        let pair = (shard_id * shards + origin) as u64;
+                        Pcg64::seed_from_u64(trial_seed(
+                            master_seed ^ 0x9E37_79B9_7F4A_7C15,
+                            pair + 1,
+                        ))
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            },
+            run_pool: Vec::new(),
+            palette_pool: Vec::new(),
+            snap_counts: if batched { vec![0; k_slots] } else { Vec::new() },
+            snap_touched: Vec::new(),
+            snap_undecided: 0,
+            serve_counts: if batched { vec![0; k_slots] } else { Vec::new() },
+            theta_scratch: Vec::new(),
+            recv_palettes: if batched { (0..shards).map(|_| None).collect() } else { Vec::new() },
+            alias_weights: Vec::new(),
+            alias_values: Vec::new(),
+            count_scratch: vec![0; k_slots],
+            touched: Vec::new(),
+            prev_counts: if tracking { vec![0; k_slots] } else { Vec::new() },
+            prev_touched: Vec::new(),
+            opinions,
+            endpoints,
+        };
+        if tracking {
+            // The round-0 baseline the first delta report is relative to.
+            count_opinions(&worker.opinions, &mut worker.prev_counts, &mut worker.prev_touched);
+        }
+        worker
+    }
+
+    fn round(&mut self, format: ReportFormat, data: DataFormat) {
+        let mut messages_sent = 0u64;
+        match (self.wire_mode, data) {
+            (WireMode::PerEntry, _) => self.pull_per_entry(&mut messages_sent),
+            (WireMode::Batched, DataFormat::Pull) => self.pull_batched(&mut messages_sent),
+            (WireMode::Batched, DataFormat::Push) => self.push_batched(&mut messages_sent),
+        }
+
+        // Apply the update rule locally, in deterministic node order.
+        let local_n = self.opinions.len();
+        for local in 0..local_n {
+            let own = self.opinions[local];
+            let window = &self.samples[local * self.h..(local + 1) * self.h];
+            self.opinions[local] = self.rule.update(own, window, &mut self.rng);
+        }
+
+        let (body, undecided, changed_slots) = self.build_report(format);
+        self.endpoints
+            .report
+            .send(ShardReport {
+                shard: self.shard_id,
+                body,
+                undecided,
+                messages_sent,
+                changed_slots,
+            })
+            .expect("coordinator alive");
+    }
+
+    /// The PR 3 data plane: one [`Request`]/[`Reply`] entry per pull.
+    fn pull_per_entry(&mut self, messages_sent: &mut u64) {
+        let local_n = self.opinions.len();
+        let shards = self.partition.shards;
         // Freeze the round-start snapshot (synchrony: replies quote it).
-        snapshot.clone_from(&opinions);
+        self.snapshot.clone_from(&self.opinions);
 
         // Issue h uniform pull requests per local node, batched per
         // destination shard. Every destination gets exactly one request
         // batch, empty or not — batches close the request phase.
-        let mut messages_sent = 0u64;
         for local in 0..local_n {
-            let requester = lo + local as u32;
-            for slot in 0..h {
-                let target = rng.gen_range(0..partition.n);
-                outgoing[partition.owner(target)].push(Request {
+            let requester = self.lo + local as u32;
+            for slot in 0..self.h {
+                let target = self.rng.gen_range(0..self.partition.n);
+                self.outgoing[self.partition.owner(target)].push(Request {
                     target,
                     requester,
                     slot: slot as u8,
                 });
             }
         }
-        for (dest, out) in outgoing.iter_mut().enumerate() {
-            let batch = std::mem::replace(out, request_pool.pop().unwrap_or_default());
-            messages_sent += batch.len() as u64;
-            endpoints.peers[dest].send(ShardMessage::Requests(batch)).expect("peer shard alive");
+        for (dest, out) in self.outgoing.iter_mut().enumerate() {
+            let batch = std::mem::replace(out, self.request_pool.pop().unwrap_or_default());
+            *messages_sent += batch.len() as u64;
+            self.endpoints.peers[dest]
+                .send(ShardMessage::Requests(batch))
+                .expect("peer shard alive");
         }
 
         // Serve requests as they arrive and absorb replies until both
         // sides of the round are complete. Replies are counted by entry
         // (`local_n · h` expected), so empty reply batches are skipped.
         let mut request_batches = 0usize;
-        let expected_replies = local_n * h;
+        let expected_replies = local_n * self.h;
         let mut replies_received = 0usize;
         while request_batches < shards || replies_received < expected_replies {
-            match endpoints.inbox.recv().expect("cluster channels alive") {
+            match self.endpoints.inbox.recv().expect("cluster channels alive") {
                 ShardMessage::Requests(mut batch) => {
                     request_batches += 1;
                     for req in batch.drain(..) {
-                        let opinion = snapshot[(req.target - lo) as usize];
-                        reply_out[partition.owner(req.requester)].push(Reply {
+                        let opinion = self.snapshot[(req.target - self.lo) as usize];
+                        self.reply_out[self.partition.owner(req.requester)].push(Reply {
                             requester: req.requester,
                             slot: req.slot,
                             opinion,
                         });
                     }
-                    request_pool.push(batch);
-                    for (dest, out) in reply_out.iter_mut().enumerate() {
+                    self.request_pool.push(batch);
+                    for (dest, out) in self.reply_out.iter_mut().enumerate() {
                         if out.is_empty() {
                             continue;
                         }
-                        let replies = std::mem::replace(out, reply_pool.pop().unwrap_or_default());
-                        messages_sent += replies.len() as u64;
-                        endpoints.peers[dest]
+                        let replies =
+                            std::mem::replace(out, self.reply_pool.pop().unwrap_or_default());
+                        *messages_sent += replies.len() as u64;
+                        self.endpoints.peers[dest]
                             .send(ShardMessage::Replies(replies))
                             .expect("peer shard alive");
                     }
@@ -159,60 +376,395 @@ pub(crate) fn run_shard<R: UpdateRule>(
                 ShardMessage::Replies(mut batch) => {
                     replies_received += batch.len();
                     for rep in batch.drain(..) {
-                        let local = (rep.requester - lo) as usize;
-                        samples[local * h + rep.slot as usize] = rep.opinion;
+                        let local = (rep.requester - self.lo) as usize;
+                        self.samples[local * self.h + rep.slot as usize] = rep.opinion;
                     }
-                    reply_pool.push(batch);
+                    self.reply_pool.push(batch);
+                }
+                _ => unreachable!("batched message on a per-entry cluster"),
+            }
+        }
+    }
+
+    /// The aggregate data plane: one [`PullBatch`] and one
+    /// [`OpinionPalette`] per peer per round.
+    fn pull_batched(&mut self, messages_sent: &mut u64) {
+        let local_n = self.opinions.len();
+        let shards = self.partition.shards;
+        let total = (local_n * self.h) as u64;
+
+        // Round-start local opinion histogram: what the palettes this
+        // shard serves are sampled from.
+        self.snap_touched.clear();
+        self.snap_undecided =
+            count_opinions(&self.opinions, &mut self.snap_counts, &mut self.snap_touched);
+
+        // Split the round's `local_n · h` uniform pulls over the
+        // destination shards: a multinomial on the range sizes.
+        sample_multinomial_into(total, &self.dest_theta, &mut self.rng, &mut self.dest_counts);
+        for dest in 0..shards {
+            let mut runs = self.run_pool.pop().unwrap_or_default();
+            runs.clear();
+            let m = self.dest_counts[dest];
+            if m > 0 {
+                let len = self.partition.range(dest).len() as u32;
+                runs.push(TargetRun { start: 0, len, count: m });
+            }
+            *messages_sent += runs.len() as u64;
+            self.endpoints.peers[dest]
+                .send(ShardMessage::Pull(PullBatch {
+                    origin: self.shard_id as u32,
+                    target_runs: runs,
+                }))
+                .expect("peer shard alive");
+        }
+
+        // Absorb this round's pulls and palettes. Pull batches are
+        // served the moment they arrive — each origin has its own
+        // serving RNG stream, so the trajectory does not depend on the
+        // (nondeterministic) arrival order. Every message received here
+        // belongs to this round: the coordinator's report barrier keeps
+        // the fleet in lockstep (a shard reports only after consuming
+        // exactly `shards` pulls and `shards` palettes, and no shard
+        // starts round r+1 before every round-r report is in).
+        let mut pulls = 0usize;
+        let mut palettes = 0usize;
+        while pulls < shards || palettes < shards {
+            match self.endpoints.inbox.recv().expect("cluster channels alive") {
+                ShardMessage::Pull(batch) => {
+                    assert!(pulls < shards, "round lockstep: unexpected extra pull batch");
+                    pulls += 1;
+                    self.serve_batch(&batch, messages_sent);
+                    self.run_pool.push(batch.target_runs);
+                }
+                ShardMessage::Palette(p) => {
+                    assert!(
+                        palettes < shards && self.recv_palettes[p.origin as usize].is_none(),
+                        "round lockstep: unexpected extra palette"
+                    );
+                    self.recv_palettes[p.origin as usize] = Some((p.palette, p.runs));
+                    palettes += 1;
+                }
+                _ => unreachable!("per-entry message on a batched cluster"),
+            }
+        }
+
+        // Reconstitute per-node samples: deal the palettes into the
+        // sample buffer in origin order (arrival-order independent)
+        // through an inside-out Fisher–Yates — one pass expands *and*
+        // shuffles. An iid sequence conditioned on its multiset is a
+        // uniform arrangement, so the joint law of the `local_n · h`
+        // samples is exactly iid Uniform Pull.
+        let mut pos = 0usize;
+        for origin in 0..shards {
+            let (palette, runs) = self.recv_palettes[origin].take().expect("one palette per peer");
+            if runs.is_empty() {
+                // Raw palette: one insert per draw.
+                for &o in &palette {
+                    let j = self.rng.gen_range(0..=pos);
+                    self.samples[pos] = self.samples[j];
+                    self.samples[j] = o;
+                    pos += 1;
+                }
+            } else {
+                for &(pi, c) in &runs {
+                    let o = palette[pi as usize];
+                    for _ in 0..c {
+                        let j = self.rng.gen_range(0..=pos);
+                        self.samples[pos] = self.samples[j];
+                        self.samples[j] = o;
+                        pos += 1;
+                    }
+                }
+            }
+            self.palette_pool.push((palette, runs));
+        }
+        debug_assert_eq!(pos as u64, total, "palette mass must equal the requested pulls");
+
+        // Clear the snapshot histogram for the next round.
+        for &i in &self.snap_touched {
+            self.snap_counts[i as usize] = 0;
+        }
+    }
+
+    /// The push data plane for the concentrated regime: no pulls at
+    /// all. Every shard broadcasts its round-start opinion histogram;
+    /// each requester unions the `shards` received histograms — which
+    /// is exactly the global round-start opinion distribution (a
+    /// uniform node is a shard ∝ size, then a uniform node within it)
+    /// — into one alias table and draws all `local_n · h` samples
+    /// locally: iid by construction, no reassembly shuffle, `O(1)` per
+    /// draw.
+    fn push_batched(&mut self, messages_sent: &mut u64) {
+        let shards = self.partition.shards;
+        let local_n = self.opinions.len();
+        let total = local_n * self.h;
+
+        // Round-start local opinion histogram (shared scratch with the
+        // pull path).
+        self.snap_touched.clear();
+        self.snap_undecided =
+            count_opinions(&self.opinions, &mut self.snap_counts, &mut self.snap_touched);
+
+        // Broadcast it as a histogram palette, one copy per peer.
+        for dest in 0..shards {
+            let (mut palette, mut pruns) = self.palette_pool.pop().unwrap_or_default();
+            palette.clear();
+            pruns.clear();
+            for &i in &self.snap_touched {
+                pruns.push((palette.len() as u32, self.snap_counts[i as usize]));
+                palette.push(Opinion::new(i));
+            }
+            if self.snap_undecided > 0 {
+                pruns.push((palette.len() as u32, self.snap_undecided));
+                palette.push(Opinion::UNDECIDED);
+            }
+            *messages_sent += (palette.len() + pruns.len()) as u64;
+            self.endpoints.peers[dest]
+                .send(ShardMessage::Palette(OpinionPalette {
+                    origin: self.shard_id as u32,
+                    palette,
+                    runs: pruns,
+                }))
+                .expect("peer shard alive");
+        }
+        // Reset the scratch fully: the union merge below re-tallies
+        // into it and must start from an empty touched list.
+        for &i in &self.snap_touched {
+            self.snap_counts[i as usize] = 0;
+        }
+        self.snap_touched.clear();
+
+        // Collect the fleet's histograms. The coordinator's report
+        // barrier keeps rounds in lockstep, so exactly these `shards`
+        // palettes — and nothing else — arrive here (a push round has
+        // no pulls at all).
+        let mut palettes = 0usize;
+        while palettes < shards {
+            match self.endpoints.inbox.recv().expect("cluster channels alive") {
+                ShardMessage::Palette(p) => {
+                    assert!(
+                        self.recv_palettes[p.origin as usize].is_none(),
+                        "round lockstep: unexpected extra palette"
+                    );
+                    self.recv_palettes[p.origin as usize] = Some((p.palette, p.runs));
+                    palettes += 1;
+                }
+                _ => unreachable!("round lockstep: pull or per-entry message in a push round"),
+            }
+        }
+
+        // Union the histograms — deduplicated through the (currently
+        // idle) snapshot scratch, so the alias table is built over the
+        // ~occ distinct global colors rather than the `shards · occ`
+        // raw entries — and sample every position iid.
+        let mut union_undecided = 0u64;
+        for origin in 0..shards {
+            let (palette, runs) = self.recv_palettes[origin].take().expect("one palette per peer");
+            for &(pi, c) in &runs {
+                let o = palette[pi as usize];
+                if o.is_undecided() {
+                    union_undecided += c;
+                } else {
+                    let i = o.index();
+                    if self.snap_counts[i] == 0 {
+                        self.snap_touched.push(i as u32);
+                    }
+                    self.snap_counts[i] += c;
+                }
+            }
+            self.palette_pool.push((palette, runs));
+        }
+        self.alias_weights.clear();
+        self.alias_values.clear();
+        for &i in &self.snap_touched {
+            self.alias_weights.push(self.snap_counts[i as usize] as f64);
+            self.alias_values.push(Opinion::new(i));
+            self.snap_counts[i as usize] = 0;
+        }
+        self.snap_touched.clear();
+        if union_undecided > 0 {
+            self.alias_weights.push(union_undecided as f64);
+            self.alias_values.push(Opinion::UNDECIDED);
+        }
+        if total > 0 {
+            let alias = Categorical::new(&self.alias_weights);
+            for pos in 0..total {
+                self.samples[pos] = self.alias_values[alias.sample(&mut self.rng)];
+            }
+        }
+    }
+
+    /// Serves one pull batch from the round-start state, drawing from
+    /// the origin's dedicated serving stream, choosing per batch
+    /// between two exact samplers by the draw count `m` vs the
+    /// distinct local color count `d`:
+    ///
+    /// * **raw** (`m < 24·d`, the diverse regime) — draw `m` uniform
+    ///   targets and ship their opinions verbatim (a palette with no
+    ///   runs): `O(m)` cheap draws and `m` wire entries — half of
+    ///   per-entry mode's `2m`, with no request routing — which the
+    ///   requester expands with one copy. A histogram would not
+    ///   compress enough here to pay for building one.
+    /// * **histogram walk** (`m ≥ 24·d`, the concentrated regime) — a
+    ///   multinomial over the round-start opinion histogram (undecided
+    ///   mass split off first): `O(d)` binomial draws and wire
+    ///   entries, with no per-draw work at all. A conditional-binomial
+    ///   step costs tens of materialized draws, hence the crossover.
+    ///
+    /// Both are exactly the law of `m` uniform snapshot reads; the
+    /// choice depends only on deterministic per-round state, so the
+    /// trajectory stays seed-reproducible.
+    fn serve_batch(&mut self, batch: &PullBatch, messages_sent: &mut u64) {
+        // Crossover between the raw and walk samplers: a
+        // conditional-binomial step (sampler construction + draw)
+        // costs roughly twenty-odd materialized draws.
+        const WALK_FACTOR: u64 = 24;
+        let local_n = self.opinions.len();
+        let origin = batch.origin as usize;
+        let rng = &mut self.serve_rngs[origin];
+        let d = self.snap_touched.len() as u64 + 1;
+        let total: u64 = batch.target_runs.iter().map(|r| r.count).sum();
+
+        let (mut palette, mut pruns) = self.palette_pool.pop().unwrap_or_default();
+        palette.clear();
+        pruns.clear();
+
+        let walkable = total >= WALK_FACTOR * d
+            && batch.target_runs.iter().all(|r| r.start == 0 && r.len as usize == local_n);
+        if walkable {
+            let mut served_undecided = 0u64;
+            for run in &batch.target_runs {
+                if run.count == 0 {
+                    continue;
+                }
+                let undec = if self.snap_undecided > 0 {
+                    Binomial::new(run.count, self.snap_undecided as f64 / local_n as f64)
+                        .sample(rng)
+                } else {
+                    0
+                };
+                served_undecided += undec;
+                let rest = run.count - undec;
+                if rest > 0 {
+                    self.theta_scratch.clear();
+                    self.theta_scratch.extend(
+                        self.snap_touched.iter().map(|&i| self.snap_counts[i as usize] as f64),
+                    );
+                    sample_multinomial_sparse_into(
+                        rest,
+                        &self.theta_scratch,
+                        &self.snap_touched,
+                        rng,
+                        &mut self.serve_counts,
+                    );
+                }
+            }
+            // Emit the histogram palette in snapshot-touched order
+            // (every drawn opinion is a local color).
+            for &i in &self.snap_touched {
+                let c = self.serve_counts[i as usize];
+                if c > 0 {
+                    pruns.push((palette.len() as u32, c));
+                    palette.push(Opinion::new(i));
+                    self.serve_counts[i as usize] = 0;
+                }
+            }
+            if served_undecided > 0 {
+                pruns.push((palette.len() as u32, served_undecided));
+                palette.push(Opinion::UNDECIDED);
+            }
+        } else {
+            // Raw: the drawn opinions themselves, in draw order.
+            palette.reserve(total as usize);
+            for run in &batch.target_runs {
+                for _ in 0..run.count {
+                    let t = run.start + rng.gen_range(0..run.len);
+                    palette.push(self.opinions[t as usize]);
                 }
             }
         }
 
-        // Apply the update rule locally, in deterministic node order.
-        for local in 0..local_n {
-            let own = opinions[local];
-            let window = &samples[local * h..(local + 1) * h];
-            opinions[local] = rule.update(own, window, &mut rng);
-        }
+        *messages_sent += (palette.len() + pruns.len()) as u64;
+        self.endpoints.peers[origin]
+            .send(ShardMessage::Palette(OpinionPalette {
+                origin: self.shard_id as u32,
+                palette,
+                runs: pruns,
+            }))
+            .expect("peer shard alive");
+    }
 
-        // Report this shard's observable state.
-        let mut undecided = 0u64;
-        let body = match report_mode {
-            ReportMode::Sparse => {
-                touched.clear();
-                for &o in &opinions {
-                    if o.is_undecided() {
-                        undecided += 1;
-                        continue;
-                    }
-                    let i = o.index();
-                    if count_scratch[i] == 0 {
-                        touched.push(i as u32);
-                    }
-                    count_scratch[i] += 1;
+    /// Counts the post-update opinions and builds the commanded report
+    /// body; under [`ReportMode::Delta`] also rolls the previous-round
+    /// counts forward and reports the changed-slot count.
+    fn build_report(&mut self, format: ReportFormat) -> (ReportBody, u64, Option<u64>) {
+        let tracking = self.report_mode == ReportMode::Delta;
+        self.touched.clear();
+        let undecided = count_opinions(&self.opinions, &mut self.count_scratch, &mut self.touched);
+
+        let changed_slots = if tracking {
+            let mut changed = 0u64;
+            for &i in &self.touched {
+                if self.count_scratch[i as usize] != self.prev_counts[i as usize] {
+                    changed += 1;
                 }
-                let mut pairs = Vec::with_capacity(touched.len());
-                for &i in &touched {
-                    pairs.push((i, count_scratch[i as usize]));
-                    count_scratch[i as usize] = 0;
+            }
+            for &i in &self.prev_touched {
+                if self.count_scratch[i as usize] == 0 {
+                    changed += 1;
+                }
+            }
+            Some(changed)
+        } else {
+            None
+        };
+
+        let body = match format {
+            ReportFormat::Sparse => {
+                let mut pairs = Vec::with_capacity(self.touched.len());
+                for &i in &self.touched {
+                    pairs.push((i, self.count_scratch[i as usize]));
                 }
                 ReportBody::Sparse(pairs)
             }
-            ReportMode::Dense => {
-                let mut counts = vec![0u64; k_slots];
-                for &o in &opinions {
-                    if o.is_undecided() {
-                        undecided += 1;
-                    } else {
-                        counts[o.index()] += 1;
+            ReportFormat::Delta => {
+                assert!(tracking, "delta reports need ReportMode::Delta tracking");
+                let mut pairs = Vec::with_capacity(changed_slots.unwrap_or(0) as usize);
+                for &i in &self.touched {
+                    let new = self.count_scratch[i as usize];
+                    let prev = self.prev_counts[i as usize];
+                    if new != prev {
+                        pairs.push((i, new as i64 - prev as i64));
                     }
+                }
+                for &i in &self.prev_touched {
+                    if self.count_scratch[i as usize] == 0 {
+                        pairs.push((i, -(self.prev_counts[i as usize] as i64)));
+                    }
+                }
+                ReportBody::Delta(pairs)
+            }
+            ReportFormat::Dense => {
+                let mut counts = vec![0u64; self.k_slots];
+                for &i in &self.touched {
+                    counts[i as usize] = self.count_scratch[i as usize];
                 }
                 ReportBody::Dense(counts)
             }
         };
-        endpoints
-            .report
-            .send(ShardReport { shard: shard_id, body, undecided, messages_sent })
-            .expect("coordinator alive");
+
+        if tracking {
+            // Roll prev ← new; the swapped-out previous counts become
+            // the (zeroed) scratch for the next round.
+            std::mem::swap(&mut self.prev_counts, &mut self.count_scratch);
+            std::mem::swap(&mut self.prev_touched, &mut self.touched);
+        }
+        for &i in &self.touched {
+            self.count_scratch[i as usize] = 0;
+        }
+        self.touched.clear();
+        (body, undecided, changed_slots)
     }
 }
 

@@ -11,7 +11,7 @@ use symbreak_core::rules::{ThreeMajority, Voter};
 use symbreak_core::{
     run_to_consensus, Configuration, RunOptions, UpdateRule, VectorEngine, VectorStep,
 };
-use symbreak_runtime::{Cluster, ClusterConfig};
+use symbreak_runtime::{Cluster, ClusterConfig, WireMode};
 use symbreak_sim::run_trials;
 use symbreak_stats::Summary;
 
@@ -19,9 +19,23 @@ fn cluster_times<R>(rule: R, start: &Configuration, trials: u64, seed: u64) -> V
 where
     R: UpdateRule + Clone + Send + Sync,
 {
+    cluster_times_wire(rule, start, trials, seed, WireMode::default())
+}
+
+fn cluster_times_wire<R>(
+    rule: R,
+    start: &Configuration,
+    trials: u64,
+    seed: u64,
+    wire: WireMode,
+) -> Vec<u64>
+where
+    R: UpdateRule + Clone + Send + Sync,
+{
     let start = start.clone();
     run_trials(trials, seed, move |_t, s| {
-        let cluster = Cluster::new(rule.clone(), &start, ClusterConfig::new(3, s));
+        let cluster =
+            Cluster::new(rule.clone(), &start, ClusterConfig::new(3, s).with_wire_mode(wire));
         cluster.run_to_consensus(10_000_000).expect("consensus").consensus_round
     })
 }
@@ -80,4 +94,30 @@ fn cluster_matches_vector_engine_from_singleton_start() {
     let cluster = cluster_times(ThreeMajority, &start, trials, 7500);
     let engine = engine_times(ThreeMajority, &start, trials, 7600);
     assert_means_agree("3-Majority singletons", &cluster, &engine);
+}
+
+#[test]
+fn batched_wire_matches_per_entry_wire() {
+    // The two wire modes consume randomness differently, so they cannot
+    // be compared pathwise — but batched mode is an *exact* aggregation
+    // of Uniform Pull (multinomial split → shard-side multinomial →
+    // uniform rearrangement), so the realized process law must be
+    // identical. Compare mean consensus times over independent trials.
+    let start = Configuration::uniform(192, 8);
+    let trials = 48;
+    let batched = cluster_times_wire(ThreeMajority, &start, trials, 7700, WireMode::Batched);
+    let per_entry = cluster_times_wire(ThreeMajority, &start, trials, 7800, WireMode::PerEntry);
+    assert_means_agree("batched vs per-entry", &batched, &per_entry);
+}
+
+#[test]
+fn batched_wire_matches_per_entry_wire_from_singleton_start() {
+    // Voter from k = n singletons: h = 1, long trajectories, maximal
+    // color diversity — the palette/shuffle path with the fattest
+    // histograms.
+    let start = Configuration::singletons(64);
+    let trials = 48;
+    let batched = cluster_times_wire(Voter, &start, trials, 7900, WireMode::Batched);
+    let per_entry = cluster_times_wire(Voter, &start, trials, 8000, WireMode::PerEntry);
+    assert_means_agree("Voter batched vs per-entry", &batched, &per_entry);
 }

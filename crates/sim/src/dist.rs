@@ -18,6 +18,30 @@
 //! All samplers take any [`rand::RngCore`] (including `&mut dyn RngCore`)
 //! and are deterministic given the generator state, which keeps whole
 //! trajectories bit-reproducible.
+//!
+//! # Example
+//!
+//! One synchronous round of an anonymous process, drawn two ways — the
+//! vectorized multinomial (how `VectorEngine` steps) and per-node alias
+//! draws (how `AgentEngine` samples) — from the same support counts:
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use symbreak_sim::dist::{Categorical, Multinomial};
+//! use symbreak_sim::rng::Pcg64;
+//!
+//! let mut rng = Pcg64::seed_from_u64(7);
+//! let supports = [60.0, 30.0, 10.0];
+//!
+//! // Vectorized: the whole next configuration in k binomial draws.
+//! let next = Multinomial::new(100, &supports).sample(&mut rng);
+//! assert_eq!(next.iter().sum::<u64>(), 100);
+//!
+//! // Agent-level: one O(1) categorical draw per pull.
+//! let alias = Categorical::new(&supports);
+//! let pulls: Vec<usize> = (0..100).map(|_| alias.sample(&mut rng)).collect();
+//! assert!(pulls.iter().all(|&c| c < 3));
+//! ```
 
 use rand::RngCore;
 
@@ -282,6 +306,19 @@ impl Binomial {
 /// decomposition: `X_1 ∼ Bin(n, θ_1/Σθ)`, then recursively on the rest.
 ///
 /// `O(k)` per draw with `k` binomial draws, each `O(1)` amortized.
+///
+/// # Example
+/// ```
+/// use rand::SeedableRng;
+/// use symbreak_sim::dist::Multinomial;
+/// use symbreak_sim::rng::Pcg64;
+///
+/// let mut rng = Pcg64::seed_from_u64(3);
+/// let dist = Multinomial::new(1_000, &[1.0, 1.0, 2.0]);
+/// let counts = dist.sample(&mut rng);
+/// assert_eq!(counts.iter().sum::<u64>(), 1_000);
+/// assert!(counts[2] > counts[0]); // twice the weight
+/// ```
 #[derive(Debug, Clone)]
 pub struct Multinomial {
     n: u64,
@@ -380,6 +417,20 @@ pub fn sample_multinomial_into<R: RngCore + ?Sized>(
 /// This is what the occupancy-aware engine stack leans on for its
 /// `O(#occupied)`-per-round steps.
 ///
+/// # Example
+/// ```
+/// use rand::SeedableRng;
+/// use symbreak_sim::dist::sample_multinomial_sparse_into;
+/// use symbreak_sim::rng::Pcg64;
+///
+/// let mut rng = Pcg64::seed_from_u64(5);
+/// // 1000 slots, only two occupied: the walk visits just those two.
+/// let mut counts = vec![0u64; 1000];
+/// sample_multinomial_sparse_into(50, &[3.0, 1.0], &[17, 900], &mut rng, &mut counts);
+/// assert_eq!(counts[17] + counts[900], 50);
+/// assert_eq!(counts.iter().sum::<u64>(), 50);
+/// ```
+///
 /// # Panics
 /// Panics if `theta.len() != idx.len()`, on invalid weights, or if all
 /// weights are zero while `n > 0`.
@@ -460,6 +511,19 @@ fn conditional_binomial_walk<R, F>(
 ///
 /// Zero-weight categories are never sampled — the paper's processes rely
 /// on dead colors staying dead.
+///
+/// # Example
+/// ```
+/// use rand::SeedableRng;
+/// use symbreak_sim::dist::Categorical;
+/// use symbreak_sim::rng::Pcg64;
+///
+/// let mut rng = Pcg64::seed_from_u64(11);
+/// let dist = Categorical::new(&[5.0, 0.0, 1.0]);
+/// for _ in 0..1_000 {
+///     assert_ne!(dist.sample(&mut rng), 1, "dead categories stay dead");
+/// }
+/// ```
 #[derive(Debug, Clone)]
 pub struct Categorical {
     /// Acceptance probability per column.
@@ -574,6 +638,19 @@ impl Categorical {
 
 /// The geometric distribution: number of failures before the first
 /// success with per-trial success probability `p`.
+///
+/// # Example
+/// ```
+/// use rand::SeedableRng;
+/// use symbreak_sim::dist::Geometric;
+/// use symbreak_sim::rng::Pcg64;
+///
+/// let mut rng = Pcg64::seed_from_u64(13);
+/// assert_eq!(Geometric::new(1.0).sample(&mut rng), 0); // p = 1: success first try
+/// let mean = (0..2_000).map(|_| Geometric::new(0.25).sample(&mut rng)).sum::<u64>() as f64
+///     / 2_000.0;
+/// assert!((mean - 3.0).abs() < 0.5, "E = (1-p)/p = 3, got {mean}");
+/// ```
 #[derive(Debug, Clone, Copy)]
 pub struct Geometric {
     /// `ln(1 − p)` (`-inf` when `p = 1`).

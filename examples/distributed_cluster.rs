@@ -29,5 +29,10 @@ fn main() {
         outcome.consensus_round,
         outcome.final_config.plurality()
     );
-    println!("each round exchanged {} pull requests + replies across shards", n * 3 * 2);
+    println!(
+        "wire entries: {} total, {:.0}/round (batched wire; the per-entry model is {}/round)",
+        outcome.total_messages,
+        outcome.total_messages as f64 / outcome.consensus_round as f64,
+        n * 3 * 2
+    );
 }

@@ -16,11 +16,17 @@ cargo fmt --all --check
 echo "==> lint: cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> docs: cargo doc --no-deps (RUSTDOCFLAGS=-D warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+
+echo "==> docs: cargo test --doc"
+cargo test -q --doc --workspace
+
 echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release --workspace
 cargo test -q --workspace
 
-echo "==> runtime smoke: sparse cluster, singleton start k = n = 4096, ~50 rounds"
+echo "==> runtime smoke: batched/delta cluster, singleton start k = n = 4096, ~50 rounds"
 SYMBREAK_SCALE=0.004096 cargo run --release -p symbreak-bench --bin exp_e20_cluster_theorem5
 
 echo "==> experiment smoke (SYMBREAK_SCALE=${SYMBREAK_SCALE:-0.25})"

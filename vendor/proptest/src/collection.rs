@@ -4,7 +4,7 @@ use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
 use std::ops::{Range, RangeInclusive};
 
-/// A length specification for [`vec`]: a fixed `usize` or a range.
+/// A length specification for [`vec()`](fn@vec): a fixed `usize` or a range.
 pub trait IntoSizeRange {
     /// Lower and upper bound (inclusive) on the length.
     fn bounds(&self) -> (usize, usize);
@@ -37,7 +37,7 @@ pub fn vec<S: Strategy, L: IntoSizeRange>(element: S, size: L) -> VecStrategy<S>
     VecStrategy { element, min, max }
 }
 
-/// See [`vec`].
+/// See [`vec()`](fn@vec).
 pub struct VecStrategy<S> {
     element: S,
     min: usize,

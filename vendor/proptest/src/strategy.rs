@@ -145,6 +145,26 @@ macro_rules! impl_int_strategy {
 
 impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
+// Tuples of strategies generate tuples of values, as upstream.
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident / $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                Some(($(self.$idx.generate(rng)?,)+))
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!(
+    (A / 0, B / 1),
+    (A / 0, B / 1, C / 2),
+    (A / 0, B / 1, C / 2, D / 3),
+    (A / 0, B / 1, C / 2, D / 3, E / 4),
+);
+
 impl Strategy for Range<i128> {
     type Value = i128;
 
