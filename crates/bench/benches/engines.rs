@@ -25,7 +25,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::RngCore;
 use symbreak_core::rules::{ThreeMajority, Voter};
 use symbreak_core::{AgentEngine, Configuration, Engine, SamplingMode, VectorEngine, VectorStep};
-use symbreak_runtime::{Cluster, ClusterConfig, ReportMode, WireMode};
+use symbreak_runtime::{Cluster, ClusterConfig, ConsumeMode, ReportMode, WireMode};
 
 /// The PR-1 per-round path, preserved for comparison: only `vector_step`
 /// is implemented, so the engine steps through the default shim — a fresh
@@ -66,8 +66,15 @@ fn bench_engines(c: &mut Criterion) {
     let n = 100_000u64;
     let k = 100usize;
     let start = Configuration::uniform(n, k);
-    group.bench_with_input(BenchmarkId::new("agent_3M_alias/trajectory", n), &n, |b, _| {
+    group.bench_with_input(BenchmarkId::new("agent_3M_native/trajectory", n), &n, |b, _| {
+        // SamplingMode::Native: the multiset window-split dispatch (the
+        // default); pairs against the ordered alias path below.
         let mut engine = AgentEngine::new(ThreeMajority, &start, 1);
+        b.iter(|| engine.step());
+    });
+    group.bench_with_input(BenchmarkId::new("agent_3M_alias/trajectory", n), &n, |b, _| {
+        let mut engine =
+            AgentEngine::with_sampling(ThreeMajority, &start, 1, SamplingMode::AliasTable);
         b.iter(|| engine.step());
     });
     group.bench_with_input(BenchmarkId::new("agent_3M_per_node/trajectory", n), &n, |b, _| {
@@ -88,9 +95,11 @@ fn bench_engines(c: &mut Criterion) {
         ("concentrated", Configuration::from_counts(concentrated_counts)),
     ];
     for (state, config) in &states {
-        for (mode_name, mode) in
-            [("alias", SamplingMode::AliasTable), ("per_node", SamplingMode::PerNode)]
-        {
+        for (mode_name, mode) in [
+            ("native", SamplingMode::Native),
+            ("alias", SamplingMode::AliasTable),
+            ("per_node", SamplingMode::PerNode),
+        ] {
             let id = BenchmarkId::new(&format!("agent_3M_{mode_name}_round"), state);
             group.bench_with_input(id, &n, |b, _| {
                 let engine = AgentEngine::with_sampling(ThreeMajority, config, 1, mode);
@@ -259,6 +268,30 @@ fn bench_engines(c: &mut Criterion) {
                     ClusterConfig::new(16, 29).with_wire_mode(wire),
                 );
                 cluster.run_horizon(300).rounds_run
+            });
+        });
+    }
+    // Sample-consumption pairs on the batched wire (PR 5): the batched_*
+    // workloads above run ConsumeMode::Native (the default); these
+    // `_ordered` twins force the PR 4 ordered-window dealing on the
+    // same seeds and horizons. Voter/rounds_2000/shards_16 is the
+    // documented diverse-regime floor (batched ≈ per-entry there): the
+    // native single-peer path deletes the Fisher–Yates dealing, the
+    // sample buffer, and the per-node rule calls, which is the only
+    // lever left on that floor. The 3M pair exercises the multiset
+    // window splits (diverse fallback → hypergeometric/push-walk).
+    for (rule_name, horizon, seed) in [("voter", 2_000u64, 23u64), ("3M", 300, 29)] {
+        let id =
+            BenchmarkId::new(&format!("batched_ordered_{rule_name}/rounds_{horizon}/shards_16"), n);
+        group.bench_with_input(id, &n, |b, &n| {
+            b.iter(|| {
+                let cfg = ClusterConfig::new(16, seed).with_consume_mode(ConsumeMode::Ordered);
+                let start = Configuration::singletons(n);
+                if rule_name == "voter" {
+                    Cluster::new(Voter, &start, cfg).run_horizon(horizon).rounds_run
+                } else {
+                    Cluster::new(ThreeMajority, &start, cfg).run_horizon(horizon).rounds_run
+                }
             });
         });
     }

@@ -26,6 +26,7 @@ const EXPERIMENTS: &[&str] = &[
     "exp_e18_topologies",
     "exp_e19_graph_bias",
     "exp_e20_cluster_theorem5",
+    "exp_e21_multiset_wire",
 ];
 
 fn main() {

@@ -383,6 +383,70 @@ impl Configuration {
         }
     }
 
+    /// Moves `amount` units of support `from → to` (`None` meaning
+    /// outside the configuration), keeping **every** derived cache exact
+    /// in `O(#occupied)` — unlike [`Configuration::counts_mut`], whose
+    /// guard rebuilds the caches with a dense `O(k)` scan on drop.
+    /// `to` may name a currently dead slot (adversaries revive colors);
+    /// `from` must hold at least `amount`.
+    ///
+    /// This is the occupancy-aware mutation primitive the corruption
+    /// strategies route their `shift_unit`-style deltas through: the
+    /// occupied list is edited in place (binary-search insert/remove)
+    /// and the scalar caches are re-derived from the occupied slots
+    /// only, so adversarial sweeps from `k = n` singleton starts scale
+    /// with the surviving support, never with `k`.
+    ///
+    /// # Panics
+    /// Panics if `from` holds fewer than `amount` units or `to` is out
+    /// of range.
+    pub fn shift_support(&mut self, from: Option<usize>, to: Option<usize>, amount: u64) {
+        if amount == 0 || from == to {
+            return;
+        }
+        if let Some(i) = from {
+            assert!(self.counts[i] >= amount, "slot {i} holds {} < {amount} units", self.counts[i]);
+            self.counts[i] -= amount;
+            self.n -= amount;
+            if self.counts[i] == 0 {
+                let pos = self.occupied.binary_search(&(i as u32)).expect("occupied slot listed");
+                self.occupied.remove(pos);
+            }
+        }
+        if let Some(i) = to {
+            assert!(i < self.counts.len(), "slot {i} out of range");
+            if self.counts[i] == 0 {
+                let pos =
+                    self.occupied.binary_search(&(i as u32)).expect_err("dead slot not listed");
+                self.occupied.insert(pos, i as u32);
+            }
+            self.counts[i] += amount;
+            self.n += amount;
+        }
+        self.refresh_scalars_from_occupied();
+    }
+
+    /// Re-derives `Σ cᵢ²` and the top-two supports from the occupied
+    /// list in `O(#occupied)`. The list itself must already be exact.
+    fn refresh_scalars_from_occupied(&mut self) {
+        let mut sum_sq = 0u128;
+        let mut first = 0u64;
+        let mut second = 0u64;
+        for &i in &self.occupied {
+            let c = self.counts[i as usize];
+            sum_sq += (c as u128) * (c as u128);
+            if c >= first {
+                second = first;
+                first = c;
+            } else if c > second {
+                second = c;
+            }
+        }
+        self.sum_sq = sum_sq;
+        self.max_support = first;
+        self.second_support = second;
+    }
+
     /// Recomputes and checks the population invariant after raw mutation.
     ///
     /// # Panics
@@ -871,6 +935,44 @@ mod tests {
         assert_eq!(c.occupied(), &[0, 1, 2]);
         assert_eq!(c.n(), 3);
         assert_caches_match_recount(&c);
+    }
+
+    #[test]
+    fn shift_support_keeps_caches_exact_through_revive_and_death() {
+        let mut c = Configuration::from_counts(vec![5, 3, 0, 2]);
+        // Revive a dead slot with bulk mass.
+        c.shift_support(Some(0), Some(2), 4);
+        assert_eq!(c.counts(), &[1, 3, 4, 2]);
+        assert_eq!(c.occupied(), &[0, 1, 2, 3]);
+        assert_caches_match_recount(&c);
+        // Kill a slot.
+        c.shift_support(Some(0), Some(1), 1);
+        assert_eq!(c.counts(), &[0, 4, 4, 2]);
+        assert_eq!(c.occupied(), &[1, 2, 3]);
+        assert_eq!(c.max_support(), 4);
+        assert_eq!(c.bias(), 0);
+        assert_caches_match_recount(&c);
+        // Mass-changing shifts (units entering/leaving the configuration).
+        c.shift_support(Some(3), None, 2);
+        assert_eq!(c.n(), 8);
+        assert_eq!(c.occupied(), &[1, 2]);
+        assert_caches_match_recount(&c);
+        c.shift_support(None, Some(0), 3);
+        assert_eq!(c.n(), 11);
+        assert_eq!(c.occupied(), &[0, 1, 2]);
+        assert_caches_match_recount(&c);
+        // No-ops.
+        c.shift_support(Some(1), Some(1), 2);
+        c.shift_support(Some(1), Some(0), 0);
+        assert_caches_match_recount(&c);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "holds")]
+    fn shift_support_rejects_overdraw() {
+        let mut c = Configuration::from_counts(vec![2, 1]);
+        c.shift_support(Some(1), Some(0), 5);
     }
 
     #[test]

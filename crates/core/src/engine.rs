@@ -19,8 +19,10 @@ use rand::{Rng, SeedableRng};
 
 use crate::config::Configuration;
 use crate::opinion::Opinion;
-use crate::process::{UpdateRule, VectorStep};
-use symbreak_sim::dist::{Categorical, Geometric};
+use crate::process::{SampleAccess, UpdateRule, VectorStep};
+use symbreak_sim::dist::{
+    expected_window_visits, Categorical, Geometric, WindowMultinomial, WALK_CANDIDATE_CAP,
+};
 use symbreak_sim::rng::{Pcg64, SplitMix64};
 
 /// A synchronous consensus-process engine.
@@ -74,18 +76,30 @@ pub trait Engine {
 
 /// How [`AgentEngine`] draws the Uniform-Pull samples of a round.
 ///
-/// Both modes realize the same law: a pulled sample is the opinion of a
+/// Every mode realizes the same law: a pulled sample is the opinion of a
 /// uniformly random node, i.i.d. with replacement. Since only opinions
 /// are observable, drawing `opinions[uniform node]` is distributionally
 /// identical to drawing the opinion *category* from the current count
 /// distribution (undecided included) — which one alias table per round
 /// answers in `O(1)` per sample, cache-resident, instead of `n·h`
-/// random-access reads of `opinions[]`.
+/// random-access reads of `opinions[]`. The default mode additionally
+/// dispatches on what the rule *consumes*
+/// ([`crate::process::SampleAccess`]): rules reading only their window's
+/// multiset get per-node count vectors from a window-splitting sampler
+/// (no window buffer at all), and single-peer rules get exactly one
+/// categorical draw per node. The modes consume randomness differently,
+/// so they realize different (equally lawful) trajectories — pinned
+/// distributionally by the E7-style crossval tests.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SamplingMode {
-    /// One alias table per round over the opinion counts; `O(k)` build,
-    /// `O(1)` per draw. The default.
+    /// Dispatch on the rule's [`crate::process::SampleAccess`]: multiset
+    /// rules take per-node window splits, single-peer rules one draw per
+    /// node, ordered-window rules the alias path. The default.
     #[default]
+    Native,
+    /// One alias table per round over the opinion counts; `O(k)` build,
+    /// `O(1)` per draw, every rule fed an ordered window. The paired
+    /// baseline for the native dispatch (and the pre-taxonomy default).
     AliasTable,
     /// The literal model: `gen_range(0..n)` plus a random-access read per
     /// sample. Kept for cross-validation (E7) and as the bench baseline.
@@ -114,6 +128,15 @@ pub struct AgentEngine<R> {
     /// Scratch for the per-round alias-table weights (`k + 1` slots, the
     /// last one for the undecided pseudo-opinion).
     weights: Vec<f64>,
+    /// Native-mode scratch: one node's window histogram (≤ `h` entries).
+    window: Vec<(Opinion, u32)>,
+    /// Native-mode scratch: positive-weight opinions, decreasing weight.
+    native_ops: Vec<Opinion>,
+    /// Native-mode scratch: the weights of `native_ops`, same order.
+    native_weights: Vec<f64>,
+    /// Native-mode scratch: `(weight, category)` pairs for the
+    /// decreasing-weight qualifying sort.
+    native_order: Vec<(f64, u32)>,
 }
 
 impl<R: UpdateRule> AgentEngine<R> {
@@ -138,6 +161,10 @@ impl<R: UpdateRule> AgentEngine<R> {
             fast_rng: SplitMix64::seed_from_u64(seed ^ 0x6A09_E667_F3BC_C909),
             mode,
             weights: Vec::new(),
+            window: Vec::new(),
+            native_ops: Vec::new(),
+            native_weights: Vec::new(),
+            native_order: Vec::new(),
         }
     }
 
@@ -209,14 +236,19 @@ impl<R: UpdateRule> AgentEngine<R> {
     /// the conditional distribution, which is distributionally identical
     /// and makes concentrated rounds nearly free.
     fn step_alias(&mut self) {
+        // Snapshot the round-start distribution (counts mutate as nodes
+        // update, but synchronous semantics sample the old round).
+        self.snapshot_weights();
+        self.step_alias_with_weights();
+    }
+
+    /// The alias-path round body, assuming [`AgentEngine::snapshot_weights`]
+    /// already ran this round — shared with the multiset path's diverse
+    /// fallback so a fallback round snapshots only once.
+    fn step_alias_with_weights(&mut self) {
         let n = self.opinions.len();
         let h = self.rule.sample_count();
         let k = self.config.num_slots();
-        // Snapshot the round-start distribution (counts mutate as nodes
-        // update, but synchronous semantics sample the old round).
-        self.weights.clear();
-        self.weights.extend(self.config.counts().iter().map(|&c| c as f64));
-        self.weights.push(self.undecided as f64);
         let mut sampler = RoundSampler::build(&self.weights, n as u64, &mut self.fast_rng);
         let decode =
             |idx: usize| if idx == k { Opinion::UNDECIDED } else { Opinion::new(idx as u32) };
@@ -245,6 +277,122 @@ impl<R: UpdateRule> AgentEngine<R> {
             self.record(u, own, new);
         }
     }
+
+    /// Snapshots the round-start opinion distribution into
+    /// `self.weights`: `k + 1` categories, the last one the undecided
+    /// pseudo-opinion.
+    fn snapshot_weights(&mut self) {
+        self.weights.clear();
+        self.weights.extend(self.config.counts().iter().map(|&c| c as f64));
+        self.weights.push(self.undecided as f64);
+    }
+
+    /// The single-peer path: one categorical draw per node, no window
+    /// buffer. [`SampleAccess::SinglePeer`] guarantees
+    /// `update(own, [s], _) == s`, but the (statically dispatched,
+    /// trivially inlined) rule call is kept so the path needs no trust
+    /// beyond the declared window size.
+    fn step_single_peer(&mut self) {
+        debug_assert_eq!(self.rule.sample_count(), 1, "single-peer rules pull one sample");
+        let n = self.opinions.len();
+        let k = self.config.num_slots();
+        self.snapshot_weights();
+        let mut sampler = RoundSampler::build(&self.weights, n as u64, &mut self.fast_rng);
+        let decode =
+            |idx: usize| if idx == k { Opinion::UNDECIDED } else { Opinion::new(idx as u32) };
+        for u in 0..n {
+            let s = decode(sampler.draw(&mut self.fast_rng));
+            let own = self.opinions[u];
+            let new = self.rule.update(own, &[s], &mut self.fast_rng);
+            self.record(u, own, new);
+        }
+    }
+
+    /// The multiset path: rules declaring [`SampleAccess::Multiset`] get
+    /// per-node window *histograms* instead of dealt sample sequences —
+    /// lawful because i.i.d. windows are exchangeable, and per-node
+    /// windows under Uniform Pull are independent `Mult(h, p)` draws.
+    ///
+    /// A [`WindowMultinomial`] walk with all conditional binomials
+    /// cached delivers a window in [`expected_window_visits`] draws —
+    /// ~one once a category dominates, versus `h` draws plus window
+    /// writes on the ordered path — so the walk runs exactly when that
+    /// statistic beats `h`; otherwise the round takes the ordered alias
+    /// path unchanged (a multiset rule consumes an ordered window just
+    /// fine, so the fallback costs nothing over the pre-taxonomy
+    /// behaviour).
+    fn step_multiset(&mut self) {
+        let n = self.opinions.len();
+        let h = self.rule.sample_count();
+        let k = self.config.num_slots();
+        if h <= 1 {
+            // A one-draw window walk can never beat one draw: with d ≥ 2
+            // live categories the expected visit count exceeds 1, so the
+            // walk statistic would reject every round — skip straight to
+            // the alias path (h = 1 multiset rules like the undecided
+            // dynamics consume an ordered 1-window identically).
+            return self.step_alias();
+        }
+        self.snapshot_weights();
+
+        // Positive categories, by decreasing weight so the window walk's
+        // early exit bites.
+        let d = self.weights.iter().filter(|&&w| w > 0.0).count();
+        if d > WALK_CANDIDATE_CAP {
+            return self.step_alias_with_weights();
+        }
+        self.native_ops.clear();
+        self.native_weights.clear();
+        self.native_order.clear();
+        self.native_order.extend(
+            self.weights.iter().enumerate().filter(|&(_, &w)| w > 0.0).map(|(i, &w)| (w, i as u32)),
+        );
+        self.native_order.sort_by(|a, b| b.0.total_cmp(&a.0));
+        let decode =
+            |idx: usize| if idx == k { Opinion::UNDECIDED } else { Opinion::new(idx as u32) };
+        for &(w, i) in &self.native_order {
+            self.native_ops.push(decode(i as usize));
+            self.native_weights.push(w);
+        }
+
+        if d == 1 {
+            // Absorbed round: every window is h copies of the one
+            // surviving opinion — pure rule evaluation.
+            self.window.clear();
+            self.window.push((self.native_ops[0], h as u32));
+            for u in 0..n {
+                let own = self.opinions[u];
+                let new = self
+                    .rule
+                    .as_multiset()
+                    .expect("Multiset access requires a MultisetRule impl")
+                    .update_from_counts(own, &self.window, &mut self.fast_rng);
+                self.record(u, own, new);
+            }
+            return;
+        }
+
+        if expected_window_visits(&self.native_weights, h) > h as f64 {
+            // Too diverse for the walk to pay: the ordered path is the
+            // better delivery of the same law.
+            return self.step_alias_with_weights();
+        }
+
+        let walk = WindowMultinomial::new(&self.native_weights, h);
+        for u in 0..n {
+            self.window.clear();
+            let ops = &self.native_ops;
+            let window = &mut self.window;
+            walk.sample_window(&mut self.fast_rng, |j, x| window.push((ops[j], x as u32)));
+            let own = self.opinions[u];
+            let new = self
+                .rule
+                .as_multiset()
+                .expect("Multiset access requires a MultisetRule impl")
+                .update_from_counts(own, &self.window, &mut self.fast_rng);
+            self.record(u, own, new);
+        }
+    }
 }
 
 impl<R: UpdateRule> Engine for AgentEngine<R> {
@@ -263,6 +411,11 @@ impl<R: UpdateRule> Engine for AgentEngine<R> {
     fn step(&mut self) {
         if !self.opinions.is_empty() {
             match self.mode {
+                SamplingMode::Native => match self.rule.sample_access() {
+                    SampleAccess::OrderedWindow => self.step_alias(),
+                    SampleAccess::Multiset => self.step_multiset(),
+                    SampleAccess::SinglePeer => self.step_single_peer(),
+                },
                 SamplingMode::AliasTable => self.step_alias(),
                 SamplingMode::PerNode => self.step_per_node(),
             }

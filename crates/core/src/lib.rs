@@ -59,5 +59,5 @@ pub mod theory;
 pub use config::Configuration;
 pub use engine::{AgentEngine, Engine, SamplingMode, VectorEngine};
 pub use opinion::Opinion;
-pub use process::{AcProcess, ExpectedUpdate, UpdateRule, VectorStep};
+pub use process::{AcProcess, ExpectedUpdate, MultisetRule, SampleAccess, UpdateRule, VectorStep};
 pub use run::{hitting_time_colors, run_to_consensus, RunOptions, RunOutcome};

@@ -70,14 +70,22 @@ mod tests {
 
     #[test]
     fn phases_compose_to_consensus_time() {
+        // Phase 2 can legitimately be empty on trajectories that crash
+        // through the split point straight to consensus, so require a
+        // positive phase 2 on at least one of a few seeds rather than
+        // pinning one realized trajectory.
         let n = 4096u64;
-        let start = Configuration::singletons(n);
-        let mut e = VectorEngine::new(ThreeMajority, start, 1).with_compaction();
-        let phases = measure_phases(&mut e, n, 1_000_000).expect("consensus");
-        assert!(phases.phase1_rounds > 0);
-        assert!(phases.phase2_rounds > 0);
-        assert_eq!(phases.total(), e.round());
-        assert!(e.is_consensus());
+        let mut saw_positive_phase2 = false;
+        for seed in 1..=3 {
+            let start = Configuration::singletons(n);
+            let mut e = VectorEngine::new(ThreeMajority, start, seed).with_compaction();
+            let phases = measure_phases(&mut e, n, 1_000_000).expect("consensus");
+            assert!(phases.phase1_rounds > 0);
+            assert_eq!(phases.total(), e.round());
+            assert!(e.is_consensus());
+            saw_positive_phase2 |= phases.phase2_rounds > 0;
+        }
+        assert!(saw_positive_phase2, "every seed ended phase 2 instantly");
     }
 
     #[test]

@@ -34,6 +34,37 @@ pub trait AcProcess {
     }
 }
 
+/// What a rule actually reads of its per-round sample window — the
+/// sample-consumption taxonomy the engine stack dispatches on.
+///
+/// `UpdateRule::update` hands every rule an *ordered* window, but most
+/// rules consume strictly less, and every layer that materializes,
+/// ships, or deals individual sample draws for them is doing wasted
+/// per-draw work. The classification is a **contract**, not a hint:
+/// engines are free to (and do) deliver the declared access form
+/// through samplers that never materialize the window, so a rule that
+/// over-declares would silently change the process law.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SampleAccess {
+    /// Reads the ordered sample sequence (or interleaves own-state with
+    /// sample positions, like 2-Choices' "first two agree" test). The
+    /// engines must materialize a window distributed as i.i.d. Uniform
+    /// Pull draws. The default, and always safe.
+    #[default]
+    OrderedWindow,
+    /// Reads only the **multiset** of the window: the rule implements
+    /// [`MultisetRule`] and engines may deliver per-node count vectors
+    /// drawn by window-splitting samplers instead of dealt sample
+    /// sequences (lawful because i.i.d. windows are exchangeable).
+    Multiset,
+    /// Adopts a single uniform peer's opinion, ignoring its own state:
+    /// `update(own, [s], _) == s` for every `own` and `s`. Engines may
+    /// skip sample materialization entirely and write the drawn opinion
+    /// (or a lawful dealing of a drawn opinion *multiset*) straight
+    /// into the node state.
+    SinglePeer,
+}
+
 /// Agent-level (per-node) update semantics under Uniform Pull.
 ///
 /// Every process in the paper is expressible this way, including non-AC
@@ -52,6 +83,46 @@ pub trait UpdateRule {
     /// 3-Majority's random tie-break). Implementations must not assume
     /// anything about node identity — only opinions are visible.
     fn update(&self, own: Opinion, samples: &[Opinion], rng: &mut dyn RngCore) -> Opinion;
+
+    /// How this rule consumes its window — see [`SampleAccess`].
+    ///
+    /// Rules declaring [`SampleAccess::Multiset`] must also override
+    /// [`UpdateRule::as_multiset`]; the engines assert the pairing.
+    fn sample_access(&self) -> SampleAccess {
+        SampleAccess::OrderedWindow
+    }
+
+    /// The multiset entry point, for rules declaring
+    /// [`SampleAccess::Multiset`]. Returns `None` otherwise (the
+    /// default).
+    fn as_multiset(&self) -> Option<&dyn MultisetRule> {
+        None
+    }
+}
+
+/// A rule whose update depends on the window only through its multiset.
+///
+/// This is the agent-level analogue of tracking configurations instead
+/// of agents: collapsing a window to its histogram is lawful exactly
+/// because i.i.d. windows are exchangeable, and it converts every layer
+/// that delivers samples from per-draw to per-(node, distinct-color)
+/// work. Implementations must agree **in law** with
+/// [`UpdateRule::update`] over any window with the given histogram —
+/// pinned for every rule in this crate by the exchangeability proptest
+/// in `tests/multiset_law.rs`.
+pub trait MultisetRule: UpdateRule {
+    /// Computes the node's next opinion from its own opinion and the
+    /// window's histogram: `counts` lists `(opinion, multiplicity)`
+    /// pairs with distinct opinions (order unspecified) whose
+    /// multiplicities sum to [`UpdateRule::sample_count`]. Entries may
+    /// include [`Opinion::UNDECIDED`]
+    /// (for the undecided-state dynamics).
+    fn update_from_counts(
+        &self,
+        own: Opinion,
+        counts: &[(Opinion, u32)],
+        rng: &mut dyn RngCore,
+    ) -> Opinion;
 }
 
 impl UpdateRule for Box<dyn UpdateRule> {
@@ -65,6 +136,14 @@ impl UpdateRule for Box<dyn UpdateRule> {
 
     fn update(&self, own: Opinion, samples: &[Opinion], rng: &mut dyn RngCore) -> Opinion {
         (**self).update(own, samples, rng)
+    }
+
+    fn sample_access(&self) -> SampleAccess {
+        (**self).sample_access()
+    }
+
+    fn as_multiset(&self) -> Option<&dyn MultisetRule> {
+        (**self).as_multiset()
     }
 }
 
@@ -127,24 +206,79 @@ pub(crate) struct StepScratch {
     pub weights: Vec<f64>,
     /// Secondary float buffer (e.g. 2-Median's CDF over occupied values).
     pub aux: Vec<f64>,
+    /// Reusable alias table for the ball-drop multinomial form (built
+    /// lazily; `rebuild` keeps its buffers across rounds).
+    pub alias: Option<symbreak_sim::dist::Categorical>,
 }
 
-/// Runs `f` with this thread's step scratch. Re-entrant calls (a rule
-/// stepping inside another rule's scratch closure) fall back to fresh
-/// buffers rather than panicking.
+/// Times the thread-local scratch fallback allocated fresh buffers
+/// because both slots were already borrowed (three-deep nesting). Debug
+/// builds count it so a hot loop cannot hide in the fallback; release
+/// builds keep the counter at zero cost by not maintaining it.
+#[cfg(debug_assertions)]
+static SCRATCH_FALLBACKS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Number of fresh-buffer scratch fallbacks so far on any thread
+/// (debug builds only; always 0 in release builds). Read by the
+/// scratch-nesting test; dead in non-test builds by design.
+#[cfg(debug_assertions)]
+#[allow(dead_code)]
+pub(crate) fn scratch_fallback_count() -> u64 {
+    SCRATCH_FALLBACKS.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+/// Runs `f` with one of this thread's **two** step-scratch slots. A
+/// nested step (a rule stepping inside another rule's scratch closure —
+/// e.g. a composite rule delegating mid-step) gets the second slot with
+/// its buffers intact across calls, so one level of re-entrancy stays
+/// allocation-free. Deeper nesting falls back to fresh buffers; debug
+/// builds count those fallbacks ([`scratch_fallback_count`]) so a hot
+/// loop cannot silently hide in the fallback.
 pub(crate) fn with_step_scratch<T>(f: impl FnOnce(&mut StepScratch) -> T) -> T {
     thread_local! {
-        static SCRATCH: std::cell::RefCell<StepScratch> =
-            std::cell::RefCell::new(StepScratch::default());
+        static SCRATCH: [std::cell::RefCell<StepScratch>; 2] =
+            [std::cell::RefCell::new(StepScratch::default()),
+             std::cell::RefCell::new(StepScratch::default())];
     }
-    SCRATCH.with(|s| match s.try_borrow_mut() {
-        Ok(mut scratch) => f(&mut scratch),
-        Err(_) => f(&mut StepScratch::default()),
+    SCRATCH.with(|slots| {
+        for slot in slots {
+            if let Ok(mut scratch) = slot.try_borrow_mut() {
+                return f(&mut scratch);
+            }
+        }
+        #[cfg(debug_assertions)]
+        SCRATCH_FALLBACKS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        f(&mut StepScratch::default())
     })
+}
+
+/// `Mult(n, θ)` over `d` positive categories is drawn by ball-drop
+/// tally when `n < BALL_DROP_FACTOR · d`, by the conditional-binomial
+/// walk otherwise. The walk pays one binomial construction
+/// (transcendentals included) per category; a tally pays one `O(1)`
+/// alias draw per trial plus an `O(d)` table build — so the tally wins
+/// until trials outnumber categories by roughly the cost ratio of those
+/// two units.
+pub(crate) const BALL_DROP_FACTOR: u64 = 8;
+
+/// Whether the ball-drop form wins for `n` trials over `d` positive
+/// categories. Deterministic in round state, so dispatching on it keeps
+/// trajectories seed-reproducible — and the dense/sparse AC paths apply
+/// it to identical `(n, d)`, which keeps them seed-*exact*.
+pub(crate) fn ball_drop_wins(n: u64, d: usize) -> bool {
+    n < BALL_DROP_FACTOR * d as u64
 }
 
 /// The shared sparse one-step sampler for AC-processes: draws
 /// `P(c) ∼ Mult(n, α(c))` over the occupied slots only, in place.
+///
+/// The draw form is dispatched per round: the conditional-binomial walk
+/// when trials dominate the occupancy, the ball-drop tally otherwise
+/// ([`ball_drop_wins`]) — which is what keeps the `k = n` singleton
+/// start's early rounds from paying one binomial construction per
+/// occupied slot. Both forms are exactly `Mult(n, α)`; the dense
+/// [`ac_vector_step`] dispatches on the same predicate with the same
+/// table, so dense and sparse stay seed-exact.
 pub(crate) fn ac_vector_step_into<P: AcProcess + ?Sized>(
     process: &P,
     c: &mut Configuration,
@@ -153,14 +287,59 @@ pub(crate) fn ac_vector_step_into<P: AcProcess + ?Sized>(
     let n = c.n();
     with_step_scratch(|s| {
         process.alpha_into(c, &mut s.weights);
-        c.rewrite_occupied(|occ, counts| {
-            for &i in occ {
-                counts[i as usize] = 0;
-            }
-            symbreak_sim::dist::sample_multinomial_sparse_into(n, &s.weights, occ, rng, counts);
-        });
+        let ball_drop = ball_drop_wins(n, c.num_colors());
+        if ball_drop {
+            let table = match &mut s.alias {
+                Some(table) => {
+                    table.rebuild(&s.weights);
+                    table
+                }
+                none => none.insert(symbreak_sim::dist::Categorical::new(&s.weights)),
+            };
+            c.rewrite_occupied(|occ, counts| {
+                for &i in occ {
+                    counts[i as usize] = 0;
+                }
+                symbreak_sim::dist::sample_multinomial_tally_into(n, table, occ, rng, counts);
+            });
+        } else {
+            c.rewrite_occupied(|occ, counts| {
+                for &i in occ {
+                    counts[i as usize] = 0;
+                }
+                symbreak_sim::dist::sample_multinomial_sparse_into(n, &s.weights, occ, rng, counts);
+            });
+        }
     });
     debug_assert_eq!(c.n(), n, "AC step must preserve the population");
+}
+
+/// The dense sibling of [`ac_vector_step_into`]: allocates a fresh
+/// configuration, but dispatches between the same two draw forms on the
+/// same predicate — over the same occupied-slot weights — so the two
+/// paths consume the RNG identically and stay seed-exact (pinned by the
+/// sparse-equivalence proptests).
+pub(crate) fn ac_vector_step<P: AcProcess + ?Sized>(
+    process: &P,
+    c: &Configuration,
+    rng: &mut dyn RngCore,
+) -> Configuration {
+    let alpha = process.alpha(c);
+    let mut out = vec![0u64; alpha.len()];
+    if ball_drop_wins(c.n(), c.num_colors()) {
+        let weights: Vec<f64> = c.occupied().iter().map(|&i| alpha[i as usize]).collect();
+        let table = symbreak_sim::dist::Categorical::new(&weights);
+        symbreak_sim::dist::sample_multinomial_tally_into(
+            c.n(),
+            &table,
+            c.occupied(),
+            rng,
+            &mut out,
+        );
+    } else {
+        symbreak_sim::dist::sample_multinomial_into(c.n(), &alpha, rng, &mut out);
+    }
+    Configuration::from_counts(out)
 }
 
 /// Validates that `alpha` is a probability vector (panics otherwise).
@@ -211,5 +390,59 @@ mod tests {
     #[should_panic(expected = "invalid")]
     fn probability_vector_validation_rejects_negative() {
         assert_probability_vector(&[-0.5, 1.5]);
+    }
+
+    #[test]
+    fn default_sample_access_is_ordered_without_multiset_entry() {
+        struct Plain;
+        impl UpdateRule for Plain {
+            fn name(&self) -> &'static str {
+                "plain"
+            }
+            fn sample_count(&self) -> usize {
+                1
+            }
+            fn update(&self, own: Opinion, _s: &[Opinion], _r: &mut dyn RngCore) -> Opinion {
+                own
+            }
+        }
+        assert_eq!(Plain.sample_access(), SampleAccess::OrderedWindow);
+        assert!(Plain.as_multiset().is_none());
+    }
+
+    #[test]
+    fn nested_step_scratch_uses_second_slot_without_fallback() {
+        // One level of nesting must be served by the second thread-local
+        // slot; only a third simultaneous borrow takes the counted
+        // fresh-buffer fallback.
+        #[cfg(debug_assertions)]
+        let before = scratch_fallback_count();
+        with_step_scratch(|outer| {
+            outer.counts.push(1);
+            with_step_scratch(|inner| {
+                inner.counts.push(2);
+                assert_ne!(outer.counts.as_ptr(), inner.counts.as_ptr());
+            });
+        });
+        #[cfg(debug_assertions)]
+        assert_eq!(scratch_fallback_count(), before, "two-deep nesting must not fall back");
+        #[cfg(debug_assertions)]
+        {
+            with_step_scratch(|_| {
+                with_step_scratch(|_| {
+                    with_step_scratch(|_| {});
+                });
+            });
+            assert_eq!(scratch_fallback_count(), before + 1, "three-deep nesting is counted");
+        }
+    }
+
+    #[test]
+    fn ball_drop_predicate_flips_with_occupancy() {
+        // Singleton start: trials == occupancy, tally form.
+        assert!(ball_drop_wins(1000, 1000));
+        // Concentrated: trials dwarf occupancy, walk form.
+        assert!(!ball_drop_wins(1000, 2));
+        assert!(!ball_drop_wins(0, 0));
     }
 }

@@ -16,8 +16,10 @@ use rand::{Rng, RngCore};
 
 use crate::config::Configuration;
 use crate::opinion::Opinion;
-use crate::process::{ac_vector_step_into, AcProcess, UpdateRule, VectorStep};
-use symbreak_sim::dist::sample_multinomial_into;
+use crate::process::{
+    ac_vector_step, ac_vector_step_into, AcProcess, MultisetRule, SampleAccess, UpdateRule,
+    VectorStep,
+};
 
 /// Practical cap on `k^h` enumeration work for the exact process function.
 const MAX_ENUMERATION: u128 = 4_000_000;
@@ -61,6 +63,37 @@ impl UpdateRule for HMajority {
 
     fn update(&self, _own: Opinion, samples: &[Opinion], rng: &mut dyn RngCore) -> Opinion {
         plurality_with_random_ties(samples, rng)
+    }
+
+    fn sample_access(&self) -> SampleAccess {
+        SampleAccess::Multiset
+    }
+
+    fn as_multiset(&self) -> Option<&dyn MultisetRule> {
+        Some(self)
+    }
+}
+
+impl MultisetRule for HMajority {
+    /// The plurality rule reads nothing but the histogram, so this is
+    /// [`plurality_with_random_ties`] minus the tally pass: find the
+    /// best multiplicity, tie-break uniformly among the opinions
+    /// holding it.
+    fn update_from_counts(
+        &self,
+        _own: Opinion,
+        counts: &[(Opinion, u32)],
+        rng: &mut dyn RngCore,
+    ) -> Opinion {
+        debug_assert_eq!(counts.iter().map(|&(_, c)| c).sum::<u32>() as usize, self.h);
+        let best = counts.iter().map(|&(_, c)| c).max().expect("non-empty window");
+        let tied = counts.iter().filter(|&&(_, c)| c == best).count();
+        if tied == 1 {
+            counts.iter().find(|&&(_, c)| c == best).expect("tied opinion").0
+        } else {
+            let pick = rng.gen_range(0..tied);
+            counts.iter().filter(|&&(_, c)| c == best).nth(pick).expect("tied opinion").0
+        }
     }
 }
 
@@ -138,10 +171,7 @@ impl AcProcess for HMajority {
 
 impl VectorStep for HMajority {
     fn vector_step(&self, c: &Configuration, rng: &mut dyn RngCore) -> Configuration {
-        let alpha = self.alpha(c);
-        let mut out = vec![0u64; alpha.len()];
-        sample_multinomial_into(c.n(), &alpha, rng, &mut out);
-        Configuration::from_counts(out)
+        ac_vector_step(self, c, rng)
     }
 
     /// Sparse step via the shared AC sampler. The `α` enumeration itself

@@ -17,8 +17,10 @@ use rand::{Rng, RngCore};
 
 use crate::config::Configuration;
 use crate::opinion::Opinion;
-use crate::process::{ac_vector_step_into, AcProcess, UpdateRule, VectorStep};
-use symbreak_sim::dist::sample_multinomial_into;
+use crate::process::{
+    ac_vector_step, ac_vector_step_into, AcProcess, MultisetRule, SampleAccess, UpdateRule,
+    VectorStep,
+};
 
 /// The direct 3-Majority update rule.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -54,6 +56,40 @@ impl UpdateRule for ThreeMajority {
         // variant).
         samples[rng.gen_range(0..3usize)]
     }
+
+    fn sample_access(&self) -> SampleAccess {
+        SampleAccess::Multiset
+    }
+
+    fn as_multiset(&self) -> Option<&dyn MultisetRule> {
+        Some(self)
+    }
+}
+
+impl MultisetRule for ThreeMajority {
+    fn update_from_counts(
+        &self,
+        _own: Opinion,
+        counts: &[(Opinion, u32)],
+        rng: &mut dyn RngCore,
+    ) -> Opinion {
+        debug_assert_eq!(counts.iter().map(|&(_, c)| c).sum::<u32>(), 3);
+        // A window of three holds a repeated opinion iff it has fewer
+        // than three distinct entries; otherwise the tie-break adopts a
+        // uniform sample, which over three distinct singletons is a
+        // uniform entry.
+        match counts {
+            [(o, _)] => *o,
+            [(a, ca), (b, _)] => {
+                if *ca >= 2 {
+                    *a
+                } else {
+                    *b
+                }
+            }
+            _ => counts[rng.gen_range(0..3usize)].0,
+        }
+    }
 }
 
 impl AcProcess for ThreeMajority {
@@ -74,10 +110,7 @@ impl AcProcess for ThreeMajority {
 
 impl VectorStep for ThreeMajority {
     fn vector_step(&self, c: &Configuration, rng: &mut dyn RngCore) -> Configuration {
-        let alpha = alpha_three_majority(c);
-        let mut out = vec![0u64; alpha.len()];
-        sample_multinomial_into(c.n(), &alpha, rng, &mut out);
-        Configuration::from_counts(out)
+        ac_vector_step(self, c, rng)
     }
 
     /// Allocation-free sparse step: Equation (2)'s `α` evaluated per

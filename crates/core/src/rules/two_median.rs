@@ -17,7 +17,9 @@ use rand::RngCore;
 
 use crate::config::Configuration;
 use crate::opinion::Opinion;
-use crate::process::{with_step_scratch, ExpectedUpdate, UpdateRule, VectorStep};
+use crate::process::{
+    with_step_scratch, ExpectedUpdate, MultisetRule, SampleAccess, UpdateRule, VectorStep,
+};
 use symbreak_sim::dist::sample_multinomial_sparse_into;
 
 /// The 2-Median update rule. Opinion indices are interpreted as points on
@@ -44,6 +46,32 @@ impl UpdateRule for TwoMedian {
     fn update(&self, own: Opinion, samples: &[Opinion], _rng: &mut dyn RngCore) -> Opinion {
         let [a, b] = samples else { panic!("2-Median needs exactly two samples") };
         median3(own, *a, *b)
+    }
+
+    fn sample_access(&self) -> SampleAccess {
+        SampleAccess::Multiset
+    }
+
+    fn as_multiset(&self) -> Option<&dyn MultisetRule> {
+        Some(self)
+    }
+}
+
+impl MultisetRule for TwoMedian {
+    /// The median of `{own, a, b}` is symmetric in the two samples, so
+    /// the window multiset determines it: a doubled sample is the
+    /// median outright (it brackets `own` from both sides).
+    fn update_from_counts(
+        &self,
+        own: Opinion,
+        counts: &[(Opinion, u32)],
+        _rng: &mut dyn RngCore,
+    ) -> Opinion {
+        match counts {
+            [(a, _)] => *a,
+            [(a, _), (b, _)] => median3(own, *a, *b),
+            _ => panic!("2-Median windows hold exactly two samples"),
+        }
     }
 }
 

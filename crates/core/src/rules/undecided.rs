@@ -15,7 +15,7 @@ use rand::RngCore;
 
 use crate::config::Configuration;
 use crate::opinion::Opinion;
-use crate::process::{with_step_scratch, UpdateRule};
+use crate::process::{with_step_scratch, MultisetRule, SampleAccess, UpdateRule};
 use symbreak_sim::dist::{sample_multinomial_into, Binomial};
 
 /// The undecided-dynamics update rule (agent-level form).
@@ -48,6 +48,30 @@ impl UpdateRule for UndecidedDynamics {
         } else {
             Opinion::UNDECIDED
         }
+    }
+
+    fn sample_access(&self) -> SampleAccess {
+        SampleAccess::Multiset
+    }
+
+    fn as_multiset(&self) -> Option<&dyn MultisetRule> {
+        Some(self)
+    }
+}
+
+impl MultisetRule for UndecidedDynamics {
+    /// A one-sample window *is* its multiset; the rule is listed as a
+    /// multiset consumer (not [`SampleAccess::SinglePeer`]) because a
+    /// decided node reads its own state against the sample rather than
+    /// adopting it outright.
+    fn update_from_counts(
+        &self,
+        own: Opinion,
+        counts: &[(Opinion, u32)],
+        rng: &mut dyn RngCore,
+    ) -> Opinion {
+        debug_assert_eq!(counts.iter().map(|&(_, c)| c).sum::<u32>(), 1);
+        self.update(own, &[counts[0].0], rng)
     }
 }
 

@@ -9,8 +9,9 @@ use rand::RngCore;
 
 use crate::config::Configuration;
 use crate::opinion::Opinion;
-use crate::process::{ac_vector_step_into, AcProcess, UpdateRule, VectorStep};
-use symbreak_sim::dist::sample_multinomial_into;
+use crate::process::{
+    ac_vector_step, ac_vector_step_into, AcProcess, SampleAccess, UpdateRule, VectorStep,
+};
 
 /// The Voter update rule.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -35,6 +36,13 @@ impl UpdateRule for Voter {
     fn update(&self, _own: Opinion, samples: &[Opinion], _rng: &mut dyn RngCore) -> Opinion {
         samples[0]
     }
+
+    /// Voter is *the* single-peer rule: the next opinion **is** the one
+    /// drawn sample, so engines and the shard wire path may skip sample
+    /// materialization entirely.
+    fn sample_access(&self) -> SampleAccess {
+        SampleAccess::SinglePeer
+    }
 }
 
 impl AcProcess for Voter {
@@ -51,10 +59,7 @@ impl AcProcess for Voter {
 
 impl VectorStep for Voter {
     fn vector_step(&self, c: &Configuration, rng: &mut dyn RngCore) -> Configuration {
-        let alpha = self.alpha(c);
-        let mut out = vec![0u64; alpha.len()];
-        sample_multinomial_into(c.n(), &alpha, rng, &mut out);
-        Configuration::from_counts(out)
+        ac_vector_step(self, c, rng)
     }
 
     /// Allocation-free sparse step: `Mult(n, c/n)` over the occupied

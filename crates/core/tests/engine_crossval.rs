@@ -1,13 +1,16 @@
 //! E7-style cross-validation of the agent engine's sampling modes.
 //!
-//! The alias-table path (with its run-length fast form) must be
-//! distributionally identical to the seed's per-node path — and both, for
-//! processes with a vector step, to the exact one-step law. The checks
-//! compare one-round means over many trials for 3-Majority, Voter, and
-//! 2-Choices, from starts chosen to exercise all three `RoundSampler`
-//! forms (alias, run-length, constant).
+//! The alias-table path (with its run-length fast form) and the native
+//! `SampleAccess` dispatch (multiset window splits, single-peer draws)
+//! must be distributionally identical to the seed's per-node path — and
+//! all of them, for processes with a vector step, to the exact one-step
+//! law. The checks compare one-round means over many trials for
+//! 3-Majority, Voter, and 2-Choices, from starts chosen to exercise
+//! every sampler form: alias / run-length / constant rounds, and both
+//! multiset sub-paths (the cached-binomial window walk at low occupancy
+//! and the tallying fallback at singleton starts).
 
-use symbreak_core::rules::{ThreeMajority, TwoChoices, Voter};
+use symbreak_core::rules::{HMajority, ThreeMajority, TwoChoices, UndecidedDynamics, Voter};
 use symbreak_core::{
     AgentEngine, Configuration, Engine, SamplingMode, UpdateRule, VectorEngine, VectorStep,
 };
@@ -69,6 +72,8 @@ where
         one_step_agent_means(rule.clone(), &start, SamplingMode::AliasTable, trials, seed);
     let (per_node, per_node_undecided) =
         one_step_agent_means(rule.clone(), &start, SamplingMode::PerNode, trials, seed + trials);
+    let (native, native_undecided) =
+        one_step_agent_means(rule.clone(), &start, SamplingMode::Native, trials, seed + 3 * trials);
     let vector = one_step_vector_means(rule, &start, trials, seed + 2 * trials);
     for i in 0..start.num_slots() {
         let t = tol(n, per_node[i], trials);
@@ -84,10 +89,20 @@ where
             alias[i],
             vector[i]
         );
+        assert!(
+            (native[i] - per_node[i]).abs() < t,
+            "color {i}: native mean {} vs per-node mean {} (tol {t})",
+            native[i],
+            per_node[i]
+        );
     }
     assert!(
         (alias_undecided - per_node_undecided).abs() < tol(n, per_node_undecided.max(1.0), trials),
         "undecided: alias {alias_undecided} vs per-node {per_node_undecided}"
+    );
+    assert!(
+        (native_undecided - per_node_undecided).abs() < tol(n, per_node_undecided.max(1.0), trials),
+        "undecided: native {native_undecided} vs per-node {per_node_undecided}"
     );
 }
 
@@ -112,10 +127,11 @@ fn two_choices_alias_matches_per_node_and_vector() {
 }
 
 #[test]
-fn absorbed_round_is_a_fixed_point_in_both_modes() {
-    // Consensus uses the constant sampler form; it must stay absorbed.
+fn absorbed_round_is_a_fixed_point_in_every_mode() {
+    // Consensus uses the constant sampler form (and the multiset path's
+    // single-category window); it must stay absorbed.
     let start = Configuration::consensus(500, 4);
-    for mode in [SamplingMode::AliasTable, SamplingMode::PerNode] {
+    for mode in [SamplingMode::Native, SamplingMode::AliasTable, SamplingMode::PerNode] {
         let mut e = AgentEngine::with_sampling(ThreeMajority, &start, 9, mode);
         for _ in 0..5 {
             e.step();
@@ -123,6 +139,75 @@ fn absorbed_round_is_a_fixed_point_in_both_modes() {
         assert!(e.is_consensus());
         assert_eq!(e.configuration().support(0), 500);
     }
+}
+
+#[test]
+fn multiset_dispatch_matches_ordered_at_singleton_start() {
+    // k = n singletons: the multiset path's diverse tallying fallback
+    // (d > 16 live categories). h-Majority's exact-alpha vector step
+    // cannot enumerate k = 96, so 3-Majority carries this regime (the
+    // low-occupancy test below covers h-Majority's multiset path).
+    crossval(ThreeMajority, Configuration::singletons(96), 3_000, 50_000);
+}
+
+#[test]
+fn multiset_dispatch_matches_ordered_at_low_occupancy() {
+    // Few live colors: the cached-binomial WindowMultinomial walk.
+    crossval(ThreeMajority, Configuration::from_counts(vec![70, 20, 10]), 4_000, 70_000);
+    crossval(HMajority::new(5), Configuration::from_counts(vec![55, 30, 15]), 2_000, 80_000);
+}
+
+#[test]
+fn single_peer_dispatch_matches_ordered_for_voter() {
+    // Voter's native path draws one categorical per node; both the
+    // run-length (concentrated) and alias (diverse) sampler forms.
+    crossval(Voter, Configuration::from_counts(vec![80, 15, 5]), 4_000, 90_000);
+    crossval(Voter, Configuration::singletons(64), 3_000, 100_000);
+}
+
+#[test]
+fn undecided_multiset_dispatch_matches_ordered() {
+    // The undecided dynamics has no vector step, so compare the agent
+    // modes directly. For h = 1 rules Native deliberately short-circuits
+    // to the alias path (a one-draw window walk can never pay), so this
+    // is a sanity pin that the short-circuit changes nothing in law —
+    // the rule's *real* native path is on the cluster wire, pinned by
+    // `native_undecided_consumption_matches_ordered` in
+    // crates/runtime/tests/cluster_crossval.rs.
+    let start = Configuration::from_counts(vec![40, 30, 20]);
+    let trials = 4_000u64;
+    let two_step_means = |mode: SamplingMode, base: u64| {
+        let k = start.num_slots();
+        let mut sums = vec![0u64; k];
+        let mut undecided = 0u64;
+        for t in 0..trials {
+            let mut e = AgentEngine::with_sampling(UndecidedDynamics, &start, base + t, mode);
+            e.step();
+            e.step();
+            for (s, &c) in sums.iter_mut().zip(e.config_ref().counts()) {
+                *s += c;
+            }
+            undecided += e.undecided();
+        }
+        let means: Vec<f64> = sums.iter().map(|&s| s as f64 / trials as f64).collect();
+        (means, undecided as f64 / trials as f64)
+    };
+    let (native, native_u) = two_step_means(SamplingMode::Native, 110_000);
+    let (ordered, ordered_u) = two_step_means(SamplingMode::AliasTable, 120_000);
+    let n = start.n();
+    for i in 0..start.num_slots() {
+        let t = tol(n, ordered[i], trials);
+        assert!(
+            (native[i] - ordered[i]).abs() < t,
+            "color {i}: native {} vs ordered {} (tol {t})",
+            native[i],
+            ordered[i]
+        );
+    }
+    assert!(
+        (native_u - ordered_u).abs() < tol(n, ordered_u, trials),
+        "undecided: native {native_u} vs ordered {ordered_u}"
+    );
 }
 
 #[test]

@@ -1,0 +1,215 @@
+//! The exchangeability pin for the sample-consumption taxonomy: for
+//! every [`MultisetRule`], `update_from_counts` over a window's
+//! histogram must agree **in law** with `update` over the window itself
+//! — and, since a multiset consumer cannot read order, with `update`
+//! over any permutation of the window. Deterministic windows (a unique
+//! plurality, a doubled median sample, …) are pinned exactly; windows
+//! that engage internal randomness (tie-breaks) are pinned by frequency
+//! comparison.
+//!
+//! Plus the [`SampleAccess`] contract checks: the `Multiset` ⇔
+//! `as_multiset` pairing for every rule, and Voter's `SinglePeer`
+//! guarantee `update(own, [s], _) == s`.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use symbreak_core::rules::{
+    HMajority, LazyVoter, ThreeMajority, ThreeMajorityAlt, TwoChoices, TwoMedian,
+    UndecidedDynamics, Voter,
+};
+use symbreak_core::{MultisetRule, Opinion, SampleAccess, UpdateRule};
+use symbreak_sim::rng::Pcg64;
+
+fn op(i: u32) -> Opinion {
+    Opinion::new(i)
+}
+
+/// Window histogram in first-appearance order.
+fn histogram(window: &[Opinion]) -> Vec<(Opinion, u32)> {
+    let mut counts: Vec<(Opinion, u32)> = Vec::new();
+    for &s in window {
+        match counts.iter_mut().find(|(o, _)| *o == s) {
+            Some((_, c)) => *c += 1,
+            None => counts.push((s, 1)),
+        }
+    }
+    counts
+}
+
+/// Empirical outcome distribution of `f` over `trials` independent RNG
+/// streams.
+fn outcome_law(
+    trials: u64,
+    seed: u64,
+    mut f: impl FnMut(&mut Pcg64) -> Opinion,
+) -> HashMap<Opinion, u64> {
+    let mut law = HashMap::new();
+    for t in 0..trials {
+        let mut rng = Pcg64::seed_from_u64(seed ^ (t.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+        *law.entry(f(&mut rng)).or_insert(0u64) += 1;
+    }
+    law
+}
+
+/// Asserts two empirical outcome laws agree within a 5-sigma band per
+/// outcome.
+fn assert_laws_agree(
+    name: &str,
+    a: &HashMap<Opinion, u64>,
+    b: &HashMap<Opinion, u64>,
+    trials: u64,
+) -> Result<(), TestCaseError> {
+    let keys: std::collections::HashSet<_> = a.keys().chain(b.keys()).collect();
+    for o in keys {
+        let fa = *a.get(o).unwrap_or(&0) as f64 / trials as f64;
+        let fb = *b.get(o).unwrap_or(&0) as f64 / trials as f64;
+        let p = 0.5 * (fa + fb);
+        let tol = 5.0 * (p * (1.0 - p) * 2.0 / trials as f64).sqrt() + 2.0 / trials as f64;
+        prop_assert!((fa - fb).abs() < tol, "{name}: outcome {o} at {fa} vs {fb} (tol {tol})");
+    }
+    Ok(())
+}
+
+/// The core pin: ordered `update`, `update` on a rotated window, and
+/// `update_from_counts` on the histogram must share one law.
+fn check_rule_window(
+    name: &str,
+    rule: &dyn MultisetRule,
+    own: Opinion,
+    window: &[Opinion],
+    seed: u64,
+) -> Result<(), TestCaseError> {
+    let counts = histogram(window);
+    // Rotation gives a genuinely different ordering for mixed windows.
+    let mut rotated = window.to_vec();
+    rotated.rotate_left(1.min(window.len() - 1));
+
+    // Probe for determinism: 24 streams each.
+    let probe = 24u64;
+    let po = outcome_law(probe, seed, |rng| rule.update(own, window, rng));
+    let pc = outcome_law(probe, seed + 1, |rng| rule.update_from_counts(own, &counts, rng));
+    if po.len() == 1 && pc.len() == 1 {
+        prop_assert_eq!(
+            po.keys().next(),
+            pc.keys().next(),
+            "{} deterministic outcome mismatch on {:?}",
+            name,
+            window
+        );
+        let pr = outcome_law(probe, seed + 2, |rng| rule.update(own, &rotated, rng));
+        prop_assert_eq!(
+            po.keys().next(),
+            pr.keys().next(),
+            "{} order-dependent outcome on {:?}",
+            name,
+            window
+        );
+        return Ok(());
+    }
+
+    let trials = 3_000u64;
+    let ordered = outcome_law(trials, seed + 3, |rng| rule.update(own, window, rng));
+    let rotated_law = outcome_law(trials, seed + 4, |rng| rule.update(own, &rotated, rng));
+    let from_counts =
+        outcome_law(trials, seed + 5, |rng| rule.update_from_counts(own, &counts, rng));
+    assert_laws_agree(name, &ordered, &from_counts, trials)?;
+    assert_laws_agree(name, &ordered, &rotated_law, trials)?;
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn three_majority_multiset_agrees_in_law(
+        window in proptest::collection::vec(0u32..5, 3),
+        own in 0u32..5,
+        seed in 0u64..1_000_000,
+    ) {
+        let window: Vec<Opinion> = window.into_iter().map(op).collect();
+        check_rule_window("3-Majority", &ThreeMajority, op(own), &window, seed)?;
+    }
+
+    #[test]
+    fn h_majority_multiset_agrees_in_law(
+        h in 1usize..6,
+        raw in proptest::collection::vec(0u32..4, 6),
+        own in 0u32..4,
+        seed in 0u64..1_000_000,
+    ) {
+        let window: Vec<Opinion> = raw[..h].iter().map(|&i| op(i)).collect();
+        check_rule_window("h-Majority", &HMajority::new(h), op(own), &window, seed)?;
+    }
+
+    #[test]
+    fn two_median_multiset_agrees_in_law(
+        window in proptest::collection::vec(0u32..6, 2),
+        own in 0u32..6,
+        seed in 0u64..1_000_000,
+    ) {
+        let window: Vec<Opinion> = window.into_iter().map(op).collect();
+        check_rule_window("2-Median", &TwoMedian, op(own), &window, seed)?;
+    }
+
+    #[test]
+    fn undecided_multiset_agrees_in_law(
+        sample in 0u32..4,
+        sample_undecided in 0u32..2,
+        own in 0u32..4,
+        own_undecided in 0u32..2,
+        seed in 0u64..1_000_000,
+    ) {
+        let decode = |i: u32, u: u32| if u == 1 { Opinion::UNDECIDED } else { op(i) };
+        let window = [decode(sample, sample_undecided)];
+        check_rule_window(
+            "Undecided-State",
+            &UndecidedDynamics,
+            decode(own, own_undecided),
+            &window,
+            seed,
+        )?;
+    }
+}
+
+#[test]
+fn taxonomy_pairing_is_consistent_for_every_rule() {
+    // Multiset access and a MultisetRule impl must come in pairs, and
+    // the Box<dyn UpdateRule> blanket must forward both.
+    let rules: Vec<(Box<dyn UpdateRule>, SampleAccess)> = vec![
+        (Box::new(Voter), SampleAccess::SinglePeer),
+        (Box::new(TwoChoices), SampleAccess::OrderedWindow),
+        (Box::new(ThreeMajority), SampleAccess::Multiset),
+        (Box::new(ThreeMajorityAlt), SampleAccess::OrderedWindow),
+        (Box::new(HMajority::new(5)), SampleAccess::Multiset),
+        (Box::new(LazyVoter::half()), SampleAccess::OrderedWindow),
+        (Box::new(TwoMedian), SampleAccess::Multiset),
+        (Box::new(UndecidedDynamics), SampleAccess::Multiset),
+    ];
+    for (rule, expected) in rules {
+        assert_eq!(rule.sample_access(), expected, "{}", rule.name());
+        assert_eq!(
+            rule.as_multiset().is_some(),
+            expected == SampleAccess::Multiset,
+            "{}: Multiset access and as_multiset() must pair up",
+            rule.name()
+        );
+        if expected == SampleAccess::SinglePeer {
+            assert_eq!(rule.sample_count(), 1, "{}: single peer means one sample", rule.name());
+        }
+    }
+}
+
+#[test]
+fn voter_single_peer_contract_holds() {
+    // SinglePeer guarantees update(own, [s], _) == s for every own, s —
+    // the basis for skipping sample materialization on the wire.
+    let mut rng = Pcg64::seed_from_u64(9);
+    for own in 0..8u32 {
+        for s in 0..8u32 {
+            assert_eq!(Voter.update(op(own), &[op(s)], &mut rng), op(s));
+        }
+        assert_eq!(Voter.update(Opinion::UNDECIDED, &[op(own)], &mut rng), op(own));
+    }
+}

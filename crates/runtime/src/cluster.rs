@@ -84,6 +84,32 @@ pub enum WireMode {
     PerEntry,
 }
 
+/// How shards consume the batched data plane's received aggregates —
+/// the runtime end of the sample-consumption taxonomy
+/// ([`symbreak_core::SampleAccess`]).
+///
+/// Under [`ConsumeMode::Native`] (the default) a shard dispatches on
+/// the rule's declared access: multiset rules take received
+/// [`crate::message::OpinionPalette`]s directly as histogram splits
+/// (per-node multivariate-hypergeometric windows — no inside-out
+/// Fisher–Yates dealing pass), and single-peer rules skip sample
+/// materialization entirely (the dealt multiset *is* the next opinion
+/// vector). Both are exactly the Uniform Pull law; they consume
+/// randomness differently from the ordered dealing, so the trajectories
+/// are compared distributionally (like the wire modes), not pathwise.
+/// [`ConsumeMode::Ordered`] forces the ordered-window dealing for every
+/// rule — the paired baseline. The per-entry wire always consumes
+/// ordered (its replies are already per-draw).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConsumeMode {
+    /// Dispatch on the rule's [`symbreak_core::SampleAccess`].
+    #[default]
+    Native,
+    /// Ordered-window dealing for every rule (the pre-taxonomy
+    /// behaviour), kept as the paired baseline.
+    Ordered,
+}
+
 /// Cluster construction parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ClusterConfig {
@@ -95,13 +121,21 @@ pub struct ClusterConfig {
     pub report_mode: ReportMode,
     /// Data-plane wire format (defaults to [`WireMode::Batched`]).
     pub wire_mode: WireMode,
+    /// Sample-consumption dispatch (defaults to [`ConsumeMode::Native`]).
+    pub consume_mode: ConsumeMode,
 }
 
 impl ClusterConfig {
     /// Shorthand for the default formats (batched data plane, sparse
-    /// reports).
+    /// reports, native sample consumption).
     pub fn new(shards: usize, seed: u64) -> Self {
-        Self { shards, seed, report_mode: ReportMode::default(), wire_mode: WireMode::default() }
+        Self {
+            shards,
+            seed,
+            report_mode: ReportMode::default(),
+            wire_mode: WireMode::default(),
+            consume_mode: ConsumeMode::default(),
+        }
     }
 
     /// Selects the report wire format.
@@ -113,6 +147,12 @@ impl ClusterConfig {
     /// Selects the data-plane wire format.
     pub fn with_wire_mode(mut self, wire_mode: WireMode) -> Self {
         self.wire_mode = wire_mode;
+        self
+    }
+
+    /// Selects the sample-consumption dispatch.
+    pub fn with_consume_mode(mut self, consume_mode: ConsumeMode) -> Self {
+        self.consume_mode = consume_mode;
         self
     }
 }
@@ -208,6 +248,7 @@ impl<R: UpdateRule + Clone + Send> Cluster<R> {
         let shards = self.config.shards;
         let report_mode = self.config.report_mode;
         let wire_mode = self.config.wire_mode;
+        let consume_mode = self.config.consume_mode;
         let partition = Partition::new(n, shards);
 
         // Wire the topology: one inbox per shard, everyone holds senders
@@ -248,8 +289,14 @@ impl<R: UpdateRule + Clone + Send> Cluster<R> {
                     report: report_tx.clone(),
                 };
                 let rule = rule.clone();
-                let spec =
-                    ShardSpec { partition, k_slots, report_mode, wire_mode, master_seed: seed };
+                let spec = ShardSpec {
+                    partition,
+                    k_slots,
+                    report_mode,
+                    wire_mode,
+                    consume_mode,
+                    master_seed: seed,
+                };
                 scope.spawn(move |_| {
                     run_shard(shard_id, spec, rule, opinions, endpoints);
                 });
@@ -609,6 +656,51 @@ mod tests {
             "delta reports should collapse to O(#changed): \
              {delta_mean}/round vs sparse {sparse_mean}/round"
         );
+    }
+
+    #[test]
+    fn consume_modes_are_deterministic_and_reach_consensus() {
+        // Both consumption modes on the batched wire, for a multiset
+        // rule (3-Majority), a single-peer rule (Voter), and the
+        // own-state-reading 2-Median.
+        use symbreak_core::rules::TwoMedian;
+        let start = Configuration::uniform(120, 6);
+        for consume in [ConsumeMode::Native, ConsumeMode::Ordered] {
+            let run = |seed| {
+                let cfg = ClusterConfig::new(3, seed).with_consume_mode(consume);
+                let cluster = Cluster::new(ThreeMajority, &start, cfg);
+                cluster.run_to_consensus(100_000).expect("consensus").consensus_round
+            };
+            assert_eq!(run(42), run(42), "{consume:?} must be deterministic per seed");
+        }
+        for consume in [ConsumeMode::Native, ConsumeMode::Ordered] {
+            let cfg = ClusterConfig::new(4, 7).with_consume_mode(consume);
+            let out = Cluster::new(Voter, &Configuration::uniform(64, 4), cfg)
+                .run_to_consensus(1_000_000)
+                .expect("consensus");
+            assert!(out.final_config.is_consensus(), "Voter/{consume:?}");
+            let cfg = ClusterConfig::new(4, 8).with_consume_mode(consume);
+            let out = Cluster::new(TwoMedian, &Configuration::uniform(64, 5), cfg)
+                .run_to_consensus(1_000_000)
+                .expect("consensus");
+            assert!(out.final_config.is_consensus(), "2-Median/{consume:?}");
+        }
+    }
+
+    #[test]
+    fn native_report_modes_run_the_same_trajectory() {
+        // The report format still never touches the data-plane RNG
+        // streams under native consumption.
+        let start = Configuration::from_counts(vec![1; 64]);
+        let run = |mode| {
+            Cluster::new(ThreeMajority, &start, ClusterConfig::new(4, 12).with_report_mode(mode))
+                .run_to_consensus(1_000_000)
+                .expect("consensus")
+        };
+        let sparse = run(ReportMode::Sparse);
+        let delta = run(ReportMode::Delta);
+        assert_eq!(sparse.trace, delta.trace);
+        assert_eq!(sparse.final_config, delta.final_config);
     }
 
     #[test]

@@ -83,7 +83,9 @@ pub mod cluster;
 pub mod message;
 pub mod shard;
 
-pub use cluster::{Cluster, ClusterConfig, ClusterOutcome, HorizonOutcome, ReportMode, WireMode};
+pub use cluster::{
+    Cluster, ClusterConfig, ClusterOutcome, ConsumeMode, HorizonOutcome, ReportMode, WireMode,
+};
 pub use message::{
     DataFormat, OpinionPalette, PullBatch, ReportBody, ReportFormat, Request, ShardMessage,
     TargetRun,

@@ -12,20 +12,37 @@
 //! In the *pull* gear each peer gets one [`PullBatch`] (a single
 //! [`TargetRun`] covering the peer's whole range), answered by one
 //! [`OpinionPalette`] sampled shard-side from the server's round-start
-//! opinions; the requester deals the received palettes into its sample
-//! buffer in origin order through an inside-out Fisher–Yates — an iid
-//! sequence conditioned on its multiset is a uniform arrangement, so
-//! per-node samples are exactly Uniform Pull. Pull batches are served
-//! the moment they arrive (pipelined, no intra-round barrier); each
-//! (server, origin) pair draws from its own dedicated RNG stream, so
-//! the realized trajectory is deterministic per seed even though
-//! channel arrival order is not. In the *push* gear (concentrated
-//! regime) there are no pulls: every shard broadcasts its opinion
-//! histogram and samples its own pulls from the union of the received
-//! histograms via one alias table — see [`DataFormat::Push`]. The
-//! coordinator's report barrier keeps the fleet in round lockstep, so
-//! every message a shard receives belongs to its current round
-//! (asserted, not assumed).
+//! opinions. Pull batches are served the moment they arrive
+//! (pipelined, no intra-round barrier); each (server, origin) pair
+//! draws from its own dedicated RNG stream, so the realized trajectory
+//! is deterministic per seed even though channel arrival order is not.
+//! In the *push* gear (concentrated regime) there are no pulls: every
+//! shard broadcasts its opinion histogram and the union of the
+//! received histograms is the global round-start distribution — see
+//! [`DataFormat::Push`]. The coordinator's report barrier keeps the
+//! fleet in round lockstep, so every message a shard receives belongs
+//! to its current round (asserted, not assumed).
+//!
+//! How the received aggregates become node updates is dispatched on
+//! the rule's [`SampleAccess`] (under [`ConsumeMode::Native`], batched
+//! wire only):
+//!
+//! * **ordered window** (and [`ConsumeMode::Ordered`]) — pull palettes
+//!   are dealt into the sample buffer in origin order through an
+//!   inside-out Fisher–Yates (an iid sequence conditioned on its
+//!   multiset is a uniform arrangement, so per-node samples are
+//!   exactly Uniform Pull); push rounds draw every sample iid from the
+//!   union alias table; then one `update` call per node.
+//! * **multiset** — the palettes are consumed directly as one pooled
+//!   histogram, dealt to nodes as per-node window count vectors by a
+//!   multivariate-hypergeometric `WindowSplitter` (pull) or iid
+//!   `WindowMultinomial` windows (push) — no Fisher–Yates pass, no
+//!   sample materialization, one `update_from_counts` call per node.
+//!   Falls back to the ordered dealing while the pool is too diverse
+//!   for the per-node conditional walks to pay.
+//! * **single peer** — the dealt multiset *is* the next opinion
+//!   vector: palettes (pull) or union draws (push) land straight in
+//!   `opinions`, with no sample buffer and no rule calls.
 //!
 //! Reports are counted through a reusable touched-slot scratch in
 //! `O(local_n)` instead of a fresh dense `vec![0; k]`; under
@@ -37,13 +54,15 @@ use std::sync::mpsc::{Receiver, Sender};
 
 use rand::{Rng, SeedableRng};
 
-use symbreak_core::{Opinion, UpdateRule};
+use symbreak_core::{Opinion, SampleAccess, UpdateRule};
 use symbreak_sim::dist::{
-    sample_multinomial_into, sample_multinomial_sparse_into, Binomial, Categorical,
+    expected_window_visits, expected_window_visits_counts, sample_multinomial_into,
+    sample_multinomial_sparse_into, Binomial, Categorical, WindowMultinomial, WindowSplitter,
+    WALK_CANDIDATE_CAP,
 };
 use symbreak_sim::rng::{trial_seed, Pcg64};
 
-use crate::cluster::{ReportMode, WireMode};
+use crate::cluster::{ConsumeMode, ReportMode, WireMode};
 use crate::message::{
     Control, DataFormat, OpinionPalette, PullBatch, Reply, ReportBody, ReportFormat, Request,
     ShardMessage, ShardReport, TargetRun,
@@ -98,6 +117,7 @@ pub(crate) struct ShardSpec {
     pub k_slots: usize,
     pub report_mode: ReportMode,
     pub wire_mode: WireMode,
+    pub consume_mode: ConsumeMode,
     pub master_seed: u64,
 }
 
@@ -147,6 +167,11 @@ struct Worker<R> {
     k_slots: usize,
     report_mode: ReportMode,
     wire_mode: WireMode,
+    /// The effective sample access this worker dispatches on:
+    /// the rule's declared access under [`ConsumeMode::Native`] on the
+    /// batched wire, [`SampleAccess::OrderedWindow`] otherwise (the
+    /// per-entry wire is per-draw by construction).
+    access: SampleAccess,
     rule: R,
     opinions: Vec<Opinion>,
     endpoints: ShardEndpoints,
@@ -190,6 +215,17 @@ struct Worker<R> {
     alias_weights: Vec<f64>,
     alias_values: Vec<Opinion>,
 
+    // Multiset-native consumption scratch.
+    /// One node's window histogram (≤ h entries).
+    window: Vec<(Opinion, u32)>,
+    /// Pooled received-sample histogram, decreasing count order
+    /// (parallel to `pool_ops`).
+    pool_counts: Vec<u64>,
+    pool_ops: Vec<Opinion>,
+    /// Slots touched while tallying the pool into `serve_counts`
+    /// (reused as the dense tally scratch — it is zero outside serves).
+    pool_touched: Vec<u32>,
+
     // Report state.
     count_scratch: Vec<u64>,
     touched: Vec<u32>,
@@ -206,7 +242,8 @@ impl<R: UpdateRule> Worker<R> {
         opinions: Vec<Opinion>,
         endpoints: ShardEndpoints,
     ) -> Self {
-        let ShardSpec { partition, k_slots, report_mode, wire_mode, master_seed } = spec;
+        let ShardSpec { partition, k_slots, report_mode, wire_mode, consume_mode, master_seed } =
+            spec;
         let rng = Pcg64::seed_from_u64(trial_seed(master_seed, shard_id as u64 + 1));
         let h = rule.sample_count();
         let local_n = opinions.len();
@@ -214,6 +251,19 @@ impl<R: UpdateRule> Worker<R> {
         let per_entry = wire_mode == WireMode::PerEntry;
         let batched = !per_entry;
         let tracking = report_mode == ReportMode::Delta;
+        // The per-entry wire is per-draw by construction, so native
+        // consumption only applies on the batched data plane.
+        let access = if batched && consume_mode == ConsumeMode::Native {
+            let access = rule.sample_access();
+            assert!(
+                access != SampleAccess::Multiset || rule.as_multiset().is_some(),
+                "Multiset access requires a MultisetRule impl"
+            );
+            debug_assert!(access != SampleAccess::SinglePeer || h == 1);
+            access
+        } else {
+            SampleAccess::OrderedWindow
+        };
 
         let mut worker = Self {
             shard_id,
@@ -221,11 +271,19 @@ impl<R: UpdateRule> Worker<R> {
             k_slots,
             report_mode,
             wire_mode,
+            access,
             rule,
             rng,
             h,
             lo: partition.range(shard_id).start,
-            samples: vec![Opinion::new(0); local_n * h],
+            // Single-peer-native workers never materialize samples — both
+            // gears write the dealt multiset straight into `opinions` and
+            // there is no ordered fallback on that path.
+            samples: if access == SampleAccess::SinglePeer {
+                Vec::new()
+            } else {
+                vec![Opinion::new(0); local_n * h]
+            },
             snapshot: if per_entry { opinions.clone() } else { Vec::new() },
             outgoing: if per_entry {
                 (0..shards).map(|_| Vec::new()).collect()
@@ -270,6 +328,10 @@ impl<R: UpdateRule> Worker<R> {
             recv_palettes: if batched { (0..shards).map(|_| None).collect() } else { Vec::new() },
             alias_weights: Vec::new(),
             alias_values: Vec::new(),
+            window: Vec::new(),
+            pool_counts: Vec::new(),
+            pool_ops: Vec::new(),
+            pool_touched: Vec::new(),
             count_scratch: vec![0; k_slots],
             touched: Vec::new(),
             prev_counts: if tracking { vec![0; k_slots] } else { Vec::new() },
@@ -286,18 +348,33 @@ impl<R: UpdateRule> Worker<R> {
 
     fn round(&mut self, format: ReportFormat, data: DataFormat) {
         let mut messages_sent = 0u64;
-        match (self.wire_mode, data) {
-            (WireMode::PerEntry, _) => self.pull_per_entry(&mut messages_sent),
-            (WireMode::Batched, DataFormat::Pull) => self.pull_batched(&mut messages_sent),
-            (WireMode::Batched, DataFormat::Push) => self.push_batched(&mut messages_sent),
-        }
-
-        // Apply the update rule locally, in deterministic node order.
-        let local_n = self.opinions.len();
-        for local in 0..local_n {
-            let own = self.opinions[local];
-            let window = &self.samples[local * self.h..(local + 1) * self.h];
-            self.opinions[local] = self.rule.update(own, window, &mut self.rng);
+        match (self.wire_mode, data, self.access) {
+            (WireMode::PerEntry, _, _) => {
+                self.pull_per_entry(&mut messages_sent);
+                self.apply_ordered_windows();
+            }
+            (WireMode::Batched, DataFormat::Pull, access) => {
+                self.pull_exchange(&mut messages_sent);
+                match access {
+                    SampleAccess::OrderedWindow => {
+                        self.deal_palettes_ordered();
+                        self.apply_ordered_windows();
+                    }
+                    SampleAccess::SinglePeer => self.deal_palettes_single_peer(),
+                    SampleAccess::Multiset => self.consume_palettes_multiset(),
+                }
+            }
+            (WireMode::Batched, DataFormat::Push, access) => {
+                self.push_exchange(&mut messages_sent);
+                match access {
+                    SampleAccess::OrderedWindow => {
+                        self.sample_push_ordered();
+                        self.apply_ordered_windows();
+                    }
+                    SampleAccess::SinglePeer => self.sample_push_single_peer(),
+                    SampleAccess::Multiset => self.sample_push_multiset(),
+                }
+            }
         }
 
         let (body, undecided, changed_slots) = self.build_report(format);
@@ -386,9 +463,23 @@ impl<R: UpdateRule> Worker<R> {
         }
     }
 
-    /// The aggregate data plane: one [`PullBatch`] and one
-    /// [`OpinionPalette`] per peer per round.
-    fn pull_batched(&mut self, messages_sent: &mut u64) {
+    /// Applies the update rule to the dealt sample windows, in
+    /// deterministic node order — the ordered-window consumption shared
+    /// by the per-entry wire and [`ConsumeMode::Ordered`].
+    fn apply_ordered_windows(&mut self) {
+        let local_n = self.opinions.len();
+        for local in 0..local_n {
+            let own = self.opinions[local];
+            let window = &self.samples[local * self.h..(local + 1) * self.h];
+            self.opinions[local] = self.rule.update(own, window, &mut self.rng);
+        }
+    }
+
+    /// The aggregate data plane's exchange phase: one [`PullBatch`] and
+    /// one [`OpinionPalette`] per peer per round. Ends with this round's
+    /// palettes parked in `recv_palettes`, consumption left to the
+    /// [`SampleAccess`]-dispatched caller.
+    fn pull_exchange(&mut self, messages_sent: &mut u64) {
         let local_n = self.opinions.len();
         let shards = self.partition.shards;
         let total = (local_n * self.h) as u64;
@@ -449,12 +540,21 @@ impl<R: UpdateRule> Worker<R> {
             }
         }
 
-        // Reconstitute per-node samples: deal the palettes into the
-        // sample buffer in origin order (arrival-order independent)
-        // through an inside-out Fisher–Yates — one pass expands *and*
-        // shuffles. An iid sequence conditioned on its multiset is a
-        // uniform arrangement, so the joint law of the `local_n · h`
-        // samples is exactly iid Uniform Pull.
+        // Serving is done for the round: clear the snapshot histogram.
+        for &i in &self.snap_touched {
+            self.snap_counts[i as usize] = 0;
+        }
+    }
+
+    /// Reconstitutes per-node samples from the received palettes: deals
+    /// them into the sample buffer in origin order (arrival-order
+    /// independent) through an inside-out Fisher–Yates — one pass
+    /// expands *and* shuffles. An iid sequence conditioned on its
+    /// multiset is a uniform arrangement, so the joint law of the
+    /// `local_n · h` samples is exactly iid Uniform Pull.
+    fn deal_palettes_ordered(&mut self) {
+        let shards = self.partition.shards;
+        let total = self.opinions.len() * self.h;
         let mut pos = 0usize;
         for origin in 0..shards {
             let (palette, runs) = self.recv_palettes[origin].take().expect("one palette per peer");
@@ -479,26 +579,172 @@ impl<R: UpdateRule> Worker<R> {
             }
             self.palette_pool.push((palette, runs));
         }
-        debug_assert_eq!(pos as u64, total, "palette mass must equal the requested pulls");
-
-        // Clear the snapshot histogram for the next round.
-        for &i in &self.snap_touched {
-            self.snap_counts[i as usize] = 0;
-        }
+        debug_assert_eq!(pos, total, "palette mass must equal the requested pulls");
     }
 
-    /// The push data plane for the concentrated regime: no pulls at
-    /// all. Every shard broadcasts its round-start opinion histogram;
-    /// each requester unions the `shards` received histograms — which
-    /// is exactly the global round-start opinion distribution (a
-    /// uniform node is a shard ∝ size, then a uniform node within it)
-    /// — into one alias table and draws all `local_n · h` samples
-    /// locally: iid by construction, no reassembly shuffle, `O(1)` per
-    /// draw.
-    fn push_batched(&mut self, messages_sent: &mut u64) {
+    /// Single-peer consumption of the pull gear: the next opinion vector
+    /// **is** the received sample multiset, expanded straight into
+    /// `opinions` with no Fisher–Yates, no sample buffer, and no rule
+    /// calls.
+    ///
+    /// Lawful because [`SampleAccess::SinglePeer`] updates adopt their
+    /// one sample unconditionally (own-free), and every cluster
+    /// observable — reports, served opinions, next-round pulls — depends
+    /// on a shard's opinions only through their *multiset* (uniform
+    /// draws within a range are permutation-invariant), so the
+    /// deterministic in-order assignment realizes exactly the Uniform
+    /// Pull configuration law.
+    fn deal_palettes_single_peer(&mut self) {
+        debug_assert_eq!(self.h, 1, "single-peer rules pull one sample");
         let shards = self.partition.shards;
+        let mut pos = 0usize;
+        for origin in 0..shards {
+            let (palette, runs) = self.recv_palettes[origin].take().expect("one palette per peer");
+            if runs.is_empty() {
+                self.opinions[pos..pos + palette.len()].copy_from_slice(&palette);
+                pos += palette.len();
+            } else {
+                for &(pi, c) in &runs {
+                    let o = palette[pi as usize];
+                    for _ in 0..c {
+                        self.opinions[pos] = o;
+                        pos += 1;
+                    }
+                }
+            }
+            self.palette_pool.push((palette, runs));
+        }
+        debug_assert_eq!(pos, self.opinions.len(), "palette mass must equal the node count");
+    }
+
+    /// Multiset consumption of the pull gear: the received palettes are
+    /// taken directly as one pooled histogram and dealt to nodes as
+    /// per-node window count vectors through a multivariate
+    /// hypergeometric [`WindowSplitter`] — deleting the inside-out
+    /// Fisher–Yates dealing pass (and the per-draw window reads) on this
+    /// path.
+    ///
+    /// The pooled multiset is that of `local_n · h` iid Uniform Pull
+    /// draws; dealing it uniformly into `h`-windows (which the
+    /// sequential hypergeometric split realizes exactly) makes the
+    /// windows jointly distributed as iid ordered windows' multisets,
+    /// and the dealing is independent of the nodes' own opinions, so
+    /// `update_from_counts` sees exactly the ordered path's law. In the
+    /// diverse regime — more live categories than [`WALK_CANDIDATE_CAP`]
+    /// or an [`expected_window_visits_counts`] statistic above `h` —
+    /// the conditional walk would do more per-node work than it saves,
+    /// so the worker falls back to the ordered dealing.
+    fn consume_palettes_multiset(&mut self) {
+        let shards = self.partition.shards;
+        // A non-empty *raw* palette is the serving side's own verdict
+        // that the regime is too diverse for histograms to compress —
+        // and a walk-worthy (concentrated) pool never ships raw — so
+        // skip even the tally pass and deal ordered. This keeps the
+        // diverse-regime native path byte-identical in cost to the
+        // ordered one.
+        let any_raw = (0..shards).any(|origin| {
+            let (palette, runs) =
+                self.recv_palettes[origin].as_ref().expect("one palette per peer");
+            runs.is_empty() && !palette.is_empty()
+        });
+        if any_raw {
+            self.deal_palettes_ordered();
+            self.apply_ordered_windows();
+            return;
+        }
+        // Tally the pooled histogram by reference (the palettes stay
+        // parked in case the diverse fallback needs the ordered path),
+        // reusing `serve_counts` — zero outside serves — as the dense
+        // scratch.
+        self.pool_touched.clear();
+        let mut pool_undecided = 0u64;
+        for origin in 0..shards {
+            let (palette, runs) =
+                self.recv_palettes[origin].as_ref().expect("one palette per peer");
+            let mut tally = |o: Opinion, c: u64| {
+                if o.is_undecided() {
+                    pool_undecided += c;
+                } else {
+                    let i = o.index();
+                    if self.serve_counts[i] == 0 {
+                        self.pool_touched.push(i as u32);
+                    }
+                    self.serve_counts[i] += c;
+                }
+            };
+            if runs.is_empty() {
+                for &o in palette {
+                    tally(o, 1);
+                }
+            } else {
+                for &(pi, c) in runs {
+                    tally(palette[pi as usize], c);
+                }
+            }
+        }
+        let d = self.pool_touched.len() + usize::from(pool_undecided > 0);
+
+        // Gather the pool in decreasing-count order (so the split's
+        // early exit bites), zeroing the scratch as it drains; bail to
+        // the ordered dealing when the pool is too diverse for the
+        // per-node conditional walk to beat the per-draw dealing.
+        let walkable = d <= WALK_CANDIDATE_CAP && {
+            let mut pool: Vec<(u64, Opinion)> = Vec::with_capacity(d);
+            for &i in &self.pool_touched {
+                pool.push((self.serve_counts[i as usize], Opinion::new(i)));
+            }
+            if pool_undecided > 0 {
+                pool.push((pool_undecided, Opinion::UNDECIDED));
+            }
+            pool.sort_by_key(|&(c, _)| std::cmp::Reverse(c));
+            self.pool_counts.clear();
+            self.pool_ops.clear();
+            for &(c, o) in &pool {
+                self.pool_counts.push(c);
+                self.pool_ops.push(o);
+            }
+            expected_window_visits_counts(&self.pool_counts, self.h) <= self.h as f64
+        };
+        for &i in &self.pool_touched {
+            self.serve_counts[i as usize] = 0;
+        }
+        if !walkable {
+            self.deal_palettes_ordered();
+            self.apply_ordered_windows();
+            return;
+        }
+
+        // Return the palette buffers to the pool.
+        for origin in 0..shards {
+            let buffers = self.recv_palettes[origin].take().expect("one palette per peer");
+            self.palette_pool.push(buffers);
+        }
+
         let local_n = self.opinions.len();
-        let total = local_n * self.h;
+        let h = self.h as u64;
+        let msr = self.rule.as_multiset().expect("Multiset access requires a MultisetRule impl");
+        let ops = &self.pool_ops;
+        let mut splitter = WindowSplitter::new(&mut self.pool_counts);
+        for local in 0..local_n {
+            self.window.clear();
+            let window = &mut self.window;
+            splitter.draw_window(h, &mut self.rng, |cat, x| window.push((ops[cat], x as u32)));
+            let own = self.opinions[local];
+            self.opinions[local] = msr.update_from_counts(own, &self.window, &mut self.rng);
+        }
+        debug_assert_eq!(splitter.remaining(), 0, "the pool must be dealt exactly");
+    }
+
+    /// The push data plane's exchange phase for the concentrated
+    /// regime: no pulls at all. Every shard broadcasts its round-start
+    /// opinion histogram; each requester unions the `shards` received
+    /// histograms — which is exactly the global round-start opinion
+    /// distribution (a uniform node is a shard ∝ size, then a uniform
+    /// node within it) — into the parallel `alias_weights` /
+    /// `alias_values` scratch. Sampling from the union is left to the
+    /// [`SampleAccess`]-dispatched caller.
+    fn push_exchange(&mut self, messages_sent: &mut u64) {
+        let shards = self.partition.shards;
 
         // Round-start local opinion histogram (shared scratch with the
         // pull path).
@@ -587,11 +833,83 @@ impl<R: UpdateRule> Worker<R> {
             self.alias_weights.push(union_undecided as f64);
             self.alias_values.push(Opinion::UNDECIDED);
         }
-        if total > 0 {
-            let alias = Categorical::new(&self.alias_weights);
-            for pos in 0..total {
-                self.samples[pos] = self.alias_values[alias.sample(&mut self.rng)];
+    }
+
+    /// Ordered consumption of the push gear: all `local_n · h` samples
+    /// drawn iid from the union alias table into the sample buffer (no
+    /// shuffle needed — iid draws are already exchangeable).
+    fn sample_push_ordered(&mut self) {
+        let total = self.opinions.len() * self.h;
+        if total == 0 {
+            return;
+        }
+        let alias = Categorical::new(&self.alias_weights);
+        for pos in 0..total {
+            self.samples[pos] = self.alias_values[alias.sample(&mut self.rng)];
+        }
+    }
+
+    /// Single-peer consumption of the push gear: each node's one sample
+    /// is its next opinion, drawn straight into `opinions` — no sample
+    /// buffer and no rule calls.
+    fn sample_push_single_peer(&mut self) {
+        debug_assert_eq!(self.h, 1, "single-peer rules pull one sample");
+        if self.opinions.is_empty() {
+            return;
+        }
+        let alias = Categorical::new(&self.alias_weights);
+        for pos in 0..self.opinions.len() {
+            self.opinions[pos] = self.alias_values[alias.sample(&mut self.rng)];
+        }
+    }
+
+    /// Multiset consumption of the push gear: per-node windows are
+    /// independent `Mult(h, union)` draws, taken as count vectors
+    /// through a [`WindowMultinomial`] walk with all conditional
+    /// binomials cached — ~one cached draw per node once the union
+    /// concentrates, versus `h` alias draws plus window reads on the
+    /// ordered path. While the union is still too diverse for the walk
+    /// to pay, the round takes the ordered path unchanged (a multiset
+    /// rule consumes an ordered window just fine).
+    fn sample_push_multiset(&mut self) {
+        let local_n = self.opinions.len();
+        if local_n == 0 {
+            return;
+        }
+        let h = self.h;
+        // Sort the union by decreasing weight so the walk's early exit
+        // bites, then arbitrate on the expected visit count.
+        let walkable = self.alias_values.len() <= WALK_CANDIDATE_CAP && {
+            let mut union: Vec<(f64, Opinion)> =
+                self.alias_weights.iter().copied().zip(self.alias_values.iter().copied()).collect();
+            union.sort_by(|a, b| b.0.total_cmp(&a.0));
+            self.pool_ops.clear();
+            self.alias_weights.clear();
+            for &(w, o) in &union {
+                self.alias_weights.push(w);
+                self.pool_ops.push(o);
             }
+            // The sorted weights are a valid alias source too, so the
+            // ordered fallback below stays correct after this rewrite
+            // (alias_values is realigned alongside).
+            self.alias_values.clear();
+            self.alias_values.extend_from_slice(&self.pool_ops);
+            expected_window_visits(&self.alias_weights, h) <= h as f64
+        };
+        if !walkable {
+            self.sample_push_ordered();
+            self.apply_ordered_windows();
+            return;
+        }
+        let msr = self.rule.as_multiset().expect("Multiset access requires a MultisetRule impl");
+        let walk = WindowMultinomial::new(&self.alias_weights, h);
+        let ops = &self.pool_ops;
+        for local in 0..local_n {
+            self.window.clear();
+            let window = &mut self.window;
+            walk.sample_window(&mut self.rng, |j, x| window.push((ops[j], x as u32)));
+            let own = self.opinions[local];
+            self.opinions[local] = msr.update_from_counts(own, &self.window, &mut self.rng);
         }
     }
 

@@ -12,7 +12,19 @@
 //! * [`Categorical`] — Vose's alias method: `O(k)` build, `O(1)` draw.
 //!   This is what the agent engine rebuilds once per round to sample
 //!   opinions instead of nodes.
+//! * [`sample_multinomial_tally_into`] — the "ball-drop" multinomial
+//!   form: `n` alias draws tallied. Same law as the conditional-binomial
+//!   walk, inverted cost profile — this is what keeps the `k = n`
+//!   singleton start from paying one binomial construction per occupied
+//!   slot.
 //! * [`Geometric`] — inversion.
+//! * [`Hypergeometric`] — inversion from the support's lower bound;
+//!   built for the small draw counts of per-node sample windows.
+//! * [`WindowSplitter`] / [`WindowMultinomial`] — per-node window
+//!   samplers for rules that consume only the *multiset* of their
+//!   window: a without-replacement dealing of a pooled sample histogram
+//!   (multivariate hypergeometric conditionals), and i.i.d. `Mult(h, θ)`
+//!   windows with the conditional binomials cached across nodes.
 //! * [`sample_distinct`] — Floyd's algorithm for `m` distinct indices.
 //!
 //! All samplers take any [`rand::RngCore`] (including `&mut dyn RngCore`)
@@ -452,6 +464,52 @@ pub fn sample_multinomial_sparse_into<R: RngCore + ?Sized>(
     conditional_binomial_walk(n, theta, last_pos, rng, |j, x| out[idx[j] as usize] += x);
 }
 
+/// The "ball-drop" multinomial draw: `Mult(n, θ)` realized as `n`
+/// i.i.d. categorical draws from the prebuilt alias `table`, each
+/// tallied into `out[idx[j]]` (added, like the sparse walk; untouched
+/// slots stay untouched).
+///
+/// A multinomial **is** the histogram of `n` i.i.d. categorical draws,
+/// so the law is exactly `Mult(n, weights)` for the weights `table` was
+/// built from — but the cost profile is inverted relative to the
+/// conditional-binomial walk: `O(1)` per trial with no per-category
+/// transcendentals, versus one `Binomial` construction per positive
+/// category. The walk wins when `n ≫ #categories` (the concentrated
+/// regime); the ball-drop wins when `#categories` is of the order of
+/// `n` — the `k = n` singleton start, where a vector round's
+/// `Mult(n, α)` would otherwise pay `n` binomial constructions. The two
+/// forms consume randomness differently, so switching between them
+/// changes the realized trajectory (not the law); dispatchers must pick
+/// the form from deterministic round state to stay seed-reproducible.
+///
+/// # Example
+/// ```
+/// use rand::SeedableRng;
+/// use symbreak_sim::dist::{sample_multinomial_tally_into, Categorical};
+/// use symbreak_sim::rng::Pcg64;
+///
+/// let mut rng = Pcg64::seed_from_u64(19);
+/// let table = Categorical::new(&[1.0, 1.0, 2.0]);
+/// let mut counts = vec![0u64; 100];
+/// sample_multinomial_tally_into(50, &table, &[5, 40, 99], &mut rng, &mut counts);
+/// assert_eq!(counts[5] + counts[40] + counts[99], 50);
+/// ```
+///
+/// # Panics
+/// Panics if `idx.len() != table.k()`.
+pub fn sample_multinomial_tally_into<R: RngCore + ?Sized>(
+    n: u64,
+    table: &Categorical,
+    idx: &[u32],
+    rng: &mut R,
+    out: &mut [u64],
+) {
+    assert_eq!(idx.len(), table.k(), "one slot index per alias category");
+    for _ in 0..n {
+        out[idx[table.sample(rng)] as usize] += 1;
+    }
+}
+
 fn conditional_binomial_into<R: RngCore + ?Sized>(
     n: u64,
     theta: &[f64],
@@ -542,6 +600,20 @@ impl Categorical {
     /// Panics on empty input, negative/non-finite weights, or an all-zero
     /// weight vector.
     pub fn new(weights: &[f64]) -> Self {
+        let mut cat = Self { prob: Vec::new(), alias: Vec::new(), reject_below: 0 };
+        cat.rebuild(weights);
+        cat
+    }
+
+    /// Rebuilds the table in place from new weights, reusing the table
+    /// buffers' capacity — for samplers reconstructed every round (e.g.
+    /// the ball-drop multinomial path). The two transient worklists of
+    /// Vose's construction still allocate; the `O(k)` `prob`/`alias`
+    /// tables do not once capacity has been reached.
+    ///
+    /// # Panics
+    /// As [`Categorical::new`].
+    pub fn rebuild(&mut self, weights: &[f64]) {
         let k = weights.len();
         assert!(k > 0, "categorical needs at least one category");
         assert!(k <= u32::MAX as usize, "too many categories for the alias table");
@@ -558,10 +630,14 @@ impl Categorical {
 
         // Scaled weights: mean 1. Columns < 1 need an alias partner.
         let scale = k as f64 / total;
-        let mut prob: Vec<f64> = weights.iter().map(|&w| w * scale).collect();
+        let prob = &mut self.prob;
+        let alias = &mut self.alias;
+        prob.clear();
+        prob.extend(weights.iter().map(|&w| w * scale));
         // Zero-weight columns must alias somewhere harmless; the argmax
         // is always a valid positive category.
-        let mut alias: Vec<u32> = vec![argmax as u32; k];
+        alias.clear();
+        alias.resize(k, argmax as u32);
 
         let mut small: Vec<u32> = Vec::with_capacity(k);
         let mut large: Vec<u32> = Vec::with_capacity(k);
@@ -596,7 +672,7 @@ impl Categorical {
                 prob[i as usize] = 0.0;
             }
         }
-        Self { prob, alias, reject_below: (k as u64).wrapping_neg() % k as u64 }
+        self.reject_below = (k as u64).wrapping_neg() % k as u64;
     }
 
     /// Number of categories.
@@ -679,6 +755,349 @@ impl Geometric {
             u64::MAX
         } else {
             x as u64
+        }
+    }
+}
+
+/// The hypergeometric distribution: the number of *marked* balls in a
+/// uniform draw of `draws` balls **without replacement** from an urn of
+/// `total` balls, `marked` of which are marked.
+///
+/// Sampled by inversion from the support's lower bound
+/// `max(0, draws − (total − marked))` using the pmf ratio recurrence —
+/// exact, with the starting pmf evaluated through `ln_factorial`. The
+/// walk visits at most `draws + 1` support points, so this sampler is
+/// built for the small per-window draw counts of the engine stack
+/// (`h ≤ 9`ish), not for bulk draws.
+///
+/// # Example
+/// ```
+/// use rand::SeedableRng;
+/// use symbreak_sim::dist::Hypergeometric;
+/// use symbreak_sim::rng::Pcg64;
+///
+/// let mut rng = Pcg64::seed_from_u64(17);
+/// // 3 draws from an urn of 10 with 4 marked: mean 3·4/10 = 1.2.
+/// let d = Hypergeometric::new(10, 4, 3);
+/// let mean =
+///     (0..4_000).map(|_| d.sample(&mut rng)).sum::<u64>() as f64 / 4_000.0;
+/// assert!((mean - 1.2).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Hypergeometric {
+    total: u64,
+    marked: u64,
+    draws: u64,
+    /// Support lower bound `max(0, draws − (total − marked))`.
+    lo: u64,
+    /// Support upper bound `min(draws, marked)`.
+    hi: u64,
+    /// `pmf(lo)`.
+    p_lo: f64,
+}
+
+impl Hypergeometric {
+    /// Creates a sampler for the urn `(total, marked)` and `draws` draws.
+    ///
+    /// # Panics
+    /// Panics if `marked > total` or `draws > total`.
+    pub fn new(total: u64, marked: u64, draws: u64) -> Self {
+        assert!(marked <= total, "cannot mark {marked} of {total} balls");
+        assert!(draws <= total, "cannot draw {draws} of {total} balls");
+        let lo = draws.saturating_sub(total - marked);
+        let hi = draws.min(marked);
+        let p_lo = if lo == hi {
+            1.0
+        } else {
+            // ln pmf(lo) = ln C(marked, lo) + ln C(total−marked, draws−lo)
+            //            − ln C(total, draws).
+            let ln_c = |n: u64, k: u64| ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k);
+            (ln_c(marked, lo) + ln_c(total - marked, draws - lo) - ln_c(total, draws)).exp()
+        };
+        // A zero starting pmf would make the inversion walk spin forever
+        // (the ratio recurrence can never leave 0). This only happens
+        // when the support is so wide that pmf(lo) underflows f64 —
+        // parameters far outside the small-draw windows this sampler is
+        // built for; fail fast instead of hanging.
+        assert!(
+            p_lo > 0.0,
+            "Hypergeometric({total}, {marked}, {draws}): pmf underflows at the support edge; \
+             draw counts this large need a mode-centered sampler"
+        );
+        Self { total, marked, draws, lo, hi, p_lo }
+    }
+
+    /// Draws one value in `lo..=hi`.
+    pub fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.lo == self.hi {
+            return self.lo;
+        }
+        // Inversion with the ratio recurrence
+        // pmf(x+1)/pmf(x) = (marked−x)(draws−x) / ((x+1)(total−marked−draws+x+1));
+        // restarting past the upper bound handles floating-point dust in
+        // the cdf exactly like the binomial BINV walk does.
+        loop {
+            let mut u = unit_f64(rng);
+            let mut x = self.lo;
+            let mut r = self.p_lo;
+            loop {
+                if u <= r {
+                    return x;
+                }
+                u -= r;
+                if x == self.hi {
+                    break; // numerical tail; redraw
+                }
+                let num = (self.marked - x) as f64 * (self.draws - x) as f64;
+                // `x ≥ lo` keeps `total − marked + x + 1 ≥ draws`, so this
+                // ordering never underflows.
+                let den = (x + 1) as f64 * (self.total - self.marked + x + 1 - self.draws) as f64;
+                r *= num / den;
+                x += 1;
+            }
+        }
+    }
+}
+
+/// Deals a pooled sample histogram into fixed-size windows **without
+/// replacement** — the lawful hand-out of a round's aggregate sample
+/// multiset as per-node window count vectors.
+///
+/// If the pool is the histogram of `W·h` i.i.d. draws, a uniform dealing
+/// into `W` windows of `h` leaves the windows jointly distributed as
+/// consecutive `h`-blocks of the i.i.d. sequence (an i.i.d. sequence
+/// conditioned on its multiset is a uniform arrangement — the same fact
+/// the batched wire's Fisher–Yates dealing leans on). Sequentially, each
+/// window's counts follow a multivariate hypergeometric on the
+/// *remaining* pool, factorized here into univariate [`Hypergeometric`]
+/// conditionals per category, with early exit once the window is full.
+/// Order the pool by decreasing count so the early exit bites: a pool
+/// dominated by its first category costs ~one draw per window, which is
+/// how multiset-consuming rules beat the `O(h)`-draws-per-node dealing.
+///
+/// Zero-count categories are skipped without consuming randomness.
+///
+/// # Example
+/// ```
+/// use rand::SeedableRng;
+/// use symbreak_sim::dist::WindowSplitter;
+/// use symbreak_sim::rng::Pcg64;
+///
+/// let mut rng = Pcg64::seed_from_u64(23);
+/// let mut pool = [8u64, 3, 1]; // 12 draws for 4 windows of 3
+/// let mut splitter = WindowSplitter::new(&mut pool);
+/// for _ in 0..4 {
+///     let mut window = 0u64;
+///     splitter.draw_window(3, &mut rng, |_cat, x| window += x);
+///     assert_eq!(window, 3);
+/// }
+/// assert_eq!(splitter.remaining(), 0);
+/// ```
+#[derive(Debug)]
+pub struct WindowSplitter<'a> {
+    pool: &'a mut [u64],
+    remaining: u64,
+}
+
+impl<'a> WindowSplitter<'a> {
+    /// Wraps a pool histogram (counts per category) for dealing. The
+    /// pool is consumed in place as windows are drawn.
+    pub fn new(pool: &'a mut [u64]) -> Self {
+        let remaining = pool.iter().sum();
+        Self { pool, remaining }
+    }
+
+    /// Balls left in the pool.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    /// Deals one window of `h` balls from the pool, calling
+    /// `deposit(category, count)` for each category with a positive
+    /// count in the window (ascending category order).
+    ///
+    /// # Panics
+    /// Panics if fewer than `h` balls remain.
+    pub fn draw_window<R, F>(&mut self, h: u64, rng: &mut R, mut deposit: F)
+    where
+        R: RngCore + ?Sized,
+        F: FnMut(usize, u64),
+    {
+        assert!(h <= self.remaining, "window of {h} from a pool of {}", self.remaining);
+        let mut need = h;
+        let mut suffix = self.remaining;
+        for (cat, count) in self.pool.iter_mut().enumerate() {
+            if need == 0 {
+                break;
+            }
+            let k = *count;
+            if k == 0 {
+                continue;
+            }
+            // This category's share of the window: hypergeometric on the
+            // remaining pool suffix. When the suffix *is* this category,
+            // the draw is deterministic and consumes no randomness.
+            let x =
+                if k == suffix { need } else { Hypergeometric::new(suffix, k, need).sample(rng) };
+            if x > 0 {
+                deposit(cat, x);
+                *count -= x;
+                need -= x;
+            }
+            suffix -= k;
+        }
+        debug_assert_eq!(need, 0, "window must be filled exactly");
+        self.remaining -= h;
+    }
+}
+
+/// Expected number of categories a size-`h` window walk visits, for
+/// weights in **decreasing** order: `Σ_j (1 − (cum_{<j}/total)^h)` —
+/// category `j` is visited iff not all `h` draws landed before it.
+///
+/// This is the dispatch statistic for the window samplers
+/// ([`WindowMultinomial`] / [`WindowSplitter`]): a walk pays roughly
+/// one conditional draw per *visited* category, versus `h` draws per
+/// window on a per-draw path, so the walk wins when this expectation
+/// sits below `h`. (For the without-replacement splitter the formula
+/// is the with-replacement approximation — fine for arbitration, and
+/// irrelevant to exactness.) `O(d)`; returns `d` when the weights sum
+/// to zero.
+///
+/// # Example
+/// ```
+/// use symbreak_sim::dist::expected_window_visits;
+///
+/// // Concentrated: nearly every window resolves on the first category.
+/// assert!(expected_window_visits(&[0.98, 0.01, 0.01], 3) < 1.2);
+/// // Uniform: a window of 3 scatters across most of the categories.
+/// assert!(expected_window_visits(&[1.0; 8], 3) > 4.0);
+/// ```
+pub fn expected_window_visits(weights_desc: &[f64], h: usize) -> f64 {
+    let total: f64 = weights_desc.iter().sum();
+    expected_visits_of(total, weights_desc.iter().copied(), weights_desc.len(), h)
+}
+
+/// [`expected_window_visits`] over integer counts (e.g. a pooled
+/// histogram), so count-valued dispatch sites need no float scratch.
+pub fn expected_window_visits_counts(counts_desc: &[u64], h: usize) -> f64 {
+    let total: u64 = counts_desc.iter().sum();
+    expected_visits_of(total as f64, counts_desc.iter().map(|&c| c as f64), counts_desc.len(), h)
+}
+
+/// Category cap above which the window-dispatch sites skip even
+/// computing the visit statistic: the qualifying decreasing-weight sort
+/// would cost more than the round saves at singleton-start
+/// occupancies. One constant so every dispatch site (agent engine,
+/// shard pull gear, shard push gear) moves in lockstep.
+pub const WALK_CANDIDATE_CAP: usize = 512;
+
+fn expected_visits_of(
+    total: f64,
+    weights_desc: impl Iterator<Item = f64>,
+    d: usize,
+    h: usize,
+) -> f64 {
+    if total <= 0.0 {
+        return d as f64;
+    }
+    let mut visits = 0.0;
+    let mut cum = 0.0;
+    for w in weights_desc {
+        visits += 1.0 - (cum / total).powi(h as i32);
+        cum += w;
+    }
+    visits
+}
+
+/// I.i.d. fixed-size multinomial windows `Mult(h, θ)`, with the
+/// conditional-binomial walk's per-category samplers built **once** and
+/// reused across windows.
+///
+/// This is the with-replacement sibling of [`WindowSplitter`], for
+/// engines whose per-node windows are independent (Uniform Pull samples
+/// with replacement): the walk at category `j` with `r` trials left
+/// always draws from the same `Bin(r, θ_j / Σ_{i≥j} θ_i)`, so all
+/// `d·h` binomial samplers are precomputed and a window costs only the
+/// categories actually visited — ~one cached draw per window once the
+/// leading category dominates. Order `weights` by decreasing mass for
+/// the early exit to bite; the last weight must be positive (it absorbs
+/// the walk's remainder).
+///
+/// # Example
+/// ```
+/// use rand::SeedableRng;
+/// use symbreak_sim::dist::WindowMultinomial;
+/// use symbreak_sim::rng::Pcg64;
+///
+/// let mut rng = Pcg64::seed_from_u64(29);
+/// let windows = WindowMultinomial::new(&[6.0, 3.0, 1.0], 3);
+/// let mut total = 0u64;
+/// windows.sample_window(&mut rng, |_cat, x| total += x);
+/// assert_eq!(total, 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WindowMultinomial {
+    /// `bins[j·h + (r−1)]`: `Bin(r, θ_j / Σ_{i≥j} θ_i)` for category
+    /// `j < d − 1`; the last category takes the walk's remainder.
+    bins: Vec<Binomial>,
+    d: usize,
+    h: usize,
+}
+
+impl WindowMultinomial {
+    /// Builds the cached walk for windows of `h` draws over `weights`
+    /// (unnormalized; finite, non-negative, last one positive).
+    ///
+    /// # Panics
+    /// Panics on empty weights, `h = 0`, invalid weights, or a
+    /// non-positive last weight.
+    pub fn new(weights: &[f64], h: usize) -> Self {
+        let d = weights.len();
+        assert!(d > 0, "window multinomial needs at least one category");
+        assert!(h > 0, "window size must be positive");
+        for (i, &w) in weights.iter().enumerate() {
+            assert!(w.is_finite() && w >= 0.0, "weight[{i}] = {w} invalid");
+        }
+        assert!(weights[d - 1] > 0.0, "the last weight absorbs the remainder; it must be positive");
+        let mut bins = Vec::with_capacity((d - 1) * h);
+        let mut suffix: f64 = weights.iter().sum();
+        for &w in &weights[..d - 1] {
+            let p = (w / suffix).clamp(0.0, 1.0);
+            for r in 1..=h {
+                bins.push(Binomial::new(r as u64, p));
+            }
+            suffix -= w;
+        }
+        Self { bins, d, h }
+    }
+
+    /// The window size `h`.
+    pub fn h(&self) -> usize {
+        self.h
+    }
+
+    /// Draws one window, calling `deposit(category, count)` for each
+    /// category with a positive count (ascending category order).
+    pub fn sample_window<R, F>(&self, rng: &mut R, mut deposit: F)
+    where
+        R: RngCore + ?Sized,
+        F: FnMut(usize, u64),
+    {
+        let mut need = self.h;
+        for j in 0..self.d {
+            if need == 0 {
+                return;
+            }
+            if j == self.d - 1 {
+                deposit(j, need as u64);
+                return;
+            }
+            let x = self.bins[j * self.h + (need - 1)].sample(rng);
+            if x > 0 {
+                deposit(j, x);
+                need -= x as usize;
+            }
         }
     }
 }
@@ -881,6 +1300,179 @@ mod tests {
         v.sort_unstable();
         assert_eq!(v, (0..10).collect::<Vec<_>>());
         assert!(sample_distinct(5, 0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn categorical_rebuild_matches_fresh_table() {
+        let mut table = Categorical::new(&[1.0, 1.0]);
+        table.rebuild(&[1.0, 2.0, 3.0, 4.0]);
+        let fresh = Categorical::new(&[1.0, 2.0, 3.0, 4.0]);
+        // Same table => same draws from the same stream.
+        let mut a = Pcg64::seed_from_u64(31);
+        let mut b = Pcg64::seed_from_u64(31);
+        for _ in 0..500 {
+            assert_eq!(table.sample(&mut a), fresh.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn ball_drop_tally_matches_multinomial_law() {
+        let mut rng = Pcg64::seed_from_u64(41);
+        let weights = [0.5, 0.3, 0.2];
+        let idx = [2u32, 7, 11];
+        let table = Categorical::new(&weights);
+        let trials = 5_000u64;
+        let per_draw = 200u64;
+        let mut sums = [0u64; 3];
+        for _ in 0..trials {
+            let mut out = [0u64; 12];
+            sample_multinomial_tally_into(per_draw, &table, &idx, &mut rng, &mut out);
+            assert_eq!(out.iter().sum::<u64>(), per_draw);
+            for (s, &i) in sums.iter_mut().zip(&idx) {
+                *s += out[i as usize];
+            }
+        }
+        for i in 0..3 {
+            let mean = sums[i] as f64 / trials as f64;
+            let expect = per_draw as f64 * weights[i];
+            let sd = (per_draw as f64 * weights[i] * (1.0 - weights[i]) / trials as f64).sqrt();
+            assert!((mean - expect).abs() < 6.0 * sd + 0.05, "cat {i}: {mean} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn hypergeometric_matches_exact_pmf() {
+        // Frequencies against the exactly enumerated pmf for a few urns.
+        let mut rng = Pcg64::seed_from_u64(43);
+        for &(total, marked, draws) in &[(10u64, 4u64, 3u64), (20, 15, 6), (7, 7, 3), (50, 1, 10)] {
+            let d = Hypergeometric::new(total, marked, draws);
+            let trials = 40_000u64;
+            let mut counts = vec![0u64; draws as usize + 1];
+            for _ in 0..trials {
+                counts[d.sample(&mut rng) as usize] += 1;
+            }
+            // Exact pmf via the binomial-coefficient ratio.
+            let c = |n: u64, k: u64| -> f64 {
+                if k > n {
+                    return 0.0;
+                }
+                (1..=k).map(|i| (n - k + i) as f64 / i as f64).product()
+            };
+            for x in 0..=draws {
+                let pmf = c(marked, x) * c(total - marked, draws - x) / c(total, draws);
+                let freq = counts[x as usize] as f64 / trials as f64;
+                let sd = (pmf * (1.0 - pmf) / trials as f64).sqrt();
+                assert!(
+                    (freq - pmf).abs() < 6.0 * sd + 1e-3,
+                    "H({total},{marked},{draws}) at {x}: freq {freq} vs pmf {pmf}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hypergeometric_degenerate_edges() {
+        let mut rng = Pcg64::seed_from_u64(44);
+        assert_eq!(Hypergeometric::new(5, 0, 3).sample(&mut rng), 0);
+        assert_eq!(Hypergeometric::new(5, 5, 3).sample(&mut rng), 3);
+        assert_eq!(Hypergeometric::new(5, 2, 0).sample(&mut rng), 0);
+        // Forced lower bound: 4 draws from 5 with 3 unmarked => at least 1.
+        let d = Hypergeometric::new(5, 2, 4);
+        for _ in 0..100 {
+            let x = d.sample(&mut rng);
+            assert!((1..=2).contains(&x));
+        }
+    }
+
+    #[test]
+    fn window_splitter_deals_the_whole_pool() {
+        let mut rng = Pcg64::seed_from_u64(45);
+        for seed_pool in [[12u64, 0, 6, 2], [5, 5, 5, 5], [20, 0, 0, 0]] {
+            let mut pool = seed_pool;
+            let total: u64 = pool.iter().sum();
+            let h = 5u64;
+            let windows = total / h;
+            let mut splitter = WindowSplitter::new(&mut pool);
+            let mut dealt = [0u64; 4];
+            for _ in 0..windows {
+                let mut got = 0u64;
+                splitter.draw_window(h, &mut rng, |cat, x| {
+                    dealt[cat] += x;
+                    got += x;
+                });
+                assert_eq!(got, h, "window must carry exactly h balls");
+            }
+            assert_eq!(splitter.remaining(), total % h);
+            for (d, s) in dealt.iter().zip(&seed_pool) {
+                assert!(d <= s, "cannot deal more than the pool held");
+            }
+            assert_eq!(dealt.iter().sum::<u64>(), windows * h);
+        }
+    }
+
+    #[test]
+    fn window_splitter_first_window_is_hypergeometric() {
+        // The first window's count of category 0 must follow
+        // H(total, pool[0], h) exactly.
+        let mut rng = Pcg64::seed_from_u64(46);
+        let trials = 30_000u64;
+        let mut sum = 0u64;
+        for _ in 0..trials {
+            let mut pool = [6u64, 3, 3];
+            let mut splitter = WindowSplitter::new(&mut pool);
+            splitter.draw_window(4, &mut rng, |cat, x| {
+                if cat == 0 {
+                    sum += x;
+                }
+            });
+        }
+        let mean = sum as f64 / trials as f64;
+        let expect = 4.0 * 6.0 / 12.0; // h · K / N = 2
+        assert!((mean - expect).abs() < 0.03, "mean {mean} vs {expect}");
+    }
+
+    #[test]
+    fn window_multinomial_matches_direct_draws() {
+        // Window marginals must equal Mult(h, θ): compare per-category
+        // means against h·θ_i.
+        let mut rng = Pcg64::seed_from_u64(47);
+        let weights = [5.0, 3.0, 2.0];
+        let h = 4usize;
+        let wm = WindowMultinomial::new(&weights, h);
+        let trials = 30_000u64;
+        let mut sums = [0u64; 3];
+        for _ in 0..trials {
+            let mut got = 0u64;
+            wm.sample_window(&mut rng, |cat, x| {
+                sums[cat] += x;
+                got += x;
+            });
+            assert_eq!(got, h as u64);
+        }
+        for i in 0..3 {
+            let mean = sums[i] as f64 / trials as f64;
+            let expect = h as f64 * weights[i] / 10.0;
+            assert!((mean - expect).abs() < 0.03, "cat {i}: {mean} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn window_multinomial_concentrated_early_exit_is_lawful() {
+        // A dominant first category: most windows resolve in one cached
+        // draw, and the law still matches Mult(h, θ).
+        let mut rng = Pcg64::seed_from_u64(48);
+        let wm = WindowMultinomial::new(&[0.98, 0.02], 3);
+        let trials = 50_000u64;
+        let mut minority = 0u64;
+        for _ in 0..trials {
+            wm.sample_window(&mut rng, |cat, x| {
+                if cat == 1 {
+                    minority += x;
+                }
+            });
+        }
+        let mean = minority as f64 / trials as f64;
+        assert!((mean - 0.06).abs() < 0.01, "minority mean {mean} vs 3·0.02");
     }
 
     #[test]

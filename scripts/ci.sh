@@ -29,6 +29,9 @@ cargo test -q --workspace
 echo "==> runtime smoke: batched/delta cluster, singleton start k = n = 4096, ~50 rounds"
 SYMBREAK_SCALE=0.004096 cargo run --release -p symbreak-bench --bin exp_e20_cluster_theorem5
 
+echo "==> consumption smoke: multiset/single-peer native wire vs ordered dealing, k = n = 4096"
+SYMBREAK_SCALE=0.04096 cargo run --release -p symbreak-bench --bin exp_e21_multiset_wire
+
 echo "==> experiment smoke (SYMBREAK_SCALE=${SYMBREAK_SCALE:-0.25})"
 SYMBREAK_SCALE="${SYMBREAK_SCALE:-0.25}" \
     cargo run --release -p symbreak-bench --bin run_all
