@@ -39,7 +39,7 @@ pub trait Adversary {
 
 pub use runner::{run_adversarial, AdversarialOutcome, AdversarialRun};
 pub use strategies::{Eraser, MinoritySupporter, Nop, RandomFlipper, SplitKeeper};
-pub use validity::ValidityTracker;
+pub use validity::{quorum_threshold, ValidityTracker};
 
 /// Checks that `after` differs from `before` by moving at most `budget`
 /// nodes (half the L1 distance of the count vectors) and preserves mass.

@@ -26,7 +26,12 @@ use symbreak_core::{Configuration, Opinion};
 /// to within `10⁻⁹` (relative) of a boundary — e.g. `0.5500000001` at
 /// `n = 10⁵` — are outside this helper's contract and resolve to the
 /// nearby ratio.
-pub(crate) fn quorum_threshold(n: u64, fraction: f64) -> u64 {
+///
+/// Public because every quorum in the workspace should share one
+/// integer-exact threshold: the cluster runtime's fault-tolerant
+/// coordinator reuses it to turn "proceed on `N − F` shard reports"
+/// into an exact count over the fleet size.
+pub fn quorum_threshold(n: u64, fraction: f64) -> u64 {
     let product = n as f64 * fraction;
     let nearest = product.round();
     if (product - nearest).abs() <= nearest.abs().max(1.0) * 1e-9 {

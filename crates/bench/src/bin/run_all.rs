@@ -27,6 +27,7 @@ const EXPERIMENTS: &[&str] = &[
     "exp_e19_graph_bias",
     "exp_e20_cluster_theorem5",
     "exp_e21_multiset_wire",
+    "exp_e22_cluster_faults",
 ];
 
 fn main() {

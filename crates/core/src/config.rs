@@ -329,6 +329,62 @@ impl Configuration {
         );
     }
 
+    /// Replaces the whole support structure with the element-wise sum of
+    /// the given sparse `(slot, count)` parts, tolerating parts that name
+    /// currently *dead* slots.
+    ///
+    /// This is the degraded-operation sibling of
+    /// [`Configuration::merge_sparse`]: a fault-tolerant coordinator
+    /// folds per-shard report bodies that may be **stale** (the last
+    /// known counts of a crashed or straggling shard), and a stale body
+    /// may legitimately name a color that has since died in the merged
+    /// view — a revival that `merge_sparse`'s dead-colors-stay-dead
+    /// invariant correctly rejects on the lossless path. Cost is
+    /// `O(#occupied_before + Σ|partᵢ| + occ·log occ)` for the occupancy
+    /// re-sort, with no dense scan. Pairs may repeat a slot (they
+    /// accumulate) and zero counts are skipped; the population size is
+    /// re-derived from the folded counts.
+    ///
+    /// ```
+    /// use symbreak_core::Configuration;
+    ///
+    /// let mut c = Configuration::from_counts(vec![4, 0, 0, 6]);
+    /// // A stale shard body revives slot 1; slot 3 loses all support.
+    /// c.rebuild_sparse([&[(0u32, 2u64), (1, 3)][..], &[(0, 1)][..]]);
+    /// assert_eq!(c.counts(), &[3, 3, 0, 0]);
+    /// assert_eq!(c.n(), 6);
+    /// ```
+    ///
+    /// # Panics
+    /// Panics if a part names a slot at or beyond `num_slots`.
+    pub fn rebuild_sparse<'a, I>(&mut self, parts: I)
+    where
+        I: IntoIterator<Item = &'a [(u32, u64)]>,
+    {
+        for idx in 0..self.occupied.len() {
+            let slot = self.occupied[idx] as usize;
+            self.counts[slot] = 0;
+        }
+        self.occupied.clear();
+        for part in parts {
+            for &(slot, count) in part {
+                assert!(
+                    (slot as usize) < self.counts.len(),
+                    "rebuild_sparse: slot {slot} out of range"
+                );
+                if count == 0 {
+                    continue;
+                }
+                if self.counts[slot as usize] == 0 {
+                    self.occupied.push(slot);
+                }
+                self.counts[slot as usize] += count;
+            }
+        }
+        self.occupied.sort_unstable();
+        self.refresh_after_rewrite();
+    }
+
     /// Recomputes `n`, `Σ cᵢ²`, the top-two supports, and compacts the
     /// occupancy list, in one `O(#occupied)` pass. Assumes every slot
     /// outside the occupancy list is zero.
@@ -633,11 +689,13 @@ mod tests {
         assert_eq!(c.max_support(), fresh.counts().iter().copied().max().unwrap_or(0));
         assert_eq!(c.bias(), fresh.bias());
         assert_eq!(c.occupied(), fresh.occupied());
-        let l2: f64 = {
-            let n = fresh.n() as f64;
-            fresh.counts().iter().map(|&v| (v as f64 / n).powi(2)).sum()
-        };
-        assert!((c.l2_norm_sq() - l2).abs() < 1e-12);
+        if fresh.n() > 0 {
+            let l2: f64 = {
+                let n = fresh.n() as f64;
+                fresh.counts().iter().map(|&v| (v as f64 / n).powi(2)).sum()
+            };
+            assert!((c.l2_norm_sq() - l2).abs() < 1e-12);
+        }
     }
 
     #[test]
@@ -852,6 +910,49 @@ mod tests {
         assert_eq!(c.counts(), &[2, 3]);
         assert_eq!(c.n(), 5);
         assert_caches_match_recount(&c);
+    }
+
+    #[test]
+    fn rebuild_sparse_revives_dead_slots_and_rederives_everything() {
+        let mut c = Configuration::from_counts(vec![4, 0, 0, 6]);
+        // A stale body revives slot 1, slot 3 empties, slot 0 accumulates
+        // across parts (including a repeated slot within one part).
+        c.rebuild_sparse([&[(0u32, 2u64), (1, 3), (0, 1)][..], &[(0, 1), (2, 0)][..]]);
+        assert_eq!(c.counts(), &[4, 3, 0, 0]);
+        assert_eq!(c.occupied(), &[0, 1]);
+        assert_eq!(c.n(), 7);
+        assert_eq!(c.max_support(), 4);
+        assert_caches_match_recount(&c);
+    }
+
+    #[test]
+    fn rebuild_sparse_with_no_parts_empties_the_configuration() {
+        let mut c = Configuration::from_counts(vec![4, 0, 3]);
+        c.rebuild_sparse(std::iter::empty::<&[(u32, u64)]>());
+        assert_eq!(c.counts(), &[0, 0, 0]);
+        assert_eq!(c.n(), 0);
+        assert_eq!(c.num_colors(), 0);
+        assert_caches_match_recount(&c);
+    }
+
+    #[test]
+    fn rebuild_sparse_matches_merge_sparse_on_live_parts() {
+        // On parts that respect dead-colors-stay-dead, the tolerant
+        // rebuild and the lossless merge agree exactly.
+        let mut a = Configuration::from_counts(vec![4, 0, 3, 3]);
+        let mut b = a.clone();
+        let parts = [&[(0u32, 2u64), (3, 1)][..], &[(0, 3), (3, 1)][..]];
+        a.merge_sparse(parts);
+        b.rebuild_sparse(parts);
+        assert_eq!(a, b);
+        assert_caches_match_recount(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rebuild_sparse_rejects_out_of_range_slots() {
+        let mut c = Configuration::from_counts(vec![4, 0]);
+        c.rebuild_sparse([&[(5u32, 1u64)][..]]);
     }
 
     #[test]

@@ -40,6 +40,16 @@
 //!   (merged via `Configuration::apply_deltas`) once the per-round
 //!   changed-slot set collapses — `O(#changed)` per round exactly where
 //!   the high-occupancy Theorem-5 regime lives.
+//! * **Fault layer** ([`FaultPlan`]) — a seeded, deterministic fault
+//!   schedule interposes on the wire path: dropped / duplicated /
+//!   delayed palettes and reports, crash-stop shards that rejoin from
+//!   coordinator snapshots, and Byzantine shards whose corrupted report
+//!   bodies are rejected (mass-violating) or tolerated by quorum
+//!   (plausible). The coordinator relaxes its barrier to `N − F`
+//!   attendance and the outcome carries a typed [`StopReason`] plus
+//!   [`FaultCounters`]. Every fault decision is a stateless hash shared
+//!   by sender, receiver, and coordinator, so degraded runs stay
+//!   deterministic and deadlock-free (see [`fault`]).
 //!
 //! [`Configuration`]: symbreak_core::Configuration
 //!
@@ -80,11 +90,15 @@
 //! ```
 
 pub mod cluster;
+pub mod fault;
 pub mod message;
 pub mod shard;
 
 pub use cluster::{
     Cluster, ClusterConfig, ClusterOutcome, ConsumeMode, HorizonOutcome, ReportMode, WireMode,
+};
+pub use fault::{
+    ByzantineSpec, CorruptionKind, CrashSpec, FaultCounters, FaultKind, FaultPlan, StopReason,
 };
 pub use message::{
     DataFormat, OpinionPalette, PullBatch, ReportBody, ReportFormat, Request, ShardMessage,

@@ -84,6 +84,27 @@
 //! The report format never touches the protocol's RNG streams, so all
 //! three formats realize the identical trajectory for a given seed and
 //! wire mode.
+//!
+//! # Fault tagging and accounting
+//!
+//! Every batched data-plane message and every report carries the round
+//! it belongs to. In the fault-free cluster the coordinator's report
+//! barrier makes the tags redundant (every message a shard receives is
+//! for its current round); under an active [`crate::FaultPlan`] they
+//! are what keeps the relaxed protocol coherent: receivers park
+//! *future*-tagged messages (a peer that made quorum may already be a
+//! round ahead), discard *stale*-tagged ones (a delayed duplicate that
+//! lost its race), and recognize duplicates by their already-filled
+//! per-origin slot.
+//!
+//! Accounting stays honest under injected faults: a dropped message's
+//! entries are still counted by its sender (it was transmitted and
+//! lost), a duplicated message's entries are counted **twice** (two
+//! transmissions), and a delayed message is one transmission counted
+//! once. A dropped *report* would lose its `messages_sent` counter
+//! snapshot with it, so shards carry the unreported tally forward into
+//! their next report — which is how the documented `2·n·h`-style cost
+//! models remain comparable between faulty and fault-free runs.
 
 use symbreak_core::Opinion;
 
@@ -137,6 +158,9 @@ pub struct TargetRun {
 pub struct PullBatch {
     /// Shard index of the requester (routes the palette back).
     pub origin: u32,
+    /// The synchronous round this batch belongs to (see the module-level
+    /// fault-tagging notes).
+    pub round: u64,
     /// The aggregate pulls, sorted by `start`, non-overlapping.
     pub target_runs: Vec<TargetRun>,
 }
@@ -161,6 +185,9 @@ pub struct PullBatch {
 pub struct OpinionPalette {
     /// Shard index of the server (identifies which batch this answers).
     pub origin: u32,
+    /// The synchronous round this palette belongs to (see the
+    /// module-level fault-tagging notes).
+    pub round: u64,
     /// The distinct opinions observed among the drawn targets
     /// (histogram form), or the drawn opinions verbatim (raw form).
     /// May include [`Opinion::UNDECIDED`].
@@ -229,11 +256,33 @@ pub enum DataFormat {
 }
 
 /// Coordinator-to-shard control traffic.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Control {
     /// Run one more synchronous round with the given report and
     /// data-plane formats.
-    Round(ReportFormat, DataFormat),
+    Round {
+        /// The round number (1-based), echoed onto every message the
+        /// shard emits this round.
+        round: u64,
+        /// Report wire format for the round.
+        report: ReportFormat,
+        /// Data-plane format for the round (batched wire only).
+        data: DataFormat,
+    },
+    /// Revive a crash-stopped shard from the coordinator's snapshot of
+    /// its last accepted report: the shard rebuilds its node opinions
+    /// from the sparse body (crash-stop lost its own state), verifies
+    /// the reconstruction against a dense recount, and resumes with the
+    /// next [`Control::Round`].
+    Rejoin {
+        /// The round the shard rejoins at (its first live round).
+        round: u64,
+        /// Snapshot `(slot, count)` support, summing with `undecided`
+        /// to the shard's node count.
+        body: Vec<(u32, u64)>,
+        /// Undecided nodes in the snapshot.
+        undecided: u64,
+    },
     /// Terminate and report.
     Stop,
 }
@@ -290,14 +339,26 @@ impl ReportBody {
 pub struct ShardReport {
     /// Shard index.
     pub shard: usize,
+    /// The round this report describes (under an active fault plan a
+    /// delayed report arrives one round late; the coordinator folds it
+    /// as a straggler re-sync by this tag).
+    pub round: u64,
     /// Support among this shard's nodes, in the commanded wire format.
     pub body: ReportBody,
     /// Undecided nodes in this shard.
     pub undecided: u64,
     /// Point-to-point wire entries this shard sent during the round
     /// (request/reply entries in per-entry mode; target runs plus
-    /// palette and run entries in batched mode).
+    /// palette and run entries in batched mode). Under an active fault
+    /// plan this includes entries transmitted-and-lost, counts
+    /// duplicated transmissions twice, and carries forward the tally of
+    /// any previous report that was itself dropped (see the
+    /// module-level accounting notes).
     pub messages_sent: u64,
+    /// Samples this shard regenerated locally because the palette that
+    /// should have carried them was dropped or delayed past its round
+    /// (`0` in fault-free runs).
+    pub recovered: u64,
     /// How many color slots changed local support this round, when the
     /// shard tracks its previous round ([`crate::ReportMode::Delta`]);
     /// `None` in modes that do not track. The coordinator arbitrates
@@ -346,6 +407,7 @@ mod tests {
     fn palette_mass_matches_runs() {
         let p = OpinionPalette {
             origin: 0,
+            round: 1,
             palette: vec![Opinion::new(3), Opinion::UNDECIDED],
             runs: vec![(0, 5), (1, 2)],
         };

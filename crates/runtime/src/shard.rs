@@ -49,6 +49,23 @@
 //! [`ReportMode::Delta`] the shard additionally keeps the previous
 //! round's counts so it can emit signed `(slot, Δcount)` bodies of size
 //! `O(#changed)` when the coordinator commands [`ReportFormat::Delta`].
+//!
+//! Under an **active [`FaultPlan`]** (batched wire only) the worker
+//! runs fault-aware exchange variants: fault decisions are stateless
+//! hashes shared with every peer and the coordinator (see
+//! [`crate::fault`]), so senders intercept their own transmissions
+//! (drop / duplicate / delay-by-one-round), receivers compute exactly
+//! which messages will arrive — round tags park messages from peers
+//! that ran ahead of the relaxed barrier until their round starts —
+//! and lost or late pull palettes are compensated by
+//! re-sampling the requested draws from the shard's own round-start
+//! snapshot (counted as `recovered`). Crash-stopped shards simply
+//! receive no round commands; on [`Control::Rejoin`] the worker
+//! rebuilds its opinions from the coordinator snapshot and verifies
+//! the reconstruction with a dense recount. Byzantine shards corrupt
+//! their report bodies through the adversary crate's strategies on a
+//! dedicated RNG stream. The fault-free paths are byte-identical to
+//! the inert-plan cluster.
 
 use std::sync::mpsc::{Receiver, Sender};
 
@@ -62,7 +79,11 @@ use symbreak_sim::dist::{
 };
 use symbreak_sim::rng::{trial_seed, Pcg64};
 
+use symbreak_adversary::{Adversary, RandomFlipper};
+use symbreak_core::Configuration;
+
 use crate::cluster::{ConsumeMode, ReportMode, WireMode};
+use crate::fault::{CorruptionKind, FaultKind, FaultPlan, BYZANTINE_SALT};
 use crate::message::{
     Control, DataFormat, OpinionPalette, PullBatch, Reply, ReportBody, ReportFormat, Request,
     ShardMessage, ShardReport, TargetRun,
@@ -111,7 +132,7 @@ pub(crate) struct ShardEndpoints {
 ///
 /// `k_slots` is the number of color slots reported back to the
 /// coordinator (opinion indices must stay below it).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub(crate) struct ShardSpec {
     pub partition: Partition,
     pub k_slots: usize,
@@ -119,6 +140,7 @@ pub(crate) struct ShardSpec {
     pub wire_mode: WireMode,
     pub consume_mode: ConsumeMode,
     pub master_seed: u64,
+    pub plan: FaultPlan,
 }
 
 /// Runs one shard to completion.
@@ -130,8 +152,14 @@ pub(crate) fn run_shard<R: UpdateRule>(
     endpoints: ShardEndpoints,
 ) {
     let mut worker = Worker::new(shard_id, spec, rule, opinions, endpoints);
-    while let Ok(Control::Round(report, data)) = worker.endpoints.control.recv() {
-        worker.round(report, data);
+    loop {
+        match worker.endpoints.control.recv() {
+            Ok(Control::Round { round, report, data }) => worker.round(round, report, data),
+            Ok(Control::Rejoin { round, body, undecided }) => {
+                worker.rejoin(round, &body, undecided)
+            }
+            Ok(Control::Stop) | Err(_) => break,
+        }
     }
 }
 
@@ -232,6 +260,24 @@ struct Worker<R> {
     /// Previous round's counts, kept only under [`ReportMode::Delta`].
     prev_counts: Vec<u64>,
     prev_touched: Vec<u32>,
+
+    // Fault-injection state (inert unless `plan.is_active()`).
+    plan: FaultPlan,
+    /// The round currently being executed (from the last round command).
+    round_no: u64,
+    /// Future-tagged messages parked until their round starts: under a
+    /// relaxed barrier a peer that made quorum may run one (or more)
+    /// rounds ahead of a straggler.
+    pending: Vec<ShardMessage>,
+    /// A report held for one barrier (`FaultKind::Delay`).
+    delayed_report: Option<ShardReport>,
+    /// `messages_sent` of reports that were dropped in transit, carried
+    /// forward into the next report so the cost model stays honest.
+    carry_messages: u64,
+    /// Samples regenerated locally this round for lost palettes.
+    recovered: u64,
+    /// Dedicated corruption stream of a Byzantine shard.
+    byz_rng: Option<Pcg64>,
 }
 
 impl<R: UpdateRule> Worker<R> {
@@ -242,8 +288,15 @@ impl<R: UpdateRule> Worker<R> {
         opinions: Vec<Opinion>,
         endpoints: ShardEndpoints,
     ) -> Self {
-        let ShardSpec { partition, k_slots, report_mode, wire_mode, consume_mode, master_seed } =
-            spec;
+        let ShardSpec {
+            partition,
+            k_slots,
+            report_mode,
+            wire_mode,
+            consume_mode,
+            master_seed,
+            plan,
+        } = spec;
         let rng = Pcg64::seed_from_u64(trial_seed(master_seed, shard_id as u64 + 1));
         let h = rule.sample_count();
         let local_n = opinions.len();
@@ -336,6 +389,20 @@ impl<R: UpdateRule> Worker<R> {
             touched: Vec::new(),
             prev_counts: if tracking { vec![0; k_slots] } else { Vec::new() },
             prev_touched: Vec::new(),
+            round_no: 0,
+            pending: Vec::new(),
+            delayed_report: None,
+            carry_messages: 0,
+            recovered: 0,
+            byz_rng: if plan.byzantine_spec(shard_id).is_some() {
+                Some(Pcg64::seed_from_u64(trial_seed(
+                    plan.seed ^ BYZANTINE_SALT,
+                    shard_id as u64 + 1,
+                )))
+            } else {
+                None
+            },
+            plan,
             opinions,
             endpoints,
         };
@@ -346,15 +413,25 @@ impl<R: UpdateRule> Worker<R> {
         worker
     }
 
-    fn round(&mut self, format: ReportFormat, data: DataFormat) {
-        let mut messages_sent = 0u64;
+    fn round(&mut self, round: u64, format: ReportFormat, data: DataFormat) {
+        self.round_no = round;
+        let faulty = self.plan.is_active();
+        let mut messages_sent = std::mem::take(&mut self.carry_messages);
+        if faulty {
+            self.flush_delayed();
+        }
         match (self.wire_mode, data, self.access) {
             (WireMode::PerEntry, _, _) => {
+                debug_assert!(!faulty, "fault plans require the batched wire");
                 self.pull_per_entry(&mut messages_sent);
                 self.apply_ordered_windows();
             }
             (WireMode::Batched, DataFormat::Pull, access) => {
-                self.pull_exchange(&mut messages_sent);
+                if faulty {
+                    self.pull_exchange_faulty(&mut messages_sent);
+                } else {
+                    self.pull_exchange(&mut messages_sent);
+                }
                 match access {
                     SampleAccess::OrderedWindow => {
                         self.deal_palettes_ordered();
@@ -365,7 +442,11 @@ impl<R: UpdateRule> Worker<R> {
                 }
             }
             (WireMode::Batched, DataFormat::Push, access) => {
-                self.push_exchange(&mut messages_sent);
+                if faulty {
+                    self.push_exchange_faulty(&mut messages_sent);
+                } else {
+                    self.push_exchange(&mut messages_sent);
+                }
                 match access {
                     SampleAccess::OrderedWindow => {
                         self.sample_push_ordered();
@@ -377,17 +458,94 @@ impl<R: UpdateRule> Worker<R> {
             }
         }
 
-        let (body, undecided, changed_slots) = self.build_report(format);
-        self.endpoints
-            .report
-            .send(ShardReport {
-                shard: self.shard_id,
-                body,
-                undecided,
-                messages_sent,
-                changed_slots,
-            })
-            .expect("coordinator alive");
+        let (mut body, undecided, changed_slots) = self.build_report(format);
+        if faulty {
+            self.corrupt_report_if_byzantine(&mut body);
+        }
+        let report = ShardReport {
+            shard: self.shard_id,
+            round,
+            body,
+            undecided,
+            messages_sent,
+            recovered: std::mem::take(&mut self.recovered),
+            changed_slots,
+        };
+        if !faulty {
+            self.endpoints.report.send(report).expect("coordinator alive");
+            return;
+        }
+        match self.plan.report_fault(round, self.shard_id) {
+            None => self.endpoints.report.send(report).expect("coordinator alive"),
+            Some(FaultKind::Drop) => {
+                // Transmitted and lost: carry the wire tally forward so
+                // the next report accounts for this round's traffic.
+                self.carry_messages += report.messages_sent;
+            }
+            Some(FaultKind::Duplicate) => {
+                self.endpoints.report.send(report.clone()).expect("coordinator alive");
+                self.endpoints.report.send(report).expect("coordinator alive");
+            }
+            Some(FaultKind::Delay) => {
+                debug_assert!(self.delayed_report.is_none(), "one delayed report at a time");
+                self.delayed_report = Some(report);
+            }
+        }
+    }
+
+    /// Sends the report the fault plan held back last round: the
+    /// coordinator's relaxed barrier did not wait for it then, and
+    /// folds it as a straggler re-sync now. Crash-stop voids the
+    /// stash: the worker clears it on rejoin, not here.
+    fn flush_delayed(&mut self) {
+        if let Some(report) = self.delayed_report.take() {
+            self.endpoints.report.send(report).expect("coordinator alive");
+        }
+    }
+
+    /// Rebuilds this shard's opinions from the coordinator's snapshot
+    /// after a crash-stop window, and verifies the reconstruction with
+    /// a dense recount (the snapshot is the shard's own last accepted
+    /// report, so the tally must round-trip exactly).
+    fn rejoin(&mut self, round: u64, body: &[(u32, u64)], undecided: u64) {
+        self.round_no = round;
+        // Crash-stop lost all in-flight state.
+        self.pending.clear();
+        self.delayed_report = None;
+        self.carry_messages = 0;
+        self.recovered = 0;
+        let local_n = self.opinions.len();
+        self.opinions.clear();
+        for &(slot, count) in body {
+            self.opinions.extend(std::iter::repeat_n(Opinion::new(slot), count as usize));
+        }
+        self.opinions.extend(std::iter::repeat_n(Opinion::UNDECIDED, undecided as usize));
+        assert_eq!(self.opinions.len(), local_n, "snapshot mass must match the shard size");
+        // Dense-recount integrity check: tally the reconstituted
+        // opinions and compare against the snapshot body slot by slot.
+        self.touched.clear();
+        let recount_undecided =
+            count_opinions(&self.opinions, &mut self.count_scratch, &mut self.touched);
+        assert_eq!(recount_undecided, undecided, "rejoin recount: undecided mismatch");
+        assert_eq!(self.touched.len(), body.len(), "rejoin recount: occupancy mismatch");
+        for &(slot, count) in body {
+            assert_eq!(
+                self.count_scratch[slot as usize], count,
+                "rejoin recount: slot {slot} mismatch"
+            );
+        }
+        for &i in &self.touched {
+            self.count_scratch[i as usize] = 0;
+        }
+        self.touched.clear();
+        if self.report_mode == ReportMode::Delta {
+            // Re-baseline the delta tracking against the rejoined state.
+            for &i in &self.prev_touched {
+                self.prev_counts[i as usize] = 0;
+            }
+            self.prev_touched.clear();
+            count_opinions(&self.opinions, &mut self.prev_counts, &mut self.prev_touched);
+        }
     }
 
     /// The PR 3 data plane: one [`Request`]/[`Reply`] entry per pull.
@@ -505,6 +663,7 @@ impl<R: UpdateRule> Worker<R> {
             self.endpoints.peers[dest]
                 .send(ShardMessage::Pull(PullBatch {
                     origin: self.shard_id as u32,
+                    round: self.round_no,
                     target_runs: runs,
                 }))
                 .expect("peer shard alive");
@@ -765,14 +924,14 @@ impl<R: UpdateRule> Worker<R> {
                 pruns.push((palette.len() as u32, self.snap_undecided));
                 palette.push(Opinion::UNDECIDED);
             }
-            *messages_sent += (palette.len() + pruns.len()) as u64;
-            self.endpoints.peers[dest]
-                .send(ShardMessage::Palette(OpinionPalette {
-                    origin: self.shard_id as u32,
-                    palette,
-                    runs: pruns,
-                }))
-                .expect("peer shard alive");
+            let msg = OpinionPalette {
+                origin: self.shard_id as u32,
+                round: self.round_no,
+                palette,
+                runs: pruns,
+            };
+            *messages_sent += (msg.palette.len() + msg.runs.len()) as u64;
+            self.endpoints.peers[dest].send(ShardMessage::Palette(msg)).expect("peer shard alive");
         }
         // Reset the scratch fully: the union merge below re-tallies
         // into it and must start from an empty touched list.
@@ -800,13 +959,24 @@ impl<R: UpdateRule> Worker<R> {
             }
         }
 
-        // Union the histograms — deduplicated through the (currently
-        // idle) snapshot scratch, so the alias table is built over the
-        // ~occ distinct global colors rather than the `shards · occ`
-        // raw entries — and sample every position iid.
+        self.union_palettes();
+    }
+
+    /// Unions the received push histograms — deduplicated through the
+    /// (currently idle) snapshot scratch, so the alias table is built
+    /// over the ~occ distinct global colors rather than the
+    /// `shards · occ` raw entries. Contributions lost to an active
+    /// fault plan are simply absent: the alias table normalizes over
+    /// the surviving mass, reweighting the round's samples toward the
+    /// shards that were heard (on the exact path every slot is filled,
+    /// so this is the fault-free union verbatim).
+    fn union_palettes(&mut self) {
+        let shards = self.partition.shards;
         let mut union_undecided = 0u64;
         for origin in 0..shards {
-            let (palette, runs) = self.recv_palettes[origin].take().expect("one palette per peer");
+            let Some((palette, runs)) = self.recv_palettes[origin].take() else {
+                continue;
+            };
             for &(pi, c) in &runs {
                 let o = palette[pi as usize];
                 if o.is_undecided() {
@@ -832,6 +1002,292 @@ impl<R: UpdateRule> Worker<R> {
         if union_undecided > 0 {
             self.alias_weights.push(union_undecided as f64);
             self.alias_values.push(Opinion::UNDECIDED);
+        }
+    }
+
+    /// Receives the next message belonging to the current round.
+    /// Messages parked by earlier rounds are drained first; messages
+    /// tagged with a *future* round (a peer that made quorum and ran
+    /// ahead of this straggler) are parked until their round starts.
+    ///
+    /// Stale tags are impossible by construction: a receiver's round-`r`
+    /// loop blocks until every round-`r` message addressed to it has
+    /// arrived (the plan-derived expected counts are exact), so no
+    /// shard ever advances past a round with its traffic still in
+    /// flight — asserted, not assumed.
+    fn recv_current(&mut self) -> ShardMessage {
+        fn tag(msg: &ShardMessage) -> u64 {
+            match msg {
+                ShardMessage::Pull(b) => b.round,
+                ShardMessage::Palette(p) => p.round,
+                _ => unreachable!("per-entry message on a batched cluster"),
+            }
+        }
+        if let Some(i) = self.pending.iter().position(|m| tag(m) == self.round_no) {
+            return self.pending.swap_remove(i);
+        }
+        loop {
+            let msg = self.endpoints.inbox.recv().expect("cluster channels alive");
+            let t = tag(&msg);
+            if t == self.round_no {
+                return msg;
+            }
+            assert!(t > self.round_no, "stale round-{t} message in round {}", self.round_no);
+            self.pending.push(msg);
+        }
+    }
+
+    /// Absorbs one current-round palette under an active plan: the
+    /// first copy from a non-late origin fills its slot; duplicate
+    /// copies and deterministically-late deliveries are discarded
+    /// (their buffers returned to the pool).
+    fn absorb_palette(&mut self, p: OpinionPalette) {
+        let origin = p.origin as usize;
+        let late =
+            self.plan.palette_fault(self.round_no, origin, self.shard_id) == Some(FaultKind::Delay);
+        if !late && self.recv_palettes[origin].is_none() {
+            self.recv_palettes[origin] = Some((p.palette, p.runs));
+        } else {
+            self.palette_pool.push((p.palette, p.runs));
+        }
+    }
+
+    /// How many palette copies this shard will receive from live peer
+    /// `from` this round (late copies still arrive — and are discarded
+    /// — so they count).
+    fn expected_palette_copies(&self, from: usize) -> usize {
+        match self.plan.palette_fault(self.round_no, from, self.shard_id) {
+            None | Some(FaultKind::Delay) => 1,
+            Some(FaultKind::Duplicate) => 2,
+            Some(FaultKind::Drop) => 0,
+        }
+    }
+
+    /// Transmits one palette through the plan's fault decision for the
+    /// `self → dest` edge this round, keeping the wire accounting
+    /// honest: dropped copies were transmitted and lost (counted once),
+    /// duplicates count twice, late copies count once and are discarded
+    /// by the receiver.
+    fn send_palette_faulty(
+        &mut self,
+        dest: usize,
+        palette: OpinionPalette,
+        messages_sent: &mut u64,
+    ) {
+        let wire = (palette.palette.len() + palette.runs.len()) as u64;
+        match self.plan.palette_fault(self.round_no, self.shard_id, dest) {
+            None | Some(FaultKind::Delay) => {
+                *messages_sent += wire;
+                self.endpoints.peers[dest]
+                    .send(ShardMessage::Palette(palette))
+                    .expect("peer shard alive");
+            }
+            Some(FaultKind::Drop) => *messages_sent += wire,
+            Some(FaultKind::Duplicate) => {
+                *messages_sent += 2 * wire;
+                self.endpoints.peers[dest]
+                    .send(ShardMessage::Palette(palette.clone()))
+                    .expect("peer shard alive");
+                self.endpoints.peers[dest]
+                    .send(ShardMessage::Palette(palette))
+                    .expect("peer shard alive");
+            }
+        }
+    }
+
+    /// Fault-aware pull exchange. Pull batches are never faulted (they
+    /// are the round's control skeleton); palette responses pass
+    /// through the plan's per-edge decisions on both sides: the server
+    /// intercepts its own transmissions, the requester knows exactly
+    /// how many copies will arrive, and every palette it will never
+    /// see — dropped, late, or owed by a crashed peer — is compensated
+    /// by re-sampling the requested draw count from this shard's own
+    /// round-start opinions (counted as `recovered`), so the sample
+    /// mass stays exact and every consumption path runs unchanged.
+    fn pull_exchange_faulty(&mut self, messages_sent: &mut u64) {
+        let local_n = self.opinions.len();
+        let shards = self.partition.shards;
+        let round = self.round_no;
+        let total = (local_n * self.h) as u64;
+
+        self.snap_touched.clear();
+        self.snap_undecided =
+            count_opinions(&self.opinions, &mut self.snap_counts, &mut self.snap_touched);
+
+        // Crashed peers take no traffic: mask them out of the
+        // destination weights so every pull targets a live node.
+        for dest in 0..shards {
+            self.dest_theta[dest] = if self.plan.is_crashed(dest, round) {
+                0.0
+            } else {
+                self.partition.range(dest).len() as f64
+            };
+        }
+        sample_multinomial_into(total, &self.dest_theta, &mut self.rng, &mut self.dest_counts);
+
+        let mut expected_pulls = 0usize;
+        let mut expected_palettes = 0usize;
+        for peer in 0..shards {
+            if self.plan.is_crashed(peer, round) {
+                continue;
+            }
+            // Every live peer (including self) sends us one pull batch
+            // and owes us a palette through the `peer → self` edge.
+            expected_pulls += 1;
+            expected_palettes += self.expected_palette_copies(peer);
+            let mut runs = self.run_pool.pop().unwrap_or_default();
+            runs.clear();
+            let m = self.dest_counts[peer];
+            if m > 0 {
+                let len = self.partition.range(peer).len() as u32;
+                runs.push(TargetRun { start: 0, len, count: m });
+            }
+            *messages_sent += runs.len() as u64;
+            self.endpoints.peers[peer]
+                .send(ShardMessage::Pull(PullBatch {
+                    origin: self.shard_id as u32,
+                    round,
+                    target_runs: runs,
+                }))
+                .expect("peer shard alive");
+        }
+
+        let mut pulls = 0usize;
+        let mut palettes = 0usize;
+        while pulls < expected_pulls || palettes < expected_palettes {
+            match self.recv_current() {
+                ShardMessage::Pull(batch) => {
+                    pulls += 1;
+                    let origin = batch.origin as usize;
+                    let palette = self.build_palette(&batch);
+                    self.send_palette_faulty(origin, palette, messages_sent);
+                    self.run_pool.push(batch.target_runs);
+                }
+                ShardMessage::Palette(p) => {
+                    palettes += 1;
+                    self.absorb_palette(p);
+                }
+                _ => unreachable!("per-entry message on a batched cluster"),
+            }
+        }
+
+        // Compensate the palettes that never landed: re-sample the
+        // requested draw count from this shard's own round-start
+        // opinions (the lost server's law is out of reach; the local
+        // stand-in keeps the sample mass exact). Crashed peers were
+        // masked to zero draws, so their slots fill with empty
+        // palettes and recover nothing.
+        for origin in 0..shards {
+            if self.recv_palettes[origin].is_some() {
+                continue;
+            }
+            let m = self.dest_counts[origin];
+            let (mut palette, mut runs) = self.palette_pool.pop().unwrap_or_default();
+            palette.clear();
+            runs.clear();
+            debug_assert!(m == 0 || local_n > 0, "draws need a non-empty shard");
+            palette.reserve(m as usize);
+            for _ in 0..m {
+                palette.push(self.opinions[self.rng.gen_range(0..local_n)]);
+            }
+            self.recovered += m;
+            self.recv_palettes[origin] = Some((palette, runs));
+        }
+
+        for &i in &self.snap_touched {
+            self.snap_counts[i as usize] = 0;
+        }
+    }
+
+    /// Fault-aware push exchange: the broadcast skips crashed peers,
+    /// each histogram copy passes through the plan's per-edge fault
+    /// decision, and the union is built from whichever contributions
+    /// survived (see [`Worker::union_palettes`]) — push rounds have no
+    /// sample-mass contract to restore, so lost histograms reweight
+    /// rather than recover.
+    fn push_exchange_faulty(&mut self, messages_sent: &mut u64) {
+        let shards = self.partition.shards;
+        let round = self.round_no;
+
+        self.snap_touched.clear();
+        self.snap_undecided =
+            count_opinions(&self.opinions, &mut self.snap_counts, &mut self.snap_touched);
+
+        let mut expected_palettes = 0usize;
+        for peer in 0..shards {
+            if self.plan.is_crashed(peer, round) {
+                continue;
+            }
+            // The live-peer loop is symmetric: `peer` is both a
+            // broadcast destination (self → peer) and a sender whose
+            // copies we must expect (peer → self).
+            expected_palettes += self.expected_palette_copies(peer);
+            let (mut palette, mut pruns) = self.palette_pool.pop().unwrap_or_default();
+            palette.clear();
+            pruns.clear();
+            for &i in &self.snap_touched {
+                pruns.push((palette.len() as u32, self.snap_counts[i as usize]));
+                palette.push(Opinion::new(i));
+            }
+            if self.snap_undecided > 0 {
+                pruns.push((palette.len() as u32, self.snap_undecided));
+                palette.push(Opinion::UNDECIDED);
+            }
+            let msg = OpinionPalette { origin: self.shard_id as u32, round, palette, runs: pruns };
+            self.send_palette_faulty(peer, msg, messages_sent);
+        }
+        for &i in &self.snap_touched {
+            self.snap_counts[i as usize] = 0;
+        }
+        self.snap_touched.clear();
+
+        let mut palettes = 0usize;
+        while palettes < expected_palettes {
+            match self.recv_current() {
+                ShardMessage::Palette(p) => {
+                    palettes += 1;
+                    self.absorb_palette(p);
+                }
+                _ => unreachable!("round lockstep: pull or per-entry message in a push round"),
+            }
+        }
+
+        self.union_palettes();
+    }
+
+    /// Rewrites this shard's report body if the plan marks it
+    /// Byzantine. [`CorruptionKind::Plausible`] routes through the
+    /// adversary crate's `RandomFlipper` on the shard's dedicated
+    /// corruption stream — mass-preserving, so the lie passes the
+    /// coordinator's validation and must be tolerated by consensus
+    /// detection. [`CorruptionKind::Inflate`] adds phantom mass the
+    /// coordinator rejects.
+    fn corrupt_report_if_byzantine(&mut self, body: &mut ReportBody) {
+        let Some(rng) = self.byz_rng.as_mut() else { return };
+        let spec = *self.plan.byzantine_spec(self.shard_id).expect("byz_rng implies a spec");
+        let ReportBody::Sparse(pairs) = body else {
+            panic!("fault plans require sparse reports");
+        };
+        match spec.kind {
+            CorruptionKind::Plausible => {
+                let mut counts = vec![0u64; self.k_slots];
+                for &(slot, c) in pairs.iter() {
+                    counts[slot as usize] = c;
+                }
+                let mut cfg = Configuration::from_counts(counts);
+                if cfg.n() > 0 {
+                    RandomFlipper::new(spec.budget).corrupt(&mut cfg, rng);
+                }
+                pairs.clear();
+                pairs.extend(cfg.occupied().iter().copied().zip(cfg.occupied_counts()));
+            }
+            CorruptionKind::Inflate => {
+                if let Some(first) = pairs.first_mut() {
+                    first.1 += spec.budget;
+                } else {
+                    pairs.push((0, spec.budget));
+                }
+            }
         }
     }
 
@@ -934,6 +1390,18 @@ impl<R: UpdateRule> Worker<R> {
     /// choice depends only on deterministic per-round state, so the
     /// trajectory stays seed-reproducible.
     fn serve_batch(&mut self, batch: &PullBatch, messages_sent: &mut u64) {
+        let palette = self.build_palette(batch);
+        *messages_sent += (palette.palette.len() + palette.runs.len()) as u64;
+        self.endpoints.peers[batch.origin as usize]
+            .send(ShardMessage::Palette(palette))
+            .expect("peer shard alive");
+    }
+
+    /// Samples the palette answering one pull batch from the round-start
+    /// state (see [`Worker::serve_batch`] for the raw-vs-walk crossover);
+    /// sending is left to the caller so the fault path can intercept the
+    /// transmission.
+    fn build_palette(&mut self, batch: &PullBatch) -> OpinionPalette {
         // Crossover between the raw and walk samplers: a
         // conditional-binomial step (sampler construction + draw)
         // costs roughly twenty-odd materialized draws.
@@ -1003,14 +1471,7 @@ impl<R: UpdateRule> Worker<R> {
             }
         }
 
-        *messages_sent += (palette.len() + pruns.len()) as u64;
-        self.endpoints.peers[origin]
-            .send(ShardMessage::Palette(OpinionPalette {
-                origin: self.shard_id as u32,
-                palette,
-                runs: pruns,
-            }))
-            .expect("peer shard alive");
+        OpinionPalette { origin: self.shard_id as u32, round: self.round_no, palette, runs: pruns }
     }
 
     /// Counts the post-update opinions and builds the commanded report

@@ -32,6 +32,9 @@ SYMBREAK_SCALE=0.004096 cargo run --release -p symbreak-bench --bin exp_e20_clus
 echo "==> consumption smoke: multiset/single-peer native wire vs ordered dealing, k = n = 4096"
 SYMBREAK_SCALE=0.04096 cargo run --release -p symbreak-bench --bin exp_e21_multiset_wire
 
+echo "==> fault smoke: quorum-relaxed cluster under drop/crash/Byzantine injection"
+SYMBREAK_SCALE=0.04096 cargo run --release -p symbreak-bench --bin exp_e22_cluster_faults
+
 echo "==> experiment smoke (SYMBREAK_SCALE=${SYMBREAK_SCALE:-0.25})"
 SYMBREAK_SCALE="${SYMBREAK_SCALE:-0.25}" \
     cargo run --release -p symbreak-bench --bin run_all
