@@ -1,0 +1,288 @@
+//! E23 — condensed histogram shards at scale: the Theorem-5 horizon
+//! swept at `n ≥ 10⁸`, which the agent-backed runtime cannot reach.
+//!
+//! A condensed shard ([`ShardRepr::Histogram`], the default for Multiset
+//! and SinglePeer rules on the batched wire) keeps only its local
+//! opinion histogram and steps it by closed-form aggregate draws, so in
+//! the push gear a round costs `O(#occupied · h)` compute and
+//! `O(#shards² · #occupied)` wire entries — both independent of `n`.
+//!
+//! **Part A** runs the paper's *comply* side of the ignore-or-comply
+//! separation over the *ignore* side's lower-bound horizon: 3-Majority
+//! from the uniform `k = 4096` start (max support `ℓ = n/k`, so
+//! Theorem 5's cap is `ℓ' = 2n/k` and its horizon `n/(γ·ℓ') = k/(2γ)
+//! ≈ 682` rounds — *n-independent*). Theorem 5 says 2-Choices cannot
+//! push any color past `ℓ'` within that horizon. 3-Majority does burst
+//! through it — but in a time that *grows* with `n` (Theorem 4's
+//! `O(n^{3/4} log^{7/8} n)` scale: from the balanced start the
+//! symmetry-breaking signal is a relative fluctuation `~√(k/n)`, which
+//! shrinks as `n` grows while the cap horizon does not). The sweep
+//! asserts exactly that shape: the cap is broken at the smallest size,
+//! and the breaking round is non-decreasing in `n` (escaping may fall
+//! past the fixed horizon entirely at the largest sizes — observed at
+//! `n = 10⁸`). The performance claim is asserted alongside: per-round
+//! wall time stays in a constant band while `n` spans decades (the
+//! condensation claim; the agent-backed form scales linearly). E20
+//! holds the complementary side: 2-Choices (forced agent-backed)
+//! respecting the cap at `n = 10⁶`. Full scale sweeps `n` up to 10⁸;
+//! `SYMBREAK_SCALE=10` extends to 10⁹.
+//!
+//! **Part B** measures what condensation buys where the agent-backed
+//! baseline can still run: paired same-seed fixed-horizon runs from the
+//! `k = n = 10⁶` singleton start, `ShardRepr::Histogram` vs
+//! `ShardRepr::Agents`, for 3-Majority and 2-Median (Multiset) and
+//! Voter (SinglePeer), plus a `k = 4096` uniform 3-Majority pair as the
+//! pure push-gear regime. The two representations realize the same
+//! Uniform Pull law (pinned by `condensed_crossval`), so each pair
+//! times the same workload.
+//!
+//! **Part C** is the 2-Median hot-path micro-bench: the per-round
+//! vector step is a prefix-sum/CDF cascade at
+//! `O(#occupied log #occupied)`; the measured scaling exponent over a
+//! 4x occupancy growth must sit well below the old all-pairs form's 2.
+//!
+//! `SYMBREAK_SCALE` scales the largest Part A size (default 10⁸, floor
+//! 262144 — the smallest size whose round 1 already arbitrates to the
+//! push gear at `k = 4096`, 8 shards) and the Part B population.
+
+use std::time::Instant;
+
+use symbreak_bench::{scale, section, verdict};
+use symbreak_core::rules::{ThreeMajority, TwoMedian, Voter};
+use symbreak_core::theory::{theorem5_horizon, theorem5_support_cap};
+use symbreak_core::{Configuration, UpdateRule, VectorStep};
+use symbreak_runtime::{Cluster, ClusterConfig, ShardRepr};
+use symbreak_stats::table::fmt_f64;
+use symbreak_stats::Table;
+
+const K_COLORS: u64 = 4096;
+const GAMMA: f64 = 3.0;
+const SHARDS: usize = 8;
+
+fn sweep_sizes(n_max: u64) -> Vec<u64> {
+    // Every size must start in the push gear (occ · shards² ≤ n·h) and
+    // in the 2ℓ-dominated cap regime (n/k ≥ 1.5·ln n), so the horizon
+    // and the per-round cost model are the same at every n.
+    [n_max / 100, n_max / 10, n_max].into_iter().filter(|&n| n >= 262_144).collect()
+}
+
+fn run_paired<R>(
+    name: &str,
+    rule: R,
+    start: &Configuration,
+    horizon: u64,
+    seed: u64,
+) -> (f64, f64, u64)
+where
+    R: UpdateRule + Clone + Send + Sync,
+{
+    let mut secs = [0.0f64; 2];
+    let mut rounds = [0u64; 2];
+    for (i, repr) in [ShardRepr::Histogram, ShardRepr::Agents].into_iter().enumerate() {
+        let config = ClusterConfig::new(SHARDS, seed).with_shard_repr(repr);
+        let cluster = Cluster::new(rule.clone(), start, config);
+        let t = Instant::now();
+        let out = cluster.run_horizon(horizon);
+        secs[i] = t.elapsed().as_secs_f64();
+        rounds[i] = out.rounds_run;
+        assert_eq!(out.final_config.n(), start.n(), "{name}: mass conserved");
+    }
+    // Same seed, same law; early consensus may stop either run short, so
+    // report the realized rounds alongside the wall clock.
+    (secs[0], secs[1], rounds[0].min(rounds[1]))
+}
+
+/// Times `f` adaptively (≥ 60 ms of repetitions) and returns ns/iter.
+fn bench_ns(mut f: impl FnMut()) -> f64 {
+    f(); // warm-up
+    let budget = std::time::Duration::from_millis(60);
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while start.elapsed() < budget {
+        f();
+        iters += 1;
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn main() {
+    println!("# E23: condensed histogram shards — Theorem-5 horizon at n >= 1e8, paired speedups");
+
+    // ---------------- Part A: the n-independent sweep ----------------
+    let n_max = ((100_000_000.0 * scale()).round() as u64).max(262_144);
+    let sizes = sweep_sizes(n_max);
+    // Breaking round per size, `never` as u64::MAX for the monotonicity
+    // check below.
+    let mut broke_rounds: Vec<u64> = Vec::new();
+    let mut per_round_us: Vec<f64> = Vec::new();
+
+    section(&format!(
+        "Part A: 3-Majority, uniform k = {K_COLORS} start, {SHARDS} shards, condensed push gear"
+    ));
+    let mut table = Table::new(vec![
+        "n",
+        "ell'",
+        "horizon",
+        "rounds run",
+        "cap broken @",
+        "consensus @",
+        "us/round",
+        "entries/round",
+    ]);
+    for (i, &n) in sizes.iter().enumerate() {
+        let ell = n / K_COLORS;
+        let ell_prime = theorem5_support_cap(ell, GAMMA, n);
+        let horizon = (theorem5_horizon(n, ell_prime, GAMMA).floor() as u64).max(4);
+        let start = Configuration::uniform(n, K_COLORS as usize);
+        let config = ClusterConfig::new(SHARDS, 2300 + i as u64);
+        let cluster = Cluster::new(ThreeMajority, &start, config);
+        let t = Instant::now();
+        let out = cluster.run_horizon(horizon);
+        let secs = t.elapsed().as_secs_f64();
+        let us_round = secs * 1e6 / out.rounds_run as f64;
+        per_round_us.push(us_round);
+
+        // Theorem 5 would pin max support below ell' for the whole
+        // horizon; the comply rule bursts through it, later and later
+        // as n grows (the √(k/n) relative fluctuation shrinks).
+        let broke_at =
+            out.trace.rounds().iter().find(|r| r.max_support > ell_prime).map(|r| r.round);
+        broke_rounds.push(broke_at.unwrap_or(u64::MAX));
+        table.row(vec![
+            n.to_string(),
+            ell_prime.to_string(),
+            horizon.to_string(),
+            out.rounds_run.to_string(),
+            broke_at.map_or_else(|| "never".into(), |r| r.to_string()),
+            out.consensus_round.map_or_else(|| "-".into(), |r| r.to_string()),
+            fmt_f64(us_round),
+            fmt_f64(out.total_messages as f64 / out.rounds_run as f64),
+        ]);
+    }
+    println!("{table}");
+
+    // The symmetry-breaking shape: broken at the smallest size, and
+    // monotonically later as n grows (never = MAX sorts last).
+    let smallest_broke = broke_rounds.first().is_some_and(|&r| r != u64::MAX);
+    let breaking_monotone = broke_rounds.windows(2).all(|w| w[0] <= w[1]);
+
+    // The point of condensation: per-round cost constant while n spans
+    // decades. Allow a generous band for allocator/cache noise — the
+    // agent-backed form would scale linearly (100x across this sweep).
+    let mut band_ok = true;
+    if per_round_us.len() >= 2 {
+        let lo = per_round_us.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = per_round_us.iter().cloned().fold(0.0, f64::max);
+        let n_ratio = *sizes.last().unwrap() as f64 / sizes[0] as f64;
+        band_ok = hi / lo < 5.0;
+        println!(
+            "per-round band: {:.1}–{:.1} us/round ({:.2}x) while n grows {:.0}x",
+            lo,
+            hi,
+            hi / lo,
+            n_ratio
+        );
+    }
+
+    // ---------------- Part B: paired condensed vs agents ----------------
+    // Scales down for smoke runs but never up: Part B exists to pair
+    // against the agent-backed baseline, which is exactly what stops
+    // being runnable past ~1e6 (upscaled sweeps belong to Part A).
+    let n_b = ((1_000_000.0 * scale().min(1.0)).round() as u64).max(8_192);
+    let horizon_b = 300u64;
+    section(&format!(
+        "Part B: paired Histogram vs Agents, k = n = {n_b} singletons, horizon {horizon_b}"
+    ));
+    let start_b = Configuration::singletons(n_b);
+    let start_u = Configuration::uniform(n_b, K_COLORS.min(n_b / 16) as usize);
+    let mut table = Table::new(vec!["workload", "access", "condensed s", "agents s", "speedup"]);
+    let mut best_multiset_speedup = 0.0f64;
+    // (name, access, counts toward the Multiset floor?, condensed s, agents s, rounds)
+    let mut pairs: Vec<(String, &str, bool, f64, f64, u64)> = Vec::new();
+    {
+        let (c, a, r) = run_paired("3-Majority", ThreeMajority, &start_b, horizon_b, 4242);
+        pairs.push(("3-Majority singletons".into(), "Multiset", true, c, a, r));
+    }
+    {
+        let (c, a, r) = run_paired("2-Median", TwoMedian, &start_b, horizon_b, 4243);
+        pairs.push(("2-Median singletons".into(), "Multiset", true, c, a, r));
+    }
+    {
+        let (c, a, r) = run_paired("Voter", Voter, &start_b, horizon_b, 4244);
+        pairs.push(("Voter singletons".into(), "SinglePeer", false, c, a, r));
+    }
+    {
+        // The pure push-gear regime (k << n): every round is closed-form
+        // on the condensed side. This is the regime condensation
+        // targets, and the row that carries the >= 2x Multiset floor —
+        // the k = n singleton rows above spend their rounds in the
+        // diverse pull gear, where the condensed consume still walks
+        // nodes (the ROADMAP's deferred aggregation item) and loses to
+        // agent dealing; their honest sub-1x ratios stay in the table.
+        let (c, a, r) = run_paired("3-Majority uniform", ThreeMajority, &start_u, horizon_b, 4245);
+        pairs.push((
+            format!("3-Majority uniform k={}", start_u.num_colors()),
+            "Multiset",
+            true,
+            c,
+            a,
+            r,
+        ));
+    }
+    for (name, access, counts, c, a, rounds) in &pairs {
+        let speedup = a / c;
+        if *counts {
+            best_multiset_speedup = best_multiset_speedup.max(speedup);
+        }
+        table.row(vec![
+            format!("{name} ({rounds}r)"),
+            access.to_string(),
+            fmt_f64(*c),
+            fmt_f64(*a),
+            format!("{speedup:.2}x"),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "best Multiset speedup at n = {n_b}: {best_multiset_speedup:.2}x (acceptance floor 2x at \
+         full scale)"
+    );
+
+    // ---------------- Part C: 2-Median hot-path scaling ----------------
+    section("Part C: 2-Median vector step, prefix-sum/CDF cascade scaling");
+    use rand::SeedableRng as _;
+    let mut rng = symbreak_sim::rng::Pcg64::seed_from_u64(9);
+    let d_lo = 2_048usize;
+    let d_hi = 8_192usize;
+    let c_lo = Configuration::uniform(64 * d_lo as u64, d_lo);
+    let c_hi = Configuration::uniform(64 * d_hi as u64, d_hi);
+    let ns_lo = bench_ns(|| {
+        let _ = TwoMedian.vector_step(&c_lo, &mut rng);
+    });
+    let ns_hi = bench_ns(|| {
+        let _ = TwoMedian.vector_step(&c_hi, &mut rng);
+    });
+    // T(d) ~ d^e over a 4x occupancy growth (n grows with d so the O(n)
+    // ball-drop term scales linearly too); the old all-pairs form sat at
+    // e = 2, the cascade at ~1 + o(1).
+    let exponent = (ns_hi / ns_lo).ln() / 4.0f64.ln();
+    println!(
+        "occ {d_lo}: {:.2} us/step; occ {d_hi}: {:.2} us/step; scaling exponent {exponent:.2}",
+        ns_lo / 1e3,
+        ns_hi / 1e3
+    );
+    let cascade_ok = exponent < 1.6;
+
+    let enforce_speedup = scale() >= 0.999;
+    verdict(
+        "E23",
+        "condensed shards sweep the Theorem-5 horizon with n-independent per-round cost while \
+         3-Majority's cap-breaking round grows with n, beat the agent baseline >= 2x on a \
+         Multiset workload at full scale, and the 2-Median step scales sub-quadratically",
+        smallest_broke
+            && breaking_monotone
+            && band_ok
+            && cascade_ok
+            && (!enforce_speedup || best_multiset_speedup >= 2.0),
+    );
+}

@@ -28,6 +28,7 @@ const EXPERIMENTS: &[&str] = &[
     "exp_e20_cluster_theorem5",
     "exp_e21_multiset_wire",
     "exp_e22_cluster_faults",
+    "exp_e23_condensed_shards",
 ];
 
 fn main() {

@@ -123,6 +123,55 @@ pub trait MultisetRule: UpdateRule {
         counts: &[(Opinion, u32)],
         rng: &mut dyn RngCore,
     ) -> Opinion;
+
+    /// One synchronous push-gear round over a *condensed* shard: every
+    /// node draws an i.i.d. `Mult(h, θ)` window from the categorical
+    /// with `values`/`weights` support and updates, but only the
+    /// resulting opinion **multiset** is produced.
+    ///
+    /// `groups` lists the stepping population as `(own, count)` pairs
+    /// with distinct opinions ascending; `values` are the distinct
+    /// sample opinions, strictly ascending (so [`Opinion::UNDECIDED`],
+    /// when present, is last), with positive `weights` aligned to them.
+    /// Appends `(opinion, count)` pairs to `out` — entries may repeat;
+    /// callers tally.
+    ///
+    /// Must agree in law with `count` independent
+    /// [`MultisetRule::update_from_counts`] calls over i.i.d.
+    /// `Mult(h, θ)` windows per group. The default realizes exactly
+    /// that, one node at a time; rules with a closed-form aggregate law
+    /// (3-Majority's Equation-2 multinomial, the undecided dynamics'
+    /// binomial splits, 2-Median's CDF cascade) override it to run in
+    /// `O(#values)` instead of `O(Σ counts · h)`.
+    fn condensed_push_step(
+        &self,
+        groups: &[(Opinion, u64)],
+        values: &[Opinion],
+        weights: &[f64],
+        rng: &mut dyn RngCore,
+        out: &mut Vec<(Opinion, u64)>,
+    ) {
+        debug_assert!(values.windows(2).all(|w| w[0] < w[1]), "values must be ascending");
+        let nodes: u64 = groups.iter().map(|&(_, c)| c).sum();
+        if nodes == 0 {
+            return;
+        }
+        let walk = symbreak_sim::dist::WindowMultinomial::new(weights, self.sample_count());
+        let mut window: Vec<(Opinion, u32)> = Vec::with_capacity(self.sample_count());
+        for &(own, count) in groups {
+            for _ in 0..count {
+                window.clear();
+                walk.sample_window(rng, |j, x| {
+                    window.push((values[j], x as u32));
+                });
+                let next = self.update_from_counts(own, &window, rng);
+                match out.iter_mut().find(|e| e.0 == next) {
+                    Some(e) => e.1 += 1,
+                    None => out.push((next, 1)),
+                }
+            }
+        }
+    }
 }
 
 impl UpdateRule for Box<dyn UpdateRule> {
@@ -202,6 +251,10 @@ pub(crate) struct StepScratch {
     /// Secondary count buffer (e.g. the undecided dynamics' adoption
     /// draw).
     pub aux_counts: Vec<u64>,
+    /// Tertiary count buffer (e.g. 2-Median's per-group up-mover
+    /// counts, drawn in the trinomial pass before the ascending cascade
+    /// consumes them).
+    pub aux_counts2: Vec<u64>,
     /// Per-occupied-slot weights for the one-step sampler.
     pub weights: Vec<f64>,
     /// Secondary float buffer (e.g. 2-Median's CDF over occupied values).

@@ -18,9 +18,10 @@ use rand::{Rng, RngCore};
 use crate::config::Configuration;
 use crate::opinion::Opinion;
 use crate::process::{
-    ac_vector_step, ac_vector_step_into, AcProcess, MultisetRule, SampleAccess, UpdateRule,
-    VectorStep,
+    ac_vector_step, ac_vector_step_into, with_step_scratch, AcProcess, MultisetRule, SampleAccess,
+    UpdateRule, VectorStep,
 };
+use symbreak_sim::dist::sample_multinomial_into;
 
 /// The direct 3-Majority update rule.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -89,6 +90,51 @@ impl MultisetRule for ThreeMajority {
             }
             _ => counts[rng.gen_range(0..3usize)].0,
         }
+    }
+
+    /// Closed-form aggregate: 3-Majority ignores `own`, and for a
+    /// window of three i.i.d. draws from *any* categorical `θ` the
+    /// majority-or-random-tiebreak outcome lands on entry `j` with
+    /// probability `θ_j (1 + θ_j − ‖θ‖₂²)` — Equation (2) evaluated on
+    /// the sample distribution rather than the configuration (the
+    /// derivation never uses that `θ` is the global fraction vector).
+    /// So the whole stepping population is one `Mult(m, α(θ))` draw,
+    /// `O(#values)` regardless of group counts.
+    fn condensed_push_step(
+        &self,
+        groups: &[(Opinion, u64)],
+        values: &[Opinion],
+        weights: &[f64],
+        rng: &mut dyn RngCore,
+        out: &mut Vec<(Opinion, u64)>,
+    ) {
+        let nodes: u64 = groups.iter().map(|&(_, c)| c).sum();
+        if nodes == 0 {
+            return;
+        }
+        with_step_scratch(|s| {
+            let total: f64 = weights.iter().sum();
+            let norm_sq: f64 = weights
+                .iter()
+                .map(|&w| {
+                    let x = w / total;
+                    x * x
+                })
+                .sum();
+            s.weights.clear();
+            s.weights.extend(weights.iter().map(|&w| {
+                let x = w / total;
+                x * (1.0 + x - norm_sq)
+            }));
+            s.aux_counts.clear();
+            s.aux_counts.resize(values.len(), 0);
+            sample_multinomial_into(nodes, &s.weights, rng, &mut s.aux_counts);
+            for (j, &c) in s.aux_counts.iter().enumerate() {
+                if c > 0 {
+                    out.push((values[j], c));
+                }
+            }
+        });
     }
 }
 

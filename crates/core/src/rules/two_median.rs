@@ -7,20 +7,23 @@
 //! Byzantine agreement (it can violate validity). It is not an AC-process
 //! (the update depends on the node's own value) — but like 2-Choices it
 //! has an exact vectorized decomposition: nodes sharing a value are
-//! exchangeable, so the nodes at value `v` scatter as an independent
-//! `Mult(c_v, q_v)` with `q_v` read off the median CDF. The sparse step
-//! walks occupied values only (`O(#occupied²)` per round — the per-value
-//! target distributions genuinely differ), which finally lets 2-Median
-//! run on the `VectorEngine` instead of the `O(n·h)` agent engine.
+//! exchangeable, so the nodes at value `v` scatter with a law read off
+//! the median CDF. The per-value target distributions genuinely differ,
+//! but conditioned on the move *direction* they are truncations of one
+//! shared law — so the sparse step realizes all of them through two
+//! pooled binomial cascades ([`scatter_two_median`]) in `O(#occupied)`
+//! draws per round, down from the `O(#occupied²)` per-group multinomial
+//! scatter this module used to pay.
 
 use rand::RngCore;
 
 use crate::config::Configuration;
 use crate::opinion::Opinion;
 use crate::process::{
-    with_step_scratch, ExpectedUpdate, MultisetRule, SampleAccess, UpdateRule, VectorStep,
+    with_step_scratch, ExpectedUpdate, MultisetRule, SampleAccess, StepScratch, UpdateRule,
+    VectorStep,
 };
-use symbreak_sim::dist::sample_multinomial_sparse_into;
+use symbreak_sim::dist::Binomial;
 
 /// The 2-Median update rule. Opinion indices are interpreted as points on
 /// the integer line.
@@ -73,6 +76,192 @@ impl MultisetRule for TwoMedian {
             _ => panic!("2-Median windows hold exactly two samples"),
         }
     }
+
+    /// The `scatter_two_median` cascade over the union CDF: group
+    /// positions on the value axis come from one merged scan (both
+    /// sides are ascending), and a group whose own value is absent from
+    /// `values` still stays put on it when neither sample side wins.
+    fn condensed_push_step(
+        &self,
+        groups: &[(Opinion, u64)],
+        values: &[Opinion],
+        weights: &[f64],
+        rng: &mut dyn RngCore,
+        out: &mut Vec<(Opinion, u64)>,
+    ) {
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 || values.is_empty() {
+            out.extend(groups.iter().copied().filter(|&(_, c)| c > 0));
+            return;
+        }
+        let mut positioned: Vec<(usize, bool, u64)> = Vec::with_capacity(groups.len());
+        let mut p = 0usize;
+        for &(own, count) in groups {
+            while p < values.len() && values[p] < own {
+                p += 1;
+            }
+            let at = p < values.len() && values[p] == own;
+            positioned.push((p, at, count));
+        }
+        with_step_scratch(|s| {
+            s.aux.clear();
+            let mut acc = 0.0;
+            for &w in weights {
+                acc += w / total;
+                s.aux.push(acc);
+            }
+            let StepScratch { aux: cdf, aux_counts: down, aux_counts2: up, .. } = s;
+            scatter_two_median(
+                cdf,
+                &|g| positioned[g],
+                positioned.len(),
+                down,
+                up,
+                rng,
+                &mut |landing, c| match landing {
+                    Landing::Value(t) => out.push((values[t], c)),
+                    Landing::Stay(g) => out.push((groups[g].0, c)),
+                },
+            );
+        });
+    }
+}
+
+/// Where one trinomial/cascade emission lands: an index on the sample
+/// value axis, or a group's own (possibly off-axis) value.
+enum Landing {
+    Value(usize),
+    Stay(usize),
+}
+
+/// One synchronous 2-Median round, scattered group-by-group through two
+/// pooled binomial cascades — `O(#values + #groups)` binomial draws
+/// where the naive per-group scatter pays a `#values`-category
+/// multinomial *per group*.
+///
+/// Every node draws two iid samples from the categorical over the
+/// ascending value axis with prefix CDF `cdf` (`cdf[t]` = probability a
+/// sample is ≤ `values[t]`). The median of `{own, X, Y}` lands strictly
+/// below own iff `max(X, Y)` does (then it *is* that max), strictly
+/// above iff `min(X, Y)` does, and on own otherwise. So a group of `c`
+/// nodes sharing a value splits by one trinomial into (down, stay, up)
+/// — and conditioned on moving down, every ball's landing law is the
+/// SAME truncated max-distribution `P(land = t) ∝ cdf[t]² − cdf[t−1]²`,
+/// restricted below the group's entry level. That makes all the
+/// per-group truncated multinomials realizable as ONE descending
+/// binomial cascade: at level `t`, each pooled ball (from any group
+/// entering at or above `t`) lands with probability
+/// `1 − (cdf[t−1]/cdf[t])²`, independent of its group. The up cascade
+/// is the mirror image on the suffix survival `G(t) = 1 − cdf[t−1]`.
+///
+/// `group(g)` returns `(p, at, count)`: the insertion position of the
+/// group's own value on the axis, whether it sits exactly at
+/// `values[p]`, and its size — and must be nondecreasing in `(p, at)`
+/// (ascending own values guarantee this). `down`/`up` are caller
+/// scratch. Emits every landing through `emit`; targets may repeat.
+fn scatter_two_median(
+    cdf: &[f64],
+    group: &dyn Fn(usize) -> (usize, bool, u64),
+    n_groups: usize,
+    down: &mut Vec<u64>,
+    up: &mut Vec<u64>,
+    rng: &mut dyn RngCore,
+    emit: &mut dyn FnMut(Landing, u64),
+) {
+    let u = cdf.len();
+    down.clear();
+    down.resize(n_groups, 0);
+    up.clear();
+    up.resize(n_groups, 0);
+
+    // Pass 1: per-group (down, stay, up) trinomial. A group at the
+    // bottom of the axis cannot move down (`p_low = 0` exactly), one at
+    // or beyond the top cannot move up.
+    for g in 0..n_groups {
+        let (p, at, count) = group(g);
+        if count == 0 {
+            continue;
+        }
+        let f_below = if p > 0 { cdf[p - 1] } else { 0.0 };
+        let f_at = if at { cdf[p] } else { f_below };
+        let p_low = (f_below * f_below).clamp(0.0, 1.0);
+        let p_high = if p + usize::from(at) >= u {
+            0.0
+        } else {
+            ((1.0 - f_at) * (1.0 - f_at)).clamp(0.0, 1.0)
+        };
+        let d = if p_low > 0.0 { Binomial::new(count, p_low).sample(rng) } else { 0 };
+        let rest = count - d;
+        let h = if p_high > 0.0 && rest > 0 {
+            Binomial::new(rest, (p_high / (1.0 - p_low)).clamp(0.0, 1.0)).sample(rng)
+        } else {
+            0
+        };
+        down[g] = d;
+        up[g] = h;
+        if rest - h > 0 {
+            emit(Landing::Stay(g), rest - h);
+        }
+    }
+
+    // Pass 2: down cascade, descending the axis. Group `g`'s
+    // down-movers join the pool at their entry level `p − 1`; at level
+    // `t` the pooled balls land with the shared conditional probability
+    // `1 − (cdf[t−1]/cdf[t])²`. The pool provably drains no later than
+    // the first level with `cdf[t] = 0` (the conditional hits 1 just
+    // above it), and unconditionally at `t = 0`.
+    let mut pool = 0u64;
+    let mut g = n_groups;
+    for t in (0..u).rev() {
+        while g > 0 && group(g - 1).0 > t {
+            g -= 1;
+            pool += down[g];
+        }
+        if pool == 0 {
+            continue;
+        }
+        let land = if t == 0 || cdf[t] <= 0.0 {
+            pool
+        } else {
+            let ratio = (cdf[t - 1] / cdf[t]).clamp(0.0, 1.0);
+            Binomial::new(pool, (1.0 - ratio * ratio).clamp(0.0, 1.0)).sample(rng)
+        };
+        if land > 0 {
+            emit(Landing::Value(t), land);
+            pool -= land;
+        }
+    }
+    debug_assert_eq!(pool, 0, "down cascade must drain at the bottom of the axis");
+
+    // Pass 3: up cascade, ascending — the mirror image on the suffix
+    // survival `G(t) = 1 − cdf[t−1]`; entry level is the first axis
+    // position strictly above own, `p + at`.
+    let mut pool = 0u64;
+    let mut g = 0usize;
+    for t in 0..u {
+        while g < n_groups && {
+            let (p, at, _) = group(g);
+            p + usize::from(at) <= t
+        } {
+            pool += up[g];
+            g += 1;
+        }
+        if pool == 0 {
+            continue;
+        }
+        let g_here = 1.0 - if t > 0 { cdf[t - 1] } else { 0.0 };
+        let land = if t + 1 == u || g_here <= 0.0 {
+            pool
+        } else {
+            let ratio = ((1.0 - cdf[t]) / g_here).clamp(0.0, 1.0);
+            Binomial::new(pool, (1.0 - ratio * ratio).clamp(0.0, 1.0)).sample(rng)
+        };
+        if land > 0 {
+            emit(Landing::Value(t), land);
+            pool -= land;
+        }
+    }
+    debug_assert_eq!(pool, 0, "up cascade must drain at the top of the axis");
 }
 
 /// Median of three opinions by color index.
@@ -124,15 +313,12 @@ impl VectorStep for TwoMedian {
         next
     }
 
-    /// Exact sparse one-step sampler.
-    ///
-    /// For a node with value `v` and two iid samples `X, Y` from the
-    /// configuration distribution, `P(median ≤ t)` is `1 − (1 − F(t))²`
-    /// for `v ≤ t` and `F(t)²` otherwise (at least one, resp. both,
-    /// samples must be `≤ t`) — the same CDF decomposition as
-    /// [`TwoMedian`]'s expectation. The median always lands on an
-    /// occupied value, so each occupied `v` scatters as
-    /// `Mult(c_v, q_v)` over occupied slots, independently across `v`.
+    /// Exact sparse one-step sampler via the `scatter_two_median`
+    /// cascades: every occupied value is its own group sitting exactly
+    /// on the axis, so the whole round costs `O(#occupied)` binomial
+    /// draws — the previous formulation scattered each group by its own
+    /// `Mult(c_v, q_v)` over all occupied slots, `O(#occupied²)` per
+    /// round.
     fn vector_step_into(&self, c: &mut Configuration, rng: &mut dyn RngCore) {
         let n = c.n();
         if n == 0 {
@@ -149,20 +335,25 @@ impl VectorStep for TwoMedian {
                 acc += cv as f64 / nf;
                 s.aux.push(acc);
             }
+            let StepScratch { counts: old, aux: cdf, aux_counts: down, aux_counts2: up, .. } = s;
             c.rewrite_occupied(|occ, counts| {
                 for &i in occ {
                     counts[i as usize] = 0;
                 }
-                for (a, &cv) in s.counts.iter().enumerate() {
-                    s.weights.clear();
-                    let mut prev = 0.0;
-                    for (b, &f) in s.aux.iter().enumerate() {
-                        let p_le = if a <= b { 1.0 - (1.0 - f) * (1.0 - f) } else { f * f };
-                        s.weights.push((p_le - prev).max(0.0));
-                        prev = p_le;
-                    }
-                    sample_multinomial_sparse_into(cv, &s.weights, occ, rng, counts);
-                }
+                scatter_two_median(
+                    cdf,
+                    &|g| (g, true, old[g]),
+                    old.len(),
+                    down,
+                    up,
+                    rng,
+                    &mut |landing, cnt| {
+                        let t = match landing {
+                            Landing::Value(t) | Landing::Stay(t) => t,
+                        };
+                        counts[occ[t] as usize] += cnt;
+                    },
+                );
             });
         });
         debug_assert_eq!(c.n(), n, "2-Median step must preserve the population");

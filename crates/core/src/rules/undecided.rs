@@ -73,6 +73,74 @@ impl MultisetRule for UndecidedDynamics {
         debug_assert_eq!(counts.iter().map(|&(_, c)| c).sum::<u32>(), 1);
         self.update(own, &[counts[0].0], rng)
     }
+
+    /// Closed-form aggregate over a one-sample window from `θ`:
+    ///
+    /// * a group decided on `j` keeps w.p. `θ_j + θ_undecided` (same
+    ///   color, or an undecided sample) — one binomial per group, the
+    ///   rest go undecided;
+    /// * the undecided group adopts a `Mult(u, θ)` draw (an undecided
+    ///   sample means staying undecided, which the draw covers because
+    ///   [`Opinion::UNDECIDED`] is itself a `values` entry when its
+    ///   weight is positive).
+    fn condensed_push_step(
+        &self,
+        groups: &[(Opinion, u64)],
+        values: &[Opinion],
+        weights: &[f64],
+        rng: &mut dyn RngCore,
+        out: &mut Vec<(Opinion, u64)>,
+    ) {
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            out.extend(groups.iter().copied().filter(|&(_, c)| c > 0));
+            return;
+        }
+        let w_undecided = match values.last() {
+            Some(o) if o.is_undecided() => *weights.last().unwrap(),
+            _ => 0.0,
+        };
+        let mut next_undecided = 0u64;
+        // `groups` and `values` are both ascending, so the own-weight
+        // lookup is a single merged scan.
+        let mut vi = 0usize;
+        for &(own, count) in groups {
+            if count == 0 {
+                continue;
+            }
+            if own.is_undecided() {
+                with_step_scratch(|s| {
+                    s.aux_counts.clear();
+                    s.aux_counts.resize(values.len(), 0);
+                    sample_multinomial_into(count, weights, rng, &mut s.aux_counts);
+                    for (j, &c) in s.aux_counts.iter().enumerate() {
+                        if c == 0 {
+                            continue;
+                        }
+                        if values[j].is_undecided() {
+                            next_undecided += c;
+                        } else {
+                            out.push((values[j], c));
+                        }
+                    }
+                });
+            } else {
+                while vi < values.len() && values[vi] < own {
+                    vi += 1;
+                }
+                let w_own = if vi < values.len() && values[vi] == own { weights[vi] } else { 0.0 };
+                let p_keep = ((w_own + w_undecided) / total).clamp(0.0, 1.0);
+                let keep = Binomial::new(count, p_keep).sample(rng);
+                if keep > 0 {
+                    out.push((own, keep));
+                }
+                next_undecided += count - keep;
+            }
+        }
+        if next_undecided > 0 {
+            out.push((Opinion::UNDECIDED, next_undecided));
+        }
+    }
 }
 
 /// Population state of the undecided dynamics: decided color counts plus

@@ -51,12 +51,12 @@
 use std::sync::mpsc;
 
 use symbreak_adversary::quorum_threshold;
-use symbreak_core::{Configuration, Opinion, UpdateRule};
+use symbreak_core::{Configuration, Opinion, SampleAccess, UpdateRule};
 use symbreak_sim::trace::{RoundStats, Trace};
 
 use crate::fault::{FaultCounters, FaultKind, FaultPlan, StopReason};
 use crate::message::{Control, DataFormat, ReportBody, ReportFormat, ShardReport};
-use crate::shard::{run_shard, Partition, ShardEndpoints, ShardSpec};
+use crate::shard::{run_shard, Partition, ShardEndpoints, ShardInit, ShardSpec};
 
 /// Per-round report wire format exchanged between shards and the
 /// coordinator.
@@ -128,6 +128,36 @@ pub enum ConsumeMode {
     Ordered,
 }
 
+/// Per-shard state representation.
+///
+/// Under [`ShardRepr::Histogram`] (the default) a shard keeps only its
+/// local opinion histogram — `O(#occupied)` memory instead of
+/// `O(local_n)` agents — and steps, serves, consumes, and reports off
+/// counts alone. The condensed form engages per rule: batched wire,
+/// native consumption, and a rule whose [`SampleAccess`] is multiset
+/// or single-peer; ordered-window rules (and the per-entry wire or
+/// [`ConsumeMode::Ordered`]) keep the agent vector regardless, because
+/// an ordered window is a property of individual draws that a
+/// histogram cannot replay. [`ShardRepr::Agents`] forces the agent
+/// vector everywhere — the paired crossval baseline, byte-identical
+/// per seed to the pre-condensed runtime.
+///
+/// Both representations realize the same process law (the condensed
+/// step is an exact aggregation, not an approximation) but consume
+/// randomness differently, so — like the wire modes — their
+/// trajectories are compared distributionally, not pathwise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardRepr {
+    /// Configuration-backed local histogram where the rule's sample
+    /// access permits; `O(#occupied · h)` per-round compute in the
+    /// push gear.
+    #[default]
+    Histogram,
+    /// Materialized per-agent opinion vector everywhere (the paired
+    /// baseline and the forced mode for ordered-window rules).
+    Agents,
+}
+
 /// Cluster construction parameters.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClusterConfig {
@@ -141,6 +171,9 @@ pub struct ClusterConfig {
     pub wire_mode: WireMode,
     /// Sample-consumption dispatch (defaults to [`ConsumeMode::Native`]).
     pub consume_mode: ConsumeMode,
+    /// Per-shard state representation (defaults to
+    /// [`ShardRepr::Histogram`], arbitrated per rule).
+    pub shard_repr: ShardRepr,
     /// Deterministic fault schedule (defaults to the inert
     /// [`FaultPlan::none`], which keeps the exact fault-free paths).
     pub fault_plan: FaultPlan,
@@ -156,6 +189,7 @@ impl ClusterConfig {
             report_mode: ReportMode::default(),
             wire_mode: WireMode::default(),
             consume_mode: ConsumeMode::default(),
+            shard_repr: ShardRepr::default(),
             fault_plan: FaultPlan::none(),
         }
     }
@@ -175,6 +209,12 @@ impl ClusterConfig {
     /// Selects the sample-consumption dispatch.
     pub fn with_consume_mode(mut self, consume_mode: ConsumeMode) -> Self {
         self.consume_mode = consume_mode;
+        self
+    }
+
+    /// Selects the per-shard state representation.
+    pub fn with_shard_repr(mut self, shard_repr: ShardRepr) -> Self {
+        self.shard_repr = shard_repr;
         self
     }
 
@@ -328,10 +368,19 @@ impl<R: UpdateRule + Clone + Send> Cluster<R> {
         }
         let (report_tx, report_rx) = mpsc::channel::<ShardReport>();
 
-        let all_opinions = self.start.to_opinions();
+        // Per-shard sparse seed bodies (no O(n) opinion expansion); a
+        // shard is condensed when the representation, the wire, and the
+        // rule's sample access all permit it — the same predicate the
+        // worker asserts against its init.
+        let bodies = shard_bodies(&self.start, &partition);
+        let condensed = self.config.shard_repr == ShardRepr::Histogram
+            && wire_mode == WireMode::Batched
+            && consume_mode == ConsumeMode::Native
+            && self.rule.sample_access() != SampleAccess::OrderedWindow;
         let h = self.rule.sample_count() as u64;
         let rule = self.rule;
         let seed = self.config.seed;
+        let shard_repr = self.config.shard_repr;
         // The persistent merged configuration the sparse and delta
         // reports fold into; occupancy only ever shrinks (dead colors
         // stay dead).
@@ -339,8 +388,21 @@ impl<R: UpdateRule + Clone + Send> Cluster<R> {
 
         crossbeam::thread::scope(|scope| {
             for (shard_id, (inbox, control)) in inboxes.into_iter().zip(control_rxs).enumerate() {
-                let range = partition.range(shard_id);
-                let opinions = all_opinions[range.start as usize..range.end as usize].to_vec();
+                let init = if condensed {
+                    ShardInit::Histogram(bodies[shard_id].clone())
+                } else {
+                    // Expand the shard's body into its agent vector:
+                    // colors lie ascending and contiguous (exactly how
+                    // `to_opinions` lays agents out), so this equals
+                    // slicing the global expansion.
+                    let range = partition.range(shard_id);
+                    let mut opinions = Vec::with_capacity(range.len());
+                    for &(slot, count) in &bodies[shard_id] {
+                        opinions.extend(std::iter::repeat_n(Opinion::new(slot), count as usize));
+                    }
+                    debug_assert_eq!(opinions.len(), range.len());
+                    ShardInit::Agents(opinions)
+                };
                 let endpoints = ShardEndpoints {
                     inbox,
                     peers: peer_senders.clone(),
@@ -354,11 +416,12 @@ impl<R: UpdateRule + Clone + Send> Cluster<R> {
                     report_mode,
                     wire_mode,
                     consume_mode,
+                    repr: shard_repr,
                     master_seed: seed,
                     plan: plan.clone(),
                 };
                 scope.spawn(move |_| {
-                    run_shard(shard_id, spec, rule, opinions, endpoints);
+                    run_shard(shard_id, spec, rule, init, endpoints);
                 });
             }
             // The coordinator's copies are no longer needed; dropping them
@@ -366,6 +429,18 @@ impl<R: UpdateRule + Clone + Send> Cluster<R> {
             drop(peer_senders);
             drop(report_tx);
 
+            // Condensed fleets boot in whatever gear the start
+            // configuration arbitrates to: a forced pull first round
+            // would pay the `O(local_n·h·log d)` per-node window split
+            // — the one cost condensation exists to avoid — before the
+            // first report could flip the gear, and the coordinator
+            // holds the merged start state before round 1 anyway.
+            // Agent-backed fleets keep the pull-first boot: their
+            // round 1 is `O(local_n)` in either gear, and holding it
+            // fixed preserves the pre-condensation trajectories
+            // byte-for-byte (the `fault_properties` goldens pin them).
+            let initial_data =
+                if condensed { arbitrate_gear(&merged, shards, n, h) } else { DataFormat::Pull };
             let out = if plan.is_active() {
                 run_coordinator_faulty(
                     rounds,
@@ -373,9 +448,10 @@ impl<R: UpdateRule + Clone + Send> Cluster<R> {
                     h,
                     k_slots,
                     partition,
-                    &all_opinions,
+                    &bodies,
                     merged,
                     &plan,
+                    initial_data,
                     &control_txs,
                     &report_rx,
                 )
@@ -389,6 +465,7 @@ impl<R: UpdateRule + Clone + Send> Cluster<R> {
                     report_mode,
                     wire_mode,
                     merged,
+                    initial_data,
                     &control_txs,
                     &report_rx,
                 )
@@ -402,6 +479,45 @@ impl<R: UpdateRule + Clone + Send> Cluster<R> {
             out
         })
         .expect("shard thread panicked")
+    }
+}
+
+/// Splits the start configuration into per-shard sparse seed bodies by
+/// prefix sum: color `i`'s nodes occupy one contiguous global interval
+/// (exactly how [`Configuration::to_opinions`] lays agents out), so
+/// each shard's body is the ascending intersection of those intervals
+/// with its node range — `O(#occupied + #shards)` total, no `O(n)`
+/// opinion expansion.
+fn shard_bodies(start: &Configuration, partition: &Partition) -> Vec<Vec<(u32, u64)>> {
+    let mut bodies: Vec<Vec<(u32, u64)>> = vec![Vec::new(); partition.shards];
+    let mut pos = 0u64;
+    for (&slot, count) in start.occupied().iter().zip(start.occupied_counts()) {
+        let mut remaining = count;
+        while remaining > 0 {
+            let shard = partition.owner(pos as u32);
+            let end = u64::from(partition.range(shard).end);
+            let take = remaining.min(end - pos);
+            bodies[shard].push((slot, take));
+            pos += take;
+            remaining -= take;
+        }
+    }
+    debug_assert_eq!(pos, start.n(), "bodies must cover every node");
+    bodies
+}
+
+/// Pull/push data-plane arbitration over a merged view: push whole
+/// histograms once broadcasting every shard's histogram (and
+/// alias-sampling their union) is clearly cheaper than answering pulls.
+/// The union carries ~occ entries per server, so `S² · occ` must sit
+/// under the `n·h` draws it replaces.
+fn arbitrate_gear(merged: &Configuration, shards: usize, n: u32, h: u64) -> DataFormat {
+    let occ = merged.num_colors() as u64 + 1;
+    let pairs = (shards * shards) as u64;
+    if occ * pairs <= u64::from(n) * h {
+        DataFormat::Push
+    } else {
+        DataFormat::Pull
     }
 }
 
@@ -419,6 +535,7 @@ fn run_coordinator_exact(
     report_mode: ReportMode,
     wire_mode: WireMode,
     mut merged: Configuration,
+    initial_data: DataFormat,
     control_txs: &[mpsc::Sender<Control>],
     report_rx: &mpsc::Receiver<ShardReport>,
 ) -> HorizonOutcome {
@@ -442,7 +559,9 @@ fn run_coordinator_exact(
     // (`occ · shards² ≤ n·h`), then histogram push — and back,
     // should occupancy ever rise (it cannot for the paper's
     // processes, but the protocol does not rely on that).
-    let mut data = DataFormat::Pull;
+    // Round 1's gear is the caller's: start-arbitrated for
+    // condensed fleets, pull-first for agent-backed ones.
+    let mut data = initial_data;
     for round in 1..=rounds {
         for tx in control_txs {
             tx.send(Control::Round { round, report: format, data }).expect("shard alive");
@@ -496,15 +615,7 @@ fn run_coordinator_exact(
             };
         }
         if wire_mode == WireMode::Batched {
-            // Push once broadcasting every shard's histogram
-            // (and alias-sampling their union) is clearly
-            // cheaper than answering pulls: the union carries
-            // ~occ entries per server, so S² · occ must sit
-            // well under the n·h draws it replaces.
-            let occ = merged.num_colors() as u64 + 1;
-            let pairs = (shards * shards) as u64;
-            data =
-                if occ * pairs <= u64::from(n) * h { DataFormat::Push } else { DataFormat::Pull };
+            data = arbitrate_gear(&merged, shards, n, h);
         }
         trace.push(RoundStats {
             round,
@@ -568,9 +679,10 @@ fn run_coordinator_faulty(
     h: u64,
     k_slots: usize,
     partition: Partition,
-    all_opinions: &[Opinion],
+    seed_bodies: &[Vec<(u32, u64)>],
     mut merged: Configuration,
     plan: &FaultPlan,
+    initial_data: DataFormat,
     control_txs: &[mpsc::Sender<Control>],
     report_rx: &mpsc::Receiver<ShardReport>,
 ) -> HorizonOutcome {
@@ -579,34 +691,12 @@ fn run_coordinator_faulty(
         quorum_threshold(shards as u64, (shards - plan.max_faulty) as f64 / shards as f64) as usize;
 
     // Per-shard last accepted report state, seeded from the start
-    // configuration so a crash in round 1 still has a snapshot to
-    // rejoin from.
-    let mut last_body: Vec<Vec<(u32, u64)>> = Vec::with_capacity(shards);
-    let mut last_undecided = Vec::with_capacity(shards);
+    // configuration's per-shard bodies (already ascending, identical to
+    // the old dense tally) so a crash in round 1 still has a snapshot
+    // to rejoin from.
+    let mut last_body: Vec<Vec<(u32, u64)>> = seed_bodies.to_vec();
+    let mut last_undecided = vec![0u64; shards];
     let mut last_round = vec![0u64; shards];
-    let mut scratch = vec![0u64; k_slots];
-    for s in 0..shards {
-        let range = partition.range(s);
-        let mut touched: Vec<u32> = Vec::new();
-        let mut undec = 0u64;
-        for &o in &all_opinions[range.start as usize..range.end as usize] {
-            if o.is_undecided() {
-                undec += 1;
-                continue;
-            }
-            let i = o.index();
-            if scratch[i] == 0 {
-                touched.push(i as u32);
-            }
-            scratch[i] += 1;
-        }
-        touched.sort_unstable();
-        last_body.push(touched.iter().map(|&i| (i, scratch[i as usize])).collect());
-        for &i in &touched {
-            scratch[i as usize] = 0;
-        }
-        last_undecided.push(undec);
-    }
     let mut honest = merged.clone();
 
     let mut trace = Trace::new();
@@ -617,7 +707,7 @@ fn run_coordinator_faulty(
     let mut faults = FaultCounters::default();
     let mut stop = StopReason::HorizonExhausted;
     let mut seen = vec![false; shards];
-    let mut data = DataFormat::Pull;
+    let mut data = initial_data;
     for round in 1..=rounds {
         // Command the round. A shard whose rejoin is due gets the
         // snapshot replay first, then the round command; crashed shards
@@ -779,9 +869,7 @@ fn run_coordinator_faulty(
         }
         // Pull/push arbitration over the merged view, exactly as on
         // the strict path (fault plans mandate the batched wire).
-        let occ = merged.num_colors() as u64 + 1;
-        let pairs = (shards * shards) as u64;
-        data = if occ * pairs <= u64::from(n) * h { DataFormat::Push } else { DataFormat::Pull };
+        data = arbitrate_gear(&merged, shards, n, h);
         trace.push(RoundStats {
             round,
             num_colors: merged.num_colors(),

@@ -31,6 +31,16 @@
 //! the exact fault-free code paths and realizes the identical
 //! trajectory, trace, and message counts per seed (pinned by the
 //! seed-exactness tests).
+//!
+//! The layer is **representation-agnostic**: fault decisions hash wire
+//! coordinates, never shard internals, so condensed (histogram-backed)
+//! shards degrade under the same law as agent-backed ones. The two
+//! compensation paths that used to walk per-agent state are
+//! histogram-native when the shard is condensed — lost-palette recovery
+//! re-samples the missing mass as one sparse multinomial over the
+//! round-start snapshot, and [`crate::message::Control::Rejoin`]
+//! installs the snapshot by copying counts with a sparse mass check
+//! instead of a dense `O(local_n)` recount.
 
 /// What happens to one faulted message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -40,6 +40,14 @@
 //!   (merged via `Configuration::apply_deltas`) once the per-round
 //!   changed-slot set collapses — `O(#changed)` per round exactly where
 //!   the high-occupancy Theorem-5 regime lives.
+//! * **Shard representation** ([`ShardRepr`]) — by default shards whose
+//!   rule consumes multisets or single peers on the batched wire are
+//!   *condensed*: their whole state is a local histogram, stepped by
+//!   closed-form aggregate draws — `O(#occupied)` memory and, in the
+//!   push gear, `O(#occupied · h)` per-round compute, independent of
+//!   `local_n` — which is what makes `n ≥ 10⁸` Theorem-5 sweeps
+//!   tractable. [`ShardRepr::Agents`] forces the materialized per-agent
+//!   vector everywhere as the paired baseline.
 //! * **Fault layer** ([`FaultPlan`]) — a seeded, deterministic fault
 //!   schedule interposes on the wire path: dropped / duplicated /
 //!   delayed palettes and reports, crash-stop shards that rejoin from
@@ -95,7 +103,8 @@ pub mod message;
 pub mod shard;
 
 pub use cluster::{
-    Cluster, ClusterConfig, ClusterOutcome, ConsumeMode, HorizonOutcome, ReportMode, WireMode,
+    Cluster, ClusterConfig, ClusterOutcome, ConsumeMode, HorizonOutcome, ReportMode, ShardRepr,
+    WireMode,
 };
 pub use fault::{
     ByzantineSpec, CorruptionKind, CrashSpec, FaultCounters, FaultKind, FaultPlan, StopReason,

@@ -61,6 +61,16 @@
 //! differs from per-entry mode, so the two wire modes realize
 //! different (equally lawful) trajectories per seed.
 //!
+//! The batched wire is **representation-agnostic**: nothing in a
+//! [`PullBatch`], [`OpinionPalette`], or report body reveals whether the
+//! serving shard materializes its agents ([`crate::ShardRepr::Agents`])
+//! or keeps only a local histogram ([`crate::ShardRepr::Histogram`]).
+//! Palettes are distributional objects (iid draws from the frozen
+//! round-start snapshot), which a histogram serves directly; per-node
+//! sample reassembly is a *consumer*-side choice. Only the per-entry
+//! format is inherently agent-addressed, which is why it forces the
+//! agent-backed representation.
+//!
 //! # Control plane
 //!
 //! Per-round shard reports carry one of three [`ReportBody`] formats,

@@ -50,6 +50,24 @@
 //! round's counts so it can emit signed `(slot, Δcount)` bodies of size
 //! `O(#changed)` when the coordinator commands [`ReportFormat::Delta`].
 //!
+//! Under [`crate::cluster::ShardRepr::Histogram`] (batched wire, native
+//! consumption, multiset or single-peer rule) the worker is
+//! **condensed**: it never materializes a per-agent opinion vector at
+//! all. Its only state is a [`Configuration`]-backed local histogram
+//! plus the undecided count. The round-start snapshot mirrors the
+//! histogram (ascending slot order), pull palettes are served from a
+//! per-round cached alias table over it, received palettes and push
+//! unions are consumed as mass moved between histograms — per-node
+//! hypergeometric windows in the pull gear (a Fenwick-tree
+//! without-replacement dealer when the pool is too diverse for the
+//! conditional walk), and one [`symbreak_core::MultisetRule`]
+//! `condensed_push_step` call per round in the push gear, which is
+//! where the per-round compute drops from `O(local_n · h)` to
+//! `O(#occupied · h)` — and reports mirror the histogram straight into
+//! the touched-slot scratch. Rejoin copies the snapshot counts and
+//! verifies them in `O(#occupied)` with no dense recount. The
+//! agent-backed paths are untouched (byte-identical per seed).
+//!
 //! Under an **active [`FaultPlan`]** (batched wire only) the worker
 //! runs fault-aware exchange variants: fault decisions are stateless
 //! hashes shared with every peer and the coordinator (see
@@ -82,7 +100,7 @@ use symbreak_sim::rng::{trial_seed, Pcg64};
 use symbreak_adversary::{Adversary, RandomFlipper};
 use symbreak_core::Configuration;
 
-use crate::cluster::{ConsumeMode, ReportMode, WireMode};
+use crate::cluster::{ConsumeMode, ReportMode, ShardRepr, WireMode};
 use crate::fault::{CorruptionKind, FaultKind, FaultPlan, BYZANTINE_SALT};
 use crate::message::{
     Control, DataFormat, OpinionPalette, PullBatch, Reply, ReportBody, ReportFormat, Request,
@@ -139,8 +157,18 @@ pub(crate) struct ShardSpec {
     pub report_mode: ReportMode,
     pub wire_mode: WireMode,
     pub consume_mode: ConsumeMode,
+    pub repr: ShardRepr,
     pub master_seed: u64,
     pub plan: FaultPlan,
+}
+
+/// A shard's seed state, matching its representation: the coordinator
+/// sends a sparse histogram body to condensed shards and a materialized
+/// opinion vector otherwise (the worker asserts the variant against the
+/// spec's representation and the rule's effective sample access).
+pub(crate) enum ShardInit {
+    Agents(Vec<Opinion>),
+    Histogram(Vec<(u32, u64)>),
 }
 
 /// Runs one shard to completion.
@@ -148,10 +176,10 @@ pub(crate) fn run_shard<R: UpdateRule>(
     shard_id: usize,
     spec: ShardSpec,
     rule: R,
-    opinions: Vec<Opinion>,
+    init: ShardInit,
     endpoints: ShardEndpoints,
 ) {
-    let mut worker = Worker::new(shard_id, spec, rule, opinions, endpoints);
+    let mut worker = Worker::new(shard_id, spec, rule, init, endpoints);
     loop {
         match worker.endpoints.control.recv() {
             Ok(Control::Round { round, report, data }) => worker.round(round, report, data),
@@ -187,6 +215,76 @@ fn count_opinions(opinions: &[Opinion], counts: &mut [u64], touched: &mut Vec<u3
     undecided
 }
 
+/// Which dense scratch a condensed worker mirrors its histogram into.
+enum Mirror {
+    /// Round-start snapshot (`snap_counts` / `snap_touched`).
+    Snapshot,
+    /// Report tally (`count_scratch` / `touched`).
+    Report,
+    /// Delta baseline (`prev_counts` / `prev_touched`).
+    Prev,
+}
+
+/// A without-replacement dealer over pooled category counts: `O(d)`
+/// build, `O(log d)` per draw (Fenwick prefix sums, bit-descended).
+///
+/// Sequential uniform draws without replacement realize exactly the
+/// multivariate-hypergeometric window law the [`WindowSplitter`]
+/// implements, so a condensed shard can deal a pool too diverse for
+/// the conditional walk at `O(h log d)` per node instead of falling
+/// back to materializing per-agent samples (which it has nowhere to
+/// put).
+struct FenwickPool {
+    /// 1-based Fenwick tree over the category counts.
+    tree: Vec<u64>,
+    remaining: u64,
+    len: usize,
+}
+
+impl FenwickPool {
+    fn new(counts: &[u64]) -> Self {
+        let len = counts.len();
+        let mut tree = vec![0u64; len + 1];
+        tree[1..].copy_from_slice(counts);
+        for i in 1..=len {
+            let j = i + (i & i.wrapping_neg());
+            if j <= len {
+                tree[j] += tree[i];
+            }
+        }
+        Self { tree, remaining: counts.iter().sum(), len }
+    }
+
+    /// Draws one pooled item uniformly and removes it; returns its
+    /// 0-based category index.
+    fn draw(&mut self, rng: &mut Pcg64) -> usize {
+        debug_assert!(self.remaining > 0, "drew from an empty pool");
+        let mut target = rng.gen_range(0..self.remaining);
+        // Descend to the largest index whose prefix sum is ≤ target.
+        let mut pos = 0usize;
+        let mut step = self.len.next_power_of_two();
+        while step > 0 {
+            let next = pos + step;
+            if next <= self.len && self.tree[next] <= target {
+                target -= self.tree[next];
+                pos = next;
+            }
+            step >>= 1;
+        }
+        let mut i = pos + 1;
+        while i <= self.len {
+            self.tree[i] -= 1;
+            i += i & i.wrapping_neg();
+        }
+        self.remaining -= 1;
+        pos
+    }
+
+    fn remaining(&self) -> u64 {
+        self.remaining
+    }
+}
+
 /// One shard's mutable round state: the owned opinions plus every
 /// reusable buffer of both wire modes and the report formats.
 struct Worker<R> {
@@ -201,6 +299,8 @@ struct Worker<R> {
     /// per-entry wire is per-draw by construction).
     access: SampleAccess,
     rule: R,
+    /// The materialized agent vector — empty on a condensed shard,
+    /// which holds its whole state in `hist` + `hist_undecided`.
     opinions: Vec<Opinion>,
     endpoints: ShardEndpoints,
     rng: Pcg64,
@@ -208,6 +308,31 @@ struct Worker<R> {
     lo: u32,
     /// One sample slot per (local node, pull): `samples[local·h + s]`.
     samples: Vec<Opinion>,
+
+    // Condensed (histogram) representation state.
+    /// Whether this worker is condensed (see the module docs): decided
+    /// once at construction from the spec's [`ShardRepr`] and the
+    /// effective sample access, never per round.
+    condensed: bool,
+    /// The shard's node count — `opinions.len()` on agent-backed
+    /// shards, the seed-body mass on condensed ones.
+    local_n: usize,
+    /// Condensed local state: decided counts (`O(#occupied)` memory).
+    hist: Configuration,
+    /// Condensed local state: undecided node count.
+    hist_undecided: u64,
+    /// Scratch for rebuilding `hist` from the post-step tally.
+    hist_pairs: Vec<(u32, u64)>,
+    /// Per-round cached alias table for condensed raw pull serving —
+    /// built lazily on the first raw batch of a round (over the
+    /// round-start snapshot + undecided), shared by all of them.
+    serve_alias: Option<Categorical>,
+    serve_alias_fresh: bool,
+    /// Condensed own-opinion groups `(opinion, count)`, ascending with
+    /// undecided last — the `condensed_push_step` contract order.
+    groups: Vec<(Opinion, u64)>,
+    /// Condensed push-step output scratch (entries may repeat).
+    step_out: Vec<(Opinion, u64)>,
 
     // Per-entry wire state.
     snapshot: Vec<Opinion>,
@@ -285,7 +410,7 @@ impl<R: UpdateRule> Worker<R> {
         shard_id: usize,
         spec: ShardSpec,
         rule: R,
-        opinions: Vec<Opinion>,
+        init: ShardInit,
         endpoints: ShardEndpoints,
     ) -> Self {
         let ShardSpec {
@@ -294,12 +419,12 @@ impl<R: UpdateRule> Worker<R> {
             report_mode,
             wire_mode,
             consume_mode,
+            repr,
             master_seed,
             plan,
         } = spec;
         let rng = Pcg64::seed_from_u64(trial_seed(master_seed, shard_id as u64 + 1));
         let h = rule.sample_count();
-        let local_n = opinions.len();
         let shards = partition.shards;
         let per_entry = wire_mode == WireMode::PerEntry;
         let batched = !per_entry;
@@ -317,6 +442,27 @@ impl<R: UpdateRule> Worker<R> {
         } else {
             SampleAccess::OrderedWindow
         };
+        // Condensed iff the representation asks for it and the rule's
+        // effective access can consume histograms — and the init
+        // variant must agree (the coordinator applies this predicate).
+        let condensed = repr == ShardRepr::Histogram && access != SampleAccess::OrderedWindow;
+        assert_eq!(
+            condensed,
+            matches!(init, ShardInit::Histogram(_)),
+            "shard init variant must match the condensed predicate"
+        );
+        let (opinions, hist, local_n) = match init {
+            ShardInit::Agents(opinions) => {
+                let local_n = opinions.len();
+                // Placeholder configuration (never read on agent paths).
+                (opinions, Configuration::from_counts(vec![0]), local_n)
+            }
+            ShardInit::Histogram(body) => {
+                let hist = Configuration::from_sparse(k_slots, &body);
+                let local_n = hist.n() as usize;
+                (Vec::new(), hist, local_n)
+            }
+        };
 
         let mut worker = Self {
             shard_id,
@@ -331,12 +477,22 @@ impl<R: UpdateRule> Worker<R> {
             lo: partition.range(shard_id).start,
             // Single-peer-native workers never materialize samples — both
             // gears write the dealt multiset straight into `opinions` and
-            // there is no ordered fallback on that path.
-            samples: if access == SampleAccess::SinglePeer {
+            // there is no ordered fallback on that path. Condensed
+            // workers never materialize anything per-agent at all.
+            samples: if access == SampleAccess::SinglePeer || condensed {
                 Vec::new()
             } else {
                 vec![Opinion::new(0); local_n * h]
             },
+            condensed,
+            local_n,
+            hist,
+            hist_undecided: 0,
+            hist_pairs: Vec::new(),
+            serve_alias: None,
+            serve_alias_fresh: false,
+            groups: Vec::new(),
+            step_out: Vec::new(),
             snapshot: if per_entry { opinions.clone() } else { Vec::new() },
             outgoing: if per_entry {
                 (0..shards).map(|_| Vec::new()).collect()
@@ -408,9 +564,85 @@ impl<R: UpdateRule> Worker<R> {
         };
         if tracking {
             // The round-0 baseline the first delta report is relative to.
-            count_opinions(&worker.opinions, &mut worker.prev_counts, &mut worker.prev_touched);
+            if worker.condensed {
+                worker.mirror_hist(Mirror::Prev);
+            } else {
+                count_opinions(&worker.opinions, &mut worker.prev_counts, &mut worker.prev_touched);
+            }
         }
         worker
+    }
+
+    /// Copies the condensed histogram into one of the dense scratches
+    /// (assumed zero with an empty touched list) in ascending slot
+    /// order — the condensed stand-in for [`count_opinions`], `O(#occupied)`.
+    fn mirror_hist(&mut self, target: Mirror) {
+        debug_assert!(self.condensed);
+        let (counts, touched) = match target {
+            Mirror::Snapshot => (&mut self.snap_counts, &mut self.snap_touched),
+            Mirror::Report => (&mut self.count_scratch, &mut self.touched),
+            Mirror::Prev => (&mut self.prev_counts, &mut self.prev_touched),
+        };
+        debug_assert!(touched.is_empty());
+        for (&i, c) in self.hist.occupied().iter().zip(self.hist.occupied_counts()) {
+            counts[i as usize] = c;
+            touched.push(i);
+        }
+    }
+
+    /// Freezes the round-start local histogram into the snapshot
+    /// scratch. Agent-backed shards tally their opinions (first-touch
+    /// order, byte-identical to the pre-condensed runtime); condensed
+    /// shards mirror `hist` (ascending slot order — a lawful wire-order
+    /// difference) and invalidate the per-round serving alias.
+    fn snapshot_round_start(&mut self) {
+        self.snap_touched.clear();
+        if self.condensed {
+            self.mirror_hist(Mirror::Snapshot);
+            self.snap_undecided = self.hist_undecided;
+            self.serve_alias_fresh = false;
+        } else {
+            self.snap_undecided =
+                count_opinions(&self.opinions, &mut self.snap_counts, &mut self.snap_touched);
+        }
+    }
+
+    /// Rebuilds the condensed own-opinion groups from the histogram:
+    /// `(opinion, count)` ascending (occupied slots are sorted), with
+    /// the undecided group last ([`Opinion::UNDECIDED`] orders above
+    /// every color) — the order `condensed_push_step` requires.
+    fn condensed_groups(&mut self) {
+        debug_assert!(self.condensed);
+        self.groups.clear();
+        for (&i, c) in self.hist.occupied().iter().zip(self.hist.occupied_counts()) {
+            self.groups.push((Opinion::new(i), c));
+        }
+        if self.hist_undecided > 0 {
+            self.groups.push((Opinion::UNDECIDED, self.hist_undecided));
+        }
+    }
+
+    /// Installs a condensed round's post-step tally — accumulated in
+    /// `count_scratch` / `touched` — as the new histogram, zeroing the
+    /// scratch behind itself.
+    fn install_condensed(&mut self, undecided: u64) {
+        debug_assert!(self.condensed);
+        self.hist_pairs.clear();
+        for &i in &self.touched {
+            let c = self.count_scratch[i as usize];
+            if c > 0 {
+                self.hist_pairs.push((i, c));
+            }
+            self.count_scratch[i as usize] = 0;
+        }
+        self.touched.clear();
+        self.hist.rebuild_sparse(std::iter::once(self.hist_pairs.as_slice()));
+        self.hist_undecided = undecided;
+        debug_assert_eq!(
+            self.hist.n() + undecided,
+            self.local_n as u64,
+            "condensed step must conserve the shard's mass"
+        );
     }
 
     fn round(&mut self, round: u64, format: ReportFormat, data: DataFormat) {
@@ -432,13 +664,18 @@ impl<R: UpdateRule> Worker<R> {
                 } else {
                     self.pull_exchange(&mut messages_sent);
                 }
-                match access {
-                    SampleAccess::OrderedWindow => {
+                match (self.condensed, access) {
+                    (false, SampleAccess::OrderedWindow) => {
                         self.deal_palettes_ordered();
                         self.apply_ordered_windows();
                     }
-                    SampleAccess::SinglePeer => self.deal_palettes_single_peer(),
-                    SampleAccess::Multiset => self.consume_palettes_multiset(),
+                    (false, SampleAccess::SinglePeer) => self.deal_palettes_single_peer(),
+                    (false, SampleAccess::Multiset) => self.consume_palettes_multiset(),
+                    (true, SampleAccess::SinglePeer) => self.consume_pull_condensed_single_peer(),
+                    (true, SampleAccess::Multiset) => self.consume_pull_condensed_multiset(),
+                    (true, SampleAccess::OrderedWindow) => {
+                        unreachable!("ordered-window rules are never condensed")
+                    }
                 }
             }
             (WireMode::Batched, DataFormat::Push, access) => {
@@ -447,15 +684,29 @@ impl<R: UpdateRule> Worker<R> {
                 } else {
                     self.push_exchange(&mut messages_sent);
                 }
-                match access {
-                    SampleAccess::OrderedWindow => {
+                match (self.condensed, access) {
+                    (false, SampleAccess::OrderedWindow) => {
                         self.sample_push_ordered();
                         self.apply_ordered_windows();
                     }
-                    SampleAccess::SinglePeer => self.sample_push_single_peer(),
-                    SampleAccess::Multiset => self.sample_push_multiset(),
+                    (false, SampleAccess::SinglePeer) => self.sample_push_single_peer(),
+                    (false, SampleAccess::Multiset) => self.sample_push_multiset(),
+                    (true, SampleAccess::SinglePeer) => self.consume_push_condensed_single_peer(),
+                    (true, SampleAccess::Multiset) => self.consume_push_condensed_multiset(),
+                    (true, SampleAccess::OrderedWindow) => {
+                        unreachable!("ordered-window rules are never condensed")
+                    }
                 }
             }
+        }
+        if self.condensed {
+            // The condensed contract: no per-agent state, ever — a
+            // round that materialized opinions or samples has silently
+            // fallen off the O(#occupied) path.
+            debug_assert!(
+                self.opinions.is_empty() && self.samples.is_empty() && self.snapshot.is_empty(),
+                "condensed shard materialized per-agent state"
+            );
         }
 
         let (mut body, undecided, changed_slots) = self.build_report(format);
@@ -503,10 +754,14 @@ impl<R: UpdateRule> Worker<R> {
         }
     }
 
-    /// Rebuilds this shard's opinions from the coordinator's snapshot
-    /// after a crash-stop window, and verifies the reconstruction with
-    /// a dense recount (the snapshot is the shard's own last accepted
-    /// report, so the tally must round-trip exactly).
+    /// Rebuilds this shard's state from the coordinator's snapshot
+    /// after a crash-stop window, and verifies the reconstruction: a
+    /// dense recount of the rematerialized opinions on agent-backed
+    /// shards (the snapshot is the shard's own last accepted report, so
+    /// the tally must round-trip exactly), an `O(#occupied)` body check
+    /// — slot range, positive counts, mass identity, and duplicate
+    /// detection through the rebuilt occupancy — on condensed shards,
+    /// which copy the counts and never materialize an opinion.
     fn rejoin(&mut self, round: u64, body: &[(u32, u64)], undecided: u64) {
         self.round_no = round;
         // Crash-stop lost all in-flight state.
@@ -514,6 +769,28 @@ impl<R: UpdateRule> Worker<R> {
         self.delayed_report = None;
         self.carry_messages = 0;
         self.recovered = 0;
+        if self.condensed {
+            let mut mass = u128::from(undecided);
+            for &(slot, count) in body {
+                assert!((slot as usize) < self.k_slots, "rejoin snapshot: slot out of range");
+                assert!(count > 0, "rejoin snapshot: zero-count slot");
+                mass += u128::from(count);
+            }
+            assert_eq!(mass, self.local_n as u128, "snapshot mass must match the shard size");
+            self.hist.rebuild_sparse(std::iter::once(body));
+            assert_eq!(self.hist.num_colors(), body.len(), "rejoin snapshot: duplicate slots");
+            self.hist_undecided = undecided;
+            if self.report_mode == ReportMode::Delta {
+                // Re-baseline the delta tracking against the rejoined
+                // histogram.
+                for &i in &self.prev_touched {
+                    self.prev_counts[i as usize] = 0;
+                }
+                self.prev_touched.clear();
+                self.mirror_hist(Mirror::Prev);
+            }
+            return;
+        }
         let local_n = self.opinions.len();
         self.opinions.clear();
         for &(slot, count) in body {
@@ -638,15 +915,13 @@ impl<R: UpdateRule> Worker<R> {
     /// palettes parked in `recv_palettes`, consumption left to the
     /// [`SampleAccess`]-dispatched caller.
     fn pull_exchange(&mut self, messages_sent: &mut u64) {
-        let local_n = self.opinions.len();
+        let local_n = self.local_n;
         let shards = self.partition.shards;
         let total = (local_n * self.h) as u64;
 
         // Round-start local opinion histogram: what the palettes this
         // shard serves are sampled from.
-        self.snap_touched.clear();
-        self.snap_undecided =
-            count_opinions(&self.opinions, &mut self.snap_counts, &mut self.snap_touched);
+        self.snapshot_round_start();
 
         // Split the round's `local_n · h` uniform pulls over the
         // destination shards: a multinomial on the range sizes.
@@ -894,6 +1169,171 @@ impl<R: UpdateRule> Worker<R> {
         debug_assert_eq!(splitter.remaining(), 0, "the pool must be dealt exactly");
     }
 
+    /// Single-peer consumption of the pull gear, condensed: the pooled
+    /// palette multiset **is** the next histogram — tally it straight
+    /// into the report scratch and install. No RNG at all.
+    fn consume_pull_condensed_single_peer(&mut self) {
+        debug_assert_eq!(self.h, 1, "single-peer rules pull one sample");
+        let shards = self.partition.shards;
+        let mut undecided = 0u64;
+        let mut mass = 0u64;
+        for origin in 0..shards {
+            let (palette, runs) = self.recv_palettes[origin].take().expect("one palette per peer");
+            {
+                let mut tally = |o: Opinion, c: u64| {
+                    mass += c;
+                    if o.is_undecided() {
+                        undecided += c;
+                    } else {
+                        let i = o.index();
+                        if self.count_scratch[i] == 0 {
+                            self.touched.push(i as u32);
+                        }
+                        self.count_scratch[i] += c;
+                    }
+                };
+                if runs.is_empty() {
+                    for &o in &palette {
+                        tally(o, 1);
+                    }
+                } else {
+                    for &(pi, c) in &runs {
+                        tally(palette[pi as usize], c);
+                    }
+                }
+            }
+            self.palette_pool.push((palette, runs));
+        }
+        debug_assert_eq!(mass, self.local_n as u64, "palette mass must equal the node count");
+        self.install_condensed(undecided);
+    }
+
+    /// Multiset consumption of the pull gear, condensed: pool the
+    /// received palettes (raw ones are tallied too — a condensed shard
+    /// has no ordered path to bail to) and deal per-node windows
+    /// straight out of the pooled histogram, walking own-opinion
+    /// groups off `hist` instead of an agent vector. Windows come from
+    /// the conditional-binomial [`WindowSplitter`] in the concentrated
+    /// regime and from a [`FenwickPool`] — `O(h log d)` per node, the
+    /// same without-replacement law — when the pool is too diverse for
+    /// the walk to pay. The next histogram is tallied as the windows
+    /// are consumed; no per-agent state is ever materialized.
+    fn consume_pull_condensed_multiset(&mut self) {
+        let shards = self.partition.shards;
+        // Tally the pooled histogram, reusing `serve_counts` — zero
+        // outside serves — as the dense scratch.
+        self.pool_touched.clear();
+        let mut pool_undecided = 0u64;
+        for origin in 0..shards {
+            let (palette, runs) = self.recv_palettes[origin].take().expect("one palette per peer");
+            {
+                let mut tally = |o: Opinion, c: u64| {
+                    if o.is_undecided() {
+                        pool_undecided += c;
+                    } else {
+                        let i = o.index();
+                        if self.serve_counts[i] == 0 {
+                            self.pool_touched.push(i as u32);
+                        }
+                        self.serve_counts[i] += c;
+                    }
+                };
+                if runs.is_empty() {
+                    for &o in &palette {
+                        tally(o, 1);
+                    }
+                } else {
+                    for &(pi, c) in &runs {
+                        tally(palette[pi as usize], c);
+                    }
+                }
+            }
+            self.palette_pool.push((palette, runs));
+        }
+
+        // Gather the pool in decreasing-count order (so the walk's
+        // early exit bites when it runs), zeroing the scratch.
+        let d = self.pool_touched.len() + usize::from(pool_undecided > 0);
+        let mut pool: Vec<(u64, Opinion)> = Vec::with_capacity(d);
+        for &i in &self.pool_touched {
+            pool.push((self.serve_counts[i as usize], Opinion::new(i)));
+            self.serve_counts[i as usize] = 0;
+        }
+        if pool_undecided > 0 {
+            pool.push((pool_undecided, Opinion::UNDECIDED));
+        }
+        pool.sort_by_key(|&(c, _)| std::cmp::Reverse(c));
+        self.pool_counts.clear();
+        self.pool_ops.clear();
+        for &(c, o) in &pool {
+            self.pool_counts.push(c);
+            self.pool_ops.push(o);
+        }
+        debug_assert_eq!(
+            self.pool_counts.iter().sum::<u64>(),
+            (self.local_n * self.h) as u64,
+            "palette mass must equal the requested pulls"
+        );
+
+        self.condensed_groups();
+        let h = self.h as u64;
+        let walkable = d <= WALK_CANDIDATE_CAP
+            && expected_window_visits_counts(&self.pool_counts, self.h) <= self.h as f64;
+        let msr = self.rule.as_multiset().expect("Multiset access requires a MultisetRule impl");
+        let ops = &self.pool_ops;
+        let mut next_undecided = 0u64;
+        if walkable {
+            let mut splitter = WindowSplitter::new(&mut self.pool_counts);
+            for gi in 0..self.groups.len() {
+                let (own, count) = self.groups[gi];
+                for _ in 0..count {
+                    self.window.clear();
+                    let window = &mut self.window;
+                    splitter
+                        .draw_window(h, &mut self.rng, |cat, x| window.push((ops[cat], x as u32)));
+                    let next = msr.update_from_counts(own, &self.window, &mut self.rng);
+                    if next.is_undecided() {
+                        next_undecided += 1;
+                    } else {
+                        let i = next.index();
+                        if self.count_scratch[i] == 0 {
+                            self.touched.push(i as u32);
+                        }
+                        self.count_scratch[i] += 1;
+                    }
+                }
+            }
+            debug_assert_eq!(splitter.remaining(), 0, "the pool must be dealt exactly");
+        } else {
+            let mut dealer = FenwickPool::new(&self.pool_counts);
+            for gi in 0..self.groups.len() {
+                let (own, count) = self.groups[gi];
+                for _ in 0..count {
+                    self.window.clear();
+                    for _ in 0..self.h {
+                        let o = ops[dealer.draw(&mut self.rng)];
+                        match self.window.iter_mut().find(|e| e.0 == o) {
+                            Some(e) => e.1 += 1,
+                            None => self.window.push((o, 1)),
+                        }
+                    }
+                    let next = msr.update_from_counts(own, &self.window, &mut self.rng);
+                    if next.is_undecided() {
+                        next_undecided += 1;
+                    } else {
+                        let i = next.index();
+                        if self.count_scratch[i] == 0 {
+                            self.touched.push(i as u32);
+                        }
+                        self.count_scratch[i] += 1;
+                    }
+                }
+            }
+            debug_assert_eq!(dealer.remaining(), 0, "the pool must be dealt exactly");
+        }
+        self.install_condensed(next_undecided);
+    }
+
     /// The push data plane's exchange phase for the concentrated
     /// regime: no pulls at all. Every shard broadcasts its round-start
     /// opinion histogram; each requester unions the `shards` received
@@ -907,9 +1347,7 @@ impl<R: UpdateRule> Worker<R> {
 
         // Round-start local opinion histogram (shared scratch with the
         // pull path).
-        self.snap_touched.clear();
-        self.snap_undecided =
-            count_opinions(&self.opinions, &mut self.snap_counts, &mut self.snap_touched);
+        self.snapshot_round_start();
 
         // Broadcast it as a histogram palette, one copy per peer.
         for dest in 0..shards {
@@ -1105,14 +1543,12 @@ impl<R: UpdateRule> Worker<R> {
     /// round-start opinions (counted as `recovered`), so the sample
     /// mass stays exact and every consumption path runs unchanged.
     fn pull_exchange_faulty(&mut self, messages_sent: &mut u64) {
-        let local_n = self.opinions.len();
+        let local_n = self.local_n;
         let shards = self.partition.shards;
         let round = self.round_no;
         let total = (local_n * self.h) as u64;
 
-        self.snap_touched.clear();
-        self.snap_undecided =
-            count_opinions(&self.opinions, &mut self.snap_counts, &mut self.snap_touched);
+        self.snapshot_round_start();
 
         // Crashed peers take no traffic: mask them out of the
         // destination weights so every pull targets a live node.
@@ -1186,9 +1622,51 @@ impl<R: UpdateRule> Worker<R> {
             palette.clear();
             runs.clear();
             debug_assert!(m == 0 || local_n > 0, "draws need a non-empty shard");
-            palette.reserve(m as usize);
-            for _ in 0..m {
-                palette.push(self.opinions[self.rng.gen_range(0..local_n)]);
+            if self.condensed {
+                // The same self-compensation law off the histogram — a
+                // binomial undecided split plus a sparse multinomial
+                // over the round-start snapshot, emitted runs-encoded
+                // — on the same round RNG the agent path's per-draw
+                // reads consume.
+                if m > 0 {
+                    let undec = if self.snap_undecided > 0 {
+                        Binomial::new(m, self.snap_undecided as f64 / local_n as f64)
+                            .sample(&mut self.rng)
+                    } else {
+                        0
+                    };
+                    let rest = m - undec;
+                    if rest > 0 {
+                        self.theta_scratch.clear();
+                        self.theta_scratch.extend(
+                            self.snap_touched.iter().map(|&i| self.snap_counts[i as usize] as f64),
+                        );
+                        sample_multinomial_sparse_into(
+                            rest,
+                            &self.theta_scratch,
+                            &self.snap_touched,
+                            &mut self.rng,
+                            &mut self.serve_counts,
+                        );
+                    }
+                    for &i in &self.snap_touched {
+                        let c = self.serve_counts[i as usize];
+                        if c > 0 {
+                            runs.push((palette.len() as u32, c));
+                            palette.push(Opinion::new(i));
+                            self.serve_counts[i as usize] = 0;
+                        }
+                    }
+                    if undec > 0 {
+                        runs.push((palette.len() as u32, undec));
+                        palette.push(Opinion::UNDECIDED);
+                    }
+                }
+            } else {
+                palette.reserve(m as usize);
+                for _ in 0..m {
+                    palette.push(self.opinions[self.rng.gen_range(0..local_n)]);
+                }
             }
             self.recovered += m;
             self.recv_palettes[origin] = Some((palette, runs));
@@ -1209,9 +1687,7 @@ impl<R: UpdateRule> Worker<R> {
         let shards = self.partition.shards;
         let round = self.round_no;
 
-        self.snap_touched.clear();
-        self.snap_undecided =
-            count_opinions(&self.opinions, &mut self.snap_counts, &mut self.snap_touched);
+        self.snapshot_round_start();
 
         let mut expected_palettes = 0usize;
         for peer in 0..shards {
@@ -1369,6 +1845,90 @@ impl<R: UpdateRule> Worker<R> {
         }
     }
 
+    /// Single-peer consumption of the push gear, condensed: every
+    /// node's next opinion is an iid union draw, so the next histogram
+    /// is one `Mult(local_n, union)` — `O(#distinct)` for the whole
+    /// shard, no per-node work at all.
+    fn consume_push_condensed_single_peer(&mut self) {
+        debug_assert_eq!(self.h, 1, "single-peer rules pull one sample");
+        self.pool_counts.clear();
+        self.pool_counts.resize(self.alias_weights.len(), 0);
+        sample_multinomial_into(
+            self.local_n as u64,
+            &self.alias_weights,
+            &mut self.rng,
+            &mut self.pool_counts,
+        );
+        let mut undecided = 0u64;
+        for (j, &c) in self.pool_counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let o = self.alias_values[j];
+            if o.is_undecided() {
+                undecided += c;
+            } else {
+                let i = o.index();
+                if self.count_scratch[i] == 0 {
+                    self.touched.push(i as u32);
+                }
+                self.count_scratch[i] += c;
+            }
+        }
+        self.install_condensed(undecided);
+    }
+
+    /// Multiset consumption of the push gear, condensed: the whole
+    /// shard steps through one [`symbreak_core::MultisetRule`]
+    /// `condensed_push_step` call — the rule's closed-form aggregate
+    /// over iid `Mult(h, union)` windows (a multinomial for 3-Majority,
+    /// binomial splits for the undecided dynamics, CDF cascades for
+    /// 2-Median, with a generic per-node fallback) — so the per-round
+    /// compute is `O(#occupied · h)`, independent of `local_n`. This is
+    /// the path the Theorem-5 `n ≥ 10⁸` sweeps run on.
+    fn consume_push_condensed_multiset(&mut self) {
+        // Sort the union ascending by opinion (undecided orders last) —
+        // the condensed-step contract; the union is already
+        // deduplicated by `union_palettes`.
+        let mut union: Vec<(Opinion, f64)> =
+            self.alias_values.iter().copied().zip(self.alias_weights.iter().copied()).collect();
+        union.sort_by_key(|&(o, _)| o);
+        self.alias_values.clear();
+        self.alias_weights.clear();
+        for &(o, w) in &union {
+            self.alias_values.push(o);
+            self.alias_weights.push(w);
+        }
+
+        self.condensed_groups();
+        self.step_out.clear();
+        let msr = self.rule.as_multiset().expect("Multiset access requires a MultisetRule impl");
+        msr.condensed_push_step(
+            &self.groups,
+            &self.alias_values,
+            &self.alias_weights,
+            &mut self.rng,
+            &mut self.step_out,
+        );
+        let mut undecided = 0u64;
+        for gi in 0..self.step_out.len() {
+            let (o, c) = self.step_out[gi];
+            if c == 0 {
+                continue;
+            }
+            if o.is_undecided() {
+                undecided += c;
+            } else {
+                let i = o.index();
+                if self.count_scratch[i] == 0 {
+                    self.touched.push(i as u32);
+                }
+                self.count_scratch[i] += c;
+            }
+        }
+        self.install_condensed(undecided);
+    }
+
     /// Serves one pull batch from the round-start state, drawing from
     /// the origin's dedicated serving stream, choosing per batch
     /// between two exact samplers by the draw count `m` vs the
@@ -1406,7 +1966,7 @@ impl<R: UpdateRule> Worker<R> {
         // conditional-binomial step (sampler construction + draw)
         // costs roughly twenty-odd materialized draws.
         const WALK_FACTOR: u64 = 24;
-        let local_n = self.opinions.len();
+        let local_n = self.local_n;
         let origin = batch.origin as usize;
         let rng = &mut self.serve_rngs[origin];
         let d = self.snap_touched.len() as u64 + 1;
@@ -1460,6 +2020,43 @@ impl<R: UpdateRule> Worker<R> {
                 pruns.push((palette.len() as u32, served_undecided));
                 palette.push(Opinion::UNDECIDED);
             }
+        } else if self.condensed {
+            // Raw palette off the histogram: a uniform snapshot read is
+            // a draw from the round-start distribution, so serve from
+            // an alias table over it — built once per round on the
+            // first raw batch, shared by the rest (the draws still come
+            // from the per-origin serving streams, so pipelined serving
+            // stays arrival-order independent).
+            if total > 0 {
+                if !self.serve_alias_fresh {
+                    self.theta_scratch.clear();
+                    self.theta_scratch.extend(
+                        self.snap_touched.iter().map(|&i| self.snap_counts[i as usize] as f64),
+                    );
+                    self.theta_scratch.push(self.snap_undecided as f64);
+                    match self.serve_alias.as_mut() {
+                        Some(alias) => alias.rebuild(&self.theta_scratch),
+                        None => self.serve_alias = Some(Categorical::new(&self.theta_scratch)),
+                    }
+                    self.serve_alias_fresh = true;
+                }
+                let alias = self.serve_alias.as_ref().expect("alias built above");
+                palette.reserve(total as usize);
+                for run in &batch.target_runs {
+                    debug_assert!(
+                        run.start == 0 && run.len as usize == local_n,
+                        "batched pulls cover whole shard ranges"
+                    );
+                    for _ in 0..run.count {
+                        let j = alias.sample(rng);
+                        palette.push(if j < self.snap_touched.len() {
+                            Opinion::new(self.snap_touched[j])
+                        } else {
+                            Opinion::UNDECIDED
+                        });
+                    }
+                }
+            }
         } else {
             // Raw: the drawn opinions themselves, in draw order.
             palette.reserve(total as usize);
@@ -1480,7 +2077,15 @@ impl<R: UpdateRule> Worker<R> {
     fn build_report(&mut self, format: ReportFormat) -> (ReportBody, u64, Option<u64>) {
         let tracking = self.report_mode == ReportMode::Delta;
         self.touched.clear();
-        let undecided = count_opinions(&self.opinions, &mut self.count_scratch, &mut self.touched);
+        let undecided = if self.condensed {
+            // The post-step histogram *is* the count — mirror it
+            // (`O(#occupied)`, no recount) and let the body builders
+            // below run unchanged.
+            self.mirror_hist(Mirror::Report);
+            self.hist_undecided
+        } else {
+            count_opinions(&self.opinions, &mut self.count_scratch, &mut self.touched)
+        };
 
         let changed_slots = if tracking {
             let mut changed = 0u64;

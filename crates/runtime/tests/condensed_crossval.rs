@@ -1,0 +1,235 @@
+//! Cross-validation of condensed (histogram-backed) shards against the
+//! agent-backed baseline.
+//!
+//! A condensed shard never materializes its `local_n` agents: it steps a
+//! local histogram by closed-form aggregate draws. That is a different
+//! randomness consumption order, so the two representations cannot be
+//! compared pathwise — but both realize exactly the Uniform Pull law, so
+//! every distributional observable must agree. The tests here pin:
+//!
+//! * mean consensus times, condensed vs `ShardRepr::Agents`, within a
+//!   Welch-style 5-sigma band (3-Majority, Voter, Undecided Dynamics,
+//!   both dense and `k = n` singleton starts);
+//! * per-seed determinism of condensed runs;
+//! * *byte-exact* equality on the sub-paths where the arbitration
+//!   downgrades a `Histogram` request to agent-backed shards (ordered
+//!   windows, per-entry wire) — there the representations must coincide,
+//!   not merely agree in law;
+//! * fault-layer semantics mode-identically preserved: inert plans are
+//!   trajectory-invisible, palette-loss compensation and crash-rejoin
+//!   conserve mass on histogram-backed shards.
+
+use symbreak_core::rules::{ThreeMajority, TwoChoices, UndecidedDynamics, Voter};
+use symbreak_core::{Configuration, UpdateRule};
+use symbreak_runtime::{
+    Cluster, ClusterConfig, ConsumeMode, CrashSpec, FaultPlan, ShardRepr, WireMode,
+};
+use symbreak_sim::run_trials;
+use symbreak_stats::Summary;
+
+/// Order-sensitive fold over the per-round observables; any divergence
+/// in any round of the trajectory changes the digest.
+fn trace_digest(trace: &symbreak_sim::trace::Trace) -> u64 {
+    let mut acc = 0u64;
+    for r in trace.rounds() {
+        acc = acc
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(r.round)
+            .wrapping_add((r.num_colors as u64) << 20)
+            .wrapping_add(r.max_support << 40)
+            .wrapping_add(r.bias);
+    }
+    acc
+}
+
+fn times_with_repr<R>(
+    rule: R,
+    start: &Configuration,
+    trials: u64,
+    seed: u64,
+    repr: ShardRepr,
+) -> Vec<u64>
+where
+    R: UpdateRule + Clone + Send + Sync,
+{
+    let start = start.clone();
+    run_trials(trials, seed, move |_t, s| {
+        let cfg = ClusterConfig::new(3, s).with_shard_repr(repr);
+        let cluster = Cluster::new(rule.clone(), &start, cfg);
+        cluster.run_to_consensus(10_000_000).expect("consensus").consensus_round
+    })
+}
+
+/// Asserts the two mean consensus times agree within a Welch-style
+/// 5-sigma band on the difference of means.
+fn assert_means_agree(name: &str, condensed: &[u64], agents: &[u64]) {
+    let c = Summary::of_counts(condensed);
+    let a = Summary::of_counts(agents);
+    let tol = 5.0 * (c.std_err().powi(2) + a.std_err().powi(2)).sqrt() + 0.5;
+    assert!(
+        (c.mean() - a.mean()).abs() < tol,
+        "{name}: condensed mean {} vs agents mean {} (tol {tol})",
+        c.mean(),
+        a.mean()
+    );
+}
+
+// ---------------------------------------------------------------------
+// Distributional agreement: condensed vs agent-backed, same law.
+// ---------------------------------------------------------------------
+
+#[test]
+fn condensed_matches_agents_three_majority() {
+    let start = Configuration::uniform(256, 8);
+    let trials = 48;
+    let condensed = times_with_repr(ThreeMajority, &start, trials, 11100, ShardRepr::Histogram);
+    let agents = times_with_repr(ThreeMajority, &start, trials, 11200, ShardRepr::Agents);
+    assert_means_agree("3-Majority", &condensed, &agents);
+}
+
+#[test]
+fn condensed_matches_agents_three_majority_singletons() {
+    // k = n is the worst case for condensation (#occupied = local_n at
+    // the start) and drives the pull gear, the ordered→split dispatch
+    // lifecycle, and the occupancy collapse — the full condensed round
+    // path end to end.
+    let start = Configuration::singletons(96);
+    let trials = 48;
+    let condensed = times_with_repr(ThreeMajority, &start, trials, 11300, ShardRepr::Histogram);
+    let agents = times_with_repr(ThreeMajority, &start, trials, 11400, ShardRepr::Agents);
+    assert_means_agree("3-Majority singletons", &condensed, &agents);
+}
+
+#[test]
+fn condensed_matches_agents_voter() {
+    // Voter consumes single peers: the condensed path is one multinomial
+    // over the union weights per round, no per-node window walk.
+    let start = Configuration::uniform(128, 8);
+    let trials = 48;
+    let condensed = times_with_repr(Voter, &start, trials, 11500, ShardRepr::Histogram);
+    let agents = times_with_repr(Voter, &start, trials, 11600, ShardRepr::Agents);
+    assert_means_agree("Voter", &condensed, &agents);
+}
+
+#[test]
+fn condensed_matches_agents_undecided_dynamics() {
+    // The undecided dynamics carries the UNDECIDED pseudo-opinion
+    // outside the histogram slots; the condensed bookkeeping tracks it
+    // as a separate mass that must flow through palettes, reports and
+    // the closed-form step identically to the agent-backed path.
+    let start = Configuration::from_counts(vec![70, 30]);
+    let trials = 48;
+    let condensed = times_with_repr(UndecidedDynamics, &start, trials, 11700, ShardRepr::Histogram);
+    let agents = times_with_repr(UndecidedDynamics, &start, trials, 11800, ShardRepr::Agents);
+    assert_means_agree("Undecided dynamics", &condensed, &agents);
+}
+
+// ---------------------------------------------------------------------
+// Determinism and seed-exact sub-paths.
+// ---------------------------------------------------------------------
+
+#[test]
+fn condensed_runs_are_deterministic_per_seed() {
+    let start = Configuration::singletons(96);
+    let run = || {
+        Cluster::new(ThreeMajority, &start, ClusterConfig::new(4, 99))
+            .run_to_consensus(1_000_000)
+            .expect("consensus")
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.consensus_round, b.consensus_round);
+    assert_eq!(a.total_messages, b.total_messages);
+    assert_eq!(a.final_config, b.final_config);
+    assert_eq!(trace_digest(&a.trace), trace_digest(&b.trace));
+}
+
+#[test]
+fn ordered_window_downgrade_is_agent_exact() {
+    // 2-Choices consumes an ordered sample window, so a `Histogram`
+    // request arbitrates down to agent-backed shards: the two configs
+    // must produce byte-identical runs, not merely the same law.
+    let start = Configuration::singletons(128);
+    let run = |repr| {
+        let cfg =
+            ClusterConfig::new(3, 7).with_consume_mode(ConsumeMode::Ordered).with_shard_repr(repr);
+        Cluster::new(TwoChoices, &start, cfg).run_horizon(30)
+    };
+    let hist = run(ShardRepr::Histogram);
+    let agents = run(ShardRepr::Agents);
+    assert_eq!(hist.total_messages, agents.total_messages);
+    assert_eq!(hist.final_config, agents.final_config);
+    assert_eq!(trace_digest(&hist.trace), trace_digest(&agents.trace));
+}
+
+#[test]
+fn per_entry_wire_downgrade_is_agent_exact() {
+    // The per-entry wire serves pulls agent-by-agent; a condensed shard
+    // cannot answer it, so the arbitration keeps agents and the runs
+    // coincide exactly.
+    let start = Configuration::uniform(120, 6);
+    let run = |repr| {
+        let cfg = ClusterConfig::new(3, 9).with_wire_mode(WireMode::PerEntry).with_shard_repr(repr);
+        Cluster::new(Voter, &start, cfg).run_horizon(25)
+    };
+    let hist = run(ShardRepr::Histogram);
+    let agents = run(ShardRepr::Agents);
+    assert_eq!(hist.total_messages, agents.total_messages);
+    assert_eq!(hist.final_config, agents.final_config);
+    assert_eq!(trace_digest(&hist.trace), trace_digest(&agents.trace));
+}
+
+// ---------------------------------------------------------------------
+// Fault-layer semantics, mode-identically preserved.
+// ---------------------------------------------------------------------
+
+#[test]
+fn inert_fault_plan_is_trajectory_invisible_under_condensation() {
+    let start = Configuration::uniform(200, 8);
+    let free = Cluster::new(ThreeMajority, &start, ClusterConfig::new(4, 42))
+        .run_to_consensus(1_000_000)
+        .expect("consensus");
+    let inert = Cluster::new(
+        ThreeMajority,
+        &start,
+        ClusterConfig::new(4, 42).with_fault_plan(FaultPlan::none()),
+    )
+    .run_to_consensus(1_000_000)
+    .expect("consensus");
+    assert_eq!(inert.consensus_round, free.consensus_round);
+    assert_eq!(inert.total_messages, free.total_messages);
+    assert_eq!(trace_digest(&inert.trace), trace_digest(&free.trace));
+}
+
+#[test]
+fn condensed_palette_loss_is_recovered_and_conserves_mass() {
+    // Singleton start keeps the fleet in the pull gear, so the dropped
+    // palettes hit the condensed serve path and the shard re-samples the
+    // missing mass from its round-start histogram.
+    let start = Configuration::singletons(96);
+    let plan = FaultPlan::none().with_seed(3).with_palette_rates(0.25, 0.0, 0.0);
+    let out = Cluster::new(ThreeMajority, &start, ClusterConfig::new(4, 17).with_fault_plan(plan))
+        .run_to_consensus(1_000_000)
+        .expect("consensus under palette loss");
+    assert!(out.faults.palettes_dropped > 0);
+    assert!(out.faults.recovered_samples > 0);
+    assert_eq!(out.final_config.n(), 96);
+    assert!(out.final_config.is_consensus());
+}
+
+#[test]
+fn condensed_crash_rejoin_conserves_mass() {
+    // Crash-stop and rejoin on histogram-backed shards: the rejoin body
+    // is installed by copying counts (no dense recount), with the mass
+    // check running over the sparse snapshot.
+    let start = Configuration::uniform(200, 8);
+    let plan = FaultPlan::none()
+        .with_crash(CrashSpec { shard: 2, crash_round: 3, rejoin_round: Some(7) })
+        .with_max_faulty(1);
+    let out = Cluster::new(ThreeMajority, &start, ClusterConfig::new(4, 42).with_fault_plan(plan))
+        .run_to_consensus(1_000_000)
+        .expect("consensus after crash-rejoin");
+    assert_eq!(out.faults.rejoins, 1);
+    assert_eq!(out.final_config.n(), 200);
+    assert!(out.final_config.is_consensus());
+}

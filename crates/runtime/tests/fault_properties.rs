@@ -11,7 +11,7 @@ use symbreak_core::rules::{ThreeMajority, TwoChoices, Voter};
 use symbreak_core::Configuration;
 use symbreak_runtime::{
     ByzantineSpec, Cluster, ClusterConfig, ConsumeMode, CorruptionKind, CrashSpec, FaultKind,
-    FaultPlan, StopReason, WireMode,
+    FaultPlan, ShardRepr, StopReason, WireMode,
 };
 
 /// Order-sensitive fold over the per-round observables; any divergence
@@ -46,8 +46,13 @@ fn inert_plan_is_the_default_config() {
 
 #[test]
 fn golden_three_majority_inert_plan_seed_exact() {
+    // `ShardRepr::Agents` pins the materialized per-agent baseline: an
+    // inert plan on agent-backed shards must replay the pre-condensation
+    // trajectory byte-for-byte.
     let start = Configuration::uniform(200, 8);
-    let config = ClusterConfig::new(4, 42).with_fault_plan(FaultPlan::none());
+    let config = ClusterConfig::new(4, 42)
+        .with_shard_repr(ShardRepr::Agents)
+        .with_fault_plan(FaultPlan::none());
     let out =
         Cluster::new(ThreeMajority, &start, config).run_to_consensus(1_000_000).expect("consensus");
     assert_eq!(out.consensus_round, 20);
@@ -58,6 +63,9 @@ fn golden_three_majority_inert_plan_seed_exact() {
 
 #[test]
 fn golden_two_choices_inert_plan_seed_exact() {
+    // Default `ShardRepr::Histogram` requested, but 2-Choices consumes an
+    // ordered window, so the arbitration downgrades to agent-backed shards
+    // and the PR 6 golden must hold unchanged.
     let start = Configuration::singletons(128);
     let config = ClusterConfig::new(3, 7)
         .with_consume_mode(ConsumeMode::Ordered)
@@ -73,6 +81,8 @@ fn golden_two_choices_inert_plan_seed_exact() {
 
 #[test]
 fn golden_voter_per_entry_inert_plan_seed_exact() {
+    // Per-entry wire forces agent-backed shards regardless of the default
+    // `ShardRepr::Histogram`, so this PR 6 golden must hold unchanged.
     let start = Configuration::uniform(120, 6);
     let config = ClusterConfig::new(3, 9)
         .with_wire_mode(WireMode::PerEntry)
@@ -136,7 +146,11 @@ fn report_duplicates_double_entries_but_not_data_plane() {
 
 #[test]
 fn palette_drops_are_recovered_and_consensus_holds() {
-    let start = Configuration::uniform(200, 8);
+    // Singleton start: the fleet boots in the pull gear (a concentrated
+    // start would arbitrate every round to push, whose loss
+    // compensation is union renormalization, not local re-sampling —
+    // `recovered_samples` is a pull-gear counter).
+    let start = Configuration::singletons(200);
     let plan = FaultPlan::none().with_seed(3).with_palette_rates(0.25, 0.0, 0.0);
     let out = Cluster::new(ThreeMajority, &start, ClusterConfig::new(4, 42).with_fault_plan(plan))
         .run_to_consensus(1_000_000)
@@ -149,7 +163,9 @@ fn palette_drops_are_recovered_and_consensus_holds() {
 
 #[test]
 fn delayed_palettes_are_discarded_and_recovered() {
-    let start = Configuration::uniform(200, 8);
+    // Singleton start for the same reason as above: the delayed-palette
+    // re-sampling path only runs in the pull gear.
+    let start = Configuration::singletons(200);
     let plan = FaultPlan::none().with_seed(3).with_palette_rates(0.0, 0.0, 0.3);
     let out = Cluster::new(ThreeMajority, &start, ClusterConfig::new(4, 42).with_fault_plan(plan))
         .run_to_consensus(1_000_000)
