@@ -124,6 +124,17 @@ fn main() {
             }
         }
 
+        // The transport layer's byte accounting (PR 8): every entry
+        // above rides the versioned frame codec, and the channel
+        // backend counts the exact frame lengths a socket fleet would
+        // write.
+        println!(
+            "wire bytes: {} total = {:.1}/round ({:.2} bytes/entry)",
+            out.wire_bytes,
+            out.wire_bytes as f64 / out.rounds_run as f64,
+            out.wire_bytes as f64 / out.total_messages as f64
+        );
+
         // The delta control plane: once the process stalls, per-round
         // report entries collapse from O(local_n) to O(#changed).
         let tail = &out.report_entries[out.report_entries.len() / 2..];

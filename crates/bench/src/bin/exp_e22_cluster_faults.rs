@@ -97,14 +97,26 @@ fn main() {
         )
         .run_to_consensus(1_000_000)
         .expect("inert-plan consensus");
+        // The byte counters (PR 8's transport layer) must agree exactly
+        // between the two coordinators; every *fault* counter proper
+        // must stay zero.
+        let mut inert_faults = inert.faults;
+        inert_faults.bytes_sent = 0;
+        inert_faults.bytes_received = 0;
         inert_ok &= inert.consensus_round == free.consensus_round
             && inert.total_messages == free.total_messages
             && inert.final_config == free.final_config
-            && inert.faults == Default::default();
+            && inert.faults.bytes_sent == free.faults.bytes_sent
+            && inert.faults.bytes_sent > 0
+            && inert_faults == Default::default();
     }
     println!(
         "FaultPlan::none() vs fault-free over {trials} seeds: {}",
-        if inert_ok { "identical (round, wire count, final config)" } else { "DIVERGED" }
+        if inert_ok {
+            "identical (round, wire count, wire bytes, final config)"
+        } else {
+            "DIVERGED"
+        }
     );
 
     // 2. The sweep.
@@ -118,6 +130,7 @@ fn main() {
         "recovered/trial",
         "quorum rounds",
         "rejected",
+        "wire MB mean",
     ]);
     let mut sweep_ok = true;
     for &drop in &[0.0, 0.1, 0.25] {
@@ -131,6 +144,7 @@ fn main() {
                 let mut consensus = Vec::new();
                 let mut recovery = Vec::new();
                 let mut recovered = Vec::new();
+                let mut wire_bytes = Vec::new();
                 let mut quorum_rounds = 0u64;
                 let mut rejected = 0u64;
                 for t in 0..trials {
@@ -157,6 +171,7 @@ fn main() {
                                 recovery.push(out.consensus_round - last_rejoin);
                             }
                             consensus.push(out.consensus_round);
+                            wire_bytes.push(out.faults.bytes_sent);
                             recovered.push(out.faults.recovered_samples);
                             quorum_rounds += out.faults.quorum_rounds;
                             rejected += out.faults.rejected_reports;
@@ -187,6 +202,11 @@ fn main() {
                     mean(&recovered),
                     quorum_rounds.to_string(),
                     rejected.to_string(),
+                    if wire_bytes.is_empty() {
+                        "-".into()
+                    } else {
+                        fmt_f64(Summary::of_counts(&wire_bytes).mean() / 1e6)
+                    },
                 ]);
             }
         }

@@ -29,6 +29,7 @@ const EXPERIMENTS: &[&str] = &[
     "exp_e21_multiset_wire",
     "exp_e22_cluster_faults",
     "exp_e23_condensed_shards",
+    "exp_e24_transport",
 ];
 
 fn main() {

@@ -33,7 +33,7 @@ fn readme_catalog_covers_every_experiment_binary() {
             missing.push(stem.to_string());
         }
     }
-    assert!(count >= 23, "expected the full E1–E23 experiment set, found {count}");
+    assert!(count >= 24, "expected the full E1–E24 experiment set, found {count}");
     assert!(
         missing.is_empty(),
         "experiment binaries missing from the README catalog table: {missing:?}"

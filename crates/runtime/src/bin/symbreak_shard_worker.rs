@@ -1,0 +1,11 @@
+//! Shard worker process for socket-backed fleets.
+//!
+//! Spawned once per shard by `SocketFleet::launch` (or directly via
+//! `spawn_shard_process`) with `<coordinator-addr> <shard-id>` on the
+//! command line; everything else — sizes, modes, seed, fault plan, rule,
+//! seed body, peer addresses — arrives over the socket in the `Init`
+//! frame. See `symbreak_runtime::transport` for the handshake.
+
+fn main() {
+    symbreak_runtime::transport::shard_process_main();
+}

@@ -56,7 +56,10 @@ use symbreak_sim::trace::{RoundStats, Trace};
 
 use crate::fault::{FaultCounters, FaultKind, FaultPlan, StopReason};
 use crate::message::{Control, DataFormat, ReportBody, ReportFormat, ShardReport};
-use crate::shard::{run_shard, Partition, ShardEndpoints, ShardInit, ShardSpec};
+use crate::shard::{run_shard, Partition, ShardInit, ShardSpec};
+use crate::transport::{
+    ChannelLink, ChannelTransport, CoordinatorLink, FleetSpec, SocketConfig, SocketFleet, WireRule,
+};
 
 /// Per-round report wire format exchanged between shards and the
 /// coordinator.
@@ -277,12 +280,26 @@ pub struct HorizonOutcome {
     /// straggler retransmissions included). This is the series the
     /// delta control plane collapses in the stalled regime.
     pub report_entries: Vec<u64>,
-    /// Why the run ended: consensus, horizon exhausted, or — under an
-    /// active fault plan — a round whose fresh valid attendance fell
-    /// below the `N − F` quorum.
+    /// Why the run ended: consensus, horizon exhausted, a round whose
+    /// fresh valid attendance fell below the `N − F` quorum (active
+    /// fault plans), or a vanished transport endpoint
+    /// ([`StopReason::TransportLost`], socket fleets).
     pub stop: StopReason,
-    /// Fault and degradation observables (all zero for inert plans).
+    /// Fault and degradation observables. The byte counters
+    /// ([`FaultCounters::bytes_sent`] / `bytes_received`) are nonzero
+    /// even for inert plans; the fault counters proper are all zero.
     pub faults: FaultCounters,
+    /// Total wire bytes sent fleet-wide over the whole run, at
+    /// [`crate::codec`] frame sizes (identical to
+    /// [`FaultCounters::bytes_sent`], surfaced as a column so the
+    /// benches can report measured bytes/round next to the entry
+    /// counts). Identical per seed across transport backends under the
+    /// strict barrier (the channel backend counts the frames it
+    /// *would* have written); under an active fault plan the relaxed
+    /// barrier lets next-round messages race the counter sampling, so
+    /// the tally may drift by a few bytes per run when an embedded
+    /// cumulative crosses a varint length boundary — in either backend.
+    pub wire_bytes: u64,
 }
 
 /// A distributed execution of one update rule over sharded node actors.
@@ -403,12 +420,8 @@ impl<R: UpdateRule + Clone + Send> Cluster<R> {
                     debug_assert_eq!(opinions.len(), range.len());
                     ShardInit::Agents(opinions)
                 };
-                let endpoints = ShardEndpoints {
-                    inbox,
-                    peers: peer_senders.clone(),
-                    control,
-                    report: report_tx.clone(),
-                };
+                let transport =
+                    ChannelTransport::new(inbox, peer_senders.clone(), control, report_tx.clone());
                 let rule = rule.clone();
                 let spec = ShardSpec {
                     partition,
@@ -421,7 +434,7 @@ impl<R: UpdateRule + Clone + Send> Cluster<R> {
                     plan: plan.clone(),
                 };
                 scope.spawn(move |_| {
-                    run_shard(shard_id, spec, rule, init, endpoints);
+                    run_shard(shard_id, spec, rule, init, transport);
                 });
             }
             // The coordinator's copies are no longer needed; dropping them
@@ -441,6 +454,7 @@ impl<R: UpdateRule + Clone + Send> Cluster<R> {
             // byte-for-byte (the `fault_properties` goldens pin them).
             let initial_data =
                 if condensed { arbitrate_gear(&merged, shards, n, h) } else { DataFormat::Pull };
+            let mut link = ChannelLink::new(control_txs, report_rx);
             let out = if plan.is_active() {
                 run_coordinator_faulty(
                     rounds,
@@ -452,8 +466,7 @@ impl<R: UpdateRule + Clone + Send> Cluster<R> {
                     merged,
                     &plan,
                     initial_data,
-                    &control_txs,
-                    &report_rx,
+                    &mut link,
                 )
             } else {
                 run_coordinator_exact(
@@ -466,19 +479,123 @@ impl<R: UpdateRule + Clone + Send> Cluster<R> {
                     wire_mode,
                     merged,
                     initial_data,
-                    &control_txs,
-                    &report_rx,
+                    &mut link,
                 )
             };
             // Shut the shards down (crash-stopped shards included: they
             // are blocked on their control channels).
-            for tx in &control_txs {
-                let _ = tx.send(Control::Stop);
+            for s in 0..shards {
+                let _ = link.send_control(s, Control::Stop);
             }
-            drop(control_txs);
+            drop(link);
             out
         })
         .expect("shard thread panicked")
+    }
+}
+
+/// Socket-backed entry points: the same coordinator loops driven over a
+/// fleet of shard *processes* (one per shard, spawned from the worker
+/// binary) instead of in-process threads. Requires [`WireRule`] so the
+/// rule instance can be serialized into each worker's init frame.
+impl<R: WireRule> Cluster<R> {
+    /// Runs exactly `rounds` rounds over a socket fleet — the process-
+    /// per-shard counterpart of [`Cluster::run_horizon`]. Same seed,
+    /// same trajectory, same wire bytes as the channel backend: the
+    /// protocol logic and the RNG streams live in the shard code, which
+    /// is generic over the transport.
+    ///
+    /// # Panics
+    /// Panics if the fleet cannot be launched (bind failure, missing
+    /// worker binary — see [`SocketConfig::worker`]). A peer vanishing
+    /// *after* launch is not a panic: the run aborts with
+    /// [`StopReason::TransportLost`].
+    pub fn run_horizon_socket(self, rounds: u64, socket: &SocketConfig) -> HorizonOutcome {
+        let n = self.start.n() as u32;
+        let k_slots = self.start.num_slots();
+        let shards = self.config.shards;
+        let report_mode = self.config.report_mode;
+        let wire_mode = self.config.wire_mode;
+        let consume_mode = self.config.consume_mode;
+        let plan = self.config.fault_plan;
+        let partition = Partition::new(n, shards);
+        let bodies = shard_bodies(&self.start, &partition);
+        // The same condensation predicate `run_horizon` applies; the
+        // workers re-derive and assert it against their init.
+        let condensed = self.config.shard_repr == ShardRepr::Histogram
+            && wire_mode == WireMode::Batched
+            && consume_mode == ConsumeMode::Native
+            && self.rule.sample_access() != SampleAccess::OrderedWindow;
+        let h = self.rule.sample_count() as u64;
+        let merged = self.start;
+        let initial_data =
+            if condensed { arbitrate_gear(&merged, shards, n, h) } else { DataFormat::Pull };
+        let spec = FleetSpec {
+            n,
+            shards,
+            k_slots,
+            report_mode,
+            wire_mode,
+            consume_mode,
+            repr: self.config.shard_repr,
+            master_seed: self.config.seed,
+            plan: plan.clone(),
+            rule: self.rule.spec(),
+            condensed,
+            bodies: bodies.clone(),
+        };
+        let mut fleet = SocketFleet::launch(&spec, socket).expect("socket fleet launch");
+        let out = if plan.is_active() {
+            run_coordinator_faulty(
+                rounds,
+                n,
+                h,
+                k_slots,
+                partition,
+                &bodies,
+                merged,
+                &plan,
+                initial_data,
+                fleet.link_mut(),
+            )
+        } else {
+            run_coordinator_exact(
+                rounds,
+                n,
+                h,
+                k_slots,
+                shards,
+                report_mode,
+                wire_mode,
+                merged,
+                initial_data,
+                fleet.link_mut(),
+            )
+        };
+        fleet.shutdown();
+        out
+    }
+
+    /// Runs a socket fleet until consensus, or `max_rounds` — the
+    /// process-per-shard counterpart of [`Cluster::run_to_consensus`].
+    // Same Err shape and rationale as `run_to_consensus`.
+    #[allow(clippy::result_large_err)]
+    pub fn run_to_consensus_socket(
+        self,
+        max_rounds: u64,
+        socket: &SocketConfig,
+    ) -> Result<ClusterOutcome, HorizonOutcome> {
+        let out = self.run_horizon_socket(max_rounds, socket);
+        match out.consensus_round {
+            Some(consensus_round) => Ok(ClusterOutcome {
+                consensus_round,
+                final_config: out.final_config,
+                trace: out.trace,
+                total_messages: out.total_messages,
+                faults: out.faults,
+            }),
+            None => Err(out),
+        }
     }
 }
 
@@ -536,8 +653,7 @@ fn run_coordinator_exact(
     wire_mode: WireMode,
     mut merged: Configuration,
     initial_data: DataFormat,
-    control_txs: &[mpsc::Sender<Control>],
-    report_rx: &mpsc::Receiver<ShardReport>,
+    link: &mut dyn CoordinatorLink,
 ) -> HorizonOutcome {
     let mut trace = Trace::new();
     let mut consensus_round = None;
@@ -545,6 +661,14 @@ fn run_coordinator_exact(
     let mut total_messages = 0u64;
     let mut report_entries = Vec::new();
     let mut reports: Vec<ShardReport> = Vec::with_capacity(shards);
+    let mut stop = StopReason::HorizonExhausted;
+    // Per-shard high-water marks of the cumulative wire-byte counters
+    // the reports carry. Each report samples its shard's transport
+    // *before* its own framing, so the last report read is one round
+    // stale on the report-frame bytes; the max over all accepted
+    // reports closes everything but that tail.
+    let mut shard_sent = vec![0u64; shards];
+    let mut shard_received = vec![0u64; shards];
     // The per-round report format: fixed in Sparse/Dense modes,
     // arbitrated on the reported changed-slot counts in Delta
     // mode (start absolute; switch once the changed set is
@@ -562,18 +686,26 @@ fn run_coordinator_exact(
     // Round 1's gear is the caller's: start-arbitrated for
     // condensed fleets, pull-first for agent-backed ones.
     let mut data = initial_data;
-    for round in 1..=rounds {
-        for tx in control_txs {
-            tx.send(Control::Round { round, report: format, data }).expect("shard alive");
+    'rounds: for round in 1..=rounds {
+        for s in 0..shards {
+            if link.send_control(s, Control::Round { round, report: format, data }).is_err() {
+                stop = StopReason::TransportLost;
+                break 'rounds;
+            }
         }
         reports.clear();
         let mut undecided = 0u64;
         let mut entries = 0u64;
         for _ in 0..shards {
-            let report = report_rx.recv().expect("shard reports");
+            let Ok(report) = link.recv_report() else {
+                stop = StopReason::TransportLost;
+                break 'rounds;
+            };
             undecided += report.undecided;
             total_messages += report.messages_sent;
             entries += report.body.entries();
+            shard_sent[report.shard] = shard_sent[report.shard].max(report.bytes_sent);
+            shard_received[report.shard] = shard_received[report.shard].max(report.bytes_received);
             reports.push(report);
         }
         rounds_run = round;
@@ -625,22 +757,25 @@ fn run_coordinator_exact(
         });
         if undecided == 0 && merged.is_consensus() {
             consensus_round = Some(round);
+            stop = StopReason::Consensus;
             break;
         }
     }
+    let faults = FaultCounters {
+        bytes_sent: shard_sent.iter().sum::<u64>() + link.bytes_sent(),
+        bytes_received: shard_received.iter().sum::<u64>() + link.bytes_received(),
+        ..FaultCounters::default()
+    };
     HorizonOutcome {
-        stop: if consensus_round.is_some() {
-            StopReason::Consensus
-        } else {
-            StopReason::HorizonExhausted
-        },
+        stop,
         consensus_round,
         rounds_run,
         final_config: merged,
         trace,
         total_messages,
         report_entries,
-        faults: FaultCounters::default(),
+        wire_bytes: faults.bytes_sent,
+        faults,
     }
 }
 
@@ -683,8 +818,7 @@ fn run_coordinator_faulty(
     mut merged: Configuration,
     plan: &FaultPlan,
     initial_data: DataFormat,
-    control_txs: &[mpsc::Sender<Control>],
-    report_rx: &mpsc::Receiver<ShardReport>,
+    link: &mut dyn CoordinatorLink,
 ) -> HorizonOutcome {
     let shards = partition.shards;
     let quorum =
@@ -707,27 +841,45 @@ fn run_coordinator_faulty(
     let mut faults = FaultCounters::default();
     let mut stop = StopReason::HorizonExhausted;
     let mut seen = vec![false; shards];
+    // High-water marks of the cumulative wire-byte counters (sampled
+    // pre-framing by every report, including duplicates and
+    // stragglers — the max absorbs them all).
+    let mut shard_sent = vec![0u64; shards];
+    let mut shard_received = vec![0u64; shards];
     let mut data = initial_data;
-    for round in 1..=rounds {
+    'rounds: for round in 1..=rounds {
         // Command the round. A shard whose rejoin is due gets the
         // snapshot replay first, then the round command; crashed shards
         // get nothing at all.
-        for (s, tx) in control_txs.iter().enumerate() {
+        for s in 0..shards {
             if plan.is_crashed(s, round) {
                 faults.crash_rounds += 1;
                 continue;
             }
             if plan.crashes.iter().any(|c| c.shard == s && c.rejoin_round == Some(round)) {
                 faults.rejoins += 1;
-                tx.send(Control::Rejoin {
-                    round,
-                    body: last_body[s].clone(),
-                    undecided: last_undecided[s],
-                })
-                .expect("shard alive");
+                if link
+                    .send_control(
+                        s,
+                        Control::Rejoin {
+                            round,
+                            body: last_body[s].clone(),
+                            undecided: last_undecided[s],
+                        },
+                    )
+                    .is_err()
+                {
+                    stop = StopReason::TransportLost;
+                    break 'rounds;
+                }
             }
-            tx.send(Control::Round { round, report: ReportFormat::Sparse, data })
-                .expect("shard alive");
+            if link
+                .send_control(s, Control::Round { round, report: ReportFormat::Sparse, data })
+                .is_err()
+            {
+                stop = StopReason::TransportLost;
+                break 'rounds;
+            }
         }
 
         // Tally the round's planned palette faults (the shards decide
@@ -786,10 +938,15 @@ fn run_coordinator_faulty(
         let mut attendance = 0usize;
         let mut entries = 0u64;
         for _ in 0..expected {
-            let rep = report_rx.recv().expect("shard reports");
+            let Ok(rep) = link.recv_report() else {
+                stop = StopReason::TransportLost;
+                break 'rounds;
+            };
             let s = rep.shard;
             assert!(rep.round <= round, "report from the future");
             entries += rep.body.entries();
+            shard_sent[s] = shard_sent[s].max(rep.bytes_sent);
+            shard_received[s] = shard_received[s].max(rep.bytes_received);
             if plan.byzantine_spec(s).is_some() {
                 faults.byzantine_reports += 1;
             }
@@ -882,6 +1039,8 @@ fn run_coordinator_faulty(
             break;
         }
     }
+    faults.bytes_sent = shard_sent.iter().sum::<u64>() + link.bytes_sent();
+    faults.bytes_received = shard_received.iter().sum::<u64>() + link.bytes_received();
     HorizonOutcome {
         consensus_round,
         rounds_run,
@@ -890,6 +1049,7 @@ fn run_coordinator_faulty(
         total_messages,
         report_entries,
         stop,
+        wire_bytes: faults.bytes_sent,
         faults,
     }
 }

@@ -337,6 +337,12 @@ pub enum StopReason {
     /// A round's fresh valid report attendance fell below the `N − F`
     /// quorum: the run degraded past the plan's tolerance and aborted.
     TooManyFaults,
+    /// A transport endpoint vanished mid-run (a worker process died,
+    /// a socket closed): the coordinator aborted like
+    /// [`StopReason::TooManyFaults`] and sent Stop to the live shards.
+    /// Distinct from injected faults, which are shared decisions and
+    /// never sever a connection.
+    TransportLost,
 }
 
 /// Per-run fault and degradation observables, so degraded operation is
@@ -370,6 +376,16 @@ pub struct FaultCounters {
     /// Rounds the barrier closed below full attendance (quorum-relaxed
     /// rounds).
     pub quorum_rounds: u64,
+    /// Total wire bytes sent fleet-wide, at [`crate::codec`] frame
+    /// sizes: every shard's data-plane and report frames (including
+    /// frames the fault plan transmitted-and-lost) plus the
+    /// coordinator's control frames. Nonzero even for inert plans —
+    /// this pair measures the wire, not the faults.
+    pub bytes_sent: u64,
+    /// Total wire bytes received fleet-wide. Differs from `bytes_sent`
+    /// by exactly the frames that were sent but never delivered
+    /// (injected drops/delays, reports cut off by an abort).
+    pub bytes_received: u64,
 }
 
 #[cfg(test)]

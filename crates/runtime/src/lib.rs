@@ -58,6 +58,17 @@
 //!   [`FaultCounters`]. Every fault decision is a stateless hash shared
 //!   by sender, receiver, and coordinator, so degraded runs stay
 //!   deterministic and deadlock-free (see [`fault`]).
+//! * **Transport layer** ([`transport`]) — every shard↔shard and
+//!   shard↔coordinator message crosses a [`transport::Transport`] /
+//!   coordinator-link abstraction with a compact versioned byte
+//!   [`codec`] (little-endian, varint counts, round-tagged frame
+//!   headers). Two backends: in-process channels (the default — counts
+//!   frame bytes without serializing, byte-identical per seed to the
+//!   pre-codec runtime) and Unix-domain/TCP sockets
+//!   ([`Cluster::run_horizon_socket`]), where the fleet runs as one OS
+//!   process per shard spawned from a worker binary
+//!   ([`transport::shard_process_main`]). A vanished peer aborts the
+//!   run with [`StopReason::TransportLost`] instead of deadlocking.
 //!
 //! [`Configuration`]: symbreak_core::Configuration
 //!
@@ -98,9 +109,11 @@
 //! ```
 
 pub mod cluster;
+pub mod codec;
 pub mod fault;
 pub mod message;
 pub mod shard;
+pub mod transport;
 
 pub use cluster::{
     Cluster, ClusterConfig, ClusterOutcome, ConsumeMode, HorizonOutcome, ReportMode, ShardRepr,
@@ -112,4 +125,8 @@ pub use fault::{
 pub use message::{
     DataFormat, OpinionPalette, PullBatch, ReportBody, ReportFormat, Request, ShardMessage,
     TargetRun,
+};
+pub use transport::{
+    shard_process_main, spawn_shard_process, RuleSpec, SocketConfig, Transport, TransportAddr,
+    TransportLost, WireRule,
 };

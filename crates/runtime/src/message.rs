@@ -374,6 +374,16 @@ pub struct ShardReport {
     /// `None` in modes that do not track. The coordinator arbitrates
     /// the sparse↔delta switch on this.
     pub changed_slots: Option<u64>,
+    /// Cumulative wire bytes this shard has sent over its
+    /// [`crate::transport::Transport`], at [`crate::codec`] frame
+    /// sizes, sampled after this round's exchange and before this
+    /// report itself is framed (so a report's own bytes land in the
+    /// *next* report — a one-round tail the coordinator's final sum
+    /// closes by taking the per-shard maximum it ever saw).
+    pub bytes_sent: u64,
+    /// Cumulative wire bytes received (data plane plus control frames),
+    /// sampled at the same point as `bytes_sent`.
+    pub bytes_received: u64,
 }
 
 #[cfg(test)]

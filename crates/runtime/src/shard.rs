@@ -85,8 +85,6 @@
 //! dedicated RNG stream. The fault-free paths are byte-identical to
 //! the inert-plan cluster.
 
-use std::sync::mpsc::{Receiver, Sender};
-
 use rand::{Rng, SeedableRng};
 
 use symbreak_core::{Opinion, SampleAccess, UpdateRule};
@@ -106,6 +104,7 @@ use crate::message::{
     Control, DataFormat, OpinionPalette, PullBatch, Reply, ReportBody, ReportFormat, Request,
     ShardMessage, ShardReport, TargetRun,
 };
+use crate::transport::{Transport, TransportLost};
 
 /// Node-ownership partition: shard `i` owns global ids
 /// `[i·chunk, min((i+1)·chunk, n))`.
@@ -138,14 +137,6 @@ impl Partition {
     }
 }
 
-/// Channel endpoints handed to a shard thread.
-pub(crate) struct ShardEndpoints {
-    pub inbox: Receiver<ShardMessage>,
-    pub peers: Vec<Sender<ShardMessage>>,
-    pub control: Receiver<Control>,
-    pub report: Sender<ShardReport>,
-}
-
 /// Static per-run parameters shared by every shard.
 ///
 /// `k_slots` is the number of color slots reported back to the
@@ -171,18 +162,26 @@ pub(crate) enum ShardInit {
     Histogram(Vec<(u32, u64)>),
 }
 
-/// Runs one shard to completion.
-pub(crate) fn run_shard<R: UpdateRule>(
+/// Runs one shard to completion over any [`Transport`]. A lost
+/// endpoint — a dead peer process, a vanished coordinator — aborts the
+/// current round and exits the worker cleanly (the loss cascades to
+/// the rest of the fleet through their own transports; see
+/// [`crate::transport`]).
+pub(crate) fn run_shard<R: UpdateRule, T: Transport>(
     shard_id: usize,
     spec: ShardSpec,
     rule: R,
     init: ShardInit,
-    endpoints: ShardEndpoints,
+    transport: T,
 ) {
-    let mut worker = Worker::new(shard_id, spec, rule, init, endpoints);
+    let mut worker = Worker::new(shard_id, spec, rule, init, transport);
     loop {
-        match worker.endpoints.control.recv() {
-            Ok(Control::Round { round, report, data }) => worker.round(round, report, data),
+        match worker.transport.recv_control() {
+            Ok(Control::Round { round, report, data }) => {
+                if worker.round(round, report, data).is_err() {
+                    break;
+                }
+            }
             Ok(Control::Rejoin { round, body, undecided }) => {
                 worker.rejoin(round, &body, undecided)
             }
@@ -287,7 +286,7 @@ impl FenwickPool {
 
 /// One shard's mutable round state: the owned opinions plus every
 /// reusable buffer of both wire modes and the report formats.
-struct Worker<R> {
+struct Worker<R, T> {
     shard_id: usize,
     partition: Partition,
     k_slots: usize,
@@ -302,7 +301,7 @@ struct Worker<R> {
     /// The materialized agent vector — empty on a condensed shard,
     /// which holds its whole state in `hist` + `hist_undecided`.
     opinions: Vec<Opinion>,
-    endpoints: ShardEndpoints,
+    transport: T,
     rng: Pcg64,
     h: usize,
     lo: u32,
@@ -405,14 +404,8 @@ struct Worker<R> {
     byz_rng: Option<Pcg64>,
 }
 
-impl<R: UpdateRule> Worker<R> {
-    fn new(
-        shard_id: usize,
-        spec: ShardSpec,
-        rule: R,
-        init: ShardInit,
-        endpoints: ShardEndpoints,
-    ) -> Self {
+impl<R: UpdateRule, T: Transport> Worker<R, T> {
+    fn new(shard_id: usize, spec: ShardSpec, rule: R, init: ShardInit, transport: T) -> Self {
         let ShardSpec {
             partition,
             k_slots,
@@ -560,7 +553,7 @@ impl<R: UpdateRule> Worker<R> {
             },
             plan,
             opinions,
-            endpoints,
+            transport,
         };
         if tracking {
             // The round-0 baseline the first delta report is relative to.
@@ -645,7 +638,12 @@ impl<R: UpdateRule> Worker<R> {
         );
     }
 
-    fn round(&mut self, round: u64, format: ReportFormat, data: DataFormat) {
+    fn round(
+        &mut self,
+        round: u64,
+        format: ReportFormat,
+        data: DataFormat,
+    ) -> Result<(), TransportLost> {
         self.round_no = round;
         let faulty = self.plan.is_active();
         let mut messages_sent = std::mem::take(&mut self.carry_messages);
@@ -655,14 +653,14 @@ impl<R: UpdateRule> Worker<R> {
         match (self.wire_mode, data, self.access) {
             (WireMode::PerEntry, _, _) => {
                 debug_assert!(!faulty, "fault plans require the batched wire");
-                self.pull_per_entry(&mut messages_sent);
+                self.pull_per_entry(&mut messages_sent)?;
                 self.apply_ordered_windows();
             }
             (WireMode::Batched, DataFormat::Pull, access) => {
                 if faulty {
-                    self.pull_exchange_faulty(&mut messages_sent);
+                    self.pull_exchange_faulty(&mut messages_sent)?;
                 } else {
-                    self.pull_exchange(&mut messages_sent);
+                    self.pull_exchange(&mut messages_sent)?;
                 }
                 match (self.condensed, access) {
                     (false, SampleAccess::OrderedWindow) => {
@@ -680,9 +678,9 @@ impl<R: UpdateRule> Worker<R> {
             }
             (WireMode::Batched, DataFormat::Push, access) => {
                 if faulty {
-                    self.push_exchange_faulty(&mut messages_sent);
+                    self.push_exchange_faulty(&mut messages_sent)?;
                 } else {
-                    self.push_exchange(&mut messages_sent);
+                    self.push_exchange(&mut messages_sent)?;
                 }
                 match (self.condensed, access) {
                     (false, SampleAccess::OrderedWindow) => {
@@ -709,6 +707,12 @@ impl<R: UpdateRule> Worker<R> {
             );
         }
 
+        // Sample the wire counters after the exchange and before the
+        // report itself is framed: a report's own bytes land in the
+        // next round's report (the coordinator's per-shard maximum
+        // closes the one-round tail at shutdown).
+        let wire_sent = self.transport.bytes_sent();
+        let wire_received = self.transport.bytes_received();
         let (mut body, undecided, changed_slots) = self.build_report(format);
         if faulty {
             self.corrupt_report_if_byzantine(&mut body);
@@ -721,27 +725,32 @@ impl<R: UpdateRule> Worker<R> {
             messages_sent,
             recovered: std::mem::take(&mut self.recovered),
             changed_slots,
+            bytes_sent: wire_sent,
+            bytes_received: wire_received,
         };
         if !faulty {
-            self.endpoints.report.send(report).expect("coordinator alive");
-            return;
+            self.transport.send_report(report);
+            return Ok(());
         }
         match self.plan.report_fault(round, self.shard_id) {
-            None => self.endpoints.report.send(report).expect("coordinator alive"),
+            None => self.transport.send_report(report),
             Some(FaultKind::Drop) => {
                 // Transmitted and lost: carry the wire tally forward so
-                // the next report accounts for this round's traffic.
+                // the next report accounts for this round's traffic,
+                // and count the lost frame's bytes as sent.
+                self.transport.count_lost_report(&report);
                 self.carry_messages += report.messages_sent;
             }
             Some(FaultKind::Duplicate) => {
-                self.endpoints.report.send(report.clone()).expect("coordinator alive");
-                self.endpoints.report.send(report).expect("coordinator alive");
+                self.transport.send_report(report.clone());
+                self.transport.send_report(report);
             }
             Some(FaultKind::Delay) => {
                 debug_assert!(self.delayed_report.is_none(), "one delayed report at a time");
                 self.delayed_report = Some(report);
             }
         }
+        Ok(())
     }
 
     /// Sends the report the fault plan held back last round: the
@@ -750,7 +759,7 @@ impl<R: UpdateRule> Worker<R> {
     /// stash: the worker clears it on rejoin, not here.
     fn flush_delayed(&mut self) {
         if let Some(report) = self.delayed_report.take() {
-            self.endpoints.report.send(report).expect("coordinator alive");
+            self.transport.send_report(report);
         }
     }
 
@@ -826,7 +835,7 @@ impl<R: UpdateRule> Worker<R> {
     }
 
     /// The PR 3 data plane: one [`Request`]/[`Reply`] entry per pull.
-    fn pull_per_entry(&mut self, messages_sent: &mut u64) {
+    fn pull_per_entry(&mut self, messages_sent: &mut u64) -> Result<(), TransportLost> {
         let local_n = self.opinions.len();
         let shards = self.partition.shards;
         // Freeze the round-start snapshot (synchrony: replies quote it).
@@ -849,9 +858,7 @@ impl<R: UpdateRule> Worker<R> {
         for (dest, out) in self.outgoing.iter_mut().enumerate() {
             let batch = std::mem::replace(out, self.request_pool.pop().unwrap_or_default());
             *messages_sent += batch.len() as u64;
-            self.endpoints.peers[dest]
-                .send(ShardMessage::Requests(batch))
-                .expect("peer shard alive");
+            self.transport.send(dest, ShardMessage::Requests(batch));
         }
 
         // Serve requests as they arrive and absorb replies until both
@@ -861,7 +868,7 @@ impl<R: UpdateRule> Worker<R> {
         let expected_replies = local_n * self.h;
         let mut replies_received = 0usize;
         while request_batches < shards || replies_received < expected_replies {
-            match self.endpoints.inbox.recv().expect("cluster channels alive") {
+            match self.transport.recv()? {
                 ShardMessage::Requests(mut batch) => {
                     request_batches += 1;
                     for req in batch.drain(..) {
@@ -880,9 +887,7 @@ impl<R: UpdateRule> Worker<R> {
                         let replies =
                             std::mem::replace(out, self.reply_pool.pop().unwrap_or_default());
                         *messages_sent += replies.len() as u64;
-                        self.endpoints.peers[dest]
-                            .send(ShardMessage::Replies(replies))
-                            .expect("peer shard alive");
+                        self.transport.send(dest, ShardMessage::Replies(replies));
                     }
                 }
                 ShardMessage::Replies(mut batch) => {
@@ -896,6 +901,7 @@ impl<R: UpdateRule> Worker<R> {
                 _ => unreachable!("batched message on a per-entry cluster"),
             }
         }
+        Ok(())
     }
 
     /// Applies the update rule to the dealt sample windows, in
@@ -914,7 +920,7 @@ impl<R: UpdateRule> Worker<R> {
     /// one [`OpinionPalette`] per peer per round. Ends with this round's
     /// palettes parked in `recv_palettes`, consumption left to the
     /// [`SampleAccess`]-dispatched caller.
-    fn pull_exchange(&mut self, messages_sent: &mut u64) {
+    fn pull_exchange(&mut self, messages_sent: &mut u64) -> Result<(), TransportLost> {
         let local_n = self.local_n;
         let shards = self.partition.shards;
         let total = (local_n * self.h) as u64;
@@ -935,13 +941,14 @@ impl<R: UpdateRule> Worker<R> {
                 runs.push(TargetRun { start: 0, len, count: m });
             }
             *messages_sent += runs.len() as u64;
-            self.endpoints.peers[dest]
-                .send(ShardMessage::Pull(PullBatch {
+            self.transport.send(
+                dest,
+                ShardMessage::Pull(PullBatch {
                     origin: self.shard_id as u32,
                     round: self.round_no,
                     target_runs: runs,
-                }))
-                .expect("peer shard alive");
+                }),
+            );
         }
 
         // Absorb this round's pulls and palettes. Pull batches are
@@ -955,7 +962,7 @@ impl<R: UpdateRule> Worker<R> {
         let mut pulls = 0usize;
         let mut palettes = 0usize;
         while pulls < shards || palettes < shards {
-            match self.endpoints.inbox.recv().expect("cluster channels alive") {
+            match self.transport.recv()? {
                 ShardMessage::Pull(batch) => {
                     assert!(pulls < shards, "round lockstep: unexpected extra pull batch");
                     pulls += 1;
@@ -978,6 +985,7 @@ impl<R: UpdateRule> Worker<R> {
         for &i in &self.snap_touched {
             self.snap_counts[i as usize] = 0;
         }
+        Ok(())
     }
 
     /// Reconstitutes per-node samples from the received palettes: deals
@@ -1342,7 +1350,7 @@ impl<R: UpdateRule> Worker<R> {
     /// node within it) — into the parallel `alias_weights` /
     /// `alias_values` scratch. Sampling from the union is left to the
     /// [`SampleAccess`]-dispatched caller.
-    fn push_exchange(&mut self, messages_sent: &mut u64) {
+    fn push_exchange(&mut self, messages_sent: &mut u64) -> Result<(), TransportLost> {
         let shards = self.partition.shards;
 
         // Round-start local opinion histogram (shared scratch with the
@@ -1369,7 +1377,7 @@ impl<R: UpdateRule> Worker<R> {
                 runs: pruns,
             };
             *messages_sent += (msg.palette.len() + msg.runs.len()) as u64;
-            self.endpoints.peers[dest].send(ShardMessage::Palette(msg)).expect("peer shard alive");
+            self.transport.send(dest, ShardMessage::Palette(msg));
         }
         // Reset the scratch fully: the union merge below re-tallies
         // into it and must start from an empty touched list.
@@ -1384,7 +1392,7 @@ impl<R: UpdateRule> Worker<R> {
         // no pulls at all).
         let mut palettes = 0usize;
         while palettes < shards {
-            match self.endpoints.inbox.recv().expect("cluster channels alive") {
+            match self.transport.recv()? {
                 ShardMessage::Palette(p) => {
                     assert!(
                         self.recv_palettes[p.origin as usize].is_none(),
@@ -1398,6 +1406,7 @@ impl<R: UpdateRule> Worker<R> {
         }
 
         self.union_palettes();
+        Ok(())
     }
 
     /// Unions the received push histograms — deduplicated through the
@@ -1453,7 +1462,7 @@ impl<R: UpdateRule> Worker<R> {
     /// arrived (the plan-derived expected counts are exact), so no
     /// shard ever advances past a round with its traffic still in
     /// flight — asserted, not assumed.
-    fn recv_current(&mut self) -> ShardMessage {
+    fn recv_current(&mut self) -> Result<ShardMessage, TransportLost> {
         fn tag(msg: &ShardMessage) -> u64 {
             match msg {
                 ShardMessage::Pull(b) => b.round,
@@ -1462,13 +1471,13 @@ impl<R: UpdateRule> Worker<R> {
             }
         }
         if let Some(i) = self.pending.iter().position(|m| tag(m) == self.round_no) {
-            return self.pending.swap_remove(i);
+            return Ok(self.pending.swap_remove(i));
         }
         loop {
-            let msg = self.endpoints.inbox.recv().expect("cluster channels alive");
+            let msg = self.transport.recv()?;
             let t = tag(&msg);
             if t == self.round_no {
-                return msg;
+                return Ok(msg);
             }
             assert!(t > self.round_no, "stale round-{t} message in round {}", self.round_no);
             self.pending.push(msg);
@@ -1516,19 +1525,18 @@ impl<R: UpdateRule> Worker<R> {
         match self.plan.palette_fault(self.round_no, self.shard_id, dest) {
             None | Some(FaultKind::Delay) => {
                 *messages_sent += wire;
-                self.endpoints.peers[dest]
-                    .send(ShardMessage::Palette(palette))
-                    .expect("peer shard alive");
+                self.transport.send(dest, ShardMessage::Palette(palette));
             }
-            Some(FaultKind::Drop) => *messages_sent += wire,
+            Some(FaultKind::Drop) => {
+                // Transmitted and lost: the entries and the frame bytes
+                // both count as sent, nothing is delivered.
+                *messages_sent += wire;
+                self.transport.count_lost(&ShardMessage::Palette(palette));
+            }
             Some(FaultKind::Duplicate) => {
                 *messages_sent += 2 * wire;
-                self.endpoints.peers[dest]
-                    .send(ShardMessage::Palette(palette.clone()))
-                    .expect("peer shard alive");
-                self.endpoints.peers[dest]
-                    .send(ShardMessage::Palette(palette))
-                    .expect("peer shard alive");
+                self.transport.send(dest, ShardMessage::Palette(palette.clone()));
+                self.transport.send(dest, ShardMessage::Palette(palette));
             }
         }
     }
@@ -1542,7 +1550,7 @@ impl<R: UpdateRule> Worker<R> {
     /// by re-sampling the requested draw count from this shard's own
     /// round-start opinions (counted as `recovered`), so the sample
     /// mass stays exact and every consumption path runs unchanged.
-    fn pull_exchange_faulty(&mut self, messages_sent: &mut u64) {
+    fn pull_exchange_faulty(&mut self, messages_sent: &mut u64) -> Result<(), TransportLost> {
         let local_n = self.local_n;
         let shards = self.partition.shards;
         let round = self.round_no;
@@ -1579,19 +1587,20 @@ impl<R: UpdateRule> Worker<R> {
                 runs.push(TargetRun { start: 0, len, count: m });
             }
             *messages_sent += runs.len() as u64;
-            self.endpoints.peers[peer]
-                .send(ShardMessage::Pull(PullBatch {
+            self.transport.send(
+                peer,
+                ShardMessage::Pull(PullBatch {
                     origin: self.shard_id as u32,
                     round,
                     target_runs: runs,
-                }))
-                .expect("peer shard alive");
+                }),
+            );
         }
 
         let mut pulls = 0usize;
         let mut palettes = 0usize;
         while pulls < expected_pulls || palettes < expected_palettes {
-            match self.recv_current() {
+            match self.recv_current()? {
                 ShardMessage::Pull(batch) => {
                     pulls += 1;
                     let origin = batch.origin as usize;
@@ -1675,6 +1684,7 @@ impl<R: UpdateRule> Worker<R> {
         for &i in &self.snap_touched {
             self.snap_counts[i as usize] = 0;
         }
+        Ok(())
     }
 
     /// Fault-aware push exchange: the broadcast skips crashed peers,
@@ -1683,7 +1693,7 @@ impl<R: UpdateRule> Worker<R> {
     /// survived (see [`Worker::union_palettes`]) — push rounds have no
     /// sample-mass contract to restore, so lost histograms reweight
     /// rather than recover.
-    fn push_exchange_faulty(&mut self, messages_sent: &mut u64) {
+    fn push_exchange_faulty(&mut self, messages_sent: &mut u64) -> Result<(), TransportLost> {
         let shards = self.partition.shards;
         let round = self.round_no;
 
@@ -1719,7 +1729,7 @@ impl<R: UpdateRule> Worker<R> {
 
         let mut palettes = 0usize;
         while palettes < expected_palettes {
-            match self.recv_current() {
+            match self.recv_current()? {
                 ShardMessage::Palette(p) => {
                     palettes += 1;
                     self.absorb_palette(p);
@@ -1729,6 +1739,7 @@ impl<R: UpdateRule> Worker<R> {
         }
 
         self.union_palettes();
+        Ok(())
     }
 
     /// Rewrites this shard's report body if the plan marks it
@@ -1952,9 +1963,7 @@ impl<R: UpdateRule> Worker<R> {
     fn serve_batch(&mut self, batch: &PullBatch, messages_sent: &mut u64) {
         let palette = self.build_palette(batch);
         *messages_sent += (palette.palette.len() + palette.runs.len()) as u64;
-        self.endpoints.peers[batch.origin as usize]
-            .send(ShardMessage::Palette(palette))
-            .expect("peer shard alive");
+        self.transport.send(batch.origin as usize, ShardMessage::Palette(palette));
     }
 
     /// Samples the palette answering one pull batch from the round-start

@@ -1,0 +1,312 @@
+//! Codec round-trip properties: every wire variant survives
+//! encode → decode bit-exactly, every `*_len` accounting function
+//! agrees with its encoder to the byte, and malformed frames (bad
+//! magic, bad version, unknown kind, truncation) are rejected rather
+//! than misinterpreted. These are the invariants the transport layer's
+//! byte parity rests on: the channel backend *counts* with the `_len`
+//! functions while the socket backend *writes* with the encoders.
+//!
+//! The vendored proptest subset has no `prop_oneof`/`any`, so variant
+//! coverage is driven by selector integers mapped onto constructors:
+//! each raw tuple deterministically builds one variant, and the
+//! full-range `0..=u64::MAX` draws cover the max-varint extremes.
+
+use proptest::prelude::*;
+use symbreak_core::Opinion;
+use symbreak_runtime::codec::{
+    control_len, decode_control, decode_frame, decode_report, decode_shard_message, encode_control,
+    encode_report, encode_shard_message, read_frame, report_len, shard_message_len, unzigzag,
+    varint_len, zigzag, FrameKind, WireError, WIRE_MAGIC, WIRE_VERSION,
+};
+use symbreak_runtime::message::{Control, Reply, ShardReport};
+use symbreak_runtime::{
+    DataFormat, OpinionPalette, PullBatch, ReportBody, ReportFormat, Request, ShardMessage,
+    TargetRun,
+};
+
+// ---------------------------------------------------------------------
+// Deterministic constructors from raw draws.
+// ---------------------------------------------------------------------
+
+/// Opinions including the undecided sentinel and the largest legal
+/// color (`u32::MAX - 1`, a five-byte varint after the `+1` shift).
+fn opinion_from(code: u64) -> Opinion {
+    match code % 66 {
+        0 => Opinion::UNDECIDED,
+        65 => Opinion::new(u32::MAX - 1),
+        c => Opinion::new(c as u32),
+    }
+}
+
+/// One data-plane message from a variant selector and raw entry draws:
+/// `sel % 4` picks the variant, each `(a, b, c)` triple becomes one
+/// entry. An empty `raw` exercises the empty batch / empty palette
+/// shapes (a crashed peer's empty answer).
+fn shard_message_from(sel: u64, origin: u32, round: u64, raw: &[(u64, u64, u64)]) -> ShardMessage {
+    match sel % 4 {
+        0 => ShardMessage::Requests(
+            raw.iter()
+                .map(|&(a, b, c)| Request { target: a as u32, requester: b as u32, slot: c as u8 })
+                .collect(),
+        ),
+        1 => ShardMessage::Replies(
+            raw.iter()
+                .map(|&(a, b, c)| Reply {
+                    requester: a as u32,
+                    slot: b as u8,
+                    opinion: opinion_from(c),
+                })
+                .collect(),
+        ),
+        2 => ShardMessage::Pull(PullBatch {
+            origin,
+            round,
+            target_runs: raw
+                .iter()
+                .map(|&(a, b, c)| TargetRun { start: a as u32, len: b as u32, count: c })
+                .collect(),
+        }),
+        _ => {
+            let palette: Vec<Opinion> = raw.iter().map(|&(a, _, _)| opinion_from(a)).collect();
+            // Run indices must stay in palette range; an empty palette
+            // (encodable — the receiver sees zero drawn targets) forces
+            // an empty run list.
+            let runs = if palette.is_empty() {
+                Vec::new()
+            } else {
+                raw.iter().map(|&(_, b, c)| ((b % palette.len() as u64) as u32, c)).collect()
+            };
+            ShardMessage::Palette(OpinionPalette { origin, round, palette, runs })
+        }
+    }
+}
+
+/// One control message: `sel % 8` covers all six `Round` format
+/// combinations (three report formats × two data gears), `Rejoin`, and
+/// `Stop`.
+fn control_from(sel: u64, round: u64, body: &[(u64, u64)], undecided: u64) -> Control {
+    match sel % 8 {
+        s @ 0..=5 => Control::Round {
+            round,
+            report: match s % 3 {
+                0 => ReportFormat::Sparse,
+                1 => ReportFormat::Delta,
+                _ => ReportFormat::Dense,
+            },
+            data: if s < 3 { DataFormat::Pull } else { DataFormat::Push },
+        },
+        6 => Control::Rejoin {
+            round,
+            body: body.iter().map(|&(slot, c)| (slot as u32, c)).collect(),
+            undecided,
+        },
+        _ => Control::Stop,
+    }
+}
+
+/// One shard report: `sel % 3` picks the body encoding; the delta body
+/// reinterprets the raw `u64`s through `unzigzag`, covering the full
+/// signed range including `i64::MIN`/`i64::MAX`.
+fn report_from(
+    sel: u64,
+    shard: usize,
+    round: u64,
+    raw: &[(u64, u64)],
+    tallies: (u64, u64, u64),
+    extras: (u64, u64, u64),
+) -> ShardReport {
+    let body = match sel % 3 {
+        0 => ReportBody::Sparse(raw.iter().map(|&(s, c)| (s as u32, c)).collect()),
+        1 => ReportBody::Delta(raw.iter().map(|&(s, d)| (s as u32, unzigzag(d))).collect()),
+        _ => ReportBody::Dense(raw.iter().map(|&(_, c)| c).collect()),
+    };
+    let (undecided, messages_sent, recovered) = tallies;
+    let (changed, bytes_sent, bytes_received) = extras;
+    ShardReport {
+        shard,
+        round,
+        body,
+        undecided,
+        messages_sent,
+        recovered,
+        changed_slots: if changed % 2 == 0 { None } else { Some(changed >> 1) },
+        bytes_sent,
+        bytes_received,
+    }
+}
+
+const FULL: std::ops::RangeInclusive<u64> = 0..=u64::MAX;
+
+// ---------------------------------------------------------------------
+// Round trips and length accounting.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn shard_messages_round_trip(
+        sel in FULL,
+        origin in 0u32..=u32::MAX,
+        round in FULL,
+        raw in proptest::collection::vec((FULL, FULL, FULL), 0..16),
+    ) {
+        let msg = shard_message_from(sel, origin, round, &raw);
+        let mut buf = Vec::new();
+        encode_shard_message(&msg, &mut buf);
+        prop_assert_eq!(shard_message_len(&msg), buf.len() as u64, "len fn must match encoder");
+        let (frame, consumed) = decode_frame(&buf).expect("well-formed frame");
+        prop_assert_eq!(consumed, buf.len());
+        prop_assert_eq!(frame.wire_len(), buf.len() as u64);
+        prop_assert_eq!(decode_shard_message(&frame).expect("decodes"), msg);
+    }
+
+    #[test]
+    fn controls_round_trip(
+        sel in FULL,
+        round in FULL,
+        body in proptest::collection::vec((0u64..=u64::from(u32::MAX), FULL), 0..10),
+        undecided in FULL,
+    ) {
+        let ctrl = control_from(sel, round, &body, undecided);
+        let mut buf = Vec::new();
+        encode_control(&ctrl, &mut buf);
+        prop_assert_eq!(control_len(&ctrl), buf.len() as u64);
+        let (frame, consumed) = decode_frame(&buf).expect("well-formed frame");
+        prop_assert_eq!(consumed, buf.len());
+        prop_assert_eq!(decode_control(&frame).expect("decodes"), ctrl);
+    }
+
+    #[test]
+    fn reports_round_trip(
+        sel in FULL,
+        shard in 0usize..10_000,
+        round in FULL,
+        raw in proptest::collection::vec((0u64..=u64::from(u32::MAX), FULL), 0..10),
+        scalars in ((FULL, FULL, FULL), (FULL, FULL, FULL)),
+    ) {
+        let rep = report_from(sel, shard, round, &raw, scalars.0, scalars.1);
+        let mut buf = Vec::new();
+        encode_report(&rep, &mut buf);
+        prop_assert_eq!(report_len(&rep), buf.len() as u64);
+        let (frame, consumed) = decode_frame(&buf).expect("well-formed frame");
+        prop_assert_eq!(consumed, buf.len());
+        prop_assert_eq!(decode_report(&frame).expect("decodes"), rep);
+    }
+
+    /// The stream reader agrees with the slice decoder, including on
+    /// back-to-back frames (no framing drift).
+    #[test]
+    fn stream_reader_matches_slice_decoder(
+        sels in proptest::collection::vec((FULL, FULL), 1..5),
+        raw in proptest::collection::vec((FULL, FULL, FULL), 0..8),
+    ) {
+        let msgs: Vec<ShardMessage> = sels
+            .iter()
+            .map(|&(sel, round)| shard_message_from(sel, (sel >> 32) as u32, round, &raw))
+            .collect();
+        let mut buf = Vec::new();
+        for msg in &msgs {
+            encode_shard_message(msg, &mut buf);
+        }
+        let mut stream = std::io::Cursor::new(buf);
+        for msg in &msgs {
+            let frame = read_frame(&mut stream).expect("io ok").expect("frame present");
+            prop_assert_eq!(&decode_shard_message(&frame).expect("decodes"), msg);
+        }
+        prop_assert!(read_frame(&mut stream).expect("io ok").is_none(), "clean EOF");
+    }
+
+    /// Truncating a frame anywhere strictly inside it is detected: the
+    /// slice decoder reports `Truncated` (never a short parse) and the
+    /// stream reader reports an error (never a silent `None` mid-frame).
+    #[test]
+    fn truncated_frames_are_rejected(
+        sel in FULL,
+        round in FULL,
+        raw in proptest::collection::vec((FULL, FULL, FULL), 0..8),
+        cut_draw in FULL,
+    ) {
+        let msg = shard_message_from(sel, (sel >> 32) as u32, round, &raw);
+        let mut buf = Vec::new();
+        encode_shard_message(&msg, &mut buf);
+        let cut = 1 + (cut_draw % (buf.len() as u64 - 1)) as usize; // 1..len
+        match decode_frame(&buf[..cut]) {
+            Err(WireError::Truncated) => {}
+            other => prop_assert!(false, "expected Truncated at {cut}, got {other:?}"),
+        }
+        let mut stream = std::io::Cursor::new(buf[..cut].to_vec());
+        prop_assert!(read_frame(&mut stream).is_err(), "mid-frame EOF must error");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Malformed-header rejection.
+// ---------------------------------------------------------------------
+
+#[test]
+fn bad_magic_is_rejected() {
+    let mut buf = Vec::new();
+    encode_control(&Control::Stop, &mut buf);
+    buf[0] ^= 0xFF;
+    assert!(matches!(decode_frame(&buf), Err(WireError::BadMagic)));
+    let mut stream = std::io::Cursor::new(buf);
+    assert!(read_frame(&mut stream).is_err());
+}
+
+#[test]
+fn bad_version_is_rejected() {
+    let mut buf = Vec::new();
+    encode_control(&Control::Stop, &mut buf);
+    buf[2] = WIRE_VERSION + 1;
+    assert!(matches!(decode_frame(&buf), Err(WireError::BadVersion(v)) if v == WIRE_VERSION + 1));
+}
+
+#[test]
+fn unknown_frame_kind_is_rejected() {
+    let mut buf = Vec::new();
+    encode_control(&Control::Stop, &mut buf);
+    buf[3] = 0xEE;
+    assert!(matches!(decode_frame(&buf), Err(WireError::UnknownKind(0xEE))));
+}
+
+#[test]
+fn wrong_kind_decoders_reject() {
+    let mut buf = Vec::new();
+    encode_control(&Control::Stop, &mut buf);
+    let (frame, _) = decode_frame(&buf).expect("well-formed");
+    assert_eq!(frame.kind, FrameKind::Stop);
+    assert!(decode_shard_message(&frame).is_err());
+    assert!(decode_report(&frame).is_err());
+}
+
+#[test]
+fn header_layout_is_pinned() {
+    // The documented layout: magic "SB", version, kind, round varint,
+    // length varint, payload. A Stop frame is the minimal instance.
+    let mut buf = Vec::new();
+    encode_control(&Control::Stop, &mut buf);
+    assert_eq!(buf, vec![WIRE_MAGIC[0], WIRE_MAGIC[1], WIRE_VERSION, FrameKind::Stop as u8, 0, 0]);
+}
+
+#[test]
+fn varint_len_matches_known_boundaries() {
+    for (v, len) in [
+        (0u64, 1u64),
+        (127, 1),
+        (128, 2),
+        (16_383, 2),
+        (16_384, 3),
+        (u64::from(u32::MAX), 5),
+        (u64::MAX, 10),
+    ] {
+        assert_eq!(varint_len(v), len, "varint_len({v})");
+    }
+    assert_eq!(zigzag(0), 0);
+    assert_eq!(zigzag(-1), 1);
+    assert_eq!(zigzag(1), 2);
+    assert_eq!(zigzag(i64::MIN), u64::MAX);
+    for v in [0i64, -1, 1, i64::MIN, i64::MAX] {
+        assert_eq!(unzigzag(zigzag(v)), v);
+    }
+}

@@ -14,6 +14,18 @@ use symbreak_runtime::{
     FaultPlan, ShardRepr, StopReason, WireMode,
 };
 
+/// Strips the wire-byte counters (PR 8) off a [`FaultCounters`] so the
+/// pre-transport goldens can still pin "all *fault* counters zero":
+/// frame bytes are counted even on the fault-free channel path, and a
+/// nonzero byte tally is correctness there, not degradation.
+fn zero_bytes(mut faults: symbreak_runtime::FaultCounters) -> symbreak_runtime::FaultCounters {
+    assert!(faults.bytes_sent > 0, "every run moves at least its reports");
+    assert!(faults.bytes_received > 0);
+    faults.bytes_sent = 0;
+    faults.bytes_received = 0;
+    faults
+}
+
 /// Order-sensitive fold over the per-round observables; any divergence
 /// in any round of the trajectory changes the digest.
 fn trace_digest(trace: &symbreak_sim::trace::Trace) -> u64 {
@@ -58,7 +70,7 @@ fn golden_three_majority_inert_plan_seed_exact() {
     assert_eq!(out.consensus_round, 20);
     assert_eq!(out.total_messages, 4320);
     assert_eq!(trace_digest(&out.trace), 0x4f42011c66704f4b);
-    assert_eq!(out.faults, Default::default());
+    assert_eq!(zero_bytes(out.faults), Default::default());
 }
 
 #[test]
@@ -76,7 +88,9 @@ fn golden_two_choices_inert_plan_seed_exact() {
     assert_eq!(out.report_entries.iter().sum::<u64>(), 3696);
     assert_eq!(trace_digest(&out.trace), 0x9007113d1f373db1);
     assert_eq!(out.stop, StopReason::HorizonExhausted);
-    assert_eq!(out.faults, Default::default());
+    assert!(out.wire_bytes > 0, "the channel backend still counts frame bytes");
+    assert_eq!(out.wire_bytes, out.faults.bytes_sent);
+    assert_eq!(zero_bytes(out.faults), Default::default());
 }
 
 #[test]

@@ -38,6 +38,9 @@ SYMBREAK_SCALE=0.04096 cargo run --release -p symbreak-bench --bin exp_e22_clust
 echo "==> condensed smoke: histogram shards, Theorem-5 horizon at n = 262144, paired repr runs"
 SYMBREAK_SCALE=0.00262144 cargo run --release -p symbreak-bench --bin exp_e23_condensed_shards
 
+echo "==> transport smoke: loopback Unix-socket fleet vs channel fleet, byte-exact per seed"
+SYMBREAK_SCALE=0.04096 cargo run --release -p symbreak-bench --bin exp_e24_transport
+
 echo "==> experiment smoke (SYMBREAK_SCALE=${SYMBREAK_SCALE:-0.25})"
 SYMBREAK_SCALE="${SYMBREAK_SCALE:-0.25}" \
     cargo run --release -p symbreak-bench --bin run_all
