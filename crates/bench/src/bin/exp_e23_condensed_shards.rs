@@ -3,9 +3,10 @@
 //!
 //! A condensed shard ([`ShardRepr::Histogram`], the default for Multiset
 //! and SinglePeer rules on the batched wire) keeps only its local
-//! opinion histogram and steps it by closed-form aggregate draws, so in
-//! the push gear a round costs `O(#occupied · h)` compute and
-//! `O(#shards² · #occupied)` wire entries — both independent of `n`.
+//! opinion histogram and steps it by closed-form aggregate draws, so a
+//! round costs `O(#occupied · h)` compute in both gears (push since
+//! this experiment; pull since E25's grouped consume) and the push gear
+//! moves `O(#shards² · #occupied)` wire entries — independent of `n`.
 //!
 //! **Part A** runs the paper's *comply* side of the ignore-or-comply
 //! separation over the *ignore* side's lower-bound horizon: 3-Majority
@@ -214,11 +215,12 @@ fn main() {
     {
         // The pure push-gear regime (k << n): every round is closed-form
         // on the condensed side. This is the regime condensation
-        // targets, and the row that carries the >= 2x Multiset floor —
-        // the k = n singleton rows above spend their rounds in the
-        // diverse pull gear, where the condensed consume still walks
-        // nodes (the ROADMAP's deferred aggregation item) and loses to
-        // agent dealing; their honest sub-1x ratios stay in the table.
+        // targets, and the row that carries the >= 2x Multiset floor.
+        // The k = n singleton rows above spend their rounds in the
+        // diverse pull gear; E25's grouped consume lifted them from the
+        // 0.18–0.63x this experiment originally recorded, and E25 Part B
+        // enforces their >= 1x floor at each rule's own scale — here
+        // they are informational.
         let (c, a, r) = run_paired("3-Majority uniform", ThreeMajority, &start_u, horizon_b, 4245);
         pairs.push((
             format!("3-Majority uniform k={}", start_u.num_colors()),

@@ -30,6 +30,7 @@ const EXPERIMENTS: &[&str] = &[
     "exp_e22_cluster_faults",
     "exp_e23_condensed_shards",
     "exp_e24_transport",
+    "exp_e25_grouped_pull",
 ];
 
 fn main() {

@@ -33,9 +33,21 @@ fn readme_catalog_covers_every_experiment_binary() {
             missing.push(stem.to_string());
         }
     }
-    assert!(count >= 24, "expected the full E1–E24 experiment set, found {count}");
+    assert!(count >= 25, "expected the full E1–E25 experiment set, found {count}");
     assert!(
         missing.is_empty(),
         "experiment binaries missing from the README catalog table: {missing:?}"
     );
+
+    // And the reverse: every catalog row must name a real binary, so
+    // renamed or deleted experiments cannot leave stale rows behind.
+    let mut stale = Vec::new();
+    for line in catalog.lines() {
+        let Some(rest) = line.strip_prefix("| `exp_") else { continue };
+        let Some(stem) = rest.split('`').next().map(|s| format!("exp_{s}")) else { continue };
+        if !bin_dir.join(format!("{stem}.rs")).is_file() {
+            stale.push(stem);
+        }
+    }
+    assert!(stale.is_empty(), "README catalog rows with no matching binary: {stale:?}");
 }

@@ -59,5 +59,8 @@ pub mod theory;
 pub use config::Configuration;
 pub use engine::{AgentEngine, Engine, SamplingMode, VectorEngine};
 pub use opinion::Opinion;
-pub use process::{AcProcess, ExpectedUpdate, MultisetRule, SampleAccess, UpdateRule, VectorStep};
+pub use process::{
+    condensed_window_step_by_dealing, AcProcess, ExpectedUpdate, MultisetRule, SampleAccess,
+    UpdateRule, VectorStep,
+};
 pub use run::{hitting_time_colors, run_to_consensus, RunOptions, RunOutcome};

@@ -172,6 +172,90 @@ pub trait MultisetRule: UpdateRule {
             }
         }
     }
+
+    /// Whether [`MultisetRule::update_from_counts`] ignores `own` — the
+    /// rule is an AC-process at window level (3-Majority, h-Majority).
+    ///
+    /// Condensed pull consumers use this to collapse *all* opinion
+    /// groups into one pooled block per round: when the outcome law
+    /// doesn't depend on which group a window was dealt to, dealing
+    /// per-group blocks first is wasted work, and one
+    /// [`MultisetRule::condensed_window_step`] call over the whole pool
+    /// realizes the identical law. Defaults to `false` (always safe).
+    fn own_insensitive(&self) -> bool {
+        false
+    }
+
+    /// One opinion group's share of a synchronous *pull*-gear round over
+    /// a condensed shard — the without-replacement sibling of
+    /// [`MultisetRule::condensed_push_step`]: `count` nodes of opinion
+    /// `own` jointly consume `block`, the exact histogram of their
+    /// `count·h` pooled sample draws, and only the resulting opinion
+    /// **multiset** is produced.
+    ///
+    /// `values` are the distinct sample opinions, strictly ascending (so
+    /// [`Opinion::UNDECIDED`], when present, is last), with `block`
+    /// aligned to them; `block` sums to `count · h` and is destroyed by
+    /// the call (left in an unspecified state). Appends
+    /// `(opinion, count)` pairs to `out` — entries may repeat; callers
+    /// tally.
+    ///
+    /// Must agree **in law** with dealing `block` into `count` uniform
+    /// without-replacement `h`-windows ([`WindowSplitter`]'s
+    /// multivariate-hypergeometric law) and applying
+    /// [`MultisetRule::update_from_counts`] per window — the default
+    /// realizes exactly that, one window at a time. Rules with an exact
+    /// aggregate law override it to run in `O(#values)`-ish instead of
+    /// `O(count · h)`, which is what makes condensed pull rounds as
+    /// cheap as push rounds.
+    ///
+    /// [`WindowSplitter`]: symbreak_sim::dist::WindowSplitter
+    fn condensed_window_step(
+        &self,
+        own: Opinion,
+        count: u64,
+        values: &[Opinion],
+        block: &mut [u64],
+        rng: &mut dyn RngCore,
+        out: &mut Vec<(Opinion, u64)>,
+    ) {
+        condensed_window_step_by_dealing(self, own, count, values, block, rng, out);
+    }
+}
+
+/// The reference realization of [`MultisetRule::condensed_window_step`]:
+/// deal the pooled block into `count` uniform without-replacement
+/// `h`-windows and update each — exact for every multiset rule, and the
+/// law every aggregate override must match. Public so overrides can fall
+/// back to it for parameters outside their closed form (h-Majority at
+/// `h ≥ 4`) and so law tests can pin aggregate paths against it.
+pub fn condensed_window_step_by_dealing<M: MultisetRule + ?Sized>(
+    rule: &M,
+    own: Opinion,
+    count: u64,
+    values: &[Opinion],
+    block: &mut [u64],
+    rng: &mut dyn RngCore,
+    out: &mut Vec<(Opinion, u64)>,
+) {
+    debug_assert!(values.windows(2).all(|w| w[0] < w[1]), "values must be ascending");
+    debug_assert_eq!(values.len(), block.len(), "block must align with values");
+    if count == 0 {
+        return;
+    }
+    let h = rule.sample_count() as u64;
+    debug_assert_eq!(block.iter().sum::<u64>(), count * h, "block mass must be count·h");
+    let mut splitter = symbreak_sim::dist::WindowSplitter::new(block);
+    let mut window: Vec<(Opinion, u32)> = Vec::with_capacity(h as usize);
+    for _ in 0..count {
+        window.clear();
+        splitter.draw_window(h, rng, |j, x| window.push((values[j], x as u32)));
+        let next = rule.update_from_counts(own, &window, rng);
+        match out.iter_mut().find(|e| e.0 == next) {
+            Some(e) => e.1 += 1,
+            None => out.push((next, 1)),
+        }
+    }
 }
 
 impl UpdateRule for Box<dyn UpdateRule> {

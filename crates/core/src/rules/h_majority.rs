@@ -17,9 +17,11 @@ use rand::{Rng, RngCore};
 use crate::config::Configuration;
 use crate::opinion::Opinion;
 use crate::process::{
-    ac_vector_step, ac_vector_step_into, AcProcess, MultisetRule, SampleAccess, UpdateRule,
-    VectorStep,
+    ac_vector_step, ac_vector_step_into, condensed_window_step_by_dealing, AcProcess, MultisetRule,
+    SampleAccess, UpdateRule, VectorStep,
 };
+use crate::rules::three_majority::ThreeMajority;
+use symbreak_sim::dist::GroupSplitter;
 
 /// Practical cap on `k^h` enumeration work for the exact process function.
 const MAX_ENUMERATION: u128 = 4_000_000;
@@ -93,6 +95,55 @@ impl MultisetRule for HMajority {
         } else {
             let pick = rng.gen_range(0..tied);
             counts.iter().filter(|&&(_, c)| c == best).nth(pick).expect("tied opinion").0
+        }
+    }
+
+    /// Plurality reads nothing of `own`.
+    fn own_insensitive(&self) -> bool {
+        true
+    }
+
+    /// Aggregate pooled-block consumption per `h`:
+    ///
+    /// * `h ∈ {1, 2}` — the outcome multiset is a uniform
+    ///   `count`-subset of the block. At `h = 1` that is the block
+    ///   itself; at `h = 2` a window is either doubled (outcome is that
+    ///   value) or split (the tie-break adopts a uniform entry), so
+    ///   every window contributes one uniformly-chosen ball — and one
+    ///   ball per window of a uniform dealing is a uniform subset.
+    /// * `h = 3` — coincides with 3-Majority: on windows with a
+    ///   repeat the plurality agrees, and on all-distinct windows the
+    ///   three tied opinions each hold one entry, so
+    ///   uniform-among-tied ≡ uniform-among-entries.
+    /// * `h ≥ 4` — no closed form here; the exact per-window dealing
+    ///   fallback.
+    fn condensed_window_step(
+        &self,
+        own: Opinion,
+        count: u64,
+        values: &[Opinion],
+        block: &mut [u64],
+        rng: &mut dyn RngCore,
+        out: &mut Vec<(Opinion, u64)>,
+    ) {
+        if count == 0 {
+            return;
+        }
+        match self.h {
+            1 => {
+                for (j, &c) in block.iter().enumerate() {
+                    if c > 0 {
+                        out.push((values[j], c));
+                    }
+                }
+            }
+            2 => {
+                GroupSplitter::new(block).draw_block(count, rng, |j, x| {
+                    out.push((values[j], x));
+                });
+            }
+            3 => ThreeMajority.condensed_window_step(own, count, values, block, rng, out),
+            _ => condensed_window_step_by_dealing(self, own, count, values, block, rng, out),
         }
     }
 }

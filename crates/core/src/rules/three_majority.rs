@@ -21,7 +21,7 @@ use crate::process::{
     ac_vector_step, ac_vector_step_into, with_step_scratch, AcProcess, MultisetRule, SampleAccess,
     UpdateRule, VectorStep,
 };
-use symbreak_sim::dist::sample_multinomial_into;
+use symbreak_sim::dist::{sample_multinomial_into, FenwickPool, GroupSplitter, Hypergeometric};
 
 /// The direct 3-Majority update rule.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -133,6 +133,103 @@ impl MultisetRule for ThreeMajority {
                 if c > 0 {
                     out.push((values[j], c));
                 }
+            }
+        });
+    }
+
+    /// 3-Majority reads nothing of `own` — the whole condensed pull
+    /// round is one pooled-block call.
+    fn own_insensitive(&self) -> bool {
+        true
+    }
+
+    /// Exact aggregate consumption of a pooled without-replacement
+    /// block, `O(#values + #cross·log #values)` instead of per-window.
+    ///
+    /// Dealing the block into `count` windows and updating each is
+    /// distributionally the [`ThreeMajorityAlt`] rule on uniformly
+    /// *ordered* windows (a dealt window conditioned on its multiset is
+    /// a uniform arrangement, and the alt rule agrees with
+    /// majority-or-random-tiebreak on every multiset). Under the alt
+    /// rule a window's outcome is its pair value when slots 1 and 2
+    /// match, else its slot-3 "voter" ball. Slot positions of a uniform
+    /// dealing are exchangeable, so:
+    ///
+    /// * the voter balls `V` are a uniform `count`-subset of the block,
+    /// * the slot-1 balls `F` are a uniform `count`-subset of the rest,
+    /// * the slot-2 balls `S` are the remainder, and the pairing `F↔S`
+    ///   is a uniform bijection, independent of which voter ball sits
+    ///   in which window.
+    ///
+    /// The bijection's per-category match counts are revealed
+    /// sequentially: conditioned on the categories processed so far, the
+    /// partners of category `j`'s `f_j` balls are a uniform
+    /// `f_j`-subset of the remaining `S` pool, so the number of matches
+    /// `M_j` is hypergeometric and the `f_j − M_j` cross partners are a
+    /// uniform subset of `S` minus category `j` (dealt and discarded —
+    /// those windows fall to their voter ball). Matched windows emit
+    /// their pair value; the `count − ΣM_j` unmatched windows emit a
+    /// uniform subset of `V`.
+    fn condensed_window_step(
+        &self,
+        _own: Opinion,
+        count: u64,
+        values: &[Opinion],
+        block: &mut [u64],
+        rng: &mut dyn RngCore,
+        out: &mut Vec<(Opinion, u64)>,
+    ) {
+        debug_assert_eq!(block.iter().sum::<u64>(), count * 3, "block mass must be count·3");
+        if count == 0 {
+            return;
+        }
+        with_step_scratch(|s| {
+            // Voter balls: a uniform count-subset of the block; the
+            // remainder (2·count balls) feeds the pair slots.
+            let voters = &mut s.aux_counts;
+            voters.clear();
+            voters.resize(values.len(), 0);
+            GroupSplitter::new(block).draw_block(count, rng, |j, x| voters[j] += x);
+            // Slot-1 balls: a uniform count-subset of the remainder.
+            let first = &mut s.aux_counts2;
+            first.clear();
+            first.resize(values.len(), 0);
+            GroupSplitter::new(block).draw_block(count, rng, |j, x| first[j] += x);
+            // `block` now holds S, the slot-2 partner pool.
+            let mut partners = FenwickPool::new(block);
+            let mut matched = 0u64;
+            for (j, &fj) in first.iter().enumerate() {
+                if fj == 0 {
+                    continue;
+                }
+                let sj = partners.count(j);
+                let pool = partners.remaining();
+                let mj =
+                    if sj == pool { fj } else { Hypergeometric::new(pool, sj, fj).sample(rng) };
+                if mj > 0 {
+                    out.push((values[j], mj));
+                    partners.remove(j, mj);
+                    matched += mj;
+                }
+                let cross = fj - mj;
+                if cross > 0 {
+                    // Cross partners: uniform over S minus category j
+                    // (mask it out for the deal), then discarded — their
+                    // windows adopt voter balls below.
+                    let mask = partners.count(j);
+                    partners.remove(j, mask);
+                    partners.deal(cross, rng, |_cat, _c| {});
+                    partners.add(j, mask);
+                }
+            }
+            // Unmatched windows adopt a uniform subset of the voter
+            // balls (the window↔voter assignment is uniform and
+            // independent of the pairing).
+            let unmatched = count - matched;
+            if unmatched > 0 {
+                GroupSplitter::new(voters).draw_block(unmatched, rng, |j, x| {
+                    out.push((values[j], x));
+                });
             }
         });
     }

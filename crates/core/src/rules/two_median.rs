@@ -23,7 +23,7 @@ use crate::process::{
     with_step_scratch, ExpectedUpdate, MultisetRule, SampleAccess, StepScratch, UpdateRule,
     VectorStep,
 };
-use symbreak_sim::dist::Binomial;
+use symbreak_sim::dist::{Binomial, FenwickPool, GroupSplitter};
 
 /// The 2-Median update rule. Opinion indices are interpreted as points on
 /// the integer line.
@@ -123,6 +123,70 @@ impl MultisetRule for TwoMedian {
                     Landing::Stay(g) => out.push((groups[g].0, c)),
                 },
             );
+        });
+    }
+
+    /// Exact aggregate consumption of one group's pooled
+    /// without-replacement block.
+    ///
+    /// A dealt window of two is an unordered pair; exchangeability of
+    /// slot positions makes the slot-1 balls `F` a uniform
+    /// `count`-subset of the block, the slot-2 balls `S` the remainder,
+    /// and the pairing `F↔S` a uniform bijection. Revealing the
+    /// bijection category-by-category keeps the rest uniform, so the
+    /// partners of category `j`'s `f_j` balls are a uniform
+    /// `f_j`-subset of the remaining `S` pool — and unlike 3-Majority
+    /// the partner split *is* the outcome: a window `(values[j],
+    /// values[k])` emits `median3(own, values[j], values[k])`, i.e. the
+    /// lower endpoint when `own` sits at or below both, the upper when
+    /// at or above both, and `own` itself when strictly between.
+    fn condensed_window_step(
+        &self,
+        own: Opinion,
+        count: u64,
+        values: &[Opinion],
+        block: &mut [u64],
+        rng: &mut dyn RngCore,
+        out: &mut Vec<(Opinion, u64)>,
+    ) {
+        debug_assert_eq!(block.iter().sum::<u64>(), count * 2, "block mass must be count·2");
+        if count == 0 {
+            return;
+        }
+        with_step_scratch(|s| {
+            let first = &mut s.aux_counts;
+            first.clear();
+            first.resize(values.len(), 0);
+            GroupSplitter::new(block).draw_block(count, rng, |j, x| first[j] += x);
+            // `block` now holds S, the partner pool.
+            let mut partners = FenwickPool::new(block);
+            let tally = &mut s.aux_counts2;
+            tally.clear();
+            tally.resize(values.len(), 0);
+            let mut stay = 0u64;
+            for (j, &fj) in first.iter().enumerate() {
+                if fj == 0 {
+                    continue;
+                }
+                partners.deal(fj, rng, |k, c| {
+                    let (lo, hi) = if j <= k { (j, k) } else { (k, j) };
+                    if own <= values[lo] {
+                        tally[lo] += c;
+                    } else if own >= values[hi] {
+                        tally[hi] += c;
+                    } else {
+                        stay += c;
+                    }
+                });
+            }
+            for (j, &c) in tally.iter().enumerate() {
+                if c > 0 {
+                    out.push((values[j], c));
+                }
+            }
+            if stay > 0 {
+                out.push((own, stay));
+            }
         });
     }
 }

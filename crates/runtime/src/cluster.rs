@@ -161,6 +161,26 @@ pub enum ShardRepr {
     Agents,
 }
 
+/// Data-plane gear selection (batched wire only — the per-entry wire
+/// has no push gear and ignores this knob).
+///
+/// [`GearMode::Auto`] is the byte-exact default: condensed fleets boot
+/// in whatever gear the start configuration arbitrates to and
+/// re-arbitrate every round; agent-backed fleets boot pull-first. The
+/// force modes pin one gear for the whole run — the instrument the
+/// gear benchmarks use to time each data plane across a sweep where
+/// auto arbitration would switch mid-band.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GearMode {
+    /// Per-round pull/push arbitration over the merged view.
+    #[default]
+    Auto,
+    /// Every data round pushes whole histograms.
+    ForcePush,
+    /// Every data round answers pulls.
+    ForcePull,
+}
+
 /// Cluster construction parameters.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClusterConfig {
@@ -177,6 +197,9 @@ pub struct ClusterConfig {
     /// Per-shard state representation (defaults to
     /// [`ShardRepr::Histogram`], arbitrated per rule).
     pub shard_repr: ShardRepr,
+    /// Data-plane gear selection (defaults to [`GearMode::Auto`],
+    /// the byte-exact per-round arbitration).
+    pub data_gear: GearMode,
     /// Deterministic fault schedule (defaults to the inert
     /// [`FaultPlan::none`], which keeps the exact fault-free paths).
     pub fault_plan: FaultPlan,
@@ -193,6 +216,7 @@ impl ClusterConfig {
             wire_mode: WireMode::default(),
             consume_mode: ConsumeMode::default(),
             shard_repr: ShardRepr::default(),
+            data_gear: GearMode::default(),
             fault_plan: FaultPlan::none(),
         }
     }
@@ -218,6 +242,14 @@ impl ClusterConfig {
     /// Selects the per-shard state representation.
     pub fn with_shard_repr(mut self, shard_repr: ShardRepr) -> Self {
         self.shard_repr = shard_repr;
+        self
+    }
+
+    /// Selects the data-plane gear (pin push or pull, or keep the
+    /// default per-round arbitration). Batched wire only; the
+    /// per-entry wire has no push gear and ignores the knob.
+    pub fn with_data_gear(mut self, data_gear: GearMode) -> Self {
+        self.data_gear = data_gear;
         self
     }
 
@@ -364,6 +396,7 @@ impl<R: UpdateRule + Clone + Send> Cluster<R> {
         let report_mode = self.config.report_mode;
         let wire_mode = self.config.wire_mode;
         let consume_mode = self.config.consume_mode;
+        let data_gear = self.config.data_gear;
         let plan = self.config.fault_plan;
         let partition = Partition::new(n, shards);
 
@@ -444,16 +477,19 @@ impl<R: UpdateRule + Clone + Send> Cluster<R> {
 
             // Condensed fleets boot in whatever gear the start
             // configuration arbitrates to: a forced pull first round
-            // would pay the `O(local_n·h·log d)` per-node window split
-            // — the one cost condensation exists to avoid — before the
-            // first report could flip the gear, and the coordinator
-            // holds the merged start state before round 1 anyway.
-            // Agent-backed fleets keep the pull-first boot: their
-            // round 1 is `O(local_n)` in either gear, and holding it
-            // fixed preserves the pre-condensation trajectories
+            // would pay per-node window splits — the one cost
+            // condensation exists to avoid — before the first report
+            // could flip the gear, and the coordinator holds the
+            // merged start state before round 1 anyway. Agent-backed
+            // fleets keep the pull-first boot: their round 1 is
+            // `O(local_n)` in either gear, and holding it fixed
+            // preserves the pre-condensation trajectories
             // byte-for-byte (the `fault_properties` goldens pin them).
-            let initial_data =
+            // A forced gear overrides both.
+            let auto =
                 if condensed { arbitrate_gear(&merged, shards, n, h) } else { DataFormat::Pull };
+            let initial_data =
+                if wire_mode == WireMode::Batched { resolve_gear(data_gear, auto) } else { auto };
             let mut link = ChannelLink::new(control_txs, report_rx);
             let out = if plan.is_active() {
                 run_coordinator_faulty(
@@ -466,6 +502,7 @@ impl<R: UpdateRule + Clone + Send> Cluster<R> {
                     merged,
                     &plan,
                     initial_data,
+                    data_gear,
                     &mut link,
                 )
             } else {
@@ -479,6 +516,7 @@ impl<R: UpdateRule + Clone + Send> Cluster<R> {
                     wire_mode,
                     merged,
                     initial_data,
+                    data_gear,
                     &mut link,
                 )
             };
@@ -517,6 +555,7 @@ impl<R: WireRule> Cluster<R> {
         let report_mode = self.config.report_mode;
         let wire_mode = self.config.wire_mode;
         let consume_mode = self.config.consume_mode;
+        let data_gear = self.config.data_gear;
         let plan = self.config.fault_plan;
         let partition = Partition::new(n, shards);
         let bodies = shard_bodies(&self.start, &partition);
@@ -528,8 +567,9 @@ impl<R: WireRule> Cluster<R> {
             && self.rule.sample_access() != SampleAccess::OrderedWindow;
         let h = self.rule.sample_count() as u64;
         let merged = self.start;
+        let auto = if condensed { arbitrate_gear(&merged, shards, n, h) } else { DataFormat::Pull };
         let initial_data =
-            if condensed { arbitrate_gear(&merged, shards, n, h) } else { DataFormat::Pull };
+            if wire_mode == WireMode::Batched { resolve_gear(data_gear, auto) } else { auto };
         let spec = FleetSpec {
             n,
             shards,
@@ -556,6 +596,7 @@ impl<R: WireRule> Cluster<R> {
                 merged,
                 &plan,
                 initial_data,
+                data_gear,
                 fleet.link_mut(),
             )
         } else {
@@ -569,6 +610,7 @@ impl<R: WireRule> Cluster<R> {
                 wire_mode,
                 merged,
                 initial_data,
+                data_gear,
                 fleet.link_mut(),
             )
         };
@@ -638,6 +680,15 @@ fn arbitrate_gear(merged: &Configuration, shards: usize, n: u32, h: u64) -> Data
     }
 }
 
+/// Applies the configured [`GearMode`] over an auto-arbitrated choice.
+fn resolve_gear(gear: GearMode, auto: DataFormat) -> DataFormat {
+    match gear {
+        GearMode::Auto => auto,
+        GearMode::ForcePush => DataFormat::Push,
+        GearMode::ForcePull => DataFormat::Pull,
+    }
+}
+
 /// The strict-barrier coordinator (inert fault plans): every shard
 /// reports every round, the formats are arbitrated round-by-round, and
 /// the merged configuration folds lossless reports. This is the
@@ -653,6 +704,7 @@ fn run_coordinator_exact(
     wire_mode: WireMode,
     mut merged: Configuration,
     initial_data: DataFormat,
+    data_gear: GearMode,
     link: &mut dyn CoordinatorLink,
 ) -> HorizonOutcome {
     let mut trace = Trace::new();
@@ -747,7 +799,7 @@ fn run_coordinator_exact(
             };
         }
         if wire_mode == WireMode::Batched {
-            data = arbitrate_gear(&merged, shards, n, h);
+            data = resolve_gear(data_gear, arbitrate_gear(&merged, shards, n, h));
         }
         trace.push(RoundStats {
             round,
@@ -818,6 +870,7 @@ fn run_coordinator_faulty(
     mut merged: Configuration,
     plan: &FaultPlan,
     initial_data: DataFormat,
+    data_gear: GearMode,
     link: &mut dyn CoordinatorLink,
 ) -> HorizonOutcome {
     let shards = partition.shards;
@@ -1026,7 +1079,7 @@ fn run_coordinator_faulty(
         }
         // Pull/push arbitration over the merged view, exactly as on
         // the strict path (fault plans mandate the batched wire).
-        data = arbitrate_gear(&merged, shards, n, h);
+        data = resolve_gear(data_gear, arbitrate_gear(&merged, shards, n, h));
         trace.push(RoundStats {
             round,
             num_colors: merged.num_colors(),

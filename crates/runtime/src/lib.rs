@@ -116,8 +116,8 @@ pub mod shard;
 pub mod transport;
 
 pub use cluster::{
-    Cluster, ClusterConfig, ClusterOutcome, ConsumeMode, HorizonOutcome, ReportMode, ShardRepr,
-    WireMode,
+    Cluster, ClusterConfig, ClusterOutcome, ConsumeMode, GearMode, HorizonOutcome, ReportMode,
+    ShardRepr, WireMode,
 };
 pub use fault::{
     ByzantineSpec, CorruptionKind, CrashSpec, FaultCounters, FaultKind, FaultPlan, StopReason,

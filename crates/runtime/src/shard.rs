@@ -57,14 +57,15 @@
 //! plus the undecided count. The round-start snapshot mirrors the
 //! histogram (ascending slot order), pull palettes are served from a
 //! per-round cached alias table over it, received palettes and push
-//! unions are consumed as mass moved between histograms — per-node
-//! hypergeometric windows in the pull gear (a Fenwick-tree
-//! without-replacement dealer when the pool is too diverse for the
-//! conditional walk), and one [`symbreak_core::MultisetRule`]
-//! `condensed_push_step` call per round in the push gear, which is
-//! where the per-round compute drops from `O(local_n · h)` to
-//! `O(#occupied · h)` — and reports mirror the histogram straight into
-//! the touched-slot scratch. Rejoin copies the snapshot counts and
+//! unions are consumed as mass moved between histograms — grouped
+//! hypergeometric blocks in the pull gear (one
+//! [`symbreak_core::MultisetRule`] `condensed_window_step` call per
+//! occupied opinion group, or a single mega-block call for
+//! own-insensitive rules, with a flat Fisher–Yates dealing fallback in
+//! the diverse regime), and one `condensed_push_step` call per round
+//! in the push gear — so in both gears the per-round compute drops
+//! from `O(local_n · h)` to `O(#occupied · h)` — and reports mirror
+//! the histogram straight into the touched-slot scratch. Rejoin copies the snapshot counts and
 //! verifies them in `O(#occupied)` with no dense recount. The
 //! agent-backed paths are untouched (byte-identical per seed).
 //!
@@ -90,8 +91,8 @@ use rand::{Rng, SeedableRng};
 use symbreak_core::{Opinion, SampleAccess, UpdateRule};
 use symbreak_sim::dist::{
     expected_window_visits, expected_window_visits_counts, sample_multinomial_into,
-    sample_multinomial_sparse_into, Binomial, Categorical, WindowMultinomial, WindowSplitter,
-    WALK_CANDIDATE_CAP,
+    sample_multinomial_sparse_into, Binomial, Categorical, GroupSplitter, WindowMultinomial,
+    WindowSplitter, WALK_CANDIDATE_CAP,
 };
 use symbreak_sim::rng::{trial_seed, Pcg64};
 
@@ -194,6 +195,54 @@ pub(crate) fn run_shard<R: UpdateRule, T: Transport>(
 /// `(palette_idx, count)` runs.
 type PaletteBuffers = (Vec<Opinion>, Vec<(u32, u64)>);
 
+/// Two-pass 16-bit LSD radix sort for the flat condensed tally: ~4
+/// sequential passes over the data plus two bucket scatters, where a
+/// comparison sort pays `n log n` branchy compares. `tmp` and `counts`
+/// are caller-owned scratch so the per-round cost is zeroing the 2^16
+/// counters twice. Falls back to `sort_unstable` for short inputs
+/// (counter zeroing would dominate) or inputs too long for the u32
+/// bucket offsets.
+fn radix_sort_u32(data: &mut [u32], tmp: &mut Vec<u32>, counts: &mut Vec<u32>) {
+    let n = data.len();
+    if n < 4096 || n > u32::MAX as usize {
+        data.sort_unstable();
+        return;
+    }
+    tmp.resize(n, 0);
+    counts.resize(1 << 16, 0);
+    radix_pass(data, tmp, counts, 0);
+    radix_pass(tmp, data, counts, 16);
+}
+
+/// One stable counting-sort pass of [`radix_sort_u32`] on the 16-bit
+/// digit at `shift`.
+fn radix_pass(src: &[u32], dst: &mut [u32], counts: &mut [u32], shift: u32) {
+    counts.fill(0);
+    for &x in src {
+        counts[((x >> shift) & 0xFFFF) as usize] += 1;
+    }
+    let mut sum = 0u32;
+    for c in counts.iter_mut() {
+        let t = *c;
+        *c = sum;
+        sum += t;
+    }
+    for &x in src {
+        let b = ((x >> shift) & 0xFFFF) as usize;
+        dst[counts[b] as usize] = x;
+        counts[b] += 1;
+    }
+}
+
+/// Crossover between the aggregate condensed-pull paths (mega-block /
+/// grouped) and flat per-ball dealing: the aggregate paths pay one
+/// hypergeometric draw plus `O(log d)` Fenwick traffic per pool
+/// category, which costs roughly this many per-ball dealing steps.
+/// Aggregates engage only while `d · FACTOR ≤ local_n · h`; in the
+/// diverse regime (singleton starts, `d ≈ local_n · h`) they would be
+/// an order of magnitude slower than touching every ball once.
+const MEGA_DISPATCH_FACTOR: u64 = 16;
+
 /// Tallies `opinions` into the dense `counts` scratch (assumed zero
 /// outside `touched`), recording first-touched slots, and returns the
 /// undecided count. The one histogram loop behind the delta baseline,
@@ -222,66 +271,6 @@ enum Mirror {
     Report,
     /// Delta baseline (`prev_counts` / `prev_touched`).
     Prev,
-}
-
-/// A without-replacement dealer over pooled category counts: `O(d)`
-/// build, `O(log d)` per draw (Fenwick prefix sums, bit-descended).
-///
-/// Sequential uniform draws without replacement realize exactly the
-/// multivariate-hypergeometric window law the [`WindowSplitter`]
-/// implements, so a condensed shard can deal a pool too diverse for
-/// the conditional walk at `O(h log d)` per node instead of falling
-/// back to materializing per-agent samples (which it has nowhere to
-/// put).
-struct FenwickPool {
-    /// 1-based Fenwick tree over the category counts.
-    tree: Vec<u64>,
-    remaining: u64,
-    len: usize,
-}
-
-impl FenwickPool {
-    fn new(counts: &[u64]) -> Self {
-        let len = counts.len();
-        let mut tree = vec![0u64; len + 1];
-        tree[1..].copy_from_slice(counts);
-        for i in 1..=len {
-            let j = i + (i & i.wrapping_neg());
-            if j <= len {
-                tree[j] += tree[i];
-            }
-        }
-        Self { tree, remaining: counts.iter().sum(), len }
-    }
-
-    /// Draws one pooled item uniformly and removes it; returns its
-    /// 0-based category index.
-    fn draw(&mut self, rng: &mut Pcg64) -> usize {
-        debug_assert!(self.remaining > 0, "drew from an empty pool");
-        let mut target = rng.gen_range(0..self.remaining);
-        // Descend to the largest index whose prefix sum is ≤ target.
-        let mut pos = 0usize;
-        let mut step = self.len.next_power_of_two();
-        while step > 0 {
-            let next = pos + step;
-            if next <= self.len && self.tree[next] <= target {
-                target -= self.tree[next];
-                pos = next;
-            }
-            step >>= 1;
-        }
-        let mut i = pos + 1;
-        while i <= self.len {
-            self.tree[i] -= 1;
-            i += i & i.wrapping_neg();
-        }
-        self.remaining -= 1;
-        pos
-    }
-
-    fn remaining(&self) -> u64 {
-        self.remaining
-    }
 }
 
 /// One shard's mutable round state: the owned opinions plus every
@@ -316,17 +305,48 @@ struct Worker<R, T> {
     /// The shard's node count — `opinions.len()` on agent-backed
     /// shards, the seed-body mass on condensed ones.
     local_n: usize,
-    /// Condensed local state: decided counts (`O(#occupied)` memory).
-    hist: Configuration,
+    /// Condensed local state: the decided counts as sorted
+    /// `(slot, count)` pairs — ascending slots, positive counts,
+    /// `O(#occupied)` memory. Kept sparse on purpose: rebuilding a
+    /// dense [`Configuration`] every round costs three extra
+    /// scatter/gather passes over the `k_slots` array, which is
+    /// exactly the `O(local_n)`-class work condensation exists to
+    /// avoid when `#occupied ≈ local_n`.
+    hist_pairs: Vec<(u32, u64)>,
+    /// Decided mass of `hist_pairs` (`Σ count`).
+    hist_n: u64,
     /// Condensed local state: undecided node count.
     hist_undecided: u64,
-    /// Scratch for rebuilding `hist` from the post-step tally.
-    hist_pairs: Vec<(u32, u64)>,
-    /// Per-round cached alias table for condensed raw pull serving —
-    /// built lazily on the first raw batch of a round (over the
-    /// round-start snapshot + undecided), shared by all of them.
-    serve_alias: Option<Categorical>,
-    serve_alias_fresh: bool,
+    /// Whether `count_scratch` / `touched` still hold the post-step
+    /// tally `hist` was just rebuilt from — [`Self::build_report`] then
+    /// reports straight off them instead of re-mirroring the histogram
+    /// (one fewer `O(#occupied)` scatter pass per condensed round).
+    report_fresh: bool,
+    /// Whether `hist_pairs` was just installed straight from the flat
+    /// per-draw tally ([`Self::install_condensed_from_flat`]) — the
+    /// dense scratch was never written, so a sparse untracked report is
+    /// a clone of the pairs and every other report shape mirrors first.
+    report_pairs_fresh: bool,
+    /// Flat per-draw tally for condensed paths that decide one node at
+    /// a time (single-peer pulls, flat dealing): raw slot indices with
+    /// `u32::MAX` standing for UNDECIDED, sorted and run-length-encoded
+    /// into `hist_pairs` at install. One sequential sort beats
+    /// `local_n` random scatters into the `k_slots`-wide scratch plus
+    /// the gather pass needed to undo them.
+    consumed_flat: Vec<u32>,
+    /// Scratch for [`radix_sort_u32`] over `consumed_flat`.
+    radix_tmp: Vec<u32>,
+    radix_counts: Vec<u32>,
+    /// Per-round flat opinion mirror for condensed raw pull serving —
+    /// the round-start histogram expanded to one entry per node
+    /// (undecided tail included), built lazily on the first raw batch
+    /// of a round and shared by the rest. A uniform index read is a
+    /// draw from the round-start distribution at exactly the
+    /// agent-backed serve cost (one `gen_range` and one array read per
+    /// draw); the `O(local_n)` sequential run-fill amortizes against
+    /// the ~`local_n·h` draws the raw regime serves per round.
+    serve_flat: Vec<Opinion>,
+    serve_flat_fresh: bool,
     /// Condensed own-opinion groups `(opinion, count)`, ascending with
     /// undecided last — the `condensed_push_step` contract order.
     groups: Vec<(Opinion, u64)>,
@@ -370,13 +390,21 @@ struct Worker<R, T> {
     // Multiset-native consumption scratch.
     /// One node's window histogram (≤ h entries).
     window: Vec<(Opinion, u32)>,
-    /// Pooled received-sample histogram, decreasing count order
-    /// (parallel to `pool_ops`).
+    /// Pooled received-sample histogram (parallel to `pool_ops`):
+    /// decreasing count order on the agent-backed path (the walk's
+    /// early exit bites first), ascending opinion order — the
+    /// condensed-step `values` contract — on the condensed path.
     pool_counts: Vec<u64>,
     pool_ops: Vec<Opinion>,
     /// Slots touched while tallying the pool into `serve_counts`
     /// (reused as the dense tally scratch — it is zero outside serves).
     pool_touched: Vec<u32>,
+    /// One opinion-group's dealt share of the pooled histogram
+    /// (condensed pull, grouped path; aligned with `pool_ops`).
+    group_block: Vec<u64>,
+    /// Flattened pool for the diverse-regime Fisher–Yates fallback of
+    /// the condensed pull consume (`O(1)` per dealt ball).
+    flat_pool: Vec<Opinion>,
 
     // Report state.
     count_scratch: Vec<u64>,
@@ -444,16 +472,29 @@ impl<R: UpdateRule, T: Transport> Worker<R, T> {
             matches!(init, ShardInit::Histogram(_)),
             "shard init variant must match the condensed predicate"
         );
-        let (opinions, hist, local_n) = match init {
+        let (opinions, hist_pairs, local_n) = match init {
             ShardInit::Agents(opinions) => {
                 let local_n = opinions.len();
-                // Placeholder configuration (never read on agent paths).
-                (opinions, Configuration::from_counts(vec![0]), local_n)
+                (opinions, Vec::new(), local_n)
             }
-            ShardInit::Histogram(body) => {
-                let hist = Configuration::from_sparse(k_slots, &body);
-                let local_n = hist.n() as usize;
-                (Vec::new(), hist, local_n)
+            ShardInit::Histogram(mut body) => {
+                // Canonicalize the seed body into the sorted-pairs
+                // invariant (ascending slots, positive counts, no
+                // duplicates — repeated slots accumulate).
+                body.sort_unstable();
+                let mut pairs: Vec<(u32, u64)> = Vec::with_capacity(body.len());
+                for (slot, count) in body {
+                    assert!((slot as usize) < k_slots, "seed body: slot {slot} out of range");
+                    if count == 0 {
+                        continue;
+                    }
+                    match pairs.last_mut() {
+                        Some(last) if last.0 == slot => last.1 += count,
+                        _ => pairs.push((slot, count)),
+                    }
+                }
+                let local_n = pairs.iter().map(|&(_, c)| c).sum::<u64>() as usize;
+                (Vec::new(), pairs, local_n)
             }
         };
 
@@ -479,11 +520,16 @@ impl<R: UpdateRule, T: Transport> Worker<R, T> {
             },
             condensed,
             local_n,
-            hist,
+            hist_n: local_n as u64,
             hist_undecided: 0,
-            hist_pairs: Vec::new(),
-            serve_alias: None,
-            serve_alias_fresh: false,
+            hist_pairs,
+            report_fresh: false,
+            report_pairs_fresh: false,
+            consumed_flat: Vec::new(),
+            radix_tmp: Vec::new(),
+            radix_counts: Vec::new(),
+            serve_flat: Vec::new(),
+            serve_flat_fresh: false,
             groups: Vec::new(),
             step_out: Vec::new(),
             snapshot: if per_entry { opinions.clone() } else { Vec::new() },
@@ -534,6 +580,8 @@ impl<R: UpdateRule, T: Transport> Worker<R, T> {
             pool_counts: Vec::new(),
             pool_ops: Vec::new(),
             pool_touched: Vec::new(),
+            group_block: Vec::new(),
+            flat_pool: Vec::new(),
             count_scratch: vec![0; k_slots],
             touched: Vec::new(),
             prev_counts: if tracking { vec![0; k_slots] } else { Vec::new() },
@@ -577,7 +625,7 @@ impl<R: UpdateRule, T: Transport> Worker<R, T> {
             Mirror::Prev => (&mut self.prev_counts, &mut self.prev_touched),
         };
         debug_assert!(touched.is_empty());
-        for (&i, c) in self.hist.occupied().iter().zip(self.hist.occupied_counts()) {
+        for &(i, c) in &self.hist_pairs {
             counts[i as usize] = c;
             touched.push(i);
         }
@@ -593,7 +641,7 @@ impl<R: UpdateRule, T: Transport> Worker<R, T> {
         if self.condensed {
             self.mirror_hist(Mirror::Snapshot);
             self.snap_undecided = self.hist_undecided;
-            self.serve_alias_fresh = false;
+            self.serve_flat_fresh = false;
         } else {
             self.snap_undecided =
                 count_opinions(&self.opinions, &mut self.snap_counts, &mut self.snap_touched);
@@ -607,7 +655,7 @@ impl<R: UpdateRule, T: Transport> Worker<R, T> {
     fn condensed_groups(&mut self) {
         debug_assert!(self.condensed);
         self.groups.clear();
-        for (&i, c) in self.hist.occupied().iter().zip(self.hist.occupied_counts()) {
+        for &(i, c) in &self.hist_pairs {
             self.groups.push((Opinion::new(i), c));
         }
         if self.hist_undecided > 0 {
@@ -616,23 +664,64 @@ impl<R: UpdateRule, T: Transport> Worker<R, T> {
     }
 
     /// Installs a condensed round's post-step tally — accumulated in
-    /// `count_scratch` / `touched` — as the new histogram, zeroing the
-    /// scratch behind itself.
+    /// `count_scratch` / `touched` — as the new histogram: one sort of
+    /// the touched slots plus one gather pass, `O(#occupied ·
+    /// log #occupied)` with no dense traffic. The scratch is
+    /// deliberately left holding the tally and flagged fresh: the
+    /// round's report reads it directly ([`Self::build_report`] zeroes
+    /// it behind the report, as it always has).
     fn install_condensed(&mut self, undecided: u64) {
         debug_assert!(self.condensed);
+        // The sorted-pairs invariant; also canonicalizes the report
+        // body order downstream of the first-touch tally.
+        self.touched.sort_unstable();
         self.hist_pairs.clear();
+        let mut mass = 0u64;
         for &i in &self.touched {
             let c = self.count_scratch[i as usize];
-            if c > 0 {
-                self.hist_pairs.push((i, c));
-            }
-            self.count_scratch[i as usize] = 0;
+            debug_assert!(c > 0, "tallies only ever touch slots they increment");
+            mass += c;
+            self.hist_pairs.push((i, c));
         }
-        self.touched.clear();
-        self.hist.rebuild_sparse(std::iter::once(self.hist_pairs.as_slice()));
+        self.hist_n = mass;
         self.hist_undecided = undecided;
+        self.report_fresh = true;
         debug_assert_eq!(
-            self.hist.n() + undecided,
+            mass + undecided,
+            self.local_n as u64,
+            "condensed step must conserve the shard's mass"
+        );
+    }
+
+    /// Installs the post-step histogram from the flat per-draw tally
+    /// (`consumed_flat`): sort the raw slot indices, then run-length
+    /// encode the runs straight into the sorted `hist_pairs`. The
+    /// sentinel `u32::MAX` entries (UNDECIDED) sort to the tail and
+    /// become the undecided mass. The dense scratch is never touched,
+    /// so the report is flagged `report_pairs_fresh` instead of
+    /// `report_fresh`.
+    fn install_condensed_from_flat(&mut self) {
+        debug_assert!(self.condensed);
+        radix_sort_u32(&mut self.consumed_flat, &mut self.radix_tmp, &mut self.radix_counts);
+        let dec_end = self.consumed_flat.partition_point(|&s| s != u32::MAX);
+        let undecided = (self.consumed_flat.len() - dec_end) as u64;
+        self.hist_pairs.clear();
+        let mut i = 0;
+        while i < dec_end {
+            let s = self.consumed_flat[i];
+            let mut j = i + 1;
+            while j < dec_end && self.consumed_flat[j] == s {
+                j += 1;
+            }
+            self.hist_pairs.push((s, (j - i) as u64));
+            i = j;
+        }
+        self.consumed_flat.clear();
+        self.hist_n = dec_end as u64;
+        self.hist_undecided = undecided;
+        self.report_pairs_fresh = true;
+        debug_assert_eq!(
+            self.hist_n + undecided,
             self.local_n as u64,
             "condensed step must conserve the shard's mass"
         );
@@ -778,6 +867,11 @@ impl<R: UpdateRule, T: Transport> Worker<R, T> {
         self.delayed_report = None;
         self.carry_messages = 0;
         self.recovered = 0;
+        // The scratch was zeroed by the last completed round's report;
+        // the snapshot histogram owes it nothing.
+        self.report_fresh = false;
+        self.report_pairs_fresh = false;
+        self.consumed_flat.clear();
         if self.condensed {
             let mut mass = u128::from(undecided);
             for &(slot, count) in body {
@@ -786,8 +880,14 @@ impl<R: UpdateRule, T: Transport> Worker<R, T> {
                 mass += u128::from(count);
             }
             assert_eq!(mass, self.local_n as u128, "snapshot mass must match the shard size");
-            self.hist.rebuild_sparse(std::iter::once(body));
-            assert_eq!(self.hist.num_colors(), body.len(), "rejoin snapshot: duplicate slots");
+            self.hist_pairs.clear();
+            self.hist_pairs.extend_from_slice(body);
+            self.hist_pairs.sort_unstable();
+            assert!(
+                self.hist_pairs.windows(2).all(|w| w[0].0 < w[1].0),
+                "rejoin snapshot: duplicate slots"
+            );
+            self.hist_n = (mass - u128::from(undecided)) as u64;
             self.hist_undecided = undecided;
             if self.report_mode == ReportMode::Delta {
                 // Re-baseline the delta tracking against the rejoined
@@ -1178,56 +1278,171 @@ impl<R: UpdateRule, T: Transport> Worker<R, T> {
     }
 
     /// Single-peer consumption of the pull gear, condensed: the pooled
-    /// palette multiset **is** the next histogram — tally it straight
-    /// into the report scratch and install. No RNG at all.
+    /// palette multiset **is** the next histogram — flatten it into the
+    /// per-draw tally and sort/RLE-install. No RNG at all.
     fn consume_pull_condensed_single_peer(&mut self) {
         debug_assert_eq!(self.h, 1, "single-peer rules pull one sample");
         let shards = self.partition.shards;
-        let mut undecided = 0u64;
         let mut mass = 0u64;
         for origin in 0..shards {
             let (palette, runs) = self.recv_palettes[origin].take().expect("one palette per peer");
             {
-                let mut tally = |o: Opinion, c: u64| {
-                    mass += c;
-                    if o.is_undecided() {
-                        undecided += c;
-                    } else {
-                        let i = o.index();
-                        if self.count_scratch[i] == 0 {
-                            self.touched.push(i as u32);
-                        }
-                        self.count_scratch[i] += c;
-                    }
-                };
+                let flat = &mut self.consumed_flat;
                 if runs.is_empty() {
+                    mass += palette.len() as u64;
+                    flat.reserve(palette.len());
                     for &o in &palette {
-                        tally(o, 1);
+                        flat.push(if o.is_undecided() { u32::MAX } else { o.index() as u32 });
                     }
                 } else {
                     for &(pi, c) in &runs {
-                        tally(palette[pi as usize], c);
+                        let o = palette[pi as usize];
+                        mass += c;
+                        let s = if o.is_undecided() { u32::MAX } else { o.index() as u32 };
+                        flat.resize(flat.len() + c as usize, s);
                     }
                 }
             }
             self.palette_pool.push((palette, runs));
         }
         debug_assert_eq!(mass, self.local_n as u64, "palette mass must equal the node count");
-        self.install_condensed(undecided);
+        self.install_condensed_from_flat();
+    }
+
+    /// Flat multiset consumption straight off the received palettes,
+    /// without materializing the pool: dealing the pooled multiset into
+    /// per-node `h`-windows uniformly is, ball by ball, a uniform
+    /// interleaving of the origins (pick an origin with probability
+    /// proportional to its remaining mass), and conditioned on the
+    /// origin the palette entries are exchangeable — so reading each
+    /// palette in arrival order is the same law as a uniform dealing.
+    /// Each ball costs one bounded draw over `shards` counters and one
+    /// sequential palette read, instead of a random-scatter tally pass
+    /// plus a random swap in a pooled scratch of `local_n · h` entries.
+    fn consume_pull_condensed_interleaved(&mut self) {
+        let shards = self.partition.shards;
+        let h = self.h;
+        self.condensed_groups();
+        // Per-origin remaining mass and read cursor; run-encoded
+        // palettes are expanded on the fly as (run index, used).
+        let mut palettes: Vec<PaletteBuffers> = Vec::with_capacity(shards);
+        let mut rem: Vec<u64> = Vec::with_capacity(shards);
+        let mut pos: Vec<(usize, u64)> = vec![(0, 0); shards];
+        for origin in 0..shards {
+            let (palette, runs) = self.recv_palettes[origin].take().expect("one palette per peer");
+            rem.push(if runs.is_empty() {
+                palette.len() as u64
+            } else {
+                runs.iter().map(|&(_, c)| c).sum()
+            });
+            palettes.push((palette, runs));
+        }
+        let mut total: u64 = rem.iter().sum();
+        debug_assert_eq!(total, (self.local_n * h) as u64, "palette mass must cover the windows");
+        // Each ball is drawn uniformly among the remaining pool, so the
+        // windows come out uniformly *ordered* — apply the rule's
+        // ordered update directly (the multiset presentation would be
+        // the same law at a window-pairs build per node).
+        let mut wbuf: Vec<Opinion> = Vec::with_capacity(h);
+        for gi in 0..self.groups.len() {
+            let (own, count) = self.groups[gi];
+            for _ in 0..count {
+                wbuf.clear();
+                for _ in 0..h {
+                    // u32 draws when the pool allows it: the uniform
+                    // rejection step is a 64-bit widening multiply
+                    // instead of a 128-bit one, and this loop runs once
+                    // per ball.
+                    let mut r = if total <= u32::MAX as u64 {
+                        self.rng.gen_range(0..total as u32) as u64
+                    } else {
+                        self.rng.gen_range(0..total)
+                    };
+                    let mut o = 0;
+                    while r >= rem[o] {
+                        r -= rem[o];
+                        o += 1;
+                    }
+                    rem[o] -= 1;
+                    total -= 1;
+                    let (palette, runs) = &palettes[o];
+                    wbuf.push(if runs.is_empty() {
+                        let i = pos[o].0;
+                        pos[o].0 = i + 1;
+                        palette[i]
+                    } else {
+                        let (ri, used) = pos[o];
+                        let (pi, c) = runs[ri];
+                        pos[o] = if used + 1 == c { (ri + 1, 0) } else { (ri, used + 1) };
+                        palette[pi as usize]
+                    });
+                }
+                let next = self.rule.update(own, &wbuf, &mut self.rng);
+                self.consumed_flat.push(if next.is_undecided() {
+                    u32::MAX
+                } else {
+                    next.index() as u32
+                });
+            }
+        }
+        debug_assert_eq!(total, 0, "the pooled palettes must be dealt exactly");
+        for p in palettes {
+            self.palette_pool.push(p);
+        }
+        self.install_condensed_from_flat();
     }
 
     /// Multiset consumption of the pull gear, condensed: pool the
     /// received palettes (raw ones are tallied too — a condensed shard
-    /// has no ordered path to bail to) and deal per-node windows
-    /// straight out of the pooled histogram, walking own-opinion
-    /// groups off `hist` instead of an agent vector. Windows come from
-    /// the conditional-binomial [`WindowSplitter`] in the concentrated
-    /// regime and from a [`FenwickPool`] — `O(h log d)` per node, the
-    /// same without-replacement law — when the pool is too diverse for
-    /// the walk to pay. The next histogram is tallied as the windows
-    /// are consumed; no per-agent state is ever materialized.
+    /// has no ordered path to bail to) and consume the pooled
+    /// histogram **by opinion group, not by node**:
+    ///
+    /// * **mega-block** (the rule is
+    ///   [`MultisetRule::own_insensitive`][symbreak_core::MultisetRule] —
+    ///   3-Majority, h-Majority) — every group sees the same window
+    ///   law, so the whole pool is one block and one
+    ///   `condensed_window_step` call applies the rule's aggregate law
+    ///   to all `local_n` nodes at once: `O(d log d)` per round,
+    ///   independent of `local_n`.
+    /// * **grouped** (own-sensitive rules while
+    ///   `#groups · d ≤ local_n · h`) — a [`GroupSplitter`] deals the
+    ///   pool into per-group blocks of `count · h` balls (nested
+    ///   multivariate hypergeometrics over the shrinking pool — exactly
+    ///   the law of handing each group its share of a uniform dealing),
+    ///   then one `condensed_window_step` per occupied group:
+    ///   `O(#occupied · (d + h))` per round.
+    /// * **flat dealing** (the diverse regime, e.g. singleton starts
+    ///   where `#groups · d` would exceed the ball count) — deal
+    ///   per-node windows at `O(1)` per ball, matching the agent-backed
+    ///   consume's cost per ball instead of paying `O(log d)` Fenwick
+    ///   draws.
+    ///
+    /// All three are the same without-replacement law; the next
+    /// histogram is tallied as blocks are consumed and no per-agent
+    /// state is ever materialized.
+    ///
+    /// The diverse regime is detected *before* the pool is tallied: the
+    /// palette envelopes bound the pool's distinct-category count `d`
+    /// from above at `O(shards)` cost, and when even the aggregate
+    /// paths' `O(d)` per-category draws would exceed the per-ball
+    /// budget ([`MEGA_DISPATCH_FACTOR`] amortizes a per-category
+    /// hypergeometric against per-ball dealing), the whole tally —
+    /// itself an `O(local_n · h)` random-scatter pass — is skipped and
+    /// consumption runs straight off the received palettes
+    /// ([`Self::consume_pull_condensed_interleaved`]).
     fn consume_pull_condensed_multiset(&mut self) {
         let shards = self.partition.shards;
+        // Bound d off the envelopes: raw palettes contribute at most
+        // their entry count, run-encoded ones at most their run count.
+        let mut upper_d = 0u64;
+        for origin in 0..shards {
+            let (palette, runs) =
+                self.recv_palettes[origin].as_ref().expect("one palette per peer");
+            upper_d += if runs.is_empty() { palette.len() as u64 } else { runs.len() as u64 };
+        }
+        if upper_d * MEGA_DISPATCH_FACTOR > (self.local_n * self.h) as u64 {
+            return self.consume_pull_condensed_interleaved();
+        }
         // Tally the pooled histogram, reusing `serve_counts` — zero
         // outside serves — as the dense scratch.
         self.pool_touched.clear();
@@ -1259,23 +1474,20 @@ impl<R: UpdateRule, T: Transport> Worker<R, T> {
             self.palette_pool.push((palette, runs));
         }
 
-        // Gather the pool in decreasing-count order (so the walk's
-        // early exit bites when it runs), zeroing the scratch.
+        // Gather the pool ascending by opinion, undecided last — the
+        // condensed-step `values` contract — zeroing the scratch.
         let d = self.pool_touched.len() + usize::from(pool_undecided > 0);
-        let mut pool: Vec<(u64, Opinion)> = Vec::with_capacity(d);
+        self.pool_touched.sort_unstable();
+        self.pool_counts.clear();
+        self.pool_ops.clear();
         for &i in &self.pool_touched {
-            pool.push((self.serve_counts[i as usize], Opinion::new(i)));
+            self.pool_counts.push(self.serve_counts[i as usize]);
+            self.pool_ops.push(Opinion::new(i));
             self.serve_counts[i as usize] = 0;
         }
         if pool_undecided > 0 {
-            pool.push((pool_undecided, Opinion::UNDECIDED));
-        }
-        pool.sort_by_key(|&(c, _)| std::cmp::Reverse(c));
-        self.pool_counts.clear();
-        self.pool_ops.clear();
-        for &(c, o) in &pool {
-            self.pool_counts.push(c);
-            self.pool_ops.push(o);
+            self.pool_counts.push(pool_undecided);
+            self.pool_ops.push(Opinion::UNDECIDED);
         }
         debug_assert_eq!(
             self.pool_counts.iter().sum::<u64>(),
@@ -1284,60 +1496,95 @@ impl<R: UpdateRule, T: Transport> Worker<R, T> {
         );
 
         self.condensed_groups();
+        self.step_out.clear();
         let h = self.h as u64;
-        let walkable = d <= WALK_CANDIDATE_CAP
-            && expected_window_visits_counts(&self.pool_counts, self.h) <= self.h as f64;
         let msr = self.rule.as_multiset().expect("Multiset access requires a MultisetRule impl");
-        let ops = &self.pool_ops;
         let mut next_undecided = 0u64;
-        if walkable {
-            let mut splitter = WindowSplitter::new(&mut self.pool_counts);
+        if msr.own_insensitive() {
+            // Mega-block: one aggregate call covers every group (the
+            // `own` argument is ignored by the rule's law).
+            msr.condensed_window_step(
+                Opinion::UNDECIDED,
+                self.local_n as u64,
+                &self.pool_ops,
+                &mut self.pool_counts,
+                &mut self.rng,
+                &mut self.step_out,
+            );
+        } else if (self.groups.len() as u64).saturating_mul(d as u64) <= (self.local_n as u64) * h {
+            // Grouped: deal each group its `count · h`-ball share of
+            // the shrinking pool, then apply the rule's aggregate law
+            // once per group.
+            let mut splitter = GroupSplitter::new(&mut self.pool_counts);
             for gi in 0..self.groups.len() {
                 let (own, count) = self.groups[gi];
-                for _ in 0..count {
-                    self.window.clear();
-                    let window = &mut self.window;
-                    splitter
-                        .draw_window(h, &mut self.rng, |cat, x| window.push((ops[cat], x as u32)));
-                    let next = msr.update_from_counts(own, &self.window, &mut self.rng);
-                    if next.is_undecided() {
-                        next_undecided += 1;
-                    } else {
-                        let i = next.index();
-                        if self.count_scratch[i] == 0 {
-                            self.touched.push(i as u32);
-                        }
-                        self.count_scratch[i] += 1;
-                    }
-                }
+                let block = &mut self.group_block;
+                block.clear();
+                block.resize(d, 0);
+                splitter.draw_block(count * h, &mut self.rng, |j, x| block[j] += x);
+                msr.condensed_window_step(
+                    own,
+                    count,
+                    &self.pool_ops,
+                    block,
+                    &mut self.rng,
+                    &mut self.step_out,
+                );
             }
             debug_assert_eq!(splitter.remaining(), 0, "the pool must be dealt exactly");
         } else {
-            let mut dealer = FenwickPool::new(&self.pool_counts);
+            // Flat dealing: the per-group dense blocks would cost more
+            // than touching every ball once, so flatten the pool and
+            // deal per-node windows by partial Fisher–Yates.
+            self.flat_pool.clear();
+            for (j, &c) in self.pool_counts.iter().enumerate() {
+                let o = self.pool_ops[j];
+                self.flat_pool.extend(std::iter::repeat_n(o, c as usize));
+            }
+            let mut m = self.flat_pool.len();
             for gi in 0..self.groups.len() {
                 let (own, count) = self.groups[gi];
                 for _ in 0..count {
                     self.window.clear();
                     for _ in 0..self.h {
-                        let o = ops[dealer.draw(&mut self.rng)];
+                        let j = self.rng.gen_range(0..m);
+                        let o = self.flat_pool[j];
+                        m -= 1;
+                        self.flat_pool[j] = self.flat_pool[m];
                         match self.window.iter_mut().find(|e| e.0 == o) {
                             Some(e) => e.1 += 1,
                             None => self.window.push((o, 1)),
                         }
                     }
                     let next = msr.update_from_counts(own, &self.window, &mut self.rng);
-                    if next.is_undecided() {
-                        next_undecided += 1;
+                    self.consumed_flat.push(if next.is_undecided() {
+                        u32::MAX
                     } else {
-                        let i = next.index();
-                        if self.count_scratch[i] == 0 {
-                            self.touched.push(i as u32);
-                        }
-                        self.count_scratch[i] += 1;
-                    }
+                        next.index() as u32
+                    });
                 }
             }
-            debug_assert_eq!(dealer.remaining(), 0, "the pool must be dealt exactly");
+            debug_assert_eq!(m, 0, "the pool must be dealt exactly");
+            // Per-node decisions went to the flat tally; nothing ran
+            // through `step_out`, so install by sort/RLE and be done.
+            debug_assert!(self.step_out.is_empty());
+            self.install_condensed_from_flat();
+            return;
+        }
+        for gi in 0..self.step_out.len() {
+            let (o, c) = self.step_out[gi];
+            if c == 0 {
+                continue;
+            }
+            if o.is_undecided() {
+                next_undecided += c;
+            } else {
+                let i = o.index();
+                if self.count_scratch[i] == 0 {
+                    self.touched.push(i as u32);
+                }
+                self.count_scratch[i] += c;
+            }
         }
         self.install_condensed(next_undecided);
     }
@@ -1357,19 +1604,32 @@ impl<R: UpdateRule, T: Transport> Worker<R, T> {
         // pull path).
         self.snapshot_round_start();
 
-        // Broadcast it as a histogram palette, one copy per peer.
+        // Broadcast it as a histogram palette, one copy per peer —
+        // built once, then bulk-copied per destination rather than
+        // re-pushed entry by entry `shards` times.
+        let (mut body, mut bruns) = self.palette_pool.pop().unwrap_or_default();
+        body.clear();
+        bruns.clear();
+        for &i in &self.snap_touched {
+            bruns.push((body.len() as u32, self.snap_counts[i as usize]));
+            body.push(Opinion::new(i));
+        }
+        if self.snap_undecided > 0 {
+            bruns.push((body.len() as u32, self.snap_undecided));
+            body.push(Opinion::UNDECIDED);
+        }
         for dest in 0..shards {
-            let (mut palette, mut pruns) = self.palette_pool.pop().unwrap_or_default();
-            palette.clear();
-            pruns.clear();
-            for &i in &self.snap_touched {
-                pruns.push((palette.len() as u32, self.snap_counts[i as usize]));
-                palette.push(Opinion::new(i));
-            }
-            if self.snap_undecided > 0 {
-                pruns.push((palette.len() as u32, self.snap_undecided));
-                palette.push(Opinion::UNDECIDED);
-            }
+            let (palette, pruns) = if dest + 1 == shards {
+                // The last copy hands off the original buffers.
+                (std::mem::take(&mut body), std::mem::take(&mut bruns))
+            } else {
+                let (mut p, mut r) = self.palette_pool.pop().unwrap_or_default();
+                p.clear();
+                r.clear();
+                p.extend_from_slice(&body);
+                r.extend_from_slice(&bruns);
+                (p, r)
+            };
             let msg = OpinionPalette {
                 origin: self.shard_id as u32,
                 round: self.round_no,
@@ -1699,6 +1959,17 @@ impl<R: UpdateRule, T: Transport> Worker<R, T> {
 
         self.snapshot_round_start();
 
+        let (mut body, mut bruns) = self.palette_pool.pop().unwrap_or_default();
+        body.clear();
+        bruns.clear();
+        for &i in &self.snap_touched {
+            bruns.push((body.len() as u32, self.snap_counts[i as usize]));
+            body.push(Opinion::new(i));
+        }
+        if self.snap_undecided > 0 {
+            bruns.push((body.len() as u32, self.snap_undecided));
+            body.push(Opinion::UNDECIDED);
+        }
         let mut expected_palettes = 0usize;
         for peer in 0..shards {
             if self.plan.is_crashed(peer, round) {
@@ -1711,17 +1982,12 @@ impl<R: UpdateRule, T: Transport> Worker<R, T> {
             let (mut palette, mut pruns) = self.palette_pool.pop().unwrap_or_default();
             palette.clear();
             pruns.clear();
-            for &i in &self.snap_touched {
-                pruns.push((palette.len() as u32, self.snap_counts[i as usize]));
-                palette.push(Opinion::new(i));
-            }
-            if self.snap_undecided > 0 {
-                pruns.push((palette.len() as u32, self.snap_undecided));
-                palette.push(Opinion::UNDECIDED);
-            }
+            palette.extend_from_slice(&body);
+            pruns.extend_from_slice(&bruns);
             let msg = OpinionPalette { origin: self.shard_id as u32, round, palette, runs: pruns };
             self.send_palette_faulty(peer, msg, messages_sent);
         }
+        self.palette_pool.push((body, bruns));
         for &i in &self.snap_touched {
             self.snap_counts[i as usize] = 0;
         }
@@ -2030,26 +2296,24 @@ impl<R: UpdateRule, T: Transport> Worker<R, T> {
                 palette.push(Opinion::UNDECIDED);
             }
         } else if self.condensed {
-            // Raw palette off the histogram: a uniform snapshot read is
-            // a draw from the round-start distribution, so serve from
-            // an alias table over it — built once per round on the
-            // first raw batch, shared by the rest (the draws still come
-            // from the per-origin serving streams, so pipelined serving
+            // Raw palette off the histogram: a uniform read of the flat
+            // mirror is a draw from the round-start distribution — the
+            // mirror is run-filled once per round on the first raw
+            // batch and shared by the rest (the draws still come from
+            // the per-origin serving streams, so pipelined serving
             // stays arrival-order independent).
             if total > 0 {
-                if !self.serve_alias_fresh {
-                    self.theta_scratch.clear();
-                    self.theta_scratch.extend(
-                        self.snap_touched.iter().map(|&i| self.snap_counts[i as usize] as f64),
-                    );
-                    self.theta_scratch.push(self.snap_undecided as f64);
-                    match self.serve_alias.as_mut() {
-                        Some(alias) => alias.rebuild(&self.theta_scratch),
-                        None => self.serve_alias = Some(Categorical::new(&self.theta_scratch)),
+                if !self.serve_flat_fresh {
+                    self.serve_flat.clear();
+                    self.serve_flat.reserve(local_n);
+                    for &i in &self.snap_touched {
+                        let c = self.snap_counts[i as usize] as usize;
+                        self.serve_flat.resize(self.serve_flat.len() + c, Opinion::new(i));
                     }
-                    self.serve_alias_fresh = true;
+                    // The remainder up to local_n is the undecided tail.
+                    self.serve_flat.resize(local_n, Opinion::UNDECIDED);
+                    self.serve_flat_fresh = true;
                 }
-                let alias = self.serve_alias.as_ref().expect("alias built above");
                 palette.reserve(total as usize);
                 for run in &batch.target_runs {
                     debug_assert!(
@@ -2057,12 +2321,8 @@ impl<R: UpdateRule, T: Transport> Worker<R, T> {
                         "batched pulls cover whole shard ranges"
                     );
                     for _ in 0..run.count {
-                        let j = alias.sample(rng);
-                        palette.push(if j < self.snap_touched.len() {
-                            Opinion::new(self.snap_touched[j])
-                        } else {
-                            Opinion::UNDECIDED
-                        });
+                        let t = rng.gen_range(0..local_n);
+                        palette.push(self.serve_flat[t]);
                     }
                 }
             }
@@ -2085,14 +2345,37 @@ impl<R: UpdateRule, T: Transport> Worker<R, T> {
     /// counts forward and reports the changed-slot count.
     fn build_report(&mut self, format: ReportFormat) -> (ReportBody, u64, Option<u64>) {
         let tracking = self.report_mode == ReportMode::Delta;
-        self.touched.clear();
-        let undecided = if self.condensed {
-            // The post-step histogram *is* the count — mirror it
-            // (`O(#occupied)`, no recount) and let the body builders
-            // below run unchanged.
+        if self.condensed && self.report_pairs_fresh {
+            self.report_pairs_fresh = false;
+            if !tracking && format == ReportFormat::Sparse {
+                // Flat-tally install: `hist_pairs` *is* the sparse
+                // body, already sorted — no dense pass at all. The
+                // scratch was never written this round, so there is
+                // nothing to zero behind the report.
+                return (ReportBody::Sparse(self.hist_pairs.clone()), self.hist_undecided, None);
+            }
+            // Dense/delta shapes want the dense scratch: mirror once
+            // and fall through as a freshly-tallied report.
+            self.touched.clear();
             self.mirror_hist(Mirror::Report);
+            self.report_fresh = true;
+        }
+        let undecided = if self.condensed {
+            // The post-step histogram *is* the count. Right after a
+            // condensed consume the tally it was installed from is
+            // still sitting in the scratch — report straight off it;
+            // otherwise (round-0 style calls) mirror the histogram
+            // (`O(#occupied)`, no recount). Either way the body
+            // builders below run unchanged.
+            if self.report_fresh {
+                self.report_fresh = false;
+            } else {
+                self.touched.clear();
+                self.mirror_hist(Mirror::Report);
+            }
             self.hist_undecided
         } else {
+            self.touched.clear();
             count_opinions(&self.opinions, &mut self.count_scratch, &mut self.touched)
         };
 

@@ -19,10 +19,12 @@
 //!   trajectory-invisible, palette-loss compensation and crash-rejoin
 //!   conserve mass on histogram-backed shards.
 
-use symbreak_core::rules::{ThreeMajority, TwoChoices, UndecidedDynamics, Voter};
+use symbreak_core::rules::{
+    HMajority, ThreeMajority, TwoChoices, TwoMedian, UndecidedDynamics, Voter,
+};
 use symbreak_core::{Configuration, UpdateRule};
 use symbreak_runtime::{
-    Cluster, ClusterConfig, ConsumeMode, CrashSpec, FaultPlan, ShardRepr, WireMode,
+    Cluster, ClusterConfig, ConsumeMode, CrashSpec, FaultPlan, GearMode, ShardRepr, WireMode,
 };
 use symbreak_sim::run_trials;
 use symbreak_stats::Summary;
@@ -52,9 +54,23 @@ fn times_with_repr<R>(
 where
     R: UpdateRule + Clone + Send + Sync,
 {
+    times_with_repr_gear(rule, start, trials, seed, repr, GearMode::Auto)
+}
+
+fn times_with_repr_gear<R>(
+    rule: R,
+    start: &Configuration,
+    trials: u64,
+    seed: u64,
+    repr: ShardRepr,
+    gear: GearMode,
+) -> Vec<u64>
+where
+    R: UpdateRule + Clone + Send + Sync,
+{
     let start = start.clone();
     run_trials(trials, seed, move |_t, s| {
-        let cfg = ClusterConfig::new(3, s).with_shard_repr(repr);
+        let cfg = ClusterConfig::new(3, s).with_shard_repr(repr).with_data_gear(gear);
         let cluster = Cluster::new(rule.clone(), &start, cfg);
         cluster.run_to_consensus(10_000_000).expect("consensus").consensus_round
     })
@@ -125,6 +141,120 @@ fn condensed_matches_agents_undecided_dynamics() {
 }
 
 // ---------------------------------------------------------------------
+// The grouped condensed pull gear, pinned in law: with the data gear
+// forced to pull on *both* representations, every round of the
+// condensed run flows through the grouped consume (per-opinion
+// hypergeometric blocks / flat dealing / pooled tally) while the agent
+// run walks its nodes — the two must agree in distribution. One test
+// per consume dispatch arm.
+// ---------------------------------------------------------------------
+
+#[test]
+fn forced_pull_grouped_matches_agents_three_majority() {
+    // Own-insensitive multiset rule from the k = n start: the condensed
+    // pull round runs the single mega-block `condensed_window_step`
+    // while the pool is concentrated, and the origin-interleaved flat
+    // path while it is diverse — both arms stay pull-only under
+    // `GearMode::ForcePull`.
+    let start = Configuration::singletons(96);
+    let trials = 48;
+    let condensed = times_with_repr_gear(
+        ThreeMajority,
+        &start,
+        trials,
+        12100,
+        ShardRepr::Histogram,
+        GearMode::ForcePull,
+    );
+    let agents = times_with_repr_gear(
+        ThreeMajority,
+        &start,
+        trials,
+        12200,
+        ShardRepr::Agents,
+        GearMode::ForcePull,
+    );
+    assert_means_agree("3-Majority forced pull", &condensed, &agents);
+}
+
+#[test]
+fn forced_pull_grouped_matches_agents_two_median() {
+    // Own-sensitive multiset rule: the grouped consume cannot collapse
+    // to one mega block, so the singleton start drives the flat
+    // origin-interleaved dealing (positional windows, O(1) per ball).
+    let start = Configuration::singletons(96);
+    let trials = 48;
+    let condensed = times_with_repr_gear(
+        TwoMedian,
+        &start,
+        trials,
+        12300,
+        ShardRepr::Histogram,
+        GearMode::ForcePull,
+    );
+    let agents = times_with_repr_gear(
+        TwoMedian,
+        &start,
+        trials,
+        12400,
+        ShardRepr::Agents,
+        GearMode::ForcePull,
+    );
+    assert_means_agree("2-Median forced pull", &condensed, &agents);
+}
+
+#[test]
+fn forced_pull_grouped_matches_agents_undecided_dynamics() {
+    // The undecided dynamics exercises the grouped per-(opinion-group)
+    // split with the UNDECIDED pseudo-group carried outside the slots.
+    let start = Configuration::from_counts(vec![70, 30]);
+    let trials = 48;
+    let condensed = times_with_repr_gear(
+        UndecidedDynamics,
+        &start,
+        trials,
+        12500,
+        ShardRepr::Histogram,
+        GearMode::ForcePull,
+    );
+    let agents = times_with_repr_gear(
+        UndecidedDynamics,
+        &start,
+        trials,
+        12600,
+        ShardRepr::Agents,
+        GearMode::ForcePull,
+    );
+    assert_means_agree("Undecided dynamics forced pull", &condensed, &agents);
+}
+
+#[test]
+fn forced_pull_grouped_matches_agents_h_majority() {
+    // h = 5 has no closed-form aggregate: the grouped consume falls
+    // back to `condensed_window_step_by_dealing` (window splits per
+    // group), which must still match the per-node agent walk in law.
+    let start = Configuration::uniform(96, 6);
+    let trials = 48;
+    let condensed = times_with_repr_gear(
+        HMajority::new(5),
+        &start,
+        trials,
+        12700,
+        ShardRepr::Histogram,
+        GearMode::ForcePull,
+    );
+    let agents = times_with_repr_gear(
+        HMajority::new(5),
+        &start,
+        trials,
+        12800,
+        ShardRepr::Agents,
+        GearMode::ForcePull,
+    );
+    assert_means_agree("h-Majority (h = 5) forced pull", &condensed, &agents);
+}
+
+// ---------------------------------------------------------------------
 // Determinism and seed-exact sub-paths.
 // ---------------------------------------------------------------------
 
@@ -177,6 +307,88 @@ fn per_entry_wire_downgrade_is_agent_exact() {
     assert_eq!(hist.total_messages, agents.total_messages);
     assert_eq!(hist.final_config, agents.final_config);
     assert_eq!(trace_digest(&hist.trace), trace_digest(&agents.trace));
+}
+
+// ---------------------------------------------------------------------
+// Gear forcing: seed-exact pins.
+// ---------------------------------------------------------------------
+
+#[test]
+fn force_push_is_auto_exact_when_auto_arbitrates_push() {
+    // From the uniform k = 8 start, `occ · shards² = 9 · 9 ≤ n · h =
+    // 256 · 3` from round 1 and occupancy only falls, so the auto
+    // arbitration picks push every round — forcing push must therefore
+    // reproduce the auto run byte for byte, not merely in law.
+    let start = Configuration::uniform(256, 8);
+    let run = |gear| {
+        let cfg = ClusterConfig::new(3, 21).with_data_gear(gear);
+        Cluster::new(ThreeMajority, &start, cfg).run_to_consensus(1_000_000).expect("consensus")
+    };
+    let auto = run(GearMode::Auto);
+    let forced = run(GearMode::ForcePush);
+    assert_eq!(auto.consensus_round, forced.consensus_round);
+    assert_eq!(auto.total_messages, forced.total_messages);
+    assert_eq!(auto.final_config, forced.final_config);
+    assert_eq!(trace_digest(&auto.trace), trace_digest(&forced.trace));
+}
+
+#[test]
+fn ordered_window_downgrade_forced_pull_is_agent_exact() {
+    // Ordered-window rules arbitrate down to agent-backed shards even
+    // when a gear is forced: with `ForcePull` pinning both fleets to
+    // the same gear sequence, the `Histogram` request and the explicit
+    // `Agents` config must still coincide byte for byte.
+    let start = Configuration::singletons(128);
+    let run = |repr| {
+        let cfg = ClusterConfig::new(3, 7)
+            .with_consume_mode(ConsumeMode::Ordered)
+            .with_shard_repr(repr)
+            .with_data_gear(GearMode::ForcePull);
+        Cluster::new(TwoChoices, &start, cfg).run_horizon(30)
+    };
+    let hist = run(ShardRepr::Histogram);
+    let agents = run(ShardRepr::Agents);
+    assert_eq!(hist.total_messages, agents.total_messages);
+    assert_eq!(hist.final_config, agents.final_config);
+    assert_eq!(trace_digest(&hist.trace), trace_digest(&agents.trace));
+}
+
+#[test]
+fn per_entry_wire_ignores_gear_force() {
+    // Gears arbitrate the *batched* data plane; the per-entry wire has
+    // no palettes to push, so forcing a gear there must change nothing.
+    let start = Configuration::uniform(120, 6);
+    let run = |gear| {
+        let cfg = ClusterConfig::new(3, 9)
+            .with_wire_mode(WireMode::PerEntry)
+            .with_shard_repr(ShardRepr::Histogram)
+            .with_data_gear(gear);
+        Cluster::new(Voter, &start, cfg).run_horizon(25)
+    };
+    let default = run(GearMode::Auto);
+    let forced = run(GearMode::ForcePush);
+    assert_eq!(default.total_messages, forced.total_messages);
+    assert_eq!(default.final_config, forced.final_config);
+    assert_eq!(trace_digest(&default.trace), trace_digest(&forced.trace));
+}
+
+#[test]
+fn condensed_forced_pull_is_deterministic_per_seed() {
+    // The grouped pull consume (mega block, interleaved dealing, flat
+    // tally) draws through the shard's owned stream only: two runs of
+    // the same seed must coincide exactly even with the gear pinned to
+    // the grouped path's worst case.
+    let start = Configuration::singletons(96);
+    let run = || {
+        let cfg = ClusterConfig::new(4, 99).with_data_gear(GearMode::ForcePull);
+        Cluster::new(ThreeMajority, &start, cfg).run_to_consensus(1_000_000).expect("consensus")
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.consensus_round, b.consensus_round);
+    assert_eq!(a.total_messages, b.total_messages);
+    assert_eq!(a.final_config, b.final_config);
+    assert_eq!(trace_digest(&a.trace), trace_digest(&b.trace));
 }
 
 // ---------------------------------------------------------------------

@@ -18,13 +18,22 @@
 //!   singleton start from paying one binomial construction per occupied
 //!   slot.
 //! * [`Geometric`] — inversion.
-//! * [`Hypergeometric`] — inversion from the support's lower bound;
-//!   built for the small draw counts of per-node sample windows.
+//! * [`Hypergeometric`] — inversion from the support's lower bound for
+//!   the small draw counts of per-node sample windows, switching to a
+//!   mode-centered two-sided inversion when the edge pmf underflows
+//!   (bulk draws).
 //! * [`WindowSplitter`] / [`WindowMultinomial`] — per-node window
 //!   samplers for rules that consume only the *multiset* of their
 //!   window: a without-replacement dealing of a pooled sample histogram
 //!   (multivariate hypergeometric conditionals), and i.i.d. `Mult(h, θ)`
 //!   windows with the conditional binomials cached across nodes.
+//! * [`GroupSplitter`] — the bulk sibling of `WindowSplitter`: deals a
+//!   pooled histogram into per-(opinion-group) *blocks* of `g·h` draws
+//!   in one multivariate-hypergeometric call per block, which is what
+//!   makes condensed pull rounds `O(#occupied·h)` instead of per-node.
+//! * [`FenwickPool`] — a without-replacement dealer over category
+//!   counts (`O(log d)` bit-descended single draws, bulk removal by
+//!   conditional hypergeometrics).
 //! * [`sample_distinct`] — Floyd's algorithm for `m` distinct indices.
 //!
 //! All samplers take any [`rand::RngCore`] (including `&mut dyn RngCore`)
@@ -55,7 +64,7 @@
 //! assert!(pulls.iter().all(|&c| c < 3));
 //! ```
 
-use rand::RngCore;
+use rand::{Rng, RngCore};
 
 /// `n·min(p, 1−p)` boundary between the inversion and BTRS regimes.
 /// `benches/ablation.rs` probes both sides of this threshold.
@@ -584,10 +593,11 @@ fn conditional_binomial_walk<R, F>(
 /// ```
 #[derive(Debug, Clone)]
 pub struct Categorical {
-    /// Acceptance probability per column.
-    prob: Vec<f64>,
-    /// Fallback category per column.
-    alias: Vec<u32>,
+    /// Per-column `(acceptance probability, fallback alias)` packed
+    /// into one 16-byte entry: the hot draw reads both unconditionally
+    /// (branch-free select), so keeping them on the same cache line
+    /// halves the random memory traffic per draw on large tables.
+    table: Vec<(f64, u32)>,
     /// Lemire rejection threshold `2^64 mod k`, precomputed so the hot
     /// draw never executes an integer division.
     reject_below: u64,
@@ -600,7 +610,7 @@ impl Categorical {
     /// Panics on empty input, negative/non-finite weights, or an all-zero
     /// weight vector.
     pub fn new(weights: &[f64]) -> Self {
-        let mut cat = Self { prob: Vec::new(), alias: Vec::new(), reject_below: 0 };
+        let mut cat = Self { table: Vec::new(), reject_below: 0 };
         cat.rebuild(weights);
         cat
     }
@@ -629,19 +639,16 @@ impl Categorical {
         assert!(total > 0.0, "categorical weights must not all be zero");
 
         // Scaled weights: mean 1. Columns < 1 need an alias partner.
-        let scale = k as f64 / total;
-        let prob = &mut self.prob;
-        let alias = &mut self.alias;
-        prob.clear();
-        prob.extend(weights.iter().map(|&w| w * scale));
         // Zero-weight columns must alias somewhere harmless; the argmax
         // is always a valid positive category.
-        alias.clear();
-        alias.resize(k, argmax as u32);
+        let scale = k as f64 / total;
+        let table = &mut self.table;
+        table.clear();
+        table.extend(weights.iter().map(|&w| (w * scale, argmax as u32)));
 
         let mut small: Vec<u32> = Vec::with_capacity(k);
         let mut large: Vec<u32> = Vec::with_capacity(k);
-        for (i, &p) in prob.iter().enumerate() {
+        for (i, &(p, _)) in table.iter().enumerate() {
             if p < 1.0 {
                 small.push(i as u32);
             } else {
@@ -652,10 +659,10 @@ impl Categorical {
             small.pop();
             // Column s keeps its own mass; the rest of the column is
             // donated by l.
-            alias[s as usize] = l;
-            let donated = 1.0 - prob[s as usize];
-            prob[l as usize] -= donated;
-            if prob[l as usize] < 1.0 {
+            table[s as usize].1 = l;
+            let donated = 1.0 - table[s as usize].0;
+            table[l as usize].0 -= donated;
+            if table[l as usize].0 < 1.0 {
                 large.pop();
                 // Only genuinely positive categories may become direct
                 // hits; floating-point residue on a zero weight must not.
@@ -666,18 +673,14 @@ impl Categorical {
         }
         // Leftovers (all ≈ 1 up to rounding) accept directly.
         for &i in small.iter().chain(large.iter()) {
-            if weights[i as usize] > 0.0 {
-                prob[i as usize] = 1.0;
-            } else {
-                prob[i as usize] = 0.0;
-            }
+            table[i as usize].0 = if weights[i as usize] > 0.0 { 1.0 } else { 0.0 };
         }
         self.reject_below = (k as u64).wrapping_neg() % k as u64;
     }
 
     /// Number of categories.
     pub fn k(&self) -> usize {
-        self.prob.len()
+        self.table.len()
     }
 
     /// Draws one category index in `O(1)` — a single 64-bit draw.
@@ -690,7 +693,7 @@ impl Categorical {
     /// this is what the agent engine leans on for `n·h` draws per round.
     #[inline]
     pub fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
-        let k = self.prob.len() as u64;
+        let k = self.table.len() as u64;
         loop {
             let m = (rng.next_u64() as u128).wrapping_mul(k as u128);
             let low = m as u64;
@@ -704,10 +707,9 @@ impl Categorical {
             // donations, leaving accept probabilities spread over (0, 1)),
             // so a branch here mispredicts ~50% and dominates the draw.
             // Select with mask arithmetic instead — guaranteed branch-free.
-            let p = self.prob[i];
-            let a = self.alias[i] as usize;
+            let (p, a) = self.table[i];
             let mask = ((frac < p) as usize).wrapping_neg();
-            return (i & mask) | (a & !mask);
+            return (i & mask) | (a as usize & !mask);
         }
     }
 }
@@ -765,10 +767,24 @@ impl Geometric {
 ///
 /// Sampled by inversion from the support's lower bound
 /// `max(0, draws − (total − marked))` using the pmf ratio recurrence —
-/// exact, with the starting pmf evaluated through `ln_factorial`. The
-/// walk visits at most `draws + 1` support points, so this sampler is
-/// built for the small per-window draw counts of the engine stack
-/// (`h ≤ 9`ish), not for bulk draws.
+/// exact, with the starting pmf evaluated through `ln_factorial` — when
+/// the expected walk length `mean − lo` is at most [`WALK_MEAN_CAP`],
+/// which fits the small per-window draw counts of the engine stack
+/// (`h ≤ 9`ish). For *bulk* parameters (a long expected walk, or an
+/// edge pmf that underflows `f64`) construction switches to
+/// the HRUA ratio-of-uniforms rejection sampler (Stadlober 1989;
+/// Kachitvichyanukul & Schmeiser 1985) — exact acceptance against the
+/// true pmf through `ln_factorial`, **O(1) expected uniforms per draw**
+/// regardless of the standard deviation, which is what keeps bulk
+/// pool-dealing (`GroupSplitter` blocks, condensed cross-deals)
+/// n-independent. Degenerate bulk corners HRUA's table-mountain hat
+/// does not cover (`min(draws, total − draws) < 10` or
+/// `min(marked, total − marked) < 10` — reachable only through extreme
+/// `total`) fall back to a two-sided inversion walking outward from the
+/// mode `⌊(draws+1)(marked+1)/(total+2)⌋` with the same exact ratio
+/// recurrences, expected `O(σ)` support points per draw. Every start
+/// realizes the identical law; small-draw parameters keep the
+/// lower-bound start (and its exact randomness consumption) unchanged.
 ///
 /// # Example
 /// ```
@@ -792,9 +808,59 @@ pub struct Hypergeometric {
     lo: u64,
     /// Support upper bound `min(draws, marked)`.
     hi: u64,
-    /// `pmf(lo)`.
-    p_lo: f64,
+    /// Inversion starting point: `lo` when `pmf(lo)` is representable
+    /// (the small-draw walk), otherwise the mode (bulk regime).
+    start: u64,
+    /// `pmf(start)`.
+    p_start: f64,
+    /// Precomputed HRUA rejection constants (bulk regime only).
+    hrua: Option<Hrua>,
 }
+
+/// Constants of the HRUA ratio-of-uniforms hat, precomputed once per
+/// parameter triple. The hat is built over the *transformed* problem
+/// `(mingoodbad, maxgoodbad, computed_draws)` with
+/// `computed_draws = min(draws, total − draws) ≤ total/2` and
+/// `mingoodbad = min(marked, total − marked)`, whose symmetry keeps the
+/// acceptance rate bounded below uniformly in the parameters; the
+/// sample is mapped back through the two reflections afterwards.
+#[derive(Debug, Clone, Copy)]
+struct Hrua {
+    /// `min(marked, total − marked)`.
+    mingoodbad: u64,
+    /// `max(marked, total − marked)`.
+    maxgoodbad: u64,
+    /// `min(draws, total − draws)`.
+    computed_draws: u64,
+    /// Hat center `mean + 1/2`.
+    a: f64,
+    /// Hat width `D1·sqrt(var + 1/2) + D2` (twice Stadlober's `s_hat`).
+    width: f64,
+    /// Exclusive upper bound on accepted candidates.
+    b: f64,
+    /// `ln pmf` numerator terms at the transformed mode (the additive
+    /// `ln C(total, draws)` constant cancels in the acceptance test).
+    g: f64,
+    /// Original `marked` (the second reflection needs it).
+    marked: u64,
+    /// `marked > total − marked`: undo with `k ← computed_draws − k`.
+    marked_flipped: bool,
+    /// `draws > total − draws`: undo with `k ← marked − k`.
+    draws_flipped: bool,
+}
+
+/// HRUA hat-width constants: `2·sqrt(2/e)` and `3 − 2·sqrt(3/e)`.
+const HRUA_D1: f64 = 1.715_527_769_921_413_5;
+const HRUA_D2: f64 = 0.898_916_162_058_898_8;
+
+/// Largest expected one-sided walk (`mean − lo` support points per
+/// draw) the lower-bound inversion is allowed; longer walks take the
+/// O(1)-expected HRUA rejection instead. Comfortably above every
+/// per-window draw count (`draws ≤ h`), so window dealing keeps the
+/// legacy walk and its exact randomness consumption; comfortably below
+/// where the walk's linear cost overtakes HRUA's ~2 log-pmf
+/// evaluations per draw.
+pub const WALK_MEAN_CAP: f64 = 64.0;
 
 impl Hypergeometric {
     /// Creates a sampler for the urn `(total, marked)` and `draws` draws.
@@ -806,25 +872,63 @@ impl Hypergeometric {
         assert!(draws <= total, "cannot draw {draws} of {total} balls");
         let lo = draws.saturating_sub(total - marked);
         let hi = draws.min(marked);
-        let p_lo = if lo == hi {
-            1.0
-        } else {
-            // ln pmf(lo) = ln C(marked, lo) + ln C(total−marked, draws−lo)
-            //            − ln C(total, draws).
-            let ln_c = |n: u64, k: u64| ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k);
-            (ln_c(marked, lo) + ln_c(total - marked, draws - lo) - ln_c(total, draws)).exp()
-        };
-        // A zero starting pmf would make the inversion walk spin forever
-        // (the ratio recurrence can never leave 0). This only happens
-        // when the support is so wide that pmf(lo) underflows f64 —
-        // parameters far outside the small-draw windows this sampler is
-        // built for; fail fast instead of hanging.
-        assert!(
-            p_lo > 0.0,
-            "Hypergeometric({total}, {marked}, {draws}): pmf underflows at the support edge; \
-             draw counts this large need a mode-centered sampler"
-        );
-        Self { total, marked, draws, lo, hi, p_lo }
+        // ln pmf(x) = ln C(marked, x) + ln C(total−marked, draws−x)
+        //           − ln C(total, draws).
+        let ln_c = |n: u64, k: u64| ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k);
+        let ln_pmf =
+            |x: u64| ln_c(marked, x) + ln_c(total - marked, draws - x) - ln_c(total, draws);
+        let mut hrua = None;
+        let (mut start, mut p_start) = (lo, 1.0);
+        if lo != hi {
+            // The one-sided walk from `lo` visits `mean − lo` support
+            // points in expectation — only dispatch to it when that is
+            // genuinely small (it always is for per-window draws,
+            // `draws ≤ h`, which keeps the legacy byte-exact randomness
+            // consumption on those paths) *and* its starting pmf is
+            // representable.
+            let mean = draws as f64 * marked as f64 / total as f64;
+            let walkable = mean - lo as f64 <= WALK_MEAN_CAP;
+            let p_lo = if walkable { ln_pmf(lo).exp() } else { 0.0 };
+            if p_lo > 0.0 {
+                p_start = p_lo;
+            } else {
+                // Bulk regime: reject against the HRUA hat (O(1)
+                // expected per draw, n-independent) when its validity
+                // floor holds, else start an inversion at the mode —
+                // its pmf is at least 1/(support width), far above any
+                // underflow — and walk both directions from there.
+                hrua = Hrua::new(total, marked, draws);
+                if hrua.is_none() {
+                    let mode =
+                        ((draws + 1) as f64 * (marked + 1) as f64 / (total + 2) as f64) as u64;
+                    let mode = mode.clamp(lo, hi);
+                    let p_mode = ln_pmf(mode).exp();
+                    assert!(
+                        p_mode > 0.0,
+                        "Hypergeometric({total}, {marked}, {draws}): mode pmf underflowed"
+                    );
+                    (start, p_start) = (mode, p_mode);
+                }
+            }
+        }
+        Self { total, marked, draws, lo, hi, start, p_start, hrua }
+    }
+
+    /// Ratio `pmf(x+1)/pmf(x)` (requires `lo ≤ x < hi`).
+    fn ratio_up(&self, x: u64) -> f64 {
+        let num = (self.marked - x) as f64 * (self.draws - x) as f64;
+        // `x ≥ lo` keeps `total − marked + x + 1 ≥ draws`, so this
+        // ordering never underflows.
+        let den = (x + 1) as f64 * (self.total - self.marked + x + 1 - self.draws) as f64;
+        num / den
+    }
+
+    /// Ratio `pmf(x−1)/pmf(x)` (requires `lo < x ≤ hi`).
+    fn ratio_down(&self, x: u64) -> f64 {
+        // `x > lo` keeps `total − marked − draws + x ≥ 1`.
+        let num = x as f64 * (self.total - self.marked - self.draws + x) as f64;
+        let den = (self.marked - x + 1) as f64 * (self.draws - x + 1) as f64;
+        num / den
     }
 
     /// Draws one value in `lo..=hi`.
@@ -832,30 +936,166 @@ impl Hypergeometric {
         if self.lo == self.hi {
             return self.lo;
         }
-        // Inversion with the ratio recurrence
-        // pmf(x+1)/pmf(x) = (marked−x)(draws−x) / ((x+1)(total−marked−draws+x+1));
-        // restarting past the upper bound handles floating-point dust in
-        // the cdf exactly like the binomial BINV walk does.
-        loop {
-            let mut u = unit_f64(rng);
-            let mut x = self.lo;
-            let mut r = self.p_lo;
+        if let Some(hrua) = &self.hrua {
+            let x = hrua.sample(rng);
+            debug_assert!((self.lo..=self.hi).contains(&x));
+            return x;
+        }
+        if self.start == self.lo {
+            // Small-draw one-sided inversion from the lower bound, with
+            // the ratio recurrence; restarting past the upper bound
+            // handles floating-point dust in the cdf exactly like the
+            // binomial BINV walk does.
             loop {
-                if u <= r {
-                    return x;
+                let mut u = unit_f64(rng);
+                let mut x = self.lo;
+                let mut r = self.p_start;
+                loop {
+                    if u <= r {
+                        return x;
+                    }
+                    u -= r;
+                    if x == self.hi {
+                        break; // numerical tail; redraw
+                    }
+                    r *= self.ratio_up(x);
+                    x += 1;
                 }
-                u -= r;
-                if x == self.hi {
-                    break; // numerical tail; redraw
-                }
-                let num = (self.marked - x) as f64 * (self.draws - x) as f64;
-                // `x ≥ lo` keeps `total − marked + x + 1 ≥ draws`, so this
-                // ordering never underflows.
-                let den = (x + 1) as f64 * (self.total - self.marked + x + 1 - self.draws) as f64;
-                r *= num / den;
-                x += 1;
             }
         }
+        // Bulk fallback (degenerate corners outside the HRUA validity
+        // floor): two-sided inversion accumulating the cdf outward from
+        // the mode, alternating sides, so the expected number of visited
+        // support points is O(standard deviation) regardless of how wide
+        // the support is. One uniform per attempt, like the walk above.
+        loop {
+            let mut u = unit_f64(rng);
+            if u <= self.p_start {
+                return self.start;
+            }
+            u -= self.p_start;
+            let (mut up, mut r_up) = (self.start, self.p_start);
+            let (mut dn, mut r_dn) = (self.start, self.p_start);
+            loop {
+                let mut moved = false;
+                if up < self.hi {
+                    r_up *= self.ratio_up(up);
+                    up += 1;
+                    if u <= r_up {
+                        return up;
+                    }
+                    u -= r_up;
+                    moved = true;
+                }
+                if dn > self.lo {
+                    r_dn *= self.ratio_down(dn);
+                    dn -= 1;
+                    if u <= r_dn {
+                        return dn;
+                    }
+                    u -= r_dn;
+                    moved = true;
+                }
+                if !moved {
+                    break; // numerical tail; redraw
+                }
+            }
+        }
+    }
+}
+
+impl Hrua {
+    /// Builds the hat for `(total, marked, draws)`, or `None` when the
+    /// transformed parameters sit below the validity floor of the
+    /// table-mountain majorization (the O(σ) mode walk covers those).
+    fn new(total: u64, marked: u64, draws: u64) -> Option<Self> {
+        let computed_draws = draws.min(total - draws);
+        let mingoodbad = marked.min(total - marked);
+        let maxgoodbad = marked.max(total - marked);
+        if computed_draws < 10 || mingoodbad < 10 {
+            return None;
+        }
+        let p = mingoodbad as f64 / total as f64;
+        let q = maxgoodbad as f64 / total as f64;
+        let mu = computed_draws as f64 * p;
+        let a = mu + 0.5;
+        let var =
+            (total - computed_draws) as f64 * computed_draws as f64 * p * q / (total - 1) as f64;
+        let sigma = (var + 0.5).sqrt();
+        let width = HRUA_D1 * sigma + HRUA_D2;
+        let m = ((computed_draws + 1) as f64 * (mingoodbad + 1) as f64 / (total + 2) as f64) as u64;
+        let g = Self::ln_pmf_terms(m, mingoodbad, maxgoodbad, computed_draws);
+        // The transformed support is the contiguous `0..=min(computed,
+        // mingoodbad)` (`computed_draws ≤ total/2 ≤ maxgoodbad` pins the
+        // lower bound at 0); `b` additionally clips candidates more than
+        // 16 standard deviations above the mean, where the hat carries
+        // no mass.
+        let b = ((computed_draws.min(mingoodbad) + 1) as f64).min((a + 16.0 * sigma).floor());
+        Some(Self {
+            mingoodbad,
+            maxgoodbad,
+            computed_draws,
+            a,
+            width,
+            b,
+            g,
+            marked,
+            marked_flipped: marked > total - marked,
+            draws_flipped: draws > total - draws,
+        })
+    }
+
+    /// The `k`-dependent terms of `−ln pmf(k)` on the transformed
+    /// problem: `ln k! + ln (mingoodbad−k)! + ln (computed−k)! +
+    /// ln (maxgoodbad−computed+k)!`.
+    fn ln_pmf_terms(k: u64, mingoodbad: u64, maxgoodbad: u64, computed: u64) -> f64 {
+        ln_factorial(k)
+            + ln_factorial(mingoodbad - k)
+            + ln_factorial(computed - k)
+            + ln_factorial(maxgoodbad - computed + k)
+    }
+
+    /// One HRUA rejection draw: two uniforms per attempt, a squeeze
+    /// accept, a squeeze reject, then the exact log acceptance test —
+    /// O(1) expected attempts uniformly over the parameter space.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        loop {
+            let u = unit_f64(rng);
+            let v = unit_f64(rng);
+            if u <= 0.0 {
+                continue; // guards the hat division and ln(u)
+            }
+            let x = self.a + self.width * (v - 0.5) / u;
+            if x < 0.0 || x >= self.b {
+                continue; // outside the support / clipped tail
+            }
+            let k = x as u64;
+            let t = self.g
+                - Self::ln_pmf_terms(k, self.mingoodbad, self.maxgoodbad, self.computed_draws);
+            // Squeeze accept, squeeze reject, exact test (in that order).
+            if u * (4.0 - u) - 3.0 <= t {
+                return self.untransform(k);
+            }
+            if u * (u - t) >= 1.0 {
+                continue;
+            }
+            if 2.0 * u.ln() <= t {
+                return self.untransform(k);
+            }
+        }
+    }
+
+    /// Maps an accepted transformed sample back through the two
+    /// reflections to the original `(total, marked, draws)` problem.
+    fn untransform(&self, k: u64) -> u64 {
+        let mut k = k;
+        if self.marked_flipped {
+            k = self.computed_draws - k;
+        }
+        if self.draws_flipped {
+            k = self.marked - k;
+        }
+        k
     }
 }
 
@@ -948,6 +1188,293 @@ impl<'a> WindowSplitter<'a> {
         }
         debug_assert_eq!(need, 0, "window must be filled exactly");
         self.remaining -= h;
+    }
+}
+
+/// Deals a pooled sample histogram into per-(opinion-group) **blocks**
+/// without replacement — the bulk sibling of [`WindowSplitter`].
+///
+/// Where `WindowSplitter` hands out one node's `h`-window at a time,
+/// `GroupSplitter` hands out a whole opinion group's `g·h` draws in one
+/// call: the block counts follow a multivariate hypergeometric on the
+/// *remaining* pool, factorized into per-category [`Hypergeometric`]
+/// conditionals (riding the mode-centered bulk path). Dealing every
+/// group's block this way is jointly the same law as dealing the `g·h`
+/// draws window-by-window and summing — the windows of a uniform
+/// dealing are exchangeable, so any fixed grouping of them into blocks
+/// is itself a uniform block dealing. A multiset-consuming rule never
+/// reads the per-window partition inside a group, which is what makes
+/// the `O(#groups · #categories)` block split a lawful replacement for
+/// the `O(nodes · h)` per-node split.
+///
+/// Zero-count categories are skipped and a `draws = 0` block returns
+/// immediately; neither consumes randomness.
+///
+/// # Example
+/// ```
+/// use rand::SeedableRng;
+/// use symbreak_sim::dist::GroupSplitter;
+/// use symbreak_sim::rng::Pcg64;
+///
+/// let mut rng = Pcg64::seed_from_u64(29);
+/// let mut pool = [6u64, 4, 2]; // 12 pooled draws: blocks of 8 and 4
+/// let mut splitter = GroupSplitter::new(&mut pool);
+/// let mut block = 0u64;
+/// splitter.draw_block(8, &mut rng, |_cat, x| block += x);
+/// assert_eq!((block, splitter.remaining()), (8, 4));
+/// splitter.draw_block(4, &mut rng, |_cat, x| block += x);
+/// assert_eq!((block, splitter.remaining()), (12, 0));
+/// ```
+#[derive(Debug)]
+pub struct GroupSplitter<'a> {
+    pool: &'a mut [u64],
+    remaining: u64,
+}
+
+impl<'a> GroupSplitter<'a> {
+    /// Wraps a pool histogram (counts per category) for dealing. The
+    /// pool is consumed in place as blocks are drawn.
+    pub fn new(pool: &'a mut [u64]) -> Self {
+        let remaining = pool.iter().sum();
+        Self { pool, remaining }
+    }
+
+    /// Balls left in the pool.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    /// Deals one block of `draws` balls from the pool, calling
+    /// `deposit(category, count)` for each category with a positive
+    /// count in the block (ascending category order).
+    ///
+    /// # Panics
+    /// Panics if fewer than `draws` balls remain.
+    pub fn draw_block<R, F>(&mut self, draws: u64, rng: &mut R, mut deposit: F)
+    where
+        R: RngCore + ?Sized,
+        F: FnMut(usize, u64),
+    {
+        assert!(draws <= self.remaining, "block of {draws} from a pool of {}", self.remaining);
+        if draws == 0 {
+            return;
+        }
+        let mut need = draws;
+        let mut suffix = self.remaining;
+        for (cat, count) in self.pool.iter_mut().enumerate() {
+            if need == 0 {
+                break;
+            }
+            let k = *count;
+            if k == 0 {
+                continue;
+            }
+            // This category's share of the block: hypergeometric on the
+            // remaining pool suffix. When the suffix *is* this category,
+            // the draw is deterministic and consumes no randomness.
+            let x =
+                if k == suffix { need } else { Hypergeometric::new(suffix, k, need).sample(rng) };
+            if x > 0 {
+                deposit(cat, x);
+                *count -= x;
+                need -= x;
+            }
+            suffix -= k;
+        }
+        debug_assert_eq!(need, 0, "block must be filled exactly");
+        self.remaining -= draws;
+    }
+}
+
+/// A without-replacement dealer over pooled category counts: `O(d)`
+/// build, `O(log d)` per single-ball draw (Fenwick prefix sums,
+/// bit-descended), plus incremental `add`/`remove` edits and a bulk
+/// [`FenwickPool::deal`] that switches to per-category conditional
+/// hypergeometrics once the requested count rivals the category count.
+///
+/// Sequential uniform draws without replacement realize exactly the
+/// multivariate-hypergeometric block law of [`GroupSplitter`], so the
+/// two are interchangeable in law; the Fenwick form is for consumers
+/// that interleave draws with structural edits (e.g. 3-Majority's
+/// condensed pull step temporarily masking one category out of the
+/// partner pool between deals).
+///
+/// # Example
+/// ```
+/// use rand::SeedableRng;
+/// use symbreak_sim::dist::FenwickPool;
+/// use symbreak_sim::rng::Pcg64;
+///
+/// let mut rng = Pcg64::seed_from_u64(31);
+/// let mut pool = FenwickPool::new(&[5, 0, 3]);
+/// assert_eq!(pool.remaining(), 8);
+/// let cat = pool.draw(&mut rng);
+/// assert_ne!(cat, 1, "empty categories are never drawn");
+/// assert_eq!(pool.remaining(), 7);
+/// let mut dealt = 0u64;
+/// pool.deal(7, &mut rng, |_cat, c| dealt += c);
+/// assert_eq!((dealt, pool.remaining()), (7, 0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FenwickPool {
+    /// 1-based Fenwick tree over the category counts.
+    tree: Vec<u64>,
+    /// Plain count mirror (`counts[i]` = balls left in category `i`).
+    counts: Vec<u64>,
+    remaining: u64,
+}
+
+impl FenwickPool {
+    /// Builds the dealer over `counts` balls per category.
+    pub fn new(counts: &[u64]) -> Self {
+        let mut pool =
+            Self { tree: Vec::new(), counts: counts.to_vec(), remaining: counts.iter().sum() };
+        pool.rebuild();
+        pool
+    }
+
+    /// Reconstructs the Fenwick tree from the count mirror, `O(d)`.
+    fn rebuild(&mut self) {
+        let len = self.counts.len();
+        self.tree.clear();
+        self.tree.resize(len + 1, 0);
+        self.tree[1..].copy_from_slice(&self.counts);
+        for i in 1..=len {
+            let j = i + (i & i.wrapping_neg());
+            if j <= len {
+                self.tree[j] += self.tree[i];
+            }
+        }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether the pool has no categories at all.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Balls left in the pool.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    /// Balls left in category `i`.
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Adds `k` balls to category `i`, `O(log d)`.
+    pub fn add(&mut self, i: usize, k: u64) {
+        self.counts[i] += k;
+        self.remaining += k;
+        let mut j = i + 1;
+        while j < self.tree.len() {
+            self.tree[j] += k;
+            j += j & j.wrapping_neg();
+        }
+    }
+
+    /// Removes `k` balls from category `i`, `O(log d)`.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if category `i` holds fewer than `k`.
+    pub fn remove(&mut self, i: usize, k: u64) {
+        debug_assert!(self.counts[i] >= k, "removing {k} from a category of {}", self.counts[i]);
+        self.counts[i] -= k;
+        self.remaining -= k;
+        let mut j = i + 1;
+        while j < self.tree.len() {
+            self.tree[j] -= k;
+            j += j & j.wrapping_neg();
+        }
+    }
+
+    /// Draws one pooled ball uniformly and removes it; returns its
+    /// 0-based category index. `O(log d)`.
+    pub fn draw<R: RngCore + ?Sized>(&mut self, rng: &mut R) -> usize {
+        debug_assert!(self.remaining > 0, "drew from an empty pool");
+        let len = self.counts.len();
+        let mut target = rng.gen_range(0..self.remaining);
+        // Descend to the largest index whose prefix sum is ≤ target.
+        let mut pos = 0usize;
+        let mut step = len.next_power_of_two();
+        while step > 0 {
+            let next = pos + step;
+            if next <= len && self.tree[next] <= target {
+                target -= self.tree[next];
+                pos = next;
+            }
+            step >>= 1;
+        }
+        let mut i = pos + 1;
+        while i <= len {
+            self.tree[i] -= 1;
+            i += i & i.wrapping_neg();
+        }
+        self.counts[pos] -= 1;
+        self.remaining -= 1;
+        pos
+    }
+
+    /// Deals `c` uniform balls without replacement, calling
+    /// `deposit(category, count)` per removal (entries may repeat and
+    /// carry count 1 on the per-ball path; callers tally).
+    ///
+    /// Dispatched deterministically in `(c, d)`: when the deal is a
+    /// sizeable fraction of the category count (`8·c ≥ d`) it runs as
+    /// one per-category conditional-hypergeometric sweep plus an `O(d)`
+    /// tree rebuild — the [`GroupSplitter`] law — otherwise as `c`
+    /// bit-descended single draws (`O(c log d)`), which is cheaper for
+    /// sparse removals from wide pools. Both realize the identical
+    /// uniform without-replacement law.
+    ///
+    /// # Panics
+    /// Panics if fewer than `c` balls remain.
+    pub fn deal<R, F>(&mut self, c: u64, rng: &mut R, mut deposit: F)
+    where
+        R: RngCore + ?Sized,
+        F: FnMut(usize, u64),
+    {
+        assert!(c <= self.remaining, "deal of {c} from a pool of {}", self.remaining);
+        if c == 0 {
+            return;
+        }
+        if c.saturating_mul(8) >= self.counts.len() as u64 {
+            let mut need = c;
+            let mut suffix = self.remaining;
+            for cat in 0..self.counts.len() {
+                if need == 0 {
+                    break;
+                }
+                let k = self.counts[cat];
+                if k == 0 {
+                    continue;
+                }
+                let x = if k == suffix {
+                    need
+                } else {
+                    Hypergeometric::new(suffix, k, need).sample(rng)
+                };
+                if x > 0 {
+                    deposit(cat, x);
+                    self.counts[cat] -= x;
+                    need -= x;
+                }
+                suffix -= k;
+            }
+            debug_assert_eq!(need, 0, "deal must drain exactly");
+            self.remaining -= c;
+            self.rebuild();
+        } else {
+            for _ in 0..c {
+                let cat = self.draw(rng);
+                deposit(cat, 1);
+            }
+        }
     }
 }
 

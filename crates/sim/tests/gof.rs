@@ -2,7 +2,9 @@
 //! pmfs — stronger than the range/mean invariants in `properties.rs`.
 
 use rand::SeedableRng;
-use symbreak_sim::dist::{Binomial, Categorical, Geometric};
+use symbreak_sim::dist::{
+    Binomial, Categorical, FenwickPool, Geometric, GroupSplitter, Hypergeometric,
+};
 use symbreak_sim::rng::Pcg64;
 use symbreak_stats::infer::chi_square_gof;
 
@@ -93,6 +95,264 @@ fn categorical_near_uniform_table_chi_square() {
     }
     let expected = vec![draws as f64 / k as f64; k];
     assert!(chi_square_gof(&observed, &expected, 5.0).within_sigma(5.0));
+}
+
+/// Exact `Hypergeometric(total, marked, draws)` pmf over the support
+/// `[lo, hi]`, mode-started via the same outward recurrence idiom as
+/// [`binomial_pmf`]: `pmf(x+1)/pmf(x) = (marked−x)(draws−x) /
+/// ((x+1)(total−marked−draws+x+1))`.
+fn hypergeometric_pmf(total: u64, marked: u64, draws: u64) -> (u64, Vec<f64>) {
+    let lo = draws.saturating_sub(total - marked);
+    let hi = marked.min(draws);
+    let mode = (((draws + 1) * (marked + 1)) / (total + 2)).clamp(lo, hi);
+    let mut pmf = vec![0.0f64; (hi - lo + 1) as usize];
+    pmf[(mode - lo) as usize] = 1.0;
+    let ratio_up = |x: u64| {
+        ((marked - x) * (draws - x)) as f64 / ((x + 1) * (total - marked + x + 1 - draws)) as f64
+    };
+    for x in mode..hi {
+        pmf[(x + 1 - lo) as usize] = pmf[(x - lo) as usize] * ratio_up(x);
+    }
+    for x in (lo..mode).rev() {
+        pmf[(x - lo) as usize] = pmf[(x + 1 - lo) as usize] / ratio_up(x);
+    }
+    let total_mass: f64 = pmf.iter().sum();
+    for v in pmf.iter_mut() {
+        *v /= total_mass;
+    }
+    (lo, pmf)
+}
+
+fn hypergeometric_chi_square(total: u64, marked: u64, draws: u64, samples: u64, seed: u64) -> bool {
+    let d = Hypergeometric::new(total, marked, draws);
+    let mut rng = Pcg64::seed_from_u64(seed);
+    let (lo, pmf) = hypergeometric_pmf(total, marked, draws);
+    let mut observed = vec![0u64; pmf.len()];
+    for _ in 0..samples {
+        observed[(d.sample(&mut rng) - lo) as usize] += 1;
+    }
+    // Lump bins whose expected count is negligible into their inner
+    // neighbour so the chi-square statistic stays well-conditioned.
+    let mut obs = Vec::new();
+    let mut expected = Vec::new();
+    let mut carry_o = 0u64;
+    let mut carry_e = 0.0f64;
+    for (o, &q) in observed.iter().zip(&pmf) {
+        carry_o += o;
+        carry_e += q * samples as f64;
+        if carry_e >= 5.0 {
+            obs.push(carry_o);
+            expected.push(carry_e);
+            carry_o = 0;
+            carry_e = 0.0;
+        }
+    }
+    if carry_e > 0.0 {
+        let last = obs.len() - 1;
+        obs[last] += carry_o;
+        expected[last] += carry_e;
+    }
+    chi_square_gof(&obs, &expected, 5.0).within_sigma(5.0)
+}
+
+#[test]
+fn hypergeometric_small_draw_walk_matches_exact_pmf() {
+    // Tiny draws: the p_lo-started one-sided walk (the path that is
+    // byte-identical to the pre-bulk sampler).
+    assert!(hypergeometric_chi_square(500, 120, 8, 200_000, 11));
+}
+
+#[test]
+fn hypergeometric_bulk_mode_walk_matches_exact_pmf() {
+    // Large draws from a large pool: `pmf(lo)` underflows f64, so the
+    // sampler must start the two-sided walk at the mode.
+    assert!(hypergeometric_chi_square(40_000, 18_000, 9_000, 120_000, 12));
+}
+
+#[test]
+fn hypergeometric_bulk_tight_support_matches_exact_pmf() {
+    // draws > total − marked pins lo > 0; the bulk path must respect
+    // the shifted support.
+    assert!(hypergeometric_chi_square(1_000, 900, 700, 150_000, 13));
+}
+
+#[test]
+fn group_splitter_blocks_sum_to_pool_exactly() {
+    let mut rng = Pcg64::seed_from_u64(21);
+    let original = vec![17u64, 0, 4, 96, 1, 33, 250, 8];
+    let total: u64 = original.iter().sum();
+    let group_sizes = [100u64, 0, 250, 59];
+    assert_eq!(group_sizes.iter().sum::<u64>(), total, "groups must exhaust the pool");
+    let mut pool = original.clone();
+    let mut splitter = GroupSplitter::new(&mut pool);
+    let mut dealt = vec![0u64; original.len()];
+    for &g in &group_sizes {
+        let mut block = vec![0u64; original.len()];
+        splitter.draw_block(g, &mut rng, |j, x| block[j] += x);
+        assert_eq!(block.iter().sum::<u64>(), g, "block mass must equal the group size");
+        for (d, b) in dealt.iter_mut().zip(&block) {
+            *d += b;
+        }
+    }
+    assert_eq!(splitter.remaining(), 0, "the pool must be exhausted");
+    assert_eq!(dealt, original, "blocks must sum to the pool exactly");
+    assert_eq!(pool, vec![0u64; original.len()], "the pool slice must be drained");
+}
+
+#[test]
+fn group_splitter_degenerate_pools() {
+    let mut rng = Pcg64::seed_from_u64(22);
+    // Single category: every block is deterministic.
+    let mut pool = vec![40u64];
+    let mut splitter = GroupSplitter::new(&mut pool);
+    let mut got = 0u64;
+    splitter.draw_block(15, &mut rng, |j, x| {
+        assert_eq!(j, 0);
+        got += x;
+    });
+    assert_eq!(got, 15);
+    assert_eq!(splitter.remaining(), 25);
+    // Empty group: no randomness, no deposits.
+    splitter.draw_block(0, &mut rng, |_, _| panic!("draws == 0 must deposit nothing"));
+    assert_eq!(splitter.remaining(), 25);
+    // h = 1 windows: 25 singleton blocks drain the remainder.
+    for _ in 0..25 {
+        let mut x = 0u64;
+        splitter.draw_block(1, &mut rng, |_, c| x += c);
+        assert_eq!(x, 1);
+    }
+    assert_eq!(splitter.remaining(), 0);
+}
+
+#[test]
+fn group_splitter_marginals_are_hypergeometric_chi_square() {
+    // The first block's per-category count is marginally
+    // Hypergeometric(total, pool[j], g): the nested conditional
+    // construction must reproduce the unconditional marginal.
+    let original = [60u64, 140, 25, 75];
+    let total: u64 = original.iter().sum();
+    let g = 90u64;
+    let samples = 120_000u64;
+    let mut rng = Pcg64::seed_from_u64(23);
+    for (j, &marked) in original.iter().enumerate() {
+        let (lo, pmf) = hypergeometric_pmf(total, marked, g);
+        let mut observed = vec![0u64; pmf.len()];
+        for _ in 0..samples {
+            let mut pool = original.to_vec();
+            let mut splitter = GroupSplitter::new(&mut pool);
+            let mut x = 0u64;
+            splitter.draw_block(g, &mut rng, |cat, c| {
+                if cat == j {
+                    x = c;
+                }
+            });
+            observed[(x - lo) as usize] += 1;
+        }
+        let expected: Vec<f64> = pmf.iter().map(|&q| q * samples as f64).collect();
+        // Lump sub-5-count tails exactly as the hypergeometric helper.
+        let mut obs_l = Vec::new();
+        let mut exp_l = Vec::new();
+        let (mut co, mut ce) = (0u64, 0.0f64);
+        for (&o, &e) in observed.iter().zip(&expected) {
+            co += o;
+            ce += e;
+            if ce >= 5.0 {
+                obs_l.push(co);
+                exp_l.push(ce);
+                co = 0;
+                ce = 0.0;
+            }
+        }
+        if ce > 0.0 {
+            let last = obs_l.len() - 1;
+            obs_l[last] += co;
+            exp_l[last] += ce;
+        }
+        assert!(
+            chi_square_gof(&obs_l, &exp_l, 5.0).within_sigma(5.0),
+            "category {j} marginal deviates from Hypergeometric({total}, {marked}, {g})"
+        );
+    }
+}
+
+#[test]
+fn fenwick_pool_prefix_sums_and_point_ops() {
+    let counts = [5u64, 0, 12, 3, 0, 7, 1];
+    let mut pool = FenwickPool::new(&counts);
+    assert_eq!(pool.len(), counts.len());
+    assert_eq!(pool.remaining(), counts.iter().sum::<u64>());
+    assert!(!pool.is_empty());
+    for (i, &c) in counts.iter().enumerate() {
+        assert_eq!(pool.count(i), c, "counts mirror must match the input");
+    }
+    pool.remove(2, 12);
+    assert_eq!(pool.count(2), 0);
+    pool.add(4, 9);
+    assert_eq!(pool.count(4), 9);
+    assert_eq!(pool.remaining(), 5 + 3 + 9 + 7 + 1);
+    // Remove everything; the pool must report no balls left (the
+    // categories themselves remain — `is_empty` is about categories).
+    for i in 0..counts.len() {
+        let c = pool.count(i);
+        pool.remove(i, c);
+    }
+    assert_eq!(pool.remaining(), 0);
+    assert!(!pool.is_empty(), "categories persist after their balls are gone");
+}
+
+#[test]
+fn fenwick_pool_draw_agrees_with_naive_cdf_scan() {
+    // Replaying the identical RNG stream through the bit-descended draw
+    // and a naive linear CDF scan must pick the same categories: both
+    // map `target ∈ [0, remaining)` to the category holding that ball.
+    use rand::Rng as _;
+    for seed in 0..20u64 {
+        let mut grow = Pcg64::seed_from_u64(900 + seed);
+        let len = grow.gen_range(1..24usize);
+        let counts: Vec<u64> = (0..len).map(|_| grow.gen_range(0..9u64)).collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            continue;
+        }
+        let mut pool = FenwickPool::new(&counts);
+        let mut naive = counts.clone();
+        let mut rng_a = Pcg64::seed_from_u64(7_000 + seed);
+        let mut rng_b = Pcg64::seed_from_u64(7_000 + seed);
+        for _ in 0..total {
+            let picked = pool.draw(&mut rng_a);
+            let mut target = rng_b.gen_range(0..naive.iter().sum::<u64>());
+            let mut scan = 0usize;
+            while target >= naive[scan] {
+                target -= naive[scan];
+                scan += 1;
+            }
+            naive[scan] -= 1;
+            assert_eq!(picked, scan, "draw must match the naive CDF scan");
+            assert_eq!(pool.count(picked), naive[picked], "counts mirror must track draws");
+        }
+        assert_eq!(pool.remaining(), 0, "drawing `total` balls must empty the pool");
+    }
+}
+
+#[test]
+fn fenwick_pool_deal_matches_pool_composition() {
+    // `deal` dispatches between per-ball draws and the bulk
+    // conditional-hypergeometric sweep on `c·8 ≥ len`; both must hand
+    // back exactly `c` balls that the pool actually held.
+    let mut rng = Pcg64::seed_from_u64(31);
+    let counts = [9u64, 0, 14, 2, 5];
+    for c in [1u64, 2, 30] {
+        let mut pool = FenwickPool::new(&counts);
+        let before: Vec<u64> = (0..pool.len()).map(|i| pool.count(i)).collect();
+        let mut dealt = vec![0u64; counts.len()];
+        pool.deal(c, &mut rng, |cat, x| dealt[cat] += x);
+        assert_eq!(dealt.iter().sum::<u64>(), c, "deal must hand back exactly c balls");
+        for i in 0..counts.len() {
+            assert!(dealt[i] <= before[i], "cannot deal more than the pool held");
+            assert_eq!(pool.count(i), before[i] - dealt[i], "pool must shrink by the dealt mass");
+        }
+        assert_eq!(pool.remaining(), counts.iter().sum::<u64>() - c);
+    }
 }
 
 #[test]

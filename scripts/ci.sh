@@ -41,6 +41,9 @@ SYMBREAK_SCALE=0.00262144 cargo run --release -p symbreak-bench --bin exp_e23_co
 echo "==> transport smoke: loopback Unix-socket fleet vs channel fleet, byte-exact per seed"
 SYMBREAK_SCALE=0.04096 cargo run --release -p symbreak-bench --bin exp_e24_transport
 
+echo "==> grouped pull smoke: forced-gear bands + paired k = n singleton rows"
+SYMBREAK_SCALE=0.001 cargo run --release -p symbreak-bench --bin exp_e25_grouped_pull
+
 echo "==> experiment smoke (SYMBREAK_SCALE=${SYMBREAK_SCALE:-0.25})"
 SYMBREAK_SCALE="${SYMBREAK_SCALE:-0.25}" \
     cargo run --release -p symbreak-bench --bin run_all
