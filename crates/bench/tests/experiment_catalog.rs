@@ -33,7 +33,7 @@ fn readme_catalog_covers_every_experiment_binary() {
             missing.push(stem.to_string());
         }
     }
-    assert!(count >= 25, "expected the full E1–E25 experiment set, found {count}");
+    assert!(count >= 26, "expected the full E1–E26 experiment set, found {count}");
     assert!(
         missing.is_empty(),
         "experiment binaries missing from the README catalog table: {missing:?}"

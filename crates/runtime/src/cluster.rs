@@ -51,7 +51,7 @@
 use std::sync::mpsc;
 
 use symbreak_adversary::quorum_threshold;
-use symbreak_core::{Configuration, Opinion, SampleAccess, UpdateRule};
+use symbreak_core::{Configuration, Opinion, RoundStateMode, SampleAccess, UpdateRule};
 use symbreak_sim::trace::{RoundStats, Trace};
 
 use crate::fault::{FaultCounters, FaultKind, FaultPlan, StopReason};
@@ -203,6 +203,17 @@ pub struct ClusterConfig {
     /// Deterministic fault schedule (defaults to the inert
     /// [`FaultPlan::none`], which keeps the exact fault-free paths).
     pub fault_plan: FaultPlan,
+    /// Per-round sampler lifecycle (defaults to
+    /// [`RoundStateMode::Rebuild`], the byte-exact baseline).
+    /// [`RoundStateMode::Incremental`] lets condensed shards patch
+    /// their persistent push-union and serving samplers from
+    /// `O(#changed)` histogram deltas instead of rebuilding from
+    /// scratch each round — distribution-exact, but a different RNG
+    /// discipline, so (like the wire modes) incremental trajectories
+    /// are compared distributionally, not pathwise. Shards that are
+    /// not condensed, and fleets with an active fault plan, keep the
+    /// rebuild path regardless of the knob.
+    pub round_state: RoundStateMode,
 }
 
 impl ClusterConfig {
@@ -218,6 +229,7 @@ impl ClusterConfig {
             shard_repr: ShardRepr::default(),
             data_gear: GearMode::default(),
             fault_plan: FaultPlan::none(),
+            round_state: RoundStateMode::default(),
         }
     }
 
@@ -259,6 +271,14 @@ impl ClusterConfig {
     /// and dense bodies have no rejection-tolerant merge.
     pub fn with_fault_plan(mut self, fault_plan: FaultPlan) -> Self {
         self.fault_plan = fault_plan;
+        self
+    }
+
+    /// Selects the per-round sampler lifecycle (persistent
+    /// delta-patched round state vs the byte-exact from-scratch
+    /// rebuild baseline).
+    pub fn with_round_state(mut self, round_state: RoundStateMode) -> Self {
+        self.round_state = round_state;
         self
     }
 }
@@ -397,6 +417,7 @@ impl<R: UpdateRule + Clone + Send> Cluster<R> {
         let wire_mode = self.config.wire_mode;
         let consume_mode = self.config.consume_mode;
         let data_gear = self.config.data_gear;
+        let round_state = self.config.round_state;
         let plan = self.config.fault_plan;
         let partition = Partition::new(n, shards);
 
@@ -465,6 +486,7 @@ impl<R: UpdateRule + Clone + Send> Cluster<R> {
                     repr: shard_repr,
                     master_seed: seed,
                     plan: plan.clone(),
+                    round_state,
                 };
                 scope.spawn(move |_| {
                     run_shard(shard_id, spec, rule, init, transport);
@@ -580,6 +602,7 @@ impl<R: WireRule> Cluster<R> {
             repr: self.config.shard_repr,
             master_seed: self.config.seed,
             plan: plan.clone(),
+            round_state: self.config.round_state,
             rule: self.rule.spec(),
             condensed,
             bodies: bodies.clone(),

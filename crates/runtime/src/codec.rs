@@ -45,7 +45,7 @@
 
 use std::io::{self, Read, Write};
 
-use symbreak_core::Opinion;
+use symbreak_core::{Opinion, RoundStateMode};
 
 use crate::cluster::{ConsumeMode, ReportMode, ShardRepr, WireMode};
 use crate::fault::{ByzantineSpec, CorruptionKind, CrashSpec, FaultPlan};
@@ -886,6 +886,7 @@ pub(crate) struct WorkerInit {
     pub repr: ShardRepr,
     pub master_seed: u64,
     pub plan: FaultPlan,
+    pub round_state: RoundStateMode,
     pub rule: crate::transport::RuleSpec,
     pub condensed: bool,
     pub body: Vec<(u32, u64)>,
@@ -893,7 +894,7 @@ pub(crate) struct WorkerInit {
     pub die_at_round: Option<u64>,
 }
 
-fn mode_codes(init: &WorkerInit) -> [u8; 4] {
+fn mode_codes(init: &WorkerInit) -> [u8; 5] {
     [
         match init.report_mode {
             ReportMode::Sparse => 0,
@@ -911,6 +912,10 @@ fn mode_codes(init: &WorkerInit) -> [u8; 4] {
         match init.repr {
             ShardRepr::Histogram => 0,
             ShardRepr::Agents => 1,
+        },
+        match init.round_state {
+            RoundStateMode::Rebuild => 0,
+            RoundStateMode::Incremental => 1,
         },
     ]
 }
@@ -1027,6 +1032,11 @@ pub(crate) fn decode_worker_init(frame: &Frame) -> Result<WorkerInit, WireError>
         1 => ShardRepr::Agents,
         _ => return Err(WireError::Malformed("unknown shard repr")),
     };
+    let round_state = match r.u8()? {
+        0 => RoundStateMode::Rebuild,
+        1 => RoundStateMode::Incremental,
+        _ => return Err(WireError::Malformed("unknown round-state mode")),
+    };
     let master_seed = r.varint()?;
     let plan_seed = r.varint()?;
     let mut rates = [0.0f64; 6];
@@ -1130,6 +1140,7 @@ pub(crate) fn decode_worker_init(frame: &Frame) -> Result<WorkerInit, WireError>
         repr,
         master_seed,
         plan,
+        round_state,
         rule,
         condensed,
         body,
@@ -1206,6 +1217,7 @@ mod tests {
                     kind: CorruptionKind::Plausible,
                 })
                 .with_max_faulty(2),
+            round_state: RoundStateMode::Incremental,
             rule: crate::transport::RuleSpec::LazyVoter(0.5),
             condensed: true,
             body: vec![(0, 10), (63, 990)],

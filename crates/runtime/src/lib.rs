@@ -126,6 +126,7 @@ pub use message::{
     DataFormat, OpinionPalette, PullBatch, ReportBody, ReportFormat, Request, ShardMessage,
     TargetRun,
 };
+pub use symbreak_core::RoundStateMode;
 pub use transport::{
     shard_process_main, spawn_shard_process, RuleSpec, SocketConfig, Transport, TransportAddr,
     TransportLost, WireRule,

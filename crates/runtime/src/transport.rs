@@ -67,7 +67,7 @@ use symbreak_core::rules::{
     HMajority, LazyVoter, ThreeMajority, ThreeMajorityAlt, TwoChoices, TwoMedian,
     UndecidedDynamics, Voter,
 };
-use symbreak_core::{Opinion, UpdateRule};
+use symbreak_core::{Opinion, RoundStateMode, UpdateRule};
 
 use crate::cluster::{ConsumeMode, ReportMode, ShardRepr, WireMode};
 use crate::codec::{
@@ -77,7 +77,7 @@ use crate::codec::{
     shard_message_len, write_frame, FrameKind, Hello, WorkerInit,
 };
 use crate::fault::FaultPlan;
-use crate::message::{Control, ShardMessage, ShardReport};
+use crate::message::{Control, ReportBody, ShardMessage, ShardReport};
 use crate::shard::{run_shard, Partition, ShardInit, ShardSpec};
 
 /// The peer or coordinator on the other end of a transport is gone
@@ -110,8 +110,12 @@ pub trait Transport {
     fn send(&mut self, dest: usize, msg: ShardMessage);
     /// Blocks for the next data-plane message.
     fn recv(&mut self) -> Result<ShardMessage, TransportLost>;
-    /// Sends this shard's per-round report to the coordinator.
-    fn send_report(&mut self, report: ShardReport);
+    /// Sends this shard's per-round report to the coordinator. A
+    /// backend that serializes the report (and is therefore done with
+    /// its body) returns the drained sparse-body buffer for the caller
+    /// to pool; backends that hand the report over intact return
+    /// `None`.
+    fn send_report(&mut self, report: ShardReport) -> Option<Vec<(u32, u64)>>;
     /// Blocks for the next coordinator command.
     fn recv_control(&mut self) -> Result<Control, TransportLost>;
     /// Accounts a message the fault plan transmitted-and-lost: the
@@ -180,9 +184,12 @@ impl Transport for ChannelTransport {
         Ok(msg)
     }
 
-    fn send_report(&mut self, report: ShardReport) {
+    fn send_report(&mut self, report: ShardReport) -> Option<Vec<(u32, u64)>> {
         self.sent += report_len(&report);
+        // The coordinator consumes the report in place — the body
+        // crosses the channel intact, so there is nothing to pool.
         self.report.send(report).expect("coordinator alive");
+        None
     }
 
     fn recv_control(&mut self) -> Result<Control, TransportLost> {
@@ -517,12 +524,21 @@ impl Transport for SocketTransport {
         }
     }
 
-    fn send_report(&mut self, report: ShardReport) {
+    fn send_report(&mut self, report: ShardReport) -> Option<Vec<(u32, u64)>> {
         self.sent += report_len(&report);
         self.scratch.clear();
         encode_report(&report, &mut self.scratch);
         if write_frame(&mut self.coord_w, &self.scratch).is_err() {
             self.lost = true;
+        }
+        // Serialized — the body is spent; hand a sparse buffer back
+        // for the worker's report pool.
+        match report.body {
+            ReportBody::Sparse(mut pairs) => {
+                pairs.clear();
+                Some(pairs)
+            }
+            _ => None,
         }
     }
 
@@ -704,6 +720,7 @@ pub fn shard_process_main() {
         repr: init.repr,
         master_seed: init.master_seed,
         plan: init.plan,
+        round_state: init.round_state,
     };
     let shard_init = if init.condensed {
         ShardInit::Histogram(init.body)
@@ -801,6 +818,7 @@ pub(crate) struct FleetSpec {
     pub repr: ShardRepr,
     pub master_seed: u64,
     pub plan: FaultPlan,
+    pub round_state: RoundStateMode,
     pub rule: RuleSpec,
     pub condensed: bool,
     pub bodies: Vec<Vec<(u32, u64)>>,
@@ -909,6 +927,7 @@ impl SocketFleet {
                 repr: spec.repr,
                 master_seed: spec.master_seed,
                 plan: spec.plan.clone(),
+                round_state: spec.round_state,
                 rule: spec.rule,
                 condensed: spec.condensed,
                 body: spec.bodies[s].clone(),

@@ -2,7 +2,9 @@
 
 use proptest::prelude::*;
 use rand::SeedableRng;
-use symbreak_sim::dist::{sample_distinct, Binomial, Categorical, Geometric, Multinomial};
+use symbreak_sim::dist::{
+    sample_distinct, Binomial, Categorical, DynamicCategorical, Geometric, Multinomial,
+};
 use symbreak_sim::rng::{trial_seed, Pcg64};
 
 proptest! {
@@ -107,6 +109,35 @@ proptest! {
         let mut b = Pcg64::seed_from_u64(seed);
         for _ in 0..16 {
             prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn dynamic_categorical_patched_equals_from_scratch(
+        start in proptest::collection::vec(0u64..40, 1..24),
+        deltas in proptest::collection::vec((0usize..24, 0u64..40), 0..64),
+        seed in 0u64..10_000,
+    ) {
+        // An arbitrary sequence of `set` patches must leave the sampler
+        // in *exactly* the state a from-scratch build over the final
+        // counts produces — internal tree included (pinned through the
+        // derived Debug form), hence byte-identical draw streams.
+        let mut patched = DynamicCategorical::new(&start);
+        let mut counts = start.clone();
+        for &(i, c) in &deltas {
+            let i = i % counts.len();
+            patched.set(i, c);
+            counts[i] = c;
+        }
+        let fresh = DynamicCategorical::new(&counts);
+        prop_assert_eq!(format!("{patched:?}"), format!("{fresh:?}"));
+        prop_assert_eq!(patched.total(), counts.iter().sum::<u64>());
+        if patched.total() > 0 {
+            let mut rng_a = Pcg64::seed_from_u64(seed);
+            let mut rng_b = Pcg64::seed_from_u64(seed);
+            for _ in 0..32 {
+                prop_assert_eq!(patched.sample(&mut rng_a), fresh.sample(&mut rng_b));
+            }
         }
     }
 }

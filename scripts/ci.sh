@@ -44,6 +44,9 @@ SYMBREAK_SCALE=0.04096 cargo run --release -p symbreak-bench --bin exp_e24_trans
 echo "==> grouped pull smoke: forced-gear bands + paired k = n singleton rows"
 SYMBREAK_SCALE=0.001 cargo run --release -p symbreak-bench --bin exp_e25_grouped_pull
 
+echo "==> incremental round-state smoke: sampler flat band + paired stalled-regime cluster runs"
+SYMBREAK_SCALE=0.04096 cargo run --release -p symbreak-bench --bin exp_e26_incremental_rounds
+
 echo "==> experiment smoke (SYMBREAK_SCALE=${SYMBREAK_SCALE:-0.25})"
 SYMBREAK_SCALE="${SYMBREAK_SCALE:-0.25}" \
     cargo run --release -p symbreak-bench --bin run_all
